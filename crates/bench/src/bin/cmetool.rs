@@ -1,0 +1,131 @@
+//! `cmetool` — a small command-line front end over the whole stack, the
+//! workflow a downstream user would drive:
+//!
+//! ```text
+//! cmetool analyze   <kernel> [--n N] [--size BYTES] [--assoc K] [--line BYTES]
+//! cmetool simulate  <kernel> [...]        trace-driven LRU ground truth
+//! cmetool compare   <kernel> [...]        CME vs simulation, Table-1 row
+//! cmetool diagnose  <kernel> [...]        miss attribution + recommendations
+//! cmetool pad       <kernel> [...]        derive + verify a padding plan
+//! cmetool equations <kernel> [...]        print the symbolic CME system
+//! cmetool export    <kernel> [...]        dineroIII-format trace to stdout
+//! cmetool kernels                         list known kernels
+//! ```
+//!
+//! Instead of a registry kernel name, `--file <path>` analyzes a nest
+//! written in the textual format of `cme_ir::parse` (see
+//! `examples/matmul.cme`).
+
+use cme_bench::arg_value;
+use cme_cache::{export_din, simulate_nest, CacheConfig};
+use cme_core::{
+    analyze_nest_parallel, compare_with_simulation, AnalysisOptions, CmeSystem,
+};
+use cme_kernels::{kernel_by_name, kernel_names};
+use cme_opt::{diagnose, optimize_padding};
+use cme_reuse::ReuseOptions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(command) = args.get(1).map(String::as_str) else {
+        eprintln!("usage: cmetool <analyze|simulate|compare|diagnose|pad|equations|export|kernels> [kernel] [--n N] [--size B] [--assoc K] [--line B]");
+        std::process::exit(2);
+    };
+    if command == "kernels" {
+        for name in kernel_names() {
+            println!("{name}");
+        }
+        return;
+    }
+    let kernel = args.get(2).map(String::as_str).unwrap_or("mmult");
+    let n = arg_value(&args, "--n").unwrap_or(64);
+    let size = arg_value(&args, "--size").unwrap_or(8192);
+    let assoc = arg_value(&args, "--assoc").unwrap_or(1);
+    let line = arg_value(&args, "--line").unwrap_or(32);
+    let cache = CacheConfig::new(size, assoc, line, 4).unwrap_or_else(|e| {
+        eprintln!("bad cache geometry: {e}");
+        std::process::exit(2);
+    });
+    let nest = if let Some(pos) = args.iter().position(|a| a == "--file") {
+        let path = args.get(pos + 1).unwrap_or_else(|| {
+            eprintln!("--file needs a path");
+            std::process::exit(2);
+        });
+        let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read `{path}`: {e}");
+            std::process::exit(2);
+        });
+        cme_ir::parse::parse_nest(&src).unwrap_or_else(|e| {
+            eprintln!("parse error in `{path}`: {e}");
+            std::process::exit(2);
+        })
+    } else {
+        kernel_by_name(kernel, n).unwrap_or_else(|| {
+            eprintln!("unknown kernel `{kernel}`; run `cmetool kernels`");
+            std::process::exit(2);
+        })
+    };
+    let opts = AnalysisOptions::default();
+    match command {
+        "analyze" => {
+            println!("{nest}");
+            println!("{}", analyze_nest_parallel(&nest, cache, &opts));
+        }
+        "simulate" => {
+            println!("{}", simulate_nest(&nest, cache));
+        }
+        "compare" => {
+            let row = compare_with_simulation(&nest, cache, &opts);
+            println!("{row}");
+            if !row.is_sound() {
+                eprintln!("SOUNDNESS VIOLATION");
+                std::process::exit(1);
+            }
+        }
+        "diagnose" => match diagnose(&nest, &cache, &opts) {
+            Ok(d) => println!("{d}"),
+            Err(e) => {
+                eprintln!("diagnosis failed: {e}");
+                std::process::exit(1);
+            }
+        },
+        "pad" => {
+            let before = simulate_nest(&nest, cache).total();
+            let (optimized, outcome) = optimize_padding(&nest, &cache, &opts);
+            let after = simulate_nest(&optimized, cache).total();
+            println!("{outcome}");
+            println!(
+                "simulated: replacement {} -> {}, total {} -> {}",
+                before.replacement,
+                after.replacement,
+                before.misses(),
+                after.misses()
+            );
+        }
+        "equations" => {
+            let sys = CmeSystem::generate(&nest, cache, &ReuseOptions::default());
+            println!("# {} equations over {} references", sys.equation_count(), sys.per_ref.len());
+            for re in &sys.per_ref {
+                println!("reference {}:", nest.reference(re.dest).label());
+                for g in &re.groups {
+                    println!("  {}", g.cold);
+                    for eq in &g.replacements {
+                        println!("    {eq}");
+                    }
+                }
+            }
+        }
+        "export" => {
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            if let Err(e) = export_din(&nest, cache.elem_bytes(), &mut lock) {
+                eprintln!("export failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Developer diagnostic: pointwise CME-vs-simulator diff for one kernel.
+//! Usage: diag <kernel> <n> <size> <assoc> <line>
+
+use cme_cache::{CacheConfig, Simulator};
+use cme_core::{analyze_nest, AnalysisOptions};
+use cme_ir::LoopNest;
+use cme_reuse::{reuse_vectors, ReuseOptions};
+use std::collections::HashSet;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let kernel = args.get(1).map(String::as_str).unwrap_or("mmult");
+    let n: i64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let size: i64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let assoc: i64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let line: i64 = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let cache = CacheConfig::new(size, assoc, line, 4).unwrap();
+    let nest: LoopNest = match kernel {
+        "mmult" => cme_kernels::mmult_with_bases(n, 0, n * n, 2 * n * n),
+        "alv-small" => cme_kernels::alv_with_layout(30, 12, 30, 512),
+        "tiled" => cme_kernels::tiled_mmult(8, 4, 2, 0, 64, 128),
+        other => cme_kernels::kernel_by_name(other, n)
+            .unwrap_or_else(|| panic!("unknown kernel {other}; known: {:?}", cme_kernels::kernel_names())),
+    };
+    println!("{nest}\ncache {cache}");
+
+    // Simulator per-point outcomes.
+    let mut sim = Simulator::new(cache);
+    let addrs: Vec<_> = nest
+        .references()
+        .iter()
+        .map(|r| nest.address_affine(r.id()))
+        .collect();
+    let mut sim_points: Vec<HashSet<Vec<i64>>> = vec![HashSet::new(); addrs.len()];
+    let mut sp = nest.space();
+    while let Some(p) = sp.next_point() {
+        for (s, af) in addrs.iter().enumerate() {
+            if sim.access(af.eval(&p)).is_miss() {
+                sim_points[s].insert(p.clone());
+            }
+        }
+    }
+
+    let opts = AnalysisOptions {
+        collect_miss_points: true,
+        ..AnalysisOptions::default()
+    };
+    let analysis = analyze_nest(&nest, cache, &opts);
+    for (r, ra) in analysis.per_ref.iter().enumerate() {
+        let mut cme_points: HashSet<Vec<i64>> = ra.cold_miss_points.iter().cloned().collect();
+        for (p, _) in &ra.replacement_miss_points {
+            cme_points.insert(p.clone());
+        }
+        let extra: Vec<_> = cme_points.difference(&sim_points[r]).collect();
+        let missing: Vec<_> = sim_points[r].difference(&cme_points).collect();
+        println!(
+            "ref {r} {}: cme {} sim {} (+{} extra, -{} missing)",
+            ra.label,
+            cme_points.len(),
+            sim_points[r].len(),
+            extra.len(),
+            missing.len()
+        );
+        let mut extra_sorted: Vec<_> = extra.iter().map(|p| (*p).clone()).collect();
+        extra_sorted.sort();
+        for p in extra_sorted.iter().take(6) {
+            let along = ra
+                .replacement_miss_points
+                .iter()
+                .find(|(q, _)| q == p)
+                .map(|(_, v)| *v as i64)
+                .unwrap_or(-1);
+            println!("   extra {p:?} along vector #{along}");
+        }
+        if !extra.is_empty() {
+            let rvs = reuse_vectors(&nest, &cache, ra.dest, &ReuseOptions::default());
+            for (vi, rv) in rvs.iter().enumerate().take(25) {
+                println!("   rv#{vi}: {rv}");
+            }
+        }
+    }
+    println!(
+        "totals: cme {} sim {}",
+        analysis.total_misses(),
+        sim.misses()
+    );
+}

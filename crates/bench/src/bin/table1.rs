@@ -1,0 +1,59 @@
+//! Regenerates **Table 1** of the paper: CME accuracy versus trace-driven
+//! LRU simulation on the seven-kernel suite.
+//!
+//! ```text
+//! cargo run --release -p cme-bench --bin table1 [-- --n 256 --assoc 1]
+//! ```
+//!
+//! Columns mirror the paper: #arrays, max #refs to an array, #accesses,
+//! simulated misses (the DineroIII column), CME misses, %error, #refs, and
+//! the max number of reuse vectors used per reference. The paper's cache is
+//! 8KB direct-mapped with 32B lines and 4B elements; `--assoc` exercises
+//! the arbitrary-associativity generalization.
+//!
+//! At the paper's full size (N = 256) the run takes several minutes — the
+//! matmul nest alone walks 16.7M iteration points per reference several
+//! times. `--n 64` reproduces the same qualitative table in seconds.
+
+use cme_bench::{arg_value, cache_with_assoc};
+use cme_core::{compare_with_simulation, AnalysisOptions};
+use cme_kernels::table1_suite;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = arg_value(&args, "--n").unwrap_or(64);
+    let assoc = arg_value(&args, "--assoc").unwrap_or(1);
+    let cache = cache_with_assoc(assoc).expect("valid cache geometry");
+    println!("# Table 1: CME miss counts vs LRU simulation");
+    println!("# cache: {cache}; problem size N = {n} (alv fixed at 1221x30)");
+    println!(
+        "# {:<7} {:>7} {:>9} {:>12} {:>12} {:>12} {:>8} {:>6} {:>7} {:>9}",
+        "nest", "arrays", "max-refs", "accesses", "sim-misses", "cme-misses", "%error", "refs", "max-RV", "secs"
+    );
+    let options = AnalysisOptions::default();
+    for nest in table1_suite(n) {
+        let t0 = Instant::now();
+        let row = compare_with_simulation(&nest, cache, &options);
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "  {:<7} {:>7} {:>9} {:>12} {:>12} {:>12} {:>8.2} {:>6} {:>7} {:>9.2}",
+            row.nest,
+            row.arrays,
+            row.max_refs_per_array,
+            row.accesses,
+            row.sim_misses,
+            row.cme_misses,
+            row.error_pct(),
+            row.refs,
+            row.max_rvs_used,
+            dt
+        );
+        assert!(row.is_sound(), "soundness violated on {}", row.nest);
+    }
+    println!("# paper reference (N = 256, direct-mapped):");
+    println!("#   mmult 7042336/7042336 0.0%   gauss 1998466/2019682 1.0%");
+    println!("#   sor   8192/8192      0.0%   adi   391680/391680   0.0%");
+    println!("#   trans 73456/73732    0.4%   alv   14090/14090     0.0%");
+    println!("#   tom   258064/258064  0.0%");
+}

@@ -1,0 +1,21 @@
+//! Common experiment scaffolding.
+
+use cme_cache::{CacheConfig, CacheConfigError};
+
+/// The paper's Table 1 cache: 8KB direct-mapped, 32B lines, 4B elements.
+pub fn table1_cache() -> CacheConfig {
+    CacheConfig::new(8192, 1, 32, 4).expect("valid table-1 geometry")
+}
+
+/// The same geometry at a different associativity (sets shrink accordingly).
+pub fn cache_with_assoc(assoc: i64) -> Result<CacheConfig, CacheConfigError> {
+    CacheConfig::new(8192, assoc, 32, 4)
+}
+
+/// Parses `--assoc <k>` and `--n <size>` style overrides from argv.
+pub fn arg_value(args: &[String], key: &str) -> Option<i64> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}

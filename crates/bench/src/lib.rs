@@ -1,0 +1,9 @@
+//! Shared helpers for the experiment binaries (see `src/bin/`).
+//!
+//! Each binary regenerates one table or figure of the CME paper; this
+//! library holds the common cache configurations and formatting helpers.
+
+#![deny(missing_docs)]
+
+pub mod harness;
+pub use harness::*;

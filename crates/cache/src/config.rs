@@ -1,0 +1,319 @@
+//! Cache geometry: the `(Cs, k, Ls, Ns)` parameters of the paper.
+//!
+//! All analysis-side quantities are measured in **data elements** (as in
+//! the paper's examples); the constructor takes byte-denominated hardware
+//! parameters plus the element size and derives element-denominated
+//! geometry.
+
+use cme_math::gcd::{floor_div, modulo};
+use std::fmt;
+
+/// Errors from [`CacheConfig::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CacheConfigError {
+    /// A parameter was zero or negative.
+    NonPositive {
+        /// Which parameter.
+        what: &'static str,
+    },
+    /// A parameter that must be a power of two was not.
+    NotPowerOfTwo {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: i64,
+    },
+    /// The line size is not a multiple of the element size.
+    LineNotElementMultiple {
+        /// Line size in bytes.
+        line_bytes: i64,
+        /// Element size in bytes.
+        elem_bytes: i64,
+    },
+    /// `size != sets × assoc × line` has no integral solution
+    /// (`assoc × line` does not divide `size`).
+    GeometryInfeasible {
+        /// Cache size in bytes.
+        size_bytes: i64,
+        /// Associativity.
+        assoc: i64,
+        /// Line size in bytes.
+        line_bytes: i64,
+    },
+}
+
+impl fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheConfigError::NonPositive { what } => {
+                write!(f, "cache parameter `{what}` must be positive")
+            }
+            CacheConfigError::NotPowerOfTwo { what, value } => {
+                write!(f, "cache parameter `{what}` must be a power of two, got {value}")
+            }
+            CacheConfigError::LineNotElementMultiple {
+                line_bytes,
+                elem_bytes,
+            } => write!(
+                f,
+                "line size {line_bytes}B is not a multiple of element size {elem_bytes}B"
+            ),
+            CacheConfigError::GeometryInfeasible {
+                size_bytes,
+                assoc,
+                line_bytes,
+            } => write!(
+                f,
+                "cache of {size_bytes}B cannot be organized as {assoc}-way with {line_bytes}B lines"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CacheConfigError {}
+
+/// Cache geometry: size `Cs`, associativity `k`, line size `Ls`, derived
+/// set count `Ns = Cs / (k · Ls)` — Section 2.4 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use cme_cache::CacheConfig;
+/// // The paper's Eq. 5 cache: 8KB, 2-way, 128 sets, 4 elements per line
+/// // (so elements are 8 bytes and lines 32 bytes).
+/// let cfg = CacheConfig::new(8 * 1024, 2, 32, 8)?;
+/// assert_eq!(cfg.num_sets(), 128);
+/// assert_eq!(cfg.line_elems(), 4);
+/// assert_eq!(cfg.way_span_elems(), 512); // Cs/k in elements
+/// # Ok::<(), cme_cache::CacheConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    size_bytes: i64,
+    assoc: i64,
+    line_bytes: i64,
+    elem_bytes: i64,
+    num_sets: i64,
+    line_elems: i64,
+}
+
+impl CacheConfig {
+    /// Creates a cache configuration from hardware parameters.
+    ///
+    /// `size_bytes`, `line_bytes`, and `elem_bytes` must be powers of two
+    /// (the paper's padding analysis relies on `Cs` being a power of two);
+    /// `assoc` must be positive and `assoc × line_bytes` must divide
+    /// `size_bytes`.
+    ///
+    /// # Errors
+    ///
+    /// See [`CacheConfigError`].
+    pub fn new(
+        size_bytes: i64,
+        assoc: i64,
+        line_bytes: i64,
+        elem_bytes: i64,
+    ) -> Result<Self, CacheConfigError> {
+        for (what, v) in [
+            ("size_bytes", size_bytes),
+            ("assoc", assoc),
+            ("line_bytes", line_bytes),
+            ("elem_bytes", elem_bytes),
+        ] {
+            if v <= 0 {
+                return Err(CacheConfigError::NonPositive { what });
+            }
+        }
+        for (what, v) in [
+            ("size_bytes", size_bytes),
+            ("line_bytes", line_bytes),
+            ("elem_bytes", elem_bytes),
+        ] {
+            if v.count_ones() != 1 {
+                return Err(CacheConfigError::NotPowerOfTwo { what, value: v });
+            }
+        }
+        if line_bytes % elem_bytes != 0 {
+            return Err(CacheConfigError::LineNotElementMultiple {
+                line_bytes,
+                elem_bytes,
+            });
+        }
+        if size_bytes % (assoc * line_bytes) != 0 {
+            return Err(CacheConfigError::GeometryInfeasible {
+                size_bytes,
+                assoc,
+                line_bytes,
+            });
+        }
+        Ok(CacheConfig {
+            size_bytes,
+            assoc,
+            line_bytes,
+            elem_bytes,
+            num_sets: size_bytes / (assoc * line_bytes),
+            line_elems: line_bytes / elem_bytes,
+        })
+    }
+
+    /// A fully-associative cache of the given size.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CacheConfig::new`].
+    pub fn fully_associative(
+        size_bytes: i64,
+        line_bytes: i64,
+        elem_bytes: i64,
+    ) -> Result<Self, CacheConfigError> {
+        CacheConfig::new(size_bytes, size_bytes / line_bytes, line_bytes, elem_bytes)
+    }
+
+    /// Total capacity in bytes (`Cs`).
+    pub fn size_bytes(&self) -> i64 {
+        self.size_bytes
+    }
+
+    /// Associativity (`k`): 1 for direct-mapped.
+    pub fn assoc(&self) -> i64 {
+        self.assoc
+    }
+
+    /// Line size in bytes (`Ls` in hardware units).
+    pub fn line_bytes(&self) -> i64 {
+        self.line_bytes
+    }
+
+    /// Data element size in bytes.
+    pub fn elem_bytes(&self) -> i64 {
+        self.elem_bytes
+    }
+
+    /// Number of cache sets (`Ns`).
+    pub fn num_sets(&self) -> i64 {
+        self.num_sets
+    }
+
+    /// Line size in elements — the `Ls` used by the equations.
+    pub fn line_elems(&self) -> i64 {
+        self.line_elems
+    }
+
+    /// Total capacity in elements.
+    pub fn size_elems(&self) -> i64 {
+        self.size_bytes / self.elem_bytes
+    }
+
+    /// The address span of one way, in elements: `Cs / k`. Two addresses map
+    /// to the same cache set iff their memory lines differ by a multiple of
+    /// this span — the `n·Cs/k` term of Equation 4.
+    pub fn way_span_elems(&self) -> i64 {
+        self.size_elems() / self.assoc
+    }
+
+    /// The memory line of an element address — `⌊Mem/Ls⌋` of Equation 1.
+    pub fn memory_line(&self, addr_elems: i64) -> i64 {
+        floor_div(addr_elems, self.line_elems)
+    }
+
+    /// The cache set of an element address —
+    /// `⌊Mem/Ls⌋ mod Ns` of Equation 1.
+    pub fn cache_set(&self, addr_elems: i64) -> i64 {
+        modulo(self.memory_line(addr_elems), self.num_sets)
+    }
+
+    /// The offset of an address within its memory line —
+    /// `L_off = Mem mod Ls`, which bounds the `b` range of Equation 4.
+    pub fn line_offset(&self, addr_elems: i64) -> i64 {
+        modulo(addr_elems, self.line_elems)
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}KB {}-way, {}B lines, {} sets ({}B elements)",
+            self.size_bytes / 1024,
+            self.assoc,
+            self.line_bytes,
+            self.num_sets,
+            self.elem_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table1_cache() {
+        // 8KB direct-mapped, 32B lines, 4B elements.
+        let c = CacheConfig::new(8192, 1, 32, 4).unwrap();
+        assert_eq!(c.num_sets(), 256);
+        assert_eq!(c.line_elems(), 8);
+        assert_eq!(c.size_elems(), 2048);
+        assert_eq!(c.way_span_elems(), 2048);
+    }
+
+    #[test]
+    fn paper_eq5_cache() {
+        // 8KB 2-way, 128 sets, 4 elements/line (32B lines, 8B elements).
+        let c = CacheConfig::new(8192, 2, 32, 8).unwrap();
+        assert_eq!(c.num_sets(), 128);
+        assert_eq!(c.line_elems(), 4);
+        assert_eq!(c.way_span_elems(), 512); // the `512n` term of Eq. 5
+        // Example addresses from Eq. 5: set of Z(j,i) at base 4192.
+        assert_eq!(c.cache_set(4192), ((4192 / 4) % 128));
+    }
+
+    #[test]
+    fn fully_associative_has_one_set() {
+        let c = CacheConfig::fully_associative(1024, 32, 4).unwrap();
+        assert_eq!(c.num_sets(), 1);
+        assert_eq!(c.assoc(), 32);
+    }
+
+    #[test]
+    fn mapping_functions() {
+        let c = CacheConfig::new(256, 2, 16, 4).unwrap(); // 8 sets, 4 elems/line
+        assert_eq!(c.memory_line(0), 0);
+        assert_eq!(c.memory_line(3), 0);
+        assert_eq!(c.memory_line(4), 1);
+        assert_eq!(c.memory_line(-1), -1);
+        assert_eq!(c.cache_set(4), 1);
+        assert_eq!(c.cache_set(4 + c.way_span_elems()), 1);
+        assert_eq!(c.line_offset(6), 2);
+        assert_eq!(c.line_offset(-1), 3);
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert!(matches!(
+            CacheConfig::new(0, 1, 32, 4),
+            Err(CacheConfigError::NonPositive { .. })
+        ));
+        assert!(matches!(
+            CacheConfig::new(8192, 1, 24, 4),
+            Err(CacheConfigError::NotPowerOfTwo { .. })
+        ));
+        assert!(matches!(
+            CacheConfig::new(8192, 3, 32, 4),
+            Err(CacheConfigError::GeometryInfeasible { .. })
+        ));
+        assert!(matches!(
+            CacheConfig::new(64, 1, 32, 64),
+            Err(CacheConfigError::LineNotElementMultiple { .. })
+        ));
+        let e = CacheConfig::new(8192, 3, 32, 4).unwrap_err();
+        assert!(e.to_string().contains("cannot be organized"));
+    }
+
+    #[test]
+    fn display() {
+        let c = CacheConfig::new(8192, 2, 32, 4).unwrap();
+        assert_eq!(c.to_string(), "8KB 2-way, 32B lines, 128 sets (4B elements)");
+    }
+}

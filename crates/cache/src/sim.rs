@@ -1,0 +1,324 @@
+//! Trace-driven set-associative LRU simulation.
+//!
+//! This is the DineroIII stand-in used as ground truth: a write-allocate,
+//! fetch-on-write cache with true LRU replacement per set (Section 2.3 of
+//! the paper). Reads and writes are modelled identically, so the simulator
+//! takes bare element addresses.
+
+use crate::config::CacheConfig;
+use std::collections::HashSet;
+
+/// The result of one memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessOutcome {
+    /// The line was resident.
+    Hit,
+    /// First-ever touch of the memory line (compulsory miss).
+    ColdMiss,
+    /// The line had been resident but was evicted (conflict or capacity
+    /// miss — the paper's replacement misses).
+    ReplacementMiss,
+}
+
+impl AccessOutcome {
+    /// Returns `true` for either miss kind.
+    pub fn is_miss(&self) -> bool {
+        !matches!(self, AccessOutcome::Hit)
+    }
+}
+
+/// A set-associative LRU cache simulator.
+///
+/// # Examples
+///
+/// ```
+/// use cme_cache::{AccessOutcome, CacheConfig, Simulator};
+/// let cfg = CacheConfig::new(64, 1, 16, 4)?; // 4 sets, 4-elem lines
+/// let mut sim = Simulator::new(cfg);
+/// assert_eq!(sim.access(0), AccessOutcome::ColdMiss);
+/// assert_eq!(sim.access(3), AccessOutcome::Hit);
+/// // 64B/4B = 16 elements span the cache; +16 conflicts with set 0:
+/// assert_eq!(sim.access(16), AccessOutcome::ColdMiss);
+/// assert_eq!(sim.access(0), AccessOutcome::ReplacementMiss);
+/// # Ok::<(), cme_cache::CacheConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: CacheConfig,
+    /// Per-set resident memory lines, most recently used first, with a
+    /// dirty bit per line (for write-back accounting).
+    sets: Vec<Vec<(i64, bool)>>,
+    /// Every memory line ever brought in (for cold-miss classification).
+    seen: HashSet<i64>,
+    accesses: u64,
+    hits: u64,
+    cold: u64,
+    replacement: u64,
+    writebacks: u64,
+}
+
+impl Simulator {
+    /// Creates an empty (fully cold) cache.
+    pub fn new(config: CacheConfig) -> Self {
+        Simulator {
+            config,
+            sets: vec![Vec::with_capacity(config.assoc() as usize); config.num_sets() as usize],
+            seen: HashSet::new(),
+            accesses: 0,
+            hits: 0,
+            cold: 0,
+            replacement: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// The cache geometry being simulated.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Performs one read access to an element address.
+    pub fn access(&mut self, addr_elems: i64) -> AccessOutcome {
+        self.access_kind(addr_elems, false)
+    }
+
+    /// Performs one write access (identical hit/miss behavior under the
+    /// paper's write-allocate fetch-on-write model; additionally marks the
+    /// line dirty so write-back traffic can be reported).
+    pub fn write(&mut self, addr_elems: i64) -> AccessOutcome {
+        self.access_kind(addr_elems, true)
+    }
+
+    fn access_kind(&mut self, addr_elems: i64, is_write: bool) -> AccessOutcome {
+        self.accesses += 1;
+        let line = self.config.memory_line(addr_elems);
+        let set = self.config.cache_set(addr_elems) as usize;
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&(l, _)| l == line) {
+            // Hit: move to MRU position.
+            ways[..=pos].rotate_right(1);
+            ways[0].1 |= is_write;
+            self.hits += 1;
+            return AccessOutcome::Hit;
+        }
+        // Miss: allocate (write-allocate / fetch-on-write treat all accesses
+        // alike), evicting LRU if the set is full.
+        if ways.len() == self.config.assoc() as usize {
+            if let Some((_, dirty)) = ways.pop() {
+                if dirty {
+                    self.writebacks += 1;
+                }
+            }
+        }
+        ways.insert(0, (line, is_write));
+        if self.seen.insert(line) {
+            self.cold += 1;
+            AccessOutcome::ColdMiss
+        } else {
+            self.replacement += 1;
+            AccessOutcome::ReplacementMiss
+        }
+    }
+
+    /// Empties the cache (and the cold-line history).
+    ///
+    /// The paper analyzes each nest in isolation assuming a cold cache
+    /// (Section 3.1); call this between nests to match.
+    pub fn flush(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.seen.clear();
+    }
+
+    /// Number of accesses simulated.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Number of hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of cold (compulsory) misses.
+    pub fn cold_misses(&self) -> u64 {
+        self.cold
+    }
+
+    /// Number of replacement (conflict + capacity) misses.
+    pub fn replacement_misses(&self) -> u64 {
+        self.replacement
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.cold + self.replacement
+    }
+
+    /// Number of dirty lines written back to memory on eviction (lines
+    /// still dirty in the cache at the end are not counted; call
+    /// [`Simulator::drain_dirty`] to flush them).
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Flushes every resident dirty line, counting the final write-backs;
+    /// the cache contents stay resident (clean).
+    pub fn drain_dirty(&mut self) {
+        for set in &mut self.sets {
+            for (_, dirty) in set.iter_mut() {
+                if std::mem::take(dirty) {
+                    self.writebacks += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cfg(size: i64, assoc: i64, line: i64) -> CacheConfig {
+        CacheConfig::new(size, assoc, line, 4).unwrap()
+    }
+
+    #[test]
+    fn spatial_locality_hits_within_line() {
+        let mut sim = Simulator::new(cfg(8192, 1, 32)); // 8-elem lines
+        assert_eq!(sim.access(0), AccessOutcome::ColdMiss);
+        for a in 1..8 {
+            assert_eq!(sim.access(a), AccessOutcome::Hit, "addr {a}");
+        }
+        assert_eq!(sim.access(8), AccessOutcome::ColdMiss);
+        assert_eq!(sim.misses(), 2);
+        assert_eq!(sim.hits(), 7);
+        assert_eq!(sim.accesses(), 9);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_ping_pong() {
+        let mut sim = Simulator::new(cfg(64, 1, 16)); // 4 sets, 4-elem lines, 16-elem span
+        assert_eq!(sim.access(0), AccessOutcome::ColdMiss);
+        assert_eq!(sim.access(16), AccessOutcome::ColdMiss);
+        for _ in 0..3 {
+            assert_eq!(sim.access(0), AccessOutcome::ReplacementMiss);
+            assert_eq!(sim.access(16), AccessOutcome::ReplacementMiss);
+        }
+        assert_eq!(sim.replacement_misses(), 6);
+        assert_eq!(sim.cold_misses(), 2);
+    }
+
+    #[test]
+    fn two_way_absorbs_pairwise_conflict() {
+        let mut sim = Simulator::new(CacheConfig::new(128, 2, 16, 4).unwrap()); // 4 sets
+        // Lines 0 and 8 map to set 0 (way span = 16 elements, 4 lines/way).
+        assert_eq!(sim.access(0), AccessOutcome::ColdMiss);
+        assert_eq!(sim.access(16), AccessOutcome::ColdMiss);
+        for _ in 0..4 {
+            assert_eq!(sim.access(0), AccessOutcome::Hit);
+            assert_eq!(sim.access(16), AccessOutcome::Hit);
+        }
+        // A third conflicting line evicts the LRU of the two.
+        assert_eq!(sim.access(32), AccessOutcome::ColdMiss);
+        assert_eq!(sim.access(0), AccessOutcome::ReplacementMiss);
+    }
+
+    #[test]
+    fn lru_order_is_true_lru() {
+        let mut sim = Simulator::new(CacheConfig::new(128, 2, 16, 4).unwrap());
+        sim.access(0); // line A -> MRU
+        sim.access(16); // line B -> MRU, A LRU
+        sim.access(0); // A -> MRU, B LRU
+        sim.access(32); // C evicts B
+        assert_eq!(sim.access(0), AccessOutcome::Hit);
+        assert_eq!(sim.access(16), AccessOutcome::ReplacementMiss);
+    }
+
+    #[test]
+    fn negative_addresses_are_legal() {
+        let mut sim = Simulator::new(cfg(64, 1, 16));
+        assert_eq!(sim.access(-1), AccessOutcome::ColdMiss);
+        assert_eq!(sim.access(-4), AccessOutcome::Hit); // same line [-4,-1]
+        assert_eq!(sim.access(-5), AccessOutcome::ColdMiss);
+    }
+
+    #[test]
+    fn flush_restores_cold_state() {
+        let mut sim = Simulator::new(cfg(64, 1, 16));
+        sim.access(0);
+        sim.flush();
+        assert_eq!(sim.access(0), AccessOutcome::ColdMiss);
+        assert_eq!(sim.cold_misses(), 2);
+    }
+
+    #[test]
+    fn fully_associative_is_capacity_only_for_cyclic_sweep() {
+        // 4-line fully associative cache; sweep over 4 lines repeatedly: all hits.
+        let mut sim = Simulator::new(CacheConfig::fully_associative(64, 16, 4).unwrap());
+        let lines = [0i64, 4, 8, 12];
+        for &l in &lines {
+            assert!(sim.access(l).is_miss());
+        }
+        for _ in 0..3 {
+            for &l in &lines {
+                assert_eq!(sim.access(l), AccessOutcome::Hit);
+            }
+        }
+        // Sweep over 5 lines cyclically: LRU thrashes every access.
+        sim.flush();
+        let lines5 = [0i64, 4, 8, 12, 16];
+        for _ in 0..3 {
+            for &l in &lines5 {
+                assert!(sim.access(l).is_miss());
+            }
+        }
+    }
+
+    proptest! {
+        /// Invariant: cold misses equal the number of distinct lines touched,
+        /// and outcome counts always sum to accesses.
+        #[test]
+        fn prop_cold_misses_equal_distinct_lines(
+            addrs in proptest::collection::vec(0i64..512, 1..200),
+            assoc in prop_oneof![Just(1i64), Just(2), Just(4)],
+        ) {
+            let cfg = CacheConfig::new(256, assoc, 16, 4).unwrap();
+            let mut sim = Simulator::new(cfg);
+            let mut distinct = std::collections::HashSet::new();
+            for &a in &addrs {
+                sim.access(a);
+                distinct.insert(cfg.memory_line(a));
+            }
+            prop_assert_eq!(sim.cold_misses(), distinct.len() as u64);
+            prop_assert_eq!(sim.hits() + sim.misses(), sim.accesses());
+        }
+
+        /// LRU stack inclusion: with the SAME number of sets, a (k+1)-way
+        /// cache holds a superset of every k-way cache's contents (each set
+        /// keeps the top of its own LRU stack), so its misses never exceed
+        /// the k-way cache's on any trace.
+        #[test]
+        fn prop_lru_stack_inclusion_same_sets(
+            addrs in proptest::collection::vec(0i64..512, 1..150),
+        ) {
+            // Both have 8 sets of 16B lines; ways 1 vs 2 vs 4.
+            let c1 = CacheConfig::new(128, 1, 16, 4).unwrap();
+            let c2 = CacheConfig::new(256, 2, 16, 4).unwrap();
+            let c4 = CacheConfig::new(512, 4, 16, 4).unwrap();
+            prop_assert_eq!(c1.num_sets(), c2.num_sets());
+            prop_assert_eq!(c2.num_sets(), c4.num_sets());
+            let (mut s1, mut s2, mut s4) =
+                (Simulator::new(c1), Simulator::new(c2), Simulator::new(c4));
+            for &a in &addrs {
+                s1.access(a);
+                s2.access(a);
+                s4.access(a);
+            }
+            prop_assert!(s2.misses() <= s1.misses());
+            prop_assert!(s4.misses() <= s2.misses());
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Per-reference miss statistics.
+
+use std::fmt;
+use std::iter::Sum;
+
+/// Access/hit/miss counters for one reference (or aggregated over many).
+///
+/// # Examples
+///
+/// ```
+/// use cme_cache::MissStats;
+/// let a = MissStats { accesses: 10, hits: 7, cold: 2, replacement: 1 };
+/// let b = MissStats { accesses: 5, hits: 5, cold: 0, replacement: 0 };
+/// let total: MissStats = [a, b].into_iter().sum();
+/// assert_eq!(total.misses(), 3);
+/// assert_eq!(total.accesses, 15);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct MissStats {
+    /// Total accesses executed.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Cold (compulsory) misses.
+    pub cold: u64,
+    /// Replacement (conflict + capacity) misses.
+    pub replacement: u64,
+}
+
+impl MissStats {
+    /// Total misses (cold + replacement).
+    pub fn misses(&self) -> u64 {
+        self.cold + self.replacement
+    }
+
+    /// Miss ratio in `[0, 1]`; `0` when no accesses were made.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses as f64
+        }
+    }
+
+    /// Accumulates another counter into this one.
+    pub fn merge(&mut self, other: &MissStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.cold += other.cold;
+        self.replacement += other.replacement;
+    }
+}
+
+impl Sum for MissStats {
+    fn sum<I: Iterator<Item = MissStats>>(iter: I) -> MissStats {
+        let mut total = MissStats::default();
+        for s in iter {
+            total.merge(&s);
+        }
+        total
+    }
+}
+
+impl fmt::Display for MissStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} hits, {} cold, {} replacement ({:.2}% miss)",
+            self.accesses,
+            self.hits,
+            self.cold,
+            self.replacement,
+            self.miss_ratio() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_and_merge() {
+        let mut s = MissStats {
+            accesses: 8,
+            hits: 6,
+            cold: 1,
+            replacement: 1,
+        };
+        assert_eq!(s.misses(), 2);
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+        s.merge(&MissStats {
+            accesses: 2,
+            hits: 0,
+            cold: 2,
+            replacement: 0,
+        });
+        assert_eq!(s.accesses, 10);
+        assert_eq!(s.misses(), 4);
+        assert_eq!(MissStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let s = MissStats::default();
+        assert!(!s.to_string().is_empty());
+    }
+}

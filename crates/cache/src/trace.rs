@@ -1,0 +1,357 @@
+//! Trace generation: replaying a loop nest through the simulator.
+//!
+//! The access trace of a nest is fully determined by its iteration space
+//! (walked in lexicographic order) and the statement order of its references
+//! within each iteration — exactly the order the CME windowing logic
+//! assumes.
+
+use crate::config::CacheConfig;
+use crate::sim::Simulator;
+use crate::stats::MissStats;
+use cme_ir::{LoopNest, RefId};
+use std::fmt;
+
+/// Per-reference and total simulation results for one nest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NestSimResult {
+    /// Nest name (copied for reporting).
+    pub nest_name: String,
+    /// One entry per reference, in statement order.
+    pub per_ref: Vec<MissStats>,
+    /// Dirty lines written back during the nest (write-allocate model with
+    /// write-back accounting; end-of-run dirty lines are drained for the
+    /// single-nest entry points).
+    pub writebacks: u64,
+}
+
+impl NestSimResult {
+    /// Statistics for one reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not a reference of the simulated nest.
+    pub fn of(&self, r: RefId) -> &MissStats {
+        &self.per_ref[r.index()]
+    }
+
+    /// Aggregate statistics over all references.
+    pub fn total(&self) -> MissStats {
+        self.per_ref.iter().copied().sum()
+    }
+}
+
+impl fmt::Display for NestSimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "simulation of `{}`:", self.nest_name)?;
+        for (i, s) in self.per_ref.iter().enumerate() {
+            writeln!(f, "  ref#{i}: {s}")?;
+        }
+        write!(f, "  total: {}", self.total())
+    }
+}
+
+/// Replays every access of `nest` (from a cold cache) through an LRU
+/// simulator with the given geometry and returns per-reference statistics.
+///
+/// References execute in statement order within each iteration; iterations
+/// execute in lexicographic order — the paper's execution model.
+///
+/// # Examples
+///
+/// ```
+/// use cme_cache::{simulate_nest, CacheConfig};
+/// use cme_ir::{AccessKind, NestBuilder};
+///
+/// let mut b = NestBuilder::new();
+/// b.ct_loop("i", 1, 64);
+/// let a = b.array("A", &[64], 0);
+/// b.reference(a, AccessKind::Read, &[("i", 0)]);
+/// let nest = b.build().unwrap();
+///
+/// let cfg = CacheConfig::new(8192, 1, 32, 4)?; // 8 elements per line
+/// let result = simulate_nest(&nest, cfg);
+/// assert_eq!(result.total().accesses, 64);
+/// assert_eq!(result.total().cold, 8); // one cold miss per line
+/// assert_eq!(result.total().replacement, 0);
+/// # Ok::<(), cme_cache::CacheConfigError>(())
+/// ```
+pub fn simulate_nest(nest: &LoopNest, config: CacheConfig) -> NestSimResult {
+    let mut sim = Simulator::new(config);
+    let mut result = run_nest(&mut sim, nest);
+    sim.drain_dirty();
+    result.writebacks = sim.writebacks();
+    result
+}
+
+/// Replays one nest through an existing simulator (shared by
+/// [`simulate_nest`] and [`simulate_sequence`]).
+fn run_nest(sim: &mut Simulator, nest: &LoopNest) -> NestSimResult {
+    let nrefs = nest.references().len();
+    let mut per_ref = vec![MissStats::default(); nrefs];
+    let wb_before = sim.writebacks();
+    // Precompute address affine forms and access kinds for speed.
+    let addr_fns: Vec<_> = nest
+        .references()
+        .iter()
+        .map(|r| (nest.address_affine(r.id()), r.kind()))
+        .collect();
+    let mut space = nest.space();
+    while let Some(p) = space.next_point() {
+        for (rid, (af, kind)) in addr_fns.iter().enumerate() {
+            let addr = af.eval(&p);
+            let outcome = match kind {
+                cme_ir::AccessKind::Read => sim.access(addr),
+                cme_ir::AccessKind::Write => sim.write(addr),
+            };
+            let s = &mut per_ref[rid];
+            s.accesses += 1;
+            match outcome {
+                crate::sim::AccessOutcome::Hit => s.hits += 1,
+                crate::sim::AccessOutcome::ColdMiss => s.cold += 1,
+                crate::sim::AccessOutcome::ReplacementMiss => s.replacement += 1,
+            }
+        }
+    }
+    NestSimResult {
+        nest_name: nest.name().to_string(),
+        per_ref,
+        writebacks: sim.writebacks() - wb_before,
+    }
+}
+
+/// Calls `visit(ref_id, address)` for every access of the nest in execution
+/// order, without simulating — useful for exporting traces or building
+/// custom analyses.
+pub fn for_each_access(nest: &LoopNest, mut visit: impl FnMut(RefId, i64)) {
+    let addr_fns: Vec<_> = nest
+        .references()
+        .iter()
+        .map(|r| (r.id(), nest.address_affine(r.id())))
+        .collect();
+    let mut space = nest.space();
+    while let Some(p) = space.next_point() {
+        for (rid, af) in &addr_fns {
+            visit(*rid, af.eval(&p));
+        }
+    }
+}
+
+/// Replays a *sequence* of nests through one simulator without flushing
+/// between them — the inter-nest setting the paper leaves to future work
+/// (Section 7). Returns one [`NestSimResult`] per nest; later nests start
+/// with whatever the earlier ones left in the cache, so their miss counts
+/// are at most what [`simulate_nest`] (cold start) reports.
+pub fn simulate_sequence(nests: &[&LoopNest], config: CacheConfig) -> Vec<NestSimResult> {
+    let mut sim = Simulator::new(config);
+    nests.iter().map(|nest| run_nest(&mut sim, nest)).collect()
+}
+
+/// Per-cache-set miss counts for a nest — the "which sets are hot" view a
+/// programmer reaches for in interactive analysis (Section 5.2): a few
+/// saturated sets point at conflicting columns; uniform pressure points at
+/// capacity.
+///
+/// Returns one count per cache set.
+pub fn miss_histogram_by_set(nest: &LoopNest, config: CacheConfig) -> Vec<u64> {
+    let mut sim = Simulator::new(config);
+    let mut hist = vec![0u64; config.num_sets() as usize];
+    let addr_fns: Vec<_> = nest
+        .references()
+        .iter()
+        .map(|r| nest.address_affine(r.id()))
+        .collect();
+    let mut space = nest.space();
+    while let Some(p) = space.next_point() {
+        for af in &addr_fns {
+            let addr = af.eval(&p);
+            if sim.access(addr).is_miss() {
+                hist[config.cache_set(addr) as usize] += 1;
+            }
+        }
+    }
+    hist
+}
+
+/// Writes the nest's access trace in the classic `dineroIII` input format:
+/// one `<label> <hex-address>` pair per line, label `0` for reads and `1`
+/// for writes, addresses in **bytes** (element addresses scaled by the
+/// element size).
+///
+/// This makes every trace this crate analyzes replayable through the
+/// original validation tool of the paper.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+///
+/// # Examples
+///
+/// ```
+/// use cme_ir::{AccessKind, NestBuilder};
+/// let mut b = NestBuilder::new();
+/// b.ct_loop("i", 1, 2);
+/// let a = b.array("A", &[4], 0);
+/// b.reference(a, AccessKind::Read, &[("i", 0)]);
+/// b.reference(a, AccessKind::Write, &[("i", 0)]);
+/// let nest = b.build().unwrap();
+///
+/// let mut buf = Vec::new();
+/// cme_cache::export_din(&nest, 4, &mut buf)?;
+/// assert_eq!(String::from_utf8(buf).unwrap(), "0 0\n1 0\n0 4\n1 4\n");
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn export_din(nest: &LoopNest, elem_bytes: i64, out: &mut impl std::io::Write) -> std::io::Result<()> {
+    let kinds: Vec<u8> = nest
+        .references()
+        .iter()
+        .map(|r| match r.kind() {
+            cme_ir::AccessKind::Read => 0,
+            cme_ir::AccessKind::Write => 1,
+        })
+        .collect();
+    let addr_fns: Vec<_> = nest
+        .references()
+        .iter()
+        .map(|r| nest.address_affine(r.id()))
+        .collect();
+    let mut space = nest.space();
+    while let Some(p) = space.next_point() {
+        for (kind, af) in kinds.iter().zip(&addr_fns) {
+            writeln!(out, "{} {:x}", kind, af.eval(&p) * elem_bytes)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cme_ir::{AccessKind, NestBuilder};
+
+    fn unit_stride_nest(n: i64, base: i64) -> LoopNest {
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 1, n);
+        let a = b.array("A", &[n.max(1)], base);
+        b.reference(a, AccessKind::Read, &[("i", 0)]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn unit_stride_cold_misses_follow_line_size() {
+        let cfg = CacheConfig::new(8192, 1, 32, 4).unwrap();
+        let res = simulate_nest(&unit_stride_nest(256, 0), cfg);
+        assert_eq!(res.total().cold, 32);
+        assert_eq!(res.total().hits, 224);
+    }
+
+    #[test]
+    fn misaligned_base_adds_a_line() {
+        let cfg = CacheConfig::new(8192, 1, 32, 4).unwrap();
+        // 256 elements starting at offset 4 straddle 33 lines.
+        let res = simulate_nest(&unit_stride_nest(256, 4), cfg);
+        assert_eq!(res.total().cold, 33);
+    }
+
+    #[test]
+    fn two_refs_attribute_stats_separately() {
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 1, 16);
+        let a = b.array("A", &[16], 0);
+        let c = b.array("C", &[16], 2048); // same sets as A in an 8KB DM cache
+        b.reference(a, AccessKind::Read, &[("i", 0)]);
+        b.reference(c, AccessKind::Write, &[("i", 0)]);
+        let nest = b.build().unwrap();
+        let cfg = CacheConfig::new(8192, 1, 32, 4).unwrap();
+        let res = simulate_nest(&nest, cfg);
+        // A and C conflict on every line (2048 elements = exactly Cs apart):
+        // each access evicts the other's line.
+        let a_stats = res.per_ref[0];
+        let c_stats = res.per_ref[1];
+        assert_eq!(a_stats.accesses, 16);
+        assert_eq!(c_stats.accesses, 16);
+        assert_eq!(a_stats.hits + c_stats.hits, 0);
+        assert_eq!(res.total().misses(), 32);
+        // First touches are cold; later ones replacement.
+        assert_eq!(res.total().cold, 4); // 2 lines per array
+        assert_eq!(res.total().replacement, 28);
+    }
+
+    #[test]
+    fn trace_export_matches_simulation_order() {
+        let nest = unit_stride_nest(5, 7);
+        let mut addrs = Vec::new();
+        for_each_access(&nest, |_, a| addrs.push(a));
+        assert_eq!(addrs, vec![7, 8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn set_histogram_localizes_conflicts() {
+        // Two arrays one cache apart conflict in exactly the sets their
+        // lines map to; all other sets are quiet.
+        let cfg = CacheConfig::new(1024, 1, 32, 4).unwrap(); // 32 sets
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 1, 16).ct_loop("j", 1, 8);
+        let a = b.array("A", &[8], 0);
+        let c = b.array("C", &[8], 256);
+        b.reference(a, AccessKind::Read, &[("j", 0)]);
+        b.reference(c, AccessKind::Write, &[("j", 0)]);
+        let nest = b.build().unwrap();
+        let hist = miss_histogram_by_set(&nest, cfg);
+        assert_eq!(hist.len(), 32);
+        // Only the first set (elements 0..8 = lines 0..1 -> sets 0, 1).
+        let hot: Vec<usize> = hist
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(hot, vec![0], "8 elements fit one line... sets: {hot:?}");
+        let total: u64 = hist.iter().sum();
+        assert_eq!(total, simulate_nest(&nest, cfg).total().misses());
+    }
+
+    #[test]
+    fn writebacks_follow_dirty_evictions() {
+        // Write sweep over twice the cache: every line gets dirtied and
+        // eventually evicted (or drained), so writebacks = lines touched.
+        let cfg = CacheConfig::new(256, 1, 16, 4).unwrap(); // 64 elements
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 1, 128);
+        let a = b.array("A", &[128], 0);
+        b.reference(a, AccessKind::Write, &[("i", 0)]);
+        let nest = b.build().unwrap();
+        let res = simulate_nest(&nest, cfg);
+        assert_eq!(res.writebacks, 128 / 4, "one write-back per dirty line");
+        // A pure read sweep writes nothing back.
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 1, 128);
+        let a = b.array("A", &[128], 0);
+        b.reference(a, AccessKind::Read, &[("i", 0)]);
+        let ro = b.build().unwrap();
+        assert_eq!(simulate_nest(&ro, cfg).writebacks, 0);
+    }
+
+    #[test]
+    fn warm_sequence_never_misses_more_than_cold_starts() {
+        let cfg = CacheConfig::new(8192, 1, 32, 4).unwrap();
+        let a = unit_stride_nest(128, 0);
+        let b = unit_stride_nest(128, 64); // overlaps the first sweep
+        let seq = simulate_sequence(&[&a, &b], cfg);
+        let cold_a = simulate_nest(&a, cfg).total().misses();
+        let cold_b = simulate_nest(&b, cfg).total().misses();
+        assert_eq!(seq[0].total().misses(), cold_a);
+        assert!(
+            seq[1].total().misses() < cold_b,
+            "warm start must help the overlapping nest: {} vs {}",
+            seq[1].total().misses(),
+            cold_b
+        );
+    }
+
+    #[test]
+    fn display_mentions_nest_name() {
+        let cfg = CacheConfig::new(8192, 1, 32, 4).unwrap();
+        let res = simulate_nest(&unit_stride_nest(4, 0), cfg);
+        assert!(res.to_string().contains("nest"));
+    }
+}

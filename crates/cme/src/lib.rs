@@ -1,0 +1,51 @@
+//! # Cache Miss Equations
+//!
+//! A complete, from-scratch Rust implementation of
+//! *Precise Miss Analysis for Program Transformations with Caches of
+//! Arbitrary Associativity* (Ghosh, Martonosi, Malik — ASPLOS 1998).
+//!
+//! Cache Miss Equations (CMEs) represent the cache misses of an affine loop
+//! nest as systems of linear Diophantine equations. Counting their solutions
+//! counts misses *exactly*; reasoning about their solvability (GCD
+//! conditions, parametric counts) drives provably conflict-free program
+//! transformations — array padding, tile-size selection, loop fusion —
+//! without ever enumerating a cache simulation.
+//!
+//! This crate is a facade re-exporting the whole stack:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`math`] | `cme-math` | GCDs, Diophantine equations, affine algebra |
+//! | [`ir`] | `cme-ir` | affine loop-nest program model |
+//! | [`cache`] | `cme-cache` | cache geometry + LRU simulator (ground truth) |
+//! | [`reuse`] | `cme-reuse` | reuse-vector analysis |
+//! | [`core`] | `cme-core` | CME generation + miss-finding (the paper's core) |
+//! | [`opt`] | `cme-opt` | padding, tiling, fusion, parametric optimization |
+//! | [`kernels`] | `cme-kernels` | the paper's benchmark loop nests |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cme::cache::CacheConfig;
+//! use cme::core::{analyze_nest, AnalysisOptions};
+//! use cme::kernels::mmult;
+//!
+//! // Analyze 32x32 matmul on an 8KB direct-mapped cache with 32B lines.
+//! let nest = mmult(32);
+//! let cfg = CacheConfig::new(8192, 1, 32, 4)?;
+//! let analysis = analyze_nest(&nest, cfg, &AnalysisOptions::default());
+//! println!("{analysis}");
+//! assert!(analysis.total_misses() > 0);
+//! # Ok::<(), cme::cache::CacheConfigError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use cme_cache as cache;
+pub use cme_core as core;
+pub use cme_ir as ir;
+pub use cme_kernels as kernels;
+pub use cme_math as math;
+pub use cme_opt as opt;
+pub use cme_reuse as reuse;

@@ -1,0 +1,70 @@
+//! Cache Miss Equations — the core of the ASPLOS 1998 paper
+//! *Precise Miss Analysis for Program Transformations with Caches of
+//! Arbitrary Associativity* (Ghosh, Martonosi, Malik).
+//!
+//! A **Cache Miss Equation** is a linear Diophantine constraint whose
+//! solutions are potential cache misses of one reference *along one reuse
+//! vector*:
+//!
+//! - **Cold miss equations** (Section 3.1) capture iteration points whose
+//!   access is the first touch of a memory line along the vector — either
+//!   the first access in that direction, or an access that just crossed a
+//!   line boundary.
+//! - **Replacement miss equations** (Section 3.2, Equation 4) capture cache
+//!   *set contention*: `Mem_A(i⃗) = Mem_B(j⃗) + n·Cs/k + b` with `n ≠ 0`,
+//!   `j⃗` ranging over the potentially-interfering points between the reuse
+//!   source `p⃗ = i⃗ − r⃗` and `i⃗`, and `b` spanning one line. In a `k`-way
+//!   set-associative cache, an iteration point is a miss along `r⃗` iff at
+//!   least `k` *distinct* wraparound values `n` — equivalently, `k` distinct
+//!   memory lines mapping to the victim's set — occur in that window.
+//!
+//! This crate provides:
+//!
+//! - [`equations`] — symbolic equation objects ([`ColdEquation`],
+//!   [`ReplacementEquation`], [`CmeSystem`]) mirroring the paper's Figure 3
+//!   generation algorithm; these are what the optimizers manipulate.
+//! - [`solve`] — the miss-finding algorithm of Figure 6, generalized to
+//!   arbitrary associativity (Section 4.2), evaluating the equations
+//!   exactly over the iteration space with per-reuse-vector accounting
+//!   (reproducing Figure 8's progress table) and the `ε` precision/time
+//!   knob.
+//! - [`accuracy`] — side-by-side comparison against the LRU simulator
+//!   (Table 1's DineroIII columns).
+//!
+//! # Example
+//!
+//! ```
+//! use cme_cache::CacheConfig;
+//! use cme_core::{analyze_nest, AnalysisOptions};
+//! use cme_ir::{AccessKind, NestBuilder};
+//!
+//! // A unit-stride sweep: misses = one per 8-element line.
+//! let mut b = NestBuilder::new();
+//! b.ct_loop("i", 1, 64);
+//! let a = b.array("A", &[64], 0);
+//! b.reference(a, AccessKind::Read, &[("i", 0)]);
+//! let nest = b.build().unwrap();
+//!
+//! let cfg = CacheConfig::new(8192, 1, 32, 4)?;
+//! let analysis = analyze_nest(&nest, cfg, &AnalysisOptions::default());
+//! assert_eq!(analysis.total_misses(), 8);
+//! # Ok::<(), cme_cache::CacheConfigError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod accuracy;
+pub mod equations;
+pub mod sequence;
+pub mod pointset;
+pub mod solve;
+
+pub use accuracy::{compare_with_simulation, AccuracyRow};
+pub use equations::{CmeSystem, ColdEquation, EquationGroup, RefEquations, ReplacementEquation};
+pub use pointset::PointSet;
+pub use sequence::{analyze_sequence, SequenceAnalysis};
+pub use solve::{
+    analyze_nest, analyze_nest_parallel, analyze_reference, AnalysisOptions, NestAnalysis,
+    RefAnalysis, VectorReport,
+};

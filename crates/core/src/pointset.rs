@@ -1,0 +1,105 @@
+//! Flat storage for large sets of iteration points.
+//!
+//! The miss-finding algorithm carries a set `C` of indeterminate iteration
+//! points between reuse vectors. For big nests (matmul at N = 256 has 16.7M
+//! iteration points, 2.1M of which survive the first vector — Figure 8)
+//! per-point `Vec`s would be ruinous, so points are stored contiguously.
+
+/// A set of equal-dimension iteration points stored as one flat buffer.
+///
+/// # Examples
+///
+/// ```
+/// use cme_core::PointSet;
+/// let mut s = PointSet::new(3);
+/// s.push(&[1, 2, 3]);
+/// s.push(&[1, 2, 4]);
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.iter().last().unwrap(), &[1, 2, 4]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PointSet {
+    depth: usize,
+    data: Vec<i64>,
+}
+
+impl PointSet {
+    /// Creates an empty set of `depth`-dimensional points.
+    pub fn new(depth: usize) -> Self {
+        PointSet {
+            depth,
+            data: Vec::new(),
+        }
+    }
+
+    /// Point dimensionality.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of points stored.
+    pub fn len(&self) -> u64 {
+        if self.depth == 0 {
+            0
+        } else {
+            (self.data.len() / self.depth) as u64
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != depth`.
+    pub fn push(&mut self, point: &[i64]) {
+        assert_eq!(point.len(), self.depth, "point dimension mismatch");
+        self.data.extend_from_slice(point);
+    }
+
+    /// Iterates the points as slices, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &[i64]> {
+        self.data.chunks_exact(self.depth)
+    }
+}
+
+impl<'a> IntoIterator for &'a PointSet {
+    type Item = &'a [i64];
+    type IntoIter = std::slice::ChunksExact<'a, i64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.chunks_exact(self.depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_iter_roundtrip() {
+        let mut s = PointSet::new(2);
+        assert!(s.is_empty());
+        s.push(&[3, 4]);
+        s.push(&[5, 6]);
+        let pts: Vec<_> = s.iter().map(|p| p.to_vec()).collect();
+        assert_eq!(pts, vec![vec![3, 4], vec![5, 6]]);
+        assert_eq!(s.len(), 2);
+        assert_eq!((&s).into_iter().count(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_dimension_panics() {
+        PointSet::new(2).push(&[1]);
+    }
+
+    #[test]
+    fn zero_depth_is_empty() {
+        let s = PointSet::new(0);
+        assert_eq!(s.len(), 0);
+    }
+}

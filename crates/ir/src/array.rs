@@ -1,0 +1,242 @@
+//! Array declarations and column-major memory layout.
+//!
+//! All addresses in the CME framework are in units of *data elements*
+//! (Section 2.4 of the paper works the same way); the cache model converts
+//! byte-denominated cache parameters using the element size. Arrays are laid
+//! out column-major: the **first** subscript is the fastest-varying one, so
+//! the first dimension's extent is the "column size" `C` manipulated by the
+//! intra-variable padding optimization.
+
+use std::fmt;
+
+/// Identifies an array within one [`crate::LoopNest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub(crate) usize);
+
+impl ArrayId {
+    /// The position of this array in [`crate::LoopNest::arrays`].
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "array#{}", self.0)
+    }
+}
+
+/// A declared array: name, per-dimension extents, per-dimension index
+/// origins (Fortran arrays start at 1), and a base address in elements.
+///
+/// # Examples
+///
+/// ```
+/// use cme_ir::ArrayDecl;
+/// // REAL Z(32, 32) at base 4192, indices starting at 1:
+/// let z = ArrayDecl::new("Z", &[32, 32], 4192);
+/// assert_eq!(z.len(), 1024);
+/// assert_eq!(z.stride(1), 32);             // column-major
+/// assert_eq!(z.element_address(&[3, 1]), 4192 + 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArrayDecl {
+    name: String,
+    dims: Vec<i64>,
+    origins: Vec<i64>,
+    base: i64,
+}
+
+impl ArrayDecl {
+    /// Declares an array with the given extents and base address, with every
+    /// dimension's indices starting at 1 (Fortran convention, matching the
+    /// paper's kernels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or any extent is non-positive.
+    pub fn new(name: impl Into<String>, dims: &[i64], base: i64) -> Self {
+        ArrayDecl::with_origins(name, dims, &vec![1; dims.len()], base)
+    }
+
+    /// Declares an array with explicit per-dimension index origins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty, any extent is non-positive, or
+    /// `origins.len() != dims.len()`.
+    pub fn with_origins(name: impl Into<String>, dims: &[i64], origins: &[i64], base: i64) -> Self {
+        assert!(!dims.is_empty(), "array needs at least one dimension");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "array extents must be positive: {dims:?}"
+        );
+        assert_eq!(origins.len(), dims.len(), "origin/extent arity mismatch");
+        ArrayDecl {
+            name: name.into(),
+            dims: dims.to_vec(),
+            origins: origins.to_vec(),
+            base,
+        }
+    }
+
+    /// The array's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Per-dimension extents.
+    pub fn dims(&self) -> &[i64] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Per-dimension index origins.
+    pub fn origins(&self) -> &[i64] {
+        &self.origins
+    }
+
+    /// Base address, in elements.
+    pub fn base(&self) -> i64 {
+        self.base
+    }
+
+    /// Repositions the array's base address (inter-variable padding).
+    pub fn set_base(&mut self, base: i64) {
+        self.base = base;
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> i64 {
+        self.dims.iter().product()
+    }
+
+    /// Returns `true` for a degenerate zero-length array (never constructed
+    /// through the public API; present for `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Column-major stride of dimension `d`, in elements: the product of the
+    /// extents of all faster-varying dimensions.
+    ///
+    /// `stride(0) == 1`; for a 2-D array `stride(1)` is the column size `C`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= rank()`.
+    pub fn stride(&self, d: usize) -> i64 {
+        assert!(d < self.rank(), "dimension {d} out of range");
+        self.dims[..d].iter().product()
+    }
+
+    /// The column size (extent of the fastest-varying dimension) — the `C`
+    /// parameter of the padding conditions in Section 5.1.1.
+    pub fn column_size(&self) -> i64 {
+        self.dims[0]
+    }
+
+    /// Grows the fastest-varying dimension to `new_size` (intra-variable
+    /// padding). Subscripts are unchanged; only the layout stretches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_size` is smaller than the current column size.
+    pub fn pad_column_to(&mut self, new_size: i64) {
+        assert!(
+            new_size >= self.dims[0],
+            "padding cannot shrink a column: {} -> {new_size}",
+            self.dims[0]
+        );
+        self.dims[0] = new_size;
+    }
+
+    /// Address (in elements) of the element with the given subscripts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subscript arity differs from the rank. Out-of-bounds
+    /// subscripts are *not* rejected: the CME framework intentionally
+    /// evaluates addresses of references whose iteration points range over
+    /// the full nest, and padded layouts address past the logical extent.
+    pub fn element_address(&self, subscripts: &[i64]) -> i64 {
+        assert_eq!(subscripts.len(), self.rank(), "subscript arity mismatch");
+        let mut addr = self.base;
+        for (d, &s) in subscripts.iter().enumerate() {
+            addr += (s - self.origins[d]) * self.stride(d);
+        }
+        addr
+    }
+}
+
+impl fmt::Display for ArrayDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (d, x) in self.dims.iter().enumerate() {
+            if d > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x}")?;
+        }
+        write!(f, ") @ {}", self.base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_are_column_major() {
+        let a = ArrayDecl::new("A", &[10, 20, 30], 0);
+        assert_eq!(a.stride(0), 1);
+        assert_eq!(a.stride(1), 10);
+        assert_eq!(a.stride(2), 200);
+        assert_eq!(a.len(), 6000);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn addresses_match_paper_example() {
+        // Paper Sec. 2.4: Z with base 4192, 32 elements per column;
+        // address of Z(j, i) is 4192 + 32(i-1) + (j-1).
+        let z = ArrayDecl::new("Z", &[32, 32], 4192);
+        for (j, i) in [(1i64, 1i64), (5, 2), (32, 32)] {
+            assert_eq!(z.element_address(&[j, i]), 4192 + 32 * (i - 1) + (j - 1));
+        }
+    }
+
+    #[test]
+    fn zero_origin_addressing() {
+        let a = ArrayDecl::with_origins("A", &[8, 8], &[0, 0], 100);
+        assert_eq!(a.element_address(&[0, 0]), 100);
+        assert_eq!(a.element_address(&[1, 2]), 117);
+    }
+
+    #[test]
+    fn padding_changes_stride_not_base() {
+        let mut a = ArrayDecl::new("A", &[100, 4], 50);
+        assert_eq!(a.element_address(&[1, 2]), 150);
+        a.pad_column_to(104);
+        assert_eq!(a.column_size(), 104);
+        assert_eq!(a.element_address(&[1, 2]), 154);
+        a.set_base(60);
+        assert_eq!(a.element_address(&[1, 1]), 60);
+    }
+
+    #[test]
+    #[should_panic]
+    fn shrinking_pad_panics() {
+        ArrayDecl::new("A", &[8], 0).pad_column_to(4);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let a = ArrayDecl::new("A", &[8, 9], 7);
+        assert_eq!(a.to_string(), "A(8, 9) @ 7");
+    }
+}

@@ -1,0 +1,262 @@
+//! Ergonomic construction of loop nests.
+//!
+//! [`NestBuilder`] follows the builder convention: configure loops, arrays,
+//! and references incrementally, then [`NestBuilder::build`] validates the
+//! result against the paper's program model and produces a [`LoopNest`].
+
+use crate::array::{ArrayDecl, ArrayId};
+use crate::nest::{AccessKind, Loop, LoopNest, RefId, Reference};
+use crate::validate::{validate_nest, ValidateNestError};
+use cme_math::Affine;
+
+/// Builder for [`LoopNest`].
+///
+/// Subscripts passed to [`NestBuilder::reference`] are `(loop name, offset)`
+/// pairs meaning `index + offset` — the overwhelmingly common affine form.
+/// Fully general affine subscripts go through
+/// [`NestBuilder::reference_affine`].
+///
+/// # Examples
+///
+/// ```
+/// use cme_ir::{AccessKind, NestBuilder};
+/// let mut b = NestBuilder::new();
+/// b.name("sor").ct_loop("i", 2, 7).ct_loop("j", 2, 7);
+/// let a = b.array("A", &[8, 8], 0);
+/// b.reference(a, AccessKind::Read, &[("i", -1), ("j", 0)]);
+/// b.reference(a, AccessKind::Write, &[("i", 0), ("j", 0)]);
+/// let nest = b.build()?;
+/// assert_eq!(nest.references().len(), 2);
+/// # Ok::<(), cme_ir::ValidateNestError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct NestBuilder {
+    name: String,
+    loops: Vec<Loop>,
+    arrays: Vec<ArrayDecl>,
+    refs: Vec<Reference>,
+    /// Loop names in declaration order, for subscript construction.
+    loop_names: Vec<String>,
+    /// Deferred errors discovered while configuring (reported by `build`).
+    deferred: Option<ValidateNestError>,
+}
+
+impl NestBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        NestBuilder {
+            name: "nest".to_string(),
+            ..NestBuilder::default()
+        }
+    }
+
+    /// Names the nest (used in reports and experiment tables).
+    pub fn name(&mut self, name: impl Into<String>) -> &mut Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Adds a loop with constant inclusive bounds `lo..=hi`.
+    ///
+    /// Loops must be added outermost-first; the step is fixed at 1
+    /// (normalized loops, Section 2.1 of the paper).
+    pub fn ct_loop(&mut self, name: impl Into<String>, lo: i64, hi: i64) -> &mut Self {
+        let name = name.into();
+        // Bounds are expressions over the *final* depth; patched in build().
+        self.loops.push(Loop::new(
+            name.clone(),
+            Affine::constant(0, lo),
+            Affine::constant(0, hi),
+        ));
+        self.loop_names.push(name);
+        self
+    }
+
+    /// Adds a loop with affine bounds over the enclosing loop indices.
+    ///
+    /// The bound expressions must be dimensioned over the **final** nest
+    /// depth, with nonzero coefficients only on strictly-enclosing loops;
+    /// [`NestBuilder::build`] validates this.
+    pub fn affine_loop(&mut self, name: impl Into<String>, lower: Affine, upper: Affine) -> &mut Self {
+        let name = name.into();
+        self.loops.push(Loop::new(name.clone(), lower, upper));
+        self.loop_names.push(name);
+        self
+    }
+
+    /// Declares an array (indices originate at 1, Fortran-style) and returns
+    /// its id.
+    pub fn array(&mut self, name: impl Into<String>, dims: &[i64], base: i64) -> ArrayId {
+        let id = ArrayId(self.arrays.len());
+        self.arrays.push(ArrayDecl::new(name, dims, base));
+        id
+    }
+
+    /// Declares an array with explicit per-dimension index origins.
+    pub fn array_with_origins(
+        &mut self,
+        name: impl Into<String>,
+        dims: &[i64],
+        origins: &[i64],
+        base: i64,
+    ) -> ArrayId {
+        let id = ArrayId(self.arrays.len());
+        self.arrays.push(ArrayDecl::with_origins(name, dims, origins, base));
+        id
+    }
+
+    /// Adds a reference whose subscripts are `index + offset` pairs, e.g.
+    /// `&[("i", -1), ("j", 0)]` for `A(i-1, j)`. Returns its id.
+    ///
+    /// Unknown loop names are reported by [`NestBuilder::build`].
+    pub fn reference(
+        &mut self,
+        array: ArrayId,
+        kind: AccessKind,
+        subscripts: &[(&str, i64)],
+    ) -> RefId {
+        let depth_guess = self.loop_names.len();
+        let mut affine_subs = Vec::with_capacity(subscripts.len());
+        let mut label_parts = Vec::with_capacity(subscripts.len());
+        for (ix_name, off) in subscripts {
+            match self.loop_names.iter().position(|n| n == ix_name) {
+                Some(l) => {
+                    let mut coeffs = vec![0i64; depth_guess];
+                    coeffs[l] = 1;
+                    affine_subs.push(Affine::new(coeffs, *off));
+                }
+                None => {
+                    self.deferred.get_or_insert(ValidateNestError::UnknownLoopIndex {
+                        name: ix_name.to_string(),
+                    });
+                    affine_subs.push(Affine::constant(depth_guess, *off));
+                }
+            }
+            label_parts.push(match *off {
+                0 => ix_name.to_string(),
+                o if o > 0 => format!("{ix_name}+{o}"),
+                o => format!("{ix_name}{o}"),
+            });
+        }
+        let label = format!(
+            "{}({})",
+            self.arrays
+                .get(array.index())
+                .map(|a| a.name().to_string())
+                .unwrap_or_else(|| array.to_string()),
+            label_parts.join(",")
+        );
+        self.reference_affine_labeled(array, kind, affine_subs, label)
+    }
+
+    /// Adds a reference with fully general affine subscripts (one per array
+    /// dimension, each over the final nest depth). Returns its id.
+    pub fn reference_affine(&mut self, array: ArrayId, kind: AccessKind, subscripts: Vec<Affine>) -> RefId {
+        let label = format!(
+            "{}(affine)",
+            self.arrays
+                .get(array.index())
+                .map(|a| a.name().to_string())
+                .unwrap_or_else(|| array.to_string())
+        );
+        self.reference_affine_labeled(array, kind, subscripts, label)
+    }
+
+    fn reference_affine_labeled(
+        &mut self,
+        array: ArrayId,
+        kind: AccessKind,
+        subscripts: Vec<Affine>,
+        label: String,
+    ) -> RefId {
+        let id = RefId(self.refs.len());
+        self.refs.push(Reference::new(id, array, subscripts, kind, label));
+        id
+    }
+
+    /// Validates and produces the nest.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateNestError`] when the configuration violates the
+    /// paper's program model (Section 2.1): unknown indices, subscript/rank
+    /// mismatches, bounds referencing non-enclosing indices, dimension
+    /// mismatches, or an empty nest.
+    pub fn build(&mut self) -> Result<LoopNest, ValidateNestError> {
+        if let Some(err) = self.deferred.take() {
+            return Err(err);
+        }
+        let depth = self.loops.len();
+        // Normalize bound/subscript dimensions to the final depth.
+        let fix = |a: &Affine| -> Affine {
+            if a.nvars() == depth {
+                a.clone()
+            } else {
+                let mut coeffs = a.coeffs().to_vec();
+                coeffs.resize(depth, 0);
+                Affine::new(coeffs, a.constant_term())
+            }
+        };
+        let loops: Vec<Loop> = self
+            .loops
+            .iter()
+            .map(|l| Loop::new(l.name(), fix(l.lower()), fix(l.upper())))
+            .collect();
+        let refs: Vec<Reference> = self
+            .refs
+            .iter()
+            .map(|r| {
+                Reference::new(
+                    r.id(),
+                    r.array(),
+                    r.subscripts().iter().map(fix).collect(),
+                    r.kind(),
+                    r.label().to_string(),
+                )
+            })
+            .collect();
+        let nest = LoopNest {
+            name: std::mem::take(&mut self.name),
+            loops,
+            arrays: std::mem::take(&mut self.arrays),
+            refs,
+        };
+        validate_nest(&nest)?;
+        Ok(nest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_labels() {
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 1, 4).ct_loop("j", 1, 4);
+        let a = b.array("A", &[8, 8], 0);
+        b.reference(a, AccessKind::Read, &[("i", -1), ("j", 2)]);
+        let nest = b.build().unwrap();
+        assert_eq!(nest.references()[0].label(), "A(i-1,j+2)");
+    }
+
+    #[test]
+    fn unknown_index_is_reported_at_build() {
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 1, 4);
+        let a = b.array("A", &[8], 0);
+        b.reference(a, AccessKind::Read, &[("q", 0)]);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, ValidateNestError::UnknownLoopIndex { .. }));
+    }
+
+    #[test]
+    fn builder_is_reusable_after_default() {
+        let mut b = NestBuilder::new();
+        b.name("t").ct_loop("i", 1, 2);
+        let a = b.array("A", &[4], 0);
+        b.reference(a, AccessKind::Write, &[("i", 0)]);
+        let nest = b.build().unwrap();
+        assert_eq!(nest.name(), "t");
+    }
+}

@@ -1,0 +1,381 @@
+//! Loop nests: loops with affine bounds plus ordered array references.
+
+use crate::array::{ArrayDecl, ArrayId};
+use crate::space::IterationSpace;
+use cme_math::Affine;
+use std::fmt;
+
+/// Identifies a reference (static load or store) within one [`LoopNest`].
+///
+/// Reference ids double as the intra-iteration statement order: in each
+/// iteration the references execute in increasing id order, which is the
+/// "access order information extracted from the code generation phase" the
+/// paper relies on for windowing replacement equations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RefId(pub(crate) usize);
+
+impl RefId {
+    /// The position of this reference in [`LoopNest::references`], which is
+    /// also its execution order within an iteration.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+
+    /// Builds a `RefId` from a raw index. The index is only meaningful with
+    /// respect to the nest the caller got it from; passing an id to another
+    /// nest's methods panics if out of range.
+    pub fn from_index(index: usize) -> Self {
+        RefId(index)
+    }
+}
+
+impl fmt::Display for RefId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ref#{}", self.0)
+    }
+}
+
+/// Whether a reference reads or writes memory.
+///
+/// The architecture model (Section 2.3) treats them identically — the cache
+/// is write-allocate with fetch-on-write — but the distinction is kept for
+/// reporting and for downstream consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "read"),
+            AccessKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// One loop level: a name plus affine inclusive bounds over the *enclosing*
+/// loop indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loop {
+    name: String,
+    lower: Affine,
+    upper: Affine,
+}
+
+impl Loop {
+    /// Creates a loop level. Bounds are affine expressions over the full
+    /// index space of the nest, but may only use strictly-enclosing indices
+    /// (validated by [`crate::validate::validate_nest`]).
+    pub fn new(name: impl Into<String>, lower: Affine, upper: Affine) -> Self {
+        Loop {
+            name: name.into(),
+            lower,
+            upper,
+        }
+    }
+
+    /// The loop index's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Inclusive affine lower bound.
+    pub fn lower(&self) -> &Affine {
+        &self.lower
+    }
+
+    /// Inclusive affine upper bound.
+    pub fn upper(&self) -> &Affine {
+        &self.upper
+    }
+}
+
+/// A static array reference: target array, one affine subscript per array
+/// dimension (first subscript = fastest-varying dimension), and access kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reference {
+    id: RefId,
+    array: ArrayId,
+    subscripts: Vec<Affine>,
+    kind: AccessKind,
+    label: String,
+}
+
+impl Reference {
+    pub(crate) fn new(
+        id: RefId,
+        array: ArrayId,
+        subscripts: Vec<Affine>,
+        kind: AccessKind,
+        label: String,
+    ) -> Self {
+        Reference {
+            id,
+            array,
+            subscripts,
+            kind,
+            label,
+        }
+    }
+
+    /// This reference's id (also its statement order).
+    pub fn id(&self) -> RefId {
+        self.id
+    }
+
+    /// The referenced array.
+    pub fn array(&self) -> ArrayId {
+        self.array
+    }
+
+    /// Affine subscripts, one per array dimension.
+    pub fn subscripts(&self) -> &[Affine] {
+        &self.subscripts
+    }
+
+    /// Read or write.
+    pub fn kind(&self) -> AccessKind {
+        self.kind
+    }
+
+    /// Human-readable label such as `"Z(j,i)"`.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// A perfect affine loop nest with ordered references — the unit of CME
+/// analysis (the paper analyzes each nest in isolation, Section 2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopNest {
+    pub(crate) loops: Vec<Loop>,
+    pub(crate) arrays: Vec<ArrayDecl>,
+    pub(crate) refs: Vec<Reference>,
+    pub(crate) name: String,
+}
+
+impl LoopNest {
+    /// The nest's name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Nesting depth `n`.
+    pub fn depth(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// The loops, outermost first.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// The declared arrays.
+    pub fn arrays(&self) -> &[ArrayDecl] {
+        &self.arrays
+    }
+
+    /// Looks up an array declaration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this nest.
+    pub fn array(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id.0]
+    }
+
+    /// Mutable access to an array declaration — how the padding optimizers
+    /// apply layout transformations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this nest.
+    pub fn array_mut(&mut self, id: ArrayId) -> &mut ArrayDecl {
+        &mut self.arrays[id.0]
+    }
+
+    /// The references in statement order.
+    pub fn references(&self) -> &[Reference] {
+        &self.refs
+    }
+
+    /// Looks up a reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this nest.
+    pub fn reference(&self, id: RefId) -> &Reference {
+        &self.refs[id.0]
+    }
+
+    /// The iteration space view of this nest.
+    pub fn space(&self) -> IterationSpace<'_> {
+        IterationSpace::new(self)
+    }
+
+    /// Total number of iteration points.
+    pub fn iteration_count(&self) -> u64 {
+        self.space().count()
+    }
+
+    /// Total number of memory accesses executed by the nest
+    /// (`iteration_count × #references`).
+    pub fn access_count(&self) -> u64 {
+        self.iteration_count() * self.refs.len() as u64
+    }
+
+    /// The memory address (in elements) accessed by `r` at iteration point
+    /// `point` — `Mem_R(i⃗)` of Equation 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point's dimension differs from the nest depth.
+    pub fn address(&self, r: RefId, point: &[i64]) -> i64 {
+        let rf = &self.refs[r.0];
+        let arr = &self.arrays[rf.array.0];
+        let subs: Vec<i64> = rf.subscripts.iter().map(|s| s.eval(point)).collect();
+        arr.element_address(&subs)
+    }
+
+    /// The address function of reference `r` as a single affine expression
+    /// over the loop indices — the closed form the equations manipulate.
+    ///
+    /// `address(r, p) == address_affine(r).eval(p)` for every point `p`.
+    pub fn address_affine(&self, r: RefId) -> Affine {
+        let rf = &self.refs[r.0];
+        let arr = &self.arrays[rf.array.0];
+        let mut out = Affine::constant(self.depth(), arr.base());
+        for (d, sub) in rf.subscripts.iter().enumerate() {
+            let stride = arr.stride(d);
+            out = out.add(&sub.offset(-arr.origins()[d]).scale(stride));
+        }
+        out
+    }
+
+    /// The access matrix of reference `r`: one row per subscript, one column
+    /// per loop index (linear parts only). This is the `A` whose kernel
+    /// yields self-temporal reuse vectors.
+    pub fn access_matrix(&self, r: RefId) -> cme_math::IntMatrix {
+        let rf = &self.refs[r.0];
+        let rows: Vec<Vec<i64>> = rf
+            .subscripts
+            .iter()
+            .map(|s| s.coeffs().to_vec())
+            .collect();
+        cme_math::IntMatrix::from_rows(&rows)
+    }
+
+    /// Returns `true` when two references are *uniformly generated*: same
+    /// array and identical subscript linear parts (they may differ in
+    /// constants). Group reuse exists exactly between such pairs.
+    pub fn uniformly_generated(&self, a: RefId, b: RefId) -> bool {
+        let (ra, rb) = (&self.refs[a.0], &self.refs[b.0]);
+        ra.array == rb.array
+            && ra.subscripts.len() == rb.subscripts.len()
+            && ra
+                .subscripts
+                .iter()
+                .zip(&rb.subscripts)
+                .all(|(x, y)| x.coeffs() == y.coeffs())
+    }
+}
+
+impl fmt::Display for LoopNest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (d, l) in self.loops.iter().enumerate() {
+            writeln!(
+                f,
+                "{:indent$}DO {} = {}, {}",
+                "",
+                l.name(),
+                l.lower(),
+                l.upper(),
+                indent = d * 2
+            )?;
+        }
+        for r in &self.refs {
+            writeln!(
+                f,
+                "{:indent$}{} {}",
+                "",
+                r.kind(),
+                r.label(),
+                indent = self.loops.len() * 2
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NestBuilder;
+
+    fn tiny_matmul(n: i64) -> LoopNest {
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 1, n).ct_loop("k", 1, n).ct_loop("j", 1, n);
+        let z = b.array("Z", &[n, n], 4192);
+        let x = b.array("X", &[n, n], 2136);
+        let y = b.array("Y", &[n, n], 96);
+        b.reference(z, AccessKind::Read, &[("j", 0), ("i", 0)]);
+        b.reference(x, AccessKind::Read, &[("k", 0), ("i", 0)]);
+        b.reference(y, AccessKind::Read, &[("j", 0), ("k", 0)]);
+        b.reference(z, AccessKind::Write, &[("j", 0), ("i", 0)]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counting() {
+        let nest = tiny_matmul(4);
+        assert_eq!(nest.depth(), 3);
+        assert_eq!(nest.iteration_count(), 64);
+        assert_eq!(nest.access_count(), 256);
+    }
+
+    #[test]
+    fn address_affine_matches_pointwise_address() {
+        let nest = tiny_matmul(5);
+        for r in nest.references() {
+            let aff = nest.address_affine(r.id());
+            let mut space = nest.space();
+            while let Some(p) = space.next_point() {
+                assert_eq!(aff.eval(&p), nest.address(r.id(), &p));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_address_example() {
+        // Sec. 2.4: Mem of Z(j,i) at (i,k,j) is 4192 + 32(i-1) + (j-1)
+        // = 4191 + 32 i + j - 32 in their 1-based form; spot-check values.
+        let nest = tiny_matmul(32);
+        let z_load = nest.references()[0].id();
+        assert_eq!(nest.address(z_load, &[1, 7, 1]), 4192);
+        assert_eq!(nest.address(z_load, &[2, 7, 1]), 4192 + 32);
+        assert_eq!(nest.address(z_load, &[1, 7, 5]), 4196);
+    }
+
+    #[test]
+    fn access_matrix_and_uniform_generation() {
+        let nest = tiny_matmul(8);
+        let refs = nest.references();
+        let m = nest.access_matrix(refs[0].id());
+        assert_eq!(m.row(0), &[0, 0, 1]); // j
+        assert_eq!(m.row(1), &[1, 0, 0]); // i
+        assert!(nest.uniformly_generated(refs[0].id(), refs[3].id()));
+        assert!(!nest.uniformly_generated(refs[0].id(), refs[1].id()));
+    }
+
+    #[test]
+    fn display_contains_structure() {
+        let s = tiny_matmul(4).to_string();
+        assert!(s.contains("DO i"));
+        assert!(s.contains("read Z(j,i)"));
+        assert!(s.contains("write Z(j,i)"));
+    }
+}

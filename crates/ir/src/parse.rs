@@ -1,0 +1,771 @@
+//! A small Fortran-flavoured text format for loop nests.
+//!
+//! The paper's examples are written as Fortran `DO` nests (Figures 1, 11,
+//! 13); this module parses that shape directly so kernels can live in text
+//! files and be fed to the analysis tools without writing Rust:
+//!
+//! ```text
+//! ! comments start with '!'
+//! REAL Z(32, 32) AT 4192
+//! REAL X(32, 32) AT 2136
+//! REAL Y(32, 32) AT 96
+//! DO i = 1, 32
+//!   DO k = 1, 32
+//!     DO j = 1, 32
+//!       Z(j, i) += X(k, i) * Y(j, k)
+//!     ENDDO
+//!   ENDDO
+//! ENDDO
+//! ```
+//!
+//! Grammar (statements at the innermost level only — the paper's perfect
+//! nests):
+//!
+//! ```text
+//! program  := (decl | comment)* loop
+//! decl     := "REAL" ident "(" int ("," int)* ")" [ "AT" int ]
+//! loop     := "DO" ident "=" affine "," affine (loop | stmt+) "ENDDO"
+//! stmt     := ref ("=" | "+=" | "-=" | "*=" | "/=") expr
+//! ref      := ident "(" affine ("," affine)* ")"
+//! affine   := term (("+" | "-") term)*        term := [int "*"] ident | int
+//! expr     := anything; array references are extracted left-to-right
+//! ```
+//!
+//! Reference order per statement follows the paper's access-order
+//! convention: for compound assignments the left-hand side is loaded first,
+//! then the right-hand side's references in textual order, then the store;
+//! plain assignments skip the initial load. Scalars (identifiers without
+//! parentheses) are ignored, matching the paper's model where only array
+//! references generate memory traffic.
+
+use crate::builder::NestBuilder;
+use crate::nest::{AccessKind, LoopNest};
+use crate::validate::ValidateNestError;
+use cme_math::Affine;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parse errors with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNestError {
+    /// 1-based line number of the offending input line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseNestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseNestError {}
+
+impl From<ValidateNestError> for ParseNestError {
+    fn from(e: ValidateNestError) -> Self {
+        ParseNestError {
+            line: 0,
+            message: format!("invalid nest: {e}"),
+        }
+    }
+}
+
+/// Parses the textual format into a [`LoopNest`].
+///
+/// # Errors
+///
+/// Returns a [`ParseNestError`] with the offending line on malformed input,
+/// or a wrapped validation error if the parsed nest violates the CME
+/// program model.
+///
+/// # Examples
+///
+/// ```
+/// let src = "
+/// REAL A(64) AT 0
+/// DO i = 1, 64
+///   s = s + A(i)
+/// ENDDO
+/// ";
+/// let nest = cme_ir::parse::parse_nest(src).unwrap();
+/// assert_eq!(nest.references().len(), 1);
+/// assert_eq!(nest.access_count(), 64);
+/// ```
+pub fn parse_nest(source: &str) -> Result<LoopNest, ParseNestError> {
+    Parser::new(source).parse()
+}
+
+/// Renders a nest back into the textual format, one synthetic statement
+/// per reference (loads as `s = s + R`, stores as `R = s`), such that
+/// `parse_nest(to_source(n))` reproduces the loops, arrays, access kinds,
+/// and address functions of `n` exactly.
+///
+/// Returns `None` for nests outside the textual format's reach: arrays
+/// whose index origins are not all 1 (the format is Fortran-flavoured).
+pub fn to_source(nest: &LoopNest) -> Option<String> {
+    use std::fmt::Write as _;
+    if nest
+        .arrays()
+        .iter()
+        .any(|a| a.origins().iter().any(|&o| o != 1))
+    {
+        return None;
+    }
+    let mut out = String::new();
+    for a in nest.arrays() {
+        let dims = a
+            .dims()
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "REAL {}({dims}) AT {}", a.name(), a.base());
+    }
+    let names: Vec<&str> = nest.loops().iter().map(|l| l.name()).collect();
+    let affine_text = |a: &Affine| -> String {
+        let mut s = String::new();
+        for (l, &c) in a.coeffs().iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !s.is_empty() {
+                s.push_str(if c < 0 { " - " } else { " + " });
+            } else if c < 0 {
+                s.push('-');
+            }
+            if c.abs() != 1 {
+                let _ = write!(s, "{}*", c.abs());
+            }
+            s.push_str(names[l]);
+        }
+        let k = a.constant_term();
+        if k != 0 || s.is_empty() {
+            if s.is_empty() {
+                let _ = write!(s, "{k}");
+            } else {
+                let _ = write!(s, " {} {}", if k < 0 { "-" } else { "+" }, k.abs());
+            }
+        }
+        s
+    };
+    for (d, l) in nest.loops().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:indent$}DO {} = {}, {}",
+            "",
+            l.name(),
+            affine_text(l.lower()),
+            affine_text(l.upper()),
+            indent = d * 2
+        );
+    }
+    let indent = nest.depth() * 2;
+    for r in nest.references() {
+        let arr = nest.array(r.array());
+        let subs = r
+            .subscripts()
+            .iter()
+            .map(|s| affine_text(s))
+            .collect::<Vec<_>>()
+            .join(", ");
+        match r.kind() {
+            AccessKind::Read => {
+                let _ = writeln!(out, "{:indent$}s = s + {}({subs})", "", arr.name());
+            }
+            AccessKind::Write => {
+                let _ = writeln!(out, "{:indent$}{}({subs}) = s", "", arr.name());
+            }
+        }
+    }
+    for d in (0..nest.depth()).rev() {
+        let _ = writeln!(out, "{:indent$}ENDDO", "", indent = d * 2);
+    }
+    Some(out)
+}
+
+struct Decl {
+    dims: Vec<i64>,
+    base: Option<i64>,
+}
+
+struct LoopLine {
+    var: String,
+    lower: String,
+    upper: String,
+    line: usize,
+}
+
+struct StmtLine {
+    text: String,
+    line: usize,
+}
+
+struct Parser<'s> {
+    lines: Vec<(usize, &'s str)>,
+    pos: usize,
+}
+
+impl<'s> Parser<'s> {
+    fn new(source: &'s str) -> Self {
+        let lines = source
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.split('!').next().unwrap_or("").trim()))
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Parser { lines, pos: 0 }
+    }
+
+    fn err<T>(&self, line: usize, message: impl Into<String>) -> Result<T, ParseNestError> {
+        Err(ParseNestError {
+            line,
+            message: message.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<(usize, &'s str)> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn next_line(&mut self) -> Option<(usize, &'s str)> {
+        let l = self.peek();
+        if l.is_some() {
+            self.pos += 1;
+        }
+        l
+    }
+
+    fn parse(mut self) -> Result<LoopNest, ParseNestError> {
+        let mut decls: HashMap<String, Decl> = HashMap::new();
+        let mut decl_order: Vec<String> = Vec::new();
+        // Declarations.
+        while let Some((line, text)) = self.peek() {
+            if let Some(rest) = text.strip_prefix("REAL ") {
+                self.pos += 1;
+                let (name, dims, base) = parse_decl(rest)
+                    .ok_or_else(|| ParseNestError {
+                        line,
+                        message: format!("malformed declaration `{text}`"),
+                    })?;
+                if decls.insert(name.clone(), Decl { dims, base }).is_some() {
+                    return self.err(line, format!("array `{name}` declared twice"));
+                }
+                decl_order.push(name);
+            } else {
+                break;
+            }
+        }
+        // Loops + statements.
+        let mut loops: Vec<LoopLine> = Vec::new();
+        let mut stmts: Vec<StmtLine> = Vec::new();
+        let mut depth_closed = 0usize;
+        while let Some((line, text)) = self.next_line() {
+            if let Some(rest) = text.strip_prefix("DO ") {
+                if !stmts.is_empty() {
+                    return self.err(line, "statements must be innermost (perfect nest)");
+                }
+                let Some((var, bounds)) = rest.split_once('=') else {
+                    return self.err(line, format!("malformed DO line `{text}`"));
+                };
+                let Some((lower, upper)) = bounds.split_once(',') else {
+                    return self.err(line, "DO bounds need `lower, upper`");
+                };
+                loops.push(LoopLine {
+                    var: var.trim().to_string(),
+                    lower: lower.trim().to_string(),
+                    upper: upper.trim().to_string(),
+                    line,
+                });
+            } else if text.eq_ignore_ascii_case("ENDDO") || text.eq_ignore_ascii_case("END DO") {
+                depth_closed += 1;
+                if depth_closed > loops.len() {
+                    return self.err(line, "ENDDO without matching DO");
+                }
+            } else {
+                if depth_closed > 0 {
+                    return self.err(line, "statements after ENDDO (imperfect nest)");
+                }
+                stmts.push(StmtLine {
+                    text: text.to_string(),
+                    line,
+                });
+            }
+        }
+        if loops.is_empty() {
+            return self.err(1, "no DO loop found");
+        }
+        if depth_closed != loops.len() {
+            return self.err(
+                self.lines.last().map(|(l, _)| *l).unwrap_or(1),
+                format!("{} unclosed DO loop(s)", loops.len() - depth_closed),
+            );
+        }
+        // Build the nest.
+        let depth = loops.len();
+        let index_of: HashMap<&str, usize> = loops
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.var.as_str(), i))
+            .collect();
+        if index_of.len() != depth {
+            return self.err(loops[0].line, "duplicate loop index names");
+        }
+        let mut b = NestBuilder::new();
+        b.name("parsed");
+        for l in &loops {
+            let lower = parse_affine(&l.lower, &index_of, depth).map_err(|m| ParseNestError {
+                line: l.line,
+                message: format!("lower bound `{}`: {m}", l.lower),
+            })?;
+            let upper = parse_affine(&l.upper, &index_of, depth).map_err(|m| ParseNestError {
+                line: l.line,
+                message: format!("upper bound `{}`: {m}", l.upper),
+            })?;
+            b.affine_loop(&l.var, lower, upper);
+        }
+        // Arrays: declared order first, defaulting bases to packed layout.
+        let mut ids = HashMap::new();
+        let mut cursor = 0i64;
+        for name in &decl_order {
+            let d = &decls[name];
+            let base = d.base.unwrap_or(cursor);
+            cursor = base + d.dims.iter().product::<i64>();
+            ids.insert(name.clone(), b.array(name.clone(), &d.dims, base));
+        }
+        // Statements -> references.
+        for st in &stmts {
+            let refs = extract_statement_refs(&st.text).ok_or_else(|| ParseNestError {
+                line: st.line,
+                message: format!("malformed statement `{}`", st.text),
+            })?;
+            if refs.is_empty() {
+                return self.err(st.line, "statement contains no array references");
+            }
+            for (name, subs_text, kind) in refs {
+                let Some(&arr) = ids.get(&name) else {
+                    return self.err(st.line, format!("undeclared array `{name}`"));
+                };
+                let mut subs = Vec::new();
+                for s in &subs_text {
+                    let a = parse_affine(s, &index_of, depth).map_err(|m| ParseNestError {
+                        line: st.line,
+                        message: format!("subscript `{s}`: {m}"),
+                    })?;
+                    subs.push(a);
+                }
+                b.reference_affine(arr, kind, subs);
+            }
+        }
+        b.build().map_err(ParseNestError::from)
+    }
+}
+
+/// `name(d1, d2, ...) [AT base]`.
+fn parse_decl(rest: &str) -> Option<(String, Vec<i64>, Option<i64>)> {
+    let rest = rest.trim();
+    let open = rest.find('(')?;
+    let close = rest.find(')')?;
+    let name = rest[..open].trim();
+    if name.is_empty() || !is_ident(name) {
+        return None;
+    }
+    let dims: Option<Vec<i64>> = rest[open + 1..close]
+        .split(',')
+        .map(|d| d.trim().parse().ok())
+        .collect();
+    let dims = dims?;
+    if dims.is_empty() || dims.iter().any(|&d| d <= 0) {
+        return None;
+    }
+    let tail = rest[close + 1..].trim();
+    let base = if tail.is_empty() {
+        None
+    } else {
+        let at = tail.strip_prefix("AT ")?;
+        Some(at.trim().parse().ok()?)
+    };
+    Some((name.to_string(), dims, base))
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parses `[c*]x + d - e ...` into an [`Affine`] over the loop indices.
+fn parse_affine(
+    text: &str,
+    index_of: &HashMap<&str, usize>,
+    depth: usize,
+) -> Result<Affine, String> {
+    let mut coeffs = vec![0i64; depth];
+    let mut constant = 0i64;
+    // Tokenize into signed terms.
+    let text = text.trim();
+    if text.is_empty() {
+        return Err("empty expression".to_string());
+    }
+    let mut rest = text;
+    let mut sign = 1i64;
+    loop {
+        rest = rest.trim_start();
+        if rest.is_empty() {
+            break;
+        }
+        // Leading sign.
+        if let Some(r) = rest.strip_prefix('+') {
+            sign = 1;
+            rest = r;
+            continue;
+        }
+        if let Some(r) = rest.strip_prefix('-') {
+            sign = -sign;
+            rest = r;
+            continue;
+        }
+        // Term: int, int*ident, or ident.
+        let term_end = rest
+            .find(['+', '-'])
+            .unwrap_or(rest.len());
+        let term = rest[..term_end].trim();
+        rest = &rest[term_end..];
+        let (mult, var) = match term.split_once('*') {
+            Some((m, v)) => (
+                m.trim()
+                    .parse::<i64>()
+                    .map_err(|_| format!("bad coefficient `{m}`"))?,
+                v.trim(),
+            ),
+            None => (1, term),
+        };
+        if var.is_empty() {
+            return Err("dangling operator".to_string());
+        }
+        if let Ok(k) = var.parse::<i64>() {
+            constant += sign * mult * k;
+        } else {
+            let &l = index_of
+                .get(var)
+                .ok_or_else(|| format!("unknown loop index `{var}`"))?;
+            coeffs[l] += sign * mult;
+        }
+        sign = 1;
+    }
+    Ok(Affine::new(coeffs, constant))
+}
+
+/// Splits a statement into ordered references:
+/// `(array name, subscript texts, kind)`.
+fn extract_statement_refs(text: &str) -> Option<Vec<(String, Vec<String>, AccessKind)>> {
+    // Find the assignment operator OUTSIDE parentheses.
+    let ops = ["+=", "-=", "*=", "/=", "="];
+    let mut depth = 0i32;
+    let bytes = text.as_bytes();
+    let mut split: Option<(usize, &str)> = None;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' => depth += 1,
+            b')' => depth -= 1,
+            _ if depth == 0 => {
+                for op in ops {
+                    if text[i..].starts_with(op) {
+                        // Don't mistake the '=' inside '<=' etc. (not in grammar).
+                        split = Some((i, op));
+                        break;
+                    }
+                }
+                if split.is_some() {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let (at, op) = split?;
+    let lhs = text[..at].trim();
+    let rhs = &text[at + op.len()..];
+    let mut lhs_ref = extract_refs(lhs)?;
+    if lhs_ref.len() > 1 {
+        return None; // at most one store target
+    }
+    let mut out = Vec::new();
+    let store = lhs_ref.pop(); // None => scalar accumulator, no traffic
+    if let (Some((lname, lsubs)), true) = (&store, op != "=") {
+        out.push((lname.clone(), lsubs.clone(), AccessKind::Read));
+    }
+    for (n, s) in extract_refs(rhs)? {
+        out.push((n, s, AccessKind::Read));
+    }
+    if let Some((lname, lsubs)) = store {
+        out.push((lname, lsubs, AccessKind::Write));
+    }
+    Some(out)
+}
+
+/// Extracts `ident(...)` references left-to-right; bare identifiers are
+/// scalars and ignored.
+fn extract_refs(text: &str) -> Option<Vec<(String, Vec<String>)>> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_alphabetic() || bytes[i] == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let name = &text[start..i];
+            // Skip whitespace.
+            let mut j = i;
+            while j < bytes.len() && bytes[j] == b' ' {
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j] == b'(' {
+                // Find matching close paren.
+                let mut depth = 0i32;
+                let mut k = j;
+                loop {
+                    if k >= bytes.len() {
+                        return None;
+                    }
+                    match bytes[k] {
+                        b'(' => depth += 1,
+                        b')' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let subs: Vec<String> = split_top_level_commas(&text[j + 1..k])
+                    .into_iter()
+                    .map(|s| s.trim().to_string())
+                    .collect();
+                out.push((name.to_string(), subs));
+                i = k + 1;
+            }
+            // else: scalar, ignored.
+        } else {
+            i += 1;
+        }
+    }
+    Some(out)
+}
+
+fn split_top_level_commas(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (i, c) in text.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&text[start..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MATMUL: &str = "
+! Figure 1 of the paper.
+REAL Z(32, 32) AT 4192
+REAL X(32, 32) AT 2136
+REAL Y(32, 32) AT 96
+DO i = 1, 32
+  DO k = 1, 32
+    DO j = 1, 32
+      Z(j, i) += X(k, i) * Y(j, k)
+    ENDDO
+  ENDDO
+ENDDO
+";
+
+    #[test]
+    fn parses_the_paper_matmul() {
+        let nest = parse_nest(MATMUL).unwrap();
+        assert_eq!(nest.depth(), 3);
+        assert_eq!(nest.references().len(), 4);
+        // Access order: Z load, X, Y, Z store — the paper's convention.
+        let labels: Vec<&str> = nest.references().iter().map(|r| r.label()).collect();
+        assert_eq!(labels.len(), 4);
+        assert_eq!(nest.references()[0].kind(), AccessKind::Read);
+        assert_eq!(nest.references()[3].kind(), AccessKind::Write);
+        // Matches the hand-built kernel access for access.
+        let hand = cme_kernels_equiv();
+        let mut sp = nest.space();
+        while let Some(p) = sp.next_point() {
+            for (a, b) in nest.references().iter().zip(hand.references()) {
+                assert_eq!(nest.address(a.id(), &p), hand.address(b.id(), &p));
+            }
+        }
+    }
+
+    /// Hand-built equivalent of the MATMUL text (mirrors cme-kernels::mmult,
+    /// which this crate cannot depend on).
+    fn cme_kernels_equiv() -> LoopNest {
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 1, 32).ct_loop("k", 1, 32).ct_loop("j", 1, 32);
+        let z = b.array("Z", &[32, 32], 4192);
+        let x = b.array("X", &[32, 32], 2136);
+        let y = b.array("Y", &[32, 32], 96);
+        b.reference(z, AccessKind::Read, &[("j", 0), ("i", 0)]);
+        b.reference(x, AccessKind::Read, &[("k", 0), ("i", 0)]);
+        b.reference(y, AccessKind::Read, &[("j", 0), ("k", 0)]);
+        b.reference(z, AccessKind::Write, &[("j", 0), ("i", 0)]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn parses_affine_bounds_and_subscripts() {
+        let src = "
+REAL A(16, 16)
+DO k = 1, 15
+  DO i = k + 1, 16
+    A(i, k) = A(i, k) - A(k, k)
+  ENDDO
+ENDDO
+";
+        let nest = parse_nest(src).unwrap();
+        assert_eq!(nest.depth(), 2);
+        // Triangular space: sum of (16 - k) for k in 1..=15.
+        let expected: u64 = (1..=15u64).map(|k| 16 - k).sum();
+        assert_eq!(nest.iteration_count(), expected);
+        // Plain '=' on `A(i,k) = A(i,k) - ...`: rhs loads then store.
+        assert_eq!(nest.references().len(), 3);
+        assert_eq!(nest.references()[0].kind(), AccessKind::Read);
+        assert_eq!(nest.references()[2].kind(), AccessKind::Write);
+    }
+
+    #[test]
+    fn default_bases_pack_arrays() {
+        let src = "
+REAL A(8)
+REAL B(8)
+DO i = 1, 8
+  B(i) = A(i)
+ENDDO
+";
+        let nest = parse_nest(src).unwrap();
+        assert_eq!(nest.arrays()[0].base(), 0);
+        assert_eq!(nest.arrays()[1].base(), 8);
+    }
+
+    #[test]
+    fn coefficient_subscripts() {
+        let src = "
+REAL A(64)
+DO i = 0, 15
+  s = s + A(4*i + 2)
+ENDDO
+";
+        let nest = parse_nest(src).unwrap();
+        let r = nest.references()[0].id();
+        assert_eq!(nest.address(r, &[0]), 1); // origin 1: 4*0+2 -> element 2 -> addr 1
+        assert_eq!(nest.address(r, &[3]), 13);
+    }
+
+    #[test]
+    fn error_reporting() {
+        let errs = [
+            ("DO i = 1 10\n s = A(i)\nENDDO", "bounds"),
+            ("REAL A(8)\nDO i = 1, 8\n A(i) = A(j)\nENDDO", "unknown loop index"),
+            ("REAL A(8)\nDO i = 1, 8\n B(i) = A(i)\nENDDO", "undeclared"),
+            ("REAL A(8)\ns = A(1)", "no DO loop"),
+            ("REAL A(8)\nDO i = 1, 8\n s = A(i)", "unclosed"),
+            ("REAL A(8)\nREAL A(8)\nDO i = 1, 8\n s = A(i)\nENDDO", "twice"),
+        ];
+        for (src, needle) in errs {
+            let e = parse_nest(src).unwrap_err();
+            assert!(
+                e.to_string().contains(needle),
+                "`{src}` should mention {needle}, got: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn imperfect_nests_are_rejected() {
+        let src = "
+REAL A(8, 8)
+DO i = 1, 8
+  A(i, i) = A(i, i)
+  DO j = 1, 8
+    A(i, j) = A(i, j)
+  ENDDO
+ENDDO
+";
+        let e = parse_nest(src).unwrap_err();
+        assert!(e.to_string().contains("innermost"), "{e}");
+    }
+
+    #[test]
+    fn roundtrip_preserves_semantics() {
+        // A representative nest with affine bounds, coefficient subscripts,
+        // multiple arrays, and mixed kinds.
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 1, 6);
+        b.affine_loop("j", Affine::new(vec![1, 0], 1), Affine::new(vec![0, 0], 8));
+        let a = b.array("A", &[20, 8], 16);
+        let c = b.array("C", &[20, 8], 200);
+        b.reference(a, AccessKind::Read, &[("j", -1), ("i", 0)]);
+        b.reference_affine(
+            c,
+            AccessKind::Write,
+            vec![Affine::new(vec![2, 1], -1), Affine::new(vec![0, 1], 0)],
+        );
+        let nest = b.build().unwrap();
+
+        let src = to_source(&nest).expect("origin-1 arrays roundtrip");
+        let reparsed = parse_nest(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        assert_eq!(reparsed.depth(), nest.depth());
+        assert_eq!(reparsed.references().len(), nest.references().len());
+        assert_eq!(reparsed.iteration_count(), nest.iteration_count());
+        for (x, y) in nest.references().iter().zip(reparsed.references()) {
+            assert_eq!(x.kind(), y.kind());
+            assert_eq!(
+                nest.address_affine(x.id()),
+                reparsed.address_affine(y.id()),
+                "address functions must survive the roundtrip\n{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_rejects_nonunit_origins() {
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 0, 7);
+        let a = b.array_with_origins("A", &[8], &[0], 0);
+        b.reference(a, AccessKind::Read, &[("i", 0)]);
+        let nest = b.build().unwrap();
+        assert!(to_source(&nest).is_none());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "
+
+! leading comment
+REAL A(8) ! trailing
+DO i = 1, 8   ! bounds comment
+  s = A(i)
+ENDDO
+";
+        assert!(parse_nest(src).is_ok());
+    }
+}

@@ -1,0 +1,578 @@
+//! Loop transformations: interchange, fusion, strip-mining, and tiling.
+//!
+//! The CME paper evaluates transformations — tiling (Section 5.1.1,
+//! Equation 8) and fusion (Section 5.1.2, Figure 13) — but assumes the
+//! compiler side that *produces* the transformed nests. This module
+//! supplies it: semantics-preserving rewrites of [`LoopNest`]s that stay
+//! inside the affine program model, so the output of every transformation
+//! can be fed straight back into the analyzer. Each transformation
+//! preserves the multiset of addresses each reference touches (tested via
+//! property tests); what changes is the *order*, which is exactly what the
+//! cache analysis is sensitive to.
+
+use crate::array::ArrayDecl;
+use crate::nest::{Loop, LoopNest, Reference, RefId};
+use crate::validate::{validate_nest, ValidateNestError};
+use cme_math::Affine;
+use std::fmt;
+
+/// Ways a transformation can be inapplicable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TransformError {
+    /// `interchange` was given something other than a permutation of
+    /// `0..depth`.
+    NotAPermutation {
+        /// The offending permutation.
+        perm: Vec<usize>,
+    },
+    /// After permuting, some loop bound would reference a now-inner loop
+    /// (non-rectangular interchange is outside the affine model).
+    InterchangeBreaksBounds {
+        /// Name of the loop whose bound breaks.
+        loop_name: String,
+    },
+    /// `fuse` requires both nests to have identical loop structures.
+    FusionLoopMismatch,
+    /// `fuse` found two arrays with the same name but different layouts.
+    FusionArrayConflict {
+        /// The conflicting array name.
+        array: String,
+    },
+    /// Strip-mining needs constant loop bounds.
+    NonConstantBounds {
+        /// Name of the loop.
+        loop_name: String,
+    },
+    /// Strip-mining needs the tile size to divide the trip count.
+    IndivisibleTile {
+        /// Trip count of the loop.
+        trips: i64,
+        /// Requested tile size.
+        tile: i64,
+    },
+    /// The transformed nest failed model validation (should not happen for
+    /// inputs produced by [`crate::NestBuilder`]).
+    Invalid(ValidateNestError),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::NotAPermutation { perm } => {
+                write!(f, "{perm:?} is not a permutation of the loop levels")
+            }
+            TransformError::InterchangeBreaksBounds { loop_name } => write!(
+                f,
+                "interchange would make loop `{loop_name}`'s bounds reference an inner index"
+            ),
+            TransformError::FusionLoopMismatch => {
+                write!(f, "fusion requires identical loop structures")
+            }
+            TransformError::FusionArrayConflict { array } => {
+                write!(f, "array `{array}` is declared differently in the two nests")
+            }
+            TransformError::NonConstantBounds { loop_name } => {
+                write!(f, "loop `{loop_name}` needs constant bounds for this transformation")
+            }
+            TransformError::IndivisibleTile { trips, tile } => {
+                write!(f, "tile size {tile} does not divide the trip count {trips}")
+            }
+            TransformError::Invalid(e) => write!(f, "transformed nest is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+impl From<ValidateNestError> for TransformError {
+    fn from(e: ValidateNestError) -> Self {
+        TransformError::Invalid(e)
+    }
+}
+
+fn remap_affine(a: &Affine, map: impl Fn(usize) -> Affine, target_nvars: usize) -> Affine {
+    let mut out = Affine::constant(target_nvars, a.constant_term());
+    for (l, &c) in a.coeffs().iter().enumerate() {
+        if c != 0 {
+            out = out.add(&map(l).scale(c));
+        }
+    }
+    out
+}
+
+/// Reorders the loops of a nest: `perm[new_level] = old_level`.
+///
+/// Loop bounds referencing other indices are permuted along; the result is
+/// validated so that a bound never references a loop that ended up inside
+/// it.
+///
+/// # Errors
+///
+/// [`TransformError::NotAPermutation`] /
+/// [`TransformError::InterchangeBreaksBounds`].
+///
+/// # Examples
+///
+/// ```
+/// use cme_ir::{AccessKind, NestBuilder};
+/// use cme_ir::transform::interchange;
+///
+/// let mut b = NestBuilder::new();
+/// b.ct_loop("i", 1, 4).ct_loop("j", 1, 6);
+/// let a = b.array("A", &[8, 8], 0);
+/// b.reference(a, AccessKind::Read, &[("i", 0), ("j", 0)]);
+/// let nest = b.build().unwrap();
+///
+/// let swapped = interchange(&nest, &[1, 0]).unwrap();
+/// assert_eq!(swapped.loops()[0].name(), "j");
+/// assert_eq!(swapped.iteration_count(), nest.iteration_count());
+/// ```
+pub fn interchange(nest: &LoopNest, perm: &[usize]) -> Result<LoopNest, TransformError> {
+    let n = nest.depth();
+    let mut seen = vec![false; n];
+    if perm.len() != n || perm.iter().any(|&p| p >= n || std::mem::replace(&mut seen[p], true)) {
+        return Err(TransformError::NotAPermutation {
+            perm: perm.to_vec(),
+        });
+    }
+    // inverse[old_level] = new_level.
+    let mut inverse = vec![0usize; n];
+    for (new, &old) in perm.iter().enumerate() {
+        inverse[old] = new;
+    }
+    let map = |old: usize| Affine::var(n, inverse[old]);
+    let loops: Vec<Loop> = perm
+        .iter()
+        .map(|&old| {
+            let l = &nest.loops()[old];
+            Loop::new(
+                l.name(),
+                remap_affine(l.lower(), map, n),
+                remap_affine(l.upper(), map, n),
+            )
+        })
+        .collect();
+    let refs: Vec<Reference> = nest
+        .references()
+        .iter()
+        .map(|r| {
+            Reference::new(
+                r.id(),
+                r.array(),
+                r.subscripts().iter().map(|s| remap_affine(s, map, n)).collect(),
+                r.kind(),
+                r.label().to_string(),
+            )
+        })
+        .collect();
+    let out = LoopNest {
+        name: format!("{}-interchanged", nest.name()),
+        loops,
+        arrays: nest.arrays().to_vec(),
+        refs,
+    };
+    validate_nest(&out).map_err(|e| match e {
+        ValidateNestError::BoundUsesNonEnclosingIndex { loop_name, .. } => {
+            TransformError::InterchangeBreaksBounds { loop_name }
+        }
+        other => TransformError::Invalid(other),
+    })?;
+    Ok(out)
+}
+
+/// Fuses two nests with identical loop structures into one nest executing
+/// the first nest's statements then the second's in every iteration — the
+/// Figure 13 transformation.
+///
+/// Arrays are unified by name: identical declarations merge, mismatching
+/// ones are an error.
+///
+/// # Errors
+///
+/// [`TransformError::FusionLoopMismatch`] /
+/// [`TransformError::FusionArrayConflict`].
+pub fn fuse(a: &LoopNest, b: &LoopNest) -> Result<LoopNest, TransformError> {
+    if a.depth() != b.depth() {
+        return Err(TransformError::FusionLoopMismatch);
+    }
+    let same_loops = a
+        .loops()
+        .iter()
+        .zip(b.loops())
+        .all(|(la, lb)| la.lower() == lb.lower() && la.upper() == lb.upper());
+    if !same_loops {
+        return Err(TransformError::FusionLoopMismatch);
+    }
+    // Unified array table.
+    let mut arrays: Vec<ArrayDecl> = a.arrays().to_vec();
+    // b_array_map[old b index] = new index.
+    let mut b_array_map = Vec::with_capacity(b.arrays().len());
+    for arr_b in b.arrays() {
+        if let Some(pos) = arrays.iter().position(|x| x.name() == arr_b.name()) {
+            if &arrays[pos] != arr_b {
+                return Err(TransformError::FusionArrayConflict {
+                    array: arr_b.name().to_string(),
+                });
+            }
+            b_array_map.push(pos);
+        } else {
+            arrays.push(arr_b.clone());
+            b_array_map.push(arrays.len() - 1);
+        }
+    }
+    let mut refs: Vec<Reference> = Vec::with_capacity(a.references().len() + b.references().len());
+    for r in a.references() {
+        refs.push(Reference::new(
+            RefId(refs.len()),
+            r.array(),
+            r.subscripts().to_vec(),
+            r.kind(),
+            r.label().to_string(),
+        ));
+    }
+    for r in b.references() {
+        refs.push(Reference::new(
+            RefId(refs.len()),
+            crate::array::ArrayId(b_array_map[r.array().index()]),
+            r.subscripts().to_vec(),
+            r.kind(),
+            r.label().to_string(),
+        ));
+    }
+    let out = LoopNest {
+        name: format!("{}+{}", a.name(), b.name()),
+        loops: a.loops().to_vec(),
+        arrays,
+        refs,
+    };
+    validate_nest(&out)?;
+    Ok(out)
+}
+
+/// Strip-mines loop `level` into a tile loop (immediately outside it)
+/// counting tiles from 0, and the original loop now spanning one tile:
+/// index `old = lo + tile·tt + (new − lo)`.
+///
+/// # Errors
+///
+/// [`TransformError::NonConstantBounds`] /
+/// [`TransformError::IndivisibleTile`].
+pub fn strip_mine(nest: &LoopNest, level: usize, tile: i64) -> Result<LoopNest, TransformError> {
+    assert!(level < nest.depth(), "level {level} out of range");
+    assert!(tile >= 1, "tile size must be positive");
+    let lp = &nest.loops()[level];
+    if !(lp.lower().is_constant() && lp.upper().is_constant()) {
+        return Err(TransformError::NonConstantBounds {
+            loop_name: lp.name().to_string(),
+        });
+    }
+    let lo = lp.lower().constant_term();
+    let hi = lp.upper().constant_term();
+    let trips = (hi - lo + 1).max(0);
+    if trips % tile != 0 {
+        return Err(TransformError::IndivisibleTile { trips, tile });
+    }
+    let n = nest.depth();
+    let m = n + 1; // new depth
+    // Old level l maps to: l < level -> var l; l == level -> tile·tt + inner
+    // (where tt is at `level`, inner at `level+1`); l > level -> var l+1.
+    let map = |old: usize| -> Affine {
+        use std::cmp::Ordering;
+        match old.cmp(&level) {
+            Ordering::Less => Affine::var(m, old),
+            Ordering::Greater => Affine::var(m, old + 1),
+            Ordering::Equal => {
+                let mut coeffs = vec![0i64; m];
+                coeffs[level] = tile; // tile loop index tt (0-based)
+                coeffs[level + 1] = 1; // inner index (runs lo..lo+tile-1)
+                Affine::new(coeffs, 0)
+            }
+        }
+    };
+    let mut loops: Vec<Loop> = Vec::with_capacity(m);
+    for (l, old) in nest.loops().iter().enumerate() {
+        if l == level {
+            loops.push(Loop::new(
+                format!("{}_t", old.name()),
+                Affine::constant(m, 0),
+                Affine::constant(m, trips / tile - 1),
+            ));
+            loops.push(Loop::new(
+                old.name(),
+                Affine::constant(m, lo),
+                Affine::constant(m, lo + tile - 1),
+            ));
+        } else {
+            loops.push(Loop::new(
+                old.name(),
+                remap_affine(old.lower(), map, m),
+                remap_affine(old.upper(), map, m),
+            ));
+        }
+    }
+    // The combined index is tile·tt + inner, where inner in [lo, lo+tile).
+    // remap(level) gives tile·tt + inner, whose range is
+    // [lo, lo + trips - 1] exactly as before.
+    let refs: Vec<Reference> = nest
+        .references()
+        .iter()
+        .map(|r| {
+            Reference::new(
+                r.id(),
+                r.array(),
+                r.subscripts().iter().map(|s| remap_affine(s, map, m)).collect(),
+                r.kind(),
+                r.label().to_string(),
+            )
+        })
+        .collect();
+    let out = LoopNest {
+        name: format!("{}-strip{}", nest.name(), tile),
+        loops,
+        arrays: nest.arrays().to_vec(),
+        refs,
+    };
+    validate_nest(&out)?;
+    Ok(out)
+}
+
+/// Tiles a rectangular nest: strip-mines each `(level, tile)` pair and
+/// hoists all tile loops (in the given order) to the outermost positions —
+/// the classical tiling transformation whose tile sizes Section 5.1.1
+/// selects.
+///
+/// Levels refer to the ORIGINAL nest, outermost first, and must be given
+/// in increasing order.
+///
+/// # Errors
+///
+/// Propagates [`strip_mine`] and [`interchange`] errors.
+///
+/// # Panics
+///
+/// Panics if `levels_and_tiles` is unsorted or repeats a level.
+pub fn tile_nest(
+    nest: &LoopNest,
+    levels_and_tiles: &[(usize, i64)],
+) -> Result<LoopNest, TransformError> {
+    assert!(
+        levels_and_tiles.windows(2).all(|w| w[0].0 < w[1].0),
+        "levels must be strictly increasing"
+    );
+    // Strip-mine from the innermost requested level outward so earlier
+    // level indices stay valid; record where each tile loop lands.
+    let mut out = nest.clone();
+    for &(level, tile) in levels_and_tiles.iter().rev() {
+        out = strip_mine(&out, level, tile)?;
+    }
+    // After strip-mining k levels (sorted), the tile loop of the j-th
+    // requested level sits at position level_j + j. Hoist them to the
+    // front, preserving their relative order.
+    let k = levels_and_tiles.len();
+    let tile_positions: Vec<usize> = levels_and_tiles
+        .iter()
+        .enumerate()
+        .map(|(j, &(level, _))| level + j)
+        .collect();
+    let mut perm: Vec<usize> = Vec::with_capacity(out.depth());
+    perm.extend(&tile_positions);
+    perm.extend((0..out.depth()).filter(|p| !tile_positions.contains(p)));
+    let mut tiled = interchange(&out, &perm)?;
+    let _ = k;
+    tiled.name = format!("{}-tiled", nest.name());
+    Ok(tiled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NestBuilder;
+    use crate::nest::AccessKind;
+    use std::collections::HashMap;
+
+    fn simple(n: i64) -> LoopNest {
+        let mut b = NestBuilder::new();
+        b.name("t");
+        b.ct_loop("i", 1, n).ct_loop("j", 1, n);
+        let a = b.array("A", &[n + 1, n + 1], 0);
+        let c = b.array("C", &[n + 1, n + 1], 200);
+        b.reference(a, AccessKind::Read, &[("i", 0), ("j", 0)]);
+        b.reference(c, AccessKind::Write, &[("j", 0), ("i", 1)]);
+        b.build().unwrap()
+    }
+
+    /// Multiset of addresses per reference label.
+    fn address_bag(nest: &LoopNest) -> HashMap<String, Vec<i64>> {
+        let mut out: HashMap<String, Vec<i64>> = HashMap::new();
+        let mut sp = nest.space();
+        while let Some(p) = sp.next_point() {
+            for r in nest.references() {
+                out.entry(r.label().to_string())
+                    .or_default()
+                    .push(nest.address(r.id(), &p));
+            }
+        }
+        for v in out.values_mut() {
+            v.sort();
+        }
+        out
+    }
+
+    #[test]
+    fn interchange_preserves_addresses() {
+        let nest = simple(5);
+        let swapped = interchange(&nest, &[1, 0]).unwrap();
+        assert_eq!(address_bag(&nest), address_bag(&swapped));
+        assert_eq!(swapped.loops()[0].name(), "j");
+        assert_eq!(swapped.loops()[1].name(), "i");
+    }
+
+    #[test]
+    fn interchange_changes_execution_order() {
+        let nest = simple(3);
+        let swapped = interchange(&nest, &[1, 0]).unwrap();
+        let first_ref = nest.references()[0].id();
+        let mut orig = Vec::new();
+        let mut sp = nest.space();
+        while let Some(p) = sp.next_point() {
+            orig.push(nest.address(first_ref, &p));
+        }
+        let mut sw = Vec::new();
+        let mut sp = swapped.space();
+        while let Some(p) = sp.next_point() {
+            sw.push(swapped.address(first_ref, &p));
+        }
+        assert_ne!(orig, sw, "orders should differ");
+    }
+
+    #[test]
+    fn interchange_rejects_bad_permutations() {
+        let nest = simple(3);
+        assert!(matches!(
+            interchange(&nest, &[0, 0]),
+            Err(TransformError::NotAPermutation { .. })
+        ));
+        assert!(matches!(
+            interchange(&nest, &[0]),
+            Err(TransformError::NotAPermutation { .. })
+        ));
+    }
+
+    #[test]
+    fn interchange_rejects_triangular_swap() {
+        // DO k; DO i = k+1..n cannot be naively interchanged.
+        let mut b = NestBuilder::new();
+        b.ct_loop("k", 1, 6);
+        b.affine_loop("i", Affine::new(vec![1, 0], 1), Affine::new(vec![0, 0], 6));
+        let a = b.array("A", &[8, 8], 0);
+        b.reference(a, AccessKind::Read, &[("i", 0), ("k", 0)]);
+        let nest = b.build().unwrap();
+        assert!(matches!(
+            interchange(&nest, &[1, 0]),
+            Err(TransformError::InterchangeBreaksBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn fusion_concatenates_statements() {
+        let mut b1 = NestBuilder::new();
+        b1.name("one").ct_loop("i", 1, 4);
+        let a = b1.array("A", &[8], 0);
+        b1.reference(a, AccessKind::Read, &[("i", 0)]);
+        let n1 = b1.build().unwrap();
+
+        let mut b2 = NestBuilder::new();
+        b2.name("two").ct_loop("i", 1, 4);
+        let a2 = b2.array("A", &[8], 0);
+        let c2 = b2.array("C", &[8], 100);
+        b2.reference(c2, AccessKind::Write, &[("i", 0)]);
+        b2.reference(a2, AccessKind::Read, &[("i", 0)]);
+        let n2 = b2.build().unwrap();
+
+        let fused = fuse(&n1, &n2).unwrap();
+        assert_eq!(fused.references().len(), 3);
+        assert_eq!(fused.arrays().len(), 2); // A unified by name
+        assert_eq!(fused.access_count(), n1.access_count() + n2.access_count());
+        // Statement order: n1's refs first.
+        assert_eq!(fused.references()[0].label(), "A(i)");
+        assert_eq!(fused.references()[1].label(), "C(i)");
+    }
+
+    #[test]
+    fn fusion_rejects_mismatched_bounds_and_arrays() {
+        let mut b1 = NestBuilder::new();
+        b1.ct_loop("i", 1, 4);
+        let a = b1.array("A", &[8], 0);
+        b1.reference(a, AccessKind::Read, &[("i", 0)]);
+        let n1 = b1.build().unwrap();
+
+        let mut b2 = NestBuilder::new();
+        b2.ct_loop("i", 1, 5);
+        let a2 = b2.array("A", &[8], 0);
+        b2.reference(a2, AccessKind::Read, &[("i", 0)]);
+        let n2 = b2.build().unwrap();
+        assert_eq!(fuse(&n1, &n2), Err(TransformError::FusionLoopMismatch));
+
+        let mut b3 = NestBuilder::new();
+        b3.ct_loop("i", 1, 4);
+        let a3 = b3.array("A", &[8], 64); // same name, different base
+        b3.reference(a3, AccessKind::Read, &[("i", 0)]);
+        let n3 = b3.build().unwrap();
+        assert!(matches!(
+            fuse(&n1, &n3),
+            Err(TransformError::FusionArrayConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn strip_mine_preserves_addresses_and_counts() {
+        let nest = simple(6);
+        let stripped = strip_mine(&nest, 1, 3).unwrap();
+        assert_eq!(stripped.depth(), 3);
+        assert_eq!(stripped.iteration_count(), nest.iteration_count());
+        assert_eq!(address_bag(&nest), address_bag(&stripped));
+    }
+
+    #[test]
+    fn strip_mine_rejects_indivisible_tiles() {
+        let nest = simple(5);
+        assert!(matches!(
+            strip_mine(&nest, 0, 2),
+            Err(TransformError::IndivisibleTile { trips: 5, tile: 2 })
+        ));
+    }
+
+    #[test]
+    fn tile_nest_matches_handwritten_tiled_matmul_shape() {
+        // Build plain matmul, tile k and j, and check the result walks the
+        // same addresses as the hand-built tiled kernel in cme-kernels.
+        let n = 8i64;
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 1, n).ct_loop("k", 1, n).ct_loop("j", 1, n);
+        let z = b.array("Z", &[n, n], 0);
+        let x = b.array("X", &[n, n], 64);
+        let y = b.array("Y", &[n, n], 128);
+        b.reference(z, AccessKind::Read, &[("j", 0), ("i", 0)]);
+        b.reference(x, AccessKind::Read, &[("k", 0), ("i", 0)]);
+        b.reference(y, AccessKind::Read, &[("j", 0), ("k", 0)]);
+        b.reference(z, AccessKind::Write, &[("j", 0), ("i", 0)]);
+        let plain = b.build().unwrap();
+
+        let tiled = tile_nest(&plain, &[(1, 4), (2, 2)]).unwrap();
+        assert_eq!(tiled.depth(), 5);
+        assert_eq!(tiled.iteration_count(), plain.iteration_count());
+        assert_eq!(address_bag(&plain), address_bag(&tiled));
+        // Tile loops are outermost, in requested order.
+        assert_eq!(tiled.loops()[0].name(), "k_t");
+        assert_eq!(tiled.loops()[1].name(), "j_t");
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = TransformError::IndivisibleTile { trips: 7, tile: 2 };
+        assert!(e.to_string().contains("does not divide"));
+        let e = TransformError::FusionLoopMismatch;
+        assert!(e.to_string().contains("identical loop structures"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Validation of the paper's program model (Section 2.1).
+//!
+//! The CME framework applies to perfectly nested, normalized affine loop
+//! nests without conditionals. This module rejects anything outside that
+//! model with a descriptive error, so analysis code can assume a well-formed
+//! nest throughout.
+
+use crate::nest::LoopNest;
+use std::fmt;
+
+/// Ways a nest can violate the CME program model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ValidateNestError {
+    /// The nest has no loops.
+    NoLoops,
+    /// The nest has no references (nothing to analyze).
+    NoReferences,
+    /// A subscript named a loop index that does not exist.
+    UnknownLoopIndex {
+        /// The unresolved index name.
+        name: String,
+    },
+    /// A loop bound has a nonzero coefficient on itself or an inner index.
+    BoundUsesNonEnclosingIndex {
+        /// The loop whose bound is malformed.
+        loop_name: String,
+        /// The offending index position.
+        index: usize,
+    },
+    /// An expression is dimensioned over the wrong number of loop indices.
+    DimensionMismatch {
+        /// What carried the bad expression.
+        context: String,
+        /// Expected number of variables (nest depth).
+        expected: usize,
+        /// Found number of variables.
+        found: usize,
+    },
+    /// A reference's subscript count differs from its array's rank.
+    SubscriptArityMismatch {
+        /// The reference's label.
+        reference: String,
+        /// The array's rank.
+        rank: usize,
+        /// Number of subscripts supplied.
+        arity: usize,
+    },
+    /// A reference points at an array id not declared in the nest.
+    UnknownArray {
+        /// The reference's label.
+        reference: String,
+    },
+}
+
+impl fmt::Display for ValidateNestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateNestError::NoLoops => write!(f, "nest has no loops"),
+            ValidateNestError::NoReferences => write!(f, "nest has no references"),
+            ValidateNestError::UnknownLoopIndex { name } => {
+                write!(f, "subscript names unknown loop index `{name}`")
+            }
+            ValidateNestError::BoundUsesNonEnclosingIndex { loop_name, index } => write!(
+                f,
+                "bound of loop `{loop_name}` uses non-enclosing index at position {index}"
+            ),
+            ValidateNestError::DimensionMismatch {
+                context,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{context}: expression over {found} variables in a depth-{expected} nest"
+            ),
+            ValidateNestError::SubscriptArityMismatch {
+                reference,
+                rank,
+                arity,
+            } => write!(
+                f,
+                "reference {reference} supplies {arity} subscripts to a rank-{rank} array"
+            ),
+            ValidateNestError::UnknownArray { reference } => {
+                write!(f, "reference {reference} targets an undeclared array")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateNestError {}
+
+/// Checks a nest against the CME program model.
+///
+/// # Errors
+///
+/// Returns the first violation found; see [`ValidateNestError`].
+pub fn validate_nest(nest: &LoopNest) -> Result<(), ValidateNestError> {
+    let depth = nest.depth();
+    if depth == 0 {
+        return Err(ValidateNestError::NoLoops);
+    }
+    if nest.references().is_empty() {
+        return Err(ValidateNestError::NoReferences);
+    }
+    for (l, lp) in nest.loops().iter().enumerate() {
+        for (which, bound) in [("lower", lp.lower()), ("upper", lp.upper())] {
+            if bound.nvars() != depth {
+                return Err(ValidateNestError::DimensionMismatch {
+                    context: format!("{which} bound of loop `{}`", lp.name()),
+                    expected: depth,
+                    found: bound.nvars(),
+                });
+            }
+            if let Some(bad) = (l..depth).find(|&m| bound.coeff(m) != 0) {
+                return Err(ValidateNestError::BoundUsesNonEnclosingIndex {
+                    loop_name: lp.name().to_string(),
+                    index: bad,
+                });
+            }
+        }
+    }
+    for r in nest.references() {
+        let Some(arr) = nest.arrays().get(r.array().index()) else {
+            return Err(ValidateNestError::UnknownArray {
+                reference: r.label().to_string(),
+            });
+        };
+        if r.subscripts().len() != arr.rank() {
+            return Err(ValidateNestError::SubscriptArityMismatch {
+                reference: r.label().to_string(),
+                rank: arr.rank(),
+                arity: r.subscripts().len(),
+            });
+        }
+        for s in r.subscripts() {
+            if s.nvars() != depth {
+                return Err(ValidateNestError::DimensionMismatch {
+                    context: format!("subscript of {}", r.label()),
+                    expected: depth,
+                    found: s.nvars(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NestBuilder;
+    use crate::nest::AccessKind;
+    use cme_math::Affine;
+
+    #[test]
+    fn accepts_triangular_nest() {
+        let mut b = NestBuilder::new();
+        b.ct_loop("k", 1, 8);
+        b.affine_loop("i", Affine::new(vec![1, 0], 1), Affine::new(vec![0, 0], 8));
+        let a = b.array("A", &[8, 8], 0);
+        b.reference(a, AccessKind::Read, &[("i", 0), ("k", 0)]);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn rejects_no_loops() {
+        let mut b = NestBuilder::new();
+        let a = b.array("A", &[8], 0);
+        b.reference_affine(a, AccessKind::Read, vec![Affine::constant(0, 1)]);
+        assert_eq!(b.build().unwrap_err(), ValidateNestError::NoLoops);
+    }
+
+    #[test]
+    fn rejects_no_references() {
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 1, 4);
+        assert_eq!(b.build().unwrap_err(), ValidateNestError::NoReferences);
+    }
+
+    #[test]
+    fn rejects_bound_on_inner_index() {
+        let mut b = NestBuilder::new();
+        // Lower bound of the OUTER loop uses the inner index.
+        b.affine_loop("i", Affine::new(vec![0, 1], 1), Affine::new(vec![0, 0], 4));
+        b.ct_loop("j", 1, 4);
+        let a = b.array("A", &[8, 8], 0);
+        b.reference(a, AccessKind::Read, &[("i", 0), ("j", 0)]);
+        let err = b.build().unwrap_err();
+        assert!(matches!(
+            err,
+            ValidateNestError::BoundUsesNonEnclosingIndex { .. }
+        ));
+        assert!(err.to_string().contains("non-enclosing"));
+    }
+
+    #[test]
+    fn rejects_subscript_arity_mismatch() {
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 1, 4);
+        let a = b.array("A", &[8, 8], 0);
+        b.reference(a, AccessKind::Read, &[("i", 0)]);
+        let err = b.build().unwrap_err();
+        assert!(matches!(
+            err,
+            ValidateNestError::SubscriptArityMismatch { rank: 2, arity: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn self_referencing_bound_is_rejected() {
+        let mut b = NestBuilder::new();
+        b.affine_loop("i", Affine::new(vec![1], 0), Affine::new(vec![0], 4));
+        let a = b.array("A", &[8], 0);
+        b.reference(a, AccessKind::Read, &[("i", 0)]);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ValidateNestError::BoundUsesNonEnclosingIndex { .. }
+        ));
+    }
+}

@@ -1,0 +1,292 @@
+//! Additional classic affine kernels beyond the paper's Table 1 suite.
+//!
+//! These widen the test surface of the analysis (deeper nests, transposed
+//! accesses, multi-statement stencils, streaming) and give the optimizer
+//! examples outside the paper's seven nests. All stay inside the CME
+//! program model.
+
+use cme_ir::{AccessKind, Affine, LoopNest, NestBuilder};
+
+/// Rounds a base address up to a 16-element boundary. Arrays that share a
+/// memory line cannot be handled by per-array reuse vectors (the paper's
+/// model implicitly assumes aligned allocations, as real allocators
+/// provide), so every kernel here aligns its bases.
+fn align(x: i64) -> i64 {
+    (x + 15) & !15
+}
+
+/// 2-D Jacobi sweep into a separate output array:
+///
+/// ```text
+/// DO j = 2, n-1
+///   DO i = 2, n-1
+///     B(i,j) = (A(i-1,j) + A(i+1,j) + A(i,j-1) + A(i,j+1) + A(i,j)) / 5
+/// ```
+pub fn jacobi2d(n: i64) -> LoopNest {
+    let mut b = NestBuilder::new();
+    b.name("jacobi2d");
+    b.ct_loop("j", 2, n - 1).ct_loop("i", 2, n - 1);
+    let a = b.array("A", &[n, n], 0);
+    let out = b.array("B", &[n, n], align(n * n));
+    b.reference(a, AccessKind::Read, &[("i", -1), ("j", 0)]);
+    b.reference(a, AccessKind::Read, &[("i", 1), ("j", 0)]);
+    b.reference(a, AccessKind::Read, &[("i", 0), ("j", -1)]);
+    b.reference(a, AccessKind::Read, &[("i", 0), ("j", 1)]);
+    b.reference(a, AccessKind::Read, &[("i", 0), ("j", 0)]);
+    b.reference(out, AccessKind::Write, &[("i", 0), ("j", 0)]);
+    b.build().expect("jacobi2d is a valid nest")
+}
+
+/// Column-major-friendly matrix–vector product `y += A·x`:
+///
+/// ```text
+/// DO j = 1, n
+///   DO i = 1, n
+///     Y(i) += A(i,j) * X(j)
+/// ```
+pub fn matvec(n: i64) -> LoopNest {
+    let mut b = NestBuilder::new();
+    b.name("matvec");
+    b.ct_loop("j", 1, n).ct_loop("i", 1, n);
+    let a = b.array("A", &[n, n], 0);
+    let x = b.array("X", &[n], align(n * n));
+    let y = b.array("Y", &[n], align(align(n * n) + n));
+    b.reference(y, AccessKind::Read, &[("i", 0)]);
+    b.reference(a, AccessKind::Read, &[("i", 0), ("j", 0)]);
+    b.reference(x, AccessKind::Read, &[("j", 0)]);
+    b.reference(y, AccessKind::Write, &[("i", 0)]);
+    b.build().expect("matvec is a valid nest")
+}
+
+/// The cache-hostile transposed matvec (`A` walked along rows):
+///
+/// ```text
+/// DO i = 1, n
+///   DO j = 1, n
+///     Y(i) += A(i,j) * X(j)
+/// ```
+///
+/// The innermost stride on `A` is the column size — the diagnosis module
+/// recommends interchanging this nest into [`matvec`].
+pub fn matvec_rowwise(n: i64) -> LoopNest {
+    let mut b = NestBuilder::new();
+    b.name("matvec-rowwise");
+    b.ct_loop("i", 1, n).ct_loop("j", 1, n);
+    let a = b.array("A", &[n, n], 0);
+    let x = b.array("X", &[n], align(n * n));
+    let y = b.array("Y", &[n], align(align(n * n) + n));
+    b.reference(y, AccessKind::Read, &[("i", 0)]);
+    b.reference(a, AccessKind::Read, &[("i", 0), ("j", 0)]);
+    b.reference(x, AccessKind::Read, &[("j", 0)]);
+    b.reference(y, AccessKind::Write, &[("i", 0)]);
+    b.build().expect("matvec-rowwise is a valid nest")
+}
+
+/// Right-looking LU factorization update (no pivoting), the triangular
+/// 3-deep kernel:
+///
+/// ```text
+/// DO k = 1, n-1
+///   DO j = k+1, n
+///     DO i = k+1, n
+///       A(i,j) -= A(i,k) * A(k,j)
+/// ```
+pub fn lu(n: i64) -> LoopNest {
+    let mut b = NestBuilder::new();
+    b.name("lu");
+    b.ct_loop("k", 1, n - 1);
+    let kp1 = Affine::new(vec![1, 0, 0], 1);
+    let nn = Affine::new(vec![0, 0, 0], n);
+    b.affine_loop("j", kp1.clone(), nn.clone());
+    b.affine_loop("i", kp1, nn);
+    let a = b.array("A", &[n, n], 64);
+    b.reference(a, AccessKind::Read, &[("i", 0), ("k", 0)]);
+    b.reference(a, AccessKind::Read, &[("k", 0), ("j", 0)]);
+    b.reference(a, AccessKind::Read, &[("i", 0), ("j", 0)]);
+    b.reference(a, AccessKind::Write, &[("i", 0), ("j", 0)]);
+    b.build().expect("lu is a valid nest")
+}
+
+/// STREAM-style triad over three vectors: `C(i) = A(i) + s·B(i)`.
+pub fn triad(n: i64, ba: i64, bb: i64, bc: i64) -> LoopNest {
+    let mut b = NestBuilder::new();
+    b.name("triad");
+    b.ct_loop("i", 1, n);
+    let a = b.array("A", &[n], ba);
+    let bb_arr = b.array("B", &[n], bb);
+    let c = b.array("C", &[n], bc);
+    b.reference(a, AccessKind::Read, &[("i", 0)]);
+    b.reference(bb_arr, AccessKind::Read, &[("i", 0)]);
+    b.reference(c, AccessKind::Write, &[("i", 0)]);
+    b.build().expect("triad is a valid nest")
+}
+
+/// 3-D 7-point stencil (one sweep, separate output):
+///
+/// ```text
+/// DO k = 2, n-1
+///   DO j = 2, n-1
+///     DO i = 2, n-1
+///       B(i,j,k) = A(i±1,j,k) + A(i,j±1,k) + A(i,j,k±1) + A(i,j,k)
+/// ```
+pub fn stencil3d(n: i64) -> LoopNest {
+    let mut b = NestBuilder::new();
+    b.name("stencil3d");
+    b.ct_loop("k", 2, n - 1).ct_loop("j", 2, n - 1).ct_loop("i", 2, n - 1);
+    let a = b.array("A", &[n, n, n], 0);
+    let out = b.array("B", &[n, n, n], align(n * n * n));
+    for (di, dj, dk) in [
+        (-1i64, 0i64, 0i64),
+        (1, 0, 0),
+        (0, -1, 0),
+        (0, 1, 0),
+        (0, 0, -1),
+        (0, 0, 1),
+        (0, 0, 0),
+    ] {
+        b.reference(a, AccessKind::Read, &[("i", di), ("j", dj), ("k", dk)]);
+    }
+    b.reference(out, AccessKind::Write, &[("i", 0), ("j", 0), ("k", 0)]);
+    b.build().expect("stencil3d is a valid nest")
+}
+
+/// Strided sweep: reads every `stride`-th element of a vector — the
+/// textbook spatial-locality killer ("Unfavorable strides", Bailey 92,
+/// citation [4] of the paper).
+///
+/// # Panics
+///
+/// Panics unless `stride >= 1`.
+pub fn strided_sweep(n: i64, stride: i64) -> LoopNest {
+    assert!(stride >= 1, "stride must be positive");
+    let mut b = NestBuilder::new();
+    b.name("strided-sweep");
+    b.ct_loop("i", 0, n - 1);
+    let a = b.array_with_origins("A", &[n * stride], &[0], 0);
+    b.reference_affine(
+        a,
+        AccessKind::Read,
+        vec![Affine::new(vec![stride], 0)],
+    );
+    b.build().expect("strided sweep is a valid nest")
+}
+
+/// SYR2K-flavoured symmetric update `C(i,j) += A(i,k)·B(j,k) + B(i,k)·A(j,k)`
+/// over the full square (6 reads + 1 read-modify-write, 3 arrays).
+pub fn syr2k(n: i64) -> LoopNest {
+    let sz = n * n;
+    let mut b = NestBuilder::new();
+    b.name("syr2k");
+    b.ct_loop("k", 1, n).ct_loop("j", 1, n).ct_loop("i", 1, n);
+    let a = b.array("A", &[n, n], 0);
+    let bb = b.array("B", &[n, n], align(sz));
+    let c = b.array("C", &[n, n], align(2 * sz + 16));
+    b.reference(c, AccessKind::Read, &[("i", 0), ("j", 0)]);
+    b.reference(a, AccessKind::Read, &[("i", 0), ("k", 0)]);
+    b.reference(bb, AccessKind::Read, &[("j", 0), ("k", 0)]);
+    b.reference(bb, AccessKind::Read, &[("i", 0), ("k", 0)]);
+    b.reference(a, AccessKind::Read, &[("j", 0), ("k", 0)]);
+    b.reference(c, AccessKind::Write, &[("i", 0), ("j", 0)]);
+    b.build().expect("syr2k is a valid nest")
+}
+
+/// Looks a kernel up by name at problem size `n` — the registry used by
+/// the experiment binaries. Table 1 kernels plus the extras above
+/// (`alv` ignores `n`; `triad` uses packed bases).
+pub fn kernel_by_name(name: &str, n: i64) -> Option<LoopNest> {
+    Some(match name {
+        "mmult" => crate::mmult(n),
+        "gauss" => crate::gauss(n),
+        "sor" => crate::sor(n),
+        "adi" => crate::adi(n),
+        "trans" => crate::trans(n),
+        "alv" => crate::alv(),
+        "tom" => crate::tom(n),
+        "jacobi2d" => jacobi2d(n),
+        "matvec" => matvec(n),
+        "matvec-rowwise" => matvec_rowwise(n),
+        "lu" => lu(n),
+        "triad" => triad(n, 0, align(n), align(2 * n + 16)),
+        "stencil3d" => stencil3d(n),
+        "syr2k" => syr2k(n),
+        _ => return None,
+    })
+}
+
+/// All registry names, for `--help`-style listings.
+pub fn kernel_names() -> &'static [&'static str] {
+    &[
+        "mmult",
+        "gauss",
+        "sor",
+        "adi",
+        "trans",
+        "alv",
+        "tom",
+        "jacobi2d",
+        "matvec",
+        "matvec-rowwise",
+        "lu",
+        "triad",
+        "stencil3d",
+        "syr2k",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_counts() {
+        assert_eq!(jacobi2d(10).access_count(), 6 * 64);
+        assert_eq!(matvec(8).access_count(), 4 * 64);
+        assert_eq!(triad(100, 0, 100, 200).access_count(), 300);
+        assert_eq!(stencil3d(6).access_count(), 8 * 64);
+        assert_eq!(syr2k(4).access_count(), 6 * 64);
+        // LU: sum over k of (n-k)^2 times 4 refs.
+        let n = 6u64;
+        let expected: u64 = (1..n).map(|k| (n - k) * (n - k)).sum::<u64>() * 4;
+        assert_eq!(lu(6).access_count(), expected);
+    }
+
+    #[test]
+    fn strided_sweep_addresses() {
+        let nest = strided_sweep(5, 7);
+        let r = nest.references()[0].id();
+        let addrs: Vec<i64> = {
+            let mut v = Vec::new();
+            let mut sp = nest.space();
+            while let Some(p) = sp.next_point() {
+                v.push(nest.address(r, &p));
+            }
+            v
+        };
+        assert_eq!(addrs, vec![0, 7, 14, 21, 28]);
+    }
+
+    #[test]
+    fn registry_is_complete_and_consistent() {
+        for &name in kernel_names() {
+            let nest = kernel_by_name(name, 8).unwrap_or_else(|| panic!("{name} missing"));
+            assert!(nest.access_count() > 0, "{name} has accesses");
+        }
+        assert!(kernel_by_name("nonsense", 8).is_none());
+    }
+
+    #[test]
+    fn matvec_variants_are_interchanges_of_each_other() {
+        let a = matvec(6);
+        let b = matvec_rowwise(6);
+        let swapped = cme_ir::transform::interchange(&b, &[1, 0]).unwrap();
+        // Same address stream shape (same refs in same statement order).
+        assert_eq!(a.access_count(), swapped.access_count());
+        for (ra, rb) in a.references().iter().zip(swapped.references()) {
+            assert_eq!(
+                a.address_affine(ra.id()),
+                swapped.address_affine(rb.id()),
+                "address functions must agree after interchange"
+            );
+        }
+    }
+}

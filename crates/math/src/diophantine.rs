@@ -1,0 +1,587 @@
+//! Linear Diophantine equations: solvability, general solutions, counting.
+//!
+//! Cache Miss Equations *are* linear Diophantine equations in constrained
+//! solution spaces (Section 2.2 of the paper). The paper deliberately avoids
+//! *solving* them, instead using:
+//!
+//! 1. **Solvability tests** — `ax + by = c` has a solution iff
+//!    `gcd(a, b) | c`; the padding conditions 1–4 are built from this.
+//! 2. **Solution counting** over bounded boxes — the "solution counting
+//!    engine" role played by Omega/Ehrhart tools in the paper [6, 19].
+//!
+//! This module provides both, exactly, for the bounded spaces that arise
+//! from loop nests.
+
+use crate::gcd::{extended_gcd, floor_div, gcd, gcd_all};
+use crate::interval::Interval;
+
+/// A single linear Diophantine equation `Σ coeffs[l]·x_l = rhs` with the
+/// solution constrained to the box `Π bounds[l]`.
+///
+/// # Examples
+///
+/// ```
+/// use cme_math::diophantine::BoundedDiophantine;
+/// use cme_math::Interval;
+///
+/// // x - 2y = 1 with x,y in [0,5]: solutions (1,0),(3,1),(5,2).
+/// let eq = BoundedDiophantine::new(
+///     vec![1, -2],
+///     1,
+///     vec![Interval::new(0, 5), Interval::new(0, 5)],
+/// );
+/// assert_eq!(eq.count_solutions(), 3);
+/// assert!(eq.is_solvable_unbounded());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundedDiophantine {
+    coeffs: Vec<i64>,
+    rhs: i64,
+    bounds: Vec<Interval>,
+}
+
+impl BoundedDiophantine {
+    /// Creates a bounded equation `Σ coeffs[l]·x_l = rhs`, `x_l ∈ bounds[l]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != bounds.len()`.
+    pub fn new(coeffs: Vec<i64>, rhs: i64, bounds: Vec<Interval>) -> Self {
+        assert_eq!(coeffs.len(), bounds.len(), "coeff/bound arity mismatch");
+        BoundedDiophantine { coeffs, rhs, bounds }
+    }
+
+    /// The coefficient vector.
+    pub fn coeffs(&self) -> &[i64] {
+        &self.coeffs
+    }
+
+    /// The right-hand side.
+    pub fn rhs(&self) -> i64 {
+        self.rhs
+    }
+
+    /// The per-variable bounds.
+    pub fn bounds(&self) -> &[Interval] {
+        &self.bounds
+    }
+
+    /// Ignoring the bounds, does the equation have *any* integer solution?
+    ///
+    /// True iff `gcd(coeffs) | rhs` (with the convention that the empty/all
+    /// zero gcd `0` divides only `0`).
+    pub fn is_solvable_unbounded(&self) -> bool {
+        let g = gcd_all(&self.coeffs);
+        if g == 0 {
+            self.rhs == 0
+        } else {
+            self.rhs % g == 0
+        }
+    }
+
+    /// Exact number of solutions inside the box.
+    ///
+    /// Complexity: product of the bound widths of all variables except the
+    /// last (which is solved for directly), so order variables with the
+    /// largest range last when constructing performance-sensitive queries.
+    pub fn count_solutions(&self) -> u64 {
+        if self.bounds.iter().any(Interval::is_empty) {
+            return 0;
+        }
+        if !self.is_solvable_unbounded() {
+            return 0;
+        }
+        match self.coeffs.len() {
+            0 => u64::from(self.rhs == 0),
+            _ => self.count_rec(0, self.rhs),
+        }
+    }
+
+    fn count_rec(&self, var: usize, remaining: i64) -> u64 {
+        let b = self.bounds[var];
+        let c = self.coeffs[var];
+        if var + 1 == self.coeffs.len() {
+            // Solve c * x = remaining within b.
+            if c == 0 {
+                return if remaining == 0 { b.len() } else { 0 };
+            }
+            if remaining % c != 0 {
+                return 0;
+            }
+            return u64::from(b.contains(remaining / c));
+        }
+        // Prune: can the suffix plus this variable reach `remaining` at all?
+        let mut total = 0;
+        for x in b.lo..=b.hi {
+            total += self.count_rec(var + 1, remaining - c * x);
+        }
+        total
+    }
+
+    /// Enumerates all solutions inside the box (for tests/small spaces).
+    pub fn solutions(&self) -> Vec<Vec<i64>> {
+        let mut out = Vec::new();
+        if self.bounds.iter().any(Interval::is_empty) {
+            return out;
+        }
+        let mut point = Vec::with_capacity(self.coeffs.len());
+        self.enumerate_rec(0, self.rhs, &mut point, &mut out);
+        out
+    }
+
+    fn enumerate_rec(&self, var: usize, remaining: i64, point: &mut Vec<i64>, out: &mut Vec<Vec<i64>>) {
+        if var == self.coeffs.len() {
+            if remaining == 0 {
+                out.push(point.clone());
+            }
+            return;
+        }
+        let b = self.bounds[var];
+        let c = self.coeffs[var];
+        if var + 1 == self.coeffs.len() && c != 0 {
+            if remaining % c == 0 && b.contains(remaining / c) {
+                point.push(remaining / c);
+                out.push(point.clone());
+                point.pop();
+            }
+            return;
+        }
+        for x in b.lo..=b.hi {
+            point.push(x);
+            self.enumerate_rec(var + 1, remaining - c * x, point, out);
+            point.pop();
+        }
+    }
+}
+
+/// Solves `a·x + b·y = c` over unrestricted integers.
+///
+/// Returns `None` when there is no solution (`gcd(a,b) ∤ c`), otherwise one
+/// particular solution `(x₀, y₀)`; the general solution is
+/// `(x₀ + t·b/g, y₀ − t·a/g)` for all integers `t`, `g = gcd(a, b)`.
+///
+/// # Examples
+///
+/// ```
+/// use cme_math::diophantine::solve_two_var;
+/// let (x, y) = solve_two_var(6, 10, 8).unwrap();
+/// assert_eq!(6 * x + 10 * y, 8);
+/// assert!(solve_two_var(6, 10, 7).is_none());
+/// ```
+pub fn solve_two_var(a: i64, b: i64, c: i64) -> Option<(i64, i64)> {
+    if a == 0 && b == 0 {
+        return if c == 0 { Some((0, 0)) } else { None };
+    }
+    let (g, x, y) = extended_gcd(a, b);
+    if c % g != 0 {
+        return None;
+    }
+    let k = c / g;
+    Some((x * k, y * k))
+}
+
+/// Counts solutions of `a·x + b·y = c` with `x ∈ [xb.0, xb.1]`,
+/// `y ∈ [yb.0, yb.1]`, in closed form (no enumeration).
+///
+/// # Examples
+///
+/// ```
+/// use cme_math::diophantine::count_two_var_solutions;
+/// // 2x + 3y = 12, x in [0,6], y in [0,4]: (0,4),(3,2),(6,0).
+/// assert_eq!(count_two_var_solutions(2, 3, 12, (0, 6), (0, 4)), 3);
+/// ```
+pub fn count_two_var_solutions(a: i64, b: i64, c: i64, xb: (i64, i64), yb: (i64, i64)) -> u64 {
+    let (xlo, xhi) = xb;
+    let (ylo, yhi) = yb;
+    if xlo > xhi || ylo > yhi {
+        return 0;
+    }
+    if a == 0 && b == 0 {
+        return if c == 0 {
+            ((xhi - xlo + 1) as u64) * ((yhi - ylo + 1) as u64)
+        } else {
+            0
+        };
+    }
+    if a == 0 {
+        if c % b != 0 {
+            return 0;
+        }
+        let y = c / b;
+        return if (ylo..=yhi).contains(&y) {
+            (xhi - xlo + 1) as u64
+        } else {
+            0
+        };
+    }
+    if b == 0 {
+        if c % a != 0 {
+            return 0;
+        }
+        let x = c / a;
+        return if (xlo..=xhi).contains(&x) {
+            (yhi - ylo + 1) as u64
+        } else {
+            0
+        };
+    }
+    let Some((x0, y0)) = solve_two_var(a, b, c) else {
+        return 0;
+    };
+    let g = gcd(a, b);
+    let (dx, dy) = (b / g, -a / g);
+    // Solutions: (x0 + t*dx, y0 + t*dy). Count integer t in both windows.
+    let t_range_for = |v0: i64, dv: i64, lo: i64, hi: i64| -> Option<(i64, i64)> {
+        if dv == 0 {
+            return if (lo..=hi).contains(&v0) {
+                Some((i64::MIN / 4, i64::MAX / 4))
+            } else {
+                None
+            };
+        }
+        // lo <= v0 + t*dv <= hi
+        let (a1, a2) = ((lo - v0), (hi - v0));
+        if dv > 0 {
+            Some((ceil_div(a1, dv), floor_div(a2, dv)))
+        } else {
+            Some((ceil_div(a2, dv), floor_div(a1, dv)))
+        }
+    };
+    let Some((t1lo, t1hi)) = t_range_for(x0, dx, xlo, xhi) else {
+        return 0;
+    };
+    let Some((t2lo, t2hi)) = t_range_for(y0, dy, ylo, yhi) else {
+        return 0;
+    };
+    let lo = t1lo.max(t2lo);
+    let hi = t1hi.min(t2hi);
+    if lo > hi {
+        0
+    } else {
+        (hi - lo + 1) as u64
+    }
+}
+
+/// Finds one integer solution of the single linear form
+/// `Σ coeffs[l]·x_l = rhs`, or `None` iff `gcd(coeffs) ∤ rhs`.
+///
+/// Unlike [`crate::IntMatrix::solve`]'s free-variables-zero heuristic, this
+/// always succeeds when a solution exists (classical iterated extended
+/// GCD), and it prefers putting weight on coefficients of magnitude 1 so
+/// solutions stay small for typical address forms.
+///
+/// # Examples
+///
+/// ```
+/// use cme_math::diophantine::solve_linear_form;
+/// let x = solve_linear_form(&[256, 0, 1], 7).unwrap();
+/// assert_eq!(256 * x[0] + x[2], 7);
+/// assert!(solve_linear_form(&[4, 6], 3).is_none());
+/// ```
+pub fn solve_linear_form(coeffs: &[i64], rhs: i64) -> Option<Vec<i64>> {
+    let g = gcd_all(coeffs);
+    if g == 0 {
+        return if rhs == 0 { Some(vec![0; coeffs.len()]) } else { None };
+    }
+    if rhs % g != 0 {
+        return None;
+    }
+    // Fast path: a ±1 coefficient absorbs everything.
+    if let Some(l) = coeffs.iter().position(|&c| c == 1 || c == -1) {
+        let mut x = vec![0i64; coeffs.len()];
+        x[l] = rhs * coeffs[l].signum();
+        return Some(x);
+    }
+    // General: fold coefficients with extended GCD, then back-propagate.
+    // Maintain running g_i = gcd(coeffs[..=i]) with certificate vectors.
+    let mut x = vec![0i64; coeffs.len()];
+    let mut cert: Vec<Vec<i64>> = Vec::with_capacity(coeffs.len()); // cert[i]: coeffs·cert[i] = g_i
+    let mut g_run = 0i64;
+    for (i, &c) in coeffs.iter().enumerate() {
+        let (g_new, a, b) = extended_gcd(g_run, c);
+        // g_new = a·g_run + b·c.
+        let mut v = vec![0i64; coeffs.len()];
+        if let Some(prev) = cert.last() {
+            for (vl, pl) in v.iter_mut().zip(prev) {
+                *vl = a * pl;
+            }
+        }
+        v[i] += b;
+        cert.push(v);
+        g_run = g_new;
+    }
+    let scale = rhs / g_run;
+    if let Some(last) = cert.last() {
+        for (xl, cl) in x.iter_mut().zip(last) {
+            *xl = cl * scale;
+        }
+    }
+    debug_assert_eq!(
+        coeffs.iter().zip(&x).map(|(c, v)| c * v).sum::<i64>(),
+        rhs,
+        "linear-form solver produced a non-solution"
+    );
+    Some(x)
+}
+
+/// Ceiling division `a / b` for `b != 0` (rounds toward positive infinity).
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+pub fn ceil_div(a: i64, b: i64) -> i64 {
+    assert!(b != 0, "ceil_div by zero");
+    let (a, b) = if b < 0 { (-a, -b) } else { (a, b) };
+    -floor_div(-a, b)
+}
+
+/// Padding-style unsolvability test for
+/// `A·u − n·W = v`, `n ≠ 0`, `u ∈ u_range`, `v ∈ v_range` (Equation 6 form:
+/// `C(δf + c − d) − n·Cs = b − (δf₀ + c′ − d′)`).
+///
+/// Returns `true` when the equation **provably has no solution** under the
+/// paper's two sufficient conditions:
+///
+/// 1. `gcd(A, W) > max |v|` — every achievable left side is a multiple of
+///    the gcd, which is larger in magnitude than any achievable right side,
+///    so only `0 = 0` could match; and
+/// 2. when the right side can be zero, `A·u ≡ 0 (mod gcd)` with
+///    `gcd(A, W) < W / max|u|` forces `n = 0`, which is excluded.
+///
+/// `w` must be positive (it is `Cs` or `Cs/k`).
+///
+/// # Panics
+///
+/// Panics if `w <= 0`.
+pub fn type1_has_no_solution(a: i64, w: i64, u_range: Interval, v_range: Interval) -> bool {
+    assert!(w > 0, "cache-size term must be positive");
+    if u_range.is_empty() || v_range.is_empty() {
+        return true;
+    }
+    let g = gcd(a, w);
+    let max_v = v_range.max_abs();
+    // Condition 1: gcd(A, W) > max |v|  =>  lhs multiple-of-g can only equal
+    // rhs when both are 0.
+    if g <= max_v {
+        return false;
+    }
+    if v_range.contains(0) {
+        // Condition 2: exclude A·u = n·W with n ≠ 0. Dividing by
+        // g = gcd(A, W) gives (A/g)·u = n·(W/g) with the cofactors coprime,
+        // so (W/g) | u; then |u| <= max|u| < W/g forces u = 0 and n = 0.
+        // `g · max|u| < W` is exactly the paper's `gcd(C, Cs) < Cs/max|δf|`.
+        let max_u = if a == 0 { 0 } else { u_range.max_abs() };
+        if max_u == 0 {
+            return true; // lhs is -n·W with |n| >= 1, so |lhs| >= W > 0 = rhs.
+        }
+        return g * max_u < w;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn brute_count(a: i64, b: i64, c: i64, xb: (i64, i64), yb: (i64, i64)) -> u64 {
+        let mut n = 0;
+        for x in xb.0..=xb.1 {
+            for y in yb.0..=yb.1 {
+                if a * x + b * y == c {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn solve_two_var_basics() {
+        assert_eq!(solve_two_var(0, 0, 0), Some((0, 0)));
+        assert_eq!(solve_two_var(0, 0, 3), None);
+        let (x, y) = solve_two_var(4, 6, 10).unwrap();
+        assert_eq!(4 * x + 6 * y, 10);
+        assert!(solve_two_var(4, 6, 9).is_none());
+    }
+
+    #[test]
+    fn count_matches_brute_force_examples() {
+        assert_eq!(
+            count_two_var_solutions(2, 3, 12, (0, 6), (0, 4)),
+            brute_count(2, 3, 12, (0, 6), (0, 4))
+        );
+        assert_eq!(
+            count_two_var_solutions(1, -2, 1, (0, 5), (0, 5)),
+            brute_count(1, -2, 1, (0, 5), (0, 5))
+        );
+        assert_eq!(count_two_var_solutions(0, 0, 0, (0, 2), (0, 3)), 12);
+        assert_eq!(count_two_var_solutions(0, 0, 1, (0, 2), (0, 3)), 0);
+        assert_eq!(count_two_var_solutions(0, 5, 10, (1, 3), (0, 9)), 3);
+        assert_eq!(count_two_var_solutions(5, 0, 10, (0, 9), (1, 3)), 3);
+    }
+
+    #[test]
+    fn bounded_equation_counting() {
+        let eq = BoundedDiophantine::new(
+            vec![1, -2],
+            1,
+            vec![Interval::new(0, 5), Interval::new(0, 5)],
+        );
+        assert_eq!(eq.count_solutions(), 3);
+        assert_eq!(eq.solutions(), vec![vec![1, 0], vec![3, 1], vec![5, 2]]);
+    }
+
+    #[test]
+    fn bounded_equation_three_vars() {
+        // x + y + z = 3 in [0,3]^3: C(3+2,2) = 10 solutions.
+        let eq = BoundedDiophantine::new(
+            vec![1, 1, 1],
+            3,
+            vec![Interval::new(0, 3); 3],
+        );
+        assert_eq!(eq.count_solutions(), 10);
+        assert_eq!(eq.solutions().len(), 10);
+    }
+
+    #[test]
+    fn bounded_unsolvable_by_gcd() {
+        let eq = BoundedDiophantine::new(
+            vec![2, 4],
+            5,
+            vec![Interval::new(-100, 100); 2],
+        );
+        assert!(!eq.is_solvable_unbounded());
+        assert_eq!(eq.count_solutions(), 0);
+    }
+
+    #[test]
+    fn bounded_empty_domain() {
+        let eq = BoundedDiophantine::new(vec![1], 0, vec![Interval::EMPTY]);
+        assert_eq!(eq.count_solutions(), 0);
+        assert!(eq.solutions().is_empty());
+    }
+
+    #[test]
+    fn bounded_zero_vars() {
+        assert_eq!(BoundedDiophantine::new(vec![], 0, vec![]).count_solutions(), 1);
+        assert_eq!(BoundedDiophantine::new(vec![], 2, vec![]).count_solutions(), 0);
+    }
+
+    #[test]
+    fn ceil_div_cases() {
+        assert_eq!(ceil_div(7, 2), 4);
+        assert_eq!(ceil_div(-7, 2), -3);
+        assert_eq!(ceil_div(7, -2), -3);
+        assert_eq!(ceil_div(8, 2), 4);
+    }
+
+    #[test]
+    fn type1_no_solution_examples() {
+        // C(δf) − n·Cs = v with gcd(C, Cs) = 512 > max|v| = 7 and the
+        // zero-rhs case guarded: C = 512, Cs = 2048, |δf| <= 3 => |C·δf| <= 1536 < 2048.
+        assert!(type1_has_no_solution(
+            512,
+            2048,
+            Interval::new(-3, 3),
+            Interval::new(-7, 7)
+        ));
+        // gcd too small: C = 96 (gcd with 2048 is 32) vs max|v| = 33.
+        assert!(!type1_has_no_solution(
+            96,
+            2048,
+            Interval::new(-3, 3),
+            Interval::new(-33, 33)
+        ));
+    }
+
+    #[test]
+    fn type1_agrees_with_enumeration() {
+        // Exhaustively verify: whenever the test says "no solution", brute
+        // force over a generous window finds none.
+        for a in [16i64, 24, 32, 40, 64] {
+            for w in [64i64, 128] {
+                for umax in 0..4i64 {
+                    for vmax in 0..9i64 {
+                        let u = Interval::new(-umax, umax);
+                        let v = Interval::new(-vmax, vmax);
+                        if type1_has_no_solution(a, w, u, v) {
+                            for uu in u.lo..=u.hi {
+                                for n in -8i64..=8 {
+                                    if n == 0 {
+                                        continue;
+                                    }
+                                    let lhs = a * uu - n * w;
+                                    assert!(
+                                        !v.contains(lhs),
+                                        "false no-solution claim: a={a} w={w} u={uu} n={n} lhs={lhs} v={v}"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linear_form_basics() {
+        assert_eq!(solve_linear_form(&[], 0), Some(vec![]));
+        assert_eq!(solve_linear_form(&[], 1), None);
+        assert_eq!(solve_linear_form(&[0, 0], 0), Some(vec![0, 0]));
+        assert_eq!(solve_linear_form(&[0, 0], 2), None);
+        let x = solve_linear_form(&[6, 10, 15], 1).unwrap();
+        assert_eq!(6 * x[0] + 10 * x[1] + 15 * x[2], 1);
+        assert_eq!(solve_linear_form(&[6, 10], 1), None);
+        // Unit-coefficient fast path keeps everything else zero.
+        assert_eq!(solve_linear_form(&[256, 1, 0], -7), Some(vec![0, -7, 0]));
+        assert_eq!(solve_linear_form(&[256, -1, 0], 7), Some(vec![0, -7, 0]));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_linear_form_solutions_verify(
+            coeffs in proptest::collection::vec(-20i64..=20, 1..5),
+            rhs in -100i64..=100,
+        ) {
+            match solve_linear_form(&coeffs, rhs) {
+                Some(x) => {
+                    let dot: i64 = coeffs.iter().zip(&x).map(|(c, v)| c * v).sum();
+                    prop_assert_eq!(dot, rhs);
+                }
+                None => {
+                    let g = crate::gcd::gcd_all(&coeffs);
+                    prop_assert!(g == 0 || rhs % g != 0);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_count_two_var_matches_brute(
+            a in -6i64..6, b in -6i64..6, c in -12i64..12,
+            xlo in -6i64..3, xw in 0i64..8,
+            ylo in -6i64..3, yw in 0i64..8,
+        ) {
+            let xb = (xlo, xlo + xw);
+            let yb = (ylo, ylo + yw);
+            prop_assert_eq!(
+                count_two_var_solutions(a, b, c, xb, yb),
+                brute_count(a, b, c, xb, yb)
+            );
+        }
+
+        #[test]
+        fn prop_bounded_count_matches_enumeration(
+            c0 in -4i64..4, c1 in -4i64..4, c2 in -4i64..4, rhs in -8i64..8,
+            w0 in 0i64..5, w1 in 0i64..5, w2 in 0i64..5,
+        ) {
+            let eq = BoundedDiophantine::new(
+                vec![c0, c1, c2],
+                rhs,
+                vec![Interval::new(0, w0), Interval::new(-w1, w1), Interval::new(1, 1 + w2)],
+            );
+            prop_assert_eq!(eq.count_solutions(), eq.solutions().len() as u64);
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Greatest common divisors and the extended Euclidean algorithm.
+//!
+//! The padding algorithm of the CME paper (Section 5.1.1, Figure 10) rests
+//! entirely on classical facts about linear Diophantine equations:
+//! `ax + by = c` has integer solutions iff `gcd(a, b) | c`. All four
+//! "no-solution" conditions used to derive conflict-free paddings are GCD
+//! comparisons, so these primitives are the analytical core of `cme-opt`.
+
+/// Returns the non-negative greatest common divisor of `a` and `b`.
+///
+/// `gcd(0, 0)` is defined as `0`.
+///
+/// # Examples
+///
+/// ```
+/// use cme_math::gcd::gcd;
+/// assert_eq!(gcd(12, 18), 6);
+/// assert_eq!(gcd(-12, 18), 6);
+/// assert_eq!(gcd(0, 5), 5);
+/// ```
+pub fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a as i64
+}
+
+/// Returns the least common multiple of `a` and `b` (non-negative).
+///
+/// Returns `0` when either argument is `0`.
+///
+/// # Panics
+///
+/// Panics on overflow in debug builds (the quantities used by the CME
+/// framework are element-unit addresses that comfortably fit `i64`).
+///
+/// # Examples
+///
+/// ```
+/// use cme_math::gcd::lcm;
+/// assert_eq!(lcm(4, 6), 12);
+/// assert_eq!(lcm(0, 3), 0);
+/// ```
+pub fn lcm(a: i64, b: i64) -> i64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    (a / gcd(a, b)).abs() * b.abs()
+}
+
+/// Extended Euclidean algorithm.
+///
+/// Returns `(g, x, y)` with `g = gcd(a, b) >= 0` and `a*x + b*y = g`.
+///
+/// # Examples
+///
+/// ```
+/// use cme_math::gcd::extended_gcd;
+/// let (g, x, y) = extended_gcd(240, 46);
+/// assert_eq!(g, 2);
+/// assert_eq!(240 * x + 46 * y, 2);
+/// ```
+pub fn extended_gcd(a: i64, b: i64) -> (i64, i64, i64) {
+    let (mut old_r, mut r) = (a, b);
+    let (mut old_s, mut s) = (1i64, 0i64);
+    let (mut old_t, mut t) = (0i64, 1i64);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+        (old_t, t) = (t, old_t - q * t);
+    }
+    if old_r < 0 {
+        (-old_r, -old_s, -old_t)
+    } else {
+        (old_r, old_s, old_t)
+    }
+}
+
+/// GCD of an arbitrary collection of integers (non-negative result).
+///
+/// Returns `0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use cme_math::gcd::gcd_all;
+/// assert_eq!(gcd_all(&[12, 18, 30]), 6);
+/// assert_eq!(gcd_all(&[]), 0);
+/// ```
+pub fn gcd_all(values: &[i64]) -> i64 {
+    values.iter().fold(0, |g, &v| gcd(g, v))
+}
+
+/// Returns the largest power of two dividing `v`, as its exponent.
+///
+/// This is the `lg(gcd(C, Cs))` quantity manipulated by the padding
+/// algorithm: since the cache size is a power of two, `gcd(C, Cs)` is the
+/// power of two `2^min(x, lg Cs)` where `C = 2^x · t` with `t` odd.
+///
+/// # Panics
+///
+/// Panics if `v == 0` (zero is divisible by every power of two).
+///
+/// # Examples
+///
+/// ```
+/// use cme_math::gcd::two_adic_valuation;
+/// assert_eq!(two_adic_valuation(24), 3);
+/// assert_eq!(two_adic_valuation(7), 0);
+/// ```
+pub fn two_adic_valuation(v: i64) -> u32 {
+    assert!(v != 0, "two_adic_valuation(0) is undefined");
+    v.unsigned_abs().trailing_zeros()
+}
+
+/// Decomposes `v != 0` as `(x, t)` with `v.abs() = 2^x * t` and `t` odd.
+///
+/// # Panics
+///
+/// Panics if `v == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use cme_math::gcd::odd_decomposition;
+/// assert_eq!(odd_decomposition(96), (5, 3));
+/// ```
+pub fn odd_decomposition(v: i64) -> (u32, i64) {
+    let x = two_adic_valuation(v);
+    (x, (v.unsigned_abs() >> x) as i64)
+}
+
+/// Floor of the base-2 logarithm of `v >= 1`.
+///
+/// # Panics
+///
+/// Panics if `v < 1`.
+///
+/// # Examples
+///
+/// ```
+/// use cme_math::gcd::floor_log2;
+/// assert_eq!(floor_log2(1), 0);
+/// assert_eq!(floor_log2(9), 3);
+/// ```
+pub fn floor_log2(v: i64) -> u32 {
+    assert!(v >= 1, "floor_log2 requires v >= 1, got {v}");
+    63 - (v as u64).leading_zeros()
+}
+
+/// Ceiling of the base-2 logarithm of `v >= 1`.
+///
+/// # Panics
+///
+/// Panics if `v < 1`.
+///
+/// # Examples
+///
+/// ```
+/// use cme_math::gcd::ceil_log2;
+/// assert_eq!(ceil_log2(8), 3);
+/// assert_eq!(ceil_log2(9), 4);
+/// ```
+pub fn ceil_log2(v: i64) -> u32 {
+    let f = floor_log2(v);
+    if v.count_ones() == 1 {
+        f
+    } else {
+        f + 1
+    }
+}
+
+/// Euclidean (always non-negative) remainder of `a mod m` for `m > 0`.
+///
+/// # Panics
+///
+/// Panics if `m <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use cme_math::gcd::modulo;
+/// assert_eq!(modulo(-7, 4), 1);
+/// assert_eq!(modulo(7, 4), 3);
+/// ```
+pub fn modulo(a: i64, m: i64) -> i64 {
+    assert!(m > 0, "modulo requires a positive modulus, got {m}");
+    a.rem_euclid(m)
+}
+
+/// Floor division `a / b` for `b != 0` (rounds toward negative infinity).
+///
+/// This is the `⌊Mem/Ls⌋` operator of Equation 1 in the paper, which must
+/// behave correctly for the negative relative addresses that appear when
+/// base addresses are kept symbolic.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use cme_math::gcd::floor_div;
+/// assert_eq!(floor_div(7, 2), 3);
+/// assert_eq!(floor_div(-7, 2), -4);
+/// ```
+pub fn floor_div(a: i64, b: i64) -> i64 {
+    assert!(b != 0, "floor_div by zero");
+    // div_euclid rounds so the remainder is non-negative, which equals
+    // floor only for positive divisors; normalize the sign first.
+    let (a, b) = if b < 0 { (-a, -b) } else { (a, b) };
+    a.div_euclid(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(1, 1), 1);
+        assert_eq!(gcd(270, 192), 6);
+        assert_eq!(gcd(-270, -192), 6);
+        assert_eq!(gcd(i64::MIN + 1, 1), 1);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(6, 4), 12);
+        assert_eq!(lcm(-6, 4), 12);
+        assert_eq!(lcm(7, 0), 0);
+    }
+
+    #[test]
+    fn extended_gcd_identity() {
+        for (a, b) in [(240, 46), (-240, 46), (240, -46), (0, 5), (5, 0), (0, 0)] {
+            let (g, x, y) = extended_gcd(a, b);
+            assert_eq!(g, gcd(a, b), "gcd mismatch for ({a},{b})");
+            assert_eq!(a * x + b * y, g, "Bezout identity failed for ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn gcd_all_matches_pairwise() {
+        assert_eq!(gcd_all(&[8, 12, 20]), 4);
+        assert_eq!(gcd_all(&[7]), 7);
+        assert_eq!(gcd_all(&[0, 0, 9]), 9);
+    }
+
+    #[test]
+    fn two_adic() {
+        assert_eq!(two_adic_valuation(1), 0);
+        assert_eq!(two_adic_valuation(-8), 3);
+        assert_eq!(odd_decomposition(-12), (2, 3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn two_adic_zero_panics() {
+        two_adic_valuation(0);
+    }
+
+    #[test]
+    fn logs() {
+        assert_eq!(floor_log2(1), 0);
+        assert_eq!(floor_log2(2), 1);
+        assert_eq!(floor_log2(3), 1);
+        assert_eq!(floor_log2(1024), 10);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn modulo_and_floor_div_agree() {
+        for a in -20..20 {
+            for m in 1..8 {
+                assert_eq!(floor_div(a, m) * m + modulo(a, m), a);
+                assert!((0..m).contains(&modulo(a, m)));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_gcd_divides(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+            let g = gcd(a, b);
+            if g != 0 {
+                prop_assert_eq!(a % g, 0);
+                prop_assert_eq!(b % g, 0);
+            } else {
+                prop_assert_eq!(a, 0);
+                prop_assert_eq!(b, 0);
+            }
+        }
+
+        #[test]
+        fn prop_bezout(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+            let (g, x, y) = extended_gcd(a, b);
+            prop_assert_eq!(a * x + b * y, g);
+            prop_assert_eq!(g, gcd(a, b));
+        }
+
+        #[test]
+        fn prop_odd_decomposition_roundtrip(v in 1i64..1_000_000) {
+            let (x, t) = odd_decomposition(v);
+            prop_assert_eq!((1i64 << x) * t, v);
+            prop_assert_eq!(t % 2, 1);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Closed integer intervals `[lo, hi]` with exact arithmetic.
+//!
+//! Interval arithmetic is how the CME optimizers bound quantities like
+//! `max |b − (δf₀ + c′ − d′)|` (the right-hand-side range of the padding
+//! conditions) without enumerating iteration points: every `δf` term is an
+//! affine function evaluated over a box, whose exact range is an interval.
+
+use std::fmt;
+
+/// A closed integer interval `[lo, hi]`.
+///
+/// An interval with `lo > hi` is *empty*; [`Interval::EMPTY`] is the
+/// canonical empty interval.
+///
+/// # Examples
+///
+/// ```
+/// use cme_math::Interval;
+/// let a = Interval::new(-2, 3);
+/// let b = Interval::new(1, 4);
+/// assert_eq!(a + b, Interval::new(-1, 7));
+/// assert_eq!((a * 2), Interval::new(-4, 6));
+/// assert_eq!(a.max_abs(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// The canonical empty interval (`lo = 1 > hi = 0`).
+    pub const EMPTY: Interval = Interval { lo: 1, hi: 0 };
+
+    /// Creates the interval `[lo, hi]`.
+    ///
+    /// A reversed pair (`lo > hi`) yields an empty interval; use
+    /// [`Interval::is_empty`] to check.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        Interval { lo, hi }
+    }
+
+    /// The single-point interval `[v, v]`.
+    pub fn point(v: i64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Returns `true` when the interval contains no integers.
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Number of integers in the interval (0 when empty).
+    pub fn len(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            (self.hi - self.lo) as u64 + 1
+        }
+    }
+
+    /// Returns `true` iff `v` lies inside the interval.
+    pub fn contains(&self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Largest absolute value attained over the interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the interval is empty.
+    pub fn max_abs(&self) -> i64 {
+        assert!(!self.is_empty(), "max_abs of empty interval");
+        self.lo.abs().max(self.hi.abs())
+    }
+
+    /// Smallest absolute value attained over the interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the interval is empty.
+    pub fn min_abs(&self) -> i64 {
+        assert!(!self.is_empty(), "min_abs of empty interval");
+        if self.contains(0) {
+            0
+        } else {
+            self.lo.abs().min(self.hi.abs())
+        }
+    }
+
+    /// Intersection of two intervals.
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// Smallest interval containing both operands (convex hull).
+    pub fn hull(&self, other: &Interval) -> Interval {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+}
+
+impl Default for Interval {
+    fn default() -> Self {
+        Interval::point(0)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "[]")
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+impl std::ops::Add for Interval {
+    type Output = Interval;
+    fn add(self, rhs: Interval) -> Interval {
+        if self.is_empty() || rhs.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval::new(self.lo + rhs.lo, self.hi + rhs.hi)
+    }
+}
+
+impl std::ops::Sub for Interval {
+    type Output = Interval;
+    fn sub(self, rhs: Interval) -> Interval {
+        if self.is_empty() || rhs.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval::new(self.lo - rhs.hi, self.hi - rhs.lo)
+    }
+}
+
+impl std::ops::Mul<i64> for Interval {
+    type Output = Interval;
+    fn mul(self, k: i64) -> Interval {
+        if self.is_empty() {
+            return Interval::EMPTY;
+        }
+        if k >= 0 {
+            Interval::new(self.lo * k, self.hi * k)
+        } else {
+            Interval::new(self.hi * k, self.lo * k)
+        }
+    }
+}
+
+impl std::ops::Neg for Interval {
+    type Output = Interval;
+    fn neg(self) -> Interval {
+        self * -1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_emptiness() {
+        assert!(Interval::EMPTY.is_empty());
+        assert!(!Interval::point(5).is_empty());
+        assert_eq!(Interval::new(2, 5).len(), 4);
+        assert_eq!(Interval::EMPTY.len(), 0);
+    }
+
+    #[test]
+    fn abs_bounds() {
+        assert_eq!(Interval::new(-5, 3).max_abs(), 5);
+        assert_eq!(Interval::new(-5, 3).min_abs(), 0);
+        assert_eq!(Interval::new(2, 9).min_abs(), 2);
+        assert_eq!(Interval::new(-9, -2).min_abs(), 2);
+    }
+
+    #[test]
+    fn set_ops() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(5, 20);
+        assert_eq!(a.intersect(&b), Interval::new(5, 10));
+        assert_eq!(a.hull(&b), Interval::new(0, 20));
+        assert!(a.intersect(&Interval::new(11, 12)).is_empty());
+        assert_eq!(Interval::EMPTY.hull(&a), a);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Interval::new(-1, 2).to_string(), "[-1, 2]");
+        assert_eq!(Interval::EMPTY.to_string(), "[]");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_arith_sound(
+            alo in -100i64..100, alen in 0i64..50,
+            blo in -100i64..100, blen in 0i64..50,
+            x in 0i64..50, y in 0i64..50, k in -7i64..7,
+        ) {
+            let a = Interval::new(alo, alo + alen);
+            let b = Interval::new(blo, blo + blen);
+            // Pick concrete members.
+            let va = alo + x % (alen + 1);
+            let vb = blo + y % (blen + 1);
+            prop_assert!((a + b).contains(va + vb));
+            prop_assert!((a - b).contains(va - vb));
+            prop_assert!((a * k).contains(va * k));
+            prop_assert!((-a).contains(-va));
+        }
+    }
+}

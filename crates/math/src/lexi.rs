@@ -1,0 +1,120 @@
+//! Lexicographic order on integer vectors — the execution order `≻` of the
+//! iteration space (Section 2.4 of the paper).
+//!
+//! Iteration points execute in lexicographic order of their index vectors
+//! (outermost loop first), so "the last iteration where the line was
+//! accessed" and "intervening iteration points" are all statements about
+//! this order.
+
+use std::cmp::Ordering;
+
+/// Lexicographic comparison of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use cme_math::lexi::lex_cmp;
+/// use std::cmp::Ordering;
+/// assert_eq!(lex_cmp(&[1, 2, 3], &[1, 2, 4]), Ordering::Less);
+/// assert_eq!(lex_cmp(&[2, 0, 0], &[1, 9, 9]), Ordering::Greater);
+/// ```
+pub fn lex_cmp(a: &[i64], b: &[i64]) -> Ordering {
+    assert_eq!(a.len(), b.len(), "lex_cmp on mixed dimensions");
+    for (x, y) in a.iter().zip(b) {
+        match x.cmp(y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Returns `true` iff `v` is lexicographically positive (first nonzero
+/// component is positive). The zero vector is *not* positive.
+///
+/// Reuse vectors must be lexicographically non-negative: reuse flows from an
+/// earlier iteration to a later one.
+///
+/// # Examples
+///
+/// ```
+/// use cme_math::lexi::is_lex_positive;
+/// assert!(is_lex_positive(&[0, 1, -7]));
+/// assert!(!is_lex_positive(&[0, -1, 3]));
+/// assert!(!is_lex_positive(&[0, 0, 0]));
+/// ```
+pub fn is_lex_positive(v: &[i64]) -> bool {
+    v.iter().find(|&&x| x != 0).is_some_and(|&x| x > 0)
+}
+
+/// Returns `true` iff `v` is the zero vector.
+pub fn is_zero(v: &[i64]) -> bool {
+    v.iter().all(|&x| x == 0)
+}
+
+/// Negates a vector.
+pub fn negate(v: &[i64]) -> Vec<i64> {
+    v.iter().map(|&x| -x).collect()
+}
+
+/// Componentwise difference `a − b`.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn sub(a: &[i64], b: &[i64]) -> Vec<i64> {
+    assert_eq!(a.len(), b.len(), "sub on mixed dimensions");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Componentwise sum `a + b`.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn add(a: &[i64], b: &[i64]) -> Vec<i64> {
+    assert_eq!(a.len(), b.len(), "add on mixed dimensions");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering() {
+        assert_eq!(lex_cmp(&[1, 2], &[1, 2]), Ordering::Equal);
+        assert_eq!(lex_cmp(&[0, 9], &[1, 0]), Ordering::Less);
+        assert_eq!(lex_cmp(&[], &[]), Ordering::Equal);
+    }
+
+    #[test]
+    fn positivity() {
+        assert!(is_lex_positive(&[1]));
+        assert!(!is_lex_positive(&[]));
+        assert!(!is_lex_positive(&[0]));
+        assert!(is_lex_positive(&[0, 0, 2]));
+        assert!(!is_lex_positive(&[-1, 5]));
+    }
+
+    #[test]
+    fn vector_arith() {
+        assert_eq!(sub(&[3, 4], &[1, 1]), vec![2, 3]);
+        assert_eq!(add(&[3, 4], &[1, 1]), vec![4, 5]);
+        assert_eq!(negate(&[1, -2]), vec![-1, 2]);
+        assert!(is_zero(&[0, 0]));
+        assert!(!is_zero(&[0, 1]));
+    }
+
+    #[test]
+    fn paper_reuse_vectors_sort_in_expected_order() {
+        // Fig. 8: r1 = (0,0,1) < r2 = (0,1,-7) < r3 = (0,1,0).
+        let mut vs = vec![vec![0, 1, 0], vec![0, 0, 1], vec![0, 1, -7]];
+        vs.sort_by(|a, b| lex_cmp(a, b));
+        assert_eq!(vs, vec![vec![0, 0, 1], vec![0, 1, -7], vec![0, 1, 0]]);
+    }
+}

@@ -1,0 +1,676 @@
+//! Exact integer matrices and nullspace (kernel) lattice bases.
+//!
+//! Wolf–Lam reuse analysis, which the CME framework builds on (Section 2.4),
+//! derives **self-temporal reuse vectors** as the integer kernel of a
+//! reference's access matrix, and **self-spatial reuse vectors** as the
+//! kernel of the access matrix with its fastest-varying row dropped. This
+//! module computes integer kernel bases exactly using fraction-free Gaussian
+//! elimination followed by normalization to primitive integer vectors.
+
+use crate::gcd::gcd_all;
+use std::fmt;
+
+/// A dense `rows × cols` matrix of `i64` entries.
+///
+/// # Examples
+///
+/// ```
+/// use cme_math::IntMatrix;
+/// // Access matrix of Z(j, i) in the (i, k, j) matmul nest:
+/// //   row 0 (first subscript, j):  (0, 0, 1)
+/// //   row 1 (second subscript, i): (1, 0, 0)
+/// let a = IntMatrix::from_rows(&[vec![0, 0, 1], vec![1, 0, 0]]);
+/// let kernel = a.kernel_basis();
+/// // The kernel is spanned by (0, 1, 0): reuse across the k loop.
+/// assert_eq!(kernel, vec![vec![0, 1, 0]]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IntMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i64>,
+}
+
+impl IntMatrix {
+    /// Creates a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        IntMatrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<i64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map(Vec::len).unwrap_or(0);
+        let mut m = IntMatrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged rows in IntMatrix::from_rows");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = IntMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[i64] {
+        assert!(i < self.rows, "row {i} out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[i64]) -> Vec<i64> {
+        assert_eq!(x.len(), self.cols, "vector dimension mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Returns the matrix without row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn without_row(&self, i: usize) -> IntMatrix {
+        assert!(i < self.rows, "row {i} out of bounds");
+        let rows: Vec<Vec<i64>> = (0..self.rows)
+            .filter(|&r| r != i)
+            .map(|r| self.row(r).to_vec())
+            .collect();
+        if rows.is_empty() {
+            IntMatrix::zeros(0, self.cols)
+        } else {
+            IntMatrix::from_rows(&rows)
+        }
+    }
+
+    /// The rank of the matrix over the rationals.
+    pub fn rank(&self) -> usize {
+        self.echelon().0
+    }
+
+    /// Returns (rank, rational row-echelon form stored as i64 after
+    /// fraction-free elimination, pivot column per pivot row).
+    fn echelon(&self) -> (usize, IntMatrix, Vec<usize>) {
+        let mut m = self.clone();
+        let mut pivots = Vec::new();
+        let mut pivot_row = 0usize;
+        for col in 0..m.cols {
+            // Find a nonzero pivot at or below pivot_row.
+            let Some(sel) = (pivot_row..m.rows).find(|&r| m[(r, col)] != 0) else {
+                continue;
+            };
+            m.swap_rows(pivot_row, sel);
+            let p = m[(pivot_row, col)];
+            for r in 0..m.rows {
+                if r == pivot_row || m[(r, col)] == 0 {
+                    continue;
+                }
+                // Fraction-free: row_r := p*row_r − m[r,col]*row_pivot.
+                let f = m[(r, col)];
+                for c in 0..m.cols {
+                    m[(r, c)] = p * m[(r, c)] - f * m[(pivot_row, c)];
+                }
+                m.normalize_row(r);
+            }
+            m.normalize_row(pivot_row);
+            pivots.push(col);
+            pivot_row += 1;
+            if pivot_row == m.rows {
+                break;
+            }
+        }
+        (pivot_row, m, pivots)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            let t = self[(a, c)];
+            self[(a, c)] = self[(b, c)];
+            self[(b, c)] = t;
+        }
+    }
+
+    fn normalize_row(&mut self, r: usize) {
+        let g = gcd_all(self.row(r));
+        if g > 1 {
+            for c in 0..self.cols {
+                self[(r, c)] /= g;
+            }
+        }
+    }
+
+    /// Finds one integer solution of `A·x = d`, if this solver can produce
+    /// one, using Gaussian elimination with all free variables set to zero.
+    ///
+    /// Returns `None` when the system is rationally inconsistent **or** when
+    /// the free-variables-zero particular solution is not integral (a
+    /// conservative answer: group-reuse analysis simply generates fewer
+    /// reuse vectors, which can only over-count misses, never under-count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.len() != rows`.
+    pub fn solve(&self, d: &[i64]) -> Option<Vec<i64>> {
+        assert_eq!(d.len(), self.rows, "rhs dimension mismatch");
+        // Augmented fraction-free elimination.
+        let mut aug = IntMatrix::zeros(self.rows, self.cols + 1);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                aug[(r, c)] = self[(r, c)];
+            }
+            aug[(r, self.cols)] = d[r];
+        }
+        let mut pivots: Vec<(usize, usize)> = Vec::new();
+        let mut pivot_row = 0usize;
+        for col in 0..self.cols {
+            let Some(sel) = (pivot_row..self.rows).find(|&r| aug[(r, col)] != 0) else {
+                continue;
+            };
+            aug.swap_rows(pivot_row, sel);
+            let p = aug[(pivot_row, col)];
+            for r in 0..self.rows {
+                if r == pivot_row || aug[(r, col)] == 0 {
+                    continue;
+                }
+                let f = aug[(r, col)];
+                for c in 0..=self.cols {
+                    aug[(r, c)] = p * aug[(r, c)] - f * aug[(pivot_row, c)];
+                }
+                aug.normalize_row(r);
+            }
+            pivots.push((pivot_row, col));
+            pivot_row += 1;
+            if pivot_row == self.rows {
+                break;
+            }
+        }
+        // Inconsistency: a zero row with nonzero rhs.
+        for r in pivot_row..self.rows {
+            if (0..self.cols).all(|c| aug[(r, c)] == 0) && aug[(r, self.cols)] != 0 {
+                return None;
+            }
+        }
+        let mut x = vec![0i64; self.cols];
+        for &(pr, pc) in pivots.iter().rev() {
+            let p = aug[(pr, pc)];
+            let mut rhs = aug[(pr, self.cols)];
+            for c in 0..self.cols {
+                if c != pc {
+                    rhs -= aug[(pr, c)] * x[c];
+                }
+            }
+            if rhs % p != 0 {
+                return None;
+            }
+            x[pc] = rhs / p;
+        }
+        debug_assert_eq!(self.mul_vec(&x), d, "solver produced a non-solution");
+        Some(x)
+    }
+
+    /// A basis of the integer kernel `{ x : A·x = 0 }`, one primitive vector
+    /// per free column, each with its leading nonzero entry positive.
+    ///
+    /// The number of basis vectors is `cols − rank`. The basis spans the
+    /// rational kernel; each vector is integral and primitive (GCD of
+    /// entries is 1), which is exactly the form reuse vectors take.
+    pub fn kernel_basis(&self) -> Vec<Vec<i64>> {
+        if self.cols == 0 {
+            return Vec::new();
+        }
+        if self.rows == 0 {
+            // Whole space: standard basis.
+            return (0..self.cols)
+                .map(|j| {
+                    let mut v = vec![0; self.cols];
+                    v[j] = 1;
+                    v
+                })
+                .collect();
+        }
+        let (rank, ech, pivots) = self.echelon();
+        let pivot_set: std::collections::HashSet<usize> = pivots.iter().copied().collect();
+        let free_cols: Vec<usize> = (0..self.cols).filter(|c| !pivot_set.contains(c)).collect();
+        let mut basis = Vec::with_capacity(free_cols.len());
+        for &fc in &free_cols {
+            // Solve A·x = 0 with x[fc] = t, other free vars 0 using the
+            // echelon rows bottom-up with rational back-substitution scaled
+            // to integers.
+            // Each pivot row gives: p*x[pivot] + sum_{c>pivot} e[c]*x[c] = 0.
+            // Work with rationals via an LCM-scaled representation.
+            let mut num = vec![0i64; self.cols];
+            let mut den = 1i64;
+            num[fc] = 1;
+            for pr in (0..rank).rev() {
+                let pc = pivots[pr];
+                let p = ech[(pr, pc)];
+                // x[pc] = -(sum_{c != pc} e[c]*x[c]) / p
+                let mut s_num = 0i64;
+                for c in 0..self.cols {
+                    if c == pc {
+                        continue;
+                    }
+                    s_num += ech[(pr, c)] * num[c];
+                }
+                // x[pc] = -s_num / (den * p) in units of 1/den ... rescale:
+                // multiply everything by p so x[pc] becomes integral.
+                if s_num % p != 0 {
+                    for v in num.iter_mut() {
+                        *v *= p;
+                    }
+                    den *= p;
+                    s_num *= p;
+                }
+                num[pc] = -s_num / p;
+            }
+            let _ = den; // den only tracked to keep entries integral.
+            // Normalize to a primitive vector with positive leading entry.
+            let g = gcd_all(&num);
+            if g > 1 {
+                for v in num.iter_mut() {
+                    *v /= g;
+                }
+            }
+            if let Some(first) = num.iter().find(|&&v| v != 0) {
+                if *first < 0 {
+                    for v in num.iter_mut() {
+                        *v = -*v;
+                    }
+                }
+            }
+            basis.push(num);
+        }
+        basis
+    }
+}
+
+/// Computes an **integer lattice basis** of the kernel of a single linear
+/// form `{ x : Σ coeffs[l]·x_l = 0 }`, in column-echelon order, together
+/// with each basis vector's pivot component.
+///
+/// Unlike [`IntMatrix::kernel_basis`] (a basis of the *rational* kernel),
+/// the returned vectors generate **every** integer solution: the form is
+/// folded to `(g, 0, …, 0)` by unimodular column operations, so the
+/// non-pivot columns of the transform span the full kernel lattice. The
+/// basis is then column-echelonized so that basis vector `i`'s pivot
+/// component is zero in all later basis vectors — the property bounded
+/// lattice enumeration needs to compute exact per-vector shift ranges.
+///
+/// Returns `(basis, pivots)` with `pivots[i]` the echelon pivot component
+/// of `basis[i]`.
+///
+/// # Examples
+///
+/// ```
+/// use cme_math::matrix::kernel_lattice_of_form;
+/// let (basis, pivots) = kernel_lattice_of_form(&[32, 2, 0, 8, 1]);
+/// assert_eq!(basis.len(), 4);
+/// assert_eq!(pivots.len(), 4);
+/// for b in &basis {
+///     let dot: i64 = [32, 2, 0, 8, 1].iter().zip(b).map(|(c, v)| c * v).sum();
+///     assert_eq!(dot, 0);
+/// }
+/// ```
+pub fn kernel_lattice_of_form(coeffs: &[i64]) -> (Vec<Vec<i64>>, Vec<usize>) {
+    let n = coeffs.len();
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    // U starts as the identity; fold the form into position 0 with
+    // unimodular column ops (stored column-major: cols[j][r]).
+    let mut cols: Vec<Vec<i64>> = (0..n)
+        .map(|j| {
+            let mut v = vec![0i64; n];
+            v[j] = 1;
+            v
+        })
+        .collect();
+    let mut c: Vec<i64> = coeffs.to_vec();
+    for i in 1..n {
+        if c[i] == 0 {
+            continue;
+        }
+        if c[0] == 0 {
+            cols.swap(0, i);
+            c.swap(0, i);
+            continue;
+        }
+        let (g, s, t) = crate::gcd::extended_gcd(c[0], c[i]);
+        let (p, q) = (c[0] / g, c[i] / g);
+        for r in 0..n {
+            let (a0, ai) = (cols[0][r], cols[i][r]);
+            cols[0][r] = s * a0 + t * ai;
+            cols[i][r] = -q * a0 + p * ai;
+        }
+        c[0] = g;
+        c[i] = 0;
+    }
+    // Kernel columns: those whose folded form value is zero.
+    let mut kernel: Vec<Vec<i64>> = (0..n).filter(|&j| c[j] == 0).map(|j| cols[j].clone()).collect();
+    // Column-echelonize the kernel basis over the integers (unimodular ops
+    // only, so the lattice is preserved).
+    let mut pivots = Vec::with_capacity(kernel.len());
+    let mut next = 0usize;
+    for row in 0..n {
+        // Fold all columns `>= next` with a nonzero entry at `row` into one.
+        let Some(first) = (next..kernel.len()).find(|&j| kernel[j][row] != 0) else {
+            continue;
+        };
+        kernel.swap(next, first);
+        for j in (next + 1)..kernel.len() {
+            while kernel[j][row] != 0 {
+                // Euclidean step between columns `next` and `j` at `row`.
+                let (a, b) = (kernel[next][row], kernel[j][row]);
+                if a.abs() > b.abs() {
+                    kernel.swap(next, j);
+                    continue;
+                }
+                let q = b / a;
+                for r in 0..n {
+                    let sub = q * kernel[next][r];
+                    kernel[j][r] -= sub;
+                }
+            }
+        }
+        // Normalize the pivot sign so the leading entry is positive.
+        if kernel[next][row] < 0 {
+            for r in 0..n {
+                kernel[next][r] = -kernel[next][r];
+            }
+        }
+        pivots.push(row);
+        next += 1;
+        if next == kernel.len() {
+            break;
+        }
+    }
+    (kernel, pivots)
+}
+
+impl std::ops::Index<(usize, usize)> for IntMatrix {
+    type Output = i64;
+    fn index(&self, (r, c): (usize, usize)) -> &i64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for IntMatrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut i64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for IntMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            write!(f, "[")?;
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}", self[(r, c)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = IntMatrix::from_rows(&[vec![1, 2], vec![3, 4]]);
+        assert_eq!(m[(0, 1)], 2);
+        assert_eq!(m.row(1), &[3, 4]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(IntMatrix::identity(3).rank(), 3);
+    }
+
+    #[test]
+    fn mul_vec_works() {
+        let m = IntMatrix::from_rows(&[vec![1, 2, 3], vec![0, 1, 0]]);
+        assert_eq!(m.mul_vec(&[1, 1, 1]), vec![6, 1]);
+    }
+
+    #[test]
+    fn kernel_of_matmul_access_matrices() {
+        // Nest order (i, k, j). Z(j, i): rows (j), (i).
+        let z = IntMatrix::from_rows(&[vec![0, 0, 1], vec![1, 0, 0]]);
+        assert_eq!(z.kernel_basis(), vec![vec![0, 1, 0]]);
+        // X(k, i): rows (k), (i) -> kernel (0, 0, 1).
+        let x = IntMatrix::from_rows(&[vec![0, 1, 0], vec![1, 0, 0]]);
+        assert_eq!(x.kernel_basis(), vec![vec![0, 0, 1]]);
+        // Y(j, k): kernel (1, 0, 0).
+        let y = IntMatrix::from_rows(&[vec![0, 0, 1], vec![0, 1, 0]]);
+        assert_eq!(y.kernel_basis(), vec![vec![1, 0, 0]]);
+    }
+
+    #[test]
+    fn kernel_with_dependent_subscripts() {
+        // A(i+j, i+j): rank 1, kernel dimension 1 over (i, j).
+        let m = IntMatrix::from_rows(&[vec![1, 1], vec![1, 1]]);
+        let k = m.kernel_basis();
+        assert_eq!(k.len(), 1);
+        assert_eq!(m.mul_vec(&k[0]), vec![0, 0]);
+        assert_eq!(k[0], vec![1, -1]);
+    }
+
+    #[test]
+    fn kernel_of_zero_and_empty() {
+        let m = IntMatrix::zeros(2, 3);
+        let k = m.kernel_basis();
+        assert_eq!(k.len(), 3);
+        let e = IntMatrix::zeros(0, 2);
+        assert_eq!(e.kernel_basis().len(), 2);
+        let no_cols = IntMatrix::zeros(2, 0);
+        assert!(no_cols.kernel_basis().is_empty());
+    }
+
+    #[test]
+    fn kernel_of_full_rank_is_empty() {
+        assert!(IntMatrix::identity(4).kernel_basis().is_empty());
+    }
+
+    #[test]
+    fn kernel_vectors_are_primitive_with_positive_lead() {
+        let m = IntMatrix::from_rows(&[vec![2, 4, 6]]);
+        for v in m.kernel_basis() {
+            assert_eq!(m.mul_vec(&v), vec![0]);
+            assert_eq!(crate::gcd::gcd_all(&v), 1);
+            assert!(*v.iter().find(|&&x| x != 0).unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn without_row_shrinks() {
+        let m = IntMatrix::from_rows(&[vec![1, 0], vec![0, 1], vec![1, 1]]);
+        let n = m.without_row(1);
+        assert_eq!(n.rows(), 2);
+        assert_eq!(n.row(1), &[1, 1]);
+    }
+
+    #[test]
+    fn solve_simple_systems() {
+        // A(i-1, k): L over (i, k) is identity; L·r = (1, 0).
+        let l = IntMatrix::identity(2);
+        assert_eq!(l.solve(&[1, 0]), Some(vec![1, 0]));
+        // Underdetermined: x + y = 3 — free var zero gives (3, 0).
+        let m = IntMatrix::from_rows(&[vec![1, 1]]);
+        assert_eq!(m.solve(&[3]), Some(vec![3, 0]));
+        // Inconsistent.
+        let m = IntMatrix::from_rows(&[vec![1, 1], vec![1, 1]]);
+        assert_eq!(m.solve(&[1, 2]), None);
+        // Non-integral particular solution: 2x = 3.
+        let m = IntMatrix::from_rows(&[vec![2]]);
+        assert_eq!(m.solve(&[3]), None);
+        assert_eq!(m.solve(&[4]), Some(vec![2]));
+    }
+
+    #[test]
+    fn solve_verifies_with_mul_vec() {
+        let m = IntMatrix::from_rows(&[vec![1, 2, 0], vec![0, 1, -1]]);
+        let x = m.solve(&[5, 2]).unwrap();
+        assert_eq!(m.mul_vec(&x), vec![5, 2]);
+    }
+
+    /// Membership in the lattice spanned by an echelon basis: peel pivots.
+    fn lattice_contains(basis: &[Vec<i64>], pivots: &[usize], v: &[i64]) -> bool {
+        let mut v = v.to_vec();
+        for (b, &p) in basis.iter().zip(pivots) {
+            if v[p] % b[p] != 0 {
+                return false;
+            }
+            let t = v[p] / b[p];
+            for (x, y) in v.iter_mut().zip(b) {
+                *x -= t * y;
+            }
+        }
+        v.iter().all(|&x| x == 0)
+    }
+
+    #[test]
+    fn form_kernel_lattice_is_complete() {
+        // The rational-kernel basis of (32,2,0,8,1) does NOT generate
+        // (0,1,0,0,-2); the lattice basis must.
+        let coeffs = [32i64, 2, 0, 8, 1];
+        let (basis, pivots) = kernel_lattice_of_form(&coeffs);
+        assert_eq!(basis.len(), 4);
+        for b in &basis {
+            let dot: i64 = coeffs.iter().zip(b).map(|(c, v)| c * v).sum();
+            assert_eq!(dot, 0);
+        }
+        assert!(lattice_contains(&basis, &pivots, &[0, 1, 0, 0, -2]));
+        assert!(lattice_contains(&basis, &pivots, &[1, -16, 0, 0, 0]));
+        assert!(lattice_contains(&basis, &pivots, &[0, 0, 1, 0, 0]));
+        assert!(lattice_contains(&basis, &pivots, &[1, 0, 0, -4, 0]));
+        assert!(!lattice_contains(&basis, &pivots, &[1, 0, 0, 0, 0]));
+    }
+
+    #[test]
+    fn form_kernel_lattice_edge_cases() {
+        let (basis, pivots) = kernel_lattice_of_form(&[]);
+        assert!(basis.is_empty() && pivots.is_empty());
+        // All-zero form: the whole space.
+        let (basis, pivots) = kernel_lattice_of_form(&[0, 0]);
+        assert_eq!(basis.len(), 2);
+        assert!(lattice_contains(&basis, &pivots, &[5, -3]));
+        // Nonzero 1-D form: trivial kernel.
+        let (basis, _) = kernel_lattice_of_form(&[3]);
+        assert!(basis.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_form_kernel_lattice_generates_all_small_solutions(
+            coeffs in proptest::collection::vec(-9i64..=9, 2..5),
+        ) {
+            let (basis, pivots) = kernel_lattice_of_form(&coeffs);
+            // Every basis vector annihilates the form...
+            for b in &basis {
+                let dot: i64 = coeffs.iter().zip(b).map(|(c, v)| c * v).sum();
+                prop_assert_eq!(dot, 0);
+            }
+            // ...and every small solution is in the lattice.
+            let n = coeffs.len();
+            let mut idx = vec![-3i64; n];
+            'sweep: loop {
+                let dot: i64 = coeffs.iter().zip(&idx).map(|(c, v)| c * v).sum();
+                if dot == 0 {
+                    prop_assert!(
+                        lattice_contains(&basis, &pivots, &idx),
+                        "missing kernel point {:?} for form {:?}",
+                        idx,
+                        coeffs
+                    );
+                }
+                // Advance the odometer.
+                let mut l = 0;
+                loop {
+                    if l == n {
+                        break 'sweep;
+                    }
+                    idx[l] += 1;
+                    if idx[l] <= 3 {
+                        break;
+                    }
+                    idx[l] = -3;
+                    l += 1;
+                }
+            }
+        }
+
+        #[test]
+        fn prop_solve_returns_true_solutions(
+            entries in proptest::collection::vec(-3i64..=3, 6),
+            x0 in -4i64..=4, x1 in -4i64..=4, x2 in -4i64..=4,
+        ) {
+            let rows: Vec<Vec<i64>> = entries.chunks(3).map(|c| c.to_vec()).collect();
+            let m = IntMatrix::from_rows(&rows);
+            // Build a solvable rhs from a known solution; solver must find
+            // SOME solution (not necessarily the same one).
+            let d = m.mul_vec(&[x0, x1, x2]);
+            if let Some(x) = m.solve(&d) {
+                prop_assert_eq!(m.mul_vec(&x), d);
+            }
+        }
+
+        #[test]
+        fn prop_kernel_vectors_annihilate(
+            entries in proptest::collection::vec(-4i64..=4, 12)
+        ) {
+            let rows: Vec<Vec<i64>> = entries.chunks(4).map(|c| c.to_vec()).collect();
+            let m = IntMatrix::from_rows(&rows);
+            let basis = m.kernel_basis();
+            prop_assert_eq!(basis.len(), m.cols() - m.rank());
+            for v in basis {
+                prop_assert!(v.iter().any(|&x| x != 0), "zero kernel vector");
+                prop_assert_eq!(m.mul_vec(&v), vec![0; m.rows()]);
+            }
+        }
+    }
+}

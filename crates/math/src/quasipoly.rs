@@ -1,0 +1,328 @@
+//! One-parameter quasi-polynomials (Ehrhart-style periodic counts).
+//!
+//! Section 5.1.3 of the paper derives the number of CME solutions as a
+//! function of an optimization parameter (for example the inter-variable
+//! spacing `|B_X − B_Y|`) using Ehrhart pseudo-polynomials, then minimizes
+//! that function instead of enumerating every candidate value.
+//!
+//! For cache analysis the counting function of a single layout parameter is
+//! *eventually periodic-polynomial*: the cache mapping is periodic with a
+//! period dividing the cache size, so the count restricted to each residue
+//! class modulo the period is a polynomial (degree 0 or 1 in the cases the
+//! paper manipulates). [`QuasiPolynomial`] represents exactly that, and
+//! [`fit_periodic`] recovers one from sampled counts.
+
+use std::fmt;
+
+/// A quasi-polynomial `f(p) = poly_{p mod period}(p)` with per-residue
+/// linear polynomials `a + b·p`.
+///
+/// # Examples
+///
+/// ```
+/// use cme_math::quasipoly::QuasiPolynomial;
+/// // f(p) = 3 when p is even, 5 when p is odd.
+/// let q = QuasiPolynomial::from_constants(vec![3, 5]);
+/// assert_eq!(q.eval(4), 3);
+/// assert_eq!(q.eval(7), 5);
+/// assert_eq!(q.argmin(0..=9), (0, 3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuasiPolynomial {
+    /// Per-residue `(a, b)` pairs representing `a + b·p`.
+    coeffs: Vec<(i64, i64)>,
+}
+
+impl QuasiPolynomial {
+    /// Builds a quasi-polynomial with the given per-residue linear
+    /// coefficients `(a, b)` meaning `a + b·p` for `p ≡ residue`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` is empty.
+    pub fn new(coeffs: Vec<(i64, i64)>) -> Self {
+        assert!(!coeffs.is_empty(), "quasi-polynomial needs period >= 1");
+        QuasiPolynomial { coeffs }
+    }
+
+    /// Builds a purely periodic (degree-0) quasi-polynomial from per-residue
+    /// constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `constants` is empty.
+    pub fn from_constants(constants: Vec<i64>) -> Self {
+        QuasiPolynomial::new(constants.into_iter().map(|c| (c, 0)).collect())
+    }
+
+    /// The period of the quasi-polynomial.
+    pub fn period(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Evaluates the quasi-polynomial at `p >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 0`.
+    pub fn eval(&self, p: i64) -> i64 {
+        assert!(p >= 0, "quasi-polynomial parameter must be non-negative");
+        let (a, b) = self.coeffs[(p as usize) % self.coeffs.len()];
+        a + b * p
+    }
+
+    /// Finds the parameter in `range` that minimizes the quasi-polynomial,
+    /// returning `(argmin, min)`. Ties break toward the smaller parameter.
+    ///
+    /// Because each residue class is linear, only the endpoints of each
+    /// class within the range need to be inspected — this is the "function
+    /// optimization" step of Section 5.1.3 done exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or contains negative values.
+    pub fn argmin(&self, range: std::ops::RangeInclusive<i64>) -> (i64, i64) {
+        let (lo, hi) = (*range.start(), *range.end());
+        assert!(lo <= hi, "empty parameter range");
+        assert!(lo >= 0, "parameters must be non-negative");
+        let m = self.coeffs.len() as i64;
+        let mut best: Option<(i64, i64)> = None;
+        for res in 0..m {
+            // Smallest and largest p in [lo, hi] with p ≡ res (mod m).
+            let first = lo + (res - lo).rem_euclid(m);
+            if first > hi {
+                continue;
+            }
+            let last = hi - (hi - res).rem_euclid(m);
+            for p in [first, last] {
+                let v = self.eval(p);
+                match best {
+                    Some((bp, bv)) if (bv, bp) <= (v, p) => {}
+                    _ => best = Some((p, v)),
+                }
+            }
+        }
+        best.expect("non-empty range always yields a candidate")
+    }
+}
+
+impl fmt::Display for QuasiPolynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[p mod {}] -> ", self.coeffs.len())?;
+        let shown = self.coeffs.len().min(16);
+        for (i, (a, b)) in self.coeffs.iter().take(shown).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if *b == 0 {
+                write!(f, "{a}")?;
+            } else {
+                write!(f, "{a}+{b}p")?;
+            }
+        }
+        if self.coeffs.len() > shown {
+            let lo = self.coeffs.iter().map(|(a, _)| a).min().unwrap();
+            let hi = self.coeffs.iter().map(|(a, _)| a).max().unwrap();
+            write!(
+                f,
+                ", … ({} more residues; constants range {lo}..={hi})",
+                self.coeffs.len() - shown
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned by [`fit_periodic`] when no quasi-polynomial of any
+/// admissible period explains the samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FitPeriodicError {
+    tried: Vec<usize>,
+}
+
+impl fmt::Display for FitPeriodicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no periodic-constant model fits the samples (periods tried: {:?})",
+            self.tried
+        )
+    }
+}
+
+impl std::error::Error for FitPeriodicError {}
+
+/// Fits a purely periodic quasi-polynomial to `samples[p] = f(p)` for
+/// `p = 0..samples.len()`, trying each candidate period in `periods` in
+/// order and returning the first that reproduces every sample.
+///
+/// Candidate periods for cache problems are the powers of two up to the
+/// cache size, since the set-mapping function has that periodicity.
+///
+/// # Errors
+///
+/// Returns [`FitPeriodicError`] when no candidate period fits; callers fall
+/// back to direct counting (Section 5.1.2 style) in that case.
+///
+/// # Examples
+///
+/// ```
+/// use cme_math::quasipoly::fit_periodic;
+/// let samples = [4, 9, 4, 9, 4, 9, 4, 9];
+/// let q = fit_periodic(&samples, &[1, 2, 4]).unwrap();
+/// assert_eq!(q.period(), 2);
+/// assert_eq!(q.eval(100), 4);
+/// ```
+pub fn fit_periodic(samples: &[i64], periods: &[usize]) -> Result<QuasiPolynomial, FitPeriodicError> {
+    for &m in periods {
+        if m == 0 || m > samples.len() {
+            continue;
+        }
+        let ok = samples
+            .iter()
+            .enumerate()
+            .all(|(p, &v)| v == samples[p % m]);
+        if ok {
+            return Ok(QuasiPolynomial::from_constants(samples[..m].to_vec()));
+        }
+    }
+    Err(FitPeriodicError {
+        tried: periods.to_vec(),
+    })
+}
+
+/// Fits a degree-≤1 quasi-polynomial to `samples[p] = f(p)`: per residue
+/// class modulo a candidate period, a line `a + b·p` is derived from the
+/// first two samples of the class and verified against the rest.
+///
+/// This is the shape of a genuine 1-parameter Ehrhart quasi-polynomial of
+/// a 1-D parametric polytope (count grows linearly with the parameter,
+/// with cache-periodic corrections).
+///
+/// # Errors
+///
+/// Returns [`FitPeriodicError`] when no candidate period admits a
+/// consistent linear model (e.g. the counting function is quadratic).
+///
+/// # Examples
+///
+/// ```
+/// use cme_math::quasipoly::fit_quasi_linear;
+/// // f(p) = 2p + (0 if p even else 5).
+/// let samples: Vec<i64> = (0..24).map(|p| 2 * p + if p % 2 == 0 { 0 } else { 5 }).collect();
+/// let q = fit_quasi_linear(&samples, &[1, 2, 4]).unwrap();
+/// assert_eq!(q.period(), 2);
+/// assert_eq!(q.eval(100), 200);
+/// assert_eq!(q.eval(101), 207);
+/// ```
+pub fn fit_quasi_linear(
+    samples: &[i64],
+    periods: &[usize],
+) -> Result<QuasiPolynomial, FitPeriodicError> {
+    'periods: for &m in periods {
+        if m == 0 || samples.len() < 2 * m {
+            continue;
+        }
+        let mut coeffs = Vec::with_capacity(m);
+        for r in 0..m {
+            let p0 = r as i64;
+            let p1 = (r + m) as i64;
+            let (f0, f1) = (samples[r], samples[r + m]);
+            if (f1 - f0) % (m as i64) != 0 {
+                continue 'periods;
+            }
+            let b = (f1 - f0) / m as i64;
+            let a = f0 - b * p0;
+            let _ = p1;
+            coeffs.push((a, b));
+        }
+        let q = QuasiPolynomial::new(coeffs);
+        if samples
+            .iter()
+            .enumerate()
+            .all(|(p, &v)| q.eval(p as i64) == v)
+        {
+            return Ok(q);
+        }
+    }
+    Err(FitPeriodicError {
+        tried: periods.to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_periodic_linear() {
+        // Even p: 1 + p, odd p: 10.
+        let q = QuasiPolynomial::new(vec![(1, 1), (10, 0)]);
+        assert_eq!(q.eval(0), 1);
+        assert_eq!(q.eval(2), 3);
+        assert_eq!(q.eval(3), 10);
+    }
+
+    #[test]
+    fn argmin_prefers_smallest_parameter_on_ties() {
+        let q = QuasiPolynomial::from_constants(vec![5, 5, 5, 5]);
+        assert_eq!(q.argmin(2..=9), (2, 5));
+    }
+
+    #[test]
+    fn argmin_scans_residue_endpoints() {
+        // f(p) = 100 - p for p ≡ 0 (mod 2); 1000 otherwise: min at largest even p.
+        let q = QuasiPolynomial::new(vec![(100, -1), (1000, 0)]);
+        assert_eq!(q.argmin(0..=10), (10, 90));
+        assert_eq!(q.argmin(0..=9), (8, 92));
+    }
+
+    #[test]
+    fn fit_recovers_true_period() {
+        let samples: Vec<i64> = (0..32).map(|p| [7, 3, 9, 3][p % 4]).collect();
+        let q = fit_periodic(&samples, &[1, 2, 4, 8]).unwrap();
+        assert_eq!(q.period(), 4);
+        for (p, &s) in samples.iter().enumerate() {
+            assert_eq!(q.eval(p as i64), s);
+        }
+    }
+
+    #[test]
+    fn fit_fails_cleanly() {
+        let samples: Vec<i64> = (0..16).map(|p| p as i64 * p as i64).collect();
+        let err = fit_periodic(&samples, &[1, 2, 4]).unwrap_err();
+        assert!(err.to_string().contains("no periodic-constant model"));
+    }
+
+    #[test]
+    fn quasi_linear_recovers_slope_and_period() {
+        let f = |p: i64| 3 * p + [1, 7, 4][(p % 3) as usize];
+        let samples: Vec<i64> = (0..30).map(f).collect();
+        let q = fit_quasi_linear(&samples, &[1, 2, 3, 6]).unwrap();
+        assert_eq!(q.period(), 3);
+        for p in 0..200 {
+            assert_eq!(q.eval(p), f(p));
+        }
+    }
+
+    #[test]
+    fn quasi_linear_rejects_quadratics() {
+        let samples: Vec<i64> = (0..20).map(|p| p * p).collect();
+        assert!(fit_quasi_linear(&samples, &[1, 2, 4]).is_err());
+    }
+
+    #[test]
+    fn quasi_linear_subsumes_constant_fits() {
+        let samples = vec![5i64; 16];
+        let q = fit_quasi_linear(&samples, &[1, 2]).unwrap();
+        assert_eq!(q.period(), 1);
+        assert_eq!(q.eval(1000), 5);
+    }
+
+    #[test]
+    fn fit_constant_is_period_one() {
+        let q = fit_periodic(&[6, 6, 6, 6], &[1, 2]).unwrap();
+        assert_eq!(q.period(), 1);
+        assert_eq!(q.eval(12345), 6);
+    }
+}

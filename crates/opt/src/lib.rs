@@ -1,0 +1,34 @@
+//! CME-driven program transformations (Section 5 of the paper).
+//!
+//! None of the optimizers here enumerates cache misses to make decisions —
+//! that is the whole point of the Cache Miss Equation framework. Instead:
+//!
+//! - [`padding`] exploits *mathematical special cases* (Section 5.1.1,
+//!   Figure 10): the GCD solvability conditions of linear Diophantine
+//!   equations yield array column sizes and base spacings under which the
+//!   replacement equations provably have **no solutions**.
+//! - [`tiling`] selects tile sizes admitting at most `k − 1` solutions of
+//!   the self-interference equation (Equation 8) and then spaces bases to
+//!   kill cross-interference (Equation 9).
+//! - [`fusion`] uses a *solution counting engine* (Section 5.1.2) to decide
+//!   whether fusing two nests lowers the total miss count.
+//! - [`parametric`] derives the miss count as a quasi-polynomial function
+//!   of a layout parameter (Section 5.1.3, Ehrhart-style) and optimizes the
+//!   function instead of searching exhaustively.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod diagnose;
+pub mod fusion;
+pub mod padding;
+pub mod parametric;
+pub mod search;
+pub mod tiling;
+
+pub use diagnose::{diagnose, NestDiagnosis, Recommendation, RefDiagnosis};
+pub use fusion::{evaluate_fusion, FusionDecision};
+pub use padding::{plan_padding, PaddingError, PaddingPlan};
+pub use parametric::{optimize_parameter, ParametricResult};
+pub use search::{optimize_padding, PaddingMethod, PaddingOutcome};
+pub use tiling::{select_tile_and_layout, select_tile_size, TileChoice};

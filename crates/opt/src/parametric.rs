@@ -1,0 +1,155 @@
+//! Parametric optimization via quasi-polynomial miss functions
+//! (Section 5.1.3).
+//!
+//! Instead of counting misses at every candidate value of a layout
+//! parameter (brute force), the parametric method derives the miss count
+//! *as a function* of the parameter — an Ehrhart-style quasi-polynomial,
+//! periodic because the cache set mapping is periodic in the address — and
+//! minimizes the function. Sampling one period plus a verification window
+//! suffices to recover the function exactly; optimizing it then covers an
+//! arbitrarily large parameter range for free.
+
+use cme_math::quasipoly::{fit_periodic, QuasiPolynomial};
+use std::fmt;
+
+/// Result of a parametric optimization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParametricResult {
+    /// The recovered miss function, if a periodic model fit the samples.
+    pub function: Option<QuasiPolynomial>,
+    /// The optimal parameter value over the requested range.
+    pub best_parameter: i64,
+    /// The miss count at the optimum.
+    pub best_misses: i64,
+    /// How many times `count` was invoked (the cost of the analysis).
+    pub evaluations: usize,
+}
+
+impl fmt::Display for ParametricResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.function {
+            Some(q) => write!(
+                f,
+                "miss(p) = {q}; argmin over range: p = {} with {} misses ({} counts)",
+                self.best_parameter, self.best_misses, self.evaluations
+            ),
+            None => write!(
+                f,
+                "no periodic model; exhaustive argmin p = {} with {} misses ({} counts)",
+                self.best_parameter, self.best_misses, self.evaluations
+            ),
+        }
+    }
+}
+
+/// Finds the parameter value in `range` minimizing `count(p)`.
+///
+/// `count` is any miss-counting oracle (typically a closure wrapping
+/// [`cme_core::analyze_nest`] on a nest parameterized by `p`); `periods`
+/// are the candidate periodicities, normally the powers of two up to the
+/// cache size in elements.
+///
+/// The function samples `2·max(periods)` points (one period to fit, one to
+/// verify), fits a quasi-polynomial, and minimizes it in closed form; if no
+/// candidate period fits, it falls back to exhaustive counting over the
+/// range (the Section 5.1.2 style).
+///
+/// # Panics
+///
+/// Panics if `range` is empty or `periods` is empty.
+pub fn optimize_parameter(
+    mut count: impl FnMut(i64) -> i64,
+    range: std::ops::RangeInclusive<i64>,
+    periods: &[usize],
+) -> ParametricResult {
+    let (lo, hi) = (*range.start(), *range.end());
+    assert!(lo <= hi, "empty parameter range");
+    assert!(!periods.is_empty(), "need at least one candidate period");
+    let max_period = *periods.iter().max().expect("nonempty") as i64;
+    let sample_len = (2 * max_period).min(hi - lo + 1);
+    let samples: Vec<i64> = (0..sample_len).map(|d| count(lo + d)).collect();
+    let mut evaluations = samples.len();
+    // Shifted fit: samples[d] = f(lo + d), so the fitted function is in the
+    // shifted variable d; translate back when evaluating.
+    if sample_len == 2 * max_period {
+        if let Ok(q) = fit_periodic(&samples, periods) {
+            let (best_d, best_misses) = q.argmin(0..=(hi - lo));
+            return ParametricResult {
+                function: Some(q),
+                best_parameter: lo + best_d,
+                best_misses,
+                evaluations,
+            };
+        }
+    }
+    // Fallback: exhaustive counting.
+    let mut best_parameter = lo;
+    let mut best_misses = samples.first().copied().unwrap_or(i64::MAX);
+    for p in lo..=hi {
+        let d = (p - lo) as usize;
+        let v = if d < samples.len() {
+            samples[d]
+        } else {
+            evaluations += 1;
+            count(p)
+        };
+        if v < best_misses {
+            best_misses = v;
+            best_parameter = p;
+        }
+    }
+    ParametricResult {
+        function: None,
+        best_parameter,
+        best_misses,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_periodic_function_with_few_evaluations() {
+        // Synthetic miss function with period 8.
+        let f = |p: i64| [9, 7, 5, 3, 1, 3, 5, 7][(p % 8) as usize];
+        let mut calls = 0;
+        let res = optimize_parameter(
+            |p| {
+                calls += 1;
+                f(p)
+            },
+            0..=10_000,
+            &[1, 2, 4, 8],
+        );
+        assert_eq!(res.best_misses, 1);
+        assert_eq!(res.best_parameter % 8, 4);
+        assert!(res.function.is_some());
+        // Only 16 samples, despite the 10k-wide range.
+        assert_eq!(calls, 16);
+        assert_eq!(res.evaluations, 16);
+    }
+
+    #[test]
+    fn falls_back_to_exhaustive_on_aperiodic_data() {
+        // Strictly decreasing: no periodic fit.
+        let res = optimize_parameter(|p| 100 - p, 0..=50, &[1, 2, 4]);
+        assert!(res.function.is_none());
+        assert_eq!(res.best_parameter, 50);
+        assert_eq!(res.best_misses, 50);
+    }
+
+    #[test]
+    fn narrow_range_skips_fitting() {
+        let res = optimize_parameter(|p| p * p, 2..=4, &[8]);
+        assert_eq!(res.best_parameter, 2);
+        assert_eq!(res.best_misses, 4);
+    }
+
+    #[test]
+    fn display_shows_argmin() {
+        let res = optimize_parameter(|_| 7, 0..=3, &[1]);
+        assert!(res.to_string().contains("p = 0"));
+    }
+}

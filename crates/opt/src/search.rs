@@ -1,0 +1,396 @@
+//! Padding by solution counting (Section 5.1.2 applied to data layout).
+//!
+//! The GCD special-case conditions of Figure 10 are *sufficient*, not
+//! necessary: layouts outside them can still be conflict-free. When
+//! [`crate::padding::plan_padding`] reports infeasibility (or its plan
+//! leaves residual conflicts), this module falls back to the paper's second
+//! methodology — score a structured set of candidate layouts by **counting
+//! CME solutions** (the miss-finding engine, never the simulator) and keep
+//! the best. A greedy coordinate descent over (column size, consecutive
+//! base spacings) with line-staggered spacing candidates converges in a few
+//! dozen counts.
+
+use crate::padding::{plan_padding, plan_padding_partial, PaddingPlan};
+use cme_cache::CacheConfig;
+use cme_core::{analyze_nest_parallel, AnalysisOptions};
+use cme_ir::{ArrayId, LoopNest};
+use std::fmt;
+
+/// How an optimized layout was obtained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PaddingMethod {
+    /// The Figure 10 special-case conditions produced a provably
+    /// conflict-free layout.
+    SpecialCase(PaddingPlan),
+    /// Solution-counting search chose the layout.
+    CountingSearch {
+        /// Number of CME counts evaluated.
+        evaluations: usize,
+    },
+}
+
+impl fmt::Display for PaddingMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PaddingMethod::SpecialCase(plan) => write!(f, "special-case conditions ({plan})"),
+            PaddingMethod::CountingSearch { evaluations } => {
+                write!(f, "solution-counting search ({evaluations} counts)")
+            }
+        }
+    }
+}
+
+/// Result of [`optimize_padding`]: the transformed nest plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct PaddingOutcome {
+    /// The method that produced the final layout.
+    pub method: PaddingMethod,
+    /// CME replacement misses before the transformation.
+    pub replacement_before: u64,
+    /// CME replacement misses after.
+    pub replacement_after: u64,
+    /// Total CME misses before.
+    pub total_before: u64,
+    /// Total CME misses after.
+    pub total_after: u64,
+}
+
+impl PaddingOutcome {
+    /// Percentage reduction in replacement misses (0 when none existed).
+    pub fn replacement_reduction_pct(&self) -> f64 {
+        if self.replacement_before == 0 {
+            0.0
+        } else {
+            100.0 * (self.replacement_before - self.replacement_after) as f64
+                / self.replacement_before as f64
+        }
+    }
+}
+
+impl fmt::Display for PaddingOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "replacement {} -> {} ({:.1}%), total {} -> {}, via {}",
+            self.replacement_before,
+            self.replacement_after,
+            self.replacement_reduction_pct(),
+            self.total_before,
+            self.total_after,
+            self.method
+        )
+    }
+}
+
+/// Distinct arrays in increasing-base order.
+fn used_arrays(nest: &LoopNest) -> Vec<ArrayId> {
+    let mut ids: Vec<ArrayId> = Vec::new();
+    for r in nest.references() {
+        if !ids.contains(&r.array()) {
+            ids.push(r.array());
+        }
+    }
+    ids.sort_by_key(|a| nest.array(*a).base());
+    ids
+}
+
+/// Applies `(column, spacings)` to a clone of the nest and returns it.
+fn layout_with(nest: &LoopNest, order: &[ArrayId], column: i64, spacings: &[i64]) -> LoopNest {
+    let mut out = nest.clone();
+    for &id in order {
+        let arr = out.array_mut(id);
+        if arr.rank() == 2 && column > arr.column_size() {
+            arr.pad_column_to(column);
+        }
+    }
+    if let Some((&first, rest)) = order.split_first() {
+        let mut cursor = out.array(first).base();
+        for (&id, &s) in rest.iter().zip(spacings) {
+            cursor += s;
+            out.array_mut(id).set_base(cursor);
+        }
+    }
+    out
+}
+
+fn padded_len(nest: &LoopNest, id: ArrayId, column: i64) -> i64 {
+    let a = nest.array(id);
+    if a.rank() == 2 {
+        column.max(a.column_size()) * a.dims()[1]
+    } else {
+        a.len()
+    }
+}
+
+/// Optimizes a nest's layout: Figure 10 first, then solution-counting
+/// search. Returns the transformed nest and the outcome record; the input
+/// nest is left untouched.
+///
+/// `options` configures the counting engine (the default is exact).
+pub fn optimize_padding(
+    nest: &LoopNest,
+    cache: &CacheConfig,
+    options: &AnalysisOptions,
+) -> (LoopNest, PaddingOutcome) {
+    let before = analyze_nest_parallel(nest, *cache, options);
+    let (replacement_before, total_before) = (before.total_replacement(), before.total_misses());
+    let order = used_arrays(nest);
+    // The coordinate-descent search runs dozens of full CME counts; past
+    // this size, trust the Figure 10 special case and skip the search.
+    let searchable = nest.access_count() <= 2_000_000;
+
+    // --- Method 1: the Figure 10 special case --------------------------
+    // The four conditions make the *considered* equations unsolvable; they
+    // cannot promise global non-regression (a nest can be conflict-free
+    // even though the conditions fail), so every candidate is re-counted
+    // and only accepted if it does not regress.
+    if let Ok(plan) = plan_padding(nest, cache) {
+        let mut candidate = nest.clone();
+        plan.apply(&mut candidate);
+        let after = analyze_nest_parallel(&candidate, *cache, options);
+        let improves = after.total_replacement() < replacement_before
+            || (after.total_replacement() == 0 && replacement_before == 0
+                && after.total_misses() <= total_before);
+        if (after.total_replacement() == 0 && improves) || (!searchable && improves) {
+            return (
+                candidate,
+                PaddingOutcome {
+                    method: PaddingMethod::SpecialCase(plan),
+                    replacement_before,
+                    replacement_after: after.total_replacement(),
+                    total_before,
+                    total_after: after.total_misses(),
+                },
+            );
+        }
+    }
+    if replacement_before == 0 || !searchable {
+        // Too big for the counting search: fall back to a *partial* plan
+        // (drop the most demanding pairs until the GCD conditions admit a
+        // layout) and keep it only if it actually helps.
+        if replacement_before > 0 {
+            if let Ok(plan) = plan_padding_partial(nest, cache) {
+                let mut candidate = nest.clone();
+                plan.apply(&mut candidate);
+                let after = analyze_nest_parallel(&candidate, *cache, options);
+                if after.total_replacement() < replacement_before {
+                    return (
+                        candidate,
+                        PaddingOutcome {
+                            method: PaddingMethod::SpecialCase(plan),
+                            replacement_before,
+                            replacement_after: after.total_replacement(),
+                            total_before,
+                            total_after: after.total_misses(),
+                        },
+                    );
+                }
+            }
+        }
+        return (
+            nest.clone(),
+            PaddingOutcome {
+                method: PaddingMethod::CountingSearch { evaluations: 0 },
+                replacement_before,
+                replacement_after: replacement_before,
+                total_before,
+                total_after: total_before,
+            },
+        );
+    }
+
+    // --- Method 2: greedy coordinate descent scored by CME counting ----
+    let ls = cache.line_elems();
+    let orig_col = order
+        .iter()
+        .filter(|&&a| nest.array(a).rank() == 2)
+        .map(|&a| nest.array(a).column_size())
+        .max()
+        .unwrap_or(1);
+    // Column candidates: the original plus line-staggered pads.
+    let mut col_cands = vec![orig_col];
+    for extra in [
+        1,
+        ls / 2,
+        ls,
+        ls + 1,
+        2 * ls,
+        2 * ls + 1,
+        3 * ls,
+        4 * ls,
+        4 * ls + 1,
+        6 * ls,
+    ] {
+        if extra > 0 {
+            col_cands.push(orig_col + extra);
+        }
+    }
+    col_cands.dedup();
+
+    let mut evaluations = 0usize;
+    let mut count = |column: i64, spacings: &[i64]| -> u64 {
+        evaluations += 1;
+        let cand = layout_with(nest, &order, column, spacings);
+        analyze_nest_parallel(&cand, *cache, options).total_replacement()
+    };
+
+    // Spacing candidates per gap: the padded array length staggered by
+    // line-plus-one multiples (so consecutive arrays land on shifted sets).
+    let spacing_cands = |column: i64, prev: ArrayId| -> Vec<i64> {
+        let len = padded_len(nest, prev, column);
+        let stagger = ls * (cache.num_sets() / 8).max(1) + ls / 2 + 1;
+        let mut v: Vec<i64> = Vec::new();
+        for k in 0..8 {
+            v.push(len + k * stagger + (k % 2));
+        }
+        for k in [1i64, 2, 3] {
+            v.push(len + k * (ls + 1));
+        }
+        v
+    };
+
+    let ngaps = order.len().saturating_sub(1);
+    let mut best_col = orig_col;
+    let mut best_spacings: Vec<i64> = order
+        .windows(2)
+        .map(|w| padded_len(nest, w[0], orig_col))
+        .collect();
+    let mut best_score = count(best_col, &best_spacings);
+    'outer: for &col in &col_cands {
+        let mut spacings: Vec<i64> = order
+            .windows(2)
+            .map(|w| padded_len(nest, w[0], col))
+            .collect();
+        // Two greedy sweeps over the gaps.
+        let mut local = count(col, &spacings);
+        for _pass in 0..2 {
+            for g in 0..ngaps {
+                for cand in spacing_cands(col, order[g]) {
+                    if cand == spacings[g] {
+                        continue;
+                    }
+                    let old = spacings[g];
+                    spacings[g] = cand;
+                    let s = count(col, &spacings);
+                    if s < local {
+                        local = s;
+                    } else {
+                        spacings[g] = old;
+                    }
+                    if local == 0 {
+                        break;
+                    }
+                }
+            }
+            if local == 0 {
+                break;
+            }
+        }
+        if local < best_score {
+            best_score = local;
+            best_col = col;
+            best_spacings = spacings;
+        }
+        if best_score == 0 {
+            break 'outer;
+        }
+    }
+
+    // Polish: small perturbations around the best layout found.
+    if best_score > 0 {
+        let deltas = [1i64, -1, 2, -2, ls / 2, -(ls / 2), ls, -ls, ls + 1, -(ls + 1)];
+        'polish: for _pass in 0..2 {
+            for g in 0..ngaps {
+                for &d in &deltas {
+                    let cand = best_spacings[g] + d;
+                    if cand < padded_len(nest, order[g], best_col) {
+                        continue; // arrays must not overlap
+                    }
+                    let old = best_spacings[g];
+                    best_spacings[g] = cand;
+                    let s = count(best_col, &best_spacings);
+                    if s < best_score {
+                        best_score = s;
+                    } else {
+                        best_spacings[g] = old;
+                    }
+                    if best_score == 0 {
+                        break 'polish;
+                    }
+                }
+            }
+        }
+    }
+
+    let optimized = layout_with(nest, &order, best_col, &best_spacings);
+    let after = analyze_nest_parallel(&optimized, *cache, options);
+    (
+        optimized,
+        PaddingOutcome {
+            method: PaddingMethod::CountingSearch { evaluations },
+            replacement_before,
+            replacement_after: after.total_replacement(),
+            total_before,
+            total_after: after.total_misses(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cme_cache::simulate_nest;
+
+    fn table1_cache() -> CacheConfig {
+        CacheConfig::new(8192, 1, 32, 4).unwrap()
+    }
+
+    #[test]
+    fn adi_reaches_zero_replacement_via_search() {
+        let cache = table1_cache();
+        let nest = cme_kernels::adi(64);
+        let (optimized, outcome) = optimize_padding(&nest, &cache, &AnalysisOptions::default());
+        assert!(
+            outcome.replacement_after == 0,
+            "adi should be fully fixable (Table 2 row): {outcome}"
+        );
+        // The CME verdict is confirmed by simulation.
+        assert_eq!(simulate_nest(&optimized, cache).total().replacement, 0);
+        assert!(matches!(outcome.method, PaddingMethod::CountingSearch { .. }));
+    }
+
+    #[test]
+    fn alv_uses_the_special_case() {
+        let cache = table1_cache();
+        let nest = cme_kernels::alv_with_layout(61, 30, 61, 2048);
+        let (optimized, outcome) = optimize_padding(&nest, &cache, &AnalysisOptions::default());
+        assert_eq!(outcome.replacement_after, 0, "{outcome}");
+        assert!(matches!(outcome.method, PaddingMethod::SpecialCase(_)));
+        assert_eq!(simulate_nest(&optimized, cache).total().replacement, 0);
+    }
+
+    #[test]
+    fn conflict_free_nest_is_left_alone() {
+        let cache = table1_cache();
+        let nest = cme_kernels::sor(32);
+        let before = analyze_nest_parallel(&nest, cache, &AnalysisOptions::default());
+        if before.total_replacement() == 0 {
+            let (_, outcome) = optimize_padding(&nest, &cache, &AnalysisOptions::default());
+            assert_eq!(outcome.replacement_before, 0);
+            assert_eq!(outcome.replacement_after, 0);
+        }
+    }
+
+    #[test]
+    fn outcome_display_and_pct() {
+        let o = PaddingOutcome {
+            method: PaddingMethod::CountingSearch { evaluations: 7 },
+            replacement_before: 100,
+            replacement_after: 25,
+            total_before: 150,
+            total_after: 75,
+        };
+        assert!((o.replacement_reduction_pct() - 75.0).abs() < 1e-9);
+        assert!(o.to_string().contains("7 counts"));
+    }
+}

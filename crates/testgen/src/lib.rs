@@ -1,0 +1,170 @@
+//! Proptest strategies for the CME program model.
+//!
+//! Shared by the property-test suites: random affine loop nests (within
+//! the paper's restrictions), random cache geometries, and random layout
+//! perturbations. Keeping the generators in one crate means every suite
+//! fuzzes the same (documented) distribution, and shrinking behaves
+//! consistently.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use cme_cache::CacheConfig;
+use cme_ir::{AccessKind, LoopNest, NestBuilder};
+use proptest::prelude::*;
+
+/// Parameters of the random-nest distribution.
+#[derive(Debug, Clone)]
+pub struct NestDistribution {
+    /// Range of loop extents per level.
+    pub extent: std::ops::Range<i64>,
+    /// Maximum nest depth (2..=max).
+    pub max_depth: usize,
+    /// Maximum number of arrays.
+    pub max_arrays: usize,
+    /// Range of reference counts.
+    pub refs: std::ops::Range<usize>,
+    /// Force all same-array reference pairs to be uniformly generated
+    /// (the regime where CME counts are exact).
+    pub uniform_only: bool,
+}
+
+impl Default for NestDistribution {
+    fn default() -> Self {
+        NestDistribution {
+            extent: 4..10,
+            max_depth: 3,
+            max_arrays: 3,
+            refs: 2..6,
+            uniform_only: false,
+        }
+    }
+}
+
+/// A random 2-D-array loop nest within the CME program model.
+///
+/// Depth 2 or 3; subscripts are `index + offset` pairs over two of the
+/// loop indices (possibly the same one twice — diagonal access); arrays
+/// are laid out back-to-back with a random, line-aligned gap.
+pub fn arb_nest(dist: NestDistribution) -> impl Strategy<Value = LoopNest> {
+    let depth_range = 2..=dist.max_depth.max(2);
+    (
+        depth_range,
+        1..=dist.max_arrays.max(1),
+        proptest::collection::vec(
+            (
+                0..64usize,          // array selector
+                0..4usize,           // subscript pattern
+                -1i64..=1,           // row offset
+                -1i64..=1,           // col offset
+                proptest::bool::ANY, // write?
+            ),
+            dist.refs,
+        ),
+        dist.extent.clone(),
+        0..8i64, // inter-array gap, in 16-element units
+    )
+        .prop_map(move |(depth, narrays, refs, extent, gap16)| {
+            build_nest(
+                depth,
+                narrays,
+                &refs,
+                extent,
+                gap16 * 16,
+                dist.uniform_only,
+            )
+        })
+}
+
+fn build_nest(
+    depth: usize,
+    narrays: usize,
+    refs: &[(usize, usize, i64, i64, bool)],
+    extent: i64,
+    gap: i64,
+    uniform_only: bool,
+) -> LoopNest {
+    let names = ["i", "j", "k"];
+    let mut b = NestBuilder::new();
+    b.name("random");
+    for name in names.iter().take(depth) {
+        b.ct_loop(*name, 2, 2 + extent - 1);
+    }
+    let side = extent + 4;
+    let mut ids = Vec::new();
+    let mut cursor = 0i64;
+    for a in 0..narrays {
+        ids.push(b.array(format!("A{a}"), &[side, side], cursor));
+        cursor += side * side + gap;
+        cursor = (cursor + 15) & !15; // line-align (see cme-kernels::extra)
+    }
+    // Per-array fixed subscript pattern when uniform_only: the first
+    // reference to each array decides the pattern for all.
+    let mut pattern_of: Vec<Option<usize>> = vec![None; narrays];
+    for &(sel, pat, ro, co, write) in refs {
+        let ai = sel % narrays;
+        let pat = if uniform_only {
+            *pattern_of[ai].get_or_insert(pat)
+        } else {
+            pat
+        };
+        let kind = if write { AccessKind::Write } else { AccessKind::Read };
+        // Choose two index names (row, col) from the available depth.
+        let row = names[pat % depth];
+        let col = names[(pat / 2 + 1) % depth];
+        b.reference(ids[ai], kind, &[(row, ro), (col, co)]);
+    }
+    b.build().expect("generated nest is within the model")
+}
+
+/// Whether every pair of same-array references is uniformly generated —
+/// the precondition for CME exactness (gauss/trans are the counterexamples).
+pub fn is_uniform(nest: &LoopNest) -> bool {
+    let refs = nest.references();
+    refs.iter().enumerate().all(|(a, ra)| {
+        refs.iter()
+            .skip(a + 1)
+            .all(|rb| ra.array() != rb.array() || nest.uniformly_generated(ra.id(), rb.id()))
+    })
+}
+
+/// A random small cache: 256–1024 bytes, 1/2/4 ways, 16/32-byte lines,
+/// 4-byte elements — small enough that random nests actually conflict.
+pub fn arb_cache() -> impl Strategy<Value = CacheConfig> {
+    (
+        prop_oneof![Just(256i64), Just(512), Just(1024)],
+        prop_oneof![Just(1i64), Just(2), Just(4)],
+        prop_oneof![Just(16i64), Just(32)],
+    )
+        .prop_filter_map("geometry must be organizable", |(size, assoc, line)| {
+            CacheConfig::new(size, assoc, line, 4).ok()
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn generated_nests_are_valid_and_nonempty(
+            nest in arb_nest(NestDistribution::default())
+        ) {
+            prop_assert!(nest.access_count() > 0);
+            prop_assert!(nest.depth() >= 2);
+        }
+
+        #[test]
+        fn uniform_mode_yields_uniform_nests(
+            nest in arb_nest(NestDistribution { uniform_only: true, ..NestDistribution::default() })
+        ) {
+            prop_assert!(is_uniform(&nest), "\n{}", nest);
+        }
+
+        #[test]
+        fn caches_are_well_formed(cache in arb_cache()) {
+            prop_assert!(cache.num_sets() >= 1);
+            prop_assert!(cache.line_elems() >= 4);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Padding tuner: derive a provably conflict-free layout for the `alvinn`
+//! weight-update loop (Figure 11 of the paper) from the GCD conditions of
+//! its Cache Miss Equations — no search, no simulation in the loop.
+//!
+//! Run with `cargo run --release --example padding_tuner`.
+
+use cme::cache::{simulate_nest, CacheConfig};
+use cme::kernels::alv_with_layout;
+use cme::opt::plan_padding;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cache = CacheConfig::new(8 * 1024, 1, 32, 4)?;
+    println!("Cache: {cache}\n");
+
+    // The alv loop with a hostile layout: both arrays exactly one cache
+    // apart, so every weight access evicts the sum array's line and vice
+    // versa (the ragged surface of the paper's Figure 12).
+    let mut nest = alv_with_layout(1221, 30, 1221, 2048);
+    let before = simulate_nest(&nest, cache).total();
+    println!(
+        "before padding: {} accesses, {} replacement misses ({} total)",
+        before.accesses,
+        before.replacement,
+        before.misses()
+    );
+
+    // Figure 10: pick C = 2^x·t1 and |ΔB| = 2^y·t2 making the replacement
+    // equations unsolvable.
+    let plan = plan_padding(&nest, &cache)?;
+    println!("\npadding plan (from the equations alone): {plan}");
+    println!(
+        "  feasible exponent window was {} <= x <= {}",
+        plan.x_min, plan.x_max
+    );
+    plan.apply(&mut nest);
+
+    let after = simulate_nest(&nest, cache).total();
+    println!(
+        "\nafter padding:  {} accesses, {} replacement misses ({} total)",
+        after.accesses,
+        after.replacement,
+        after.misses()
+    );
+    let reduction = 100.0 * (before.misses() - after.misses()) as f64 / before.misses() as f64;
+    println!("total miss reduction: {reduction:.1}%");
+    assert_eq!(after.replacement, 0, "the plan is provably conflict-free");
+    Ok(())
+}

@@ -1,0 +1,129 @@
+//! Table-1-style accuracy validation: the CME miss count must match the LRU
+//! simulator exactly on every kernel of the paper's suite (at CI-friendly
+//! problem sizes), for direct-mapped and set-associative caches.
+
+use cme::cache::CacheConfig;
+use cme::core::{compare_with_simulation, AnalysisOptions};
+use cme::ir::LoopNest;
+use cme::kernels;
+
+fn check_exact(nest: &LoopNest, cache: CacheConfig) {
+    let row = compare_with_simulation(nest, cache, &AnalysisOptions::default());
+    assert!(
+        row.is_sound(),
+        "CME must never under-count: {row} on {cache}"
+    );
+    assert_eq!(
+        row.cme_misses, row.sim_misses,
+        "CME should be exact on `{}` with {cache}: {row}",
+        nest.name()
+    );
+    // Cold/replacement splits must agree too.
+    assert_eq!(
+        row.analysis.total_cold(),
+        row.simulation.total().cold,
+        "cold split differs on `{}` with {cache}",
+        nest.name()
+    );
+    assert_eq!(
+        row.analysis.total_replacement(),
+        row.simulation.total().replacement,
+        "replacement split differs on `{}` with {cache}",
+        nest.name()
+    );
+}
+
+fn small_cache(assoc: i64) -> CacheConfig {
+    // 1KB cache so that 32x32 kernels actually conflict: 256 elements.
+    CacheConfig::new(1024, assoc, 32, 4).unwrap()
+}
+
+#[test]
+fn mmult_exact_direct_mapped() {
+    check_exact(&kernels::mmult(16), small_cache(1));
+    check_exact(&kernels::mmult_with_bases(16, 0, 256, 512), small_cache(1));
+}
+
+#[test]
+fn mmult_exact_two_way() {
+    check_exact(&kernels::mmult(16), small_cache(2));
+}
+
+/// `gauss` and `trans` contain *non-uniformly generated* references to one
+/// array (`A(i,k)` vs `A(i,j)`; `A(i,j)` vs `A(j,i)`), whose mutual reuse
+/// cannot be expressed by constant reuse vectors — the paper reports the
+/// same one-sided over-count (Table 1: +1.0% and +0.4%). Assert soundness
+/// plus a bounded over-count instead of exactness.
+fn check_sound_with_bounded_overcount(nest: &cme::ir::LoopNest, cache: CacheConfig, pct_of_accesses: f64) {
+    let row = compare_with_simulation(nest, cache, &AnalysisOptions::default());
+    assert!(row.is_sound(), "CME must never under-count: {row}");
+    let over = (row.cme_misses - row.sim_misses) as f64;
+    assert!(
+        over <= pct_of_accesses / 100.0 * row.accesses as f64,
+        "over-count too large on `{}` with {cache}: {row}",
+        nest.name()
+    );
+}
+
+#[test]
+fn gauss_sound_within_paper_style_error() {
+    check_sound_with_bounded_overcount(&kernels::gauss(16), small_cache(1), 5.0);
+    check_sound_with_bounded_overcount(&kernels::gauss(16), small_cache(2), 5.0);
+}
+
+#[test]
+fn sor_exact() {
+    check_exact(&kernels::sor(24), small_cache(1));
+    check_exact(&kernels::sor(24), small_cache(2));
+}
+
+#[test]
+fn adi_exact() {
+    check_exact(&kernels::adi(16), small_cache(1));
+    check_exact(&kernels::adi(16), small_cache(2));
+}
+
+#[test]
+fn trans_sound_within_paper_style_error() {
+    check_sound_with_bounded_overcount(&kernels::trans(16), small_cache(1), 5.0);
+    check_sound_with_bounded_overcount(&kernels::trans(16), small_cache(2), 5.0);
+}
+
+#[test]
+fn alv_exact() {
+    // Scaled-down alvinn loop with a conflicting (but non-overlapping:
+    // the arrays span 360 elements each) layout: ΔB of two cache spans.
+    check_exact(&kernels::alv_with_layout(30, 12, 30, 512), small_cache(1));
+    check_exact(&kernels::alv_with_layout(30, 12, 30, 512), small_cache(2));
+}
+
+#[test]
+fn tom_exact() {
+    check_exact(&kernels::tom(16), small_cache(1));
+    check_exact(&kernels::tom(16), small_cache(2));
+}
+
+#[test]
+fn tiled_mmult_exact() {
+    check_exact(&kernels::tiled_mmult(8, 4, 2, 0, 64, 128), small_cache(1));
+}
+
+#[test]
+fn table1_medium_direct_mapped_is_exact() {
+    // A middle-size sanity pass on the paper's cache geometry.
+    let cache = CacheConfig::new(8192, 1, 32, 4).unwrap();
+    for nest in [
+        kernels::mmult(24),
+        kernels::sor(32),
+        kernels::adi(32),
+        kernels::tom(32),
+    ] {
+        check_exact(&nest, cache);
+    }
+    // The non-uniform kernels over-count; at this scale the transpose's
+    // diagonal-adjacent reuse is a larger share of the traffic than at the
+    // paper's N = 256 (where the error is 0.4%), hence the looser bound.
+    for nest in [kernels::gauss(24), kernels::trans(24)] {
+        check_sound_with_bounded_overcount(&nest, cache, 5.0);
+    }
+}
