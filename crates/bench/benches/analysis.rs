@@ -1,5 +1,8 @@
 //! Criterion benches of the analysis pipeline (the Section 5.3 cost story:
 //! "CME generation always executes in less than 10s per program").
+// The deprecated free functions ARE the baseline being measured here; the
+// engine-vs-legacy comparison lives in `benches/engine.rs`.
+#![allow(deprecated)]
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -44,7 +47,12 @@ fn bench_reuse(c: &mut Criterion) {
             |b, nest| {
                 b.iter(|| {
                     for r in nest.references() {
-                        black_box(reuse_vectors(nest, &cache, r.id(), &ReuseOptions::default()));
+                        black_box(reuse_vectors(
+                            nest,
+                            &cache,
+                            r.id(),
+                            &ReuseOptions::default(),
+                        ));
                     }
                 })
             },
@@ -62,9 +70,7 @@ fn bench_solve(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::from_parameter(nest.name().to_string()),
             &nest,
-            |b, nest| {
-                b.iter(|| black_box(analyze_nest(nest, cache, &AnalysisOptions::default())))
-            },
+            |b, nest| b.iter(|| black_box(analyze_nest(nest, cache, &AnalysisOptions::default()))),
         );
     }
     g.finish();

@@ -1,0 +1,125 @@
+//! Engine-vs-legacy benches for the optimizer searches.
+//!
+//! Both sides run the *same* search code (`optimize_padding_with`,
+//! `select_tile_and_layout_with`); the only difference is the `Analyzer`'s
+//! caching switch. With caching off every candidate layout is re-analyzed
+//! from scratch through the legacy per-reference solver — the pre-engine
+//! cost model. With caching on, candidates that only move base addresses
+//! or restride one array re-solve from the engine's memo tables. Each
+//! bench first proves the two paths produce bit-identical transformations
+//! and miss counts, then times them; a final check asserts the ≥2× engine
+//! speedup on the Table-1 matmul configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cme_cache::CacheConfig;
+use cme_core::Analyzer;
+use cme_opt::{optimize_padding_with, select_tile_and_layout_with};
+
+fn table1_cache() -> CacheConfig {
+    CacheConfig::new(8192, 1, 32, 4).unwrap()
+}
+
+/// A conflict-ridden Table-1 matmul: N = 32 packed arrays overflow the 8KB
+/// cache (3·32²·4B = 12KB), so replacement misses exist and the padding
+/// search actually has to search.
+fn matmul() -> cme_ir::LoopNest {
+    let n = 32;
+    cme_kernels::mmult_with_bases(n, 0, n * n, 2 * n * n)
+}
+
+fn bench_padding_search(c: &mut Criterion) {
+    let cache = table1_cache();
+    let nest = matmul();
+
+    // Equivalence first: the memoized search must land on the same layout
+    // with the same counts as the per-candidate legacy path.
+    let mut engine = Analyzer::new(cache);
+    let mut legacy = Analyzer::new(cache).caching(false);
+    let (nest_e, out_e) = optimize_padding_with(&mut engine, &nest);
+    let (nest_l, out_l) = optimize_padding_with(&mut legacy, &nest);
+    assert_eq!(nest_e, nest_l, "padding: engine and legacy layouts differ");
+    assert_eq!(out_e.method, out_l.method);
+    assert_eq!(out_e.total_before, out_l.total_before);
+    assert_eq!(out_e.total_after, out_l.total_after);
+    assert_eq!(out_e.replacement_before, out_l.replacement_before);
+    assert_eq!(out_e.replacement_after, out_l.replacement_after);
+    assert!(
+        engine.stats().memo_hit_rate() > 0.0,
+        "the padding search must hit the memo tables"
+    );
+    println!("padding search: {out_e}\n{}\n", engine.stats());
+
+    let mut g = c.benchmark_group("optimize-padding");
+    g.sample_size(3);
+    g.bench_function("engine", |b| {
+        b.iter(|| black_box(optimize_padding_with(&mut engine, &nest)))
+    });
+    g.bench_function("legacy", |b| {
+        b.iter(|| black_box(optimize_padding_with(&mut legacy, &nest)))
+    });
+    g.finish();
+}
+
+fn bench_tile_search(c: &mut Criterion) {
+    let cache = table1_cache();
+    let nest = matmul();
+    let n = 32;
+
+    let mut engine = Analyzer::new(cache);
+    let mut legacy = Analyzer::new(cache).caching(false);
+    let pick_e = select_tile_and_layout_with(&mut engine, &nest, 1, 2, n, n)
+        .expect("tiling applies to matmul");
+    let pick_l = select_tile_and_layout_with(&mut legacy, &nest, 1, 2, n, n)
+        .expect("tiling applies to matmul");
+    assert_eq!(pick_e, pick_l, "tiling: engine and legacy choices differ");
+
+    let mut g = c.benchmark_group("select-tile-and-layout");
+    g.sample_size(3);
+    g.bench_function("engine", |b| {
+        b.iter(|| black_box(select_tile_and_layout_with(&mut engine, &nest, 1, 2, n, n)))
+    });
+    g.bench_function("legacy", |b| {
+        b.iter(|| black_box(select_tile_and_layout_with(&mut legacy, &nest, 1, 2, n, n)))
+    });
+    g.finish();
+}
+
+/// Reads the recorded means and enforces the acceptance bar: the engine
+/// path must be at least 2× faster than per-candidate legacy analysis.
+fn check_speedup(c: &mut Criterion) {
+    for pair in [
+        ("optimize-padding/engine", "optimize-padding/legacy"),
+        (
+            "select-tile-and-layout/engine",
+            "select-tile-and-layout/legacy",
+        ),
+    ] {
+        let mean = |label: &str| {
+            c.results
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, d)| d.as_secs_f64())
+        };
+        let (Some(e), Some(l)) = (mean(pair.0), mean(pair.1)) else {
+            continue;
+        };
+        let ratio = l / e.max(1e-12);
+        println!("{} vs {}: {ratio:.1}x speedup", pair.0, pair.1);
+        assert!(
+            ratio >= 2.0,
+            "{} must be >= 2x faster than {}, got {ratio:.2}x",
+            pair.0,
+            pair.1
+        );
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_padding_search,
+    bench_tile_search,
+    check_speedup
+);
+criterion_main!(benches);

@@ -12,7 +12,7 @@
 
 use cme_bench::arg_value;
 use cme_cache::{simulate_nest, CacheConfig};
-use cme_core::{analyze_nest_parallel, AnalysisOptions};
+use cme_core::{AnalysisOptions, Analyzer};
 use cme_kernels::table1_suite;
 
 fn main() {
@@ -35,7 +35,9 @@ fn main() {
             CacheConfig::fully_associative(size, 32, 4).unwrap(),
         ));
         for (label, cache) in configs {
-            let cme = analyze_nest_parallel(&nest, cache, &opts).total_misses();
+            // One session per cache geometry (an Engine is pinned to one).
+            let mut analyzer = Analyzer::new(cache).options(opts.clone()).parallel(true);
+            let cme = analyzer.analyze(&nest).total_misses();
             let sim = simulate_nest(&nest, cache).total().misses();
             let err = if sim == 0 {
                 0.0

@@ -18,9 +18,7 @@
 
 use cme_bench::arg_value;
 use cme_cache::{export_din, simulate_nest, CacheConfig};
-use cme_core::{
-    analyze_nest_parallel, compare_with_simulation, AnalysisOptions, CmeSystem,
-};
+use cme_core::{compare_with_simulation, AnalysisOptions, Analyzer, CmeSystem};
 use cme_kernels::{kernel_by_name, kernel_names};
 use cme_opt::{diagnose, optimize_padding};
 use cme_reuse::ReuseOptions;
@@ -69,7 +67,8 @@ fn main() {
     match command {
         "analyze" => {
             println!("{nest}");
-            println!("{}", analyze_nest_parallel(&nest, cache, &opts));
+            let mut analyzer = Analyzer::new(cache).options(opts.clone()).parallel(true);
+            println!("{}", analyzer.analyze(&nest));
         }
         "simulate" => {
             println!("{}", simulate_nest(&nest, cache));
@@ -104,7 +103,11 @@ fn main() {
         }
         "equations" => {
             let sys = CmeSystem::generate(&nest, cache, &ReuseOptions::default());
-            println!("# {} equations over {} references", sys.equation_count(), sys.per_ref.len());
+            println!(
+                "# {} equations over {} references",
+                sys.equation_count(),
+                sys.per_ref.len()
+            );
             for re in &sys.per_ref {
                 println!("reference {}:", nest.reference(re.dest).label());
                 for g in &re.groups {

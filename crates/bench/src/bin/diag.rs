@@ -1,8 +1,10 @@
-//! Developer diagnostic: pointwise CME-vs-simulator diff for one kernel.
+//! Developer diagnostic: pointwise CME-vs-simulator diff for one kernel,
+//! plus the incremental engine's work accounting (memo hit rates, phase
+//! timings, Diophantine-memo traffic) over a cold-then-warm re-analysis.
 //! Usage: diag <kernel> <n> <size> <assoc> <line>
 
 use cme_cache::{CacheConfig, Simulator};
-use cme_core::{analyze_nest, AnalysisOptions};
+use cme_core::{AnalysisOptions, Analyzer};
 use cme_ir::LoopNest;
 use cme_reuse::{reuse_vectors, ReuseOptions};
 use std::collections::HashSet;
@@ -19,8 +21,12 @@ fn main() {
         "mmult" => cme_kernels::mmult_with_bases(n, 0, n * n, 2 * n * n),
         "alv-small" => cme_kernels::alv_with_layout(30, 12, 30, 512),
         "tiled" => cme_kernels::tiled_mmult(8, 4, 2, 0, 64, 128),
-        other => cme_kernels::kernel_by_name(other, n)
-            .unwrap_or_else(|| panic!("unknown kernel {other}; known: {:?}", cme_kernels::kernel_names())),
+        other => cme_kernels::kernel_by_name(other, n).unwrap_or_else(|| {
+            panic!(
+                "unknown kernel {other}; known: {:?}",
+                cme_kernels::kernel_names()
+            )
+        }),
     };
     println!("{nest}\ncache {cache}");
 
@@ -41,11 +47,9 @@ fn main() {
         }
     }
 
-    let opts = AnalysisOptions {
-        collect_miss_points: true,
-        ..AnalysisOptions::default()
-    };
-    let analysis = analyze_nest(&nest, cache, &opts);
+    let opts = AnalysisOptions::builder().collect_miss_points(true).build();
+    let mut analyzer = Analyzer::new(cache).options(opts.clone());
+    let analysis = analyzer.analyze(&nest);
     for (r, ra) in analysis.per_ref.iter().enumerate() {
         let mut cme_points: HashSet<Vec<i64>> = ra.cold_miss_points.iter().cloned().collect();
         for (p, _) in &ra.replacement_miss_points {
@@ -83,5 +87,28 @@ fn main() {
         "totals: cme {} sim {}",
         analysis.total_misses(),
         sim.misses()
+    );
+
+    // Engine accounting: warm re-analysis (all memo hits) plus the
+    // symbolic system generated twice (reuse) and its replacement
+    // equations counted twice through the Diophantine memo.
+    let warm = analyzer.analyze(&nest);
+    assert_eq!(warm.total_misses(), analysis.total_misses());
+    for _ in 0..2 {
+        let sys = analyzer.system(&nest);
+        if let Some(re) = sys.per_ref.first() {
+            for g in re.groups.iter().take(1) {
+                for eq in g.replacements.iter().take(4) {
+                    analyzer.engine().count_replacement(eq, &nest);
+                }
+            }
+        }
+    }
+    println!("\n{}", analyzer.stats());
+    let memo = analyzer.engine().solve_memo();
+    println!(
+        "diophantine memo: {} entries, {:.1}% hit rate",
+        memo.len(),
+        memo.hit_rate() * 100.0
     );
 }

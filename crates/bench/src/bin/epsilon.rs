@@ -7,7 +7,7 @@
 //! ```
 
 use cme_bench::{arg_value, table1_cache};
-use cme_core::{analyze_nest, AnalysisOptions};
+use cme_core::{AnalysisOptions, Analyzer};
 use cme_kernels::mmult;
 use std::time::Instant;
 
@@ -21,14 +21,15 @@ fn main() {
         "# {:>12} {:>12} {:>12} {:>14} {:>9}",
         "epsilon", "misses", "inflation", "vectors-used", "secs"
     );
-    let exact = analyze_nest(&nest, cache, &AnalysisOptions::default());
+    // One session across the sweep: ε only truncates each reference's
+    // reuse-vector cascade, so the per-vector scan results are shared
+    // between ε settings through the engine's scan memo.
+    let mut analyzer = Analyzer::new(cache);
+    let exact = analyzer.analyze(&nest);
     for eps in [0u64, 1 << 6, 1 << 10, 1 << 14, 1 << 18, 1 << 22] {
-        let opts = AnalysisOptions {
-            epsilon: eps,
-            ..AnalysisOptions::default()
-        };
+        let opts = AnalysisOptions::builder().epsilon(eps).build();
         let t0 = Instant::now();
-        let a = analyze_nest(&nest, cache, &opts);
+        let a = analyzer.analyze_with_options(&nest, &opts);
         let dt = t0.elapsed().as_secs_f64();
         let vectors: usize = a.per_ref.iter().map(|r| r.vectors_used()).sum();
         println!(

@@ -12,7 +12,7 @@
 //! loop is swept; `--full 1` uses the paper's 1221×30 arrays (slower).
 
 use cme_bench::{arg_value, table1_cache};
-use cme_core::{analyze_nest, AnalysisOptions};
+use cme_core::{AnalysisOptions, Analyzer};
 use cme_kernels::alv_with_layout;
 
 fn main() {
@@ -22,18 +22,23 @@ fn main() {
     let (nu, nh) = if full { (1221, 30) } else { (61, 30) };
     println!("# Figure 12: alv miss surface; cache {cache}");
     println!("row_size,delta_b,misses");
-    let opts = AnalysisOptions::default();
+    // One Analyzer session over the whole sweep: the base-address axis
+    // (delta_b) changes only array layout, so the engine re-solves each
+    // point from memoized cascades instead of from scratch.
+    let mut analyzer = Analyzer::new(cache).options(AnalysisOptions::default());
     // Sweep the row (column) size around nu and the base distance around
     // a few cache-span multiples, mirroring the paper's axes.
     let row_sizes: Vec<i64> = (0..16).map(|k| nu + k).collect();
     let span = cache.size_elems();
-    let deltas: Vec<i64> = (0..32).map(|k| 2 * span + k * (cache.line_elems() / 2)).collect();
+    let deltas: Vec<i64> = (0..32)
+        .map(|k| 2 * span + k * (cache.line_elems() / 2))
+        .collect();
     let mut min = (u64::MAX, 0i64, 0i64);
     let mut max = (0u64, 0i64, 0i64);
     for &rs in &row_sizes {
         for &db in &deltas {
             let nest = alv_with_layout(nu, nh, rs, db.max(rs * nh + 1));
-            let misses = analyze_nest(&nest, cache, &opts).total_misses();
+            let misses = analyzer.analyze(&nest).total_misses();
             println!("{rs},{db},{misses}");
             if misses < min.0 {
                 min = (misses, rs, db);
@@ -55,4 +60,8 @@ fn main() {
     );
     eprintln!("# the paper's point: the surface is highly irregular, so only");
     eprintln!("# a precise method can pick the conflict-free (row, dB) pairs.");
+    eprintln!("#\n# engine accounting over the sweep:");
+    for line in analyzer.stats().to_string().lines() {
+        eprintln!("#   {line}");
+    }
 }

@@ -8,7 +8,7 @@
 //! ```
 
 use cme_bench::table1_cache;
-use cme_core::{analyze_nest, AnalysisOptions};
+use cme_core::Analyzer;
 use cme_kernels::alv_with_layout;
 use cme_opt::optimize_parameter;
 
@@ -18,11 +18,14 @@ fn main() {
     let base_spacing = nu * nh; // packed
     println!("# Parametric padding of alv: misses as a function of ΔB offset");
     println!("# cache: {cache}");
-    let opts = AnalysisOptions::default();
+    // The parameter sweep only moves a base address, exactly the engine's
+    // fast path: one Analyzer session amortizes equation generation and
+    // cascade solving across every probed spacing.
+    let mut analyzer = Analyzer::new(cache);
     let mut evals = 0usize;
-    let count = |p: i64| -> i64 {
+    let mut count = |p: i64| -> i64 {
         let nest = alv_with_layout(nu, nh, nu, base_spacing + p);
-        analyze_nest(&nest, cache, &opts).total_misses() as i64
+        analyzer.analyze(&nest).total_misses() as i64
     };
     // The set mapping is periodic in the address with period Cs (elements),
     // so candidate periods are powers of two up to 2048.

@@ -29,7 +29,16 @@ fn main() {
     println!("# cache: {cache}; problem size N = {n} (alv fixed at 1221x30)");
     println!(
         "# {:<7} {:>7} {:>9} {:>12} {:>12} {:>12} {:>8} {:>6} {:>7} {:>9}",
-        "nest", "arrays", "max-refs", "accesses", "sim-misses", "cme-misses", "%error", "refs", "max-RV", "secs"
+        "nest",
+        "arrays",
+        "max-refs",
+        "accesses",
+        "sim-misses",
+        "cme-misses",
+        "%error",
+        "refs",
+        "max-RV",
+        "secs"
     );
     let options = AnalysisOptions::default();
     for nest in table1_suite(n) {

@@ -27,7 +27,14 @@ fn main() {
     println!("# cache: {cache}; problem size N = {n}");
     println!(
         "# {:<7} {:>12} {:>12} {:>12} {:>12} {:>12} {:>9} {:>9}  method",
-        "nest", "accesses", "repl-orig", "total-orig", "repl-opt", "total-opt", "%repl-red", "%tot-red"
+        "nest",
+        "accesses",
+        "repl-orig",
+        "total-orig",
+        "repl-opt",
+        "total-opt",
+        "%repl-red",
+        "%tot-red"
     );
     for nest in table1_suite(n) {
         let before = simulate_nest(&nest, cache).total();

@@ -50,7 +50,10 @@ impl fmt::Display for CacheConfigError {
                 write!(f, "cache parameter `{what}` must be positive")
             }
             CacheConfigError::NotPowerOfTwo { what, value } => {
-                write!(f, "cache parameter `{what}` must be a power of two, got {value}")
+                write!(
+                    f,
+                    "cache parameter `{what}` must be a power of two, got {value}"
+                )
             }
             CacheConfigError::LineNotElementMultiple {
                 line_bytes,
@@ -265,7 +268,7 @@ mod tests {
         assert_eq!(c.num_sets(), 128);
         assert_eq!(c.line_elems(), 4);
         assert_eq!(c.way_span_elems(), 512); // the `512n` term of Eq. 5
-        // Example addresses from Eq. 5: set of Z(j,i) at base 4192.
+                                             // Example addresses from Eq. 5: set of Z(j,i) at base 4192.
         assert_eq!(c.cache_set(4192), ((4192 / 4) % 128));
     }
 
@@ -314,6 +317,9 @@ mod tests {
     #[test]
     fn display() {
         let c = CacheConfig::new(8192, 2, 32, 4).unwrap();
-        assert_eq!(c.to_string(), "8KB 2-way, 32B lines, 128 sets (4B elements)");
+        assert_eq!(
+            c.to_string(),
+            "8KB 2-way, 32B lines, 128 sets (4B elements)"
+        );
     }
 }

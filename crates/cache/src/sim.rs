@@ -214,7 +214,7 @@ mod tests {
     #[test]
     fn two_way_absorbs_pairwise_conflict() {
         let mut sim = Simulator::new(CacheConfig::new(128, 2, 16, 4).unwrap()); // 4 sets
-        // Lines 0 and 8 map to set 0 (way span = 16 elements, 4 lines/way).
+                                                                                // Lines 0 and 8 map to set 0 (way span = 16 elements, 4 lines/way).
         assert_eq!(sim.access(0), AccessOutcome::ColdMiss);
         assert_eq!(sim.access(16), AccessOutcome::ColdMiss);
         for _ in 0..4 {

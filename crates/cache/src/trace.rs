@@ -200,7 +200,11 @@ pub fn miss_histogram_by_set(nest: &LoopNest, config: CacheConfig) -> Vec<u64> {
 /// assert_eq!(String::from_utf8(buf).unwrap(), "0 0\n1 0\n0 4\n1 4\n");
 /// # Ok::<(), std::io::Error>(())
 /// ```
-pub fn export_din(nest: &LoopNest, elem_bytes: i64, out: &mut impl std::io::Write) -> std::io::Result<()> {
+pub fn export_din(
+    nest: &LoopNest,
+    elem_bytes: i64,
+    out: &mut impl std::io::Write,
+) -> std::io::Result<()> {
     let kinds: Vec<u8> = nest
         .references()
         .iter()

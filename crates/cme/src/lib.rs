@@ -27,17 +27,26 @@
 //!
 //! ```
 //! use cme::cache::CacheConfig;
-//! use cme::core::{analyze_nest, AnalysisOptions};
+//! use cme::core::Analyzer;
 //! use cme::kernels::mmult;
 //!
 //! // Analyze 32x32 matmul on an 8KB direct-mapped cache with 32B lines.
 //! let nest = mmult(32);
 //! let cfg = CacheConfig::new(8192, 1, 32, 4)?;
-//! let analysis = analyze_nest(&nest, cfg, &AnalysisOptions::default());
+//! let mut analyzer = Analyzer::new(cfg);
+//! let analysis = analyzer.analyze(&nest);
 //! println!("{analysis}");
 //! assert!(analysis.total_misses() > 0);
 //! # Ok::<(), cme::cache::CacheConfigError>(())
 //! ```
+//!
+//! The [`core::Analyzer`] session is reusable: re-analyzing transformed
+//! variants of the same nest (moved bases, padded columns) re-solves
+//! incrementally from memoized equation work — the engine behind the
+//! `cme::opt` searches. `analyzer.stats()` reports what was reused; the
+//! invalidation keys are derived in `docs/ENGINE.md`. The free functions
+//! `analyze_nest` / `analyze_nest_parallel` / `analyze_reference` remain
+//! as deprecated shims over this session API.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]

@@ -4,7 +4,8 @@
 //! simulations; [`compare_with_simulation`] produces one such row from our
 //! analyzer and our LRU simulator.
 
-use crate::solve::{analyze_nest_parallel, AnalysisOptions, NestAnalysis};
+use crate::engine::Analyzer;
+use crate::solve::{AnalysisOptions, NestAnalysis};
 use cme_cache::{simulate_nest, CacheConfig, NestSimResult};
 use cme_ir::LoopNest;
 use std::collections::HashSet;
@@ -81,9 +82,16 @@ pub fn compare_with_simulation(
     cache: CacheConfig,
     options: &AnalysisOptions,
 ) -> AccuracyRow {
-    let analysis = analyze_nest_parallel(nest, cache, options);
+    let analysis = Analyzer::new(cache)
+        .options(options.clone())
+        .parallel(true)
+        .analyze(nest);
     let simulation = simulate_nest(nest, cache);
-    let arrays: HashSet<usize> = nest.references().iter().map(|r| r.array().index()).collect();
+    let arrays: HashSet<usize> = nest
+        .references()
+        .iter()
+        .map(|r| r.array().index())
+        .collect();
     let max_refs_per_array = arrays
         .iter()
         .map(|&a| {

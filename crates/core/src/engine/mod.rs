@@ -1,0 +1,1062 @@
+//! The incremental analysis engine and the [`Analyzer`] session API.
+//!
+//! Optimizer searches (padding, tiling, fusion) score dozens to hundreds
+//! of *candidate* nests that differ only in array layout — base addresses
+//! and padded column sizes — while the loop structure, the subscripts, and
+//! the cache stay fixed. Re-running the full miss-finding algorithm
+//! (Figure 6) per candidate repeats enormous amounts of identical work.
+//! This module memoizes the algorithm's two phases separately, each under
+//! the narrowest invalidation key that is still sound (see
+//! [`keys`] and `docs/ENGINE.md`):
+//!
+//! - the **cold/indeterminate cascade** per reference — which iteration
+//!   points are cold-CME solutions along each reuse vector, and which need
+//!   a window scan — depends only on the nest structure and the
+//!   reference's own line offset `B mod Ls`, so candidates that merely
+//!   move *other* arrays reuse it outright;
+//! - each **`(reference, reuse-vector)` window scan** depends on the full
+//!   layout only through per-array line offsets and exact relative line
+//!   distances, so converged search sweeps (which re-evaluate earlier
+//!   candidates) and line-aligned translations skip the scans entirely;
+//! - reuse vectors are base-invariant and cached per structure;
+//! - generated [`CmeSystem`]s are cached per structure and *rebased*
+//!   (constant terms only) onto candidates with new layouts; their
+//!   polytope counts go through a shared [`cme_math::SolveMemo`].
+//!
+//! Every cached artifact is an exact analysis result: an [`Analyzer`] is
+//! bit-identical to the legacy sequential [`crate::analyze_nest`] whether
+//! its memos are warm or cold, sequential or pooled (property-tested in
+//! `tests/engine_equivalence.rs`).
+
+mod keys;
+mod pool;
+
+use crate::equations::CmeSystem;
+use crate::pointset::PointSet;
+use crate::solve::{
+    scan_interior, scan_interior_pointwise, AnalysisOptions, NestAnalysis, RefAnalysis, Scanner,
+    VectorReport,
+};
+use cme_cache::CacheConfig;
+use cme_ir::{LoopNest, RefId};
+use cme_math::{Affine, SolveMemo};
+use cme_reuse::{reuse_vectors, ReuseOptions, ReuseVector};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One reuse vector's slice of a reference's cascade: how many points
+/// entered, how many stayed indeterminate (cold-CME solutions), and the
+/// points whose reuse windows must be scanned.
+#[derive(Debug, Clone)]
+struct CascadeVector {
+    examined: u64,
+    cold_solutions: u64,
+    scan_set: PointSet,
+}
+
+/// A reference's full cold/indeterminate refinement (Figure 6 minus the
+/// window scans), reusable across every candidate layout that preserves
+/// the nest structure and the reference's own `B mod Ls`.
+#[derive(Debug, Clone)]
+struct CascadeEntry {
+    vectors: Vec<CascadeVector>,
+    /// Indeterminate set after the last processed vector; `None` when no
+    /// vector ran (no reuse, or `ε` at least the whole space).
+    final_set: Option<PointSet>,
+    early_stopped: bool,
+}
+
+/// The verdicts of one `(reference, reuse-vector)` batch of window scans,
+/// aligned with the cascade's `scan_set` order.
+#[derive(Debug, Clone)]
+struct ScanOutcome {
+    replacement_misses: u64,
+    /// Per-perpetrator contention counts (all zero unless exact mode).
+    contentions: Vec<u64>,
+    /// Indices into the scan set of the points judged misses.
+    miss_indices: Vec<u32>,
+}
+
+#[derive(Debug)]
+struct SystemEntry {
+    layout: u128,
+    system: Arc<CmeSystem>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    analyses: AtomicU64,
+    passthroughs: AtomicU64,
+    reuse_built: AtomicU64,
+    reuse_reused: AtomicU64,
+    cascades_built: AtomicU64,
+    cascades_reused: AtomicU64,
+    scans_executed: AtomicU64,
+    scans_reused: AtomicU64,
+    systems_generated: AtomicU64,
+    systems_rebased: AtomicU64,
+    systems_reused: AtomicU64,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Timings {
+    prepare: Duration,
+    scan: Duration,
+    assemble: Duration,
+}
+
+/// Snapshot of an [`Engine`]'s work accounting: artifacts generated vs
+/// reused, solver-memo traffic, and per-phase wall time.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Nest analyses run through the engine.
+    pub analyses: u64,
+    /// References analyzed uncached (caching off or nest too large).
+    pub passthroughs: u64,
+    /// Reuse-vector sets computed.
+    pub reuse_built: u64,
+    /// Reuse-vector sets answered from the memo.
+    pub reuse_reused: u64,
+    /// Cold/indeterminate cascades computed.
+    pub cascades_built: u64,
+    /// Cascades answered from the memo.
+    pub cascades_reused: u64,
+    /// `(reference, reuse-vector)` scan batches executed.
+    pub scans_executed: u64,
+    /// Scan batches answered from the memo.
+    pub scans_reused: u64,
+    /// [`CmeSystem`]s generated from scratch.
+    pub systems_generated: u64,
+    /// Cached systems re-targeted at a new layout (constant terms only).
+    pub systems_rebased: u64,
+    /// Cached systems returned verbatim.
+    pub systems_reused: u64,
+    /// Diophantine/polytope solver memo hits (shared [`SolveMemo`]).
+    pub solver_hits: u64,
+    /// Solver memo misses (counts actually computed).
+    pub solver_misses: u64,
+    /// Wall time spent generating reuse vectors and cascades.
+    pub time_prepare: Duration,
+    /// Wall time spent in window scans.
+    pub time_scan: Duration,
+    /// Wall time spent assembling results.
+    pub time_assemble: Duration,
+}
+
+impl EngineStats {
+    /// Fraction of memo lookups (reuse, cascade, scan) answered from
+    /// cache; `0.0` when nothing was looked up.
+    pub fn memo_hit_rate(&self) -> f64 {
+        let hits = self.reuse_reused + self.cascades_reused + self.scans_reused;
+        let total = hits + self.reuse_built + self.cascades_built + self.scans_executed;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Total equation-system artifacts served without regeneration.
+    pub fn systems_saved(&self) -> u64 {
+        self.systems_rebased + self.systems_reused
+    }
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "engine: {} analyses ({} uncached references)",
+            self.analyses, self.passthroughs
+        )?;
+        writeln!(
+            f,
+            "  reuse vectors: {} built, {} reused",
+            self.reuse_built, self.reuse_reused
+        )?;
+        writeln!(
+            f,
+            "  cascades:      {} built, {} reused",
+            self.cascades_built, self.cascades_reused
+        )?;
+        writeln!(
+            f,
+            "  window scans:  {} executed, {} reused",
+            self.scans_executed, self.scans_reused
+        )?;
+        writeln!(
+            f,
+            "  systems:       {} generated, {} rebased, {} reused",
+            self.systems_generated, self.systems_rebased, self.systems_reused
+        )?;
+        writeln!(
+            f,
+            "  solver memo:   {} hits, {} misses",
+            self.solver_hits, self.solver_misses
+        )?;
+        writeln!(f, "  memo hit rate: {:.1}%", self.memo_hit_rate() * 100.0)?;
+        write!(
+            f,
+            "  phases: prepare {:.1?}, scan {:.1?}, assemble {:.1?}",
+            self.time_prepare, self.time_scan, self.time_assemble
+        )
+    }
+}
+
+/// Entry caps: when a memo reaches its cap it is cleared wholesale (the
+/// values are `Arc`-shared, so in-flight users are unaffected). Crude, but
+/// sized so a full optimizer search fits: a padding search visits tens of
+/// candidate layouts, each contributing one scan entry per (reference ×
+/// vector) and one cascade entry per distinct destination line offset —
+/// the scan table is the big one (small entries: a few counters plus the
+/// miss indices), the others stay tiny.
+const REUSE_CAP: usize = 4096;
+const CASCADE_CAP: usize = 4096;
+const SCAN_CAP: usize = 1 << 17;
+const SYSTEM_CAP: usize = 256;
+
+/// The incremental analysis engine: a fixed cache geometry plus memo
+/// tables that carry analysis artifacts across candidate nests.
+///
+/// Most callers want the [`Analyzer`] wrapper, which fixes options and
+/// threading as session defaults. `Engine` is the per-call-options core
+/// (e.g. the diagnosis pass analyzes the same nest under two option sets).
+#[derive(Debug)]
+pub struct Engine {
+    cache: CacheConfig,
+    caching: bool,
+    max_cached_points: u64,
+    reuse_memo: Mutex<HashMap<u128, Arc<Vec<ReuseVector>>>>,
+    cascade_memo: Mutex<HashMap<u128, Arc<CascadeEntry>>>,
+    scan_memo: Mutex<HashMap<u128, Arc<ScanOutcome>>>,
+    system_memo: Mutex<HashMap<u128, SystemEntry>>,
+    solve_memo: Arc<SolveMemo>,
+    counters: Counters,
+    timings: Mutex<Timings>,
+}
+
+enum ScanSlot {
+    Ready(Arc<ScanOutcome>),
+    Todo(u128),
+}
+
+enum Plan {
+    Done(RefAnalysis),
+    Cached {
+        rvs: Arc<Vec<ReuseVector>>,
+        cascade: Arc<CascadeEntry>,
+        scans: Vec<ScanSlot>,
+    },
+}
+
+impl Engine {
+    /// A fresh engine for one cache geometry, caching enabled.
+    pub fn new(cache: CacheConfig) -> Self {
+        Engine {
+            cache,
+            caching: true,
+            max_cached_points: 1 << 22,
+            reuse_memo: Mutex::new(HashMap::new()),
+            cascade_memo: Mutex::new(HashMap::new()),
+            scan_memo: Mutex::new(HashMap::new()),
+            system_memo: Mutex::new(HashMap::new()),
+            solve_memo: Arc::new(SolveMemo::new()),
+            counters: Counters::default(),
+            timings: Mutex::new(Timings::default()),
+        }
+    }
+
+    /// The cache geometry this engine analyzes against.
+    pub fn cache(&self) -> &CacheConfig {
+        &self.cache
+    }
+
+    /// Enables or disables memoization (disabled = every analysis is a
+    /// passthrough to the uncached algorithm).
+    pub fn set_caching(&mut self, on: bool) {
+        self.caching = on;
+    }
+
+    /// Iteration-space size above which nests bypass the memos (their
+    /// point sets would dominate memory). Default: 4M points.
+    pub fn set_max_cached_points(&mut self, points: u64) {
+        self.max_cached_points = points;
+    }
+
+    /// The shared Diophantine/polytope solve memo (for symbolic counting).
+    pub fn solve_memo(&self) -> &Arc<SolveMemo> {
+        &self.solve_memo
+    }
+
+    /// Drops every cached artifact. Counters keep accumulating.
+    pub fn clear_caches(&self) {
+        self.reuse_memo
+            .lock()
+            .expect("engine memo poisoned")
+            .clear();
+        self.cascade_memo
+            .lock()
+            .expect("engine memo poisoned")
+            .clear();
+        self.scan_memo.lock().expect("engine memo poisoned").clear();
+        self.system_memo
+            .lock()
+            .expect("engine memo poisoned")
+            .clear();
+        self.solve_memo.clear();
+    }
+
+    /// Snapshot of the engine's accounting.
+    pub fn stats(&self) -> EngineStats {
+        let c = &self.counters;
+        let t = *self.timings.lock().expect("engine timings poisoned");
+        EngineStats {
+            analyses: c.analyses.load(Ordering::Relaxed),
+            passthroughs: c.passthroughs.load(Ordering::Relaxed),
+            reuse_built: c.reuse_built.load(Ordering::Relaxed),
+            reuse_reused: c.reuse_reused.load(Ordering::Relaxed),
+            cascades_built: c.cascades_built.load(Ordering::Relaxed),
+            cascades_reused: c.cascades_reused.load(Ordering::Relaxed),
+            scans_executed: c.scans_executed.load(Ordering::Relaxed),
+            scans_reused: c.scans_reused.load(Ordering::Relaxed),
+            systems_generated: c.systems_generated.load(Ordering::Relaxed),
+            systems_rebased: c.systems_rebased.load(Ordering::Relaxed),
+            systems_reused: c.systems_reused.load(Ordering::Relaxed),
+            solver_hits: self.solve_memo.hits(),
+            solver_misses: self.solve_memo.misses(),
+            time_prepare: t.prepare,
+            time_scan: t.scan,
+            time_assemble: t.assemble,
+        }
+    }
+
+    /// Analyzes a nest, reusing every memoized artifact the candidate's
+    /// invalidation keys admit. Bit-identical to [`crate::analyze_nest`].
+    ///
+    /// `threads` sizes the work pool over `(reference × reuse-vector)`
+    /// items; `<= 1` runs inline on the caller's thread.
+    pub fn analyze(
+        &mut self,
+        nest: &LoopNest,
+        options: &AnalysisOptions,
+        threads: usize,
+    ) -> NestAnalysis {
+        self.counters.analyses.fetch_add(1, Ordering::Relaxed);
+        let cache = self.cache;
+        let nrefs = nest.references().len();
+        let use_cache = self.caching && nest.space().count() <= self.max_cached_points;
+        let addrs: Vec<Affine> = nest
+            .references()
+            .iter()
+            .map(|r| nest.address_affine(r.id()))
+            .collect();
+        let prefix = if use_cache {
+            keys::prefix_key(&cache, options, nest)
+        } else {
+            0
+        };
+        let ls = cache.line_elems();
+        let eng = &*self;
+
+        // Phase 1 — per reference: reuse vectors, then the cascade (memo
+        // or fresh); scan batches become slots (memo hit or todo).
+        let t0 = Instant::now();
+        let plans: Vec<Plan> = pool::run_pool((0..nrefs).collect(), threads, |_, ridx| {
+            let id = RefId::from_index(ridx);
+            if !use_cache {
+                eng.counters.passthroughs.fetch_add(1, Ordering::Relaxed);
+                let rvs = reuse_vectors(nest, &cache, id, &options.reuse);
+                #[allow(deprecated)]
+                return Plan::Done(crate::solve::analyze_reference(
+                    nest, cache, id, &rvs, options,
+                ));
+            }
+            let rkey = keys::KeyHasher::from_prefix(0x4e5e, prefix)
+                .feed(&ridx)
+                .finish();
+            let rvs = eng.lookup_reuse(rkey, || reuse_vectors(nest, &cache, id, &options.reuse));
+            let ckey = keys::cascade_key(prefix, nest, options, ridx, ls);
+            let cascade = eng.lookup_cascade(ckey, || {
+                build_cascade(nest, &cache, &addrs, ridx, &rvs, options)
+            });
+            let scans = (0..cascade.vectors.len())
+                .map(|vi| {
+                    let skey = keys::scan_key(prefix, nest, options, ridx, vi, ls);
+                    match eng.peek_scan(skey) {
+                        Some(o) => ScanSlot::Ready(o),
+                        None => ScanSlot::Todo(skey),
+                    }
+                })
+                .collect();
+            Plan::Cached {
+                rvs,
+                cascade,
+                scans,
+            }
+        });
+        let prepare_elapsed = t0.elapsed();
+
+        // Phase 2 — pooled window scans for every scan-memo miss.
+        let t1 = Instant::now();
+        let mut todo: Vec<(usize, usize, u128)> = Vec::new();
+        for (ridx, plan) in plans.iter().enumerate() {
+            if let Plan::Cached { scans, .. } = plan {
+                for (vi, slot) in scans.iter().enumerate() {
+                    if let ScanSlot::Todo(key) = slot {
+                        todo.push((ridx, vi, *key));
+                    }
+                }
+            }
+        }
+        let outcomes: Vec<Arc<ScanOutcome>> =
+            pool::run_pool(todo.clone(), threads, |_, (ridx, vi, key)| {
+                let Plan::Cached { rvs, cascade, .. } = &plans[ridx] else {
+                    unreachable!("todo items only come from cached plans");
+                };
+                let outcome = Arc::new(scan_points(
+                    nest,
+                    &cache,
+                    &addrs,
+                    ridx,
+                    &rvs[vi],
+                    &cascade.vectors[vi].scan_set,
+                    options,
+                ));
+                eng.store_scan(key, outcome.clone());
+                outcome
+            });
+        let scan_elapsed = t1.elapsed();
+
+        // Phase 3 — deterministic assembly in reference order.
+        let t2 = Instant::now();
+        let mut fills: HashMap<(usize, usize), Arc<ScanOutcome>> = HashMap::new();
+        for ((ridx, vi, _), outcome) in todo.into_iter().zip(outcomes) {
+            fills.insert((ridx, vi), outcome);
+        }
+        let per_ref: Vec<RefAnalysis> = plans
+            .into_iter()
+            .enumerate()
+            .map(|(ridx, plan)| match plan {
+                Plan::Done(r) => r,
+                Plan::Cached {
+                    rvs,
+                    cascade,
+                    scans,
+                } => {
+                    let resolved: Vec<Arc<ScanOutcome>> = scans
+                        .into_iter()
+                        .enumerate()
+                        .map(|(vi, slot)| match slot {
+                            ScanSlot::Ready(o) => o,
+                            ScanSlot::Todo(_) => fills[&(ridx, vi)].clone(),
+                        })
+                        .collect();
+                    assemble(
+                        nest,
+                        RefId::from_index(ridx),
+                        &rvs,
+                        &cascade,
+                        &resolved,
+                        options,
+                    )
+                }
+            })
+            .collect();
+        let assemble_elapsed = t2.elapsed();
+        {
+            let mut t = self.timings.lock().expect("engine timings poisoned");
+            t.prepare += prepare_elapsed;
+            t.scan += scan_elapsed;
+            t.assemble += assemble_elapsed;
+        }
+        NestAnalysis {
+            nest_name: nest.name().to_string(),
+            cache,
+            per_ref,
+        }
+    }
+
+    /// The symbolic CME system for a nest: generated once per structure,
+    /// *rebased* (address constants only) when only the layout moved, and
+    /// returned verbatim when nothing changed.
+    pub fn system(&mut self, nest: &LoopNest, reuse: &ReuseOptions) -> Arc<CmeSystem> {
+        let key = keys::system_key(&self.cache, reuse, nest);
+        let layout = keys::layout_hash(nest);
+        {
+            let mut map = self.system_memo.lock().expect("engine memo poisoned");
+            if let Some(entry) = map.get_mut(&key) {
+                if entry.layout == layout {
+                    self.counters.systems_reused.fetch_add(1, Ordering::Relaxed);
+                    return entry.system.clone();
+                }
+                let rebased = Arc::new(entry.system.rebase_to(nest));
+                entry.layout = layout;
+                entry.system = rebased.clone();
+                self.counters
+                    .systems_rebased
+                    .fetch_add(1, Ordering::Relaxed);
+                return rebased;
+            }
+        }
+        let system = Arc::new(CmeSystem::generate(nest, self.cache, reuse));
+        self.counters
+            .systems_generated
+            .fetch_add(1, Ordering::Relaxed);
+        let mut map = self.system_memo.lock().expect("engine memo poisoned");
+        if map.len() >= SYSTEM_CAP {
+            map.clear();
+        }
+        map.insert(
+            key,
+            SystemEntry {
+                layout,
+                system: system.clone(),
+            },
+        );
+        system
+    }
+
+    /// Counts a replacement equation's solutions through the shared solve
+    /// memo (see
+    /// [`crate::equations::ReplacementEquation::count_solutions_memo`]).
+    pub fn count_replacement(
+        &self,
+        eq: &crate::equations::ReplacementEquation,
+        nest: &LoopNest,
+    ) -> u64 {
+        eq.count_solutions_memo(nest, &self.cache, Some(&self.solve_memo))
+    }
+
+    fn lookup_reuse(
+        &self,
+        key: u128,
+        build: impl FnOnce() -> Vec<ReuseVector>,
+    ) -> Arc<Vec<ReuseVector>> {
+        if let Some(v) = self
+            .reuse_memo
+            .lock()
+            .expect("engine memo poisoned")
+            .get(&key)
+        {
+            self.counters.reuse_reused.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        let v = Arc::new(build());
+        self.counters.reuse_built.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.reuse_memo.lock().expect("engine memo poisoned");
+        if map.len() >= REUSE_CAP {
+            map.clear();
+        }
+        map.insert(key, v.clone());
+        v
+    }
+
+    fn lookup_cascade(&self, key: u128, build: impl FnOnce() -> CascadeEntry) -> Arc<CascadeEntry> {
+        if let Some(c) = self
+            .cascade_memo
+            .lock()
+            .expect("engine memo poisoned")
+            .get(&key)
+        {
+            self.counters
+                .cascades_reused
+                .fetch_add(1, Ordering::Relaxed);
+            return c.clone();
+        }
+        let c = Arc::new(build());
+        self.counters.cascades_built.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.cascade_memo.lock().expect("engine memo poisoned");
+        if map.len() >= CASCADE_CAP {
+            map.clear();
+        }
+        map.insert(key, c.clone());
+        c
+    }
+
+    fn peek_scan(&self, key: u128) -> Option<Arc<ScanOutcome>> {
+        let hit = self
+            .scan_memo
+            .lock()
+            .expect("engine memo poisoned")
+            .get(&key)
+            .cloned();
+        if hit.is_some() {
+            self.counters.scans_reused.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    fn store_scan(&self, key: u128, outcome: Arc<ScanOutcome>) {
+        self.counters.scans_executed.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.scan_memo.lock().expect("engine memo poisoned");
+        if map.len() >= SCAN_CAP {
+            map.clear();
+        }
+        map.insert(key, outcome);
+    }
+}
+
+/// Runs the cold/indeterminate refinement for one reference — the
+/// classification half of Figure 6, with the points needing window scans
+/// recorded per vector instead of scanned inline.
+fn build_cascade(
+    nest: &LoopNest,
+    cache: &CacheConfig,
+    addrs: &[Affine],
+    dest_idx: usize,
+    rvs: &[ReuseVector],
+    options: &AnalysisOptions,
+) -> CascadeEntry {
+    let depth = nest.depth();
+    let space = nest.space();
+    let dest_addr = &addrs[dest_idx];
+    let mut c: Option<PointSet> = None;
+    let mut vectors = Vec::new();
+    let mut early_stopped = false;
+    for rv in rvs {
+        let examined = match &c {
+            Some(set) => set.len(),
+            None => space.count(),
+        };
+        if examined <= options.epsilon {
+            early_stopped = c.is_some() && examined > 0;
+            break;
+        }
+        let mut next = PointSet::new(depth);
+        let mut scan_set = PointSet::new(depth);
+        let mut cold_solutions = 0u64;
+        let r = rv.vector();
+        let src_addr = &addrs[rv.source().index()];
+        let intra = rv.is_intra_iteration();
+        let mut p = vec![0i64; depth];
+        let mut classify = |i: &[i64]| {
+            for l in 0..depth {
+                p[l] = i[l] - r[l];
+            }
+            let dest_line = cache.memory_line(dest_addr.eval(i));
+            let cold = (!intra && !space.contains(&p))
+                || cache.memory_line(src_addr.eval(&p)) != dest_line;
+            if cold {
+                next.push(i);
+                cold_solutions += 1;
+            } else {
+                scan_set.push(i);
+            }
+        };
+        match &c {
+            None => {
+                let mut sp = nest.space();
+                while let Some(pt) = sp.next_point() {
+                    classify(&pt);
+                }
+            }
+            Some(set) => {
+                for pt in set {
+                    classify(pt);
+                }
+            }
+        }
+        vectors.push(CascadeVector {
+            examined,
+            cold_solutions,
+            scan_set,
+        });
+        c = Some(next);
+    }
+    CascadeEntry {
+        vectors,
+        final_set: c,
+        early_stopped,
+    }
+}
+
+/// Scans the reuse windows of every point in `points` along `rv` — the
+/// verdict half of Figure 6, identical to the reference implementation's
+/// inline scan.
+fn scan_points(
+    nest: &LoopNest,
+    cache: &CacheConfig,
+    addrs: &[Affine],
+    dest_idx: usize,
+    rv: &ReuseVector,
+    points: &PointSet,
+    options: &AnalysisOptions,
+) -> ScanOutcome {
+    let depth = nest.depth();
+    let space = nest.space();
+    let k = cache.assoc() as usize;
+    let nrefs = addrs.len();
+    let dest_addr = &addrs[dest_idx];
+    let src_idx = rv.source().index();
+    let r = rv.vector();
+    let intra = rv.is_intra_iteration();
+    let mut scanner = Scanner::new(cache, addrs, k, options.exact_equation_counts);
+    let mut p = vec![0i64; depth];
+    let mut contentions = vec![0u64; nrefs];
+    let mut replacement_misses = 0u64;
+    let mut miss_indices = Vec::new();
+    for (idx, i) in points.iter().enumerate() {
+        for l in 0..depth {
+            p[l] = i[l] - r[l];
+        }
+        let a_dest = dest_addr.eval(i);
+        scanner.reset(cache.cache_set(a_dest), cache.memory_line(a_dest));
+        let mut go = true;
+        if intra {
+            for s in (src_idx + 1)..dest_idx {
+                if !scanner.check(i, s) {
+                    break;
+                }
+            }
+        } else {
+            // Tail of the source iteration (statements after the source).
+            for s in (src_idx + 1)..nrefs {
+                if !scanner.check(&p, s) {
+                    go = false;
+                    break;
+                }
+            }
+            // Whole iterations strictly between, row by row.
+            if go {
+                go = if options.pointwise_windows {
+                    scan_interior_pointwise(&mut scanner, &space, &p, i)
+                } else {
+                    scan_interior(&mut scanner, &space, &p, i)
+                };
+            }
+            // Head of the destination iteration (statements before dest).
+            if go {
+                for s in 0..dest_idx {
+                    if !scanner.check(i, s) {
+                        break;
+                    }
+                }
+            }
+        }
+        if options.exact_equation_counts {
+            for (s, v) in scanner.per_perp.iter().enumerate() {
+                contentions[s] += v.len() as u64;
+            }
+        }
+        if scanner.distinct.len() >= k {
+            replacement_misses += 1;
+            miss_indices.push(idx as u32);
+        }
+    }
+    ScanOutcome {
+        replacement_misses,
+        contentions,
+        miss_indices,
+    }
+}
+
+/// Stitches a cascade and its scan outcomes into the public
+/// [`RefAnalysis`], byte for byte what the reference implementation emits.
+fn assemble(
+    nest: &LoopNest,
+    dest: RefId,
+    rvs: &[ReuseVector],
+    cascade: &CascadeEntry,
+    scans: &[Arc<ScanOutcome>],
+    options: &AnalysisOptions,
+) -> RefAnalysis {
+    let mut vectors = Vec::with_capacity(cascade.vectors.len());
+    let mut replacement_misses = 0u64;
+    let mut repl_points: Vec<(Vec<i64>, usize)> = Vec::new();
+    for (vi, (cv, scan)) in cascade.vectors.iter().zip(scans).enumerate() {
+        replacement_misses += scan.replacement_misses;
+        vectors.push(VectorReport {
+            reuse: rvs[vi].clone(),
+            examined: cv.examined,
+            cold_solutions: cv.cold_solutions,
+            replacement_misses: scan.replacement_misses,
+            contentions_per_perpetrator: scan.contentions.clone(),
+            cumulative_replacement_misses: replacement_misses,
+        });
+        if options.collect_miss_points {
+            for &mi in &scan.miss_indices {
+                repl_points.push((cv.scan_set.point(mi as usize).to_vec(), vi));
+            }
+        }
+    }
+    let (cold_misses, cold_points) = match &cascade.final_set {
+        Some(set) => (
+            set.len(),
+            if options.collect_miss_points {
+                set.iter().map(|q| q.to_vec()).collect()
+            } else {
+                Vec::new()
+            },
+        ),
+        None => {
+            let mut pts = Vec::new();
+            if options.collect_miss_points {
+                let mut sp = nest.space();
+                while let Some(q) = sp.next_point() {
+                    pts.push(q);
+                }
+            }
+            (nest.space().count(), pts)
+        }
+    };
+    RefAnalysis {
+        dest,
+        label: nest.reference(dest).label().to_string(),
+        vectors,
+        cold_misses,
+        replacement_misses,
+        early_stopped: cascade.early_stopped,
+        replacement_miss_points: repl_points,
+        cold_miss_points: cold_points,
+    }
+}
+
+/// A configured analysis session: cache, options, and threading fixed as
+/// defaults, with the incremental [`Engine`] carrying memoized work across
+/// every `analyze` call.
+///
+/// ```
+/// use cme_cache::CacheConfig;
+/// use cme_core::{AnalysisOptions, Analyzer};
+/// use cme_ir::{AccessKind, NestBuilder};
+///
+/// let mut b = NestBuilder::new();
+/// b.ct_loop("i", 1, 64);
+/// let a = b.array("A", &[64], 0);
+/// b.reference(a, AccessKind::Read, &[("i", 0)]);
+/// let nest = b.build().unwrap();
+///
+/// let cfg = CacheConfig::new(8192, 1, 32, 4)?;
+/// let analysis = Analyzer::new(cfg)
+///     .options(AnalysisOptions::default())
+///     .parallel(true)
+///     .analyze(&nest);
+/// assert_eq!(analysis.total_misses(), 8);
+/// # Ok::<(), cme_cache::CacheConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct Analyzer {
+    engine: Engine,
+    options: AnalysisOptions,
+    parallel: bool,
+    threads: usize,
+}
+
+impl Analyzer {
+    /// A sequential session with default options and caching on.
+    pub fn new(cache: CacheConfig) -> Self {
+        Analyzer {
+            engine: Engine::new(cache),
+            options: AnalysisOptions::default(),
+            parallel: false,
+            threads: 0,
+        }
+    }
+
+    /// Sets the session's default analysis options.
+    pub fn options(mut self, options: AnalysisOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Spreads each analysis over the machine's cores.
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.parallel = on;
+        self
+    }
+
+    /// Pins the work-pool width explicitly (overrides [`Analyzer::parallel`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables or disables the engine's memoization.
+    pub fn caching(mut self, on: bool) -> Self {
+        self.engine.set_caching(on);
+        self
+    }
+
+    /// The cache geometry this session analyzes against.
+    pub fn cache(&self) -> &CacheConfig {
+        self.engine.cache()
+    }
+
+    /// The session's default options.
+    pub fn current_options(&self) -> &AnalysisOptions {
+        &self.options
+    }
+
+    /// Analyzes a nest with the session defaults. Results are bit-identical
+    /// to [`crate::analyze_nest`], warm or cold.
+    pub fn analyze(&mut self, nest: &LoopNest) -> NestAnalysis {
+        let options = self.options.clone();
+        self.analyze_with_options(nest, &options)
+    }
+
+    /// Analyzes with one-off options (e.g. an exact-counting pass) while
+    /// still sharing the session's memo tables.
+    pub fn analyze_with_options(
+        &mut self,
+        nest: &LoopNest,
+        options: &AnalysisOptions,
+    ) -> NestAnalysis {
+        let threads = self.thread_count();
+        self.engine.analyze(nest, options, threads)
+    }
+
+    /// The symbolic CME system for a nest (generated, rebased, or reused).
+    pub fn system(&mut self, nest: &LoopNest) -> Arc<CmeSystem> {
+        let reuse = self.options.reuse.clone();
+        self.engine.system(nest, &reuse)
+    }
+
+    /// Snapshot of the engine's accounting.
+    pub fn stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
+    /// Shared access to the underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable access to the underlying engine.
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    fn thread_count(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else if self.parallel {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(deprecated)] // the legacy free functions are the equivalence baseline
+mod tests {
+    use super::*;
+    use cme_ir::{AccessKind, NestBuilder};
+
+    fn matmul(n: i64, bz: i64, bx: i64, by: i64) -> LoopNest {
+        let mut b = NestBuilder::new();
+        b.name("mmult");
+        b.ct_loop("i", 1, n).ct_loop("k", 1, n).ct_loop("j", 1, n);
+        let z = b.array("Z", &[n, n], bz);
+        let x = b.array("X", &[n, n], bx);
+        let y = b.array("Y", &[n, n], by);
+        b.reference(z, AccessKind::Read, &[("j", 0), ("i", 0)]);
+        b.reference(x, AccessKind::Read, &[("k", 0), ("i", 0)]);
+        b.reference(y, AccessKind::Read, &[("j", 0), ("k", 0)]);
+        b.reference(z, AccessKind::Write, &[("j", 0), ("i", 0)]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn engine_matches_legacy_warm_and_cold() {
+        let cache = CacheConfig::new(2048, 2, 32, 4).unwrap();
+        let opts = AnalysisOptions::builder().collect_miss_points(true).build();
+        let mut analyzer = Analyzer::new(cache).options(opts.clone());
+        for bases in [[0, 300, 777], [0, 300, 777], [32, 300, 777], [5, 311, 801]] {
+            let nest = matmul(12, bases[0], bases[1], bases[2]);
+            let legacy = crate::solve::analyze_nest(&nest, cache, &opts);
+            let cold = analyzer.analyze(&nest);
+            let warm = analyzer.analyze(&nest);
+            assert_eq!(legacy, cold);
+            assert_eq!(legacy, warm);
+        }
+        let stats = analyzer.stats();
+        assert!(stats.cascades_reused > 0, "{stats}");
+        assert!(stats.scans_reused > 0, "{stats}");
+        assert!(stats.memo_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn engine_matches_legacy_with_epsilon_and_exact() {
+        let cache = CacheConfig::new(8192, 1, 32, 4).unwrap();
+        for opts in [
+            AnalysisOptions::builder().epsilon(200).build(),
+            AnalysisOptions::builder()
+                .exact_equation_counts(true)
+                .build(),
+            AnalysisOptions::builder().pointwise_windows(true).build(),
+        ] {
+            let nest = matmul(8, 0, 4096, 8192);
+            let legacy = crate::solve::analyze_nest(&nest, cache, &opts);
+            let mut analyzer = Analyzer::new(cache).options(opts.clone());
+            assert_eq!(legacy, analyzer.analyze(&nest));
+            assert_eq!(legacy, analyzer.analyze(&nest), "warm pass diverged");
+        }
+    }
+
+    #[test]
+    fn caching_off_is_a_passthrough() {
+        let cache = CacheConfig::new(1024, 1, 32, 4).unwrap();
+        let nest = matmul(6, 0, 100, 200);
+        let mut analyzer = Analyzer::new(cache).caching(false);
+        let a = analyzer.analyze(&nest);
+        let b = analyzer.analyze(&nest);
+        assert_eq!(a, b);
+        let stats = analyzer.stats();
+        assert_eq!(stats.passthroughs, 8, "4 refs x 2 analyses uncached");
+        assert_eq!(stats.cascades_built + stats.cascades_reused, 0);
+    }
+
+    #[test]
+    fn moving_one_array_reuses_other_cascades() {
+        let cache = CacheConfig::new(1024, 1, 32, 4).unwrap();
+        let ls = cache.line_elems();
+        let mut analyzer = Analyzer::new(cache);
+        let n1 = matmul(8, 0, 128, 256);
+        let n2 = matmul(8, 0, 128, 256 + ls); // move Y by a whole line
+        let legacy = crate::solve::analyze_nest(&n2, cache, &AnalysisOptions::default());
+        analyzer.analyze(&n1);
+        let built_before = analyzer.stats().cascades_built;
+        assert_eq!(analyzer.analyze(&n2), legacy);
+        // Every reference keeps B mod Ls, so no cascade is rebuilt.
+        assert_eq!(analyzer.stats().cascades_built, built_before);
+    }
+
+    #[test]
+    fn system_cache_generates_rebases_and_reuses() {
+        let cache = CacheConfig::new(1024, 1, 32, 4).unwrap();
+        let reuse = cme_reuse::ReuseOptions::default();
+        let mut engine = Engine::new(cache);
+        let n1 = matmul(8, 0, 128, 256);
+        let s1 = engine.system(&n1, &reuse);
+        let s1b = engine.system(&n1, &reuse);
+        assert!(Arc::ptr_eq(&s1, &s1b));
+        let n2 = matmul(8, 8, 130, 300);
+        let s2 = engine.system(&n2, &reuse);
+        assert_eq!(*s2, CmeSystem::generate(&n2, cache, &reuse));
+        let stats = engine.stats();
+        assert_eq!(stats.systems_generated, 1);
+        assert_eq!(stats.systems_rebased, 1);
+        assert_eq!(stats.systems_reused, 1);
+        assert!(stats.systems_saved() == 2);
+    }
+
+    #[test]
+    fn clear_caches_resets_tables_not_counters() {
+        let cache = CacheConfig::new(1024, 1, 32, 4).unwrap();
+        let nest = matmul(6, 0, 100, 200);
+        let mut analyzer = Analyzer::new(cache);
+        analyzer.analyze(&nest);
+        analyzer.engine().clear_caches();
+        let legacy = crate::solve::analyze_nest(&nest, cache, &AnalysisOptions::default());
+        assert_eq!(analyzer.analyze(&nest), legacy);
+        let stats = analyzer.stats();
+        assert_eq!(stats.analyses, 2);
+        assert!(stats.cascades_built >= 8, "rebuilt after clear");
+    }
+}

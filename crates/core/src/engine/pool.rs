@@ -1,0 +1,79 @@
+//! A scoped work pool for independent analysis items.
+//!
+//! The engine's parallelism is a flat bag of independent work items —
+//! whole-reference passthroughs and per-`(reference, reuse-vector)` window
+//! scans. Workers pull the next unclaimed item from a shared atomic cursor
+//! (idle workers steal whatever is left, so an expensive item never
+//! serializes the cheap ones behind it), and results land in their item's
+//! slot so the output order is deterministic regardless of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `work(index, item)` over every item and returns the results in
+/// item order. With `threads <= 1` (or one item) everything runs inline on
+/// the caller's thread — no pool, no synchronization.
+pub(crate) fn run_pool<T, R, F>(items: Vec<T>, threads: usize, work: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| work(i, t))
+            .collect();
+    }
+    let n = items.len();
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.min(n);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let item = slots[idx]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("work item claimed twice");
+                let out = work(idx, item);
+                *results[idx].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker skipped an item")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_and_pooled_agree_and_preserve_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let inline = run_pool(items.clone(), 1, |i, x| x * 2 + i as u64);
+        let pooled = run_pool(items, 4, |i, x| x * 2 + i as u64);
+        assert_eq!(inline, pooled);
+        assert_eq!(inline[10], 30);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(run_pool(Vec::<u8>::new(), 8, |_, x| x), Vec::<u8>::new());
+        assert_eq!(run_pool(vec![7], 8, |_, x| x + 1), vec![8]);
+    }
+}

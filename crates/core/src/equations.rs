@@ -45,12 +45,7 @@ impl ColdEquation {
 
 impl fmt::Display for ColdEquation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "ColdCME[{} along {}]",
-            self.dest,
-            self.reuse
-        )
+        write!(f, "ColdCME[{} along {}]", self.dest, self.reuse)
     }
 }
 
@@ -140,6 +135,19 @@ impl ReplacementEquation {
     /// `j⃗ = i⃗` when it precedes the destination) are added per the
     /// paper's access-order rule.
     pub fn count_solutions(&self, nest: &LoopNest, cache: &CacheConfig) -> u64 {
+        self.count_solutions_memo(nest, cache, None)
+    }
+
+    /// [`ReplacementEquation::count_solutions`] with every polytope count
+    /// routed through a [`cme_math::SolveMemo`], so repeated counts over
+    /// identical `(coefficients, bounds)` inputs — as produced by candidate
+    /// layouts sharing structure — are answered from the memo.
+    pub fn count_solutions_memo(
+        &self,
+        nest: &LoopNest,
+        cache: &CacheConfig,
+        memo: Option<&cme_math::SolveMemo>,
+    ) -> u64 {
         let n = nest.depth();
         let src = self.reuse.source().index();
         let perp = self.perp.index();
@@ -148,31 +156,46 @@ impl ReplacementEquation {
         let mut total = 0u64;
         if self.reuse.is_intra_iteration() {
             if src < perp && perp < dest {
-                total += self.count_with_window(nest, cache, &WindowClass::Equal(Anchor::I));
+                total += self.count_with_window(nest, cache, &WindowClass::Equal(Anchor::I), memo);
             }
             return total;
         }
         // Interior: count(j ≺ i) − count(j ≼ p).
         for l in 0..n {
-            total += self.count_with_window(nest, cache, &WindowClass::Before(Anchor::I, l));
+            total += self.count_with_window(nest, cache, &WindowClass::Before(Anchor::I, l), memo);
         }
         for l in 0..n {
-            total = total
-                .saturating_sub(self.count_with_window(nest, cache, &WindowClass::Before(Anchor::P, l)));
+            total = total.saturating_sub(self.count_with_window(
+                nest,
+                cache,
+                &WindowClass::Before(Anchor::P, l),
+                memo,
+            ));
         }
-        total = total.saturating_sub(self.count_with_window(nest, cache, &WindowClass::Equal(Anchor::P)));
+        total = total.saturating_sub(self.count_with_window(
+            nest,
+            cache,
+            &WindowClass::Equal(Anchor::P),
+            memo,
+        ));
         // Endpoints by statement order.
         if perp > src {
-            total += self.count_with_window(nest, cache, &WindowClass::Equal(Anchor::P));
+            total += self.count_with_window(nest, cache, &WindowClass::Equal(Anchor::P), memo);
         }
         if perp < dest {
-            total += self.count_with_window(nest, cache, &WindowClass::Equal(Anchor::I));
+            total += self.count_with_window(nest, cache, &WindowClass::Equal(Anchor::I), memo);
         }
         total
     }
 
     /// Builds and counts one window-class polytope (both `n` sign branches).
-    fn count_with_window(&self, nest: &LoopNest, cache: &CacheConfig, class: &WindowClass) -> u64 {
+    fn count_with_window(
+        &self,
+        nest: &LoopNest,
+        cache: &CacheConfig,
+        class: &WindowClass,
+        memo: Option<&cme_math::SolveMemo>,
+    ) -> u64 {
         let n = nest.depth();
         let nv = 2 * n + 3; // i.., j.., qa, qb, t
         let (qa, qb, t) = (2 * n, 2 * n + 1, 2 * n + 2);
@@ -298,7 +321,10 @@ impl ReplacementEquation {
             }
             let mut b = bounds.clone();
             b.push(cme_math::Interval::new(t_lo, t_hi));
-            count += p.count_points(&b);
+            count += match memo {
+                Some(m) => m.count_points(&p, &b),
+                None => p.count_points(&b),
+            };
         }
         count
     }
@@ -403,6 +429,39 @@ impl CmeSystem {
         CmeSystem { per_ref, cache }
     }
 
+    /// Re-targets a generated system at a nest with **identical structure**
+    /// but possibly different array layouts (base addresses and padded
+    /// column sizes are the only things a layout transform may change that
+    /// this method absorbs — loop bounds, subscripts, and reference order
+    /// must match the nest the system was generated for).
+    ///
+    /// Only the address affines (`mem_dest`, `mem_perp`) are recomputed;
+    /// reuse vectors and equation shapes are reused verbatim. Reuse vectors
+    /// are base-invariant (they depend on loop widths, line size, and
+    /// subscript coefficients plus same-array constant *differences*), so
+    /// when the layout change also preserves each array's column strides
+    /// and intra-array offsets the rebased system equals a freshly
+    /// generated one. Callers that change column sizes must re-key on the
+    /// structure hash, which includes subscript/stride coefficients.
+    pub fn rebase_to(&self, nest: &LoopNest) -> CmeSystem {
+        let mut out = self.clone();
+        for re in &mut out.per_ref {
+            let mem_dest = nest.address_affine(re.dest);
+            for g in &mut re.groups {
+                for eq in &mut g.replacements {
+                    debug_assert_eq!(
+                        eq.mem_dest.coeffs(),
+                        mem_dest.coeffs(),
+                        "rebase_to requires identical nest structure"
+                    );
+                    eq.mem_dest = mem_dest.clone();
+                    eq.mem_perp = nest.address_affine(eq.perp);
+                }
+            }
+        }
+        out
+    }
+
     /// Total number of equations in the system (cold + replacement).
     pub fn equation_count(&self) -> usize {
         self.per_ref
@@ -413,7 +472,12 @@ impl CmeSystem {
     }
 }
 
-fn build_group(nest: &LoopNest, cache: &CacheConfig, dest: RefId, rv: ReuseVector) -> EquationGroup {
+fn build_group(
+    nest: &LoopNest,
+    cache: &CacheConfig,
+    dest: RefId,
+    rv: ReuseVector,
+) -> EquationGroup {
     let mem_dest = nest.address_affine(dest);
     let replacements = nest
         .references()
@@ -488,7 +552,10 @@ mod tests {
         assert_eq!(eq.mem_perp.coeffs(), &[32, 1, 0]);
         assert!(!eq.is_self_interference());
         let shown = eq.to_string();
-        assert!(shown.contains("512·n"), "display shows the way span: {shown}");
+        assert!(
+            shown.contains("512·n"),
+            "display shows the way span: {shown}"
+        );
     }
 
     #[test]
@@ -509,8 +576,14 @@ mod tests {
         assert_eq!(eq_self.contention_at(&cache, &[1, 1, 1], &[1, 1, 1]), None);
         // Z(j,i) at i-index differing by 16 columns: addresses differ by
         // 16*32 = 512 elements = exactly one way span: same set, n = ±1.
-        assert_eq!(eq_self.contention_at(&cache, &[17, 1, 1], &[1, 1, 1]), Some(1));
-        assert_eq!(eq_self.contention_at(&cache, &[1, 1, 1], &[17, 1, 1]), Some(-1));
+        assert_eq!(
+            eq_self.contention_at(&cache, &[17, 1, 1], &[1, 1, 1]),
+            Some(1)
+        );
+        assert_eq!(
+            eq_self.contention_at(&cache, &[1, 1, 1], &[17, 1, 1]),
+            Some(-1)
+        );
         // Different set: no contention.
         assert_eq!(eq_self.contention_at(&cache, &[1, 1, 2], &[1, 1, 1]), None);
     }
@@ -535,11 +608,7 @@ mod tests {
 
     /// Brute-force mirror of `count_solutions`: enumerate every (i, j)
     /// window pair and count cache-set contentions with distinct lines.
-    fn brute_solution_count(
-        nest: &LoopNest,
-        cache: &CacheConfig,
-        eq: &ReplacementEquation,
-    ) -> u64 {
+    fn brute_solution_count(nest: &LoopNest, cache: &CacheConfig, eq: &ReplacementEquation) -> u64 {
         use cme_math::lexi::lex_cmp;
         use std::cmp::Ordering;
         let r = eq.reuse.vector();
@@ -658,6 +727,44 @@ mod tests {
     }
 
     #[test]
+    fn rebase_matches_fresh_generation_and_memo_counts_agree() {
+        let n = 6;
+        let build = |bases: [i64; 3]| {
+            let mut b = NestBuilder::new();
+            b.ct_loop("i", 1, n).ct_loop("k", 1, n).ct_loop("j", 1, n);
+            let z = b.array("Z", &[n, n], bases[0]);
+            let x = b.array("X", &[n, n], bases[1]);
+            let y = b.array("Y", &[n, n], bases[2]);
+            b.reference(z, AccessKind::Read, &[("j", 0), ("i", 0)]);
+            b.reference(x, AccessKind::Read, &[("k", 0), ("i", 0)]);
+            b.reference(y, AccessKind::Read, &[("j", 0), ("k", 0)]);
+            b.reference(z, AccessKind::Write, &[("j", 0), ("i", 0)]);
+            b.build().unwrap()
+        };
+        let cache = CacheConfig::new(256, 1, 16, 4).unwrap();
+        let nest_a = build([0, 64, 128]);
+        let nest_b = build([8, 77, 160]); // shifted bases, same structure
+        let sys_a = CmeSystem::generate(&nest_a, cache, &ReuseOptions::default());
+        let fresh_b = CmeSystem::generate(&nest_b, cache, &ReuseOptions::default());
+        let rebased_b = sys_a.rebase_to(&nest_b);
+        assert_eq!(rebased_b, fresh_b);
+
+        // Memoized counting is exact, and re-counting the same rebased
+        // system hits the memo.
+        let memo = cme_math::SolveMemo::new();
+        for re in &rebased_b.per_ref {
+            for g in re.groups.iter().take(2) {
+                for eq in &g.replacements {
+                    let plain = eq.count_solutions(&nest_b, &cache);
+                    assert_eq!(eq.count_solutions_memo(&nest_b, &cache, Some(&memo)), plain);
+                    assert_eq!(eq.count_solutions_memo(&nest_b, &cache, Some(&memo)), plain);
+                }
+            }
+        }
+        assert!(memo.hits() >= memo.misses(), "second pass fully memoized");
+    }
+
+    #[test]
     fn system_covers_every_reference_and_counts_equations() {
         let (nest, cache) = eq5_setting();
         let sys = CmeSystem::generate(&nest, cache, &ReuseOptions::default());
@@ -669,11 +776,7 @@ mod tests {
                 assert_eq!(g.replacements.len(), 4);
             }
         }
-        let expected: usize = sys
-            .per_ref
-            .iter()
-            .map(|r| r.groups.len() * 5)
-            .sum();
+        let expected: usize = sys.per_ref.iter().map(|r| r.groups.len() * 5).sum();
         assert_eq!(sys.equation_count(), expected);
     }
 }

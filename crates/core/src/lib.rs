@@ -28,6 +28,10 @@
 //!   exactly over the iteration space with per-reuse-vector accounting
 //!   (reproducing Figure 8's progress table) and the `ε` precision/time
 //!   knob.
+//! - [`engine`] — the incremental analysis engine behind [`Analyzer`]:
+//!   memoizes reuse vectors, cold/indeterminate cascades, window-scan
+//!   verdicts, and generated equation systems across the candidate nests
+//!   of an optimizer search (see `docs/ENGINE.md`).
 //! - [`accuracy`] — side-by-side comparison against the LRU simulator
 //!   (Table 1's DineroIII columns).
 //!
@@ -35,7 +39,7 @@
 //!
 //! ```
 //! use cme_cache::CacheConfig;
-//! use cme_core::{analyze_nest, AnalysisOptions};
+//! use cme_core::Analyzer;
 //! use cme_ir::{AccessKind, NestBuilder};
 //!
 //! // A unit-stride sweep: misses = one per 8-element line.
@@ -46,8 +50,12 @@
 //! let nest = b.build().unwrap();
 //!
 //! let cfg = CacheConfig::new(8192, 1, 32, 4)?;
-//! let analysis = analyze_nest(&nest, cfg, &AnalysisOptions::default());
+//! let mut analyzer = Analyzer::new(cfg);
+//! let analysis = analyzer.analyze(&nest);
 //! assert_eq!(analysis.total_misses(), 8);
+//! // Re-analyses of structurally similar nests hit the engine's memos.
+//! analyzer.analyze(&nest);
+//! assert!(analyzer.stats().memo_hit_rate() > 0.0);
 //! # Ok::<(), cme_cache::CacheConfigError>(())
 //! ```
 
@@ -55,16 +63,20 @@
 #![deny(unsafe_code)]
 
 pub mod accuracy;
+pub mod engine;
 pub mod equations;
-pub mod sequence;
 pub mod pointset;
+pub mod sequence;
 pub mod solve;
 
 pub use accuracy::{compare_with_simulation, AccuracyRow};
+pub use engine::{Analyzer, Engine, EngineStats};
 pub use equations::{CmeSystem, ColdEquation, EquationGroup, RefEquations, ReplacementEquation};
 pub use pointset::PointSet;
 pub use sequence::{analyze_sequence, SequenceAnalysis};
+#[allow(deprecated)]
+pub use solve::{analyze_nest, analyze_nest_parallel, analyze_reference};
 pub use solve::{
-    analyze_nest, analyze_nest_parallel, analyze_reference, AnalysisOptions, NestAnalysis,
-    RefAnalysis, VectorReport,
+    AnalysisOptions, AnalysisOptionsBuilder, InvalidOptions, NestAnalysis, RefAnalysis,
+    VectorReport,
 };

@@ -39,11 +39,7 @@ impl PointSet {
 
     /// Number of points stored.
     pub fn len(&self) -> u64 {
-        if self.depth == 0 {
-            0
-        } else {
-            (self.data.len() / self.depth) as u64
-        }
+        self.data.len().checked_div(self.depth).unwrap_or(0) as u64
     }
 
     /// Whether the set is empty.
@@ -64,6 +60,15 @@ impl PointSet {
     /// Iterates the points as slices, in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &[i64]> {
         self.data.chunks_exact(self.depth)
+    }
+
+    /// The `idx`-th point, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx >= len()`.
+    pub fn point(&self, idx: usize) -> &[i64] {
+        &self.data[idx * self.depth..(idx + 1) * self.depth]
     }
 }
 

@@ -15,7 +15,8 @@
 //! vectors is the paper's (and this crate's) future work; the paper notes
 //! most inter-nest misses occur between *adjacent* nests [16].
 
-use crate::solve::{analyze_nest, AnalysisOptions, NestAnalysis};
+use crate::engine::Analyzer;
+use crate::solve::{AnalysisOptions, NestAnalysis};
 use cme_cache::CacheConfig;
 use cme_ir::LoopNest;
 use std::fmt;
@@ -39,7 +40,11 @@ impl fmt::Display for SequenceAnalysis {
         for a in &self.per_nest {
             writeln!(f, "{a}")?;
         }
-        write!(f, "sequence upper bound: {} misses", self.miss_upper_bound())
+        write!(
+            f,
+            "sequence upper bound: {} misses",
+            self.miss_upper_bound()
+        )
     }
 }
 
@@ -50,11 +55,9 @@ pub fn analyze_sequence(
     cache: CacheConfig,
     options: &AnalysisOptions,
 ) -> SequenceAnalysis {
+    let mut analyzer = Analyzer::new(cache).options(options.clone());
     SequenceAnalysis {
-        per_nest: nests
-            .iter()
-            .map(|n| analyze_nest(n, cache, options))
-            .collect(),
+        per_nest: nests.iter().map(|n| analyzer.analyze(n)).collect(),
     }
 }
 

@@ -28,7 +28,7 @@ use cme_reuse::{reuse_vectors, ReuseOptions, ReuseVector};
 use std::fmt;
 
 /// Options for [`analyze_nest`] / [`analyze_reference`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AnalysisOptions {
     /// How reuse vectors are generated.
     pub reuse: ReuseOptions,
@@ -50,14 +50,113 @@ pub struct AnalysisOptions {
     pub pointwise_windows: bool,
 }
 
-impl Default for AnalysisOptions {
-    fn default() -> Self {
-        AnalysisOptions {
-            reuse: ReuseOptions::default(),
-            epsilon: 0,
-            exact_equation_counts: false,
-            collect_miss_points: false,
-            pointwise_windows: false,
+impl AnalysisOptions {
+    /// Starts a validating builder over the default options.
+    ///
+    /// ```
+    /// use cme_core::AnalysisOptions;
+    /// let opts = AnalysisOptions::builder()
+    ///     .epsilon(1000)
+    ///     .collect_miss_points(true)
+    ///     .build();
+    /// assert_eq!(opts.epsilon, 1000);
+    /// ```
+    pub fn builder() -> AnalysisOptionsBuilder {
+        AnalysisOptionsBuilder {
+            options: AnalysisOptions::default(),
+        }
+    }
+}
+
+/// Invalid [`AnalysisOptions`] combination, reported by
+/// [`AnalysisOptionsBuilder::try_build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidOptions {
+    reason: String,
+}
+
+impl fmt::Display for InvalidOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid analysis options: {}", self.reason)
+    }
+}
+
+impl std::error::Error for InvalidOptions {}
+
+/// Typed builder for [`AnalysisOptions`] that rejects inconsistent
+/// combinations at construction time instead of letting them skew results
+/// silently.
+///
+/// Current validation rule: a nonzero `ε` cannot be combined with
+/// `exact_equation_counts` — the early stop skips the very window scans
+/// whose per-equation contention counts the exact mode promises, so the
+/// reported counts would be quietly incomplete.
+#[derive(Debug, Clone)]
+pub struct AnalysisOptionsBuilder {
+    options: AnalysisOptions,
+}
+
+impl AnalysisOptionsBuilder {
+    /// Sets the reuse-vector generation knobs.
+    pub fn reuse(mut self, reuse: ReuseOptions) -> Self {
+        self.options.reuse = reuse;
+        self
+    }
+
+    /// Sets the `ε` early-stop threshold of Figure 6 (`0` = exact).
+    pub fn epsilon(mut self, epsilon: u64) -> Self {
+        self.options.epsilon = epsilon;
+        self
+    }
+
+    /// Enables per-equation contention counting (disables scan early-exit).
+    pub fn exact_equation_counts(mut self, on: bool) -> Self {
+        self.options.exact_equation_counts = on;
+        self
+    }
+
+    /// Records concrete miss points in the result.
+    pub fn collect_miss_points(mut self, on: bool) -> Self {
+        self.options.collect_miss_points = on;
+        self
+    }
+
+    /// Scans reuse windows point by point (ablation knob).
+    pub fn pointwise_windows(mut self, on: bool) -> Self {
+        self.options.pointwise_windows = on;
+        self
+    }
+
+    /// Validates and returns the options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidOptions`] when `epsilon > 0` is combined with
+    /// `exact_equation_counts`.
+    pub fn try_build(self) -> Result<AnalysisOptions, InvalidOptions> {
+        if self.options.epsilon > 0 && self.options.exact_equation_counts {
+            return Err(InvalidOptions {
+                reason: format!(
+                    "epsilon = {} with exact_equation_counts: the early stop \
+                     skips window scans, so per-equation contention counts \
+                     would be incomplete",
+                    self.options.epsilon
+                ),
+            });
+        }
+        Ok(self.options)
+    }
+
+    /// Validates and returns the options.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the conditions [`AnalysisOptionsBuilder::try_build`]
+    /// rejects.
+    pub fn build(self) -> AnalysisOptions {
+        match self.try_build() {
+            Ok(o) => o,
+            Err(e) => panic!("{e}"),
         }
     }
 }
@@ -180,21 +279,23 @@ impl fmt::Display for NestAnalysis {
 
 /// Window scanner: accumulates the distinct conflicting memory lines seen in
 /// one reuse window (the semantic evaluation of the replacement equations).
-struct Scanner<'a> {
+/// Shared between the legacy drivers below and the incremental engine
+/// ([`crate::engine`]).
+pub(crate) struct Scanner<'a> {
     cache: &'a CacheConfig,
-    addrs: &'a [Affine],
+    pub(crate) addrs: &'a [Affine],
     k: usize,
     exact: bool,
     dest_set: i64,
     dest_line: i64,
     /// Distinct conflicting lines across all perpetrators.
-    distinct: Vec<i64>,
+    pub(crate) distinct: Vec<i64>,
     /// Distinct conflicting lines per perpetrator (exact mode only).
-    per_perp: Vec<Vec<i64>>,
+    pub(crate) per_perp: Vec<Vec<i64>>,
 }
 
 impl<'a> Scanner<'a> {
-    fn new(cache: &'a CacheConfig, addrs: &'a [Affine], k: usize, exact: bool) -> Self {
+    pub(crate) fn new(cache: &'a CacheConfig, addrs: &'a [Affine], k: usize, exact: bool) -> Self {
         Scanner {
             cache,
             addrs,
@@ -207,7 +308,7 @@ impl<'a> Scanner<'a> {
         }
     }
 
-    fn reset(&mut self, dest_set: i64, dest_line: i64) {
+    pub(crate) fn reset(&mut self, dest_set: i64, dest_line: i64) {
         self.dest_set = dest_set;
         self.dest_line = dest_line;
         self.distinct.clear();
@@ -247,7 +348,7 @@ impl<'a> Scanner<'a> {
 
     /// Processes perpetrator `s`'s access at point `q`. Returns `false` when
     /// the scan may stop early (enough conflicts for a miss, fast mode).
-    fn check(&mut self, q: &[i64], s: usize) -> bool {
+    pub(crate) fn check(&mut self, q: &[i64], s: usize) -> bool {
         let addr = self.addrs[s].eval(q);
         self.check_addr(s, addr)
     }
@@ -332,7 +433,7 @@ impl<'a> Scanner<'a> {
 
 /// Naive interior scan: visits every point and every reference — the
 /// baseline the row-summarized scanner is measured against.
-fn scan_interior_pointwise(
+pub(crate) fn scan_interior_pointwise(
     scanner: &mut Scanner<'_>,
     space: &cme_ir::IterationSpace<'_>,
     p: &[i64],
@@ -356,7 +457,7 @@ fn scan_interior_pointwise(
 /// between `p` and `i` — row by row: full innermost rows are handed to
 /// [`Scanner::check_row`] (O(conflicts) instead of O(points)), partial rows
 /// at the two ends are clipped. Returns `false` on early exit.
-fn scan_interior(
+pub(crate) fn scan_interior(
     scanner: &mut Scanner<'_>,
     space: &cme_ir::IterationSpace<'_>,
     p: &[i64],
@@ -416,6 +517,15 @@ fn scan_interior(
 /// Analyzes one reference with an explicit reuse-vector list (already in
 /// processing order). This is the entry point used to reproduce Figure 8
 /// with exactly the paper's three vectors.
+///
+/// This is the *reference implementation* of the miss-finding algorithm:
+/// one monolithic pass per reuse vector, no caching. The incremental
+/// engine ([`crate::Analyzer`]) is validated against it bit for bit.
+#[deprecated(
+    since = "0.2.0",
+    note = "use cme_core::Analyzer for analysis sessions; this free function \
+            is kept as the uncached reference implementation"
+)]
 pub fn analyze_reference(
     nest: &LoopNest,
     cache: CacheConfig,
@@ -536,7 +646,6 @@ pub fn analyze_reference(
                 }
             }
         }
-        drop(handle);
         replacement_misses += repl_here;
         vectors.push(VectorReport {
             reuse: rv.clone(),
@@ -584,7 +693,21 @@ pub fn analyze_reference(
 
 /// Analyzes every reference of a nest: generates its reuse vectors
 /// (Figure 3) and runs the miss-finding algorithm (Figure 6).
-pub fn analyze_nest(nest: &LoopNest, cache: CacheConfig, options: &AnalysisOptions) -> NestAnalysis {
+///
+/// This is the uncached *reference implementation*; prefer
+/// [`crate::Analyzer`], which produces bit-identical results and reuses
+/// work across repeated analyses (optimizer searches).
+#[deprecated(
+    since = "0.2.0",
+    note = "use cme_core::Analyzer for analysis sessions; this free function \
+            is kept as the uncached reference implementation"
+)]
+#[allow(deprecated)]
+pub fn analyze_nest(
+    nest: &LoopNest,
+    cache: CacheConfig,
+    options: &AnalysisOptions,
+) -> NestAnalysis {
     let per_ref = nest
         .references()
         .iter()
@@ -600,43 +723,34 @@ pub fn analyze_nest(nest: &LoopNest, cache: CacheConfig, options: &AnalysisOptio
     }
 }
 
-/// [`analyze_nest`] with each reference analyzed on its own thread.
+/// [`analyze_nest`] with the work spread over a thread pool.
 ///
 /// The per-reference analyses of the miss-finding algorithm are completely
 /// independent (each reference carries its own indeterminate set), so the
 /// result is bit-identical to the sequential version; wall-clock scales
 /// with the number of references on big nests.
+///
+/// This shim drives a one-shot [`crate::Analyzer`] session (the
+/// `(reference × reuse-vector)` work pool of the incremental engine);
+/// construct the `Analyzer` yourself to keep its caches warm across calls.
+#[deprecated(
+    since = "0.2.0",
+    note = "use cme_core::Analyzer::new(cache).parallel(true) so engine \
+            caches survive across analyses"
+)]
 pub fn analyze_nest_parallel(
     nest: &LoopNest,
     cache: CacheConfig,
     options: &AnalysisOptions,
 ) -> NestAnalysis {
-    let per_ref: Vec<RefAnalysis> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = nest
-            .references()
-            .iter()
-            .map(|r| {
-                let id = r.id();
-                scope.spawn(move |_| {
-                    let rvs = reuse_vectors(nest, &cache, id, &options.reuse);
-                    analyze_reference(nest, cache, id, &rvs, options)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("analysis thread panicked"))
-            .collect()
-    })
-    .expect("analysis scope panicked");
-    NestAnalysis {
-        nest_name: nest.name().to_string(),
-        cache,
-        per_ref,
-    }
+    crate::Analyzer::new(cache)
+        .options(options.clone())
+        .parallel(true)
+        .analyze(nest)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy free functions are the subject under test
 mod tests {
     use super::*;
     use cme_cache::simulate_nest;
@@ -839,7 +953,7 @@ mod tests {
                 if let Some(pe) = prev_examined {
                     assert!(v.examined <= pe);
                 }
-                assert_eq!(v.examined - v.cold_solutions >= v.replacement_misses, true);
+                assert!(v.examined - v.cold_solutions >= v.replacement_misses);
                 cum += v.replacement_misses;
                 assert_eq!(v.cumulative_replacement_misses, cum);
                 prev_examined = Some(v.cold_solutions);
@@ -882,6 +996,37 @@ mod tests {
         let serial = analyze_nest(&nest, cache, &opts);
         let parallel = analyze_nest_parallel(&nest, cache, &opts);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn options_builder_validates() {
+        let ok = AnalysisOptions::builder()
+            .epsilon(100)
+            .collect_miss_points(true)
+            .try_build()
+            .unwrap();
+        assert_eq!(ok.epsilon, 100);
+        assert!(ok.collect_miss_points);
+        let exact = AnalysisOptions::builder()
+            .exact_equation_counts(true)
+            .pointwise_windows(true)
+            .build();
+        assert!(exact.exact_equation_counts && exact.pointwise_windows);
+        let err = AnalysisOptions::builder()
+            .epsilon(1)
+            .exact_equation_counts(true)
+            .try_build()
+            .unwrap_err();
+        assert!(err.to_string().contains("epsilon"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid analysis options")]
+    fn options_builder_build_panics_on_conflict() {
+        let _ = AnalysisOptions::builder()
+            .epsilon(5)
+            .exact_equation_counts(true)
+            .build();
     }
 
     #[test]

@@ -77,7 +77,12 @@ impl NestBuilder {
     /// The bound expressions must be dimensioned over the **final** nest
     /// depth, with nonzero coefficients only on strictly-enclosing loops;
     /// [`NestBuilder::build`] validates this.
-    pub fn affine_loop(&mut self, name: impl Into<String>, lower: Affine, upper: Affine) -> &mut Self {
+    pub fn affine_loop(
+        &mut self,
+        name: impl Into<String>,
+        lower: Affine,
+        upper: Affine,
+    ) -> &mut Self {
         let name = name.into();
         self.loops.push(Loop::new(name.clone(), lower, upper));
         self.loop_names.push(name);
@@ -101,7 +106,8 @@ impl NestBuilder {
         base: i64,
     ) -> ArrayId {
         let id = ArrayId(self.arrays.len());
-        self.arrays.push(ArrayDecl::with_origins(name, dims, origins, base));
+        self.arrays
+            .push(ArrayDecl::with_origins(name, dims, origins, base));
         id
     }
 
@@ -126,9 +132,10 @@ impl NestBuilder {
                     affine_subs.push(Affine::new(coeffs, *off));
                 }
                 None => {
-                    self.deferred.get_or_insert(ValidateNestError::UnknownLoopIndex {
-                        name: ix_name.to_string(),
-                    });
+                    self.deferred
+                        .get_or_insert(ValidateNestError::UnknownLoopIndex {
+                            name: ix_name.to_string(),
+                        });
                     affine_subs.push(Affine::constant(depth_guess, *off));
                 }
             }
@@ -151,7 +158,12 @@ impl NestBuilder {
 
     /// Adds a reference with fully general affine subscripts (one per array
     /// dimension, each over the final nest depth). Returns its id.
-    pub fn reference_affine(&mut self, array: ArrayId, kind: AccessKind, subscripts: Vec<Affine>) -> RefId {
+    pub fn reference_affine(
+        &mut self,
+        array: ArrayId,
+        kind: AccessKind,
+        subscripts: Vec<Affine>,
+    ) -> RefId {
         let label = format!(
             "{}(affine)",
             self.arrays
@@ -170,7 +182,8 @@ impl NestBuilder {
         label: String,
     ) -> RefId {
         let id = RefId(self.refs.len());
-        self.refs.push(Reference::new(id, array, subscripts, kind, label));
+        self.refs
+            .push(Reference::new(id, array, subscripts, kind, label));
         id
     }
 

@@ -261,11 +261,7 @@ impl LoopNest {
     /// yields self-temporal reuse vectors.
     pub fn access_matrix(&self, r: RefId) -> cme_math::IntMatrix {
         let rf = &self.refs[r.0];
-        let rows: Vec<Vec<i64>> = rf
-            .subscripts
-            .iter()
-            .map(|s| s.coeffs().to_vec())
-            .collect();
+        let rows: Vec<Vec<i64>> = rf.subscripts.iter().map(|s| s.coeffs().to_vec()).collect();
         cme_math::IntMatrix::from_rows(&rows)
     }
 

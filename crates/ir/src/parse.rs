@@ -166,7 +166,7 @@ pub fn to_source(nest: &LoopNest) -> Option<String> {
         let subs = r
             .subscripts()
             .iter()
-            .map(|s| affine_text(s))
+            .map(affine_text)
             .collect::<Vec<_>>()
             .join(", ");
         match r.kind() {
@@ -243,11 +243,10 @@ impl<'s> Parser<'s> {
         while let Some((line, text)) = self.peek() {
             if let Some(rest) = text.strip_prefix("REAL ") {
                 self.pos += 1;
-                let (name, dims, base) = parse_decl(rest)
-                    .ok_or_else(|| ParseNestError {
-                        line,
-                        message: format!("malformed declaration `{text}`"),
-                    })?;
+                let (name, dims, base) = parse_decl(rest).ok_or_else(|| ParseNestError {
+                    line,
+                    message: format!("malformed declaration `{text}`"),
+                })?;
                 if decls.insert(name.clone(), Decl { dims, base }).is_some() {
                     return self.err(line, format!("array `{name}` declared twice"));
                 }
@@ -390,7 +389,9 @@ fn parse_decl(rest: &str) -> Option<(String, Vec<i64>, Option<i64>)> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -426,9 +427,7 @@ fn parse_affine(
             continue;
         }
         // Term: int, int*ident, or ident.
-        let term_end = rest
-            .find(['+', '-'])
-            .unwrap_or(rest.len());
+        let term_end = rest.find(['+', '-']).unwrap_or(rest.len());
         let term = rest[..term_end].trim();
         rest = &rest[term_end..];
         let (mult, var) = match term.split_once('*') {
@@ -620,7 +619,9 @@ ENDDO
     /// which this crate cannot depend on).
     fn cme_kernels_equiv() -> LoopNest {
         let mut b = NestBuilder::new();
-        b.ct_loop("i", 1, 32).ct_loop("k", 1, 32).ct_loop("j", 1, 32);
+        b.ct_loop("i", 1, 32)
+            .ct_loop("k", 1, 32)
+            .ct_loop("j", 1, 32);
         let z = b.array("Z", &[32, 32], 4192);
         let x = b.array("X", &[32, 32], 2136);
         let y = b.array("Y", &[32, 32], 96);
@@ -684,11 +685,17 @@ ENDDO
     fn error_reporting() {
         let errs = [
             ("DO i = 1 10\n s = A(i)\nENDDO", "bounds"),
-            ("REAL A(8)\nDO i = 1, 8\n A(i) = A(j)\nENDDO", "unknown loop index"),
+            (
+                "REAL A(8)\nDO i = 1, 8\n A(i) = A(j)\nENDDO",
+                "unknown loop index",
+            ),
             ("REAL A(8)\nDO i = 1, 8\n B(i) = A(i)\nENDDO", "undeclared"),
             ("REAL A(8)\ns = A(1)", "no DO loop"),
             ("REAL A(8)\nDO i = 1, 8\n s = A(i)", "unclosed"),
-            ("REAL A(8)\nREAL A(8)\nDO i = 1, 8\n s = A(i)\nENDDO", "twice"),
+            (
+                "REAL A(8)\nREAL A(8)\nDO i = 1, 8\n s = A(i)\nENDDO",
+                "twice",
+            ),
         ];
         for (src, needle) in errs {
             let e = parse_nest(src).unwrap_err();

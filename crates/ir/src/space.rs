@@ -112,7 +112,7 @@ impl<'a> IterationSpace<'a> {
         }
     }
 
-    fn successor_in_place(&self, p: &mut Vec<i64>) -> bool {
+    fn successor_in_place(&self, p: &mut [i64]) -> bool {
         let n = self.nest.depth();
         if n == 0 {
             return false;
@@ -400,7 +400,9 @@ mod tests {
             pts.push(p);
         }
         assert_eq!(pts.len(), 6);
-        assert!(pts.windows(2).all(|w| lex_cmp(&w[0], &w[1]) == Ordering::Less));
+        assert!(pts
+            .windows(2)
+            .all(|w| lex_cmp(&w[0], &w[1]) == Ordering::Less));
         assert_eq!(pts[0], vec![1, 1]);
         assert_eq!(pts[5], vec![3, 2]);
         assert_eq!(nest.space().count(), 6);

@@ -11,7 +11,7 @@
 //! cache analysis is sensitive to.
 
 use crate::array::ArrayDecl;
-use crate::nest::{Loop, LoopNest, Reference, RefId};
+use crate::nest::{Loop, LoopNest, RefId, Reference};
 use crate::validate::{validate_nest, ValidateNestError};
 use cme_math::Affine;
 use std::fmt;
@@ -70,10 +70,16 @@ impl fmt::Display for TransformError {
                 write!(f, "fusion requires identical loop structures")
             }
             TransformError::FusionArrayConflict { array } => {
-                write!(f, "array `{array}` is declared differently in the two nests")
+                write!(
+                    f,
+                    "array `{array}` is declared differently in the two nests"
+                )
             }
             TransformError::NonConstantBounds { loop_name } => {
-                write!(f, "loop `{loop_name}` needs constant bounds for this transformation")
+                write!(
+                    f,
+                    "loop `{loop_name}` needs constant bounds for this transformation"
+                )
             }
             TransformError::IndivisibleTile { trips, tile } => {
                 write!(f, "tile size {tile} does not divide the trip count {trips}")
@@ -131,7 +137,11 @@ fn remap_affine(a: &Affine, map: impl Fn(usize) -> Affine, target_nvars: usize) 
 pub fn interchange(nest: &LoopNest, perm: &[usize]) -> Result<LoopNest, TransformError> {
     let n = nest.depth();
     let mut seen = vec![false; n];
-    if perm.len() != n || perm.iter().any(|&p| p >= n || std::mem::replace(&mut seen[p], true)) {
+    if perm.len() != n
+        || perm
+            .iter()
+            .any(|&p| p >= n || std::mem::replace(&mut seen[p], true))
+    {
         return Err(TransformError::NotAPermutation {
             perm: perm.to_vec(),
         });
@@ -160,7 +170,10 @@ pub fn interchange(nest: &LoopNest, perm: &[usize]) -> Result<LoopNest, Transfor
             Reference::new(
                 r.id(),
                 r.array(),
-                r.subscripts().iter().map(|s| remap_affine(s, map, n)).collect(),
+                r.subscripts()
+                    .iter()
+                    .map(|s| remap_affine(s, map, n))
+                    .collect(),
                 r.kind(),
                 r.label().to_string(),
             )
@@ -275,8 +288,8 @@ pub fn strip_mine(nest: &LoopNest, level: usize, tile: i64) -> Result<LoopNest, 
     }
     let n = nest.depth();
     let m = n + 1; // new depth
-    // Old level l maps to: l < level -> var l; l == level -> tile·tt + inner
-    // (where tt is at `level`, inner at `level+1`); l > level -> var l+1.
+                   // Old level l maps to: l < level -> var l; l == level -> tile·tt + inner
+                   // (where tt is at `level`, inner at `level+1`); l > level -> var l+1.
     let map = |old: usize| -> Affine {
         use std::cmp::Ordering;
         match old.cmp(&level) {
@@ -321,7 +334,10 @@ pub fn strip_mine(nest: &LoopNest, level: usize, tile: i64) -> Result<LoopNest, 
             Reference::new(
                 r.id(),
                 r.array(),
-                r.subscripts().iter().map(|s| remap_affine(s, map, m)).collect(),
+                r.subscripts()
+                    .iter()
+                    .map(|s| remap_affine(s, map, m))
+                    .collect(),
                 r.kind(),
                 r.label().to_string(),
             )

@@ -203,7 +203,11 @@ mod tests {
         let err = b.build().unwrap_err();
         assert!(matches!(
             err,
-            ValidateNestError::SubscriptArityMismatch { rank: 2, arity: 1, .. }
+            ValidateNestError::SubscriptArityMismatch {
+                rank: 2,
+                arity: 1,
+                ..
+            }
         ));
     }
 

@@ -132,7 +132,9 @@ pub fn triad(n: i64, ba: i64, bb: i64, bc: i64) -> LoopNest {
 pub fn stencil3d(n: i64) -> LoopNest {
     let mut b = NestBuilder::new();
     b.name("stencil3d");
-    b.ct_loop("k", 2, n - 1).ct_loop("j", 2, n - 1).ct_loop("i", 2, n - 1);
+    b.ct_loop("k", 2, n - 1)
+        .ct_loop("j", 2, n - 1)
+        .ct_loop("i", 2, n - 1);
     let a = b.array("A", &[n, n, n], 0);
     let out = b.array("B", &[n, n, n], align(n * n * n));
     for (di, dj, dk) in [
@@ -163,11 +165,7 @@ pub fn strided_sweep(n: i64, stride: i64) -> LoopNest {
     b.name("strided-sweep");
     b.ct_loop("i", 0, n - 1);
     let a = b.array_with_origins("A", &[n * stride], &[0], 0);
-    b.reference_affine(
-        a,
-        AccessKind::Read,
-        vec![Affine::new(vec![stride], 0)],
-    );
+    b.reference_affine(a, AccessKind::Read, vec![Affine::new(vec![stride], 0)]);
     b.build().expect("strided sweep is a valid nest")
 }
 

@@ -29,8 +29,8 @@ use cme_ir::{AccessKind, Affine, LoopNest, NestBuilder};
 
 pub mod extra;
 pub use extra::{
-    jacobi2d, kernel_by_name, kernel_names, lu, matvec, matvec_rowwise, stencil3d,
-    strided_sweep, syr2k, triad,
+    jacobi2d, kernel_by_name, kernel_names, lu, matvec, matvec_rowwise, stencil3d, strided_sweep,
+    syr2k, triad,
 };
 
 /// The matrix-multiply nest of Figure 1 with explicit base addresses:
@@ -334,15 +334,7 @@ pub fn tiled_mmult(n: i64, tk: i64, tj: i64, bz: i64, bx: i64, by: i64) -> LoopN
 /// Every Table 1 kernel at problem size `n` (with `alv` fixed at its own
 /// problem size), in the paper's row order.
 pub fn table1_suite(n: i64) -> Vec<LoopNest> {
-    vec![
-        mmult(n),
-        gauss(n),
-        sor(n),
-        adi(n),
-        trans(n),
-        alv(),
-        tom(n),
-    ]
+    vec![mmult(n), gauss(n), sor(n), adi(n), trans(n), alv(), tom(n)]
 }
 
 #[cfg(test)]
@@ -380,8 +372,11 @@ mod tests {
         ];
         for (name, nest, refs, arrays) in checks {
             assert_eq!(nest.references().len(), refs, "{name} refs");
-            let distinct: std::collections::HashSet<_> =
-                nest.references().iter().map(|r| r.array().index()).collect();
+            let distinct: std::collections::HashSet<_> = nest
+                .references()
+                .iter()
+                .map(|r| r.array().index())
+                .collect();
             assert_eq!(distinct.len(), arrays, "{name} arrays");
         }
     }

@@ -50,7 +50,10 @@ impl Affine {
         assert!(index < nvars, "variable {index} out of range 0..{nvars}");
         let mut coeffs = vec![0; nvars];
         coeffs[index] = 1;
-        Affine { coeffs, constant: 0 }
+        Affine {
+            coeffs,
+            constant: 0,
+        }
     }
 
     /// Number of variables in the expression's space.

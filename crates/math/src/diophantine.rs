@@ -48,7 +48,11 @@ impl BoundedDiophantine {
     /// Panics if `coeffs.len() != bounds.len()`.
     pub fn new(coeffs: Vec<i64>, rhs: i64, bounds: Vec<Interval>) -> Self {
         assert_eq!(coeffs.len(), bounds.len(), "coeff/bound arity mismatch");
-        BoundedDiophantine { coeffs, rhs, bounds }
+        BoundedDiophantine {
+            coeffs,
+            rhs,
+            bounds,
+        }
     }
 
     /// The coefficient vector.
@@ -129,7 +133,13 @@ impl BoundedDiophantine {
         out
     }
 
-    fn enumerate_rec(&self, var: usize, remaining: i64, point: &mut Vec<i64>, out: &mut Vec<Vec<i64>>) {
+    fn enumerate_rec(
+        &self,
+        var: usize,
+        remaining: i64,
+        point: &mut Vec<i64>,
+        out: &mut Vec<Vec<i64>>,
+    ) {
         if var == self.coeffs.len() {
             if remaining == 0 {
                 out.push(point.clone());
@@ -281,7 +291,11 @@ pub fn count_two_var_solutions(a: i64, b: i64, c: i64, xb: (i64, i64), yb: (i64,
 pub fn solve_linear_form(coeffs: &[i64], rhs: i64) -> Option<Vec<i64>> {
     let g = gcd_all(coeffs);
     if g == 0 {
-        return if rhs == 0 { Some(vec![0; coeffs.len()]) } else { None };
+        return if rhs == 0 {
+            Some(vec![0; coeffs.len()])
+        } else {
+            None
+        };
     }
     if rhs % g != 0 {
         return None;
@@ -435,22 +449,14 @@ mod tests {
     #[test]
     fn bounded_equation_three_vars() {
         // x + y + z = 3 in [0,3]^3: C(3+2,2) = 10 solutions.
-        let eq = BoundedDiophantine::new(
-            vec![1, 1, 1],
-            3,
-            vec![Interval::new(0, 3); 3],
-        );
+        let eq = BoundedDiophantine::new(vec![1, 1, 1], 3, vec![Interval::new(0, 3); 3]);
         assert_eq!(eq.count_solutions(), 10);
         assert_eq!(eq.solutions().len(), 10);
     }
 
     #[test]
     fn bounded_unsolvable_by_gcd() {
-        let eq = BoundedDiophantine::new(
-            vec![2, 4],
-            5,
-            vec![Interval::new(-100, 100); 2],
-        );
+        let eq = BoundedDiophantine::new(vec![2, 4], 5, vec![Interval::new(-100, 100); 2]);
         assert!(!eq.is_solvable_unbounded());
         assert_eq!(eq.count_solutions(), 0);
     }
@@ -464,8 +470,14 @@ mod tests {
 
     #[test]
     fn bounded_zero_vars() {
-        assert_eq!(BoundedDiophantine::new(vec![], 0, vec![]).count_solutions(), 1);
-        assert_eq!(BoundedDiophantine::new(vec![], 2, vec![]).count_solutions(), 0);
+        assert_eq!(
+            BoundedDiophantine::new(vec![], 0, vec![]).count_solutions(),
+            1
+        );
+        assert_eq!(
+            BoundedDiophantine::new(vec![], 2, vec![]).count_solutions(),
+            0
+        );
     }
 
     #[test]

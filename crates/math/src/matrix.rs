@@ -302,7 +302,7 @@ impl IntMatrix {
                 num[pc] = -s_num / p;
             }
             let _ = den; // den only tracked to keep entries integral.
-            // Normalize to a primitive vector with positive leading entry.
+                         // Normalize to a primitive vector with positive leading entry.
             let g = gcd_all(&num);
             if g > 1 {
                 for v in num.iter_mut() {
@@ -375,16 +375,20 @@ pub fn kernel_lattice_of_form(coeffs: &[i64]) -> (Vec<Vec<i64>>, Vec<usize>) {
         }
         let (g, s, t) = crate::gcd::extended_gcd(c[0], c[i]);
         let (p, q) = (c[0] / g, c[i] / g);
-        for r in 0..n {
-            let (a0, ai) = (cols[0][r], cols[i][r]);
-            cols[0][r] = s * a0 + t * ai;
-            cols[i][r] = -q * a0 + p * ai;
+        let (head, tail) = cols.split_at_mut(i);
+        for (e0, ei) in head[0].iter_mut().zip(tail[0].iter_mut()) {
+            let (a0, ai) = (*e0, *ei);
+            *e0 = s * a0 + t * ai;
+            *ei = -q * a0 + p * ai;
         }
         c[0] = g;
         c[i] = 0;
     }
     // Kernel columns: those whose folded form value is zero.
-    let mut kernel: Vec<Vec<i64>> = (0..n).filter(|&j| c[j] == 0).map(|j| cols[j].clone()).collect();
+    let mut kernel: Vec<Vec<i64>> = (0..n)
+        .filter(|&j| c[j] == 0)
+        .map(|j| cols[j].clone())
+        .collect();
     // Column-echelonize the kernel basis over the integers (unimodular ops
     // only, so the lattice is preserved).
     let mut pivots = Vec::with_capacity(kernel.len());
@@ -404,16 +408,16 @@ pub fn kernel_lattice_of_form(coeffs: &[i64]) -> (Vec<Vec<i64>>, Vec<usize>) {
                     continue;
                 }
                 let q = b / a;
-                for r in 0..n {
-                    let sub = q * kernel[next][r];
-                    kernel[j][r] -= sub;
+                let (head, tail) = kernel.split_at_mut(j);
+                for (kn, kj) in head[next].iter().zip(tail[0].iter_mut()) {
+                    *kj -= q * *kn;
                 }
             }
         }
         // Normalize the pivot sign so the leading entry is positive.
         if kernel[next][row] < 0 {
-            for r in 0..n {
-                kernel[next][r] = -kernel[next][r];
+            for e in kernel[next].iter_mut() {
+                *e = -*e;
             }
         }
         pivots.push(row);
@@ -428,14 +432,20 @@ pub fn kernel_lattice_of_form(coeffs: &[i64]) -> (Vec<Vec<i64>>, Vec<usize>) {
 impl std::ops::Index<(usize, usize)> for IntMatrix {
     type Output = i64;
     fn index(&self, (r, c): (usize, usize)) -> &i64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl std::ops::IndexMut<(usize, usize)> for IntMatrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut i64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

@@ -43,7 +43,10 @@ pub struct Polytope {
 impl Polytope {
     /// An unconstrained polytope over `n` variables.
     pub fn new(n: usize) -> Self {
-        Polytope { n, cons: Vec::new() }
+        Polytope {
+            n,
+            cons: Vec::new(),
+        }
     }
 
     /// Number of variables.
@@ -59,6 +62,13 @@ impl Polytope {
     /// `true` when no constraints have been added.
     pub fn is_empty(&self) -> bool {
         self.cons.is_empty()
+    }
+
+    /// The stored constraints, each `(coeffs, rhs)` meaning
+    /// `coeffs · x <= rhs`, in insertion order — the exact solve input, used
+    /// by [`crate::memo::SolveMemo`] as a cache key.
+    pub fn rows(&self) -> impl Iterator<Item = (&[i64], i64)> {
+        self.cons.iter().map(|(c, b)| (c.as_slice(), *b))
     }
 
     /// Adds `coeffs · x <= rhs`.
@@ -277,7 +287,11 @@ mod tests {
     #[test]
     fn unconstrained_counts_the_box() {
         let p = Polytope::new(3);
-        let b = [Interval::new(0, 2), Interval::new(-1, 1), Interval::new(5, 5)];
+        let b = [
+            Interval::new(0, 2),
+            Interval::new(-1, 1),
+            Interval::new(5, 5),
+        ];
         assert_eq!(p.count_points(&b), 9);
     }
 

@@ -173,7 +173,10 @@ impl std::error::Error for FitPeriodicError {}
 /// assert_eq!(q.period(), 2);
 /// assert_eq!(q.eval(100), 4);
 /// ```
-pub fn fit_periodic(samples: &[i64], periods: &[usize]) -> Result<QuasiPolynomial, FitPeriodicError> {
+pub fn fit_periodic(
+    samples: &[i64],
+    periods: &[usize],
+) -> Result<QuasiPolynomial, FitPeriodicError> {
     for &m in periods {
         if m == 0 || m > samples.len() {
             continue;

@@ -19,7 +19,7 @@
 //! tiling for capacity, interchange for stride.
 
 use cme_cache::{CacheConfig, CacheConfigError};
-use cme_core::{analyze_nest, AnalysisOptions, NestAnalysis};
+use cme_core::{AnalysisOptions, Analyzer, NestAnalysis};
 use cme_ir::{LoopNest, RefId};
 use std::fmt;
 
@@ -52,7 +52,11 @@ impl fmt::Display for Recommendation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Recommendation::InterVariablePadding { arrays } => {
-                write!(f, "inter-variable padding between `{}` and `{}`", arrays.0, arrays.1)
+                write!(
+                    f,
+                    "inter-variable padding between `{}` and `{}`",
+                    arrays.0, arrays.1
+                )
             }
             Recommendation::IntraVariablePadding { array } => {
                 write!(f, "intra-variable padding of `{array}`")
@@ -141,14 +145,38 @@ pub fn diagnose(
     cache: &CacheConfig,
     options: &AnalysisOptions,
 ) -> Result<NestDiagnosis, CacheConfigError> {
+    let mut analyzer = Analyzer::new(*cache).options(options.clone());
+    diagnose_with(&mut analyzer, nest)
+}
+
+/// [`diagnose`] driven through a caller-owned [`Analyzer`] session.
+///
+/// The exact-count pass shares the session's memo tables (cascades carry
+/// over from earlier plain analyses of the same nest; only the window
+/// scans re-run in exact mode). The fully-associative twin analysis uses a
+/// throwaway engine — it targets a different cache geometry, which an
+/// engine never mixes.
+///
+/// # Errors
+///
+/// Propagates [`CacheConfigError`] from constructing the fully-associative
+/// twin cache used for the conflict/capacity split.
+pub fn diagnose_with(
+    analyzer: &mut Analyzer,
+    nest: &LoopNest,
+) -> Result<NestDiagnosis, CacheConfigError> {
+    let cache = *analyzer.cache();
+    let cache = &cache;
+    let options = analyzer.current_options().clone();
     let exact_opts = AnalysisOptions {
         exact_equation_counts: true,
         ..options.clone()
     };
-    let analysis = analyze_nest(nest, *cache, &exact_opts);
+    let analysis = analyzer.analyze_with_options(nest, &exact_opts);
     // Capacity split: same capacity and line size, fully associative.
-    let fa = CacheConfig::fully_associative(cache.size_bytes(), cache.line_bytes(), cache.elem_bytes())?;
-    let fa_analysis = analyze_nest(nest, fa, options);
+    let fa =
+        CacheConfig::fully_associative(cache.size_bytes(), cache.line_bytes(), cache.elem_bytes())?;
+    let fa_analysis = Analyzer::new(fa).options(options).analyze(nest);
 
     let per_ref = attribute(nest, &analysis, &fa_analysis);
     let accesses = nest.access_count();
@@ -197,12 +225,11 @@ fn attribute(
             let conflict = ra.replacement_misses - capacity;
             // Apportion conflict misses by contention shares.
             let total_contention = self_contention + cross_contention;
-            let (self_conflict, cross_conflict) = if total_contention == 0 {
-                (0, conflict)
-            } else {
-                let s = conflict * self_contention / total_contention;
-                (s, conflict - s)
-            };
+            // With no contention data, attribute everything to cross-conflict.
+            let s = (conflict * self_contention)
+                .checked_div(total_contention)
+                .unwrap_or(0);
+            let (self_conflict, cross_conflict) = (s, conflict - s);
             RefDiagnosis {
                 dest: ra.dest,
                 label: ra.label.clone(),
@@ -373,9 +400,9 @@ mod tests {
         let nest = b.build().unwrap();
         let d = diagnose(&nest, &cache(), &AnalysisOptions::default()).unwrap();
         assert!(
-            d.recommendations
-                .iter()
-                .any(|r| matches!(r, Recommendation::IntraVariablePadding { array } if array == "A")),
+            d.recommendations.iter().any(
+                |r| matches!(r, Recommendation::IntraVariablePadding { array } if array == "A")
+            ),
             "{d}"
         );
     }
@@ -412,22 +439,25 @@ mod tests {
         );
         // And following the advice actually helps:
         let swapped = cme_ir::transform::interchange(&nest, &[1, 0]).unwrap();
-        let before = analyze_nest(&nest, cache(), &AnalysisOptions::default()).total_misses();
-        let after = analyze_nest(&swapped, cache(), &AnalysisOptions::default()).total_misses();
-        assert!(after < before, "interchange should reduce misses: {before} -> {after}");
+        let mut analyzer = Analyzer::new(cache());
+        let before = analyzer.analyze(&nest).total_misses();
+        let after = analyzer.analyze(&swapped).total_misses();
+        assert!(
+            after < before,
+            "interchange should reduce misses: {before} -> {after}"
+        );
     }
 
     #[test]
     fn attribution_sums_match_total() {
         let nest = cme_kernels::tom(16);
-        let d = diagnose(&nest, &cache(), &AnalysisOptions::default()).unwrap();
-        let a = analyze_nest(
-            &nest,
-            cache(),
-            &AnalysisOptions::default(),
-        );
+        let mut analyzer = Analyzer::new(cache());
+        let d = diagnose_with(&mut analyzer, &nest).unwrap();
+        let a = analyzer.analyze(&nest);
         let attributed: u64 = d.per_ref.iter().map(RefDiagnosis::total).sum();
         assert_eq!(attributed, a.total_misses());
+        // The plain re-analysis after the exact pass reuses its cascades.
+        assert!(analyzer.stats().cascades_reused > 0);
     }
 
     #[test]
@@ -436,6 +466,9 @@ mod tests {
         let d = diagnose(&nest, &cache(), &AnalysisOptions::default()).unwrap();
         let s = d.to_string();
         assert!(s.contains("diagnosis of `tom`"));
-        assert!(s.contains("1. "), "at least one numbered recommendation: {s}");
+        assert!(
+            s.contains("1. "),
+            "at least one numbered recommendation: {s}"
+        );
     }
 }

@@ -9,7 +9,7 @@
 //! exactly the paper's ADI example (~21K misses unfused vs ~15K fused).
 
 use cme_cache::CacheConfig;
-use cme_core::{analyze_nest, AnalysisOptions};
+use cme_core::{AnalysisOptions, Analyzer};
 use cme_ir::LoopNest;
 use std::fmt;
 
@@ -42,7 +42,11 @@ impl fmt::Display for FusionDecision {
             "unfused: {} misses, fused: {} misses -> {}",
             self.misses_unfused,
             self.misses_fused,
-            if self.should_fuse() { "FUSE" } else { "keep separate" }
+            if self.should_fuse() {
+                "FUSE"
+            } else {
+                "keep separate"
+            }
         )
     }
 }
@@ -57,11 +61,23 @@ pub fn evaluate_fusion(
     cache: CacheConfig,
     options: &AnalysisOptions,
 ) -> FusionDecision {
+    let mut analyzer = Analyzer::new(cache).options(options.clone());
+    evaluate_fusion_with(&mut analyzer, originals, fused)
+}
+
+/// [`evaluate_fusion`] driven through a caller-owned [`Analyzer`] session —
+/// useful when scoring many fusion candidates over the same nests (the
+/// unfused baselines re-count from the engine's memos).
+pub fn evaluate_fusion_with(
+    analyzer: &mut Analyzer,
+    originals: &[&LoopNest],
+    fused: &LoopNest,
+) -> FusionDecision {
     let misses_unfused = originals
         .iter()
-        .map(|n| analyze_nest(n, cache, options).total_misses())
+        .map(|n| analyzer.analyze(n).total_misses())
         .sum();
-    let misses_fused = analyze_nest(fused, cache, options).total_misses();
+    let misses_fused = analyzer.analyze(fused).total_misses();
     FusionDecision {
         misses_unfused,
         misses_fused,

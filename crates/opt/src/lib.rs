@@ -26,9 +26,11 @@ pub mod parametric;
 pub mod search;
 pub mod tiling;
 
-pub use diagnose::{diagnose, NestDiagnosis, Recommendation, RefDiagnosis};
-pub use fusion::{evaluate_fusion, FusionDecision};
+pub use diagnose::{diagnose, diagnose_with, NestDiagnosis, Recommendation, RefDiagnosis};
+pub use fusion::{evaluate_fusion, evaluate_fusion_with, FusionDecision};
 pub use padding::{plan_padding, PaddingError, PaddingPlan};
 pub use parametric::{optimize_parameter, ParametricResult};
-pub use search::{optimize_padding, PaddingMethod, PaddingOutcome};
-pub use tiling::{select_tile_and_layout, select_tile_size, TileChoice};
+pub use search::{optimize_padding, optimize_padding_with, PaddingMethod, PaddingOutcome};
+pub use tiling::{
+    select_tile_and_layout, select_tile_and_layout_with, select_tile_size, TileChoice,
+};

@@ -64,10 +64,16 @@ impl fmt::Display for PaddingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PaddingError::UnsupportedRank { array } => {
-                write!(f, "array `{array}` has rank > 2; padding handles 1-D/2-D arrays")
+                write!(
+                    f,
+                    "array `{array}` has rank > 2; padding handles 1-D/2-D arrays"
+                )
             }
             PaddingError::MixedColumnSizes { sizes } => {
-                write!(f, "arrays have mixed column sizes {sizes:?}; a single C is assumed")
+                write!(
+                    f,
+                    "arrays have mixed column sizes {sizes:?}; a single C is assumed"
+                )
             }
             PaddingError::Infeasible { x_min, x_max } => write!(
                 f,

@@ -12,7 +12,7 @@
 
 use crate::padding::{plan_padding, plan_padding_partial, PaddingPlan};
 use cme_cache::CacheConfig;
-use cme_core::{analyze_nest_parallel, AnalysisOptions};
+use cme_core::{AnalysisOptions, Analyzer};
 use cme_ir::{ArrayId, LoopNest};
 use std::fmt;
 
@@ -126,13 +126,34 @@ fn padded_len(nest: &LoopNest, id: ArrayId, column: i64) -> i64 {
 /// search. Returns the transformed nest and the outcome record; the input
 /// nest is left untouched.
 ///
-/// `options` configures the counting engine (the default is exact).
+/// `options` configures the counting engine (the default is exact). This
+/// convenience wrapper spins up a one-shot [`Analyzer`]; callers scoring
+/// several nests (or nests plus tiling) should build one session and use
+/// [`optimize_padding_with`] so the engine's memos survive across calls.
 pub fn optimize_padding(
     nest: &LoopNest,
     cache: &CacheConfig,
     options: &AnalysisOptions,
 ) -> (LoopNest, PaddingOutcome) {
-    let before = analyze_nest_parallel(nest, *cache, options);
+    let mut analyzer = Analyzer::new(*cache)
+        .options(options.clone())
+        .parallel(true);
+    optimize_padding_with(&mut analyzer, nest)
+}
+
+/// [`optimize_padding`] driven through a caller-owned [`Analyzer`] session.
+///
+/// All candidate layouts share one nest structure, so the engine re-scores
+/// them from its cascade and window-scan memos instead of re-running the
+/// full miss-finding algorithm — this is where the search's speedup comes
+/// from (see `docs/ENGINE.md`).
+pub fn optimize_padding_with(
+    analyzer: &mut Analyzer,
+    nest: &LoopNest,
+) -> (LoopNest, PaddingOutcome) {
+    let cache = *analyzer.cache();
+    let cache = &cache;
+    let before = analyzer.analyze(nest);
     let (replacement_before, total_before) = (before.total_replacement(), before.total_misses());
     let order = used_arrays(nest);
     // The coordinate-descent search runs dozens of full CME counts; past
@@ -147,11 +168,12 @@ pub fn optimize_padding(
     if let Ok(plan) = plan_padding(nest, cache) {
         let mut candidate = nest.clone();
         plan.apply(&mut candidate);
-        let after = analyze_nest_parallel(&candidate, *cache, options);
+        let after = analyzer.analyze(&candidate);
         let improves = after.total_replacement() < replacement_before
-            || (after.total_replacement() == 0 && replacement_before == 0
+            || (after.total_replacement() == 0
+                && replacement_before == 0
                 && after.total_misses() <= total_before);
-        if (after.total_replacement() == 0 && improves) || (!searchable && improves) {
+        if improves && (after.total_replacement() == 0 || !searchable) {
             return (
                 candidate,
                 PaddingOutcome {
@@ -172,7 +194,7 @@ pub fn optimize_padding(
             if let Ok(plan) = plan_padding_partial(nest, cache) {
                 let mut candidate = nest.clone();
                 plan.apply(&mut candidate);
-                let after = analyze_nest_parallel(&candidate, *cache, options);
+                let after = analyzer.analyze(&candidate);
                 if after.total_replacement() < replacement_before {
                     return (
                         candidate,
@@ -228,10 +250,10 @@ pub fn optimize_padding(
     col_cands.dedup();
 
     let mut evaluations = 0usize;
-    let mut count = |column: i64, spacings: &[i64]| -> u64 {
+    let mut count = |analyzer: &mut Analyzer, column: i64, spacings: &[i64]| -> u64 {
         evaluations += 1;
         let cand = layout_with(nest, &order, column, spacings);
-        analyze_nest_parallel(&cand, *cache, options).total_replacement()
+        analyzer.analyze(&cand).total_replacement()
     };
 
     // Spacing candidates per gap: the padded array length staggered by
@@ -255,14 +277,14 @@ pub fn optimize_padding(
         .windows(2)
         .map(|w| padded_len(nest, w[0], orig_col))
         .collect();
-    let mut best_score = count(best_col, &best_spacings);
+    let mut best_score = count(analyzer, best_col, &best_spacings);
     'outer: for &col in &col_cands {
         let mut spacings: Vec<i64> = order
             .windows(2)
             .map(|w| padded_len(nest, w[0], col))
             .collect();
         // Two greedy sweeps over the gaps.
-        let mut local = count(col, &spacings);
+        let mut local = count(analyzer, col, &spacings);
         for _pass in 0..2 {
             for g in 0..ngaps {
                 for cand in spacing_cands(col, order[g]) {
@@ -271,7 +293,7 @@ pub fn optimize_padding(
                     }
                     let old = spacings[g];
                     spacings[g] = cand;
-                    let s = count(col, &spacings);
+                    let s = count(analyzer, col, &spacings);
                     if s < local {
                         local = s;
                     } else {
@@ -298,7 +320,18 @@ pub fn optimize_padding(
 
     // Polish: small perturbations around the best layout found.
     if best_score > 0 {
-        let deltas = [1i64, -1, 2, -2, ls / 2, -(ls / 2), ls, -ls, ls + 1, -(ls + 1)];
+        let deltas = [
+            1i64,
+            -1,
+            2,
+            -2,
+            ls / 2,
+            -(ls / 2),
+            ls,
+            -ls,
+            ls + 1,
+            -(ls + 1),
+        ];
         'polish: for _pass in 0..2 {
             for g in 0..ngaps {
                 for &d in &deltas {
@@ -308,7 +341,7 @@ pub fn optimize_padding(
                     }
                     let old = best_spacings[g];
                     best_spacings[g] = cand;
-                    let s = count(best_col, &best_spacings);
+                    let s = count(analyzer, best_col, &best_spacings);
                     if s < best_score {
                         best_score = s;
                     } else {
@@ -323,7 +356,7 @@ pub fn optimize_padding(
     }
 
     let optimized = layout_with(nest, &order, best_col, &best_spacings);
-    let after = analyze_nest_parallel(&optimized, *cache, options);
+    let after = analyzer.analyze(&optimized);
     (
         optimized,
         PaddingOutcome {
@@ -356,7 +389,10 @@ mod tests {
         );
         // The CME verdict is confirmed by simulation.
         assert_eq!(simulate_nest(&optimized, cache).total().replacement, 0);
-        assert!(matches!(outcome.method, PaddingMethod::CountingSearch { .. }));
+        assert!(matches!(
+            outcome.method,
+            PaddingMethod::CountingSearch { .. }
+        ));
     }
 
     #[test]
@@ -373,7 +409,7 @@ mod tests {
     fn conflict_free_nest_is_left_alone() {
         let cache = table1_cache();
         let nest = cme_kernels::sor(32);
-        let before = analyze_nest_parallel(&nest, cache, &AnalysisOptions::default());
+        let before = Analyzer::new(cache).analyze(&nest);
         if before.total_replacement() == 0 {
             let (_, outcome) = optimize_padding(&nest, &cache, &AnalysisOptions::default());
             assert_eq!(outcome.replacement_before, 0);

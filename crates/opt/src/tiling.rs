@@ -156,7 +156,35 @@ pub fn select_tile_and_layout(
     // Equation 9: cross-interference between the tiled arrays — reuse the
     // padding driver (base repositioning only matters here; the selector
     // already fixed the column behaviour via the tile shape).
-    let (optimized, _outcome) = crate::search::optimize_padding(&tiled, cache, options);
+    let mut analyzer = cme_core::Analyzer::new(*cache)
+        .options(options.clone())
+        .parallel(true);
+    let (optimized, _outcome) = crate::search::optimize_padding_with(&mut analyzer, &tiled);
+    Ok(Some((optimized, choice)))
+}
+
+/// [`select_tile_and_layout`] driven through a caller-owned
+/// [`cme_core::Analyzer`] session, so the layout search after tiling shares
+/// (and warms) the engine's memo tables.
+pub fn select_tile_and_layout_with(
+    analyzer: &mut cme_core::Analyzer,
+    nest: &cme_ir::LoopNest,
+    k_level: usize,
+    j_level: usize,
+    n: i64,
+    col: i64,
+) -> Result<Option<(cme_ir::LoopNest, TileChoice)>, cme_ir::transform::TransformError> {
+    let cache = *analyzer.cache();
+    let Some(choice) = select_tile_size(&cache, col, n) else {
+        return Ok(None);
+    };
+    let (first, second) = if k_level < j_level {
+        ((k_level, choice.tk), (j_level, choice.tj))
+    } else {
+        ((j_level, choice.tj), (k_level, choice.tk))
+    };
+    let tiled = cme_ir::transform::tile_nest(nest, &[first, second])?;
+    let (optimized, _outcome) = crate::search::optimize_padding_with(analyzer, &tiled);
     Ok(Some((optimized, choice)))
 }
 
@@ -204,7 +232,10 @@ mod tests {
         let cache2 = CacheConfig::new(8192, 2, 32, 4).unwrap();
         let c1 = select_tile_size(&cache8k(), 2048, 32).unwrap();
         let c2 = select_tile_size(&cache2, 2048, 32).unwrap();
-        assert!(c2.area() >= c1.area(), "extra way can only help: {c1} vs {c2}");
+        assert!(
+            c2.area() >= c1.area(),
+            "extra way can only help: {c1} vs {c2}"
+        );
     }
 
     #[test]
@@ -226,10 +257,9 @@ mod tests {
         let n = 16i64;
         let plain = cme_kernels::mmult_with_bases(n, 0, 256, 512);
         let opts = cme_core::AnalysisOptions::default();
-        let (optimized, choice) =
-            select_tile_and_layout(&plain, &cache, 1, 2, n, n, &opts)
-                .expect("tiling applies")
-                .expect("a tile exists");
+        let (optimized, choice) = select_tile_and_layout(&plain, &cache, 1, 2, n, n, &opts)
+            .expect("tiling applies")
+            .expect("a tile exists");
         assert!(choice.self_conflicts < cache.assoc() as u64);
         let before = simulate_nest(&plain, cache).total().misses();
         let after = simulate_nest(&optimized, cache).total().misses();
@@ -238,7 +268,18 @@ mod tests {
             "tile {choice} + layout should reduce misses: {before} -> {after}"
         );
         // The composed transformation still analyzes exactly.
-        let cme = cme_core::analyze_nest(&optimized, cache, &opts).total_misses();
+        let cme = cme_core::Analyzer::new(cache)
+            .options(opts)
+            .analyze(&optimized)
+            .total_misses();
         assert_eq!(cme, after);
+        // The session-driven variant lands on the same transformation.
+        let mut analyzer = cme_core::Analyzer::new(cache);
+        let (optimized2, choice2) = select_tile_and_layout_with(&mut analyzer, &plain, 1, 2, n, n)
+            .expect("tiling applies")
+            .expect("a tile exists");
+        assert_eq!(choice, choice2);
+        assert_eq!(optimized, optimized2);
+        assert!(analyzer.stats().memo_hit_rate() > 0.0);
     }
 }

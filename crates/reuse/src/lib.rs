@@ -234,8 +234,15 @@ pub fn reuse_vectors(
             };
             let mut emit = |v: Vec<i64>| -> bool {
                 push_candidate(
-                    dest, src.id(), &dest_addr, &src_addr, line, depth, v,
-                    &mut seen, &mut out,
+                    dest,
+                    src.id(),
+                    &dest_addr,
+                    &src_addr,
+                    line,
+                    depth,
+                    v,
+                    &mut seen,
+                    &mut out,
                 );
                 budget = budget.saturating_sub(1);
                 budget > 0
@@ -279,8 +286,8 @@ fn push_candidate(
     } else if !is_lex_positive(&vector) {
         return;
     }
-    let delta = (dest_addr.constant_term() - src_addr.constant_term())
-        + src_addr.delta_along(&vector);
+    let delta =
+        (dest_addr.constant_term() - src_addr.constant_term()) + src_addr.delta_along(&vector);
     if delta.abs() >= line {
         return; // can never touch the same memory line
     }
@@ -551,7 +558,12 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let rv = ReuseVector::new(vec![0, 1, -7], RefId::from_index(0), ReuseKind::SelfSpatial, -7);
+        let rv = ReuseVector::new(
+            vec![0, 1, -7],
+            RefId::from_index(0),
+            ReuseKind::SelfSpatial,
+            -7,
+        );
         let s = rv.to_string();
         assert!(s.contains("0,1,-7"));
         assert!(s.contains("self-spatial"));

@@ -65,14 +65,7 @@ pub fn arb_nest(dist: NestDistribution) -> impl Strategy<Value = LoopNest> {
         0..8i64, // inter-array gap, in 16-element units
     )
         .prop_map(move |(depth, narrays, refs, extent, gap16)| {
-            build_nest(
-                depth,
-                narrays,
-                &refs,
-                extent,
-                gap16 * 16,
-                dist.uniform_only,
-            )
+            build_nest(depth, narrays, &refs, extent, gap16 * 16, dist.uniform_only)
         })
 }
 
@@ -108,7 +101,11 @@ fn build_nest(
         } else {
             pat
         };
-        let kind = if write { AccessKind::Write } else { AccessKind::Read };
+        let kind = if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
         // Choose two index names (row, col) from the available depth.
         let row = names[pat % depth];
         let col = names[(pat / 2 + 1) % depth];

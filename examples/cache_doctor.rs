@@ -11,25 +11,31 @@
 //! counter and the simulator.
 
 use cme::cache::{simulate_nest, CacheConfig};
-use cme::core::{analyze_nest, AnalysisOptions};
+use cme::core::Analyzer;
 use cme::ir::transform::{interchange, tile_nest};
 use cme::kernels::kernel_by_name;
-use cme::opt::{diagnose, optimize_padding, Recommendation};
+use cme::opt::{diagnose_with, optimize_padding_with, Recommendation};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let kernel = args.get(1).map(String::as_str).unwrap_or("matvec-rowwise");
     let n: i64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(64);
     let cache = CacheConfig::new(1024, 1, 32, 4)?;
-    let nest = kernel_by_name(kernel, n)
-        .unwrap_or_else(|| panic!("unknown kernel `{kernel}`; try one of {:?}", cme::kernels::kernel_names()));
+    let nest = kernel_by_name(kernel, n).unwrap_or_else(|| {
+        panic!(
+            "unknown kernel `{kernel}`; try one of {:?}",
+            cme::kernels::kernel_names()
+        )
+    });
 
     println!("patient:\n{nest}\ncache: {cache}\n");
-    let opts = AnalysisOptions::default();
-    let diagnosis = diagnose(&nest, &cache, &opts)?;
+    // One Analyzer session covers the diagnosis, the before/after counts,
+    // and (for padding) the layout search — each step reuses the last.
+    let mut analyzer = Analyzer::new(cache);
+    let diagnosis = diagnose_with(&mut analyzer, &nest)?;
     println!("{diagnosis}");
 
-    let before_cme = analyze_nest(&nest, cache, &opts).total_misses();
+    let before_cme = analyzer.analyze(&nest).total_misses();
     let before_sim = simulate_nest(&nest, cache).total().misses();
     println!("before: {before_cme} CME misses ({before_sim} simulated)\n");
 
@@ -44,13 +50,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             for l in treated.loops() {
                 println!("  DO {}", l.name());
             }
-            report(&treated, cache, before_cme, before_sim);
+            report(&mut analyzer, &treated, cache, before_cme, before_sim);
         }
         Some(Recommendation::InterVariablePadding { .. })
         | Some(Recommendation::IntraVariablePadding { .. }) => {
-            let (treated, outcome) = optimize_padding(&nest, &cache, &opts);
+            let (treated, outcome) = optimize_padding_with(&mut analyzer, &nest);
             println!("treatment: padding ({})", outcome.method);
-            report(&treated, cache, before_cme, before_sim);
+            report(&mut analyzer, &treated, cache, before_cme, before_sim);
         }
         Some(Recommendation::Tile) => {
             // Tile the loop carrying the longest reuse distance (here: the
@@ -60,8 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut applied = false;
             for t in [8i64, 4, 2] {
                 if let Ok(treated) = tile_nest(&nest, &[(level, t)]) {
-                    println!("treatment: tile loop `{}` by {t}", nest.loops()[level].name());
-                    report(&treated, cache, before_cme, before_sim);
+                    println!(
+                        "treatment: tile loop `{}` by {t}",
+                        nest.loops()[level].name()
+                    );
+                    report(&mut analyzer, &treated, cache, before_cme, before_sim);
                     applied = true;
                     break;
                 }
@@ -75,9 +84,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn report(treated: &cme::ir::LoopNest, cache: CacheConfig, before_cme: u64, before_sim: u64) {
-    let opts = AnalysisOptions::default();
-    let after_cme = analyze_nest(treated, cache, &opts).total_misses();
+fn report(
+    analyzer: &mut Analyzer,
+    treated: &cme::ir::LoopNest,
+    cache: CacheConfig,
+    before_cme: u64,
+    before_sim: u64,
+) {
+    let after_cme = analyzer.analyze(treated).total_misses();
     let after_sim = simulate_nest(treated, cache).total().misses();
     println!(
         "after:  {after_cme} CME misses ({after_sim} simulated)\n\

@@ -6,7 +6,7 @@
 //! Run with `cargo run --release --example interactive_cme [N]`.
 
 use cme::cache::CacheConfig;
-use cme::core::{analyze_nest, AnalysisOptions, CmeSystem};
+use cme::core::{AnalysisOptions, Analyzer, CmeSystem};
 use cme::kernels::mmult_with_bases;
 use cme::reuse::ReuseOptions;
 
@@ -36,12 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The per-vector progression (Figure 8 style) with miss points kept.
-    let opts = AnalysisOptions {
-        exact_equation_counts: true,
-        collect_miss_points: true,
-        ..AnalysisOptions::default()
-    };
-    let analysis = analyze_nest(&nest, cache, &opts);
+    let opts = AnalysisOptions::builder()
+        .exact_equation_counts(true)
+        .collect_miss_points(true)
+        .build();
+    let analysis = Analyzer::new(cache).options(opts).analyze(&nest);
     println!("\nmiss-finding progression:");
     for r in &analysis.per_ref {
         println!("  {}:", r.label);

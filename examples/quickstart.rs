@@ -7,7 +7,7 @@
 //! count against a trace-driven LRU simulation.
 
 use cme::cache::{simulate_nest, CacheConfig};
-use cme::core::{analyze_nest, AnalysisOptions, CmeSystem};
+use cme::core::{Analyzer, CmeSystem};
 use cme::kernels::mmult;
 use cme::reuse::ReuseOptions;
 
@@ -31,8 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sample = &system.per_ref[0].groups[0].replacements[1];
     println!("Sample equation: {sample}\n");
 
-    // 2. Count the misses from the equations (Figure 6).
-    let analysis = analyze_nest(&nest, cache, &AnalysisOptions::default());
+    // 2. Count the misses from the equations (Figure 6). The `Analyzer`
+    //    session is reusable: subsequent calls on transformed variants of
+    //    the nest re-solve incrementally from its memo tables.
+    let mut analyzer = Analyzer::new(cache);
+    let analysis = analyzer.analyze(&nest);
     println!("{analysis}\n");
 
     // 3. Validate against the LRU simulator (the paper's DineroIII role).

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         nest
     };
-    let good = simulate_nest(&pad_cols(tiled_mmult(n, choice.tk, choice.tj, 0, 8 * col, 16 * col)), cache);
+    let good = simulate_nest(
+        &pad_cols(tiled_mmult(n, choice.tk, choice.tj, 0, 8 * col, 16 * col)),
+        cache,
+    );
     let bad = simulate_nest(&pad_cols(tiled_mmult(n, n, n, 0, 8 * col, 16 * col)), cache);
     println!(
         "misses with selected tile: {}\nmisses with whole-matrix tile: {}",

@@ -1,6 +1,10 @@
 //! The headline generalization of the paper: the same CME machinery is
 //! exact for caches of *arbitrary associativity*. Sweep k ∈ {1, 2, 4, 8,
 //! full} on several kernels and compare against the simulator.
+// These tests exercise the deprecated free-function entry points on
+// purpose: they are the legacy reference semantics the new `Analyzer`
+// engine is validated against (see `engine_equivalence.rs`).
+#![allow(deprecated)]
 
 use cme::cache::{simulate_nest, CacheConfig};
 use cme::core::{analyze_nest, AnalysisOptions};

@@ -1,0 +1,148 @@
+//! The incremental engine's correctness contract: an [`Analyzer`] session
+//! — cold or memo-warm, sequential or parallel, caching on or off — must
+//! produce **bit-identical** `NestAnalysis` results to the legacy
+//! sequential `analyze_nest`, across randomized nests, cache geometries,
+//! and analysis options. Warmth is manufactured the way the optimizers do:
+//! by re-analyzing layout-mutated variants (moved bases, padded columns)
+//! of the same structure before the nest under test.
+
+// The legacy free functions are deprecated but deliberately kept as the
+// reference semantics; this suite is their consumer of record.
+#![allow(deprecated)]
+
+use cme::cache::CacheConfig;
+use cme::core::{analyze_nest, AnalysisOptions, Analyzer};
+use cme::ir::LoopNest;
+use cme_testgen::{arb_cache, arb_nest, NestDistribution};
+use proptest::prelude::*;
+
+/// A spread of option sets covering every verdict-relevant switch.
+fn option_sets() -> Vec<AnalysisOptions> {
+    vec![
+        AnalysisOptions::default(),
+        AnalysisOptions::builder().epsilon(64).build(),
+        AnalysisOptions::builder()
+            .exact_equation_counts(true)
+            .build(),
+        AnalysisOptions::builder()
+            .collect_miss_points(true)
+            .pointwise_windows(true)
+            .build(),
+    ]
+}
+
+/// Moves every array base by `shift` and pads the first column by `pad`,
+/// producing a same-structure layout sibling that shares engine memos with
+/// the original wherever the invalidation keys say it may.
+fn mutate_layout(nest: &LoopNest, shift: i64, pad: i64) -> LoopNest {
+    let mut out = nest.clone();
+    let mut ids = Vec::new();
+    for r in out.references() {
+        if !ids.contains(&r.array()) {
+            ids.push(r.array());
+        }
+    }
+    for (k, id) in ids.iter().enumerate() {
+        let base = out.array(*id).base();
+        out.array_mut(*id).set_base(base + shift * (k as i64 + 1));
+    }
+    if pad > 0 {
+        if let Some(id) = ids.first() {
+            let cols = out.array(*id).column_size();
+            out.array_mut(*id).pad_column_to(cols + pad);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cold engine, sequential and parallel, across the option matrix.
+    #[test]
+    fn cold_sessions_match_legacy(
+        nest in arb_nest(NestDistribution::default()),
+        cache in arb_cache(),
+    ) {
+        for opts in option_sets() {
+            let legacy = analyze_nest(&nest, cache, &opts);
+            let seq = Analyzer::new(cache)
+                .options(opts.clone())
+                .analyze(&nest);
+            prop_assert_eq!(&legacy, &seq, "sequential engine diverged");
+            let par = Analyzer::new(cache)
+                .options(opts.clone())
+                .parallel(true)
+                .threads(3)
+                .analyze(&nest);
+            prop_assert_eq!(&legacy, &par, "parallel engine diverged");
+        }
+    }
+
+    /// A memo-warm session (primed on layout siblings of the same nest
+    /// structure) still reproduces the legacy result bit for bit.
+    #[test]
+    fn warm_sessions_match_legacy(
+        nest in arb_nest(NestDistribution::default()),
+        cache in arb_cache(),
+        shift in 1i64..256,
+        pad in 0i64..3,
+    ) {
+        for opts in option_sets() {
+            let mut analyzer = Analyzer::new(cache).options(opts.clone());
+            // Prime the memo tables on mutated layouts first.
+            analyzer.analyze(&mutate_layout(&nest, shift, pad));
+            analyzer.analyze(&mutate_layout(&nest, 2 * shift, 0));
+            let warm = analyzer.analyze(&nest);
+            prop_assert_eq!(
+                &analyze_nest(&nest, cache, &opts),
+                &warm,
+                "warm engine diverged (shift {}, pad {})",
+                shift,
+                pad
+            );
+        }
+    }
+
+    /// Re-analyzing the same nest from a hot memo is a pure cache replay
+    /// and must be idempotent; with caching disabled the session is a
+    /// passthrough to the legacy path.
+    #[test]
+    fn replay_and_passthrough_match_legacy(
+        nest in arb_nest(NestDistribution::default()),
+        cache in arb_cache(),
+    ) {
+        let opts = AnalysisOptions::default();
+        let legacy = analyze_nest(&nest, cache, &opts);
+        let mut analyzer = Analyzer::new(cache).options(opts.clone());
+        let first = analyzer.analyze(&nest);
+        let replay = analyzer.analyze(&nest);
+        prop_assert_eq!(&first, &replay, "memo replay not idempotent");
+        prop_assert_eq!(&legacy, &replay);
+        let off = Analyzer::new(cache)
+            .options(opts)
+            .caching(false)
+            .analyze(&nest);
+        prop_assert_eq!(&legacy, &off, "passthrough diverged");
+    }
+}
+
+/// Deterministic guard: the warm path actually exercises the memo tables
+/// (a keying regression that silently disabled reuse would otherwise keep
+/// every equivalence test green while killing the speedup).
+#[test]
+fn warm_reuse_actually_happens() {
+    let cache = CacheConfig::new(2048, 2, 32, 4).unwrap();
+    let n = 12;
+    let nest = cme::kernels::mmult_with_bases(n, 0, n * n, 2 * n * n);
+    let mut analyzer = Analyzer::new(cache);
+    analyzer.analyze(&nest);
+    let moved = mutate_layout(&nest, 160, 0);
+    analyzer.analyze(&moved);
+    let stats = analyzer.stats();
+    assert!(
+        stats.reuse_reused > 0,
+        "layout move must reuse cached reuse vectors: {stats}"
+    );
+    assert!(stats.memo_hit_rate() > 0.0, "{stats}");
+}

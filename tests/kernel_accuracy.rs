@@ -14,7 +14,8 @@ fn check_exact(nest: &LoopNest, cache: CacheConfig) {
         "CME must never under-count: {row} on {cache}"
     );
     assert_eq!(
-        row.cme_misses, row.sim_misses,
+        row.cme_misses,
+        row.sim_misses,
         "CME should be exact on `{}` with {cache}: {row}",
         nest.name()
     );
@@ -54,7 +55,11 @@ fn mmult_exact_two_way() {
 /// cannot be expressed by constant reuse vectors — the paper reports the
 /// same one-sided over-count (Table 1: +1.0% and +0.4%). Assert soundness
 /// plus a bounded over-count instead of exactness.
-fn check_sound_with_bounded_overcount(nest: &cme::ir::LoopNest, cache: CacheConfig, pct_of_accesses: f64) {
+fn check_sound_with_bounded_overcount(
+    nest: &cme::ir::LoopNest,
+    cache: CacheConfig,
+    pct_of_accesses: f64,
+) {
     let row = compare_with_simulation(nest, cache, &AnalysisOptions::default());
     assert!(row.is_sound(), "CME must never under-count: {row}");
     let over = (row.cme_misses - row.sim_misses) as f64;

@@ -1,6 +1,10 @@
 //! Metamorphic property tests: relationships that must hold between the
 //! analysis results of a nest and its transformed variants, fuzzed over
 //! the shared random-nest distribution of `cme-testgen`.
+// These tests exercise the deprecated free-function entry points on
+// purpose: they are the legacy reference semantics the new `Analyzer`
+// engine is validated against (see `engine_equivalence.rs`).
+#![allow(deprecated)]
 
 use cme::cache::{simulate_nest, CacheConfig};
 use cme::core::{analyze_nest, analyze_nest_parallel, AnalysisOptions};

@@ -2,6 +2,10 @@
 //! LRU simulator (the methodology behind Table 2 and the Section 5
 //! examples).
 
+// The brute-force baseline below counts through the deprecated legacy
+// entry point on purpose (see `engine_equivalence.rs`).
+#![allow(deprecated)]
+
 use cme::cache::{simulate_nest, CacheConfig};
 use cme::core::AnalysisOptions;
 use cme::kernels;

@@ -2,6 +2,10 @@
 //! end-to-end: the Section 2.4 cache-set expression, the Equation 5
 //! replacement CME, and the Figure 8 miss-finding progression (at a scaled
 //! size plus spot checks of the full-size structure).
+// These tests exercise the deprecated free-function entry points on
+// purpose: they are the legacy reference semantics the new `Analyzer`
+// engine is validated against (see `engine_equivalence.rs`).
+#![allow(deprecated)]
 
 use cme::cache::CacheConfig;
 use cme::core::{analyze_reference, AnalysisOptions, CmeSystem};
@@ -23,7 +27,10 @@ fn section_2_4_cache_set_expression() {
         let addr = nest.address(z_load, &[i, k, j]);
         // The paper's 1-based closed form.
         assert_eq!(addr, 4192 + 32 * (i - 1) + (j - 1));
-        assert_eq!(cache.cache_set(addr), ((4192 + 32 * i + j - 1 - 32) / 4) % 128);
+        assert_eq!(
+            cache.cache_set(addr),
+            ((4192 + 32 * i + j - 1 - 32) / 4) % 128
+        );
     }
 }
 
@@ -92,7 +99,10 @@ fn figure_8_progression_scaled() {
     // layout (ReplEqn_ZZ row of zeros in Figure 8).
     for v in &analysis.vectors {
         assert_eq!(v.contentions_per_perpetrator[0], 0, "ReplEqn_ZZ must be 0");
-        assert_eq!(v.contentions_per_perpetrator[3], 0, "ReplEqn_ZZ(store) must be 0");
+        assert_eq!(
+            v.contentions_per_perpetrator[3], 0,
+            "ReplEqn_ZZ(store) must be 0"
+        );
     }
 }
 
@@ -185,7 +195,9 @@ fn section_3_2_1_tiny_stream() {
 #[test]
 fn figure_5_potentially_interfering_points() {
     let mut b = NestBuilder::new();
-    b.ct_loop("i1", 1, 3).ct_loop("i2", 1, 3).ct_loop("i3", 1, 6);
+    b.ct_loop("i1", 1, 3)
+        .ct_loop("i2", 1, 3)
+        .ct_loop("i3", 1, 6);
     let a = b.array("A", &[8, 8, 8], 0);
     b.reference(a, AccessKind::Read, &[("i1", 0), ("i2", 0), ("i3", 0)]);
     let nest = b.build().unwrap();

@@ -7,6 +7,10 @@
 //! lexicographically-earliest same-line reuse vector is conservative with
 //! respect to LRU stack distance, so missing reuse vectors can only inflate
 //! the count.
+// These tests exercise the deprecated free-function entry points on
+// purpose: they are the legacy reference semantics the new `Analyzer`
+// engine is validated against (see `engine_equivalence.rs`).
+#![allow(deprecated)]
 
 use cme::cache::{simulate_nest, CacheConfig};
 use cme::core::{analyze_nest, AnalysisOptions};
@@ -23,11 +27,11 @@ fn arb_nest() -> impl Strategy<Value = LoopNest> {
         dims,
         proptest::collection::vec(
             (
-                0..3usize,       // array choice (mod count)
-                -1i64..=1,       // row offset
-                -1i64..=1,       // col offset
+                0..3usize,           // array choice (mod count)
+                -1i64..=1,           // row offset
+                -1i64..=1,           // col offset
                 proptest::bool::ANY, // write?
-                0..4usize,       // subscript pattern
+                0..4usize,           // subscript pattern
             ),
             2..=5,
         ),
@@ -54,7 +58,11 @@ fn arb_nest() -> impl Strategy<Value = LoopNest> {
             }
             for (ai, ro, co, write, pat) in refs {
                 let id = ids[ai % ids.len()];
-                let kind = if write { AccessKind::Write } else { AccessKind::Read };
+                let kind = if write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
                 let subs: [(&str, i64); 2] = match pat {
                     0 => [("i", ro), ("j", co)],
                     1 => [("j", ro), ("i", co)],

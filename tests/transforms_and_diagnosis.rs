@@ -1,6 +1,10 @@
 //! End-to-end tests of the compiler-side transformations (interchange,
 //! fusion, strip-mining/tiling) composed with the CME analysis, plus the
 //! diagnosis-driven workflow of the paper's Section 7 vision.
+// These tests exercise the deprecated free-function entry points on
+// purpose: they are the legacy reference semantics the new `Analyzer`
+// engine is validated against (see `engine_equivalence.rs`).
+#![allow(deprecated)]
 
 use cme::cache::{simulate_nest, CacheConfig};
 use cme::core::{analyze_nest, AnalysisOptions};
@@ -174,19 +178,18 @@ fn kernels_roundtrip_through_text_format() {
 
 /// Strided sweeps: one miss per line touched, across strides.
 #[test]
-fn strided_sweeps_miss_once_per_line()
-{
+fn strided_sweeps_miss_once_per_line() {
     let cache = small_cache(); // 8-element lines
     let opts = AnalysisOptions::default();
     for stride in [1i64, 2, 4, 8, 16] {
         let nest = kernels::strided_sweep(64, stride);
-        let expected_lines = if stride >= 8 { 64 } else { (64 * stride + 7) / 8 };
+        let expected_lines = if stride >= 8 {
+            64
+        } else {
+            (64 * stride + 7) / 8
+        };
         let a = analyze_nest(&nest, cache, &opts);
-        assert_eq!(
-            a.total_misses(),
-            expected_lines as u64,
-            "stride {stride}"
-        );
+        assert_eq!(a.total_misses(), expected_lines as u64, "stride {stride}");
         assert_eq!(
             simulate_nest(&nest, cache).total().misses(),
             expected_lines as u64

@@ -1,0 +1,18 @@
+//! Boolean strategies (`proptest::bool::ANY`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding uniformly random booleans.
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// Uniformly random `bool`.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> Option<bool> {
+        Some(rng.next_bool())
+    }
+}

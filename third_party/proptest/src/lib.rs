@@ -1,0 +1,180 @@
+//! Offline subset of the [proptest](https://crates.io/crates/proptest) API.
+//!
+//! The build environment for this workspace has no network access, so the
+//! real `proptest` crate cannot be fetched. This stub implements the exact
+//! subset of the API the workspace uses — `Strategy` with `prop_map` /
+//! `prop_filter` / `prop_filter_map`, range and tuple and `Just` strategies,
+//! `proptest::collection::vec`, `proptest::bool::ANY`, `prop_oneof!`, and
+//! the `proptest!` / `prop_assert*` / `prop_assume!` macros — over a
+//! deterministic xorshift RNG.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **no shrinking**: a failing case reports the generated inputs verbatim;
+//! - **deterministic seeding**: the RNG is seeded from the test name (and
+//!   `PROPTEST_SEED` when set), so runs are reproducible without
+//!   `proptest-regressions` files (which are ignored);
+//! - default case count is 64 (`ProptestConfig::default()`), overridable per
+//!   block with `#![proptest_config(ProptestConfig::with_cases(n))]`.
+
+#![deny(unsafe_code)]
+
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each function runs its body for
+/// `ProptestConfig::cases` deterministic random samples of its `in`-bound
+/// arguments.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut case: u32 = 0;
+                let mut rejects: u32 = 0;
+                let reject_cap = config.cases.saturating_mul(256).max(1024);
+                while case < config.cases {
+                    $(
+                        let $arg = match $crate::strategy::Strategy::sample(&$strat, &mut rng) {
+                            ::std::option::Option::Some(v) => v,
+                            ::std::option::Option::None => {
+                                rejects += 1;
+                                assert!(
+                                    rejects < reject_cap,
+                                    "proptest stub: strategy for `{}` rejected too many samples",
+                                    stringify!($name)
+                                );
+                                continue;
+                            }
+                        };
+                    )+
+                    let __inputs = format!(
+                        concat!($(concat!(stringify!($arg), " = {:?}\n")),+),
+                        $(&$arg),+
+                    );
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    match __result {
+                        ::std::result::Result::Ok(()) => { case += 1; }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                            rejects += 1;
+                            assert!(
+                                rejects < reject_cap,
+                                "proptest stub: `{}` rejected too many cases via prop_assume!",
+                                stringify!($name)
+                            );
+                        }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case failed: {}\nminimal failing input (no shrinking):\n{}",
+                                msg, __inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` for property bodies: fails the current case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: `{:?}` == `{:?}`: {}",
+                    l,
+                    r,
+                    format!($($fmt)*)
+                ),
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+/// Discards the current case (not counted against the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

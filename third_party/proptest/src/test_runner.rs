@@ -1,0 +1,131 @@
+//! Deterministic RNG, per-block configuration, and case outcomes.
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted samples per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a property body did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — resample without counting the case.
+    Reject,
+    /// `prop_assert*!` failed — the property is falsified.
+    Fail(String),
+}
+
+/// Drives strategies outside the `proptest!` macro (the
+/// `Strategy::new_tree` entry point).
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// A runner with a fixed seed.
+    pub fn deterministic() -> Self {
+        TestRunner {
+            rng: TestRng::for_test("deterministic"),
+        }
+    }
+
+    /// The underlying RNG.
+    pub fn rng_mut(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}
+
+/// xorshift64* generator seeded from the test name (and `PROPTEST_SEED`
+/// when set), so failures reproduce without regression files.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from `test_name` plus the optional `PROPTEST_SEED` env var.
+    pub fn for_test(test_name: &str) -> Self {
+        let mut seed: u64 = 0x9e37_79b9_7f4a_7c15;
+        for b in test_name.bytes() {
+            seed = (seed ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = s.trim().parse::<u64>() {
+                seed ^= extra.wrapping_mul(0x2545_f491_4f6c_dd1d);
+            }
+        }
+        TestRng { state: seed.max(1) }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be nonzero).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is irrelevant at test-strategy scales.
+        self.next_u64() % bound
+    }
+
+    /// Uniform value in `0..bound` for spans wider than 64 bits never occur
+    /// here in practice; we saturate to the u64 path.
+    pub fn below_u128(&mut self, bound: u128) -> u128 {
+        if bound <= u128::from(u64::MAX) {
+            u128::from(self.below(bound as u64))
+        } else {
+            u128::from(self.next_u64())
+        }
+    }
+
+    /// Uniform boolean.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("alpha");
+        let mut b = TestRng::for_test("alpha");
+        let mut c = TestRng::for_test("beta");
+        let seq_a: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let seq_b: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let seq_c: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(seq_a, seq_b);
+        assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::for_test("bounds");
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}
