@@ -1,0 +1,101 @@
+//! Single-analysis benches for the run-compressed sliding-window cascade.
+//!
+//! Unlike `benches/engine.rs`, which measures memoized *re*-analysis
+//! across an optimizer search, this bench times one full cold analysis of
+//! the Table-1 matmul: the legacy per-point solver against the engine's
+//! cascade (all-cold certificates + run-compressed survivor sets + delta
+//! window scans), sequential and sharded. Equivalence is asserted before
+//! timing, and a final check enforces the ≥3× single-analysis speedup the
+//! cascade is built for.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cme_cache::CacheConfig;
+use cme_core::{AnalysisOptions, Analyzer};
+
+fn table1_cache() -> CacheConfig {
+    CacheConfig::new(8192, 1, 32, 4).unwrap()
+}
+
+/// Table-1 matmul at a size where one analysis takes long enough to time
+/// meaningfully but the whole bench stays in seconds.
+fn matmul() -> cme_ir::LoopNest {
+    let n = 64;
+    cme_kernels::mmult_with_bases(n, 0, n * n, 2 * n * n)
+}
+
+fn bench_full_analysis(c: &mut Criterion) {
+    let cache = table1_cache();
+    let nest = matmul();
+    let opts = AnalysisOptions::default();
+
+    // Equivalence first: the cascade must reproduce the reference
+    // implementation bit for bit before its speed means anything.
+    #[allow(deprecated)]
+    let reference = cme_core::analyze_nest(&nest, cache, &opts);
+    let mut cascade = Analyzer::new(cache).options(opts.clone());
+    assert_eq!(
+        reference,
+        cascade.analyze(&nest),
+        "cascade diverged from the reference implementation"
+    );
+    let mut sharded = Analyzer::new(cache)
+        .options(opts.clone())
+        .parallel(true)
+        .threads(4);
+    assert_eq!(
+        reference,
+        sharded.analyze(&nest),
+        "sharded cascade diverged from the reference implementation"
+    );
+
+    let mut g = c.benchmark_group("full-analysis");
+    g.sample_size(5);
+    g.bench_function("cascade", |b| {
+        b.iter(|| {
+            // A fresh analyzer each iteration: this measures the cold
+            // cascade, not the memo tables.
+            let mut a = Analyzer::new(cache).options(opts.clone());
+            black_box(a.analyze(&nest))
+        })
+    });
+    g.bench_function("cascade-sharded", |b| {
+        b.iter(|| {
+            let mut a = Analyzer::new(cache)
+                .options(opts.clone())
+                .parallel(true)
+                .threads(4);
+            black_box(a.analyze(&nest))
+        })
+    });
+    g.bench_function("legacy", |b| {
+        #[allow(deprecated)]
+        b.iter(|| black_box(cme_core::analyze_nest(&nest, cache, &opts)))
+    });
+    g.finish();
+}
+
+/// Reads the recorded means and enforces the acceptance bar: one cascade
+/// analysis must be at least 3× faster than the legacy per-point solver.
+fn check_speedup(c: &mut Criterion) {
+    let mean = |label: &str| {
+        c.results
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, d)| d.as_secs_f64())
+    };
+    let (Some(fast), Some(slow)) = (mean("full-analysis/cascade"), mean("full-analysis/legacy"))
+    else {
+        return;
+    };
+    let ratio = slow / fast.max(1e-12);
+    println!("full-analysis/cascade vs legacy: {ratio:.1}x speedup");
+    assert!(
+        ratio >= 3.0,
+        "the cascade must be >= 3x faster than the legacy solver, got {ratio:.2}x"
+    );
+}
+
+criterion_group!(benches, bench_full_analysis, check_speedup);
+criterion_main!(benches);

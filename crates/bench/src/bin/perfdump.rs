@@ -1,0 +1,140 @@
+//! Sliding-window cascade performance dump (`BENCH_cascade.json`).
+//!
+//! Runs one full Table-1 matmul analysis through the legacy per-point
+//! solver and through the engine's run-compressed sliding-window cascade
+//! (sequential and sharded), checks the miss counts are bit-identical, and
+//! writes a machine-readable JSON report: wall times, speedups, points
+//! scanned, rows covered incrementally (window steps) vs fully (rebuild
+//! rows), and the peak survivor-set size.
+//!
+//! ```text
+//! cargo run --release -p cme-bench --bin perfdump -- \
+//!     [--n 64] [--threads 0] [--expect-misses M] [--out BENCH_cascade.json]
+//! ```
+//!
+//! `--threads 0` (the default) sizes the shard pool from the host's
+//! available parallelism. With `--expect-misses`, the run exits nonzero
+//! when the analysis total differs — the CI bench-smoke gate.
+
+use std::time::Instant;
+
+use cme_bench::{arg_value, table1_cache};
+use cme_core::{AnalysisOptions, Analyzer, EngineStats, NestAnalysis};
+
+#[allow(deprecated)]
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = arg_value(&args, "--n").unwrap_or(64);
+    let threads = arg_value(&args, "--threads").unwrap_or(0).max(0) as usize;
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_cascade.json".to_string());
+
+    let cache = table1_cache();
+    let nest = cme_kernels::mmult_with_bases(n, 0, n * n, 2 * n * n);
+    let opts = AnalysisOptions::default();
+
+    eprintln!("perfdump: table-1 matmul, N = {n}, {threads} threads");
+
+    let t = Instant::now();
+    #[allow(deprecated)]
+    let legacy = cme_core::analyze_nest(&nest, cache, &opts);
+    let legacy_s = t.elapsed().as_secs_f64();
+    eprintln!(
+        "  legacy:          {legacy_s:>8.3}s  ({} misses)",
+        legacy.total_misses()
+    );
+
+    let mut seq = Analyzer::new(cache).options(opts.clone());
+    let t = Instant::now();
+    let seq_res = seq.analyze(&nest);
+    let seq_s = t.elapsed().as_secs_f64();
+    let seq_stats = seq.stats();
+    eprintln!(
+        "  cascade (1 thr): {seq_s:>8.3}s  ({:.2}x)",
+        legacy_s / seq_s.max(1e-12)
+    );
+
+    let mut par = Analyzer::new(cache)
+        .options(opts.clone())
+        .parallel(true)
+        .threads(threads);
+    let t = Instant::now();
+    let par_res = par.analyze(&nest);
+    let par_s = t.elapsed().as_secs_f64();
+    let par_stats = par.stats();
+    eprintln!(
+        "  cascade ({threads} thr): {par_s:>8.3}s  ({:.2}x)",
+        legacy_s / par_s.max(1e-12)
+    );
+    eprintln!("{seq_stats}");
+
+    assert_eq!(legacy, seq_res, "sequential cascade diverged from legacy");
+    assert_eq!(legacy, par_res, "sharded cascade diverged from legacy");
+
+    let json = render_json(
+        n, threads, &legacy, legacy_s, seq_s, par_s, &seq_stats, &par_stats,
+    );
+    std::fs::write(&out_path, &json).expect("write report");
+    eprintln!("  wrote {out_path}");
+
+    if let Some(expect) = arg_value(&args, "--expect-misses") {
+        let got = legacy.total_misses();
+        if got != expect as u64 {
+            eprintln!("FAIL: expected {expect} total misses, analysis found {got}");
+            std::process::exit(1);
+        }
+        eprintln!("  miss gate OK ({got} total misses)");
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    n: i64,
+    threads: usize,
+    legacy: &NestAnalysis,
+    legacy_s: f64,
+    seq_s: f64,
+    par_s: f64,
+    seq: &EngineStats,
+    par: &EngineStats,
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"kernel\": \"mmult\",\n  \"n\": {n},\n"));
+    s.push_str("  \"cache\": {\"size_bytes\": 8192, \"assoc\": 1, \"line_bytes\": 32, \"elem_bytes\": 4},\n");
+    s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str(&format!("  \"total_misses\": {},\n", legacy.total_misses()));
+    s.push_str(&format!("  \"legacy_seconds\": {legacy_s:.6},\n"));
+    s.push_str(&format!("  \"cascade_seq_seconds\": {seq_s:.6},\n"));
+    s.push_str(&format!("  \"cascade_par_seconds\": {par_s:.6},\n"));
+    s.push_str(&format!(
+        "  \"speedup_seq\": {:.3},\n  \"speedup_par\": {:.3},\n",
+        legacy_s / seq_s.max(1e-12),
+        legacy_s / par_s.max(1e-12)
+    ));
+    for (label, st) in [("cascade_seq", seq), ("cascade_par", par)] {
+        s.push_str(&format!(
+            "  \"{label}\": {{\"scan_points\": {}, \"scan_blocks\": {}, \
+             \"window_steps\": {}, \"window_rebuilds\": {}, \
+             \"window_rebuild_rows\": {}, \"peak_survivors\": {}}},\n",
+            st.scan_points,
+            st.scan_blocks,
+            st.window_steps,
+            st.window_rebuilds,
+            st.window_rebuild_rows,
+            st.peak_survivors
+        ));
+    }
+    s.push_str(&format!(
+        "  \"incremental_fraction\": {:.4}\n}}\n",
+        seq.window_steps as f64 / (seq.window_steps + seq.window_rebuild_rows).max(1) as f64
+    ));
+    s
+}

@@ -68,11 +68,12 @@ pub mod equations;
 pub mod pointset;
 pub mod sequence;
 pub mod solve;
+mod window;
 
 pub use accuracy::{compare_with_simulation, AccuracyRow};
 pub use engine::{Analyzer, Engine, EngineStats};
 pub use equations::{CmeSystem, ColdEquation, EquationGroup, RefEquations, ReplacementEquation};
-pub use pointset::PointSet;
+pub use pointset::{PointSet, Run, RunSet};
 pub use sequence::{analyze_sequence, SequenceAnalysis};
 #[allow(deprecated)]
 pub use solve::{analyze_nest, analyze_nest_parallel, analyze_reference};

@@ -1,9 +1,18 @@
-//! Flat storage for large sets of iteration points.
+//! Flat and run-compressed storage for large sets of iteration points.
 //!
 //! The miss-finding algorithm carries a set `C` of indeterminate iteration
 //! points between reuse vectors. For big nests (matmul at N = 256 has 16.7M
 //! iteration points, 2.1M of which survive the first vector — Figure 8)
-//! per-point `Vec`s would be ruinous, so points are stored contiguously.
+//! per-point `Vec`s would be ruinous, so two representations exist:
+//!
+//! - [`PointSet`] stores every point contiguously — simple, general,
+//!   O(points × depth) memory;
+//! - [`RunSet`] exploits that survivor sets are unions of long innermost
+//!   runs: it stores maximal `[lo, hi]` intervals of the innermost index
+//!   per outer-index prefix, so a dense survivor set costs O(runs) instead
+//!   of O(points). The cascade classifies and splits runs wholesale (see
+//!   `docs/PERF.md`) and only enumerates points where a verdict genuinely
+//!   needs one.
 
 /// A set of equal-dimension iteration points stored as one flat buffer.
 ///
@@ -80,6 +89,249 @@ impl<'a> IntoIterator for &'a PointSet {
     }
 }
 
+/// One maximal innermost run of a [`RunSet`]: the points
+/// `(prefix, lo), (prefix, lo+1), …, (prefix, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run<'a> {
+    /// The shared outer-index prefix (`depth − 1` coordinates).
+    pub prefix: &'a [i64],
+    /// First innermost index of the run (inclusive).
+    pub lo: i64,
+    /// Last innermost index of the run (inclusive).
+    pub hi: i64,
+    /// Index of the run's first point in the set's lexicographic order.
+    pub start: u64,
+}
+
+impl Run<'_> {
+    /// Number of points in the run.
+    pub fn len(&self) -> u64 {
+        (self.hi - self.lo + 1) as u64
+    }
+
+    /// Whether the run is empty (never true for stored runs).
+    pub fn is_empty(&self) -> bool {
+        self.hi < self.lo
+    }
+}
+
+/// A set of equal-dimension iteration points compressed into maximal
+/// innermost-axis runs, in lexicographic order.
+///
+/// Points must be appended in strictly increasing lexicographic order
+/// (the order every cascade produces them in); adjacent points sharing an
+/// outer prefix collapse into one `[lo, hi]` run.
+///
+/// # Examples
+///
+/// ```
+/// use cme_core::RunSet;
+/// let mut s = RunSet::new(2);
+/// s.push(&[1, 2]);
+/// s.push(&[1, 3]);
+/// s.push(&[1, 7]);
+/// s.push(&[2, 1]);
+/// assert_eq!(s.len(), 4);
+/// assert_eq!(s.run_count(), 3); // [1,(2..3)], [1,(7..7)], [2,(1..1)]
+/// assert_eq!(s.point(2), vec![1, 7]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSet {
+    depth: usize,
+    /// Deduplicated consecutive prefixes, flat, `depth − 1` elems each.
+    prefixes: Vec<i64>,
+    /// Per run: index of its prefix (into the deduplicated prefix list).
+    run_prefix: Vec<u32>,
+    /// Per run: inclusive `[lo, hi]` innermost interval.
+    run_bounds: Vec<(i64, i64)>,
+    /// Per run: lexicographic index of its first point.
+    run_start: Vec<u64>,
+    len: u64,
+}
+
+impl RunSet {
+    /// Creates an empty run set of `depth`-dimensional points (`depth ≥ 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `depth == 0` — a zero-dimensional point has no innermost
+    /// axis to compress along.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth >= 1, "RunSet requires depth >= 1");
+        RunSet {
+            depth,
+            prefixes: Vec::new(),
+            run_prefix: Vec::new(),
+            run_bounds: Vec::new(),
+            run_start: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Point dimensionality.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of points stored.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of maximal runs.
+    pub fn run_count(&self) -> usize {
+        self.run_bounds.len()
+    }
+
+    /// The `ri`-th run, in lexicographic order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ri >= run_count()`.
+    pub fn run(&self, ri: usize) -> Run<'_> {
+        let pw = self.depth - 1;
+        let pi = self.run_prefix[ri] as usize;
+        let (lo, hi) = self.run_bounds[ri];
+        Run {
+            prefix: &self.prefixes[pi * pw..(pi + 1) * pw],
+            lo,
+            hi,
+            start: self.run_start[ri],
+        }
+    }
+
+    /// Appends a whole run `(prefix, lo..=hi)`; empty intervals are
+    /// ignored. Must not precede the current last point lexicographically;
+    /// a run contiguous with the last one is merged into it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on prefix dimension mismatch, and (in debug builds) on
+    /// out-of-order appends.
+    pub fn push_run(&mut self, prefix: &[i64], lo: i64, hi: i64) {
+        let pw = self.depth - 1;
+        assert_eq!(prefix.len(), pw, "prefix dimension mismatch");
+        if lo > hi {
+            return;
+        }
+        let count = (hi - lo + 1) as u64;
+        if let Some(last) = self.run_bounds.last_mut() {
+            let lp = self.run_prefix.len() - 1;
+            let lpi = self.run_prefix[lp] as usize;
+            let last_prefix = &self.prefixes[lpi * pw..(lpi + 1) * pw];
+            if last_prefix == prefix {
+                debug_assert!(lo > last.1, "runs must be appended in lex order");
+                if lo == last.1 + 1 {
+                    last.1 = hi;
+                    self.len += count;
+                    return;
+                }
+            } else {
+                debug_assert!(
+                    cme_math::lexi::lex_cmp(last_prefix, prefix) == std::cmp::Ordering::Less,
+                    "prefixes must be appended in lex order"
+                );
+            }
+        }
+        // Reuse the previous prefix entry when unchanged.
+        let pi = if pw == 0 {
+            0 // depth-1 points all share the empty prefix
+        } else {
+            match self.run_prefix.last() {
+                Some(&p) if &self.prefixes[p as usize * pw..(p as usize + 1) * pw] == prefix => p,
+                _ => {
+                    self.prefixes.extend_from_slice(prefix);
+                    (self.prefixes.len() / pw) as u32 - 1
+                }
+            }
+        };
+        self.run_prefix.push(pi);
+        self.run_bounds.push((lo, hi));
+        self.run_start.push(self.len);
+        self.len += count;
+    }
+
+    /// Appends one point (in lexicographic order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != depth`.
+    pub fn push(&mut self, point: &[i64]) {
+        assert_eq!(point.len(), self.depth, "point dimension mismatch");
+        let inner = point[self.depth - 1];
+        self.push_run(&point[..self.depth - 1], inner, inner);
+    }
+
+    /// Visits every point in lexicographic order. The slice passed to
+    /// `visit` is a scratch buffer valid only for the duration of the call.
+    pub fn for_each(&self, mut visit: impl FnMut(&[i64])) {
+        let mut buf = vec![0i64; self.depth];
+        let pw = self.depth - 1;
+        for ri in 0..self.run_bounds.len() {
+            let pi = self.run_prefix[ri] as usize;
+            buf[..pw].copy_from_slice(&self.prefixes[pi * pw..(pi + 1) * pw]);
+            let (lo, hi) = self.run_bounds[ri];
+            for v in lo..=hi {
+                buf[pw] = v;
+                visit(&buf);
+            }
+        }
+    }
+
+    /// The `idx`-th point in lexicographic order (O(log runs)).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx >= len()`.
+    pub fn point(&self, idx: u64) -> Vec<i64> {
+        assert!(idx < self.len, "point index out of range");
+        let ri = match self.run_start.binary_search(&idx) {
+            Ok(ri) => ri,
+            Err(ins) => ins - 1,
+        };
+        let r = self.run(ri);
+        let mut p = Vec::with_capacity(self.depth);
+        p.extend_from_slice(r.prefix);
+        p.push(r.lo + (idx - r.start) as i64);
+        p
+    }
+
+    /// Expands into an equivalent [`PointSet`] (same points, same order).
+    pub fn to_point_set(&self) -> PointSet {
+        let mut out = PointSet::new(self.depth);
+        self.for_each(|p| out.push(p));
+        out
+    }
+
+    /// Compresses a [`PointSet`] whose points are in lexicographic order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ps.depth() == 0`, and (in debug builds) when the points
+    /// are out of order.
+    pub fn from_point_set(ps: &PointSet) -> Self {
+        let mut out = RunSet::new(ps.depth());
+        for p in ps {
+            out.push(p);
+        }
+        out
+    }
+
+    /// Sum of `(hi − lo + 1)` over runs — always equals `len()`; exposed so
+    /// accounting code can cross-check compression invariants cheaply.
+    pub fn recount(&self) -> u64 {
+        self.run_bounds
+            .iter()
+            .map(|&(lo, hi)| (hi - lo + 1) as u64)
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +358,111 @@ mod tests {
     fn zero_depth_is_empty() {
         let s = PointSet::new(0);
         assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn runset_merges_contiguous_points_and_runs() {
+        let mut s = RunSet::new(3);
+        s.push(&[1, 1, 4]);
+        s.push(&[1, 1, 5]);
+        s.push_run(&[1, 1], 6, 9); // contiguous: extends the run
+        s.push_run(&[1, 1], 11, 11); // gap: new run, same prefix
+        s.push(&[1, 2, 1]);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.run_count(), 3);
+        assert_eq!(s.recount(), s.len());
+        let r0 = s.run(0);
+        assert_eq!(
+            (r0.prefix, r0.lo, r0.hi, r0.start),
+            (&[1i64, 1][..], 4, 9, 0)
+        );
+        assert_eq!(s.run(1).start, 6);
+        assert_eq!(s.run(2).prefix, &[1, 2]);
+    }
+
+    #[test]
+    fn runset_point_random_access_matches_iteration() {
+        let mut s = RunSet::new(2);
+        for p in [[0, 0], [0, 1], [0, 5], [2, 2], [2, 3], [3, 0]] {
+            s.push(&p);
+        }
+        let mut seen = Vec::new();
+        s.for_each(|p| seen.push(p.to_vec()));
+        assert_eq!(seen.len() as u64, s.len());
+        for (i, p) in seen.iter().enumerate() {
+            assert_eq!(&s.point(i as u64), p);
+        }
+    }
+
+    #[test]
+    fn runset_pointset_roundtrip() {
+        let mut ps = PointSet::new(2);
+        for p in [[1, 1], [1, 2], [1, 4], [2, 1]] {
+            ps.push(&p);
+        }
+        let rs = RunSet::from_point_set(&ps);
+        assert_eq!(rs.len(), ps.len());
+        assert_eq!(rs.to_point_set(), ps);
+    }
+
+    #[test]
+    fn runset_depth_one_uses_empty_prefix() {
+        let mut s = RunSet::new(1);
+        s.push(&[3]);
+        s.push(&[4]);
+        s.push(&[9]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.run_count(), 2);
+        assert_eq!(s.point(2), vec![9]);
+        assert!(s.run(0).prefix.is_empty());
+    }
+
+    #[test]
+    fn runset_ignores_empty_interval() {
+        let mut s = RunSet::new(2);
+        s.push_run(&[1], 5, 4);
+        assert!(s.is_empty());
+        assert_eq!(s.run_count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn runset_rejects_zero_depth() {
+        let _ = RunSet::new(0);
+    }
+
+    mod props {
+        use super::*;
+        use cme_testgen::{arb_nest, NestDistribution};
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Round-trip through the run-compressed form preserves the
+            /// points, their lexicographic order, the count, and random
+            /// access, for every random iteration space.
+            #[test]
+            fn runset_roundtrips_random_iteration_spaces(
+                nest in arb_nest(NestDistribution::default()),
+                probe in 0u64..4096,
+            ) {
+                let mut ps = PointSet::new(nest.depth());
+                let mut sp = nest.space();
+                while let Some(q) = sp.next_point() {
+                    ps.push(&q);
+                }
+                let rs = RunSet::from_point_set(&ps);
+                prop_assert_eq!(rs.len(), ps.len());
+                prop_assert_eq!(rs.recount(), rs.len());
+                prop_assert_eq!(&rs.to_point_set(), &ps);
+                // A full space is one run per outer prefix.
+                prop_assert!(rs.run_count() as u64 <= rs.len());
+                if !rs.is_empty() {
+                    let idx = probe % rs.len();
+                    prop_assert_eq!(rs.point(idx), ps.point(idx as usize).to_vec());
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,818 @@
+//! Sliding-window interior scanner: the incremental half of the fast
+//! cascade (see `docs/PERF.md`).
+//!
+//! The reuse window of a destination point `i⃗` along vector `r⃗` is the
+//! set of iteration points strictly between `p⃗ = i⃗ − r⃗` and `i⃗`.
+//! Adjacent survivors along the innermost axis have windows that differ by
+//! exactly two points — the old destination enters, the successor of the
+//! old source leaves — whenever both endpoints advance in lockstep:
+//!
+//! ```text
+//!   W(succ(i⃗)) = W(i⃗) ∪ {i⃗} \ {succ(p⃗)}   iff succ(p⃗) = succ(i⃗) − r⃗
+//! ```
+//!
+//! [`SlidingWindow`] maintains the interior's accesses as a multiset of
+//! memory-line counts plus a per-cache-set tally of *distinct* lines, so a
+//! step costs O(references) and a membership query O(1), independent of
+//! the window size. When the lockstep condition fails (row or prefix
+//! boundary crossed at a different time by the two endpoints, or the scan
+//! jumps over excluded points) the state is rebuilt from scratch — but the
+//! rebuild aggregates whole innermost rows as arithmetic progressions of
+//! addresses, so it costs O(rows × lines), not O(points × references).
+//!
+//! Unlike [`crate::solve::Scanner`], which tallies only lines conflicting
+//! with one fixed destination set/line, the window state is
+//! destination-agnostic: changing the destination line between steps is a
+//! query-time concern, never a rebuild trigger.
+
+use cme_cache::CacheConfig;
+use cme_ir::IterationSpace;
+use cme_math::gcd::{floor_div, modulo};
+use cme_math::lexi::lex_cmp;
+use cme_math::Affine;
+use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Minimal multiplicative hasher for `i64` memory-line keys: the default
+/// SipHash is overkill (and measurably slow) for hot per-step updates, and
+/// line numbers are already well-spread integers.
+#[derive(Default)]
+struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-style fallback for non-integer keys (unused on the hot path).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut h = self.0 ^ v;
+        h = h.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= h >> 32;
+        self.0 = h;
+    }
+}
+
+type LineCounts = HashMap<i64, u64, BuildHasherDefault<LineHasher>>;
+
+/// Widest line span (≈4 MB of counters) still backed by the dense array.
+const MAX_DENSE_LINES: i64 = 1 << 20;
+
+/// Multiset of window-interior accesses keyed by memory line.
+///
+/// When every reference's address range over the space's bounding box
+/// spans at most [`MAX_DENSE_LINES`] lines, counts live in a dense array
+/// indexed by `line − base`: one predictable load per update, no hashing —
+/// the stepping hot path. Touched slots are remembered so a clear costs
+/// O(lines seen), not O(span). Wider (or unknown) spans fall back to the
+/// hash multiset.
+enum LineMultiset {
+    Dense {
+        base: i64,
+        counts: Vec<u32>,
+        touched: Vec<u32>,
+    },
+    Sparse(LineCounts),
+}
+
+#[cfg(test)]
+impl LineMultiset {
+    /// Multiplicity of `line` (test support).
+    fn count_of(&self, line: i64) -> u64 {
+        match self {
+            LineMultiset::Dense { base, counts, .. } => {
+                let idx = line.wrapping_sub(*base);
+                if idx >= 0 && (idx as usize) < counts.len() {
+                    u64::from(counts[idx as usize])
+                } else {
+                    0
+                }
+            }
+            LineMultiset::Sparse(map) => map.get(&line).copied().unwrap_or(0),
+        }
+    }
+
+    /// Number of distinct lines present (test support).
+    fn distinct_len(&self) -> usize {
+        match self {
+            LineMultiset::Dense { counts, .. } => counts.iter().filter(|&&c| c > 0).count(),
+            LineMultiset::Sparse(map) => map.len(),
+        }
+    }
+}
+
+/// Address→line→set mapping with shift/mask fast paths for power-of-two
+/// geometries (the common case by far); non-power-of-two geometries fall
+/// back to floored division / Euclidean modulo. Hot scan loops perform
+/// this mapping several times per iteration point, where the general
+/// `floor_div`/`modulo` pair costs two hardware divisions.
+#[derive(Clone, Copy)]
+pub(crate) struct Geom {
+    line_elems: i64,
+    num_sets: i64,
+    line_shift: Option<u32>,
+    set_mask: Option<i64>,
+}
+
+impl Geom {
+    pub(crate) fn new(cache: &CacheConfig) -> Self {
+        let ls = cache.line_elems();
+        let ns = cache.num_sets();
+        Geom {
+            line_elems: ls,
+            num_sets: ns,
+            line_shift: (ls > 0 && ls & (ls - 1) == 0).then(|| ls.trailing_zeros()),
+            set_mask: (ns > 0 && ns & (ns - 1) == 0).then(|| ns - 1),
+        }
+    }
+
+    /// Memory line of an element address (`⌊addr / Ls⌋`, negatives floored).
+    #[inline]
+    pub(crate) fn line(&self, addr: i64) -> i64 {
+        match self.line_shift {
+            // Arithmetic right shift is floored division for all signs.
+            Some(s) => addr >> s,
+            None => floor_div(addr, self.line_elems),
+        }
+    }
+
+    /// Cache set of a memory line (Euclidean `line mod num_sets`).
+    #[inline]
+    pub(crate) fn set_of_line(&self, line: i64) -> i64 {
+        match self.set_mask {
+            // Two's-complement AND yields the non-negative residue.
+            Some(m) => line & m,
+            None => modulo(line, self.num_sets),
+        }
+    }
+}
+
+/// Step/rebuild accounting, drained into the engine's atomic counters
+/// after each scan block.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct WindowStats {
+    /// Destination points advanced incrementally (O(refs) each).
+    pub steps: u64,
+    /// Full window rebuilds.
+    pub rebuilds: u64,
+    /// Innermost rows aggregated during rebuilds.
+    pub rebuild_rows: u64,
+}
+
+/// Incremental reuse-window state (see module docs).
+pub(crate) struct SlidingWindow<'a> {
+    cache: &'a CacheConfig,
+    addrs: &'a [Affine],
+    geom: Geom,
+    num_sets: i64,
+    /// Multiset of window-interior accesses, keyed by memory line.
+    counts: LineMultiset,
+    /// Distinct lines currently present, per cache set.
+    distinct_per_set: Vec<u32>,
+    /// Current window endpoints (both exclusive): source `p⃗` and
+    /// destination `i⃗`.
+    src: Vec<i64>,
+    dst: Vec<i64>,
+    valid: bool,
+    next_src: Vec<i64>,
+    next_dst: Vec<i64>,
+    /// Target source endpoint scratch for [`SlidingWindow::advance_to`].
+    tgt_src: Vec<i64>,
+    row_buf: Vec<i64>,
+    /// Number of iteration points strictly inside the window. A gap-one
+    /// window (`i⃗` the immediate successor of `p⃗`) has zero interior
+    /// points; stepping it is a no-op on the multiset (the entering point
+    /// is the leaving point), which [`SlidingWindow::step_in_segment`]
+    /// exploits for innermost spatial vectors.
+    interior_pts: u64,
+    /// Per-reference addresses at the current endpoints, maintained
+    /// incrementally while stepping inside a run segment (armed by
+    /// [`SlidingWindow::begin_segment`]).
+    src_addr: Vec<i64>,
+    dst_addr: Vec<i64>,
+    /// Per-reference innermost-axis address stride (constant per nest).
+    stride_in: Vec<i64>,
+    /// Line-count updates performed by the last rebuild; bounds how far a
+    /// step chase may go before rebuilding is the cheaper move.
+    last_rebuild_ops: u64,
+    pub(crate) stats: WindowStats,
+}
+
+impl<'a> SlidingWindow<'a> {
+    pub(crate) fn new(cache: &'a CacheConfig, addrs: &'a [Affine], depth: usize) -> Self {
+        let num_sets = cache.num_sets();
+        SlidingWindow {
+            cache,
+            addrs,
+            geom: Geom::new(cache),
+            num_sets,
+            counts: LineMultiset::Sparse(LineCounts::default()),
+            distinct_per_set: vec![0; num_sets as usize],
+            src: vec![0; depth],
+            dst: vec![0; depth],
+            valid: false,
+            next_src: vec![0; depth],
+            next_dst: vec![0; depth],
+            tgt_src: vec![0; depth],
+            row_buf: vec![0; depth],
+            interior_pts: 0,
+            src_addr: vec![0; addrs.len()],
+            dst_addr: vec![0; addrs.len()],
+            stride_in: addrs.iter().map(|a| a.coeff(depth - 1)).collect(),
+            last_rebuild_ops: 0,
+            stats: WindowStats::default(),
+        }
+    }
+
+    /// Like [`SlidingWindow::new`], but sized against the space: when the
+    /// references' address ranges over the bounding box span few enough
+    /// memory lines, the line multiset is backed by a dense array instead
+    /// of a hash map (see [`LineMultiset`]).
+    pub(crate) fn new_for_space(
+        cache: &'a CacheConfig,
+        addrs: &'a [Affine],
+        space: &IterationSpace<'_>,
+    ) -> Self {
+        let mut w = Self::new(cache, addrs, space.nest().depth());
+        let bbox = space.bounding_box();
+        let (mut lmin, mut lmax) = (i64::MAX, i64::MIN);
+        for a in addrs {
+            let range = a.range(&bbox);
+            lmin = lmin.min(w.geom.line(range.lo));
+            lmax = lmax.max(w.geom.line(range.hi));
+        }
+        if lmin <= lmax && lmax - lmin < MAX_DENSE_LINES {
+            w.counts = LineMultiset::Dense {
+                base: lmin,
+                counts: vec![0; (lmax - lmin + 1) as usize],
+                touched: Vec::new(),
+            };
+        }
+        w
+    }
+
+    /// Address of reference `s` at the source endpoint `p⃗` (valid inside a
+    /// segment armed by [`SlidingWindow::begin_segment`]).
+    pub(crate) fn src_addr(&self, s: usize) -> i64 {
+        self.src_addr[s]
+    }
+
+    /// Address of reference `s` at the destination endpoint `i⃗`.
+    pub(crate) fn dst_addr(&self, s: usize) -> i64 {
+        self.dst_addr[s]
+    }
+
+    /// Distinct conflicting lines in the window for a destination mapping
+    /// to `dest_set` / `dest_line` — the window's contribution to the
+    /// replacement-miss verdict (side accesses at the endpoints are
+    /// layered on top by the caller).
+    pub(crate) fn distinct_excluding(&self, dest_set: i64, dest_line: i64) -> u64 {
+        debug_assert_eq!(modulo(dest_line, self.num_sets), dest_set);
+        let d = u64::from(self.distinct_per_set[dest_set as usize]);
+        if self.contains_line(dest_line) {
+            d - 1
+        } else {
+            d
+        }
+    }
+
+    /// Whether the window interior already accesses `line` (used to dedup
+    /// endpoint side accesses against the window).
+    pub(crate) fn contains_line(&self, line: i64) -> bool {
+        match &self.counts {
+            LineMultiset::Dense { base, counts, .. } => {
+                let idx = line.wrapping_sub(*base);
+                idx >= 0 && (idx as usize) < counts.len() && counts[idx as usize] > 0
+            }
+            LineMultiset::Sparse(map) => map.contains_key(&line),
+        }
+    }
+
+    fn clear_counts(&mut self) {
+        match &mut self.counts {
+            LineMultiset::Dense {
+                counts, touched, ..
+            } => {
+                for idx in touched.drain(..) {
+                    counts[idx as usize] = 0;
+                }
+            }
+            LineMultiset::Sparse(map) => map.clear(),
+        }
+        self.distinct_per_set.fill(0);
+    }
+
+    fn add_line(&mut self, line: i64, n: u64) {
+        debug_assert!(n > 0);
+        match &mut self.counts {
+            LineMultiset::Dense {
+                base,
+                counts,
+                touched,
+            } => {
+                let idx = (line - *base) as usize;
+                let c = &mut counts[idx];
+                if *c == 0 {
+                    touched.push(idx as u32);
+                    self.distinct_per_set[self.geom.set_of_line(line) as usize] += 1;
+                }
+                *c += n as u32;
+            }
+            LineMultiset::Sparse(map) => match map.entry(line) {
+                Entry::Occupied(mut e) => *e.get_mut() += n,
+                Entry::Vacant(e) => {
+                    e.insert(n);
+                    self.distinct_per_set[self.geom.set_of_line(line) as usize] += 1;
+                }
+            },
+        }
+    }
+
+    fn remove_access(&mut self, line: i64) {
+        match &mut self.counts {
+            LineMultiset::Dense { base, counts, .. } => {
+                let idx = (line - *base) as usize;
+                let c = &mut counts[idx];
+                debug_assert!(*c > 0, "removing an access absent from the window");
+                *c -= 1;
+                if *c == 0 {
+                    self.distinct_per_set[self.geom.set_of_line(line) as usize] -= 1;
+                }
+            }
+            LineMultiset::Sparse(map) => match map.entry(line) {
+                Entry::Occupied(mut e) => {
+                    if *e.get() == 1 {
+                        e.remove();
+                        self.distinct_per_set[self.geom.set_of_line(line) as usize] -= 1;
+                    } else {
+                        *e.get_mut() -= 1;
+                    }
+                }
+                Entry::Vacant(_) => {
+                    debug_assert!(false, "removing an access absent from the window")
+                }
+            },
+        }
+    }
+
+    /// Adds one reference's accesses over a whole innermost row: addresses
+    /// `base, base+stride, …` (`count` of them), aggregated per memory
+    /// line. Returns the number of line-count updates performed.
+    fn add_progression(&mut self, base: i64, stride: i64, count: i64) -> u64 {
+        if count <= 0 {
+            return 0;
+        }
+        let ls = self.cache.line_elems();
+        if stride == 0 || count == 1 {
+            self.add_line(self.geom.line(base), count as u64);
+            return 1;
+        }
+        // Normalize to a positive stride (the multiset is order-blind).
+        let (base, stride) = if stride < 0 {
+            (base + stride * (count - 1), -stride)
+        } else {
+            (base, stride)
+        };
+        if stride <= ls {
+            // Consecutive accesses move less than a line: the row covers
+            // every line in its address range, each with a computable
+            // multiplicity.
+            let lmin = self.geom.line(base);
+            let lmax = self.geom.line(base + stride * (count - 1));
+            for line in lmin..=lmax {
+                // Accesses q with line·Ls ≤ base + stride·q < (line+1)·Ls.
+                let lo = ceil_div(line * ls - base, stride).max(0);
+                let hi = floor_div((line + 1) * ls - 1 - base, stride).min(count - 1);
+                if lo <= hi {
+                    self.add_line(line, (hi - lo + 1) as u64);
+                }
+            }
+            return (lmax - lmin + 1) as u64;
+        }
+        // Stride beyond a line: every access lands on its own line.
+        for q in 0..count {
+            self.add_line(self.geom.line(base + stride * q), 1);
+        }
+        count as u64
+    }
+
+    /// Adds every reference's accesses over the row `(prefix, lo..=hi)`.
+    fn add_row(&mut self, prefix: &[i64], lo: i64, hi: i64) -> u64 {
+        if lo > hi {
+            return 0;
+        }
+        let inner = prefix.len();
+        self.row_buf[..inner].copy_from_slice(prefix);
+        self.row_buf[inner] = lo;
+        self.stats.rebuild_rows += 1;
+        self.interior_pts += (hi - lo + 1) as u64;
+        let mut ops = 0;
+        for s in 0..self.addrs.len() {
+            let base = self.addrs[s].eval(&self.row_buf);
+            let stride = self.addrs[s].coeff(inner);
+            ops += self.add_progression(base, stride, hi - lo + 1);
+        }
+        ops
+    }
+
+    /// Rebuilds the window state for endpoints `p` (source, exclusive) and
+    /// `i` (destination, exclusive) from scratch, aggregating whole rows.
+    /// Mirrors `scan_interior`'s tail / full-rows / head decomposition.
+    pub(crate) fn rebuild(&mut self, space: &IterationSpace<'_>, p: &[i64], i: &[i64]) {
+        let inner = p.len() - 1;
+        self.clear_counts();
+        self.stats.rebuilds += 1;
+        self.interior_pts = 0;
+        let mut ops = 0u64;
+        if p[..inner] == i[..inner] {
+            ops += self.add_row(&p[..inner], p[inner] + 1, i[inner] - 1);
+        } else {
+            // Tail of the source's row.
+            if let Some((_, phi)) = space.innermost_bounds(&p[..inner]) {
+                ops += self.add_row(&p[..inner], p[inner] + 1, phi);
+            }
+            // Full rows strictly between the two prefixes.
+            let mut prefix = p[..inner].to_vec();
+            while let Some(next) = space.prefix_successor(&prefix) {
+                if lex_cmp(&next, &i[..inner]) != Ordering::Less {
+                    break;
+                }
+                if let Some((lo, hi)) = space.innermost_bounds(&next) {
+                    ops += self.add_row(&next, lo, hi);
+                }
+                prefix = next;
+            }
+            // Head of the destination's row.
+            if let Some((ilo, _)) = space.innermost_bounds(&i[..inner]) {
+                ops += self.add_row(&i[..inner], ilo, i[inner] - 1);
+            }
+        }
+        self.src.copy_from_slice(p);
+        self.dst.copy_from_slice(i);
+        self.valid = true;
+        self.last_rebuild_ops = ops.max(1);
+    }
+
+    /// Tries to slide the window to the destination `i_next` (source
+    /// `i_next − r`) by advancing the two endpoints independently — the
+    /// destination adds the point it passes over to the interior, the
+    /// source removes the point it uncovers — so windows survive row and
+    /// prefix boundaries the endpoints cross at different times. Returns
+    /// `false` — leaving the state consistent but positioned short — when
+    /// the state is invalid, a target lies behind an endpoint, or stepping
+    /// would cost more than the last rebuild did; the caller then calls
+    /// [`SlidingWindow::rebuild`].
+    pub(crate) fn advance_to(
+        &mut self,
+        space: &IterationSpace<'_>,
+        i_next: &[i64],
+        r: &[i64],
+    ) -> bool {
+        if !self.valid {
+            return false;
+        }
+        if lex_cmp(&self.dst, i_next) == Ordering::Greater {
+            return false;
+        }
+        for l in 0..i_next.len() {
+            self.tgt_src[l] = i_next[l] - r[l];
+        }
+        if lex_cmp(&self.src, &self.tgt_src) == Ordering::Greater {
+            return false;
+        }
+        // An endpoint move costs ~refs line updates; chasing further than
+        // the last rebuild's work is a loss even when every move succeeds.
+        let per_move = self.addrs.len().max(1) as u64;
+        let budget = (self.last_rebuild_ops / per_move).max(32);
+        let mut taken = 0u64;
+        loop {
+            let dst_behind = self.dst != i_next;
+            let src_behind = self.src != self.tgt_src;
+            if !dst_behind && !src_behind {
+                return true;
+            }
+            if taken >= budget {
+                return false;
+            }
+            if dst_behind && src_behind && self.interior_pts == 0 {
+                // Empty interior means `succ(p⃗) = i⃗`: the entering point is
+                // the leaving point, so both endpoints move with no
+                // multiset traffic at all (the innermost-spatial fast
+                // path).
+                self.next_dst.copy_from_slice(&self.dst);
+                self.next_src.copy_from_slice(&self.src);
+                if !space.advance(&mut self.next_dst) || !space.advance(&mut self.next_src) {
+                    return false;
+                }
+                std::mem::swap(&mut self.src, &mut self.next_src);
+                std::mem::swap(&mut self.dst, &mut self.next_dst);
+            } else if dst_behind {
+                // The current destination enters the interior.
+                self.next_dst.copy_from_slice(&self.dst);
+                if !space.advance(&mut self.next_dst) {
+                    return false;
+                }
+                for s in 0..self.addrs.len() {
+                    let line = self.geom.line(self.addrs[s].eval(&self.dst));
+                    self.add_line(line, 1);
+                }
+                self.interior_pts += 1;
+                std::mem::swap(&mut self.dst, &mut self.next_dst);
+            } else {
+                // The successor of the current source leaves the interior
+                // (it is strictly inside: `succ(p⃗) ≤ tgt < i⃗`).
+                self.next_src.copy_from_slice(&self.src);
+                if !space.advance(&mut self.next_src) {
+                    return false;
+                }
+                for s in 0..self.addrs.len() {
+                    let line = self.geom.line(self.addrs[s].eval(&self.next_src));
+                    self.remove_access(line);
+                }
+                self.interior_pts -= 1;
+                std::mem::swap(&mut self.src, &mut self.next_src);
+            }
+            self.stats.steps += 1;
+            taken += 1;
+        }
+    }
+
+    /// Positions the window at `(p⃗, i⃗)` — stepping when the state is close,
+    /// rebuilding otherwise — and arms the per-reference address
+    /// accumulators for [`SlidingWindow::step_in_segment`].
+    pub(crate) fn begin_segment(
+        &mut self,
+        space: &IterationSpace<'_>,
+        p: &[i64],
+        i: &[i64],
+        r: &[i64],
+    ) {
+        if !self.advance_to(space, i, r) {
+            self.rebuild(space, p, i);
+        }
+        for s in 0..self.addrs.len() {
+            self.src_addr[s] = self.addrs[s].eval(p);
+            self.dst_addr[s] = self.addrs[s].eval(i);
+        }
+    }
+
+    /// Slides one innermost step inside a classified scan segment, where
+    /// the lockstep condition holds by construction (both endpoints stay in
+    /// their rows for the whole segment — see the run classifier). Costs
+    /// O(references) address additions; no space checks, no affine
+    /// evaluation, and no multiset traffic at all for gap-one windows.
+    pub(crate) fn step_in_segment(&mut self) {
+        let inner = self.dst.len() - 1;
+        if self.interior_pts > 0 {
+            for s in 0..self.addrs.len() {
+                self.add_line(self.geom.line(self.dst_addr[s]), 1);
+            }
+            for s in 0..self.addrs.len() {
+                let line = self.geom.line(self.src_addr[s] + self.stride_in[s]);
+                self.remove_access(line);
+            }
+        }
+        for s in 0..self.addrs.len() {
+            self.src_addr[s] += self.stride_in[s];
+            self.dst_addr[s] += self.stride_in[s];
+        }
+        self.src[inner] += 1;
+        self.dst[inner] += 1;
+        self.stats.steps += 1;
+    }
+}
+
+/// `⌈a / b⌉` for positive `b`.
+pub(crate) fn ceil_div(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    -floor_div(-a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::Scanner;
+    use cme_ir::{AccessKind, LoopNest, NestBuilder};
+
+    fn nest3() -> LoopNest {
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 1, 6).ct_loop("k", 1, 5).ct_loop("j", 1, 7);
+        let z = b.array("Z", &[8, 8], 0);
+        let x = b.array("X", &[8, 8], 64);
+        b.reference(z, AccessKind::Read, &[("j", 0), ("i", 0)]);
+        b.reference(x, AccessKind::Read, &[("k", 0), ("j", 0)]);
+        b.reference(z, AccessKind::Write, &[("j", 0), ("i", 0)]);
+        b.build().unwrap()
+    }
+
+    /// Reference window census: per-point evaluation of every access
+    /// strictly between `p` and `i`.
+    fn naive_counts(
+        nest: &LoopNest,
+        cache: &CacheConfig,
+        addrs: &[Affine],
+        p: &[i64],
+        i: &[i64],
+    ) -> HashMap<i64, u64> {
+        let mut counts = HashMap::new();
+        nest.space().for_each_between(p, i, |q| {
+            for af in addrs {
+                *counts.entry(cache.memory_line(af.eval(q))).or_insert(0) += 1;
+            }
+            true
+        });
+        counts
+    }
+
+    fn addrs_of(nest: &LoopNest) -> Vec<Affine> {
+        nest.references()
+            .iter()
+            .map(|r| nest.address_affine(r.id()))
+            .collect()
+    }
+
+    fn assert_window_matches(
+        w: &SlidingWindow<'_>,
+        nest: &LoopNest,
+        cache: &CacheConfig,
+        addrs: &[Affine],
+        p: &[i64],
+        i: &[i64],
+    ) {
+        let naive = naive_counts(nest, cache, addrs, p, i);
+        let mut per_set = vec![0u32; cache.num_sets() as usize];
+        for &line in naive.keys() {
+            per_set[modulo(line, cache.num_sets()) as usize] += 1;
+        }
+        for (&line, &n) in &naive {
+            assert_eq!(w.counts.count_of(line), n, "line {line} at i={i:?}");
+        }
+        assert_eq!(
+            w.counts.distinct_len(),
+            naive.len(),
+            "extra lines at i={i:?}"
+        );
+        assert_eq!(w.distinct_per_set, per_set, "per-set tallies at i={i:?}");
+    }
+
+    #[test]
+    fn rebuild_matches_naive_census() {
+        let nest = nest3();
+        let cache = CacheConfig::new(256, 1, 16, 4).unwrap();
+        let addrs = addrs_of(&nest);
+        let space = nest.space();
+        // Both multiset backings: `new` stays sparse, `new_for_space`
+        // picks the dense array for this nest's small line span.
+        for mut w in [
+            SlidingWindow::new(&cache, &addrs, 3),
+            SlidingWindow::new_for_space(&cache, &addrs, &space),
+        ] {
+            for (p, i) in [
+                ([1, 1, 2], [1, 1, 3]), // empty window
+                ([1, 1, 1], [1, 1, 7]), // same row
+                ([1, 1, 4], [1, 3, 2]), // row boundary
+                ([1, 4, 6], [3, 2, 2]), // prefix boundary
+            ] {
+                w.rebuild(&space, &p, &i);
+                assert_window_matches(&w, &nest, &cache, &addrs, &p, &i);
+            }
+        }
+    }
+
+    #[test]
+    fn stepping_tracks_full_rebuild_along_a_vector() {
+        let nest = nest3();
+        let cache = CacheConfig::new(256, 1, 16, 4).unwrap();
+        let addrs = addrs_of(&nest);
+        let space = nest.space();
+        for r in [[0i64, 0, 1], [0, 1, 0], [0, 1, -3], [1, 0, 0]] {
+            let mut w = SlidingWindow::new(&cache, &addrs, 3);
+            let mut sp = nest.space();
+            while let Some(i) = sp.next_point() {
+                let p: Vec<i64> = i.iter().zip(&r).map(|(a, b)| a - b).collect();
+                if !space.contains(&p) {
+                    continue;
+                }
+                if !w.advance_to(&space, &i, &r) {
+                    w.rebuild(&space, &p, &i);
+                }
+                assert_window_matches(&w, &nest, &cache, &addrs, &p, &i);
+            }
+            assert!(w.stats.steps > 0, "vector {r:?} never stepped");
+        }
+    }
+
+    #[test]
+    fn query_agrees_with_scanner_distinct_count() {
+        let nest = nest3();
+        let cache = CacheConfig::new(128, 2, 16, 4).unwrap();
+        let addrs = addrs_of(&nest);
+        let space = nest.space();
+        let dest_addr = addrs[2].clone();
+        let r = [0i64, 1, 0];
+        let mut w = SlidingWindow::new(&cache, &addrs, 3);
+        let mut sp = nest.space();
+        let mut checked = 0u64;
+        while let Some(i) = sp.next_point() {
+            let p: Vec<i64> = i.iter().zip(&r).map(|(a, b)| a - b).collect();
+            if !space.contains(&p) {
+                continue;
+            }
+            if !w.advance_to(&space, &i, &r) {
+                w.rebuild(&space, &p, &i);
+            }
+            let a_dest = dest_addr.eval(&i);
+            let (dset, dline) = (cache.cache_set(a_dest), cache.memory_line(a_dest));
+            // Exact-mode Scanner over the same interior (no side accesses).
+            let mut scanner = Scanner::new(&cache, &addrs, cache.assoc() as usize, true);
+            scanner.reset(dset, dline);
+            crate::solve::scan_interior(&mut scanner, &space, &p, &i);
+            assert_eq!(
+                w.distinct_excluding(dset, dline),
+                scanner.distinct.len() as u64,
+                "at i={i:?}"
+            );
+            checked += 1;
+        }
+        assert!(checked > 0);
+    }
+
+    mod props {
+        use super::*;
+        use cme_testgen::{arb_cache, arb_nest, NestDistribution};
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// On random nests, caches, and reuse vectors, the delta
+            /// scanner's distinct count agrees with both interior scans
+            /// (row-aggregated and pointwise) at every surviving
+            /// destination, across step and rebuild transitions.
+            #[test]
+            fn delta_scan_matches_interior_scans(
+                nest in arb_nest(NestDistribution::default()),
+                cache in arb_cache(),
+                a in 0usize..4096,
+                b in 0usize..4096,
+            ) {
+                let addrs = addrs_of(&nest);
+                let space = nest.space();
+                let mut pts: Vec<Vec<i64>> = Vec::new();
+                let mut sp = nest.space();
+                while let Some(q) = sp.next_point() {
+                    pts.push(q.to_vec());
+                    if pts.len() >= 600 {
+                        break;
+                    }
+                }
+                let (a, b) = (a % pts.len(), b % pts.len());
+                prop_assume!(a != b);
+                // A lex-positive vector joining two random space points.
+                let (src, dst) = (&pts[a.min(b)], &pts[a.max(b)]);
+                let r: Vec<i64> = dst.iter().zip(src).map(|(x, y)| x - y).collect();
+                let dest_addr = addrs[addrs.len() - 1].clone();
+                let k = cache.assoc() as usize;
+                // `new_for_space` picks the dense multiset whenever the
+                // nest's line span allows — the same choice the engine
+                // makes — so this property covers both backings.
+                let mut w = SlidingWindow::new_for_space(&cache, &addrs, &space);
+                for i in &pts {
+                    let p: Vec<i64> = i.iter().zip(&r).map(|(x, y)| x - y).collect();
+                    if !space.contains(&p) {
+                        continue;
+                    }
+                    if !w.advance_to(&space, i, &r) {
+                        w.rebuild(&space, &p, i);
+                    }
+                    let a_dest = dest_addr.eval(i);
+                    let (dset, dline) =
+                        (cache.cache_set(a_dest), cache.memory_line(a_dest));
+                    let mut rowwise = Scanner::new(&cache, &addrs, k, true);
+                    rowwise.reset(dset, dline);
+                    crate::solve::scan_interior(&mut rowwise, &space, &p, i);
+                    let mut pointwise = Scanner::new(&cache, &addrs, k, true);
+                    pointwise.reset(dset, dline);
+                    crate::solve::scan_interior_pointwise(&mut pointwise, &space, &p, i);
+                    prop_assert_eq!(rowwise.distinct.len(), pointwise.distinct.len());
+                    prop_assert_eq!(
+                        w.distinct_excluding(dset, dline),
+                        rowwise.distinct.len() as u64
+                    );
+                }
+            }
+        }
+    }
+}

@@ -112,6 +112,21 @@ impl<'a> IterationSpace<'a> {
         }
     }
 
+    /// Advances `point` to its lexicographic successor in place, returning
+    /// `false` (leaving `point` past the end) when no successor exists.
+    ///
+    /// Allocation-free variant of [`IterationSpace::successor`] for hot
+    /// loops that walk millions of points (the sliding-window scanner of
+    /// `cme-core` steps one point at a time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != depth`.
+    pub fn advance(&self, point: &mut [i64]) -> bool {
+        assert_eq!(point.len(), self.nest.depth(), "point dimension mismatch");
+        self.successor_in_place(point)
+    }
+
     fn successor_in_place(&self, p: &mut [i64]) -> bool {
         let n = self.nest.depth();
         if n == 0 {
@@ -186,6 +201,28 @@ impl<'a> IterationSpace<'a> {
         (0..self.nest.depth()).all(|l| {
             let v = point[l];
             self.lower_at(point, l) <= v && v <= self.upper_at(point, l)
+        })
+    }
+
+    /// Returns `true` iff some innermost index extends `prefix` to a point
+    /// of the space — i.e. the outer-level bounds all hold at `prefix`.
+    /// (Whether the innermost loop is nonempty there is answered separately
+    /// by [`IterationSpace::innermost_bounds`].)
+    ///
+    /// Outer-level bounds may only depend on strictly-enclosing indices, so
+    /// the answer is independent of the innermost padding value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix.len() + 1 != depth`.
+    pub fn contains_prefix(&self, prefix: &[i64]) -> bool {
+        let n = self.nest.depth();
+        assert_eq!(prefix.len() + 1, n, "prefix must cover all but one level");
+        let mut padded = vec![0i64; n];
+        padded[..n - 1].copy_from_slice(prefix);
+        (0..n - 1).all(|l| {
+            let v = padded[l];
+            self.lower_at(&padded, l) <= v && v <= self.upper_at(&padded, l)
         })
     }
 

@@ -1,0 +1,145 @@
+//! Bit-identity of the run-compressed sliding-window cascade.
+//!
+//! PR 2 reworked the engine's per-vector classification loop: survivor sets
+//! are run-compressed (`RunSet`), interior windows slide incrementally
+//! instead of being rescanned, and each reference's survivor runs are
+//! sharded into blocks scanned in parallel. None of that may change a
+//! single bit of the result: this suite compares the engine — sequential,
+//! sharded, and on the no-memo fast path taken by oversized nests — against
+//! the deprecated reference implementation (`analyze_reference`, via
+//! `analyze_nest`) on the paper's Table-1 matmul, the Figure-8
+//! configuration, and a proptest corpus, for associativities k ∈ {1, 2, 4}.
+//!
+//! Equality is on whole [`cme::core::NestAnalysis`] values, so it covers
+//! total and per-reference miss counts, every per-vector report
+//! (examined / cold / replacement / contention counts), and the collected
+//! miss-point sets including their order.
+
+#![allow(deprecated)]
+
+use cme::cache::CacheConfig;
+use cme::core::{analyze_nest, AnalysisOptions, Analyzer, NestAnalysis};
+use cme::ir::LoopNest;
+use cme::kernels::mmult_with_bases;
+use cme_testgen::{arb_cache, arb_nest, NestDistribution};
+use proptest::prelude::*;
+
+/// The Table-1 geometry (8 KB, 32-byte lines) at k ∈ {1, 2, 4}.
+fn caches() -> Vec<CacheConfig> {
+    [1, 2, 4]
+        .into_iter()
+        .map(|k| CacheConfig::new(8192, k, 32, 4).unwrap())
+        .collect()
+}
+
+/// Option sets exercising every cascade path: fast (early-exit) windows,
+/// exact contention counts, ε early stop, and the pointwise ablation —
+/// each with miss-point collection so point sets are compared too.
+fn option_sets() -> Vec<AnalysisOptions> {
+    vec![
+        AnalysisOptions::builder().collect_miss_points(true).build(),
+        AnalysisOptions::builder()
+            .collect_miss_points(true)
+            .exact_equation_counts(true)
+            .build(),
+        AnalysisOptions::builder()
+            .collect_miss_points(true)
+            .epsilon(64)
+            .build(),
+        AnalysisOptions::builder()
+            .collect_miss_points(true)
+            .pointwise_windows(true)
+            .build(),
+    ]
+}
+
+/// Runs the reworked cascade three ways and asserts each is bit-identical
+/// to the reference implementation.
+fn assert_cascade_matches_reference(
+    nest: &LoopNest,
+    cache: CacheConfig,
+    opts: &AnalysisOptions,
+    what: &str,
+) -> NestAnalysis {
+    let legacy = analyze_nest(nest, cache, opts);
+    let seq = Analyzer::new(cache).options(opts.clone()).analyze(nest);
+    assert_eq!(legacy, seq, "sequential cascade diverged: {what}");
+    let sharded = Analyzer::new(cache)
+        .options(opts.clone())
+        .parallel(true)
+        .threads(4)
+        .analyze(nest);
+    assert_eq!(legacy, sharded, "sharded cascade diverged: {what}");
+    // Force the no-memo fast path every Figure-8-scale nest takes.
+    let mut big = Analyzer::new(cache)
+        .options(opts.clone())
+        .parallel(true)
+        .threads(4);
+    big.engine_mut().set_max_cached_points(1);
+    let uncached = big.analyze(nest);
+    assert_eq!(legacy, uncached, "uncached fast path diverged: {what}");
+    legacy
+}
+
+#[test]
+fn table1_matmul_bit_identical_for_k_1_2_4() {
+    let n = 17;
+    let nest = mmult_with_bases(n, 0, n * n, 2 * n * n);
+    for cache in caches() {
+        for opts in option_sets() {
+            let r = assert_cascade_matches_reference(
+                &nest,
+                cache,
+                &opts,
+                &format!("table-1 matmul, k={}, {opts:?}", cache.assoc()),
+            );
+            assert!(r.total_misses() > 0, "degenerate fixture");
+        }
+    }
+}
+
+#[test]
+fn fig8_configuration_bit_identical_for_k_1_2_4() {
+    // The Figure-8 layout: Z, X, Y at the paper's bases (4192-element
+    // offset keeps the arrays off address 0, as in `bench/src/bin/fig8.rs`).
+    let n = 20;
+    let nest = mmult_with_bases(n, 4192, 4192 + n * n, 4192 + 2 * n * n);
+    for cache in caches() {
+        for opts in option_sets() {
+            assert_cascade_matches_reference(
+                &nest,
+                cache,
+                &opts,
+                &format!("fig-8 configuration, k={}, {opts:?}", cache.assoc()),
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Random nests from the shared corpus, random small caches (which
+    /// already span k ∈ {1, 2, 4}): the cascade must stay bit-identical
+    /// under both fast and exact window modes.
+    #[test]
+    fn random_nests_bit_identical(
+        nest in arb_nest(NestDistribution::default()),
+        cache in arb_cache(),
+        exact in proptest::bool::ANY,
+    ) {
+        let opts = AnalysisOptions::builder()
+            .collect_miss_points(true)
+            .exact_equation_counts(exact)
+            .build();
+        let legacy = analyze_nest(&nest, cache, &opts);
+        let seq = Analyzer::new(cache).options(opts.clone()).analyze(&nest);
+        prop_assert_eq!(&legacy, &seq, "sequential cascade diverged");
+        let sharded = Analyzer::new(cache)
+            .options(opts.clone())
+            .parallel(true)
+            .threads(3)
+            .analyze(&nest);
+        prop_assert_eq!(&legacy, &sharded, "sharded cascade diverged");
+    }
+}
