@@ -44,6 +44,6 @@ pub use config::{CacheConfig, CacheConfigError};
 pub use sim::{AccessOutcome, Simulator};
 pub use stats::MissStats;
 pub use trace::{
-    export_din, for_each_access, miss_histogram_by_set, simulate_nest, simulate_sequence,
-    NestSimResult,
+    export_din, for_each_access, miss_histogram_by_set, simulate_nest, simulate_nest_outcomes,
+    simulate_sequence, NestSimResult,
 };

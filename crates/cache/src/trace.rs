@@ -119,6 +119,79 @@ fn run_nest(sim: &mut Simulator, nest: &LoopNest) -> NestSimResult {
     }
 }
 
+/// Replays every access of `nest` (from a cold cache) and calls
+/// `visit(ref_id, iteration_point, outcome)` with the simulator's verdict
+/// for each access, in execution order.
+///
+/// This is the oracle-facing hook of the differential test harness: when
+/// an analytical miss count disagrees with [`simulate_nest`], the visitor
+/// pins down *which iteration points* the simulator classifies differently
+/// than the CME miss-point sets, without re-deriving simulator state.
+///
+/// Returns the same aggregate result as [`simulate_nest`].
+///
+/// # Examples
+///
+/// ```
+/// use cme_cache::{simulate_nest_outcomes, AccessOutcome, CacheConfig};
+/// use cme_ir::{AccessKind, NestBuilder};
+///
+/// let mut b = NestBuilder::new();
+/// b.ct_loop("i", 1, 4);
+/// let a = b.array("A", &[4], 0);
+/// b.reference(a, AccessKind::Read, &[("i", 0)]);
+/// let nest = b.build().unwrap();
+///
+/// let cfg = CacheConfig::new(256, 1, 16, 4)?; // 4 elements per line
+/// let mut cold_points = Vec::new();
+/// let result = simulate_nest_outcomes(&nest, cfg, |_, p, out| {
+///     if out == AccessOutcome::ColdMiss {
+///         cold_points.push(p.to_vec());
+///     }
+/// });
+/// assert_eq!(cold_points, vec![vec![1]]); // one line, cold at i=1
+/// assert_eq!(result.total().cold, 1);
+/// # Ok::<(), cme_cache::CacheConfigError>(())
+/// ```
+pub fn simulate_nest_outcomes(
+    nest: &LoopNest,
+    config: CacheConfig,
+    mut visit: impl FnMut(RefId, &[i64], crate::sim::AccessOutcome),
+) -> NestSimResult {
+    let mut sim = Simulator::new(config);
+    let nrefs = nest.references().len();
+    let mut per_ref = vec![MissStats::default(); nrefs];
+    let addr_fns: Vec<_> = nest
+        .references()
+        .iter()
+        .map(|r| (r.id(), nest.address_affine(r.id()), r.kind()))
+        .collect();
+    let mut space = nest.space();
+    while let Some(p) = space.next_point() {
+        for (rid, af, kind) in &addr_fns {
+            let addr = af.eval(&p);
+            let outcome = match kind {
+                cme_ir::AccessKind::Read => sim.access(addr),
+                cme_ir::AccessKind::Write => sim.write(addr),
+            };
+            visit(*rid, &p, outcome);
+            let s = &mut per_ref[rid.index()];
+            s.accesses += 1;
+            match outcome {
+                crate::sim::AccessOutcome::Hit => s.hits += 1,
+                crate::sim::AccessOutcome::ColdMiss => s.cold += 1,
+                crate::sim::AccessOutcome::ReplacementMiss => s.replacement += 1,
+            }
+        }
+    }
+    sim.drain_dirty();
+    NestSimResult {
+        nest_name: nest.name().to_string(),
+        per_ref,
+        writebacks: sim.writebacks(),
+    }
+}
+
 /// Calls `visit(ref_id, address)` for every access of the nest in execution
 /// order, without simulating — useful for exporting traces or building
 /// custom analyses.
@@ -350,6 +423,30 @@ mod tests {
             seq[1].total().misses(),
             cold_b
         );
+    }
+
+    #[test]
+    fn outcome_replay_agrees_with_plain_simulation() {
+        let cfg = CacheConfig::new(256, 2, 16, 4).unwrap();
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 1, 8).ct_loop("j", 1, 8);
+        let a = b.array("A", &[8, 8], 0);
+        let c = b.array("C", &[8, 8], 64);
+        b.reference(a, AccessKind::Read, &[("i", 0), ("j", 0)]);
+        b.reference(c, AccessKind::Write, &[("j", 0), ("i", 0)]);
+        let nest = b.build().unwrap();
+        let plain = simulate_nest(&nest, cfg);
+        let mut visited = 0u64;
+        let mut misses = 0u64;
+        let replayed = simulate_nest_outcomes(&nest, cfg, |rid, p, out| {
+            visited += 1;
+            misses += out.is_miss() as u64;
+            assert_eq!(p.len(), 2);
+            assert!(rid.index() < 2);
+        });
+        assert_eq!(replayed, plain);
+        assert_eq!(visited, plain.total().accesses);
+        assert_eq!(misses, plain.total().misses());
     }
 
     #[test]

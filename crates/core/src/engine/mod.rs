@@ -200,8 +200,17 @@ impl EngineStats {
     /// Fraction of memo lookups (reuse, cascade, scan) answered from
     /// cache; `0.0` when nothing was looked up.
     pub fn memo_hit_rate(&self) -> f64 {
-        let hits = self.reuse_reused + self.cascades_reused + self.scans_reused;
-        let total = hits + self.reuse_built + self.cascades_built + self.scans_executed;
+        // Saturating: long-lived sessions (nightly fuzz runs) may drive
+        // individual counters arbitrarily high, and a diagnostic ratio
+        // must never panic on the sum.
+        let hits = self
+            .reuse_reused
+            .saturating_add(self.cascades_reused)
+            .saturating_add(self.scans_reused);
+        let total = hits
+            .saturating_add(self.reuse_built)
+            .saturating_add(self.cascades_built)
+            .saturating_add(self.scans_executed);
         if total == 0 {
             0.0
         } else {
@@ -211,7 +220,7 @@ impl EngineStats {
 
     /// Total equation-system artifacts served without regeneration.
     pub fn systems_saved(&self) -> u64 {
-        self.systems_rebased + self.systems_reused
+        self.systems_rebased.saturating_add(self.systems_reused)
     }
 }
 
@@ -1498,6 +1507,23 @@ impl Analyzer {
         self.engine.analyze(nest, options, threads)
     }
 
+    /// Analyzes with the session options but with miss-point collection
+    /// forced on — the oracle-facing entry point of the differential test
+    /// harness (`cme-diffcheck`), which joins the returned
+    /// replacement/cold miss points against per-access simulator verdicts
+    /// from `cme_cache::simulate_nest_outcomes` to localize a
+    /// disagreement. Shares the session's memo tables: scans always
+    /// record their miss indices in the memo and `collect_miss_points`
+    /// only affects result assembly, so interleaving traced and plain
+    /// runs of the same nest stays fully memoized.
+    pub fn analyze_traced(&mut self, nest: &LoopNest) -> NestAnalysis {
+        let options = AnalysisOptions {
+            collect_miss_points: true,
+            ..self.options.clone()
+        };
+        self.analyze_with_options(nest, &options)
+    }
+
     /// The symbolic CME system for a nest (generated, rebased, or reused).
     pub fn system(&mut self, nest: &LoopNest) -> Arc<CmeSystem> {
         let reuse = self.options.reuse.clone();
@@ -1648,5 +1674,104 @@ mod tests {
         let stats = analyzer.stats();
         assert_eq!(stats.analyses, 2);
         assert!(stats.cascades_built >= 8, "rebuilt after clear");
+    }
+
+    #[test]
+    fn stats_helpers_on_zero_queries() {
+        let stats = EngineStats::default();
+        assert_eq!(stats.memo_hit_rate(), 0.0);
+        assert_eq!(stats.systems_saved(), 0);
+        // A fresh engine that has answered nothing reports the same.
+        let engine = Engine::new(CacheConfig::new(1024, 1, 32, 4).unwrap());
+        assert_eq!(engine.stats().memo_hit_rate(), 0.0);
+        assert_eq!(engine.stats().systems_saved(), 0);
+    }
+
+    #[test]
+    fn stats_helpers_saturate_instead_of_overflowing() {
+        let stats = EngineStats {
+            reuse_built: u64::MAX,
+            reuse_reused: u64::MAX,
+            cascades_built: u64::MAX,
+            cascades_reused: u64::MAX,
+            scans_executed: u64::MAX,
+            scans_reused: u64::MAX,
+            systems_rebased: u64::MAX,
+            systems_reused: u64::MAX,
+            ..EngineStats::default()
+        };
+        let rate = stats.memo_hit_rate();
+        assert!(rate.is_finite() && (0.0..=1.0).contains(&rate));
+        assert_eq!(rate, 1.0, "hits and total both saturate to u64::MAX");
+        assert_eq!(stats.systems_saved(), u64::MAX);
+    }
+
+    #[test]
+    fn stats_hit_rate_counts_all_three_memo_families() {
+        let stats = EngineStats {
+            reuse_built: 1,
+            reuse_reused: 1,
+            cascades_built: 1,
+            cascades_reused: 1,
+            scans_executed: 1,
+            scans_reused: 1,
+            ..EngineStats::default()
+        };
+        assert!((stats.memo_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traced_analysis_collects_points_and_stays_memoized() {
+        let cache = CacheConfig::new(1024, 2, 32, 4).unwrap();
+        let nest = matmul(8, 0, 100, 200);
+        let mut analyzer = Analyzer::new(cache);
+        let plain = analyzer.analyze(&nest);
+        let traced = analyzer.analyze_traced(&nest);
+        assert_eq!(traced.total_misses(), plain.total_misses());
+        let collected: usize = traced
+            .per_ref
+            .iter()
+            .map(|r| r.replacement_miss_points.len() + r.cold_miss_points.len())
+            .sum();
+        assert_eq!(collected as u64, traced.total_misses());
+        assert!(
+            analyzer.stats().scans_reused > 0,
+            "traced re-analysis must reuse the plain run's scans"
+        );
+        // Session options are untouched.
+        assert!(!analyzer.current_options().collect_miss_points);
+    }
+
+    /// Miss points traced at k=8 — real cascade output, not synthetic
+    /// runs — survive run compression losslessly: same count, same
+    /// points, same lexicographic order, random access intact.
+    #[test]
+    fn traced_miss_points_at_k8_run_compress_losslessly() {
+        use crate::pointset::{PointSet, RunSet};
+        let cache = CacheConfig::new(512, 8, 16, 4).unwrap();
+        let nest = matmul(8, 0, 100, 200);
+        let traced = Analyzer::new(cache).analyze_traced(&nest);
+        assert!(traced.total_misses() > 0, "degenerate fixture");
+        for (ri, r) in traced.per_ref.iter().enumerate() {
+            let mut pts: Vec<Vec<i64>> = r
+                .cold_miss_points
+                .iter()
+                .cloned()
+                .chain(r.replacement_miss_points.iter().map(|(p, _)| p.clone()))
+                .collect();
+            pts.sort();
+            pts.dedup();
+            let mut ps = PointSet::new(nest.depth());
+            for p in &pts {
+                ps.push(p);
+            }
+            let rs = RunSet::from_point_set(&ps);
+            assert_eq!(rs.len(), ps.len(), "ref {ri}: count changed");
+            assert_eq!(rs.recount(), rs.len(), "ref {ri}: run totals drifted");
+            assert_eq!(rs.to_point_set(), ps, "ref {ri}: points changed");
+            for (idx, p) in pts.iter().enumerate() {
+                assert_eq!(&rs.point(idx as u64), p, "ref {ri}: random access");
+            }
+        }
     }
 }

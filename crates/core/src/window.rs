@@ -128,13 +128,20 @@ pub(crate) struct Geom {
 
 impl Geom {
     pub(crate) fn new(cache: &CacheConfig) -> Self {
-        let ls = cache.line_elems();
-        let ns = cache.num_sets();
+        Self::from_parts(cache.line_elems(), cache.num_sets())
+    }
+
+    /// Builds the mapping from raw geometry parts. [`CacheConfig`] only
+    /// produces power-of-two `line_elems`/`num_sets`, so this is the only
+    /// way to reach the floored-division / Euclidean-modulo fallbacks —
+    /// the differential tests use it to pin fast-path/generic agreement.
+    pub(crate) fn from_parts(line_elems: i64, num_sets: i64) -> Self {
+        debug_assert!(line_elems > 0 && num_sets > 0);
         Geom {
-            line_elems: ls,
-            num_sets: ns,
-            line_shift: (ls > 0 && ls & (ls - 1) == 0).then(|| ls.trailing_zeros()),
-            set_mask: (ns > 0 && ns & (ns - 1) == 0).then(|| ns - 1),
+            line_elems,
+            num_sets,
+            line_shift: (line_elems & (line_elems - 1) == 0).then(|| line_elems.trailing_zeros()),
+            set_mask: (num_sets & (num_sets - 1) == 0).then(|| num_sets - 1),
         }
     }
 
@@ -749,6 +756,87 @@ mod tests {
         assert!(checked > 0);
     }
 
+    #[test]
+    fn geom_fast_paths_engage_exactly_for_powers_of_two() {
+        for (ls, ns) in [(1, 1), (4, 8), (16, 256)] {
+            let g = Geom::from_parts(ls, ns);
+            assert!(g.line_shift.is_some(), "Ls={ls} should use the shift");
+            assert!(g.set_mask.is_some(), "Ns={ns} should use the mask");
+        }
+        for (ls, ns) in [(3, 5), (6, 12), (7, 96), (12, 3)] {
+            let g = Geom::from_parts(ls, ns);
+            assert!(g.line_shift.is_none(), "Ls={ls} must take the generic path");
+            assert!(g.set_mask.is_none(), "Ns={ns} must take the generic path");
+        }
+        // Mixed geometry: each mapping picks its fast path independently.
+        let g = Geom::from_parts(8, 6);
+        assert!(g.line_shift.is_some() && g.set_mask.is_none());
+    }
+
+    #[test]
+    fn geom_mappings_agree_with_reference_for_all_signs() {
+        // floor_div/modulo are the definition (`CacheConfig::memory_line`
+        // uses them directly); the shift/mask fast paths must agree on
+        // every address, negatives included.
+        for (ls, ns) in [(1, 1), (2, 16), (4, 8), (8, 1), (3, 5), (6, 12), (16, 7)] {
+            let g = Geom::from_parts(ls, ns);
+            for addr in -3 * ls * ns..=3 * ls * ns {
+                let line = g.line(addr);
+                assert_eq!(line, floor_div(addr, ls), "line of {addr} at Ls={ls}");
+                assert_eq!(
+                    g.set_of_line(line),
+                    modulo(line, ns),
+                    "set of line {line} at Ns={ns}"
+                );
+            }
+        }
+    }
+
+    /// High-associativity window coverage: k=8 (4 sets) and fully
+    /// associative (1 set) geometries, stepping along reuse vectors with
+    /// the census and the exact-mode [`Scanner`] as oracles.
+    #[test]
+    fn window_tracks_rebuild_at_k8_and_full_associativity() {
+        let nest = nest3();
+        let addrs = addrs_of(&nest);
+        let space = nest.space();
+        for cache in [
+            CacheConfig::new(512, 8, 16, 4).unwrap(),
+            CacheConfig::fully_associative(256, 16, 4).unwrap(),
+        ] {
+            let k = cache.assoc() as usize;
+            let dest_addr = addrs[2].clone();
+            for r in [[0i64, 0, 1], [0, 1, 0], [1, 0, 0]] {
+                let mut w = SlidingWindow::new_for_space(&cache, &addrs, &space);
+                let mut sp = nest.space();
+                let mut stepped = false;
+                while let Some(i) = sp.next_point() {
+                    let p: Vec<i64> = i.iter().zip(&r).map(|(a, b)| a - b).collect();
+                    if !space.contains(&p) {
+                        continue;
+                    }
+                    let before = w.stats.steps;
+                    if !w.advance_to(&space, &i, &r) {
+                        w.rebuild(&space, &p, &i);
+                    }
+                    stepped |= w.stats.steps > before;
+                    assert_window_matches(&w, &nest, &cache, &addrs, &p, &i);
+                    let a_dest = dest_addr.eval(&i);
+                    let (dset, dline) = (cache.cache_set(a_dest), cache.memory_line(a_dest));
+                    let mut scanner = Scanner::new(&cache, &addrs, k, true);
+                    scanner.reset(dset, dline);
+                    crate::solve::scan_interior(&mut scanner, &space, &p, &i);
+                    assert_eq!(
+                        w.distinct_excluding(dset, dline),
+                        scanner.distinct.len() as u64,
+                        "k={k} at i={i:?}"
+                    );
+                }
+                assert!(stepped, "k={k} vector {r:?} never stepped");
+            }
+        }
+    }
+
     mod props {
         use super::*;
         use cme_testgen::{arb_cache, arb_nest, NestDistribution};
@@ -756,6 +844,25 @@ mod tests {
 
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Random geometry parts, power-of-two or not: the mappings
+            /// must agree with the floored-division / Euclidean-modulo
+            /// reference on every address. Power-of-two parts take the
+            /// shift/mask fast path, so this property is exactly the
+            /// fast-vs-generic agreement the cascade relies on.
+            #[test]
+            fn geom_agrees_with_generic_reference(
+                ls in 1i64..=96,
+                ns in 1i64..=512,
+                addr in -1_000_000i64..=1_000_000,
+            ) {
+                let g = Geom::from_parts(ls, ns);
+                let line = g.line(addr);
+                prop_assert_eq!(line, floor_div(addr, ls));
+                prop_assert_eq!(g.set_of_line(line), modulo(line, ns));
+                prop_assert_eq!(g.line_shift.is_some(), ls.count_ones() == 1);
+                prop_assert_eq!(g.set_mask.is_some(), ns.count_ones() == 1);
+            }
 
             /// On random nests, caches, and reuse vectors, the delta
             /// scanner's distinct count agrees with both interior scans

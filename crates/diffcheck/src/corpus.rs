@@ -1,0 +1,315 @@
+//! Self-contained regression seeds for the differential suite.
+//!
+//! A corpus case is one `.cme` file: the standard textual nest format
+//! (parsed by `cme_ir::parse_nest`) preceded by `!`-comment directives
+//! that pin the cache geometry, the ε setting, and the expected verdict.
+//! Because the directives are ordinary comments, the file stays loadable
+//! by every other `.cme` consumer, and because the format embeds the
+//! layout (`AT <base>`), a case replays bit-for-bit with no generator or
+//! seed in the loop.
+//!
+//! ```text
+//! ! name: gauss-n12
+//! ! cache: size=512 assoc=2 line=16 elem=4
+//! ! epsilon: 0
+//! ! expect: sound-overcount
+//! REAL A(12,12) AT 0
+//! DO i = 1, 12
+//! ...
+//! ```
+
+use crate::verdict::{check_case, CaseReport, Verdict};
+use crate::Oracle;
+use cme_cache::CacheConfig;
+use cme_ir::parse::{parse_nest, to_source};
+use cme_ir::LoopNest;
+use std::fmt;
+
+/// The verdict a corpus case is allowed to produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// Must classify as [`Verdict::Exact`].
+    Exact,
+    /// Any sound verdict (exact or over-count) passes.
+    SoundOvercount,
+    /// Anything but a violation passes.
+    Any,
+}
+
+impl Expectation {
+    /// Whether `verdict` satisfies this expectation. Violations never do.
+    pub fn allows(&self, verdict: &Verdict) -> bool {
+        match (self, verdict) {
+            (_, Verdict::Violation(_)) => false,
+            (Expectation::Exact, v) => *v == Verdict::Exact,
+            (Expectation::SoundOvercount, _) | (Expectation::Any, _) => true,
+        }
+    }
+}
+
+impl fmt::Display for Expectation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expectation::Exact => write!(f, "exact"),
+            Expectation::SoundOvercount => write!(f, "sound-overcount"),
+            Expectation::Any => write!(f, "any"),
+        }
+    }
+}
+
+/// One self-contained differential regression case.
+#[derive(Debug, Clone)]
+pub struct CorpusCase {
+    /// Case name (reported on failure).
+    pub name: String,
+    /// The nest, with its layout baked in.
+    pub nest: LoopNest,
+    /// The cache geometry to check against.
+    pub cache: CacheConfig,
+    /// The ε early-stop setting.
+    pub epsilon: u64,
+    /// The verdict the case must produce.
+    pub expect: Expectation,
+    /// The generator seed this case was minimized from, if any.
+    pub seed: Option<u64>,
+}
+
+impl CorpusCase {
+    /// Classifies the case and checks the result against the
+    /// expectation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending [`CaseReport`] with a message when the
+    /// verdict is disallowed.
+    pub fn verify<O: Oracle + ?Sized>(
+        &self,
+        oracle: &mut O,
+        shard_threads: usize,
+    ) -> Result<CaseReport, String> {
+        let report = check_case(oracle, &self.nest, self.cache, self.epsilon, shard_threads);
+        if self.expect.allows(&report.verdict) {
+            Ok(report)
+        } else {
+            Err(format!(
+                "corpus case `{}` expected {} but classified as {}\n{}",
+                self.name, self.expect, report, self.nest
+            ))
+        }
+    }
+}
+
+/// Renders a case to the corpus file format. Returns `None` for nests
+/// the textual format cannot express (non-1 array origins).
+pub fn write_case(case: &CorpusCase) -> Option<String> {
+    let source = to_source(&case.nest)?;
+    let assoc = if case.cache.assoc() == case.cache.size_bytes() / case.cache.line_bytes() {
+        "full".to_string()
+    } else {
+        case.cache.assoc().to_string()
+    };
+    let mut out = String::new();
+    out.push_str(&format!("! name: {}\n", case.name));
+    out.push_str(&format!(
+        "! cache: size={} assoc={} line={} elem={}\n",
+        case.cache.size_bytes(),
+        assoc,
+        case.cache.line_bytes(),
+        case.cache.elem_bytes()
+    ));
+    out.push_str(&format!("! epsilon: {}\n", case.epsilon));
+    out.push_str(&format!("! expect: {}\n", case.expect));
+    if let Some(seed) = case.seed {
+        out.push_str(&format!("! seed: {seed}\n"));
+    }
+    out.push_str(&source);
+    Some(out)
+}
+
+/// Parses a corpus file. `fallback_name` (usually the file stem) names
+/// the case when no `! name:` directive is present.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed directive or nest-parse
+/// failure.
+pub fn parse_case(fallback_name: &str, text: &str) -> Result<CorpusCase, String> {
+    let mut name = fallback_name.to_string();
+    let mut cache = None;
+    let mut epsilon = 0u64;
+    let mut expect = Expectation::Any;
+    let mut seed = None;
+
+    for line in text.lines() {
+        let Some(rest) = line.trim().strip_prefix('!') else {
+            continue;
+        };
+        let Some((key, value)) = rest.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        match key.trim() {
+            "name" => name = value.to_string(),
+            "cache" => cache = Some(parse_cache(value)?),
+            "epsilon" => {
+                epsilon = value
+                    .parse()
+                    .map_err(|e| format!("bad epsilon `{value}`: {e}"))?
+            }
+            "expect" => {
+                expect = match value {
+                    "exact" => Expectation::Exact,
+                    "sound-overcount" => Expectation::SoundOvercount,
+                    "any" => Expectation::Any,
+                    other => return Err(format!("unknown expectation `{other}`")),
+                }
+            }
+            "seed" => {
+                seed = Some(
+                    value
+                        .parse()
+                        .map_err(|e| format!("bad seed `{value}`: {e}"))?,
+                )
+            }
+            _ => {} // free-form comment
+        }
+    }
+
+    let cache = cache.ok_or("missing `! cache:` directive")?;
+    let nest = parse_nest(text).map_err(|e| format!("nest parse error: {e}"))?;
+    Ok(CorpusCase {
+        name,
+        nest,
+        cache,
+        epsilon,
+        expect,
+        seed,
+    })
+}
+
+fn parse_cache(spec: &str) -> Result<CacheConfig, String> {
+    let mut size = None;
+    let mut assoc = None;
+    let mut line = None;
+    let mut elem = 4i64;
+    let mut full = false;
+    for token in spec.split_whitespace() {
+        let Some((key, value)) = token.split_once('=') else {
+            return Err(format!("bad cache token `{token}`"));
+        };
+        let num = |v: &str| -> Result<i64, String> {
+            v.parse().map_err(|e| format!("bad cache value `{v}`: {e}"))
+        };
+        match key {
+            "size" => size = Some(num(value)?),
+            "assoc" if value == "full" => full = true,
+            "assoc" => assoc = Some(num(value)?),
+            "line" => line = Some(num(value)?),
+            "elem" => elem = num(value)?,
+            other => return Err(format!("unknown cache key `{other}`")),
+        }
+    }
+    let size = size.ok_or("cache spec missing size")?;
+    let line = line.ok_or("cache spec missing line")?;
+    if full {
+        CacheConfig::fully_associative(size, line, elem)
+    } else {
+        CacheConfig::new(size, assoc.ok_or("cache spec missing assoc")?, line, elem)
+    }
+    .map_err(|e| format!("invalid cache geometry: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cme_ir::{AccessKind, NestBuilder};
+
+    fn sample_case(assoc_full: bool) -> CorpusCase {
+        let mut b = NestBuilder::new();
+        b.name("sample").ct_loop("i", 1, 8).ct_loop("j", 1, 8);
+        let a = b.array("A", &[8, 8], 0);
+        b.reference(a, AccessKind::Read, &[("i", 0), ("j", 0)]);
+        b.reference(a, AccessKind::Write, &[("i", 0), ("j", 0)]);
+        let nest = b.build().unwrap();
+        let cache = if assoc_full {
+            CacheConfig::fully_associative(256, 16, 4).unwrap()
+        } else {
+            CacheConfig::new(512, 2, 16, 4).unwrap()
+        };
+        CorpusCase {
+            name: "sample".into(),
+            nest,
+            cache,
+            epsilon: 0,
+            expect: Expectation::Exact,
+            seed: Some(7),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_the_file_format() {
+        for full in [false, true] {
+            let case = sample_case(full);
+            let text = write_case(&case).unwrap();
+            let back = parse_case("fallback", &text).unwrap();
+            assert_eq!(back.name, "sample");
+            assert_eq!(back.cache, case.cache);
+            assert_eq!(back.epsilon, case.epsilon);
+            assert_eq!(back.expect, case.expect);
+            assert_eq!(back.seed, Some(7));
+            assert_eq!(back.nest.depth(), case.nest.depth());
+            assert_eq!(back.nest.references().len(), case.nest.references().len());
+            // Address semantics survive the round trip.
+            for r in case.nest.references() {
+                assert_eq!(
+                    back.nest.address_affine(r.id()),
+                    case.nest.address_affine(r.id())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn verify_enforces_the_expectation() {
+        let case = sample_case(false);
+        let report = case.verify(&mut crate::CmeOracle, 4).unwrap();
+        assert_eq!(report.verdict, Verdict::Exact);
+        // Tightening a sound-overcount case to `exact` must fail if the
+        // verdict is an overcount; here the case is exact, so `any` and
+        // `sound-overcount` also pass.
+        for expect in [Expectation::SoundOvercount, Expectation::Any] {
+            let mut relaxed = case.clone();
+            relaxed.expect = expect;
+            relaxed.verify(&mut crate::CmeOracle, 4).unwrap();
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_directives() {
+        assert!(parse_case("x", "REAL A(4) AT 0\nDO i = 1, 4\nENDDO").is_err()); // no cache
+        let text = "! cache: size=512 assoc=3 line=16 elem=4\nDO i = 1, 4\n  s = s + A(i)\nENDDO\nREAL A(4) AT 0";
+        assert!(parse_case("x", text).unwrap_err().contains("geometry"));
+        assert!(parse_case("x", "! cache: bogus\nDO i = 1, 4\nENDDO").is_err());
+    }
+
+    #[test]
+    fn expectation_lattice() {
+        use Verdict::*;
+        let viol = Violation(crate::ViolationKind::Undercount {
+            ref_index: 0,
+            cme: 0,
+            sim: 1,
+        });
+        assert!(Expectation::Exact.allows(&Exact));
+        assert!(!Expectation::Exact.allows(&SoundOvercount));
+        assert!(Expectation::SoundOvercount.allows(&Exact));
+        assert!(Expectation::SoundOvercount.allows(&SoundOvercount));
+        for e in [
+            Expectation::Exact,
+            Expectation::SoundOvercount,
+            Expectation::Any,
+        ] {
+            assert!(!e.allows(&viol));
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! `diffcheck` — the differential oracle CLI.
+//!
+//! Modes (combinable; corpus runs first, then fuzzing):
+//!
+//! ```text
+//! diffcheck --seed 0 --cases 500                  # deterministic fuzz run
+//! diffcheck --corpus tests/corpus --cases 0      # replay committed seeds only
+//! diffcheck --cases 100 --time-budget 60         # smoke fuzz inside a budget
+//! diffcheck --emit-corpus tests/corpus           # regenerate the seed corpus
+//! ```
+//!
+//! Exit code 0 iff every corpus case met its expectation and the fuzz run
+//! found zero violations. Minimized counterexamples are written to the
+//! `--artifacts` directory (default `tests/corpus`) as self-contained
+//! `.cme` regression seeds.
+
+use cme_cache::CacheConfig;
+use cme_diffcheck::{
+    assoc_label, check_case, parse_case, run_fuzz, shrink_case, write_case, CmeOracle, CorpusCase,
+    Expectation, FuzzConfig, Verdict,
+};
+use cme_testgen::{is_uniform, random_cache, random_nest, CaseRng, NestDistribution};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    seed: u64,
+    cases: u64,
+    time_budget: Option<Duration>,
+    epsilons: Vec<u64>,
+    threads: usize,
+    uniform_only: bool,
+    max_depth: Option<usize>,
+    corpus: Vec<PathBuf>,
+    artifacts: PathBuf,
+    emit_corpus: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: diffcheck [--seed N] [--cases N] [--time-budget SECS] [--epsilons 0,50]\n\
+         \u{20}                [--threads N] [--uniform-only] [--max-depth N] [--quiet]\n\
+         \u{20}                [--corpus DIR]... [--artifacts DIR] [--emit-corpus DIR]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 0,
+        cases: 200,
+        time_budget: None,
+        epsilons: vec![0, 50],
+        threads: 4,
+        uniform_only: false,
+        max_depth: None,
+        corpus: Vec::new(),
+        artifacts: PathBuf::from("tests/corpus"),
+        emit_corpus: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--cases" => args.cases = value("--cases").parse().unwrap_or_else(|_| usage()),
+            "--time-budget" => {
+                let secs: u64 = value("--time-budget").parse().unwrap_or_else(|_| usage());
+                args.time_budget = Some(Duration::from_secs(secs));
+            }
+            "--epsilons" => {
+                args.epsilons = value("--epsilons")
+                    .split(',')
+                    .map(|e| e.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--threads" => args.threads = value("--threads").parse().unwrap_or_else(|_| usage()),
+            "--uniform-only" => args.uniform_only = true,
+            "--max-depth" => {
+                args.max_depth = Some(value("--max-depth").parse().unwrap_or_else(|_| usage()))
+            }
+            "--corpus" => args.corpus.push(PathBuf::from(value("--corpus"))),
+            "--artifacts" => args.artifacts = PathBuf::from(value("--artifacts")),
+            "--emit-corpus" => args.emit_corpus = Some(PathBuf::from(value("--emit-corpus"))),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+/// Replays every `.cme` file in `dir`; returns the number of failures.
+fn run_corpus(dir: &Path, threads: usize, quiet: bool) -> u64 {
+    let mut entries: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "cme"))
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read corpus dir {}: {e}", dir.display());
+            return 1;
+        }
+    };
+    entries.sort();
+    if entries.is_empty() {
+        eprintln!("warning: corpus dir {} has no .cme files", dir.display());
+    }
+    let mut failures = 0;
+    for path in entries {
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("case")
+            .to_string();
+        let outcome = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))
+            .and_then(|text| parse_case(&stem, &text))
+            .and_then(|case| case.verify(&mut CmeOracle, threads));
+        match outcome {
+            Ok(report) => {
+                if !quiet {
+                    println!("corpus {stem}: {report}");
+                }
+            }
+            Err(msg) => {
+                eprintln!("corpus {stem}: FAIL\n{msg}");
+                failures += 1;
+            }
+        }
+    }
+    failures
+}
+
+/// Regenerates the committed seed corpus: the Table 1 kernels at small
+/// problem sizes plus ten shrunk generator cases covering every
+/// associativity bucket in both the uniform and mixed regimes.
+fn emit_corpus(dir: &Path, threads: usize) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut oracle = CmeOracle;
+    let cache = CacheConfig::new(1024, 1, 32, 4).expect("scaled-down Table 1 geometry");
+    let kernels = vec![
+        ("mmult-n12", cme_kernels::mmult(12)),
+        ("gauss-n12", cme_kernels::gauss(12)),
+        ("sor-n12", cme_kernels::sor(12)),
+        ("adi-n12", cme_kernels::adi(12)),
+        ("trans-n16", cme_kernels::trans(16)),
+        ("alv-nu16", cme_kernels::alv_with_layout(16, 6, 16, 16 * 6)),
+        ("tom-n12", cme_kernels::tom(12)),
+    ];
+    for (name, nest) in kernels {
+        let report = check_case(&mut oracle, &nest, cache, 0, threads);
+        let expect = match report.verdict {
+            Verdict::Exact if is_uniform(&nest) => Expectation::Exact,
+            Verdict::Exact | Verdict::SoundOvercount => Expectation::SoundOvercount,
+            Verdict::Violation(_) => panic!("kernel {name} violates: {report}"),
+        };
+        let case = CorpusCase {
+            name: name.to_string(),
+            nest,
+            cache,
+            epsilon: 0,
+            expect,
+            seed: None,
+        };
+        write_file(dir, &case)?;
+        println!("emitted {name}: {} ({})", report.verdict, expect);
+    }
+
+    // Ten generator cases: every associativity bucket × {uniform, mixed},
+    // each shrunk while its verdict, geometry bucket, and regime hold.
+    let dist = NestDistribution::default();
+    for label in ["1", "2", "4", "8", "full"] {
+        for want_uniform in [true, false] {
+            let (seed, nest, cache) = (0u64..)
+                .find_map(|seed| {
+                    let mut rng = CaseRng::new(seed);
+                    let nest = random_nest(&mut rng, &dist);
+                    let cache = random_cache(&mut rng);
+                    (assoc_label(cache) == label && is_uniform(&nest) == want_uniform)
+                        .then_some((seed, nest, cache))
+                })
+                .expect("every bucket is reachable");
+            let verdict = check_case(&mut oracle, &nest, cache, 0, threads).verdict;
+            assert!(!verdict.is_violation(), "generator case {seed} violates");
+            let (min_nest, min_cache) = shrink_case(&nest, cache, |n, c| {
+                let r = check_case(&mut oracle, n, c, 0, threads);
+                r.verdict == verdict
+                    && r.sim_total > 0
+                    && assoc_label(c) == label
+                    && is_uniform(n) == want_uniform
+            });
+            let regime = if want_uniform { "uniform" } else { "mixed" };
+            let case = CorpusCase {
+                name: format!("gen-k{label}-{regime}-seed{seed}"),
+                nest: min_nest,
+                cache: min_cache,
+                epsilon: 0,
+                expect: if want_uniform {
+                    Expectation::Exact
+                } else {
+                    Expectation::SoundOvercount
+                },
+                seed: Some(seed),
+            };
+            write_file(dir, &case)?;
+            println!("emitted {}: {}", case.name, verdict);
+        }
+    }
+    Ok(())
+}
+
+fn write_file(dir: &Path, case: &CorpusCase) -> std::io::Result<()> {
+    let text = write_case(case).expect("corpus cases use origin-1 arrays");
+    std::fs::write(dir.join(format!("{}.cme", case.name)), text)
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    if let Some(dir) = &args.emit_corpus {
+        if let Err(e) = emit_corpus(dir, args.threads) {
+            eprintln!("emit-corpus failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut failures = 0;
+    for dir in &args.corpus {
+        failures += run_corpus(dir, args.threads, args.quiet);
+    }
+
+    if args.cases > 0 {
+        let mut dist = NestDistribution {
+            uniform_only: args.uniform_only,
+            ..NestDistribution::default()
+        };
+        if let Some(d) = args.max_depth {
+            dist.max_depth = d;
+        }
+        let config = FuzzConfig {
+            seed: args.seed,
+            cases: args.cases,
+            time_budget: args.time_budget,
+            dist,
+            epsilons: args.epsilons.clone(),
+            shard_threads: args.threads,
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&mut CmeOracle, &config);
+        println!("{}", report.summary());
+        for v in &report.violations {
+            eprintln!(
+                "VIOLATION seed={} eps={}: {}\noriginal:\n{}minimized ({} loops, {} refs, cache {:?}):\n{}",
+                v.case_seed,
+                v.epsilon,
+                v.report,
+                v.nest,
+                v.min_nest.depth(),
+                v.min_nest.references().len(),
+                v.min_cache,
+                v.min_nest
+            );
+            let case = v.to_corpus_case();
+            if let Err(e) = std::fs::create_dir_all(&args.artifacts)
+                .and_then(|()| write_file(&args.artifacts, &case))
+            {
+                eprintln!("cannot persist counterexample {}: {e}", case.name);
+            } else {
+                eprintln!(
+                    "counterexample written to {}",
+                    args.artifacts.join(format!("{}.cme", case.name)).display()
+                );
+            }
+        }
+        failures += report.violations.len() as u64;
+    }
+
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("diffcheck: {failures} failure(s)");
+        ExitCode::FAILURE
+    }
+}

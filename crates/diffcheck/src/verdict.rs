@@ -1,0 +1,272 @@
+//! Verdict classification: one differential comparison of the analytical
+//! pipeline against the LRU simulator.
+//!
+//! The paper's precision claims (Section 4, Table 1) induce a three-way
+//! partition of every `(nest, cache, ε)` case:
+//!
+//! - **Exact** — CME misses equal simulated misses for every reference.
+//!   Guaranteed when all same-array reference pairs are uniformly
+//!   generated and `ε = 0`.
+//! - **SoundOvercount** — CME counts exceed simulation somewhere but
+//!   never fall below it. Permitted only when the nest has a non-uniform
+//!   same-array pair (the `gauss`/`trans` regime of Table 1) or when
+//!   `ε > 0` stopped refinement early (indeterminate points are counted
+//!   as misses, which only inflates).
+//! - **Violation** — an undercount anywhere (soundness broken), an
+//!   overcount in the uniform `ε = 0` regime (exactness broken), or a
+//!   disagreement between the sequential and sharded engine paths
+//!   (determinism broken).
+
+use crate::Oracle;
+use cme_cache::{simulate_nest, CacheConfig};
+use cme_ir::LoopNest;
+use cme_testgen::is_uniform;
+use std::fmt;
+
+/// Why a case is classified as a [`Verdict::Violation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// The analysis reported fewer misses than the simulator for some
+    /// reference — the one-sided soundness guarantee is broken.
+    Undercount {
+        /// Statement index of the offending reference.
+        ref_index: usize,
+        /// Analytical miss count.
+        cme: u64,
+        /// Simulated miss count.
+        sim: u64,
+    },
+    /// The analysis over-counted although every same-array pair is
+    /// uniformly generated and `ε = 0` — the exactness guarantee is
+    /// broken.
+    UniformOvercount {
+        /// Statement index of the offending reference.
+        ref_index: usize,
+        /// Analytical miss count.
+        cme: u64,
+        /// Simulated miss count.
+        sim: u64,
+    },
+    /// The sequential and sharded engine paths disagree — results must
+    /// be bit-identical regardless of threading.
+    PathDivergence {
+        /// Statement index of the first disagreeing reference.
+        ref_index: usize,
+        /// Miss count on the sequential path (threads = 1).
+        sequential: u64,
+        /// Miss count on the sharded path.
+        sharded: u64,
+    },
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationKind::Undercount { ref_index, cme, sim } => write!(
+                f,
+                "undercount at ref#{ref_index}: cme={cme} < sim={sim}"
+            ),
+            ViolationKind::UniformOvercount { ref_index, cme, sim } => write!(
+                f,
+                "overcount in uniform regime at ref#{ref_index}: cme={cme} > sim={sim}"
+            ),
+            ViolationKind::PathDivergence {
+                ref_index,
+                sequential,
+                sharded,
+            } => write!(
+                f,
+                "engine path divergence at ref#{ref_index}: sequential={sequential} sharded={sharded}"
+            ),
+        }
+    }
+}
+
+/// The soundness classification of one case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// CME misses equal simulation for every reference.
+    Exact,
+    /// Over-counts somewhere, in a regime where Table 1 allows it.
+    SoundOvercount,
+    /// The paper's guarantees are broken — always a bug.
+    Violation(ViolationKind),
+}
+
+impl Verdict {
+    /// Whether this verdict indicates a bug.
+    pub fn is_violation(&self) -> bool {
+        matches!(self, Verdict::Violation(_))
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Exact => write!(f, "exact"),
+            Verdict::SoundOvercount => write!(f, "sound-overcount"),
+            Verdict::Violation(v) => write!(f, "VIOLATION ({v})"),
+        }
+    }
+}
+
+/// The full result of classifying one `(nest, cache, ε)` case.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// The classification.
+    pub verdict: Verdict,
+    /// Total analytical misses (sequential path).
+    pub cme_total: u64,
+    /// Total simulated misses.
+    pub sim_total: u64,
+    /// Per-reference `(cme, sim)` miss counts, in statement order.
+    pub per_ref: Vec<(u64, u64)>,
+    /// Whether every same-array pair is uniformly generated.
+    pub uniform: bool,
+    /// The ε early-stop threshold the analysis ran with.
+    pub epsilon: u64,
+}
+
+impl fmt::Display for CaseReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (cme={} sim={} uniform={} eps={})",
+            self.verdict, self.cme_total, self.sim_total, self.uniform, self.epsilon
+        )
+    }
+}
+
+/// Classifies one case: runs the simulator once and the oracle on both
+/// engine paths (sequential and sharded with `shard_threads` workers),
+/// then applies the verdict rules above.
+///
+/// Soundness and exactness are checked **per reference** — a
+/// reference-level undercount masked by an overcount elsewhere is still
+/// a [`ViolationKind::Undercount`].
+pub fn check_case<O: Oracle + ?Sized>(
+    oracle: &mut O,
+    nest: &LoopNest,
+    cache: CacheConfig,
+    epsilon: u64,
+    shard_threads: usize,
+) -> CaseReport {
+    let sim = simulate_nest(nest, cache);
+    let sequential = oracle.per_ref_misses(nest, cache, epsilon, 1);
+    let sharded = oracle.per_ref_misses(nest, cache, epsilon, shard_threads.max(2));
+    let uniform = is_uniform(nest);
+
+    let per_ref: Vec<(u64, u64)> = sequential
+        .iter()
+        .zip(&sim.per_ref)
+        .map(|(&c, s)| (c, s.misses()))
+        .collect();
+    let cme_total: u64 = sequential.iter().sum();
+    let sim_total = sim.total().misses();
+
+    let verdict = classify(&sequential, &sharded, &per_ref, uniform, epsilon);
+    CaseReport {
+        verdict,
+        cme_total,
+        sim_total,
+        per_ref,
+        uniform,
+        epsilon,
+    }
+}
+
+fn classify(
+    sequential: &[u64],
+    sharded: &[u64],
+    per_ref: &[(u64, u64)],
+    uniform: bool,
+    epsilon: u64,
+) -> Verdict {
+    if let Some(ref_index) = sequential.iter().zip(sharded).position(|(a, b)| a != b) {
+        return Verdict::Violation(ViolationKind::PathDivergence {
+            ref_index,
+            sequential: sequential[ref_index],
+            sharded: sharded[ref_index],
+        });
+    }
+    for (ref_index, &(cme, sim)) in per_ref.iter().enumerate() {
+        if cme < sim {
+            return Verdict::Violation(ViolationKind::Undercount {
+                ref_index,
+                cme,
+                sim,
+            });
+        }
+    }
+    if per_ref.iter().all(|&(cme, sim)| cme == sim) {
+        return Verdict::Exact;
+    }
+    if uniform && epsilon == 0 {
+        let (ref_index, &(cme, sim)) = per_ref
+            .iter()
+            .enumerate()
+            .find(|(_, &(c, s))| c > s)
+            .expect("some reference over-counts");
+        return Verdict::Violation(ViolationKind::UniformOvercount {
+            ref_index,
+            cme,
+            sim,
+        });
+    }
+    Verdict::SoundOvercount
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_orders_divergence_before_miscounts() {
+        // A path divergence is reported even when the sequential path
+        // also undercounts: determinism is checked first.
+        let v = classify(&[1, 5], &[1, 6], &[(1, 3), (5, 5)], true, 0);
+        assert!(matches!(
+            v,
+            Verdict::Violation(ViolationKind::PathDivergence { ref_index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn classify_per_ref_undercount_despite_equal_totals() {
+        // Totals agree (6 == 6) but ref#0 undercounts — still a violation.
+        let v = classify(&[2, 4], &[2, 4], &[(2, 3), (4, 3)], false, 0);
+        assert!(matches!(
+            v,
+            Verdict::Violation(ViolationKind::Undercount {
+                ref_index: 0,
+                cme: 2,
+                sim: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn classify_uniform_overcount_is_violation_only_at_eps_zero() {
+        let refs = [(5, 4), (3, 3)];
+        assert!(matches!(
+            classify(&[5, 3], &[5, 3], &refs, true, 0),
+            Verdict::Violation(ViolationKind::UniformOvercount { ref_index: 0, .. })
+        ));
+        assert_eq!(
+            classify(&[5, 3], &[5, 3], &refs, true, 50),
+            Verdict::SoundOvercount
+        );
+        assert_eq!(
+            classify(&[5, 3], &[5, 3], &refs, false, 0),
+            Verdict::SoundOvercount
+        );
+    }
+
+    #[test]
+    fn classify_exact_when_all_refs_agree() {
+        assert_eq!(
+            classify(&[2, 2], &[2, 2], &[(2, 2), (2, 2)], true, 0),
+            Verdict::Exact
+        );
+    }
+}

@@ -551,6 +551,22 @@ mod tests {
         assert_eq!(solve_linear_form(&[256, -1, 0], 7), Some(vec![0, -7, 0]));
     }
 
+    /// Explicit replay of the counterexample recorded in
+    /// `proptest-regressions/diophantine.txt` (the vendored offline
+    /// proptest stub does not auto-load regression files). The shrunken
+    /// case is `3x + y = -3` over the single point `(0, -1)`: no
+    /// solution, which an early counting fast path got wrong.
+    #[test]
+    fn regression_count_two_var_on_degenerate_boxes() {
+        let (a, b, c) = (3, 1, -3);
+        let (xb, yb) = ((0, 0), (-1, -1));
+        assert_eq!(count_two_var_solutions(a, b, c, xb, yb), 0);
+        assert_eq!(
+            count_two_var_solutions(a, b, c, xb, yb),
+            brute_count(a, b, c, xb, yb)
+        );
+    }
+
     proptest! {
         #[test]
         fn prop_linear_form_solutions_verify(

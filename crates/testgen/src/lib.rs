@@ -1,13 +1,19 @@
-//! Proptest strategies for the CME program model.
+//! Random-case generation for the CME program model.
 //!
-//! Shared by the property-test suites: random affine loop nests (within
-//! the paper's restrictions), random cache geometries, and random layout
-//! perturbations. Keeping the generators in one crate means every suite
-//! fuzzes the same (documented) distribution, and shrinking behaves
-//! consistently.
+//! Shared by the property-test suites and the `cme-diffcheck` fuzz
+//! driver: random affine loop nests (within the paper's restrictions),
+//! random cache geometries, and layout perturbations. All generation
+//! bottoms out in the seeded [`CaseRng`] generators ([`random_nest`],
+//! [`random_cache`]), so a proptest failure and a diffcheck
+//! counterexample are both reproducible from a single `u64` seed and
+//! every suite fuzzes the same (documented) distribution.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
+
+mod rng;
+
+pub use rng::CaseRng;
 
 use cme_cache::CacheConfig;
 use cme_ir::{AccessKind, LoopNest, NestBuilder};
@@ -16,100 +22,104 @@ use proptest::prelude::*;
 /// Parameters of the random-nest distribution.
 #[derive(Debug, Clone)]
 pub struct NestDistribution {
-    /// Range of loop extents per level.
+    /// Range of loop extents per level (sampled independently per loop,
+    /// so rectangular nests with non-power-of-two trip counts occur).
     pub extent: std::ops::Range<i64>,
-    /// Maximum nest depth (2..=max).
+    /// Maximum nest depth (2..=max, capped at 4).
     pub max_depth: usize,
     /// Maximum number of arrays.
     pub max_arrays: usize,
     /// Range of reference counts.
     pub refs: std::ops::Range<usize>,
     /// Force all same-array reference pairs to be uniformly generated
-    /// (the regime where CME counts are exact).
+    /// (the regime where CME counts are exact). Offsets stay free —
+    /// uniformity only constrains the linear part.
     pub uniform_only: bool,
+    /// Maximum array rank (1..=max, capped at 3).
+    pub max_rank: usize,
+    /// Subscript offsets are drawn from `-max_offset..=max_offset`.
+    pub max_offset: i64,
 }
 
 impl Default for NestDistribution {
     fn default() -> Self {
         NestDistribution {
             extent: 4..10,
-            max_depth: 3,
+            max_depth: 4,
             max_arrays: 3,
             refs: 2..6,
             uniform_only: false,
+            max_rank: 3,
+            max_offset: 2,
         }
     }
 }
 
-/// A random 2-D-array loop nest within the CME program model.
-///
-/// Depth 2 or 3; subscripts are `index + offset` pairs over two of the
-/// loop indices (possibly the same one twice — diagonal access); arrays
-/// are laid out back-to-back with a random, line-aligned gap.
-pub fn arb_nest(dist: NestDistribution) -> impl Strategy<Value = LoopNest> {
-    let depth_range = 2..=dist.max_depth.max(2);
-    (
-        depth_range,
-        1..=dist.max_arrays.max(1),
-        proptest::collection::vec(
-            (
-                0..64usize,          // array selector
-                0..4usize,           // subscript pattern
-                -1i64..=1,           // row offset
-                -1i64..=1,           // col offset
-                proptest::bool::ANY, // write?
-            ),
-            dist.refs,
-        ),
-        dist.extent.clone(),
-        0..8i64, // inter-array gap, in 16-element units
-    )
-        .prop_map(move |(depth, narrays, refs, extent, gap16)| {
-            build_nest(depth, narrays, &refs, extent, gap16 * 16, dist.uniform_only)
-        })
-}
+const INDEX_NAMES: [&str; 4] = ["i", "j", "k", "l"];
 
-fn build_nest(
-    depth: usize,
-    narrays: usize,
-    refs: &[(usize, usize, i64, i64, bool)],
-    extent: i64,
-    gap: i64,
-    uniform_only: bool,
-) -> LoopNest {
-    let names = ["i", "j", "k"];
+/// Generates one random loop nest from an explicit seed stream.
+///
+/// Depth 2..=4 with per-loop extents; arrays of rank 1..=3 laid out
+/// back-to-back with a random, 16-element-aligned gap (so distinct
+/// arrays never share a memory line at the geometries of
+/// [`random_cache`]); subscripts are `index + offset` pairs over the
+/// loop indices, with repeats allowed (diagonal access) and offsets up
+/// to `max_offset`, so non-uniform same-array pairs occur unless
+/// `uniform_only` pins the linear pattern per array.
+pub fn random_nest(rng: &mut CaseRng, dist: &NestDistribution) -> LoopNest {
+    let max_depth = dist.max_depth.clamp(2, INDEX_NAMES.len());
+    let max_rank = dist.max_rank.clamp(1, 3);
+    let max_offset = dist.max_offset.max(0);
+    let depth = rng.range_usize(2, max_depth);
+    let lo = 1 + max_offset; // keeps every subscript >= 1 (origin 1)
+
     let mut b = NestBuilder::new();
     b.name("random");
-    for name in names.iter().take(depth) {
-        b.ct_loop(*name, 2, 2 + extent - 1);
+    let mut max_ext = dist.extent.start;
+    for name in INDEX_NAMES.iter().take(depth) {
+        let ext = rng.range(dist.extent.start, dist.extent.end - 1);
+        max_ext = max_ext.max(ext);
+        b.ct_loop(*name, lo, lo + ext - 1);
     }
-    let side = extent + 4;
+
+    let narrays = rng.range_usize(1, dist.max_arrays.max(1));
+    let side = max_ext + 2 * max_offset; // covers idx+off in 1..=side
     let mut ids = Vec::new();
+    let mut ranks = Vec::new();
     let mut cursor = 0i64;
     for a in 0..narrays {
-        ids.push(b.array(format!("A{a}"), &[side, side], cursor));
-        cursor += side * side + gap;
+        let rank = rng.range_usize(1, max_rank);
+        let dims = vec![side; rank];
+        ids.push(b.array(format!("A{a}"), &dims, cursor));
+        ranks.push(rank);
+        cursor += side.pow(rank as u32) + rng.range(0, 7) * 16;
         cursor = (cursor + 15) & !15; // line-align (see cme-kernels::extra)
     }
-    // Per-array fixed subscript pattern when uniform_only: the first
-    // reference to each array decides the pattern for all.
-    let mut pattern_of: Vec<Option<usize>> = vec![None; narrays];
-    for &(sel, pat, ro, co, write) in refs {
-        let ai = sel % narrays;
-        let pat = if uniform_only {
-            *pattern_of[ai].get_or_insert(pat)
-        } else {
-            pat
-        };
-        let kind = if write {
+
+    let nrefs = rng.range_usize(dist.refs.start.max(1), (dist.refs.end - 1).max(1));
+    // Per-array fixed linear pattern when uniform_only: the first
+    // reference to each array decides the index selectors for all.
+    let mut pattern_of: Vec<Option<Vec<usize>>> = vec![None; narrays];
+    for _ in 0..nrefs {
+        let ai = rng.below(narrays as u64) as usize;
+        let kind = if rng.next_bool() {
             AccessKind::Write
         } else {
             AccessKind::Read
         };
-        // Choose two index names (row, col) from the available depth.
-        let row = names[pat % depth];
-        let col = names[(pat / 2 + 1) % depth];
-        b.reference(ids[ai], kind, &[(row, ro), (col, co)]);
+        let sels: Vec<usize> = (0..ranks[ai])
+            .map(|_| rng.below(depth as u64) as usize)
+            .collect();
+        let sels = if dist.uniform_only {
+            pattern_of[ai].get_or_insert(sels).clone()
+        } else {
+            sels
+        };
+        let subs: Vec<(&str, i64)> = sels
+            .iter()
+            .map(|&l| (INDEX_NAMES[l], rng.range(-max_offset, max_offset)))
+            .collect();
+        b.reference(ids[ai], kind, &subs);
     }
     b.build().expect("generated nest is within the model")
 }
@@ -125,17 +135,27 @@ pub fn is_uniform(nest: &LoopNest) -> bool {
     })
 }
 
-/// A random small cache: 256–1024 bytes, 1/2/4 ways, 16/32-byte lines,
-/// 4-byte elements — small enough that random nests actually conflict.
+/// Generates one random cache geometry from an explicit seed stream:
+/// 256–2048 bytes, k ∈ {1, 2, 4, 8, full}, 16/32-byte lines, 4-byte
+/// elements — small enough that random nests actually conflict.
+pub fn random_cache(rng: &mut CaseRng) -> CacheConfig {
+    let size = *rng.choose(&[256i64, 512, 1024, 2048]);
+    let line = *rng.choose(&[16i64, 32]);
+    match rng.below(5) {
+        0 => CacheConfig::fully_associative(size, line, 4),
+        k => CacheConfig::new(size, 1 << (k - 1), line, 4),
+    }
+    .expect("every sampled geometry is organizable")
+}
+
+/// A random loop nest within the CME program model (see [`random_nest`]).
+pub fn arb_nest(dist: NestDistribution) -> impl Strategy<Value = LoopNest> {
+    (0u64..u64::MAX).prop_map(move |seed| random_nest(&mut CaseRng::new(seed), &dist))
+}
+
+/// A random small cache (see [`random_cache`]).
 pub fn arb_cache() -> impl Strategy<Value = CacheConfig> {
-    (
-        prop_oneof![Just(256i64), Just(512), Just(1024)],
-        prop_oneof![Just(1i64), Just(2), Just(4)],
-        prop_oneof![Just(16i64), Just(32)],
-    )
-        .prop_filter_map("geometry must be organizable", |(size, assoc, line)| {
-            CacheConfig::new(size, assoc, line, 4).ok()
-        })
+    (0u64..u64::MAX).prop_map(|seed| random_cache(&mut CaseRng::new(seed)))
 }
 
 #[cfg(test)]
@@ -163,5 +183,49 @@ mod tests {
             prop_assert!(cache.num_sets() >= 1);
             prop_assert!(cache.line_elems() >= 4);
         }
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let dist = NestDistribution::default();
+        for seed in 0..32 {
+            let a = random_nest(&mut CaseRng::new(seed), &dist);
+            let b = random_nest(&mut CaseRng::new(seed), &dist);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            let ca = random_cache(&mut CaseRng::new(seed));
+            let cb = random_cache(&mut CaseRng::new(seed));
+            assert_eq!(format!("{ca:?}"), format!("{cb:?}"));
+        }
+    }
+
+    #[test]
+    fn distribution_reaches_the_widened_regimes() {
+        let dist = NestDistribution::default();
+        let mut depth4 = false;
+        let mut rank1 = false;
+        let mut rank3 = false;
+        let mut nonuniform = false;
+        let mut full_assoc = false;
+        let mut k8 = false;
+        for seed in 0..400 {
+            let mut rng = CaseRng::new(seed);
+            let nest = random_nest(&mut rng, &dist);
+            depth4 |= nest.depth() == 4;
+            for r in nest.references() {
+                rank1 |= r.subscripts().len() == 1;
+                rank3 |= r.subscripts().len() == 3;
+            }
+            nonuniform |= !is_uniform(&nest);
+            let cache = random_cache(&mut CaseRng::new(seed));
+            full_assoc |= cache.assoc() == cache.size_bytes() / cache.line_bytes();
+            k8 |= cache.assoc() == 8;
+        }
+        assert!(depth4, "depth-4 nests must be reachable");
+        assert!(rank1 && rank3, "rank 1 and rank 3 arrays must be reachable");
+        assert!(nonuniform, "non-uniform reference pairs must be reachable");
+        assert!(
+            full_assoc && k8,
+            "k=8 and fully associative caches must be reachable"
+        );
     }
 }

@@ -1,0 +1,103 @@
+//! Seed-addressable randomness for case generation.
+//!
+//! The differential fuzz driver (`cme-diffcheck`) needs generation that is
+//! (a) reproducible from a single `u64` printed in every report and
+//! (b) independent of the property-test harness, so a corpus seed can be
+//! replayed years later without proptest in the loop. [`CaseRng`] is a
+//! tiny xorshift64* generator with an explicit seed; the proptest
+//! strategies in this crate sample a seed and delegate to the same
+//! seeded generators, so both entry points draw from one distribution.
+
+/// Deterministic xorshift64* RNG with an explicit seed.
+///
+/// ```
+/// use cme_testgen::CaseRng;
+/// let mut a = CaseRng::new(42);
+/// let mut b = CaseRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CaseRng {
+    state: u64,
+}
+
+impl CaseRng {
+    /// Creates a generator from a seed. Any seed is legal (including 0);
+    /// the seed is mixed through a splitmix64 step so nearby seeds give
+    /// unrelated streams.
+    pub fn new(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        CaseRng { state: z.max(1) }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be nonzero).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform `i64` in the inclusive range `lo..=hi`.
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        lo + self.below((hi - lo + 1) as u64) as i64
+    }
+
+    /// Uniform `usize` in the inclusive range `lo..=hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + self.below((hi - lo + 1) as u64) as usize
+    }
+
+    /// Uniform boolean.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniform choice from a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let seq = |seed| {
+            let mut r = CaseRng::new(seed);
+            (0..16).map(|_| r.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(7), seq(7));
+        assert_ne!(seq(7), seq(8));
+        assert_ne!(seq(0), seq(1), "seed 0 must still be a distinct stream");
+    }
+
+    #[test]
+    fn range_is_inclusive_and_bounded() {
+        let mut r = CaseRng::new(99);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = r.range(-3, 3);
+            assert!((-3..=3).contains(&v));
+            seen_lo |= v == -3;
+            seen_hi |= v == 3;
+        }
+        assert!(seen_lo && seen_hi, "inclusive endpoints must be reachable");
+    }
+}

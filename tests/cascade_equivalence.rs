@@ -8,7 +8,8 @@
 //! sharded, and on the no-memo fast path taken by oversized nests — against
 //! the deprecated reference implementation (`analyze_reference`, via
 //! `analyze_nest`) on the paper's Table-1 matmul, the Figure-8
-//! configuration, and a proptest corpus, for associativities k ∈ {1, 2, 4}.
+//! configuration, and a proptest corpus, for associativities
+//! k ∈ {1, 2, 4, 8, full}.
 //!
 //! Equality is on whole [`cme::core::NestAnalysis`] values, so it covers
 //! total and per-reference miss counts, every per-vector report
@@ -24,12 +25,16 @@ use cme::kernels::mmult_with_bases;
 use cme_testgen::{arb_cache, arb_nest, NestDistribution};
 use proptest::prelude::*;
 
-/// The Table-1 geometry (8 KB, 32-byte lines) at k ∈ {1, 2, 4}.
+/// The Table-1 geometry (8 KB, 32-byte lines) at k ∈ {1, 2, 4, 8} plus a
+/// fully-associative variant (every line in one set — the k = Ns·k corner
+/// the sliding-window per-set tallies must still get right).
 fn caches() -> Vec<CacheConfig> {
-    [1, 2, 4]
+    let mut caches: Vec<CacheConfig> = [1, 2, 4, 8]
         .into_iter()
         .map(|k| CacheConfig::new(8192, k, 32, 4).unwrap())
-        .collect()
+        .collect();
+    caches.push(CacheConfig::fully_associative(2048, 32, 4).unwrap());
+    caches
 }
 
 /// Option sets exercising every cascade path: fast (early-exit) windows,
@@ -82,7 +87,7 @@ fn assert_cascade_matches_reference(
 }
 
 #[test]
-fn table1_matmul_bit_identical_for_k_1_2_4() {
+fn table1_matmul_bit_identical_across_associativities() {
     let n = 17;
     let nest = mmult_with_bases(n, 0, n * n, 2 * n * n);
     for cache in caches() {
@@ -99,7 +104,7 @@ fn table1_matmul_bit_identical_for_k_1_2_4() {
 }
 
 #[test]
-fn fig8_configuration_bit_identical_for_k_1_2_4() {
+fn fig8_configuration_bit_identical_across_associativities() {
     // The Figure-8 layout: Z, X, Y at the paper's bases (4192-element
     // offset keeps the arrays off address 0, as in `bench/src/bin/fig8.rs`).
     let n = 20;
@@ -120,7 +125,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(20))]
 
     /// Random nests from the shared corpus, random small caches (which
-    /// already span k ∈ {1, 2, 4}): the cascade must stay bit-identical
+    /// span k ∈ {1, 2, 4, 8, full}): the cascade must stay bit-identical
     /// under both fast and exact window modes.
     #[test]
     fn random_nests_bit_identical(

@@ -1,0 +1,97 @@
+//! Replays the committed differential corpus (`tests/corpus/*.cme`)
+//! through the simulator-backed oracle — the offline tier of the
+//! differential evidence (see `docs/TESTING.md`). Every case is a
+//! self-contained `.cme` file carrying its cache geometry, ε setting,
+//! and expected verdict; regenerate with
+//! `cargo run -p cme-diffcheck -- --emit-corpus tests/corpus`.
+
+use cme_diffcheck::{parse_case, CmeOracle, Expectation, Verdict};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus must exist (regenerate with diffcheck --emit-corpus)")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "cme"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_is_seeded() {
+    let files = corpus_files();
+    assert!(
+        files.len() >= 17,
+        "expected the Table 1 kernels plus 10 generator cases, found {}",
+        files.len()
+    );
+}
+
+#[test]
+fn every_corpus_case_meets_its_expectation() {
+    let mut failures = Vec::new();
+    for path in corpus_files() {
+        let stem = path.file_stem().unwrap().to_string_lossy().to_string();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let case = parse_case(&stem, &text)
+            .unwrap_or_else(|e| panic!("{stem}: corpus file does not parse: {e}"));
+        if let Err(msg) = case.verify(&mut CmeOracle, 4) {
+            failures.push(msg);
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n---\n"));
+}
+
+#[test]
+fn corpus_covers_both_regimes_and_wide_associativity() {
+    // The committed seeds must keep exercising what the fuzzer explores:
+    // both verdict regimes and every associativity bucket incl. full.
+    let mut exact = 0;
+    let mut sound = 0;
+    let mut assocs = std::collections::BTreeSet::new();
+    for path in corpus_files() {
+        let stem = path.file_stem().unwrap().to_string_lossy().to_string();
+        let case = parse_case(&stem, &std::fs::read_to_string(&path).unwrap()).unwrap();
+        match case.expect {
+            Expectation::Exact => exact += 1,
+            Expectation::SoundOvercount | Expectation::Any => sound += 1,
+        }
+        assocs.insert(cme_diffcheck::assoc_label(case.cache));
+    }
+    assert!(exact >= 5, "too few exact cases: {exact}");
+    assert!(sound >= 5, "too few overcount cases: {sound}");
+    for k in ["1", "2", "4", "8", "full"] {
+        assert!(assocs.contains(k), "no corpus case with k={k}: {assocs:?}");
+    }
+}
+
+#[test]
+fn table1_regime_split_is_preserved() {
+    // The paper's Table 1: gauss and trans over-count, the other five
+    // kernels are exact. The corpus pins that split at a scaled-down
+    // geometry.
+    for (name, expect_exact) in [
+        ("mmult-n12", true),
+        ("gauss-n12", false),
+        ("sor-n12", true),
+        ("adi-n12", true),
+        ("trans-n16", false),
+        ("alv-nu16", true),
+        ("tom-n12", true),
+    ] {
+        let path = corpus_dir().join(format!("{name}.cme"));
+        let case = parse_case(name, &std::fs::read_to_string(&path).unwrap()).unwrap();
+        let report = case.verify(&mut CmeOracle, 4).unwrap();
+        if expect_exact {
+            assert_eq!(report.verdict, Verdict::Exact, "{name}: {report}");
+        } else {
+            assert_eq!(report.verdict, Verdict::SoundOvercount, "{name}: {report}");
+        }
+    }
+}

@@ -160,6 +160,88 @@ proptest! {
     }
 }
 
+/// Explicit replays of the recorded proptest counterexamples in
+/// `tests/proptest-regressions/metamorphic_properties.txt`. The vendored
+/// offline proptest stub does not auto-load regression files, so every
+/// recorded case is reconstructed here and run through the whole
+/// `(nest, cache)` property battery — soundness, uniform exactness,
+/// parallel bit-identity, and scan-ablation identity — on every test run.
+mod regressions {
+    use super::*;
+    use cme::core::NestAnalysis;
+    use cme::ir::{AccessKind, LoopNest, NestBuilder};
+
+    fn battery(nest: &LoopNest, cache: CacheConfig) -> NestAnalysis {
+        let analysis = analyze_nest(nest, cache, &opts());
+        let sim = simulate_nest(nest, cache).total().misses();
+        assert!(
+            analysis.total_misses() >= sim,
+            "under-count: cme={} sim={sim}\n{nest}",
+            analysis.total_misses()
+        );
+        if is_uniform(nest) {
+            assert_eq!(
+                analysis.total_misses(),
+                sim,
+                "inexact on uniform nest\n{nest}"
+            );
+        }
+        assert_eq!(
+            analysis,
+            analyze_nest_parallel(nest, cache, &opts()),
+            "parallel analyzer diverged\n{nest}"
+        );
+        assert_eq!(
+            analysis,
+            analyze_nest(
+                nest,
+                cache,
+                &AnalysisOptions {
+                    pointwise_windows: true,
+                    ..opts()
+                },
+            ),
+            "pointwise ablation diverged\n{nest}"
+        );
+        analysis
+    }
+
+    /// Recorded case `380cb081…`: two arrays 96 elements apart, a
+    /// transposed-subscript reference pair `A0(j,i+1)` / `A0(i,i)`
+    /// (non-uniform), 256 B 2-way cache with 16 B lines.
+    #[test]
+    fn replay_nonuniform_pair_on_two_way_cache() {
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 2, 6).ct_loop("j", 2, 6);
+        let a0 = b.array("A0", &[9, 9], 0);
+        let a1 = b.array("A1", &[9, 9], 96);
+        b.reference(a0, AccessKind::Read, &[("j", 0), ("i", 1)]);
+        b.reference(a1, AccessKind::Read, &[("i", 0), ("i", 0)]);
+        b.reference(a0, AccessKind::Read, &[("i", 0), ("i", 0)]);
+        let nest = b.build().unwrap();
+        assert!(!is_uniform(&nest));
+        let analysis = battery(&nest, CacheConfig::new(256, 2, 16, 4).unwrap());
+        assert!(analysis.total_misses() > 0);
+    }
+
+    /// Recorded case `330d3459…`: a depth-3 nest whose innermost loop is
+    /// dead (no subscript uses `k`), a uniform `A0(i,j)` / `A0(i+1,j)`
+    /// pair, 256 B direct-mapped cache with 32 B lines — the exactness
+    /// claim must hold even with repeated identical row sweeps.
+    #[test]
+    fn replay_uniform_pair_with_dead_inner_loop() {
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 2, 6).ct_loop("j", 2, 6).ct_loop("k", 2, 6);
+        let a0 = b.array("A0", &[9, 9], 0);
+        b.reference(a0, AccessKind::Read, &[("i", 0), ("j", 0)]);
+        b.reference(a0, AccessKind::Read, &[("i", 1), ("j", 0)]);
+        let nest = b.build().unwrap();
+        assert!(is_uniform(&nest));
+        let analysis = battery(&nest, CacheConfig::new(256, 1, 32, 4).unwrap());
+        assert!(analysis.total_misses() > 0);
+    }
+}
+
 /// A deterministic spot-check that the distribution exercises conflicts at
 /// all (guards against a generator regression that would make the suite
 /// vacuous).
