@@ -12,7 +12,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use cme_cache::CacheConfig;
-use cme_core::{AnalysisOptions, Analyzer};
+use cme_core::{AnalysisOptions, Analyzer, Budget};
 
 fn table1_cache() -> CacheConfig {
     CacheConfig::new(8192, 1, 32, 4).unwrap()
@@ -49,6 +49,19 @@ fn bench_full_analysis(c: &mut Criterion) {
         sharded.analyze(&nest),
         "sharded cascade diverged from the reference implementation"
     );
+    // A never-tripping budget keeps the resource governor's accounting
+    // live on every checkpoint; the result must still be bit-identical.
+    let ample = Budget::unlimited().with_max_solves(u64::MAX / 2);
+    let governed = Analyzer::new(cache)
+        .options(opts.clone())
+        .budget(ample)
+        .try_analyze(&nest)
+        .expect("an ample budget cannot fail");
+    assert!(governed.outcome.is_complete());
+    assert_eq!(
+        reference, governed.analysis,
+        "governed cascade diverged from the reference implementation"
+    );
 
     let mut g = c.benchmark_group("full-analysis");
     g.sample_size(5);
@@ -58,6 +71,15 @@ fn bench_full_analysis(c: &mut Criterion) {
             // cascade, not the memo tables.
             let mut a = Analyzer::new(cache).options(opts.clone());
             black_box(a.analyze(&nest))
+        })
+    });
+    g.bench_function("cascade-governed", |b| {
+        // Same cold analysis, but with the governor's accounting active
+        // (an ample solve budget that never trips). The overhead gate
+        // below holds this within 2% of the ungoverned run.
+        b.iter(|| {
+            let mut a = Analyzer::new(cache).options(opts.clone()).budget(ample);
+            black_box(a.try_analyze(&nest).expect("ample budget"))
         })
     });
     g.bench_function("cascade-sharded", |b| {
@@ -97,5 +119,38 @@ fn check_speedup(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_full_analysis, check_speedup);
+/// The resource governor's perf bar: with an ample (never-tripping)
+/// budget keeping its accounting live, a cold analysis may cost at most
+/// 2% over the ungoverned run.
+fn check_governor_overhead(c: &mut Criterion) {
+    let mean = |label: &str| {
+        c.results
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, d)| d.as_secs_f64())
+    };
+    let (Some(plain), Some(governed)) = (
+        mean("full-analysis/cascade"),
+        mean("full-analysis/cascade-governed"),
+    ) else {
+        return;
+    };
+    let overhead = governed / plain.max(1e-12) - 1.0;
+    println!(
+        "governor overhead (ample budget vs ungoverned): {:+.2}%",
+        overhead * 100.0
+    );
+    assert!(
+        overhead <= 0.02,
+        "governor checkpoints must cost <= 2%, measured {:+.2}%",
+        overhead * 100.0
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_full_analysis,
+    check_speedup,
+    check_governor_overhead
+);
 criterion_main!(benches);

@@ -15,13 +15,19 @@
 //! Instead of a registry kernel name, `--file <path>` analyzes a nest
 //! written in the textual format of `cme_ir::parse` (see
 //! `examples/matmul.cme`).
+//!
+//! `analyze` accepts resource-governor flags: `--budget-ms MS` (wall-clock
+//! deadline) and `--max-solves N` (equation-evaluation cap). A budgeted run
+//! that exhausts prints its degraded-but-sound result plus the outcome
+//! line (`exhausted (...)`) instead of hanging or dying.
 
 use cme_bench::arg_value;
 use cme_cache::{export_din, simulate_nest, CacheConfig};
-use cme_core::{compare_with_simulation, AnalysisOptions, Analyzer, CmeSystem};
+use cme_core::{compare_with_simulation, AnalysisOptions, Analyzer, Budget, CmeSystem};
 use cme_kernels::{kernel_by_name, kernel_names};
 use cme_opt::{diagnose, optimize_padding};
 use cme_reuse::ReuseOptions;
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -64,11 +70,30 @@ fn main() {
         })
     };
     let opts = AnalysisOptions::default();
+    let mut budget = Budget::unlimited();
+    if let Some(ms) = arg_value(&args, "--budget-ms") {
+        budget = budget.with_deadline(Duration::from_millis(ms.max(0) as u64));
+    }
+    if let Some(n) = arg_value(&args, "--max-solves") {
+        budget = budget.with_max_solves(n.max(0) as u64);
+    }
     match command {
         "analyze" => {
             println!("{nest}");
-            let mut analyzer = Analyzer::new(cache).options(opts.clone()).parallel(true);
-            println!("{}", analyzer.analyze(&nest));
+            let mut analyzer = Analyzer::new(cache)
+                .options(opts.clone())
+                .parallel(true)
+                .budget(budget);
+            match analyzer.try_analyze(&nest) {
+                Ok(governed) => {
+                    println!("{}", governed.analysis);
+                    println!("outcome: {}", governed.outcome);
+                }
+                Err(e) => {
+                    eprintln!("analysis failed: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
         "simulate" => {
             println!("{}", simulate_nest(&nest, cache));

@@ -47,6 +47,16 @@
 //! invalidation keys are derived in `docs/ENGINE.md`. The free functions
 //! `analyze_nest` / `analyze_nest_parallel` / `analyze_reference` remain
 //! as deprecated shims over this session API.
+//!
+//! Sessions can also be **governed**: install a [`core::Budget`]
+//! (wall-clock deadline, solve cap, point ceiling) and/or a
+//! [`core::CancelToken`] on the builder and query through
+//! [`core::Analyzer::try_analyze`]. An interrupted query degrades to a
+//! *sound overcount* — truncated points are counted as misses, the
+//! paper's `ε > 0` semantics — tagged with [`core::Outcome::Exhausted`];
+//! worker panics and adversarial-extent overflow surface as typed
+//! [`core::AnalysisError`]s that poison only that query, never the
+//! session. See the budget section of `docs/ENGINE.md`.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]

@@ -49,6 +49,7 @@ mod keys;
 mod pool;
 
 use crate::equations::CmeSystem;
+use crate::governor::{AnalysisError, Budget, CancelToken, GovernedAnalysis, QueryGovernor};
 use crate::pointset::RunSet;
 use crate::solve::{
     scan_interior, scan_interior_pointwise, AnalysisOptions, NestAnalysis, RefAnalysis, Scanner,
@@ -86,6 +87,9 @@ struct CascadeEntry {
     /// vector ran (no reuse, or `ε` at least the whole space).
     final_set: Option<RunSet>,
     early_stopped: bool,
+    /// The governor stopped the refinement early; the entry is a sound
+    /// overcount and must never enter the memo tables.
+    truncated: bool,
 }
 
 /// The verdicts of one `(reference, reuse-vector)` batch of window scans,
@@ -98,6 +102,9 @@ struct ScanOutcome {
     contentions: Vec<u64>,
     /// Indices into the scan set of the points judged misses.
     miss_indices: Vec<u64>,
+    /// Points the governor cut short, counted as misses (sound
+    /// overcount); nonzero outcomes must never enter the memo tables.
+    truncated: u64,
 }
 
 #[derive(Debug)]
@@ -125,6 +132,9 @@ struct Counters {
     window_rebuilds: AtomicU64,
     window_rebuild_rows: AtomicU64,
     peak_survivors: AtomicU64,
+    truncated_points: AtomicU64,
+    exhausted_analyses: AtomicU64,
+    worker_panics: AtomicU64,
 }
 
 impl Counters {
@@ -184,6 +194,13 @@ pub struct EngineStats {
     pub window_rebuild_rows: u64,
     /// Largest indeterminate set entering any single reuse vector.
     pub peak_survivors: u64,
+    /// Iteration points classified indeterminate-treated-as-miss because
+    /// a budget or cancellation cut their refinement short.
+    pub truncated_points: u64,
+    /// Analyses that ended [`crate::Outcome::Exhausted`].
+    pub exhausted_analyses: u64,
+    /// Worker panics caught at the pool boundary (each failed one query).
+    pub worker_panics: u64,
     /// Diophantine/polytope solver memo hits (shared [`SolveMemo`]).
     pub solver_hits: u64,
     /// Solver memo misses (counts actually computed).
@@ -258,6 +275,11 @@ impl fmt::Display for EngineStats {
         writeln!(f, "  peak survivors: {} points", self.peak_survivors)?;
         writeln!(
             f,
+            "  degraded:      {} exhausted analyses ({} points truncated-as-miss), {} worker panics",
+            self.exhausted_analyses, self.truncated_points, self.worker_panics
+        )?;
+        writeln!(
+            f,
             "  systems:       {} generated, {} rebased, {} reused",
             self.systems_generated, self.systems_rebased, self.systems_reused
         )?;
@@ -305,6 +327,18 @@ pub struct Engine {
     solve_memo: Arc<SolveMemo>,
     counters: Counters,
     timings: Mutex<Timings>,
+    /// Test hook: worker items left before an injected panic fires
+    /// (`u64::MAX` = disarmed).
+    panic_countdown: AtomicU64,
+}
+
+/// Locks a mutex, recovering from poisoning: every value behind the
+/// engine's locks is either an `Arc`-shared immutable snapshot or a plain
+/// accumulator written in one statement, so a panic elsewhere cannot leave
+/// it half-updated — recovering keeps the *session* usable after a worker
+/// panic fails one query.
+fn relock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 enum ScanSlot {
@@ -337,6 +371,28 @@ impl Engine {
             solve_memo: Arc::new(SolveMemo::new()),
             counters: Counters::default(),
             timings: Mutex::new(Timings::default()),
+            panic_countdown: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Test hook: arms an injected panic that fires in the worker that
+    /// claims the `after`-th pool item (counting from 0) of subsequent
+    /// analyses, then disarms itself. Exists to prove the panic boundary:
+    /// the poisoned query returns [`AnalysisError::WorkerPanic`] while the
+    /// session stays usable.
+    #[doc(hidden)]
+    pub fn inject_worker_panic(&self, after: u64) {
+        self.panic_countdown.store(after, Ordering::Relaxed);
+    }
+
+    /// Fires the injected test panic when armed and due (the counter wraps
+    /// to `u64::MAX` on the firing decrement, disarming the hook).
+    fn maybe_inject_panic(&self) {
+        if self.panic_countdown.load(Ordering::Relaxed) == u64::MAX {
+            return;
+        }
+        if self.panic_countdown.fetch_sub(1, Ordering::Relaxed) == 0 {
+            panic!("injected worker panic (test hook)");
         }
     }
 
@@ -364,26 +420,17 @@ impl Engine {
 
     /// Drops every cached artifact. Counters keep accumulating.
     pub fn clear_caches(&self) {
-        self.reuse_memo
-            .lock()
-            .expect("engine memo poisoned")
-            .clear();
-        self.cascade_memo
-            .lock()
-            .expect("engine memo poisoned")
-            .clear();
-        self.scan_memo.lock().expect("engine memo poisoned").clear();
-        self.system_memo
-            .lock()
-            .expect("engine memo poisoned")
-            .clear();
+        relock(&self.reuse_memo).clear();
+        relock(&self.cascade_memo).clear();
+        relock(&self.scan_memo).clear();
+        relock(&self.system_memo).clear();
         self.solve_memo.clear();
     }
 
     /// Snapshot of the engine's accounting.
     pub fn stats(&self) -> EngineStats {
         let c = &self.counters;
-        let t = *self.timings.lock().expect("engine timings poisoned");
+        let t = *relock(&self.timings);
         EngineStats {
             analyses: c.analyses.load(Ordering::Relaxed),
             passthroughs: c.passthroughs.load(Ordering::Relaxed),
@@ -402,6 +449,9 @@ impl Engine {
             window_rebuilds: c.window_rebuilds.load(Ordering::Relaxed),
             window_rebuild_rows: c.window_rebuild_rows.load(Ordering::Relaxed),
             peak_survivors: c.peak_survivors.load(Ordering::Relaxed),
+            truncated_points: c.truncated_points.load(Ordering::Relaxed),
+            exhausted_analyses: c.exhausted_analyses.load(Ordering::Relaxed),
+            worker_panics: c.worker_panics.load(Ordering::Relaxed),
             solver_hits: self.solve_memo.hits(),
             solver_misses: self.solve_memo.misses(),
             time_prepare: t.prepare,
@@ -415,22 +465,79 @@ impl Engine {
     ///
     /// `threads` sizes the work pool over `(reference × reuse-vector)`
     /// items; `<= 1` runs inline on the caller's thread.
+    ///
+    /// Runs at full budget. Panics (with the worker's message) if a pool
+    /// worker panics, and on nests whose address arithmetic would overflow
+    /// — use [`Engine::try_analyze`] for the error-returning, budgeted
+    /// entry point.
     pub fn analyze(
         &mut self,
         nest: &LoopNest,
         options: &AnalysisOptions,
         threads: usize,
     ) -> NestAnalysis {
+        let gov = QueryGovernor::new(Budget::unlimited(), None);
+        match self.analyze_governed(nest, options, threads, &gov) {
+            Ok(analysis) => analysis,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The governed entry point: analyzes under `budget`, honoring
+    /// `cancel`, and never panics on the governed path. Exhaustion or
+    /// cancellation degrades instead of failing: unfinished iteration
+    /// points are counted as misses (the paper's `ε > 0` semantics, a
+    /// sound overcount) and the result is tagged
+    /// [`crate::Outcome::Exhausted`].
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::WorkerPanic`] when a pool worker panicked (only
+    /// this query is lost; the session and its memo tables stay usable)
+    /// and [`AnalysisError::Overflow`] when the nest's address arithmetic
+    /// cannot be performed in 64 bits.
+    pub fn try_analyze(
+        &mut self,
+        nest: &LoopNest,
+        options: &AnalysisOptions,
+        threads: usize,
+        budget: Budget,
+        cancel: Option<&CancelToken>,
+    ) -> Result<GovernedAnalysis, AnalysisError> {
+        let gov = QueryGovernor::new(budget, cancel.cloned());
+        let analysis = self.analyze_governed(nest, options, threads, &gov)?;
+        let outcome = gov.outcome();
+        if outcome.is_exhausted() {
+            self.counters
+                .exhausted_analyses
+                .fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .truncated_points
+                .fetch_add(gov.truncated_points(), Ordering::Relaxed);
+        }
+        Ok(GovernedAnalysis { analysis, outcome })
+    }
+
+    fn analyze_governed(
+        &mut self,
+        nest: &LoopNest,
+        options: &AnalysisOptions,
+        threads: usize,
+        gov: &QueryGovernor,
+    ) -> Result<NestAnalysis, AnalysisError> {
         self.counters.analyses.fetch_add(1, Ordering::Relaxed);
         let cache = self.cache;
         let nrefs = nest.references().len();
-        let fits_memo = nest.space().count() <= self.max_cached_points;
-        let use_cache = self.caching && fits_memo;
         let addrs: Vec<Affine> = nest
             .references()
             .iter()
             .map(|r| nest.address_affine(r.id()))
             .collect();
+        // One up-front pass bounds every address and the space size, so
+        // the unchecked arithmetic in the hot loops below cannot overflow.
+        crate::governor::validate_address_math(nest, &addrs)?;
+        let fits_memo = nest.space().count() <= self.max_cached_points;
+        let use_cache = self.caching && fits_memo;
         let prefix = if use_cache {
             keys::prefix_key(&cache, options, nest)
         } else {
@@ -443,9 +550,16 @@ impl Engine {
         // or fresh); scan batches become slots (memo hit or todo).
         let t0 = Instant::now();
         let plans: Vec<Plan> = pool::run_pool((0..nrefs).collect(), threads, |_, ridx| {
+            eng.maybe_inject_panic();
             let id = RefId::from_index(ridx);
+            if !gov.live() {
+                // Budget already gone: every point of this reference is
+                // indeterminate-treated-as-miss.
+                return Plan::Done(truncated_ref_analysis(nest, id, options, gov));
+            }
             if !eng.caching {
-                // True passthrough: the uncached reference implementation.
+                // True passthrough: the uncached reference implementation
+                // (governed only at reference granularity).
                 eng.counters.passthroughs.fetch_add(1, Ordering::Relaxed);
                 let rvs = reuse_vectors(nest, &cache, id, &options.reuse);
                 #[allow(deprecated)]
@@ -460,7 +574,9 @@ impl Engine {
                 eng.counters.reuse_built.fetch_add(1, Ordering::Relaxed);
                 let rvs = Arc::new(reuse_vectors(nest, &cache, id, &options.reuse));
                 eng.counters.cascades_built.fetch_add(1, Ordering::Relaxed);
-                let cascade = Arc::new(build_cascade(nest, &cache, &addrs, ridx, &rvs, options));
+                let cascade = Arc::new(build_cascade(
+                    nest, &cache, &addrs, ridx, &rvs, options, gov,
+                ));
                 let scans = cascade
                     .vectors
                     .iter()
@@ -478,7 +594,7 @@ impl Engine {
             let rvs = eng.lookup_reuse(rkey, || reuse_vectors(nest, &cache, id, &options.reuse));
             let ckey = keys::cascade_key(prefix, nest, options, ridx, ls);
             let cascade = eng.lookup_cascade(ckey, || {
-                build_cascade(nest, &cache, &addrs, ridx, &rvs, options)
+                build_cascade(nest, &cache, &addrs, ridx, &rvs, options, gov)
             });
             let scans = (0..cascade.vectors.len())
                 .map(|vi| {
@@ -494,7 +610,8 @@ impl Engine {
                 cascade,
                 scans,
             }
-        });
+        })
+        .map_err(|p| eng.note_worker_panic(p))?;
         for plan in &plans {
             if let Plan::Cached { cascade, .. } = plan {
                 for cv in &cascade.vectors {
@@ -533,6 +650,7 @@ impl Engine {
         }
         let partials: Vec<ScanOutcome> =
             pool::run_pool(jobs.clone(), threads, |_, (ti, run_lo, run_hi)| {
+                eng.maybe_inject_panic();
                 let (ridx, vi, _) = todo[ti];
                 let Plan::Cached { rvs, cascade, .. } = &plans[ridx] else {
                     unreachable!("todo items only come from cached plans");
@@ -548,14 +666,17 @@ impl Engine {
                     run_hi,
                     options,
                     &eng.counters,
+                    gov,
                 )
-            });
+            })
+            .map_err(|p| eng.note_worker_panic(p))?;
         let mut merged: Vec<ScanOutcome> = todo
             .iter()
             .map(|_| ScanOutcome {
                 replacement_misses: 0,
                 contentions: vec![0; nrefs],
                 miss_indices: Vec::new(),
+                truncated: 0,
             })
             .collect();
         for ((ti, _, _), part) in jobs.into_iter().zip(partials) {
@@ -567,6 +688,7 @@ impl Engine {
             // Blocks cover run ranges in order, so global indices stay
             // sorted under concatenation.
             m.miss_indices.extend_from_slice(&part.miss_indices);
+            m.truncated += part.truncated;
         }
         let outcomes: Vec<Arc<ScanOutcome>> = todo
             .iter()
@@ -574,8 +696,10 @@ impl Engine {
             .map(|(&(_, _, key), outcome)| {
                 let outcome = Arc::new(outcome);
                 match key {
-                    Some(key) => eng.store_scan(key, outcome.clone()),
-                    None => {
+                    // Truncated scans are sound overcounts, not exact
+                    // artifacts: never memoize them.
+                    Some(key) if outcome.truncated == 0 => eng.store_scan(key, outcome.clone()),
+                    _ => {
                         eng.counters.scans_executed.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -621,16 +745,21 @@ impl Engine {
             .collect();
         let assemble_elapsed = t2.elapsed();
         {
-            let mut t = self.timings.lock().expect("engine timings poisoned");
+            let mut t = relock(&self.timings);
             t.prepare += prepare_elapsed;
             t.scan += scan_elapsed;
             t.assemble += assemble_elapsed;
         }
-        NestAnalysis {
+        Ok(NestAnalysis {
             nest_name: nest.name().to_string(),
             cache,
             per_ref,
-        }
+        })
+    }
+
+    fn note_worker_panic(&self, p: pool::WorkerPanic) -> AnalysisError {
+        self.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+        AnalysisError::WorkerPanic { message: p.0 }
     }
 
     /// The symbolic CME system for a nest: generated once per structure,
@@ -640,7 +769,7 @@ impl Engine {
         let key = keys::system_key(&self.cache, reuse, nest);
         let layout = keys::layout_hash(nest);
         {
-            let mut map = self.system_memo.lock().expect("engine memo poisoned");
+            let mut map = relock(&self.system_memo);
             if let Some(entry) = map.get_mut(&key) {
                 if entry.layout == layout {
                     self.counters.systems_reused.fetch_add(1, Ordering::Relaxed);
@@ -659,7 +788,7 @@ impl Engine {
         self.counters
             .systems_generated
             .fetch_add(1, Ordering::Relaxed);
-        let mut map = self.system_memo.lock().expect("engine memo poisoned");
+        let mut map = relock(&self.system_memo);
         if map.len() >= SYSTEM_CAP {
             map.clear();
         }
@@ -689,18 +818,13 @@ impl Engine {
         key: u128,
         build: impl FnOnce() -> Vec<ReuseVector>,
     ) -> Arc<Vec<ReuseVector>> {
-        if let Some(v) = self
-            .reuse_memo
-            .lock()
-            .expect("engine memo poisoned")
-            .get(&key)
-        {
+        if let Some(v) = relock(&self.reuse_memo).get(&key) {
             self.counters.reuse_reused.fetch_add(1, Ordering::Relaxed);
             return v.clone();
         }
         let v = Arc::new(build());
         self.counters.reuse_built.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.reuse_memo.lock().expect("engine memo poisoned");
+        let mut map = relock(&self.reuse_memo);
         if map.len() >= REUSE_CAP {
             map.clear();
         }
@@ -709,12 +833,7 @@ impl Engine {
     }
 
     fn lookup_cascade(&self, key: u128, build: impl FnOnce() -> CascadeEntry) -> Arc<CascadeEntry> {
-        if let Some(c) = self
-            .cascade_memo
-            .lock()
-            .expect("engine memo poisoned")
-            .get(&key)
-        {
+        if let Some(c) = relock(&self.cascade_memo).get(&key) {
             self.counters
                 .cascades_reused
                 .fetch_add(1, Ordering::Relaxed);
@@ -722,7 +841,12 @@ impl Engine {
         }
         let c = Arc::new(build());
         self.counters.cascades_built.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.cascade_memo.lock().expect("engine memo poisoned");
+        if c.truncated {
+            // A truncated cascade is a sound overcount for *this* query
+            // only; memoizing it would degrade future full-budget runs.
+            return c;
+        }
+        let mut map = relock(&self.cascade_memo);
         if map.len() >= CASCADE_CAP {
             map.clear();
         }
@@ -731,12 +855,7 @@ impl Engine {
     }
 
     fn peek_scan(&self, key: u128) -> Option<Arc<ScanOutcome>> {
-        let hit = self
-            .scan_memo
-            .lock()
-            .expect("engine memo poisoned")
-            .get(&key)
-            .cloned();
+        let hit = relock(&self.scan_memo).get(&key).cloned();
         if hit.is_some() {
             self.counters.scans_reused.fetch_add(1, Ordering::Relaxed);
         }
@@ -745,11 +864,45 @@ impl Engine {
 
     fn store_scan(&self, key: u128, outcome: Arc<ScanOutcome>) {
         self.counters.scans_executed.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.scan_memo.lock().expect("engine memo poisoned");
+        let mut map = relock(&self.scan_memo);
         if map.len() >= SCAN_CAP {
             map.clear();
         }
         map.insert(key, outcome);
+    }
+}
+
+/// The fully degraded per-reference result: the budget died before any
+/// refinement, so every iteration point is indeterminate-treated-as-miss
+/// (all cold, zero vectors) — the shape [`assemble`] produces for a
+/// cascade with no processed vectors.
+fn truncated_ref_analysis(
+    nest: &LoopNest,
+    dest: RefId,
+    options: &AnalysisOptions,
+    gov: &QueryGovernor,
+) -> RefAnalysis {
+    let count = nest.space().count();
+    gov.note_truncated(count);
+    let cold_points = if options.collect_miss_points {
+        let mut pts = Vec::new();
+        let mut sp = nest.space();
+        while let Some(q) = sp.next_point() {
+            pts.push(q);
+        }
+        pts
+    } else {
+        Vec::new()
+    };
+    RefAnalysis {
+        dest,
+        label: nest.reference(dest).label().to_string(),
+        vectors: Vec::new(),
+        cold_misses: count,
+        replacement_misses: 0,
+        early_stopped: true,
+        replacement_miss_points: Vec::new(),
+        cold_miss_points: cold_points,
     }
 }
 
@@ -1000,6 +1153,7 @@ fn compute_mod_range(addr: &Affine, set: &RunSet, ls: i64) -> (i64, i64) {
 /// run-compressed and classified segment-wise, never point by point, and
 /// vectors with a constant address gap are certified all-cold in O(1)
 /// without touching the survivor runs at all.
+#[allow(clippy::too_many_arguments)]
 fn build_cascade(
     nest: &LoopNest,
     cache: &CacheConfig,
@@ -1007,6 +1161,7 @@ fn build_cascade(
     dest_idx: usize,
     rvs: &[ReuseVector],
     options: &AnalysisOptions,
+    gov: &QueryGovernor,
 ) -> CascadeEntry {
     let depth = nest.depth();
     let inner = depth - 1;
@@ -1015,6 +1170,7 @@ fn build_cascade(
     let mut c: Option<RunSet> = None;
     let mut vectors = Vec::new();
     let mut early_stopped = false;
+    let mut truncated = false;
     let mut certs = ColdCerts::default();
     let bbox = space.bounding_box();
     for rv in rvs {
@@ -1024,6 +1180,16 @@ fn build_cascade(
         };
         if examined <= options.epsilon {
             early_stopped = c.is_some() && examined > 0;
+            break;
+        }
+        // Governor checkpoint (after the ε check, so full-budget runs take
+        // the exact same branches): a dead budget or an over-ceiling
+        // survivor set stops the cascade here; the current survivors stay
+        // the final set and count as misses — the same sound-overcount
+        // shape as ε early stopping.
+        if !gov.admit_points(examined) || !gov.live() {
+            truncated = true;
+            gov.note_truncated(examined);
             break;
         }
         let r = rv.vector();
@@ -1065,11 +1231,21 @@ fn build_cascade(
             scan: RunSet::new(depth),
             cold: 0,
         };
+        // Mid-vector checkpoints every 64 rows/runs: an abandoned walk
+        // discards its partial classification (the previous survivor set
+        // stays the final one, every point of it a miss — sound).
+        let mut abandoned = false;
         match &c {
             None => {
                 // Whole space, one row at a time.
+                let mut rows = 0u64;
                 let mut pfx = space.first().map(|f| f[..inner].to_vec());
                 while let Some(pr) = pfx {
+                    if rows & 63 == 0 && !gov.live() {
+                        abandoned = true;
+                        break;
+                    }
+                    rows += 1;
                     if let Some((lo, hi)) = space.innermost_bounds(&pr) {
                         cls.classify(&pr, lo, hi);
                     }
@@ -1078,11 +1254,21 @@ fn build_cascade(
             }
             Some(set) => {
                 for ri in 0..set.run_count() {
+                    if ri & 63 == 0 && !gov.live() {
+                        abandoned = true;
+                        break;
+                    }
                     let run = set.run(ri);
                     cls.classify(run.prefix, run.lo, run.hi);
                 }
             }
         }
+        if abandoned {
+            truncated = true;
+            gov.note_truncated(examined);
+            break;
+        }
+        gov.charge(examined);
         // An all-cold walk reproduces the set run for run; anything else
         // changed it and voids the memoized certificates.
         if cls.cold != examined {
@@ -1099,6 +1285,7 @@ fn build_cascade(
         vectors,
         final_set: c,
         early_stopped,
+        truncated,
     }
 }
 
@@ -1156,6 +1343,7 @@ fn scan_run_block(
     run_hi: usize,
     options: &AnalysisOptions,
     counters: &Counters,
+    gov: &QueryGovernor,
 ) -> ScanOutcome {
     let depth = nest.depth();
     let inner = depth - 1;
@@ -1172,74 +1360,98 @@ fn scan_run_block(
     let mut miss_indices: Vec<u64> = Vec::new();
     let mut i_buf = vec![0i64; depth];
     let mut block_points = 0u64;
+    let mut truncated = 0u64;
+    // Governed runs check the budget every `chunk` points; at full budget
+    // the chunk spans the whole run, so the per-point loops below run
+    // exactly as before (one extra comparison per run).
+    let chunk: i64 = if gov.unlimited() { i64::MAX } else { 4096 };
 
     if options.exact_equation_counts || options.pointwise_windows {
         // Legacy per-point scan.
         let mut scanner = Scanner::new(cache, addrs, k, options.exact_equation_counts);
         let mut p = vec![0i64; depth];
-        for ri in run_lo..run_hi {
+        'runs_legacy: for ri in run_lo..run_hi {
             let run = points.run(ri);
             i_buf[..inner].copy_from_slice(run.prefix);
-            block_points += run.len();
-            for t in run.lo..=run.hi {
-                i_buf[inner] = t;
-                let i = &i_buf;
-                for l in 0..depth {
-                    p[l] = i[l] - r[l];
+            let mut seg = run.lo;
+            while seg <= run.hi {
+                let seg_hi = run.hi.min(seg.saturating_add(chunk - 1));
+                if !gov.live() {
+                    truncated += count_rest_as_misses(
+                        points,
+                        ri,
+                        run_hi,
+                        seg,
+                        &mut miss_indices,
+                        &mut replacement_misses,
+                    );
+                    break 'runs_legacy;
                 }
-                let a_dest = dest_addr.eval(i);
-                let dline = geom.line(a_dest);
-                scanner.reset(geom.set_of_line(dline), dline);
-                let mut go = true;
-                if intra {
-                    for s in (src_idx + 1)..dest_idx {
-                        if !scanner.check(i, s) {
-                            break;
-                        }
+                block_points += (seg_hi - seg + 1) as u64;
+                gov.charge((seg_hi - seg + 1) as u64);
+                for t in seg..=seg_hi {
+                    i_buf[inner] = t;
+                    let i = &i_buf;
+                    for l in 0..depth {
+                        p[l] = i[l] - r[l];
                     }
-                } else {
-                    // Tail of the source iteration (statements after the
-                    // source).
-                    for s in (src_idx + 1)..nrefs {
-                        if !scanner.check(&p, s) {
-                            go = false;
-                            break;
-                        }
-                    }
-                    // Whole iterations strictly between, row by row.
-                    if go {
-                        go = if options.pointwise_windows {
-                            scan_interior_pointwise(&mut scanner, &space, &p, i)
-                        } else {
-                            scan_interior(&mut scanner, &space, &p, i)
-                        };
-                    }
-                    // Head of the destination iteration (statements before
-                    // dest).
-                    if go {
-                        for s in 0..dest_idx {
+                    let a_dest = dest_addr.eval(i);
+                    let dline = geom.line(a_dest);
+                    scanner.reset(geom.set_of_line(dline), dline);
+                    let mut go = true;
+                    if intra {
+                        for s in (src_idx + 1)..dest_idx {
                             if !scanner.check(i, s) {
                                 break;
                             }
                         }
+                    } else {
+                        // Tail of the source iteration (statements after the
+                        // source).
+                        for s in (src_idx + 1)..nrefs {
+                            if !scanner.check(&p, s) {
+                                go = false;
+                                break;
+                            }
+                        }
+                        // Whole iterations strictly between, row by row.
+                        if go {
+                            go = if options.pointwise_windows {
+                                scan_interior_pointwise(&mut scanner, &space, &p, i)
+                            } else {
+                                scan_interior(&mut scanner, &space, &p, i)
+                            };
+                        }
+                        // Head of the destination iteration (statements before
+                        // dest).
+                        if go {
+                            for s in 0..dest_idx {
+                                if !scanner.check(i, s) {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if options.exact_equation_counts {
+                        for (s, v) in scanner.per_perp.iter().enumerate() {
+                            contentions[s] += v.len() as u64;
+                        }
+                    }
+                    if scanner.distinct.len() >= k {
+                        replacement_misses += 1;
+                        miss_indices.push(run.start + (t - run.lo) as u64);
                     }
                 }
-                if options.exact_equation_counts {
-                    for (s, v) in scanner.per_perp.iter().enumerate() {
-                        contentions[s] += v.len() as u64;
-                    }
-                }
-                if scanner.distinct.len() >= k {
-                    replacement_misses += 1;
-                    miss_indices.push(run.start + (t - run.lo) as u64);
-                }
+                seg = seg_hi + 1;
             }
         }
         counters.absorb_scan(block_points, WindowStats::default());
+        gov.note_truncated(truncated);
         return ScanOutcome {
             replacement_misses,
             contentions,
             miss_indices,
+            truncated,
         };
     }
 
@@ -1254,10 +1466,9 @@ fn scan_run_block(
     let mut p_buf = vec![0i64; depth];
     let mut side: Vec<i64> = Vec::new();
     let kk = k as u64;
-    for ri in run_lo..run_hi {
+    'runs: for ri in run_lo..run_hi {
         let run = points.run(ri);
         i_buf[..inner].copy_from_slice(run.prefix);
-        block_points += run.len();
         if intra {
             // No interior: only the statements strictly between the source
             // and the destination, at i⃗ itself, with addresses accumulated
@@ -1275,29 +1486,48 @@ fn scan_run_block(
                 .iter()
                 .map(|a| a.coeff(inner))
                 .collect();
-            for t in run.lo..=run.hi {
-                let dline = geom.line(dest_a);
-                let dset = geom.set_of_line(dline);
-                let mut conflicts = 0;
-                side.clear();
-                for &addr in &side_a {
+            let mut seg = run.lo;
+            while seg <= run.hi {
+                let seg_hi = run.hi.min(seg.saturating_add(chunk - 1));
+                if !gov.live() {
+                    truncated += count_rest_as_misses(
+                        points,
+                        ri,
+                        run_hi,
+                        seg,
+                        &mut miss_indices,
+                        &mut replacement_misses,
+                    );
+                    break 'runs;
+                }
+                block_points += (seg_hi - seg + 1) as u64;
+                gov.charge((seg_hi - seg + 1) as u64);
+                for t in seg..=seg_hi {
+                    let dline = geom.line(dest_a);
+                    let dset = geom.set_of_line(dline);
+                    let mut conflicts = 0;
+                    side.clear();
+                    for &addr in &side_a {
+                        if conflicts >= kk {
+                            break;
+                        }
+                        let line = geom.line(addr);
+                        if geom.set_of_line(line) == dset && line != dline && !side.contains(&line)
+                        {
+                            side.push(line);
+                            conflicts += 1;
+                        }
+                    }
                     if conflicts >= kk {
-                        break;
+                        replacement_misses += 1;
+                        miss_indices.push(run.start + (t - run.lo) as u64);
                     }
-                    let line = geom.line(addr);
-                    if geom.set_of_line(line) == dset && line != dline && !side.contains(&line) {
-                        side.push(line);
-                        conflicts += 1;
+                    dest_a += dest_stride;
+                    for (a, st) in side_a.iter_mut().zip(&side_strides) {
+                        *a += st;
                     }
                 }
-                if conflicts >= kk {
-                    replacement_misses += 1;
-                    miss_indices.push(run.start + (t - run.lo) as u64);
-                }
-                dest_a += dest_stride;
-                for (a, st) in side_a.iter_mut().zip(&side_strides) {
-                    *a += st;
-                }
+                seg = seg_hi + 1;
             }
             continue;
         }
@@ -1308,46 +1538,100 @@ fn scan_run_block(
             p_buf[l] = i_buf[l] - r[l];
         }
         w.begin_segment(&space, &p_buf, &i_buf, r);
-        for t in run.lo..=run.hi {
-            if t > run.lo {
-                w.step_in_segment();
+        let mut seg = run.lo;
+        while seg <= run.hi {
+            let seg_hi = run.hi.min(seg.saturating_add(chunk - 1));
+            if !gov.live() {
+                truncated += count_rest_as_misses(
+                    points,
+                    ri,
+                    run_hi,
+                    seg,
+                    &mut miss_indices,
+                    &mut replacement_misses,
+                );
+                break 'runs;
             }
-            let a_dest = w.dst_addr(dest_idx);
-            let dline = geom.line(a_dest);
-            let dset = geom.set_of_line(dline);
-            let mut conflicts = w.distinct_excluding(dset, dline);
-            side.clear();
-            // Tail of the source iteration, then head of the destination
-            // iteration.
-            for (at_src, lo_s, hi_s) in [(true, src_idx + 1, nrefs), (false, 0, dest_idx)] {
-                for s in lo_s..hi_s {
-                    if conflicts >= kk {
-                        break;
-                    }
-                    let addr = if at_src { w.src_addr(s) } else { w.dst_addr(s) };
-                    let line = geom.line(addr);
-                    if geom.set_of_line(line) == dset
-                        && line != dline
-                        && !w.contains_line(line)
-                        && !side.contains(&line)
-                    {
-                        side.push(line);
-                        conflicts += 1;
+            block_points += (seg_hi - seg + 1) as u64;
+            gov.charge((seg_hi - seg + 1) as u64);
+            for t in seg..=seg_hi {
+                if t > run.lo {
+                    w.step_in_segment();
+                }
+                let a_dest = w.dst_addr(dest_idx);
+                let dline = geom.line(a_dest);
+                let dset = geom.set_of_line(dline);
+                let mut conflicts = w.distinct_excluding(dset, dline);
+                side.clear();
+                // Tail of the source iteration, then head of the destination
+                // iteration.
+                for (at_src, lo_s, hi_s) in [(true, src_idx + 1, nrefs), (false, 0, dest_idx)] {
+                    for s in lo_s..hi_s {
+                        if conflicts >= kk {
+                            break;
+                        }
+                        let addr = if at_src { w.src_addr(s) } else { w.dst_addr(s) };
+                        let line = geom.line(addr);
+                        if geom.set_of_line(line) == dset
+                            && line != dline
+                            && !w.contains_line(line)
+                            && !side.contains(&line)
+                        {
+                            side.push(line);
+                            conflicts += 1;
+                        }
                     }
                 }
+                if conflicts >= kk {
+                    replacement_misses += 1;
+                    miss_indices.push(run.start + (t - run.lo) as u64);
+                }
             }
-            if conflicts >= kk {
-                replacement_misses += 1;
-                miss_indices.push(run.start + (t - run.lo) as u64);
-            }
+            seg = seg_hi + 1;
         }
     }
     counters.absorb_scan(block_points, w.stats);
+    gov.note_truncated(truncated);
     ScanOutcome {
         replacement_misses,
         contentions,
         miss_indices,
+        truncated,
     }
+}
+
+/// Degrades the unscanned tail of a block — everything from innermost
+/// index `from_t` of run `from_run` through run `run_hi - 1` — by counting
+/// every point as a replacement miss (indeterminate-treated-as-miss).
+/// Indices stay in global scan-set order, so merged outcomes remain
+/// well-formed. Returns the number of points degraded.
+fn count_rest_as_misses(
+    points: &RunSet,
+    from_run: usize,
+    run_hi: usize,
+    from_t: i64,
+    miss_indices: &mut Vec<u64>,
+    replacement_misses: &mut u64,
+) -> u64 {
+    let mut degraded = 0u64;
+    for ri in from_run..run_hi {
+        let run = points.run(ri);
+        let lo = if ri == from_run {
+            from_t.max(run.lo)
+        } else {
+            run.lo
+        };
+        if lo > run.hi {
+            continue;
+        }
+        for t in lo..=run.hi {
+            miss_indices.push(run.start + (t - run.lo) as u64);
+        }
+        let n = (run.hi - lo + 1) as u64;
+        *replacement_misses += n;
+        degraded += n;
+    }
+    degraded
 }
 
 /// Stitches a cascade and its scan outcomes into the public
@@ -1407,7 +1691,9 @@ fn assemble(
         vectors,
         cold_misses,
         replacement_misses,
-        early_stopped: cascade.early_stopped,
+        // A truncated cascade reports as early-stopped: the remaining
+        // survivors were counted as misses, exactly like ε stopping.
+        early_stopped: cascade.early_stopped || cascade.truncated,
         replacement_miss_points: repl_points,
         cold_miss_points: cold_points,
     }
@@ -1442,17 +1728,38 @@ pub struct Analyzer {
     options: AnalysisOptions,
     parallel: bool,
     threads: usize,
+    budget: Budget,
+    cancel: Option<CancelToken>,
 }
 
 impl Analyzer {
-    /// A sequential session with default options and caching on.
+    /// A sequential session with default options, caching on, and an
+    /// unlimited budget.
     pub fn new(cache: CacheConfig) -> Self {
         Analyzer {
             engine: Engine::new(cache),
             options: AnalysisOptions::default(),
             parallel: false,
             threads: 0,
+            budget: Budget::unlimited(),
+            cancel: None,
         }
+    }
+
+    /// Sets the session's per-query resource [`Budget`]. Exhausted
+    /// queries degrade to sound overcounts instead of failing (see
+    /// [`crate::Outcome`]).
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Installs a cooperative [`CancelToken`]: cancelling it (from any
+    /// thread) stops in-flight and subsequent queries at the next
+    /// checkpoint, degrading them like budget exhaustion.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     /// Sets the session's default analysis options.
@@ -1489,22 +1796,58 @@ impl Analyzer {
         &self.options
     }
 
-    /// Analyzes a nest with the session defaults. Results are bit-identical
-    /// to [`crate::analyze_nest`], warm or cold.
+    /// Analyzes a nest with the session defaults. At the default
+    /// unlimited budget, results are bit-identical to
+    /// [`crate::analyze_nest`], warm or cold; under a session budget or
+    /// cancellation the counts degrade to a sound overcount (use
+    /// [`Analyzer::try_analyze`] to observe the [`crate::Outcome`] tag).
+    /// Panics on [`AnalysisError`] — worker panic or address overflow.
     pub fn analyze(&mut self, nest: &LoopNest) -> NestAnalysis {
         let options = self.options.clone();
         self.analyze_with_options(nest, &options)
     }
 
     /// Analyzes with one-off options (e.g. an exact-counting pass) while
-    /// still sharing the session's memo tables.
+    /// still sharing the session's memo tables. Panics on
+    /// [`AnalysisError`]; see [`Analyzer::try_analyze_with_options`].
     pub fn analyze_with_options(
         &mut self,
         nest: &LoopNest,
         options: &AnalysisOptions,
     ) -> NestAnalysis {
+        match self.try_analyze_with_options(nest, options) {
+            Ok(governed) => governed.analysis,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The governed, panic-free entry point: analyzes under the session's
+    /// budget and cancel token and reports how the query ended alongside
+    /// the (possibly degraded, always sound) counts.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::try_analyze`].
+    pub fn try_analyze(&mut self, nest: &LoopNest) -> Result<GovernedAnalysis, AnalysisError> {
+        let options = self.options.clone();
+        self.try_analyze_with_options(nest, &options)
+    }
+
+    /// [`Analyzer::try_analyze`] with one-off options.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::try_analyze`].
+    pub fn try_analyze_with_options(
+        &mut self,
+        nest: &LoopNest,
+        options: &AnalysisOptions,
+    ) -> Result<GovernedAnalysis, AnalysisError> {
         let threads = self.thread_count();
-        self.engine.analyze(nest, options, threads)
+        let budget = self.budget;
+        let cancel = self.cancel.clone();
+        self.engine
+            .try_analyze(nest, options, threads, budget, cancel.as_ref())
     }
 
     /// Analyzes with the session options but with miss-point collection

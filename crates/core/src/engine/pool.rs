@@ -6,56 +6,108 @@
 //! (idle workers steal whatever is left, so an expensive item never
 //! serializes the cheap ones behind it), and results land in their item's
 //! slot so the output order is deterministic regardless of scheduling.
+//!
+//! The pool is also the engine's **panic boundary**: every `work` call
+//! runs under `catch_unwind`, so a panicking item (inline or pooled)
+//! surfaces as a structured [`WorkerPanic`] instead of unwinding through
+//! — or aborting — the whole process. On the first panic the remaining
+//! workers stop claiming items; the caller loses only this query.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A caught panic from one work item: the first panic's payload, rendered
+/// as text when it was a string (the overwhelmingly common case).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct WorkerPanic(pub(crate) String);
+
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Runs `work(index, item)` over every item and returns the results in
 /// item order. With `threads <= 1` (or one item) everything runs inline on
-/// the caller's thread — no pool, no synchronization.
-pub(crate) fn run_pool<T, R, F>(items: Vec<T>, threads: usize, work: F) -> Vec<R>
+/// the caller's thread — no pool, no synchronization. A panic in any item
+/// (first one wins) yields `Err(WorkerPanic)` instead of unwinding.
+pub(crate) fn run_pool<T, R, F>(
+    items: Vec<T>,
+    threads: usize,
+    work: F,
+) -> Result<Vec<R>, WorkerPanic>
 where
     T: Send,
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
+    // `AssertUnwindSafe` is sound here: on panic the engine discards every
+    // in-flight result for the query, so no broken invariant escapes.
+    let guarded = |i: usize, t: T| catch_unwind(AssertUnwindSafe(|| work(i, t)));
     if threads <= 1 || items.len() <= 1 {
-        return items
-            .into_iter()
-            .enumerate()
-            .map(|(i, t)| work(i, t))
-            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for (i, t) in items.into_iter().enumerate() {
+            match guarded(i, t) {
+                Ok(r) => out.push(r),
+                Err(payload) => return Err(WorkerPanic(payload_message(payload))),
+            }
+        }
+        return Ok(out);
     }
     let n = items.len();
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
+    let aborted = AtomicBool::new(false);
+    let first_panic: Mutex<Option<String>> = Mutex::new(None);
     let workers = threads.min(n);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                if aborted.load(Ordering::Relaxed) {
+                    break;
+                }
                 let idx = cursor.fetch_add(1, Ordering::Relaxed);
                 if idx >= n {
                     break;
                 }
-                let item = slots[idx]
-                    .lock()
-                    .expect("work slot poisoned")
-                    .take()
-                    .expect("work item claimed twice");
-                let out = work(idx, item);
-                *results[idx].lock().expect("result slot poisoned") = Some(out);
+                // A poisoned slot can only mean another worker panicked
+                // while holding it mid-claim; treat its item as consumed.
+                let item = slots[idx].lock().unwrap_or_else(|e| e.into_inner()).take();
+                let Some(item) = item else { continue };
+                match guarded(idx, item) {
+                    Ok(out) => {
+                        *results[idx].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                    }
+                    Err(payload) => {
+                        aborted.store(true, Ordering::Relaxed);
+                        first_panic
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .get_or_insert_with(|| payload_message(payload));
+                        break;
+                    }
+                }
             });
         }
     });
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker skipped an item")
-        })
-        .collect()
+    if let Some(message) = first_panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        return Err(WorkerPanic(message));
+    }
+    let mut out = Vec::with_capacity(n);
+    for m in results {
+        match m.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            Some(r) => out.push(r),
+            // Unreachable without a recorded panic, but stay panic-free.
+            None => return Err(WorkerPanic("worker skipped an item".to_string())),
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -65,15 +117,50 @@ mod tests {
     #[test]
     fn inline_and_pooled_agree_and_preserve_order() {
         let items: Vec<u64> = (0..100).collect();
-        let inline = run_pool(items.clone(), 1, |i, x| x * 2 + i as u64);
-        let pooled = run_pool(items, 4, |i, x| x * 2 + i as u64);
+        let inline = run_pool(items.clone(), 1, |i, x| x * 2 + i as u64).unwrap();
+        let pooled = run_pool(items, 4, |i, x| x * 2 + i as u64).unwrap();
         assert_eq!(inline, pooled);
         assert_eq!(inline[10], 30);
     }
 
     #[test]
     fn empty_and_singleton() {
-        assert_eq!(run_pool(Vec::<u8>::new(), 8, |_, x| x), Vec::<u8>::new());
-        assert_eq!(run_pool(vec![7], 8, |_, x| x + 1), vec![8]);
+        assert_eq!(
+            run_pool(Vec::<u8>::new(), 8, |_, x| x).unwrap(),
+            Vec::<u8>::new()
+        );
+        assert_eq!(run_pool(vec![7], 8, |_, x| x + 1).unwrap(), vec![8]);
+    }
+
+    #[test]
+    fn inline_panic_is_caught() {
+        let err = run_pool(vec![1u8, 2, 3], 1, |_, x| {
+            if x == 2 {
+                panic!("item {x} exploded");
+            }
+            x
+        })
+        .unwrap_err();
+        assert!(err.0.contains("item 2 exploded"), "{}", err.0);
+    }
+
+    #[test]
+    fn pooled_panic_aborts_and_reports() {
+        let items: Vec<u64> = (0..64).collect();
+        let err = run_pool(items, 4, |_, x| {
+            if x == 13 {
+                panic!("unlucky");
+            }
+            x
+        })
+        .unwrap_err();
+        assert!(err.0.contains("unlucky"), "{}", err.0);
+    }
+
+    #[test]
+    fn non_string_payload_is_described() {
+        let err =
+            run_pool(vec![0u8], 1, |_, _| -> u8 { std::panic::panic_any(42i32) }).unwrap_err();
+        assert_eq!(err.0, "non-string panic payload");
     }
 }

@@ -1,0 +1,612 @@
+//! The resource governor: budgets, cooperative cancellation, and the
+//! degraded-but-sound outcome of an interrupted analysis.
+//!
+//! Exact CME solving is worst-case intractable — the paper's own `ε` knob
+//! (Figure 6) exists because refining every iteration point can cost more
+//! than it is worth. A [`Budget`] generalizes that knob from "stop when few
+//! survivors remain" to *operational* limits: a wall-clock deadline, a cap
+//! on equation evaluations, and a ceiling on resident point-set size. A
+//! [`CancelToken`] adds caller-driven interruption on top.
+//!
+//! The key design decision is **what exhaustion means**. The engine never
+//! throws away the work it has done and never errors out of the query:
+//! every iteration point whose classification was cut short is counted as
+//! an *indeterminate-treated-as-miss* — exactly the semantics the paper
+//! assigns to points left unresolved by `ε > 0` early stopping. A
+//! budget-exhausted analysis is therefore a **sound overcount**: it can
+//! only report more misses than the exact answer, never fewer. The result
+//! carries an [`Outcome`] tag so callers can distinguish `Complete` from
+//! `Exhausted`, and [`crate::EngineStats`] records how many points were
+//! truncated.
+//!
+//! Errors, by contrast, are reserved for failures that produce *no* sound
+//! result: a worker panic (isolated at the pool boundary and converted to
+//! [`AnalysisError::WorkerPanic`], poisoning only that query) and address
+//! arithmetic that would overflow `i64` on adversarial extents
+//! ([`AnalysisError::Overflow`], detected up front so the hot loops can
+//! stay unchecked).
+
+use cme_ir::LoopNest;
+use cme_math::{Affine, Interval};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Resource limits for one analysis query (or a whole session of them).
+///
+/// The default budget is unlimited; every limit is opt-in and they
+/// compose. All three are *soft* limits checked cooperatively at run and
+/// segment granularity — the engine overshoots by at most one segment.
+///
+/// ```
+/// use cme_core::Budget;
+/// use std::time::Duration;
+///
+/// let b = Budget::unlimited()
+///     .with_deadline(Duration::from_millis(50))
+///     .with_max_solves(1_000_000);
+/// assert!(!b.is_unlimited());
+/// assert_eq!(b.max_points(), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    deadline: Option<Duration>,
+    max_solves: Option<u64>,
+    max_points: Option<u64>,
+}
+
+impl Budget {
+    /// No limits: the governed path is bit-identical to the ungoverned one.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Caps wall-clock time from the start of the query.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Caps equation evaluations: every iteration point classified by a
+    /// cold-miss Diophantine condition or scanned against the replacement
+    /// equations charges one solve.
+    pub fn with_max_solves(mut self, max_solves: u64) -> Self {
+        self.max_solves = Some(max_solves);
+        self
+    }
+
+    /// Ceiling on the resident survivor point-set of a single reference —
+    /// the memory proxy: a reference whose indeterminate set exceeds this
+    /// is not refined further (all its survivors count as misses).
+    pub fn with_max_points(mut self, max_points: u64) -> Self {
+        self.max_points = Some(max_points);
+        self
+    }
+
+    /// The wall-clock limit, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The equation-evaluation limit, if any.
+    pub fn max_solves(&self) -> Option<u64> {
+        self.max_solves
+    }
+
+    /// The resident point-set ceiling, if any.
+    pub fn max_points(&self) -> Option<u64> {
+        self.max_points
+    }
+
+    /// True when no limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_solves.is_none() && self.max_points.is_none()
+    }
+}
+
+/// A cooperative cancellation handle.
+///
+/// Clones share one flag: keep a clone, hand another to the analyzer, and
+/// call [`CancelToken::cancel`] from any thread to stop the query at the
+/// next governor checkpoint. Cancellation degrades the result exactly like
+/// budget exhaustion — the analysis still returns, soundly overcounted.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation (idempotent, callable from any thread).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Which limit stopped an exhausted analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExhaustReason {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The equation-evaluation budget ran out.
+    SolveBudget,
+    /// A survivor set exceeded the resident point ceiling.
+    PointBudget,
+    /// The [`CancelToken`] was triggered.
+    Cancelled,
+}
+
+impl fmt::Display for ExhaustReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExhaustReason::Deadline => write!(f, "deadline"),
+            ExhaustReason::SolveBudget => write!(f, "solve budget"),
+            ExhaustReason::PointBudget => write!(f, "point budget"),
+            ExhaustReason::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// How a governed analysis ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Every iteration point was classified exactly; the result is
+    /// bit-identical to an ungoverned run.
+    Complete,
+    /// A limit stopped the query early. The result is still a **sound
+    /// overcount**: truncated points are counted as misses (the paper's
+    /// `ε > 0` semantics).
+    Exhausted {
+        /// The budget that was in force.
+        budget: Budget,
+        /// The first limit that tripped.
+        reason: ExhaustReason,
+        /// Fraction of charged work completed before the stop, in
+        /// `[0, 1]` (approximate: work is charged per segment).
+        completed_fraction: f64,
+        /// Iteration points classified indeterminate-treated-as-miss
+        /// because their refinement was cut short.
+        truncated_points: u64,
+    },
+}
+
+impl Outcome {
+    /// True for [`Outcome::Complete`].
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Outcome::Complete)
+    }
+
+    /// True for [`Outcome::Exhausted`].
+    pub fn is_exhausted(&self) -> bool {
+        matches!(self, Outcome::Exhausted { .. })
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Complete => write!(f, "complete"),
+            Outcome::Exhausted {
+                reason,
+                completed_fraction,
+                truncated_points,
+                ..
+            } => write!(
+                f,
+                "exhausted ({reason}): {:.1}% complete, {truncated_points} points treated as misses",
+                completed_fraction * 100.0
+            ),
+        }
+    }
+}
+
+/// A governed analysis result: the (possibly degraded, always sound)
+/// counts plus the outcome tag.
+#[derive(Debug, Clone)]
+pub struct GovernedAnalysis {
+    /// The per-reference analysis. When the outcome is exhausted, miss
+    /// counts are upper bounds (truncated points count as misses).
+    pub analysis: crate::solve::NestAnalysis,
+    /// Whether the budget sufficed.
+    pub outcome: Outcome,
+}
+
+/// A failure that produced no sound result for the query. The session
+/// (its memo tables, its other queries) remains fully usable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// A pool worker panicked; the panic was caught at the shard boundary
+    /// and only this query is lost.
+    WorkerPanic {
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// Address or line arithmetic on this nest would overflow `i64`
+    /// (adversarial extents/bases); detected before any solving ran.
+    Overflow {
+        /// What overflowed.
+        context: String,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::WorkerPanic { message } => {
+                write!(f, "analysis worker panicked: {message}")
+            }
+            AnalysisError::Overflow { context } => {
+                write!(f, "address arithmetic would overflow: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Magnitude ceiling for validated address values: leaves headroom for
+/// every product the solve loops form (line numbers × line size, strides ×
+/// extents) to stay within `i64`.
+const MAX_SAFE_MAG: i128 = (i64::MAX / 8) as i128;
+
+/// Range of an affine form over a bounding box, in `i128` (cannot
+/// overflow: ≤ 64-bit products summed over the nest depth).
+fn affine_range_wide(a: &Affine, bbox: &[Interval]) -> (i128, i128) {
+    let mut lo = a.constant_term() as i128;
+    let mut hi = lo;
+    for (l, iv) in bbox.iter().enumerate() {
+        let c = a.coeff(l) as i128;
+        let (x, y) = (c * iv.lo as i128, c * iv.hi as i128);
+        lo += x.min(y);
+        hi += x.max(y);
+    }
+    (lo, hi)
+}
+
+/// Validates that every address this nest can form, and the iteration
+/// space size itself, stays far enough from `i64::MAX` that the unchecked
+/// hot loops cannot overflow. One pass per query, O(refs × depth).
+pub(crate) fn validate_address_math(
+    nest: &LoopNest,
+    addrs: &[Affine],
+) -> Result<(), AnalysisError> {
+    let bbox = nest.space().bounding_box();
+    let mut points: u128 = 1;
+    for iv in &bbox {
+        let w = (iv.hi as i128 - iv.lo as i128 + 1).max(0) as u128;
+        points = points.saturating_mul(w);
+        if iv.lo.unsigned_abs() > (i64::MAX / 4) as u64
+            || iv.hi.unsigned_abs() > (i64::MAX / 4) as u64
+        {
+            return Err(AnalysisError::Overflow {
+                context: format!("loop bound magnitude {:?} exceeds the safe range", iv),
+            });
+        }
+    }
+    if points > (u64::MAX / 4) as u128 {
+        return Err(AnalysisError::Overflow {
+            context: format!("iteration space size {points} overflows the point counters"),
+        });
+    }
+    for (ridx, a) in addrs.iter().enumerate() {
+        let (lo, hi) = affine_range_wide(a, &bbox);
+        let mag = lo.abs().max(hi.abs());
+        if mag > MAX_SAFE_MAG {
+            return Err(AnalysisError::Overflow {
+                context: format!(
+                    "reference #{ridx} reaches address magnitude {mag} (safe limit {MAX_SAFE_MAG})"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Exhaust-reason encoding for the governor's atomic flag.
+const LIVE: u8 = 0;
+
+fn reason_code(r: ExhaustReason) -> u8 {
+    match r {
+        ExhaustReason::Deadline => 1,
+        ExhaustReason::SolveBudget => 2,
+        ExhaustReason::PointBudget => 3,
+        ExhaustReason::Cancelled => 4,
+    }
+}
+
+fn code_reason(c: u8) -> Option<ExhaustReason> {
+    match c {
+        1 => Some(ExhaustReason::Deadline),
+        2 => Some(ExhaustReason::SolveBudget),
+        3 => Some(ExhaustReason::PointBudget),
+        4 => Some(ExhaustReason::Cancelled),
+        _ => None,
+    }
+}
+
+/// Per-query governor state shared across pool shards. All checks are
+/// branch-free no-ops at full budget (`unlimited` + no token), which is
+/// what keeps governed and ungoverned runs bit-identical and the overhead
+/// within the perf budget.
+#[derive(Debug)]
+pub(crate) struct QueryGovernor {
+    budget: Budget,
+    cancel: Option<CancelToken>,
+    unlimited: bool,
+    deadline_at: Option<Instant>,
+    max_solves: u64,
+    max_points: u64,
+    work: AtomicU64,
+    truncated: AtomicU64,
+    exhausted: AtomicU8,
+    ticks: AtomicU64,
+}
+
+impl QueryGovernor {
+    pub(crate) fn new(budget: Budget, cancel: Option<CancelToken>) -> Self {
+        let unlimited = budget.is_unlimited() && cancel.is_none();
+        QueryGovernor {
+            deadline_at: budget.deadline().map(|d| Instant::now() + d),
+            max_solves: budget.max_solves().unwrap_or(u64::MAX),
+            max_points: budget.max_points().unwrap_or(u64::MAX),
+            budget,
+            cancel,
+            unlimited,
+            work: AtomicU64::new(0),
+            truncated: AtomicU64::new(0),
+            exhausted: AtomicU8::new(LIVE),
+            ticks: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn unlimited(&self) -> bool {
+        self.unlimited
+    }
+
+    fn mark(&self, reason: ExhaustReason) {
+        // First writer wins; later limits keep the original reason.
+        let _ = self.exhausted.compare_exchange(
+            LIVE,
+            reason_code(reason),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// The cooperative checkpoint: true while the query may keep refining.
+    /// Checked at run/segment granularity, never per point.
+    #[inline]
+    pub(crate) fn live(&self) -> bool {
+        if self.unlimited {
+            return true;
+        }
+        if self.exhausted.load(Ordering::Relaxed) != LIVE {
+            return false;
+        }
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                self.mark(ExhaustReason::Cancelled);
+                return false;
+            }
+        }
+        if self.max_solves != u64::MAX && self.work.load(Ordering::Relaxed) > self.max_solves {
+            self.mark(ExhaustReason::SolveBudget);
+            return false;
+        }
+        if let Some(at) = self.deadline_at {
+            // Sample the clock every 16th checkpoint: checkpoints fire per
+            // run, and `Instant::now` is the expensive part.
+            if self.ticks.fetch_add(1, Ordering::Relaxed) & 0xF == 0 && Instant::now() >= at {
+                self.mark(ExhaustReason::Deadline);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Charges `n` equation evaluations (classified or scanned points).
+    #[inline]
+    pub(crate) fn charge(&self, n: u64) {
+        if !self.unlimited {
+            self.work.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Point-set ceiling check: false (and exhausts the query) when a
+    /// survivor set of `n` points exceeds the budget.
+    #[inline]
+    pub(crate) fn admit_points(&self, n: u64) -> bool {
+        if n > self.max_points {
+            self.mark(ExhaustReason::PointBudget);
+            return false;
+        }
+        true
+    }
+
+    /// Records `n` points whose refinement was cut short (each is counted
+    /// as a miss by the degraded result).
+    pub(crate) fn note_truncated(&self, n: u64) {
+        if n > 0 {
+            self.truncated.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Total truncated points so far.
+    pub(crate) fn truncated_points(&self) -> u64 {
+        self.truncated.load(Ordering::Relaxed)
+    }
+
+    /// The query's outcome tag.
+    pub(crate) fn outcome(&self) -> Outcome {
+        match code_reason(self.exhausted.load(Ordering::Relaxed)) {
+            None => Outcome::Complete,
+            Some(reason) => {
+                let done = self.work.load(Ordering::Relaxed);
+                let truncated = self.truncated.load(Ordering::Relaxed);
+                let total = done + truncated;
+                Outcome::Exhausted {
+                    budget: self.budget,
+                    reason,
+                    completed_fraction: if total == 0 {
+                        0.0
+                    } else {
+                        done as f64 / total as f64
+                    },
+                    truncated_points: truncated,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let gov = QueryGovernor::new(Budget::unlimited(), None);
+        assert!(gov.unlimited());
+        for _ in 0..100 {
+            assert!(gov.live());
+        }
+        gov.charge(u64::MAX / 2);
+        assert!(gov.live());
+        assert_eq!(gov.outcome(), Outcome::Complete);
+    }
+
+    #[test]
+    fn solve_budget_trips_and_keeps_first_reason() {
+        let gov = QueryGovernor::new(
+            Budget::unlimited().with_max_solves(10).with_max_points(100),
+            None,
+        );
+        assert!(gov.live());
+        gov.charge(11);
+        assert!(!gov.live());
+        gov.note_truncated(5);
+        // A later point-budget violation does not rewrite the reason.
+        assert!(!gov.admit_points(101));
+        match gov.outcome() {
+            Outcome::Exhausted {
+                reason,
+                truncated_points,
+                completed_fraction,
+                ..
+            } => {
+                assert_eq!(reason, ExhaustReason::SolveBudget);
+                assert_eq!(truncated_points, 5);
+                assert!((completed_fraction - 11.0 / 16.0).abs() < 1e-12);
+            }
+            o => panic!("expected exhausted, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_token_shared_across_clones() {
+        let token = CancelToken::new();
+        let gov = QueryGovernor::new(Budget::unlimited(), Some(token.clone()));
+        assert!(!gov.unlimited(), "a token alone makes the query governed");
+        assert!(gov.live());
+        token.clone().cancel();
+        assert!(!gov.live());
+        assert!(matches!(
+            gov.outcome(),
+            Outcome::Exhausted {
+                reason: ExhaustReason::Cancelled,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn deadline_trips_after_elapsing() {
+        let gov = QueryGovernor::new(
+            Budget::unlimited().with_deadline(Duration::from_millis(0)),
+            None,
+        );
+        // Tick 0 samples the clock immediately.
+        assert!(!gov.live());
+        assert!(matches!(
+            gov.outcome(),
+            Outcome::Exhausted {
+                reason: ExhaustReason::Deadline,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn point_ceiling_is_a_per_set_limit() {
+        let gov = QueryGovernor::new(Budget::unlimited().with_max_points(100), None);
+        assert!(gov.admit_points(100));
+        assert!(gov.live());
+        assert!(!gov.admit_points(101));
+        assert!(!gov.live());
+    }
+
+    #[test]
+    fn error_and_outcome_display() {
+        let e = AnalysisError::WorkerPanic {
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("boom"));
+        let e = AnalysisError::Overflow {
+            context: "ref #0".into(),
+        };
+        assert!(e.to_string().contains("overflow"));
+        assert_eq!(Outcome::Complete.to_string(), "complete");
+        let ex = Outcome::Exhausted {
+            budget: Budget::unlimited().with_max_solves(1),
+            reason: ExhaustReason::SolveBudget,
+            completed_fraction: 0.25,
+            truncated_points: 30,
+        };
+        assert!(ex.to_string().contains("25.0%"), "{ex}");
+        assert!(ex.is_exhausted() && !ex.is_complete());
+    }
+
+    #[test]
+    fn validate_rejects_adversarial_extents() {
+        use cme_ir::{AccessKind, NestBuilder};
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 1, 4);
+        let a = b.array("A", &[4], i64::MAX / 2);
+        b.reference(a, AccessKind::Read, &[("i", 0)]);
+        let nest = b.build().unwrap();
+        let addrs: Vec<Affine> = nest
+            .references()
+            .iter()
+            .map(|r| nest.address_affine(r.id()))
+            .collect();
+        let err = validate_address_math(&nest, &addrs).unwrap_err();
+        assert!(matches!(err, AnalysisError::Overflow { .. }), "{err}");
+    }
+
+    #[test]
+    fn validate_accepts_ordinary_nests() {
+        use cme_ir::{AccessKind, NestBuilder};
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 1, 64).ct_loop("j", 1, 64);
+        let a = b.array("A", &[64, 64], 0);
+        b.reference(a, AccessKind::Read, &[("i", 0), ("j", 0)]);
+        let nest = b.build().unwrap();
+        let addrs: Vec<Affine> = nest
+            .references()
+            .iter()
+            .map(|r| nest.address_affine(r.id()))
+            .collect();
+        assert!(validate_address_math(&nest, &addrs).is_ok());
+    }
+}

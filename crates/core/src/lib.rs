@@ -32,6 +32,11 @@
 //!   memoizes reuse vectors, cold/indeterminate cascades, window-scan
 //!   verdicts, and generated equation systems across the candidate nests
 //!   of an optimizer search (see `docs/ENGINE.md`).
+//! - [`governor`] — the resource governor: per-query [`Budget`]s,
+//!   cooperative [`CancelToken`]s, and graceful degradation of exhausted
+//!   queries to sound overcounts (the paper's `ε > 0` semantics), plus
+//!   the structured [`AnalysisError`] for worker panics and address
+//!   overflow.
 //! - [`accuracy`] — side-by-side comparison against the LRU simulator
 //!   (Table 1's DineroIII columns).
 //!
@@ -61,10 +66,12 @@
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod accuracy;
 pub mod engine;
 pub mod equations;
+pub mod governor;
 pub mod pointset;
 pub mod sequence;
 pub mod solve;
@@ -73,6 +80,7 @@ mod window;
 pub use accuracy::{compare_with_simulation, AccuracyRow};
 pub use engine::{Analyzer, Engine, EngineStats};
 pub use equations::{CmeSystem, ColdEquation, EquationGroup, RefEquations, ReplacementEquation};
+pub use governor::{AnalysisError, Budget, CancelToken, ExhaustReason, GovernedAnalysis, Outcome};
 pub use pointset::{PointSet, Run, RunSet};
 pub use sequence::{analyze_sequence, SequenceAnalysis};
 #[allow(deprecated)]

@@ -18,9 +18,10 @@
 //! ...
 //! ```
 
-use crate::verdict::{check_case, CaseReport, Verdict};
+use crate::verdict::{check_case, check_case_governed, CaseReport, Verdict};
 use crate::Oracle;
 use cme_cache::CacheConfig;
+use cme_core::Budget;
 use cme_ir::parse::{parse_nest, to_source};
 use cme_ir::LoopNest;
 use std::fmt;
@@ -88,6 +89,36 @@ impl CorpusCase {
         shard_threads: usize,
     ) -> Result<CaseReport, String> {
         let report = check_case(oracle, &self.nest, self.cache, self.epsilon, shard_threads);
+        self.judge(report)
+    }
+
+    /// [`CorpusCase::verify`] under a resource [`Budget`]. When the check
+    /// comes back exhausted, the expectation is relaxed one notch: an
+    /// `exact` case may legally degrade to a sound overcount (the budget
+    /// acted as `ε > 0`), but a violation still fails — soundness holds
+    /// under every budget.
+    pub fn verify_governed<O: Oracle + ?Sized>(
+        &self,
+        oracle: &mut O,
+        shard_threads: usize,
+        budget: Budget,
+    ) -> Result<CaseReport, String> {
+        let report = check_case_governed(
+            oracle,
+            &self.nest,
+            self.cache,
+            self.epsilon,
+            shard_threads,
+            budget,
+            None,
+        );
+        if report.exhausted && !report.verdict.is_violation() {
+            return Ok(report);
+        }
+        self.judge(report)
+    }
+
+    fn judge(&self, report: CaseReport) -> Result<CaseReport, String> {
         if self.expect.allows(&report.verdict) {
             Ok(report)
         } else {
@@ -282,6 +313,25 @@ mod tests {
             relaxed.expect = expect;
             relaxed.verify(&mut crate::CmeOracle, 4).unwrap();
         }
+    }
+
+    #[test]
+    fn governed_verify_relaxes_exact_expectation_under_exhaustion() {
+        let case = sample_case(false); // expects Exact
+        let report = case
+            .verify_governed(
+                &mut crate::CmeOracle,
+                4,
+                Budget::unlimited().with_max_solves(1),
+            )
+            .expect("exhausted-but-sound must pass even an `exact` case");
+        assert!(report.exhausted);
+        // At full budget the governed path is bit-identical to verify().
+        let full = case
+            .verify_governed(&mut crate::CmeOracle, 4, Budget::unlimited())
+            .unwrap();
+        assert!(!full.exhausted);
+        assert_eq!(full.verdict, Verdict::Exact);
     }
 
     #[test]

@@ -41,10 +41,10 @@ pub mod verdict;
 
 pub use corpus::{parse_case, write_case, CorpusCase, Expectation};
 pub use minimize::{minimize_violation, shrink_case};
-pub use verdict::{check_case, CaseReport, Verdict, ViolationKind};
+pub use verdict::{check_case, check_case_governed, CaseReport, Verdict, ViolationKind};
 
 use cme_cache::CacheConfig;
-use cme_core::{AnalysisOptions, Analyzer};
+use cme_core::{AnalysisOptions, Analyzer, Budget, CancelToken};
 use cme_ir::LoopNest;
 use cme_testgen::{is_uniform, random_cache, random_nest, CaseRng, NestDistribution};
 use std::collections::BTreeMap;
@@ -66,6 +66,26 @@ pub trait Oracle {
         epsilon: u64,
         threads: usize,
     ) -> Vec<u64>;
+
+    /// [`Oracle::per_ref_misses`] under a resource [`Budget`] and optional
+    /// [`CancelToken`]; returns the counts plus whether the analysis was
+    /// exhausted (degraded to a sound upper bound).
+    ///
+    /// The default implementation ignores the budget and never reports
+    /// exhaustion, so mutation-test oracles that only break the ungoverned
+    /// path need not implement it.
+    fn per_ref_misses_governed(
+        &mut self,
+        nest: &LoopNest,
+        cache: CacheConfig,
+        epsilon: u64,
+        threads: usize,
+        budget: Budget,
+        cancel: Option<&CancelToken>,
+    ) -> (Vec<u64>, bool) {
+        let _ = (budget, cancel);
+        (self.per_ref_misses(nest, cache, epsilon, threads), false)
+    }
 }
 
 /// The production oracle: a fresh [`Analyzer`] session per query, so
@@ -91,6 +111,40 @@ impl Oracle for CmeOracle {
             .iter()
             .map(|r| r.total_misses())
             .collect()
+    }
+
+    fn per_ref_misses_governed(
+        &mut self,
+        nest: &LoopNest,
+        cache: CacheConfig,
+        epsilon: u64,
+        threads: usize,
+        budget: Budget,
+        cancel: Option<&CancelToken>,
+    ) -> (Vec<u64>, bool) {
+        let options = AnalysisOptions::builder().epsilon(epsilon).build();
+        let mut analyzer = Analyzer::new(cache)
+            .options(options)
+            .threads(threads.max(1))
+            .budget(budget);
+        if let Some(token) = cancel {
+            analyzer = analyzer.cancel_token(token.clone());
+        }
+        match analyzer.try_analyze(nest) {
+            Ok(governed) => (
+                governed
+                    .analysis
+                    .per_ref
+                    .iter()
+                    .map(|r| r.total_misses())
+                    .collect(),
+                governed.outcome.is_exhausted(),
+            ),
+            // An errored query (a caught worker panic) produced no counts;
+            // degrade to the vacuous sound bound — every reference misses
+            // on every access of the nest — flagged as exhausted.
+            Err(_) => (vec![nest.access_count(); nest.references().len()], true),
+        }
     }
 }
 
@@ -122,6 +176,19 @@ pub struct FuzzConfig {
     /// Cases with more accesses than this are skipped (and counted, so
     /// the cap is never silent).
     pub max_points: u64,
+    /// Per-check wall-clock budget. When set, every `(case, ε)` check runs
+    /// under `Budget::unlimited().with_deadline(..)`: a check that exceeds
+    /// it degrades to a sound overcount (still classified — exhaustion is
+    /// not a violation) and the case is recorded in
+    /// [`FuzzReport::timeouts`] as a replayable slow-case seed. `None`
+    /// (the library default) runs every check to completion.
+    pub timeout_per_case: Option<Duration>,
+    /// Base resource budget applied to every `(case, ε)` check, composed
+    /// with [`FuzzConfig::timeout_per_case`] (which overlays a deadline).
+    /// Deliberately tiny budgets here exercise the degraded path: checks
+    /// that exhaust must still classify as `Exact`/`SoundOvercount`, and
+    /// they are recorded in [`FuzzReport::timeouts`] like slow cases.
+    pub case_budget: Budget,
 }
 
 impl Default for FuzzConfig {
@@ -134,6 +201,43 @@ impl Default for FuzzConfig {
             epsilons: vec![0, 50],
             shard_threads: 4,
             max_points: 100_000,
+            timeout_per_case: None,
+            case_budget: Budget::unlimited(),
+        }
+    }
+}
+
+/// A case whose check hit [`FuzzConfig::timeout_per_case`] and degraded.
+/// Not a bug — but worth persisting like a counterexample, because a nest
+/// the engine cannot finish inside the budget is exactly the regression
+/// the governor exists to contain.
+#[derive(Debug, Clone)]
+pub struct TimedOutCase {
+    /// The per-case seed (regenerates the nest and cache exactly).
+    pub case_seed: u64,
+    /// The ε setting the timeout occurred under.
+    pub epsilon: u64,
+    /// The (degraded, sound) classification the check still produced.
+    pub report: CaseReport,
+    /// The generated nest.
+    pub nest: LoopNest,
+    /// The generated cache.
+    pub cache: CacheConfig,
+}
+
+impl TimedOutCase {
+    /// The timed-out case as a corpus regression seed, persisted exactly
+    /// like a minimized violation. The expectation is
+    /// [`Expectation::Any`]: replays pass as long as the (possibly again
+    /// degraded) verdict stays sound.
+    pub fn to_corpus_case(&self) -> CorpusCase {
+        CorpusCase {
+            name: format!("timeout-seed-{}", self.case_seed),
+            nest: self.nest.clone(),
+            cache: self.cache,
+            epsilon: self.epsilon,
+            expect: Expectation::Any,
+            seed: Some(self.case_seed),
         }
     }
 }
@@ -190,6 +294,12 @@ pub struct FuzzReport {
     pub uniform_cases: u64,
     /// Violations found, each minimized.
     pub violations: Vec<FoundViolation>,
+    /// Checks that came back exhausted (budget hit, result degraded but
+    /// sound).
+    pub exhausted_checks: u64,
+    /// Cases that hit [`FuzzConfig::timeout_per_case`], one entry per case
+    /// (first timing-out ε wins).
+    pub timeouts: Vec<TimedOutCase>,
     /// Cases per associativity bucket (`"1"`…`"full"`).
     pub assoc_coverage: BTreeMap<String, u64>,
     /// Whether the time budget stopped the run early.
@@ -212,7 +322,7 @@ impl FuzzReport {
             .map(|(k, v)| format!("k={k}:{v}"))
             .collect();
         format!(
-            "diffcheck: {} cases ({} checks) in {:.1?}{}\n  exact: {}  sound-overcount: {}  violations: {}\n  uniform: {}  skipped (> max points): {}\n  assoc coverage: {}",
+            "diffcheck: {} cases ({} checks) in {:.1?}{}\n  exact: {}  sound-overcount: {}  violations: {}\n  uniform: {}  skipped (> max points): {}  exhausted: {}  timeouts: {}\n  assoc coverage: {}",
             self.cases_run,
             self.checks,
             self.elapsed,
@@ -226,6 +336,8 @@ impl FuzzReport {
             self.violations.len(),
             self.uniform_cases,
             self.skipped_large,
+            self.exhausted_checks,
+            self.timeouts.len(),
             coverage.join(" "),
         )
     }
@@ -261,7 +373,35 @@ pub fn run_fuzz<O: Oracle + ?Sized>(oracle: &mut O, config: &FuzzConfig) -> Fuzz
 
         for &epsilon in &config.epsilons {
             report.checks += 1;
-            let case = check_case(oracle, &nest, cache, epsilon, config.shard_threads);
+            let mut check_budget = config.case_budget;
+            if let Some(timeout) = config.timeout_per_case {
+                check_budget = check_budget.with_deadline(timeout);
+            }
+            let case = if check_budget.is_unlimited() {
+                check_case(oracle, &nest, cache, epsilon, config.shard_threads)
+            } else {
+                check_case_governed(
+                    oracle,
+                    &nest,
+                    cache,
+                    epsilon,
+                    config.shard_threads,
+                    check_budget,
+                    None,
+                )
+            };
+            if case.exhausted {
+                report.exhausted_checks += 1;
+                if !report.timeouts.iter().any(|t| t.case_seed == case_seed) {
+                    report.timeouts.push(TimedOutCase {
+                        case_seed,
+                        epsilon,
+                        report: case.clone(),
+                        nest: nest.clone(),
+                        cache,
+                    });
+                }
+            }
             match case.verdict {
                 Verdict::Exact => report.exact += 1,
                 Verdict::SoundOvercount => report.sound_overcount += 1,
@@ -334,6 +474,35 @@ mod tests {
         let report = run_fuzz(&mut CmeOracle, &config);
         assert!(report.out_of_budget);
         assert!(report.cases_run > 0);
+    }
+
+    #[test]
+    fn zero_timeout_per_case_degrades_soundly_and_records_timeouts() {
+        let config = FuzzConfig {
+            cases: 6,
+            timeout_per_case: Some(Duration::ZERO),
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&mut CmeOracle, &config);
+        assert!(
+            !report.has_violations(),
+            "budget exhaustion must never register as a violation"
+        );
+        assert!(report.exhausted_checks > 0, "a zero deadline always trips");
+        assert!(!report.timeouts.is_empty());
+        assert!(
+            report.timeouts.len() as u64 <= report.cases_run,
+            "at most one timeout record per case"
+        );
+        // Each timed-out case persists like a counterexample.
+        for t in &report.timeouts {
+            let case = t.to_corpus_case();
+            assert!(case.name.starts_with("timeout-seed-"));
+            assert_eq!(case.expect, Expectation::Any);
+            assert!(write_case(&case).is_some(), "timeout seeds are writable");
+        }
+        let s = report.summary();
+        assert!(s.contains("timeouts: "), "summary surfaces timeouts: {s}");
     }
 
     #[test]

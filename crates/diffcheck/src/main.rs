@@ -15,6 +15,7 @@
 //! `.cme` regression seeds.
 
 use cme_cache::CacheConfig;
+use cme_core::Budget;
 use cme_diffcheck::{
     assoc_label, check_case, parse_case, run_fuzz, shrink_case, write_case, CmeOracle, CorpusCase,
     Expectation, FuzzConfig, Verdict,
@@ -36,12 +37,20 @@ struct Args {
     artifacts: PathBuf,
     emit_corpus: Option<PathBuf>,
     quiet: bool,
+    /// Per-check fuzz deadline; `--timeout-per-case 0` disables it.
+    timeout_per_case: Option<Duration>,
+    /// Wall-clock budget for each corpus replay and fuzz check, in
+    /// milliseconds.
+    budget_ms: Option<u64>,
+    /// Equation-evaluation budget for each corpus replay and fuzz check.
+    max_solves: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: diffcheck [--seed N] [--cases N] [--time-budget SECS] [--epsilons 0,50]\n\
          \u{20}                [--threads N] [--uniform-only] [--max-depth N] [--quiet]\n\
+         \u{20}                [--timeout-per-case SECS] [--budget-ms MS] [--max-solves N]\n\
          \u{20}                [--corpus DIR]... [--artifacts DIR] [--emit-corpus DIR]"
     );
     std::process::exit(2)
@@ -60,6 +69,9 @@ fn parse_args() -> Args {
         artifacts: PathBuf::from("tests/corpus"),
         emit_corpus: None,
         quiet: false,
+        timeout_per_case: Some(Duration::from_secs(5)),
+        budget_ms: None,
+        max_solves: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -87,6 +99,18 @@ fn parse_args() -> Args {
             "--max-depth" => {
                 args.max_depth = Some(value("--max-depth").parse().unwrap_or_else(|_| usage()))
             }
+            "--timeout-per-case" => {
+                let secs: u64 = value("--timeout-per-case")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                args.timeout_per_case = (secs > 0).then(|| Duration::from_secs(secs));
+            }
+            "--budget-ms" => {
+                args.budget_ms = Some(value("--budget-ms").parse().unwrap_or_else(|_| usage()))
+            }
+            "--max-solves" => {
+                args.max_solves = Some(value("--max-solves").parse().unwrap_or_else(|_| usage()))
+            }
             "--corpus" => args.corpus.push(PathBuf::from(value("--corpus"))),
             "--artifacts" => args.artifacts = PathBuf::from(value("--artifacts")),
             "--emit-corpus" => args.emit_corpus = Some(PathBuf::from(value("--emit-corpus"))),
@@ -102,7 +126,9 @@ fn parse_args() -> Args {
 }
 
 /// Replays every `.cme` file in `dir`; returns the number of failures.
-fn run_corpus(dir: &Path, threads: usize, quiet: bool) -> u64 {
+/// With a limited `budget` each case runs governed: exhausted-but-sound
+/// replays pass (and are reported as such), violations still fail.
+fn run_corpus(dir: &Path, threads: usize, quiet: bool, budget: Budget) -> u64 {
     let mut entries: Vec<PathBuf> = match std::fs::read_dir(dir) {
         Ok(rd) => rd
             .filter_map(|e| e.ok())
@@ -128,7 +154,13 @@ fn run_corpus(dir: &Path, threads: usize, quiet: bool) -> u64 {
         let outcome = std::fs::read_to_string(&path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))
             .and_then(|text| parse_case(&stem, &text))
-            .and_then(|case| case.verify(&mut CmeOracle, threads));
+            .and_then(|case| {
+                if budget.is_unlimited() {
+                    case.verify(&mut CmeOracle, threads)
+                } else {
+                    case.verify_governed(&mut CmeOracle, threads, budget)
+                }
+            });
         match outcome {
             Ok(report) => {
                 if !quiet {
@@ -238,9 +270,17 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    let mut corpus_budget = Budget::unlimited();
+    if let Some(ms) = args.budget_ms {
+        corpus_budget = corpus_budget.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(n) = args.max_solves {
+        corpus_budget = corpus_budget.with_max_solves(n);
+    }
+
     let mut failures = 0;
     for dir in &args.corpus {
-        failures += run_corpus(dir, args.threads, args.quiet);
+        failures += run_corpus(dir, args.threads, args.quiet, corpus_budget);
     }
 
     if args.cases > 0 {
@@ -258,10 +298,29 @@ fn main() -> ExitCode {
             dist,
             epsilons: args.epsilons.clone(),
             shard_threads: args.threads,
+            timeout_per_case: args.timeout_per_case,
+            case_budget: corpus_budget,
             ..FuzzConfig::default()
         };
         let report = run_fuzz(&mut CmeOracle, &config);
         println!("{}", report.summary());
+        for t in &report.timeouts {
+            eprintln!(
+                "TIMEOUT seed={} eps={}: {} (not a failure; degraded soundly)",
+                t.case_seed, t.epsilon, t.report
+            );
+            let case = t.to_corpus_case();
+            if let Err(e) = std::fs::create_dir_all(&args.artifacts)
+                .and_then(|()| write_file(&args.artifacts, &case))
+            {
+                eprintln!("cannot persist timeout seed {}: {e}", case.name);
+            } else {
+                eprintln!(
+                    "slow-case seed written to {}",
+                    args.artifacts.join(format!("{}.cme", case.name)).display()
+                );
+            }
+        }
         for v in &report.violations {
             eprintln!(
                 "VIOLATION seed={} eps={}: {}\noriginal:\n{}minimized ({} loops, {} refs, cache {:?}):\n{}",

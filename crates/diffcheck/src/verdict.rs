@@ -16,9 +16,20 @@
 //!   overcount in the uniform `ε = 0` regime (exactness broken), or a
 //!   disagreement between the sequential and sharded engine paths
 //!   (determinism broken).
+//!
+//! A fourth ingredient arrived with the resource governor: a check may run
+//! under a [`Budget`] / [`CancelToken`] and come back **exhausted**. An
+//! exhausted analysis counts every truncated point as a miss — operationally
+//! identical to `ε > 0` early stopping — so exhaustion relaxes exactly the
+//! two rules that assume a finished refinement: the uniform-`ε = 0`
+//! exactness guarantee and sequential/sharded bit-identity (the two paths
+//! may cut refinement at different points). The soundness rule is **never**
+//! relaxed: an undercount under any budget is still a
+//! [`ViolationKind::Undercount`].
 
 use crate::Oracle;
 use cme_cache::{simulate_nest, CacheConfig};
+use cme_core::{Budget, CancelToken};
 use cme_ir::LoopNest;
 use cme_testgen::is_uniform;
 use std::fmt;
@@ -125,14 +136,22 @@ pub struct CaseReport {
     pub uniform: bool,
     /// The ε early-stop threshold the analysis ran with.
     pub epsilon: u64,
+    /// Whether either engine path hit its budget (or was cancelled) and
+    /// returned a degraded — but still sound — result.
+    pub exhausted: bool,
 }
 
 impl fmt::Display for CaseReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} (cme={} sim={} uniform={} eps={})",
-            self.verdict, self.cme_total, self.sim_total, self.uniform, self.epsilon
+            "{} (cme={} sim={} uniform={} eps={}{})",
+            self.verdict,
+            self.cme_total,
+            self.sim_total,
+            self.uniform,
+            self.epsilon,
+            if self.exhausted { " exhausted" } else { "" }
         )
     }
 }
@@ -151,9 +170,39 @@ pub fn check_case<O: Oracle + ?Sized>(
     epsilon: u64,
     shard_threads: usize,
 ) -> CaseReport {
+    check_case_governed(
+        oracle,
+        nest,
+        cache,
+        epsilon,
+        shard_threads,
+        Budget::unlimited(),
+        None,
+    )
+}
+
+/// [`check_case`] under a resource [`Budget`] and optional [`CancelToken`].
+///
+/// Both engine paths run governed. When either comes back exhausted the
+/// report is marked [`CaseReport::exhausted`] and classification drops the
+/// two finished-refinement rules (path identity, uniform exactness) while
+/// keeping the soundness rule: an undercount is a violation under any
+/// budget.
+pub fn check_case_governed<O: Oracle + ?Sized>(
+    oracle: &mut O,
+    nest: &LoopNest,
+    cache: CacheConfig,
+    epsilon: u64,
+    shard_threads: usize,
+    budget: Budget,
+    cancel: Option<&CancelToken>,
+) -> CaseReport {
     let sim = simulate_nest(nest, cache);
-    let sequential = oracle.per_ref_misses(nest, cache, epsilon, 1);
-    let sharded = oracle.per_ref_misses(nest, cache, epsilon, shard_threads.max(2));
+    let (sequential, seq_exhausted) =
+        oracle.per_ref_misses_governed(nest, cache, epsilon, 1, budget, cancel);
+    let (sharded, shard_exhausted) =
+        oracle.per_ref_misses_governed(nest, cache, epsilon, shard_threads.max(2), budget, cancel);
+    let exhausted = seq_exhausted || shard_exhausted;
     let uniform = is_uniform(nest);
 
     let per_ref: Vec<(u64, u64)> = sequential
@@ -164,7 +213,7 @@ pub fn check_case<O: Oracle + ?Sized>(
     let cme_total: u64 = sequential.iter().sum();
     let sim_total = sim.total().misses();
 
-    let verdict = classify(&sequential, &sharded, &per_ref, uniform, epsilon);
+    let verdict = classify(&sequential, &sharded, &per_ref, uniform, epsilon, exhausted);
     CaseReport {
         verdict,
         cme_total,
@@ -172,6 +221,7 @@ pub fn check_case<O: Oracle + ?Sized>(
         per_ref,
         uniform,
         epsilon,
+        exhausted,
     }
 }
 
@@ -181,13 +231,16 @@ fn classify(
     per_ref: &[(u64, u64)],
     uniform: bool,
     epsilon: u64,
+    exhausted: bool,
 ) -> Verdict {
-    if let Some(ref_index) = sequential.iter().zip(sharded).position(|(a, b)| a != b) {
-        return Verdict::Violation(ViolationKind::PathDivergence {
-            ref_index,
-            sequential: sequential[ref_index],
-            sharded: sharded[ref_index],
-        });
+    if !exhausted {
+        if let Some(ref_index) = sequential.iter().zip(sharded).position(|(a, b)| a != b) {
+            return Verdict::Violation(ViolationKind::PathDivergence {
+                ref_index,
+                sequential: sequential[ref_index],
+                sharded: sharded[ref_index],
+            });
+        }
     }
     for (ref_index, &(cme, sim)) in per_ref.iter().enumerate() {
         if cme < sim {
@@ -201,7 +254,7 @@ fn classify(
     if per_ref.iter().all(|&(cme, sim)| cme == sim) {
         return Verdict::Exact;
     }
-    if uniform && epsilon == 0 {
+    if uniform && epsilon == 0 && !exhausted {
         let (ref_index, &(cme, sim)) = per_ref
             .iter()
             .enumerate()
@@ -224,7 +277,7 @@ mod tests {
     fn classify_orders_divergence_before_miscounts() {
         // A path divergence is reported even when the sequential path
         // also undercounts: determinism is checked first.
-        let v = classify(&[1, 5], &[1, 6], &[(1, 3), (5, 5)], true, 0);
+        let v = classify(&[1, 5], &[1, 6], &[(1, 3), (5, 5)], true, 0, false);
         assert!(matches!(
             v,
             Verdict::Violation(ViolationKind::PathDivergence { ref_index: 1, .. })
@@ -234,7 +287,7 @@ mod tests {
     #[test]
     fn classify_per_ref_undercount_despite_equal_totals() {
         // Totals agree (6 == 6) but ref#0 undercounts — still a violation.
-        let v = classify(&[2, 4], &[2, 4], &[(2, 3), (4, 3)], false, 0);
+        let v = classify(&[2, 4], &[2, 4], &[(2, 3), (4, 3)], false, 0, false);
         assert!(matches!(
             v,
             Verdict::Violation(ViolationKind::Undercount {
@@ -249,15 +302,15 @@ mod tests {
     fn classify_uniform_overcount_is_violation_only_at_eps_zero() {
         let refs = [(5, 4), (3, 3)];
         assert!(matches!(
-            classify(&[5, 3], &[5, 3], &refs, true, 0),
+            classify(&[5, 3], &[5, 3], &refs, true, 0, false),
             Verdict::Violation(ViolationKind::UniformOvercount { ref_index: 0, .. })
         ));
         assert_eq!(
-            classify(&[5, 3], &[5, 3], &refs, true, 50),
+            classify(&[5, 3], &[5, 3], &refs, true, 50, false),
             Verdict::SoundOvercount
         );
         assert_eq!(
-            classify(&[5, 3], &[5, 3], &refs, false, 0),
+            classify(&[5, 3], &[5, 3], &refs, false, 0, false),
             Verdict::SoundOvercount
         );
     }
@@ -265,8 +318,66 @@ mod tests {
     #[test]
     fn classify_exact_when_all_refs_agree() {
         assert_eq!(
-            classify(&[2, 2], &[2, 2], &[(2, 2), (2, 2)], true, 0),
+            classify(&[2, 2], &[2, 2], &[(2, 2), (2, 2)], true, 0, false),
             Verdict::Exact
         );
+    }
+
+    #[test]
+    fn classify_exhaustion_relaxes_exactness_and_path_identity_only() {
+        // An exhausted overcount in the uniform ε=0 regime is legal: the
+        // budget played the role of ε > 0.
+        assert_eq!(
+            classify(&[5, 3], &[5, 3], &[(5, 4), (3, 3)], true, 0, true),
+            Verdict::SoundOvercount
+        );
+        // Exhausted paths may diverge (they cut refinement at different
+        // points); the sequential counts still decide the verdict.
+        assert_eq!(
+            classify(&[5, 3], &[9, 3], &[(5, 4), (3, 3)], true, 0, true),
+            Verdict::SoundOvercount
+        );
+        // The soundness rule survives any budget: undercounts violate.
+        assert!(matches!(
+            classify(&[2, 3], &[2, 3], &[(2, 4), (3, 3)], false, 0, true),
+            Verdict::Violation(ViolationKind::Undercount { ref_index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn tiny_budget_on_uniform_kernel_is_sound_never_violation() {
+        // The differential form of the governor's degradation contract: a
+        // budget far too small for mmult must still produce a sound
+        // verdict — indeterminate points become misses, never reuse.
+        let nest = cme_kernels::mmult(8);
+        let cache = CacheConfig::new(512, 2, 16, 4).expect("valid geometry");
+        assert!(is_uniform(&nest), "mmult is the uniform Table 1 regime");
+        let budget = Budget::unlimited().with_max_solves(5);
+        let report = check_case_governed(&mut crate::CmeOracle, &nest, cache, 0, 4, budget, None);
+        assert!(report.exhausted, "5 solves cannot finish mmult(8)");
+        assert!(
+            !report.verdict.is_violation(),
+            "exhausted analysis must stay sound: {report}"
+        );
+        assert!(report.cme_total >= report.sim_total);
+    }
+
+    #[test]
+    fn full_budget_governed_check_matches_ungoverned() {
+        let nest = cme_kernels::mmult(8);
+        let cache = CacheConfig::new(512, 2, 16, 4).expect("valid geometry");
+        let plain = check_case(&mut crate::CmeOracle, &nest, cache, 0, 4);
+        let governed = check_case_governed(
+            &mut crate::CmeOracle,
+            &nest,
+            cache,
+            0,
+            4,
+            Budget::unlimited(),
+            None,
+        );
+        assert!(!governed.exhausted);
+        assert_eq!(governed.verdict, plain.verdict);
+        assert_eq!(governed.per_ref, plain.per_ref);
     }
 }

@@ -45,18 +45,153 @@ use cme_math::Affine;
 use std::collections::HashMap;
 use std::fmt;
 
-/// Parse errors with line information.
+/// What went wrong, as a typed variant with the offending source fragment.
+///
+/// Every variant renders to a human-readable message via `Display`;
+/// programmatic consumers (corpus triage, fuzzers) can match on the kind
+/// instead of scraping message text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// A `REAL name(dims) [AT base]` line that does not scan.
+    MalformedDeclaration {
+        /// The offending line text.
+        text: String,
+    },
+    /// The same array name declared more than once.
+    DuplicateArray {
+        /// The re-declared array name.
+        name: String,
+    },
+    /// A statement appeared above an inner `DO` (the format accepts only
+    /// the paper's perfect nests).
+    StatementAboveInnerLoop,
+    /// A `DO` line missing its `=`.
+    MalformedDo {
+        /// The offending line text.
+        text: String,
+    },
+    /// A `DO` line whose bounds are not `lower, upper`.
+    MalformedBounds,
+    /// An `ENDDO` with no open `DO`.
+    UnmatchedEnddo,
+    /// A statement after an `ENDDO` (imperfect nest).
+    StatementAfterEnddo,
+    /// No `DO` loop in the program.
+    NoLoop,
+    /// Input ended with open loops.
+    UnclosedLoops {
+        /// How many `DO`s were never closed.
+        count: usize,
+    },
+    /// Two loops share an index name.
+    DuplicateIndex,
+    /// A loop bound that is not an affine expression over outer indices.
+    BadBound {
+        /// `"lower"` or `"upper"`.
+        which: &'static str,
+        /// The bound text.
+        text: String,
+        /// Why it failed to parse.
+        reason: String,
+    },
+    /// A statement with no top-level assignment operator.
+    MalformedStatement {
+        /// The offending statement text.
+        text: String,
+    },
+    /// A statement that generates no memory traffic.
+    EmptyStatement,
+    /// A reference to an array that was never declared.
+    UndeclaredArray {
+        /// The undeclared array name.
+        name: String,
+    },
+    /// A subscript that is not an affine expression of the loop indices.
+    BadSubscript {
+        /// The subscript text.
+        text: String,
+        /// Why it failed to parse.
+        reason: String,
+    },
+    /// The parsed nest violates the CME program model.
+    InvalidNest {
+        /// The validation failure, rendered.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::MalformedDeclaration { text } => {
+                write!(f, "malformed declaration `{text}`")
+            }
+            ParseErrorKind::DuplicateArray { name } => {
+                write!(f, "array `{name}` declared twice")
+            }
+            ParseErrorKind::StatementAboveInnerLoop => {
+                write!(f, "statements must be innermost (perfect nest)")
+            }
+            ParseErrorKind::MalformedDo { text } => write!(f, "malformed DO line `{text}`"),
+            ParseErrorKind::MalformedBounds => write!(f, "DO bounds need `lower, upper`"),
+            ParseErrorKind::UnmatchedEnddo => write!(f, "ENDDO without matching DO"),
+            ParseErrorKind::StatementAfterEnddo => {
+                write!(f, "statements after ENDDO (imperfect nest)")
+            }
+            ParseErrorKind::NoLoop => write!(f, "no DO loop found"),
+            ParseErrorKind::UnclosedLoops { count } => {
+                write!(f, "{count} unclosed DO loop(s)")
+            }
+            ParseErrorKind::DuplicateIndex => write!(f, "duplicate loop index names"),
+            ParseErrorKind::BadBound {
+                which,
+                text,
+                reason,
+            } => write!(f, "{which} bound `{text}`: {reason}"),
+            ParseErrorKind::MalformedStatement { text } => {
+                write!(f, "malformed statement `{text}`")
+            }
+            ParseErrorKind::EmptyStatement => {
+                write!(f, "statement contains no array references")
+            }
+            ParseErrorKind::UndeclaredArray { name } => {
+                write!(f, "undeclared array `{name}`")
+            }
+            ParseErrorKind::BadSubscript { text, reason } => {
+                write!(f, "subscript `{text}`: {reason}")
+            }
+            ParseErrorKind::InvalidNest { reason } => write!(f, "invalid nest: {reason}"),
+        }
+    }
+}
+
+/// Parse errors with line and column information.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseNestError {
-    /// 1-based line number of the offending input line.
+    /// 1-based line number of the offending input line (0 when the error
+    /// concerns the whole program, e.g. nest validation).
     pub line: usize,
+    /// 1-based column of the offending token within that line (0 when no
+    /// finer position is known).
+    pub column: usize,
     /// What went wrong.
-    pub message: String,
+    pub kind: ParseErrorKind,
 }
 
 impl fmt::Display for ParseNestError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.line == 0 {
+            write!(f, "{}", self.kind)
+        } else if self.column == 0 {
+            write!(f, "line {}: {}", self.line, self.kind)
+        } else {
+            write!(
+                f,
+                "line {}, column {}: {}",
+                self.line, self.column, self.kind
+            )
+        }
     }
 }
 
@@ -66,7 +201,10 @@ impl From<ValidateNestError> for ParseNestError {
     fn from(e: ValidateNestError) -> Self {
         ParseNestError {
             line: 0,
-            message: format!("invalid nest: {e}"),
+            column: 0,
+            kind: ParseErrorKind::InvalidNest {
+                reason: e.to_string(),
+            },
         }
     }
 }
@@ -194,15 +332,41 @@ struct LoopLine {
     lower: String,
     upper: String,
     line: usize,
+    /// 1-based columns of the lower/upper bound text within the line.
+    col_lower: usize,
+    col_upper: usize,
 }
 
 struct StmtLine {
     text: String,
     line: usize,
+    col: usize,
+}
+
+/// One significant source line: number, 1-based column where the trimmed
+/// content starts, and the comment-stripped trimmed text.
+#[derive(Clone, Copy)]
+struct Line<'s> {
+    num: usize,
+    col: usize,
+    text: &'s str,
+}
+
+impl<'s> Line<'s> {
+    /// Column of a sub-slice of `self.text` (byte-offset based, exact).
+    fn column_of_slice(&self, slice: &str) -> usize {
+        let base = self.text.as_ptr() as usize;
+        let p = slice.as_ptr() as usize;
+        if (base..base + self.text.len() + 1).contains(&p) {
+            self.col + (p - base)
+        } else {
+            self.col
+        }
+    }
 }
 
 struct Parser<'s> {
-    lines: Vec<(usize, &'s str)>,
+    lines: Vec<Line<'s>>,
     pos: usize,
 }
 
@@ -211,24 +375,37 @@ impl<'s> Parser<'s> {
         let lines = source
             .lines()
             .enumerate()
-            .map(|(i, l)| (i + 1, l.split('!').next().unwrap_or("").trim()))
-            .filter(|(_, l)| !l.is_empty())
+            .filter_map(|(i, l)| {
+                let no_comment = l.split('!').next().unwrap_or("");
+                let text = no_comment.trim();
+                if text.is_empty() {
+                    return None;
+                }
+                let col = 1 + no_comment.len() - no_comment.trim_start().len();
+                Some(Line {
+                    num: i + 1,
+                    col,
+                    text,
+                })
+            })
             .collect();
         Parser { lines, pos: 0 }
     }
 
-    fn err<T>(&self, line: usize, message: impl Into<String>) -> Result<T, ParseNestError> {
-        Err(ParseNestError {
-            line,
-            message: message.into(),
-        })
+    fn err<T>(
+        &self,
+        line: usize,
+        column: usize,
+        kind: ParseErrorKind,
+    ) -> Result<T, ParseNestError> {
+        Err(ParseNestError { line, column, kind })
     }
 
-    fn peek(&self) -> Option<(usize, &'s str)> {
+    fn peek(&self) -> Option<Line<'s>> {
         self.lines.get(self.pos).copied()
     }
 
-    fn next_line(&mut self) -> Option<(usize, &'s str)> {
+    fn next_line(&mut self) -> Option<Line<'s>> {
         let l = self.peek();
         if l.is_some() {
             self.pos += 1;
@@ -240,15 +417,19 @@ impl<'s> Parser<'s> {
         let mut decls: HashMap<String, Decl> = HashMap::new();
         let mut decl_order: Vec<String> = Vec::new();
         // Declarations.
-        while let Some((line, text)) = self.peek() {
-            if let Some(rest) = text.strip_prefix("REAL ") {
+        while let Some(ln) = self.peek() {
+            if let Some(rest) = ln.text.strip_prefix("REAL ") {
                 self.pos += 1;
-                let (name, dims, base) = parse_decl(rest).ok_or_else(|| ParseNestError {
-                    line,
-                    message: format!("malformed declaration `{text}`"),
+                let (name, dims, base) = parse_decl(rest).ok_or(ParseNestError {
+                    line: ln.num,
+                    column: ln.col,
+                    kind: ParseErrorKind::MalformedDeclaration {
+                        text: ln.text.to_string(),
+                    },
                 })?;
                 if decls.insert(name.clone(), Decl { dims, base }).is_some() {
-                    return self.err(line, format!("array `{name}` declared twice"));
+                    let column = ln.col + "REAL ".len() + rest.find(name.as_str()).unwrap_or(0);
+                    return self.err(ln.num, column, ParseErrorKind::DuplicateArray { name });
                 }
                 decl_order.push(name);
             } else {
@@ -259,45 +440,64 @@ impl<'s> Parser<'s> {
         let mut loops: Vec<LoopLine> = Vec::new();
         let mut stmts: Vec<StmtLine> = Vec::new();
         let mut depth_closed = 0usize;
-        while let Some((line, text)) = self.next_line() {
-            if let Some(rest) = text.strip_prefix("DO ") {
+        while let Some(ln) = self.next_line() {
+            if let Some(rest) = ln.text.strip_prefix("DO ") {
                 if !stmts.is_empty() {
-                    return self.err(line, "statements must be innermost (perfect nest)");
+                    return self.err(ln.num, ln.col, ParseErrorKind::StatementAboveInnerLoop);
                 }
                 let Some((var, bounds)) = rest.split_once('=') else {
-                    return self.err(line, format!("malformed DO line `{text}`"));
+                    return self.err(
+                        ln.num,
+                        ln.col,
+                        ParseErrorKind::MalformedDo {
+                            text: ln.text.to_string(),
+                        },
+                    );
                 };
                 let Some((lower, upper)) = bounds.split_once(',') else {
-                    return self.err(line, "DO bounds need `lower, upper`");
+                    return self.err(
+                        ln.num,
+                        ln.column_of_slice(bounds.trim_start()),
+                        ParseErrorKind::MalformedBounds,
+                    );
                 };
+                let (lower, upper) = (lower.trim(), upper.trim());
                 loops.push(LoopLine {
                     var: var.trim().to_string(),
-                    lower: lower.trim().to_string(),
-                    upper: upper.trim().to_string(),
-                    line,
+                    lower: lower.to_string(),
+                    upper: upper.to_string(),
+                    line: ln.num,
+                    col_lower: ln.column_of_slice(lower),
+                    col_upper: ln.column_of_slice(upper),
                 });
-            } else if text.eq_ignore_ascii_case("ENDDO") || text.eq_ignore_ascii_case("END DO") {
+            } else if ln.text.eq_ignore_ascii_case("ENDDO")
+                || ln.text.eq_ignore_ascii_case("END DO")
+            {
                 depth_closed += 1;
                 if depth_closed > loops.len() {
-                    return self.err(line, "ENDDO without matching DO");
+                    return self.err(ln.num, ln.col, ParseErrorKind::UnmatchedEnddo);
                 }
             } else {
                 if depth_closed > 0 {
-                    return self.err(line, "statements after ENDDO (imperfect nest)");
+                    return self.err(ln.num, ln.col, ParseErrorKind::StatementAfterEnddo);
                 }
                 stmts.push(StmtLine {
-                    text: text.to_string(),
-                    line,
+                    text: ln.text.to_string(),
+                    line: ln.num,
+                    col: ln.col,
                 });
             }
         }
         if loops.is_empty() {
-            return self.err(1, "no DO loop found");
+            return self.err(1, 0, ParseErrorKind::NoLoop);
         }
         if depth_closed != loops.len() {
             return self.err(
-                self.lines.last().map(|(l, _)| *l).unwrap_or(1),
-                format!("{} unclosed DO loop(s)", loops.len() - depth_closed),
+                self.lines.last().map(|l| l.num).unwrap_or(1),
+                0,
+                ParseErrorKind::UnclosedLoops {
+                    count: loops.len() - depth_closed,
+                },
             );
         }
         // Build the nest.
@@ -308,18 +508,28 @@ impl<'s> Parser<'s> {
             .map(|(i, l)| (l.var.as_str(), i))
             .collect();
         if index_of.len() != depth {
-            return self.err(loops[0].line, "duplicate loop index names");
+            return self.err(loops[0].line, 0, ParseErrorKind::DuplicateIndex);
         }
         let mut b = NestBuilder::new();
         b.name("parsed");
         for l in &loops {
             let lower = parse_affine(&l.lower, &index_of, depth).map_err(|m| ParseNestError {
                 line: l.line,
-                message: format!("lower bound `{}`: {m}", l.lower),
+                column: l.col_lower,
+                kind: ParseErrorKind::BadBound {
+                    which: "lower",
+                    text: l.lower.clone(),
+                    reason: m,
+                },
             })?;
             let upper = parse_affine(&l.upper, &index_of, depth).map_err(|m| ParseNestError {
                 line: l.line,
-                message: format!("upper bound `{}`: {m}", l.upper),
+                column: l.col_upper,
+                kind: ParseErrorKind::BadBound {
+                    which: "upper",
+                    text: l.upper.clone(),
+                    reason: m,
+                },
             })?;
             b.affine_loop(&l.var, lower, upper);
         }
@@ -334,22 +544,36 @@ impl<'s> Parser<'s> {
         }
         // Statements -> references.
         for st in &stmts {
+            let stmt_col = |needle: &str| {
+                st.text
+                    .find(needle)
+                    .map(|off| st.col + off)
+                    .unwrap_or(st.col)
+            };
             let refs = extract_statement_refs(&st.text).ok_or_else(|| ParseNestError {
                 line: st.line,
-                message: format!("malformed statement `{}`", st.text),
+                column: st.col,
+                kind: ParseErrorKind::MalformedStatement {
+                    text: st.text.clone(),
+                },
             })?;
             if refs.is_empty() {
-                return self.err(st.line, "statement contains no array references");
+                return self.err(st.line, st.col, ParseErrorKind::EmptyStatement);
             }
             for (name, subs_text, kind) in refs {
                 let Some(&arr) = ids.get(&name) else {
-                    return self.err(st.line, format!("undeclared array `{name}`"));
+                    let column = stmt_col(&name);
+                    return self.err(st.line, column, ParseErrorKind::UndeclaredArray { name });
                 };
                 let mut subs = Vec::new();
                 for s in &subs_text {
                     let a = parse_affine(s, &index_of, depth).map_err(|m| ParseNestError {
                         line: st.line,
-                        message: format!("subscript `{s}`: {m}"),
+                        column: stmt_col(s),
+                        kind: ParseErrorKind::BadSubscript {
+                            text: s.clone(),
+                            reason: m,
+                        },
                     })?;
                     subs.push(a);
                 }
@@ -704,6 +928,76 @@ ENDDO
                 "`{src}` should mention {needle}, got: {e}"
             );
         }
+    }
+
+    #[test]
+    fn errors_carry_kind_line_and_column() {
+        let e = parse_nest("REAL A(8)\nDO i = 1, 8\n B(i) = A(i)\nENDDO").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::UndeclaredArray { ref name } if name == "B"));
+        assert_eq!(e.line, 3);
+        assert_eq!(e.column, 2); // the line is " B(i) = A(i)": B at column 2
+        assert!(e.to_string().contains("line 3, column 2"), "{e}");
+
+        let e = parse_nest("REAL A(8)\nREAL A(8)\nDO i = 1, 8\n s = A(i)\nENDDO").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::DuplicateArray { ref name } if name == "A"));
+        assert_eq!((e.line, e.column), (2, 6)); // name after "REAL "
+
+        let e = parse_nest("DO i = 1, 8\n s = A(2*q)\nENDDO").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::UndeclaredArray { .. }));
+
+        let e = parse_nest("REAL A(8)\nDO i = 1, 8\n s = A(2*q)\nENDDO").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::BadSubscript { .. }));
+        assert_eq!((e.line, e.column), (3, 8)); // "2*q" inside " s = A(2*q)"
+
+        let e = parse_nest("REAL A(8)\ns = A(1)").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::NoLoop));
+    }
+
+    /// Corrupted corpus inputs (truncations and byte flips of real `.cme`
+    /// files) must produce `Err`, never a panic. The corpus directory is
+    /// populated by the diffcheck tool; skip silently when absent so the
+    /// test is hermetic.
+    #[test]
+    fn corrupted_corpus_files_error_instead_of_panicking() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus");
+        let mut checked = 0usize;
+        let entries: Vec<_> = match std::fs::read_dir(&dir) {
+            Ok(rd) => rd.filter_map(Result::ok).collect(),
+            Err(_) => return,
+        };
+        for entry in entries {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("cme") {
+                continue;
+            }
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            // Truncations at byte boundaries (snap to char boundaries).
+            for frac in [0.15, 0.4, 0.6, 0.85] {
+                let mut cut = (text.len() as f64 * frac) as usize;
+                while cut > 0 && !text.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                let _ = parse_nest(&text[..cut]);
+                checked += 1;
+            }
+            // Deterministic byte flips at spread positions.
+            let bytes = text.as_bytes();
+            for k in 1..=8usize {
+                let pos = (k * bytes.len()) / 9;
+                if pos >= bytes.len() {
+                    continue;
+                }
+                let mut corrupted = bytes.to_vec();
+                corrupted[pos] ^= 0x15;
+                if let Ok(s) = String::from_utf8(corrupted) {
+                    let _ = parse_nest(&s);
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0, "corpus present but nothing was exercised");
     }
 
     #[test]

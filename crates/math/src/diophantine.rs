@@ -12,7 +12,7 @@
 //! This module provides both, exactly, for the bounded spaces that arise
 //! from loop nests.
 
-use crate::gcd::{extended_gcd, floor_div, gcd, gcd_all};
+use crate::gcd::{extended_gcd, gcd, gcd_all};
 use crate::interval::Interval;
 
 /// A single linear Diophantine equation `Σ coeffs[l]·x_l = rhs` with the
@@ -97,13 +97,17 @@ impl BoundedDiophantine {
         }
         match self.coeffs.len() {
             0 => u64::from(self.rhs == 0),
-            _ => self.count_rec(0, self.rhs),
+            _ => self.count_rec(0, i128::from(self.rhs)),
         }
     }
 
-    fn count_rec(&self, var: usize, remaining: i64) -> u64 {
+    // `remaining` is tracked in i128: the running value `rhs − Σ c·x` over
+    // adversarial coefficients/bounds can exceed i64 even when every
+    // individual solution fits, and a debug-build overflow abort here would
+    // defeat the engine's panic-free guarantee.
+    fn count_rec(&self, var: usize, remaining: i128) -> u64 {
         let b = self.bounds[var];
-        let c = self.coeffs[var];
+        let c = i128::from(self.coeffs[var]);
         if var + 1 == self.coeffs.len() {
             // Solve c * x = remaining within b.
             if c == 0 {
@@ -112,12 +116,13 @@ impl BoundedDiophantine {
             if remaining % c != 0 {
                 return 0;
             }
-            return u64::from(b.contains(remaining / c));
+            let x = remaining / c;
+            return u64::from(i64::try_from(x).is_ok_and(|x| b.contains(x)));
         }
         // Prune: can the suffix plus this variable reach `remaining` at all?
         let mut total = 0;
         for x in b.lo..=b.hi {
-            total += self.count_rec(var + 1, remaining - c * x);
+            total += self.count_rec(var + 1, remaining - c * i128::from(x));
         }
         total
     }
@@ -129,14 +134,14 @@ impl BoundedDiophantine {
             return out;
         }
         let mut point = Vec::with_capacity(self.coeffs.len());
-        self.enumerate_rec(0, self.rhs, &mut point, &mut out);
+        self.enumerate_rec(0, i128::from(self.rhs), &mut point, &mut out);
         out
     }
 
     fn enumerate_rec(
         &self,
         var: usize,
-        remaining: i64,
+        remaining: i128,
         point: &mut Vec<i64>,
         out: &mut Vec<Vec<i64>>,
     ) {
@@ -147,18 +152,22 @@ impl BoundedDiophantine {
             return;
         }
         let b = self.bounds[var];
-        let c = self.coeffs[var];
+        let c = i128::from(self.coeffs[var]);
         if var + 1 == self.coeffs.len() && c != 0 {
-            if remaining % c == 0 && b.contains(remaining / c) {
-                point.push(remaining / c);
-                out.push(point.clone());
-                point.pop();
+            if remaining % c == 0 {
+                if let Ok(x) = i64::try_from(remaining / c) {
+                    if b.contains(x) {
+                        point.push(x);
+                        out.push(point.clone());
+                        point.pop();
+                    }
+                }
             }
             return;
         }
         for x in b.lo..=b.hi {
             point.push(x);
-            self.enumerate_rec(var + 1, remaining - c * x, point, out);
+            self.enumerate_rec(var + 1, remaining - c * i128::from(x), point, out);
             point.pop();
         }
     }
@@ -186,8 +195,23 @@ pub fn solve_two_var(a: i64, b: i64, c: i64) -> Option<(i64, i64)> {
     if c % g != 0 {
         return None;
     }
-    let k = c / g;
-    Some((x * k, y * k))
+    // Scale the Bezout certificate in i128 — `x * (c / g)` can overflow
+    // i64 even when a small solution exists — then canonically reduce
+    // `x₀` into `[0, |b/g|)` along the solution lattice so the returned
+    // pair is the minimal-x solution and always representable.
+    let k = i128::from(c / g);
+    let mut x0 = i128::from(x) * k;
+    let mut y0 = i128::from(y) * k;
+    if b != 0 {
+        let dx = i128::from(b / g); // general solution: (x0 + t·dx, y0 − t·dy⁻)
+        let da = i128::from(a / g);
+        let r = x0.rem_euclid(dx.abs());
+        let t = (r - x0) / dx;
+        x0 = r;
+        y0 -= t * da;
+    }
+    // |x₀| < |b/g| and |y₀| = |(c − a·x₀)/b| ≤ max(|a|, |c|), so both fit.
+    Some((i64::try_from(x0).ok()?, i64::try_from(y0).ok()?))
 }
 
 /// Counts solutions of `a·x + b·y = c` with `x ∈ [xb.0, xb.1]`,
@@ -206,9 +230,14 @@ pub fn count_two_var_solutions(a: i64, b: i64, c: i64, xb: (i64, i64), yb: (i64,
     if xlo > xhi || ylo > yhi {
         return 0;
     }
+    // Interval widths are computed in i128: `xhi − xlo + 1` overflows i64
+    // on full-range bounds, and a saturated count is still sound.
+    let width = |lo: i64, hi: i64| -> u64 {
+        u64::try_from(i128::from(hi) - i128::from(lo) + 1).unwrap_or(u64::MAX)
+    };
     if a == 0 && b == 0 {
         return if c == 0 {
-            ((xhi - xlo + 1) as u64) * ((yhi - ylo + 1) as u64)
+            width(xlo, xhi).saturating_mul(width(ylo, yhi))
         } else {
             0
         };
@@ -219,7 +248,7 @@ pub fn count_two_var_solutions(a: i64, b: i64, c: i64, xb: (i64, i64), yb: (i64,
         }
         let y = c / b;
         return if (ylo..=yhi).contains(&y) {
-            (xhi - xlo + 1) as u64
+            width(xlo, xhi)
         } else {
             0
         };
@@ -230,7 +259,7 @@ pub fn count_two_var_solutions(a: i64, b: i64, c: i64, xb: (i64, i64), yb: (i64,
         }
         let x = c / a;
         return if (xlo..=xhi).contains(&x) {
-            (yhi - ylo + 1) as u64
+            width(ylo, yhi)
         } else {
             0
         };
@@ -239,22 +268,24 @@ pub fn count_two_var_solutions(a: i64, b: i64, c: i64, xb: (i64, i64), yb: (i64,
         return 0;
     };
     let g = gcd(a, b);
-    let (dx, dy) = (b / g, -a / g);
-    // Solutions: (x0 + t*dx, y0 + t*dy). Count integer t in both windows.
-    let t_range_for = |v0: i64, dv: i64, lo: i64, hi: i64| -> Option<(i64, i64)> {
+    let (dx, dy) = (i128::from(b / g), i128::from(-(a / g)));
+    // Solutions: (x0 + t*dx, y0 + t*dy). Count integer t in both windows,
+    // in i128 — `lo − v0` spans up to twice the i64 range.
+    let t_range_for = |v0: i64, dv: i128, lo: i64, hi: i64| -> Option<(i128, i128)> {
         if dv == 0 {
             return if (lo..=hi).contains(&v0) {
-                Some((i64::MIN / 4, i64::MAX / 4))
+                Some((i128::MIN / 4, i128::MAX / 4))
             } else {
                 None
             };
         }
         // lo <= v0 + t*dv <= hi
-        let (a1, a2) = ((lo - v0), (hi - v0));
+        let a1 = i128::from(lo) - i128::from(v0);
+        let a2 = i128::from(hi) - i128::from(v0);
         if dv > 0 {
-            Some((ceil_div(a1, dv), floor_div(a2, dv)))
+            Some((ceil_div_i128(a1, dv), floor_div_i128(a2, dv)))
         } else {
-            Some((ceil_div(a2, dv), floor_div(a1, dv)))
+            Some((ceil_div_i128(a2, dv), floor_div_i128(a1, dv)))
         }
     };
     let Some((t1lo, t1hi)) = t_range_for(x0, dx, xlo, xhi) else {
@@ -268,7 +299,25 @@ pub fn count_two_var_solutions(a: i64, b: i64, c: i64, xb: (i64, i64), yb: (i64,
     if lo > hi {
         0
     } else {
-        (hi - lo + 1) as u64
+        u64::try_from(hi - lo + 1).unwrap_or(u64::MAX)
+    }
+}
+
+fn floor_div_i128(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if a % b != 0 && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+fn ceil_div_i128(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if a % b != 0 && ((a < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
     }
 }
 
@@ -278,7 +327,11 @@ pub fn count_two_var_solutions(a: i64, b: i64, c: i64, xb: (i64, i64), yb: (i64,
 /// Unlike [`crate::IntMatrix::solve`]'s free-variables-zero heuristic, this
 /// always succeeds when a solution exists (classical iterated extended
 /// GCD), and it prefers putting weight on coefficients of magnitude 1 so
-/// solutions stay small for typical address forms.
+/// solutions stay small for typical address forms. The one exception:
+/// when the certificate arithmetic would overflow `i64`/`i128` on
+/// adversarial coefficients, `None` is returned rather than aborting —
+/// callers already treat `None` conservatively (a dropped reuse vector is
+/// a sound overcount).
 ///
 /// # Examples
 ///
@@ -308,31 +361,38 @@ pub fn solve_linear_form(coeffs: &[i64], rhs: i64) -> Option<Vec<i64>> {
     }
     // General: fold coefficients with extended GCD, then back-propagate.
     // Maintain running g_i = gcd(coeffs[..=i]) with certificate vectors.
-    let mut x = vec![0i64; coeffs.len()];
-    let mut cert: Vec<Vec<i64>> = Vec::with_capacity(coeffs.len()); // cert[i]: coeffs·cert[i] = g_i
+    // Certificates are built with checked i128 arithmetic: their entries are
+    // products of Bezout coefficients and can grow multiplicatively, and an
+    // unrepresentable certificate must surface as `None`, not an abort.
+    let mut cert: Vec<Vec<i128>> = Vec::with_capacity(coeffs.len()); // cert[i]: coeffs·cert[i] = g_i
     let mut g_run = 0i64;
     for (i, &c) in coeffs.iter().enumerate() {
         let (g_new, a, b) = extended_gcd(g_run, c);
         // g_new = a·g_run + b·c.
-        let mut v = vec![0i64; coeffs.len()];
+        let mut v = vec![0i128; coeffs.len()];
         if let Some(prev) = cert.last() {
             for (vl, pl) in v.iter_mut().zip(prev) {
-                *vl = a * pl;
+                *vl = i128::from(a).checked_mul(*pl)?;
             }
         }
-        v[i] += b;
+        v[i] = v[i].checked_add(i128::from(b))?;
         cert.push(v);
         g_run = g_new;
     }
-    let scale = rhs / g_run;
+    let scale = i128::from(rhs / g_run);
+    let mut x = vec![0i64; coeffs.len()];
     if let Some(last) = cert.last() {
         for (xl, cl) in x.iter_mut().zip(last) {
-            *xl = cl * scale;
+            *xl = i64::try_from(cl.checked_mul(scale)?).ok()?;
         }
     }
     debug_assert_eq!(
-        coeffs.iter().zip(&x).map(|(c, v)| c * v).sum::<i64>(),
-        rhs,
+        coeffs
+            .iter()
+            .zip(&x)
+            .map(|(&c, &v)| i128::from(c) * i128::from(v))
+            .sum::<i128>(),
+        i128::from(rhs),
         "linear-form solver produced a non-solution"
     );
     Some(x)
@@ -345,8 +405,10 @@ pub fn solve_linear_form(coeffs: &[i64], rhs: i64) -> Option<Vec<i64>> {
 /// Panics if `b == 0`.
 pub fn ceil_div(a: i64, b: i64) -> i64 {
     assert!(b != 0, "ceil_div by zero");
-    let (a, b) = if b < 0 { (-a, -b) } else { (a, b) };
-    -floor_div(-a, b)
+    // Compute in i128: the sign-normalizing negations overflow on
+    // `i64::MIN`, and `i64::MIN / -1` is unrepresentable (saturated).
+    let q = ceil_div_i128(i128::from(a), i128::from(b));
+    i64::try_from(q).unwrap_or(i64::MAX)
 }
 
 /// Padding-style unsolvability test for
@@ -388,7 +450,7 @@ pub fn type1_has_no_solution(a: i64, w: i64, u_range: Interval, v_range: Interva
         if max_u == 0 {
             return true; // lhs is -n·W with |n| >= 1, so |lhs| >= W > 0 = rhs.
         }
-        return g * max_u < w;
+        return i128::from(g) * i128::from(max_u) < i128::from(w);
     }
     true
 }
@@ -565,6 +627,45 @@ mod tests {
             count_two_var_solutions(a, b, c, xb, yb),
             brute_count(a, b, c, xb, yb)
         );
+    }
+
+    /// Adversarial magnitudes that used to abort debug builds: every path
+    /// must return a (sound) answer, never overflow-panic.
+    #[test]
+    fn widened_arithmetic_survives_extreme_magnitudes() {
+        let big = i64::MAX / 2;
+        // Particular solutions whose Bezout scaling overflows i64.
+        let b_coef = big + (big & 1) + 2; // even, ~2^62
+        let (x, y) = solve_two_var(2, b_coef, b_coef).unwrap();
+        assert_eq!(
+            i128::from(x) * 2 + i128::from(y) * i128::from(b_coef),
+            i128::from(b_coef)
+        );
+        // Full-range degenerate boxes in the closed-form counter.
+        assert_eq!(
+            count_two_var_solutions(0, 0, 0, (i64::MIN, i64::MAX), (0, 0)),
+            u64::MAX // saturated width, sound overcount
+        );
+        assert_eq!(
+            count_two_var_solutions(1, 1, big, (i64::MIN, i64::MAX), (0, 0)),
+            1
+        );
+        // Counting with an i64-overflowing running remainder.
+        let eq = BoundedDiophantine::new(
+            vec![big, big, 1],
+            0,
+            vec![
+                Interval::new(-2, 2),
+                Interval::new(-2, 2),
+                Interval::new(-1, 1),
+            ],
+        );
+        assert_eq!(eq.count_solutions(), eq.solutions().len() as u64);
+        // ceil_div at the i64 boundary.
+        assert_eq!(ceil_div(i64::MIN, 2), i64::MIN / 2);
+        assert_eq!(ceil_div(i64::MIN, -1), i64::MAX); // saturated
+                                                      // type1 test with a gcd·max|u| product past i64.
+        let _ = type1_has_no_solution(big, big, Interval::new(-big, big), Interval::new(-1, 1));
     }
 
     proptest! {

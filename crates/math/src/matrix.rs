@@ -7,7 +7,6 @@
 //! module computes integer kernel bases exactly using fraction-free Gaussian
 //! elimination followed by normalization to primitive integer vectors.
 
-use crate::gcd::gcd_all;
 use std::fmt;
 
 /// A dense `rows × cols` matrix of `i64` entries.
@@ -119,70 +118,65 @@ impl IntMatrix {
     }
 
     /// The rank of the matrix over the rationals.
+    ///
+    /// On internal overflow (entries past `i128` during fraction-free
+    /// elimination — unreachable for the bounded access matrices the engine
+    /// admits), the full rank `min(rows, cols)` is reported: downstream this
+    /// claims an empty kernel, i.e. fewer reuse vectors, which can only
+    /// over-count misses.
     pub fn rank(&self) -> usize {
-        self.echelon().0
+        match self.echelon_wide() {
+            Some((r, _, _)) => r,
+            None => self.rows.min(self.cols),
+        }
     }
 
-    /// Returns (rank, rational row-echelon form stored as i64 after
-    /// fraction-free elimination, pivot column per pivot row).
-    fn echelon(&self) -> (usize, IntMatrix, Vec<usize>) {
-        let mut m = self.clone();
+    /// Fraction-free Gaussian elimination with checked `i128` arithmetic.
+    ///
+    /// Returns `(rank, row-echelon form, pivot column per pivot row)`, or
+    /// `None` if any intermediate product leaves the `i128` range.
+    fn echelon_wide(&self) -> Option<(usize, Vec<Vec<i128>>, Vec<usize>)> {
+        let mut m: Vec<Vec<i128>> = (0..self.rows)
+            .map(|r| self.row(r).iter().map(|&v| i128::from(v)).collect())
+            .collect();
         let mut pivots = Vec::new();
         let mut pivot_row = 0usize;
-        for col in 0..m.cols {
+        for col in 0..self.cols {
             // Find a nonzero pivot at or below pivot_row.
-            let Some(sel) = (pivot_row..m.rows).find(|&r| m[(r, col)] != 0) else {
+            let Some(sel) = (pivot_row..self.rows).find(|&r| m[r][col] != 0) else {
                 continue;
             };
-            m.swap_rows(pivot_row, sel);
-            let p = m[(pivot_row, col)];
-            for r in 0..m.rows {
-                if r == pivot_row || m[(r, col)] == 0 {
+            m.swap(pivot_row, sel);
+            let p = m[pivot_row][col];
+            let prow = m[pivot_row].clone();
+            for (r, row) in m.iter_mut().enumerate() {
+                if r == pivot_row || row[col] == 0 {
                     continue;
                 }
                 // Fraction-free: row_r := p*row_r − m[r,col]*row_pivot.
-                let f = m[(r, col)];
-                for c in 0..m.cols {
-                    m[(r, c)] = p * m[(r, c)] - f * m[(pivot_row, c)];
+                let f = row[col];
+                for (vr, &vp) in row.iter_mut().zip(&prow) {
+                    *vr = p.checked_mul(*vr)?.checked_sub(f.checked_mul(vp)?)?;
                 }
-                m.normalize_row(r);
+                normalize_row_wide(row);
             }
-            m.normalize_row(pivot_row);
+            normalize_row_wide(&mut m[pivot_row]);
             pivots.push(col);
             pivot_row += 1;
-            if pivot_row == m.rows {
+            if pivot_row == self.rows {
                 break;
             }
         }
-        (pivot_row, m, pivots)
-    }
-
-    fn swap_rows(&mut self, a: usize, b: usize) {
-        if a == b {
-            return;
-        }
-        for c in 0..self.cols {
-            let t = self[(a, c)];
-            self[(a, c)] = self[(b, c)];
-            self[(b, c)] = t;
-        }
-    }
-
-    fn normalize_row(&mut self, r: usize) {
-        let g = gcd_all(self.row(r));
-        if g > 1 {
-            for c in 0..self.cols {
-                self[(r, c)] /= g;
-            }
-        }
+        Some((pivot_row, m, pivots))
     }
 
     /// Finds one integer solution of `A·x = d`, if this solver can produce
     /// one, using Gaussian elimination with all free variables set to zero.
     ///
     /// Returns `None` when the system is rationally inconsistent **or** when
-    /// the free-variables-zero particular solution is not integral (a
-    /// conservative answer: group-reuse analysis simply generates fewer
+    /// the free-variables-zero particular solution is not integral **or**
+    /// when the (checked, `i128`-widened) elimination overflows (all
+    /// conservative answers: group-reuse analysis simply generates fewer
     /// reuse vectors, which can only over-count misses, never under-count).
     ///
     /// # Panics
@@ -190,31 +184,32 @@ impl IntMatrix {
     /// Panics if `d.len() != rows`.
     pub fn solve(&self, d: &[i64]) -> Option<Vec<i64>> {
         assert_eq!(d.len(), self.rows, "rhs dimension mismatch");
-        // Augmented fraction-free elimination.
-        let mut aug = IntMatrix::zeros(self.rows, self.cols + 1);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                aug[(r, c)] = self[(r, c)];
-            }
-            aug[(r, self.cols)] = d[r];
-        }
+        // Augmented fraction-free elimination in checked i128.
+        let mut aug: Vec<Vec<i128>> = (0..self.rows)
+            .map(|r| {
+                let mut row: Vec<i128> = self.row(r).iter().map(|&v| i128::from(v)).collect();
+                row.push(i128::from(d[r]));
+                row
+            })
+            .collect();
         let mut pivots: Vec<(usize, usize)> = Vec::new();
         let mut pivot_row = 0usize;
         for col in 0..self.cols {
-            let Some(sel) = (pivot_row..self.rows).find(|&r| aug[(r, col)] != 0) else {
+            let Some(sel) = (pivot_row..self.rows).find(|&r| aug[r][col] != 0) else {
                 continue;
             };
-            aug.swap_rows(pivot_row, sel);
-            let p = aug[(pivot_row, col)];
-            for r in 0..self.rows {
-                if r == pivot_row || aug[(r, col)] == 0 {
+            aug.swap(pivot_row, sel);
+            let p = aug[pivot_row][col];
+            let prow = aug[pivot_row].clone();
+            for (r, row) in aug.iter_mut().enumerate() {
+                if r == pivot_row || row[col] == 0 {
                     continue;
                 }
-                let f = aug[(r, col)];
-                for c in 0..=self.cols {
-                    aug[(r, c)] = p * aug[(r, c)] - f * aug[(pivot_row, c)];
+                let f = row[col];
+                for (vr, &vp) in row.iter_mut().zip(&prow) {
+                    *vr = p.checked_mul(*vr)?.checked_sub(f.checked_mul(vp)?)?;
                 }
-                aug.normalize_row(r);
+                normalize_row_wide(row);
             }
             pivots.push((pivot_row, col));
             pivot_row += 1;
@@ -223,18 +218,18 @@ impl IntMatrix {
             }
         }
         // Inconsistency: a zero row with nonzero rhs.
-        for r in pivot_row..self.rows {
-            if (0..self.cols).all(|c| aug[(r, c)] == 0) && aug[(r, self.cols)] != 0 {
+        for row in aug.iter().skip(pivot_row) {
+            if row[..self.cols].iter().all(|&v| v == 0) && row[self.cols] != 0 {
                 return None;
             }
         }
-        let mut x = vec![0i64; self.cols];
+        let mut x = vec![0i128; self.cols];
         for &(pr, pc) in pivots.iter().rev() {
-            let p = aug[(pr, pc)];
-            let mut rhs = aug[(pr, self.cols)];
+            let p = aug[pr][pc];
+            let mut rhs = aug[pr][self.cols];
             for c in 0..self.cols {
                 if c != pc {
-                    rhs -= aug[(pr, c)] * x[c];
+                    rhs = rhs.checked_sub(aug[pr][c].checked_mul(x[c])?)?;
                 }
             }
             if rhs % p != 0 {
@@ -242,7 +237,22 @@ impl IntMatrix {
             }
             x[pc] = rhs / p;
         }
-        debug_assert_eq!(self.mul_vec(&x), d, "solver produced a non-solution");
+        let x: Vec<i64> = x
+            .into_iter()
+            .map(i64::try_from)
+            .collect::<Result<_, _>>()
+            .ok()?;
+        debug_assert!(
+            (0..self.rows).all(|r| {
+                self.row(r)
+                    .iter()
+                    .zip(&x)
+                    .map(|(&a, &b)| i128::from(a) * i128::from(b))
+                    .sum::<i128>()
+                    == i128::from(d[r])
+            }),
+            "solver produced a non-solution"
+        );
         Some(x)
     }
 
@@ -252,6 +262,12 @@ impl IntMatrix {
     /// The number of basis vectors is `cols − rank`. The basis spans the
     /// rational kernel; each vector is integral and primitive (GCD of
     /// entries is 1), which is exactly the form reuse vectors take.
+    ///
+    /// Back-substitution runs in checked `i128`; a vector whose entries
+    /// cannot be represented is dropped rather than aborting (fewer reuse
+    /// vectors = sound over-count), and elimination overflow yields an
+    /// empty basis — consistent with [`IntMatrix::rank`]'s full-rank
+    /// fallback.
     pub fn kernel_basis(&self) -> Vec<Vec<i64>> {
         if self.cols == 0 {
             return Vec::new();
@@ -266,59 +282,93 @@ impl IntMatrix {
                 })
                 .collect();
         }
-        let (rank, ech, pivots) = self.echelon();
+        let Some((rank, ech, pivots)) = self.echelon_wide() else {
+            return Vec::new();
+        };
         let pivot_set: std::collections::HashSet<usize> = pivots.iter().copied().collect();
         let free_cols: Vec<usize> = (0..self.cols).filter(|c| !pivot_set.contains(c)).collect();
         let mut basis = Vec::with_capacity(free_cols.len());
-        for &fc in &free_cols {
+        'free: for &fc in &free_cols {
             // Solve A·x = 0 with x[fc] = t, other free vars 0 using the
             // echelon rows bottom-up with rational back-substitution scaled
             // to integers.
             // Each pivot row gives: p*x[pivot] + sum_{c>pivot} e[c]*x[c] = 0.
             // Work with rationals via an LCM-scaled representation.
-            let mut num = vec![0i64; self.cols];
-            let mut den = 1i64;
+            let mut num = vec![0i128; self.cols];
             num[fc] = 1;
             for pr in (0..rank).rev() {
                 let pc = pivots[pr];
-                let p = ech[(pr, pc)];
+                let p = ech[pr][pc];
                 // x[pc] = -(sum_{c != pc} e[c]*x[c]) / p
-                let mut s_num = 0i64;
+                let mut s_num = 0i128;
                 for c in 0..self.cols {
                     if c == pc {
                         continue;
                     }
-                    s_num += ech[(pr, c)] * num[c];
+                    let Some(term) = ech[pr][c].checked_mul(num[c]) else {
+                        continue 'free;
+                    };
+                    let Some(sum) = s_num.checked_add(term) else {
+                        continue 'free;
+                    };
+                    s_num = sum;
                 }
-                // x[pc] = -s_num / (den * p) in units of 1/den ... rescale:
-                // multiply everything by p so x[pc] becomes integral.
+                // x[pc] = -s_num / p in units of the current scale; rescale
+                // everything by p when that quotient is not integral.
                 if s_num % p != 0 {
                     for v in num.iter_mut() {
-                        *v *= p;
+                        let Some(scaled) = v.checked_mul(p) else {
+                            continue 'free;
+                        };
+                        *v = scaled;
                     }
-                    den *= p;
-                    s_num *= p;
+                    let Some(scaled) = s_num.checked_mul(p) else {
+                        continue 'free;
+                    };
+                    s_num = scaled;
                 }
                 num[pc] = -s_num / p;
             }
-            let _ = den; // den only tracked to keep entries integral.
-                         // Normalize to a primitive vector with positive leading entry.
-            let g = gcd_all(&num);
-            if g > 1 {
-                for v in num.iter_mut() {
-                    *v /= g;
-                }
-            }
-            if let Some(first) = num.iter().find(|&&v| v != 0) {
-                if *first < 0 {
+            // Normalize to a primitive vector with positive leading entry.
+            normalize_row_wide(&mut num);
+            if let Some(&first) = num.iter().find(|&&v| v != 0) {
+                if first < 0 {
                     for v in num.iter_mut() {
                         *v = -*v;
                     }
                 }
             }
-            basis.push(num);
+            let Ok(vec) = num
+                .into_iter()
+                .map(i64::try_from)
+                .collect::<Result<Vec<i64>, _>>()
+            else {
+                continue 'free;
+            };
+            basis.push(vec);
         }
         basis
+    }
+}
+
+/// Divides a row by the (positive) GCD of its entries, in place.
+fn normalize_row_wide(row: &mut [i128]) {
+    let mut g: u128 = 0;
+    for &v in row.iter() {
+        let mut b = v.unsigned_abs();
+        let mut a = g;
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        g = a;
+    }
+    if g > 1 {
+        let g = g as i128; // g ≤ max |entry| ≤ i128::MAX, so this is exact.
+        for v in row.iter_mut() {
+            *v /= g;
+        }
     }
 }
 

@@ -16,7 +16,15 @@ use crate::interval::Interval;
 use crate::polytope::Polytope;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, tolerating poisoning: the memo stores plain `u64` counts
+/// that are written atomically under the lock, so a panic elsewhere cannot
+/// leave a half-updated entry behind. This keeps a session usable after a
+/// worker panic is caught at the analysis pool boundary.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Exact key of one bounded solve: flattened constraint rows plus the
 /// bounding box. Two solves with equal keys have equal counts by
@@ -92,7 +100,7 @@ impl SolveMemo {
     }
 
     fn lookup(&self, key: SolveKey, compute: impl FnOnce() -> u64) -> u64 {
-        if let Some(&cached) = self.table.lock().expect("solve memo poisoned").get(&key) {
+        if let Some(&cached) = relock(&self.table).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return cached;
         }
@@ -100,10 +108,7 @@ impl SolveMemo {
         // threads should keep hitting the table meanwhile.
         let value = compute();
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.table
-            .lock()
-            .expect("solve memo poisoned")
-            .insert(key, value);
+        relock(&self.table).insert(key, value);
         value
     }
 
@@ -129,7 +134,7 @@ impl SolveMemo {
 
     /// Number of distinct solves stored.
     pub fn len(&self) -> usize {
-        self.table.lock().expect("solve memo poisoned").len()
+        relock(&self.table).len()
     }
 
     /// `true` when nothing is stored.
@@ -139,7 +144,7 @@ impl SolveMemo {
 
     /// Drops all stored results (counters are kept).
     pub fn clear(&self) {
-        self.table.lock().expect("solve memo poisoned").clear();
+        relock(&self.table).clear();
     }
 }
 

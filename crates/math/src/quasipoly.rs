@@ -81,6 +81,9 @@ impl QuasiPolynomial {
     /// # Panics
     ///
     /// Panics if the range is empty or contains negative values.
+    // Infallible: `lo <= hi` is asserted, so the residue class of `lo`
+    // always contributes at least one candidate.
+    #[allow(clippy::expect_used)]
     pub fn argmin(&self, range: std::ops::RangeInclusive<i64>) -> (i64, i64) {
         let (lo, hi) = (*range.start(), *range.end());
         assert!(lo <= hi, "empty parameter range");
@@ -121,7 +124,11 @@ impl fmt::Display for QuasiPolynomial {
             }
         }
         if self.coeffs.len() > shown {
+            // Infallible: this branch requires `coeffs.len() > shown >= 0`,
+            // so the iterator is non-empty.
+            #[allow(clippy::unwrap_used)]
             let lo = self.coeffs.iter().map(|(a, _)| a).min().unwrap();
+            #[allow(clippy::unwrap_used)]
             let hi = self.coeffs.iter().map(|(a, _)| a).max().unwrap();
             write!(
                 f,

@@ -53,6 +53,13 @@ pub struct PaddingOutcome {
     pub total_before: u64,
     /// Total CME misses after.
     pub total_after: u64,
+    /// Candidate scores that came back budget-exhausted (sound overcounts;
+    /// the search still ranks them, pessimistically). Nonzero only when the
+    /// session carries a [`cme_core::Budget`] or cancel token.
+    pub degraded_candidates: usize,
+    /// Candidate scores lost to an [`cme_core::AnalysisError`] (scored
+    /// `u64::MAX`, so they are never selected).
+    pub failed_candidates: usize,
 }
 
 impl PaddingOutcome {
@@ -78,7 +85,15 @@ impl fmt::Display for PaddingOutcome {
             self.total_before,
             self.total_after,
             self.method
-        )
+        )?;
+        if self.degraded_candidates > 0 || self.failed_candidates > 0 {
+            write!(
+                f,
+                " [{} candidates degraded by budget, {} failed]",
+                self.degraded_candidates, self.failed_candidates
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -147,13 +162,44 @@ pub fn optimize_padding(
 /// them from its cascade and window-scan memos instead of re-running the
 /// full miss-finding algorithm — this is where the search's speedup comes
 /// from (see `docs/ENGINE.md`).
+///
+/// The search honors the session's resource governor: when the analyzer
+/// carries a [`cme_core::Budget`] or cancel token, exhausted candidate
+/// scores are sound overcounts (counted in
+/// [`PaddingOutcome::degraded_candidates`]) and the search ranks them
+/// pessimistically instead of panicking; a candidate whose analysis errors
+/// outright scores `u64::MAX` and is never selected. The search itself
+/// never panics on governed sessions.
 pub fn optimize_padding_with(
     analyzer: &mut Analyzer,
     nest: &LoopNest,
 ) -> (LoopNest, PaddingOutcome) {
     let cache = *analyzer.cache();
     let cache = &cache;
-    let before = analyzer.analyze(nest);
+    let mut degraded_candidates = 0usize;
+    let mut failed_candidates = 0usize;
+    let before = match analyzer.try_analyze(nest) {
+        Ok(governed) => {
+            degraded_candidates += governed.outcome.is_exhausted() as usize;
+            governed.analysis
+        }
+        Err(_) => {
+            // No sound baseline: leave the nest untouched and report the
+            // failure instead of panicking the whole search.
+            return (
+                nest.clone(),
+                PaddingOutcome {
+                    method: PaddingMethod::CountingSearch { evaluations: 0 },
+                    replacement_before: 0,
+                    replacement_after: 0,
+                    total_before: 0,
+                    total_after: 0,
+                    degraded_candidates,
+                    failed_candidates: 1,
+                },
+            );
+        }
+    };
     let (replacement_before, total_before) = (before.total_replacement(), before.total_misses());
     let order = used_arrays(nest);
     // The coordinate-descent search runs dozens of full CME counts; past
@@ -168,22 +214,29 @@ pub fn optimize_padding_with(
     if let Ok(plan) = plan_padding(nest, cache) {
         let mut candidate = nest.clone();
         plan.apply(&mut candidate);
-        let after = analyzer.analyze(&candidate);
-        let improves = after.total_replacement() < replacement_before
-            || (after.total_replacement() == 0
-                && replacement_before == 0
-                && after.total_misses() <= total_before);
-        if improves && (after.total_replacement() == 0 || !searchable) {
-            return (
-                candidate,
-                PaddingOutcome {
-                    method: PaddingMethod::SpecialCase(plan),
-                    replacement_before,
-                    replacement_after: after.total_replacement(),
-                    total_before,
-                    total_after: after.total_misses(),
-                },
-            );
+        if let Ok(governed) = analyzer.try_analyze(&candidate) {
+            degraded_candidates += governed.outcome.is_exhausted() as usize;
+            let after = governed.analysis;
+            let improves = after.total_replacement() < replacement_before
+                || (after.total_replacement() == 0
+                    && replacement_before == 0
+                    && after.total_misses() <= total_before);
+            if improves && (after.total_replacement() == 0 || !searchable) {
+                return (
+                    candidate,
+                    PaddingOutcome {
+                        method: PaddingMethod::SpecialCase(plan),
+                        replacement_before,
+                        replacement_after: after.total_replacement(),
+                        total_before,
+                        total_after: after.total_misses(),
+                        degraded_candidates,
+                        failed_candidates,
+                    },
+                );
+            }
+        } else {
+            failed_candidates += 1;
         }
     }
     if replacement_before == 0 || !searchable {
@@ -194,18 +247,26 @@ pub fn optimize_padding_with(
             if let Ok(plan) = plan_padding_partial(nest, cache) {
                 let mut candidate = nest.clone();
                 plan.apply(&mut candidate);
-                let after = analyzer.analyze(&candidate);
-                if after.total_replacement() < replacement_before {
-                    return (
-                        candidate,
-                        PaddingOutcome {
-                            method: PaddingMethod::SpecialCase(plan),
-                            replacement_before,
-                            replacement_after: after.total_replacement(),
-                            total_before,
-                            total_after: after.total_misses(),
-                        },
-                    );
+                match analyzer.try_analyze(&candidate) {
+                    Ok(governed) => {
+                        degraded_candidates += governed.outcome.is_exhausted() as usize;
+                        let after = governed.analysis;
+                        if after.total_replacement() < replacement_before {
+                            return (
+                                candidate,
+                                PaddingOutcome {
+                                    method: PaddingMethod::SpecialCase(plan),
+                                    replacement_before,
+                                    replacement_after: after.total_replacement(),
+                                    total_before,
+                                    total_after: after.total_misses(),
+                                    degraded_candidates,
+                                    failed_candidates,
+                                },
+                            );
+                        }
+                    }
+                    Err(_) => failed_candidates += 1,
                 }
             }
         }
@@ -217,6 +278,8 @@ pub fn optimize_padding_with(
                 replacement_after: replacement_before,
                 total_before,
                 total_after: total_before,
+                degraded_candidates,
+                failed_candidates,
             },
         );
     }
@@ -253,7 +316,16 @@ pub fn optimize_padding_with(
     let mut count = |analyzer: &mut Analyzer, column: i64, spacings: &[i64]| -> u64 {
         evaluations += 1;
         let cand = layout_with(nest, &order, column, spacings);
-        analyzer.analyze(&cand).total_replacement()
+        match analyzer.try_analyze(&cand) {
+            Ok(governed) => {
+                degraded_candidates += governed.outcome.is_exhausted() as usize;
+                governed.analysis.total_replacement()
+            }
+            Err(_) => {
+                failed_candidates += 1;
+                u64::MAX
+            }
+        }
     };
 
     // Spacing candidates per gap: the padded array length staggered by
@@ -356,15 +428,31 @@ pub fn optimize_padding_with(
     }
 
     let optimized = layout_with(nest, &order, best_col, &best_spacings);
-    let after = analyzer.analyze(&optimized);
+    let (replacement_after, total_after) = match analyzer.try_analyze(&optimized) {
+        Ok(governed) => {
+            degraded_candidates += governed.outcome.is_exhausted() as usize;
+            (
+                governed.analysis.total_replacement(),
+                governed.analysis.total_misses(),
+            )
+        }
+        Err(_) => {
+            // The final re-count failed; fall back to the search's own
+            // (possibly overcounted) score for the winning layout.
+            failed_candidates += 1;
+            (best_score, total_before)
+        }
+    };
     (
         optimized,
         PaddingOutcome {
             method: PaddingMethod::CountingSearch { evaluations },
             replacement_before,
-            replacement_after: after.total_replacement(),
+            replacement_after,
             total_before,
-            total_after: after.total_misses(),
+            total_after,
+            degraded_candidates,
+            failed_candidates,
         },
     )
 }
@@ -419,14 +507,38 @@ mod tests {
 
     #[test]
     fn outcome_display_and_pct() {
-        let o = PaddingOutcome {
+        let mut o = PaddingOutcome {
             method: PaddingMethod::CountingSearch { evaluations: 7 },
             replacement_before: 100,
             replacement_after: 25,
             total_before: 150,
             total_after: 75,
+            degraded_candidates: 0,
+            failed_candidates: 0,
         };
         assert!((o.replacement_reduction_pct() - 75.0).abs() < 1e-9);
         assert!(o.to_string().contains("7 counts"));
+        assert!(!o.to_string().contains("degraded"));
+        o.degraded_candidates = 3;
+        assert!(o.to_string().contains("3 candidates degraded"));
+    }
+
+    #[test]
+    fn budgeted_session_search_is_panic_free_and_reports_degradation() {
+        // A solve budget far too small for any candidate: every score is a
+        // sound overcount, the search completes without panicking, and the
+        // degradation is surfaced instead of hidden.
+        let cache = table1_cache();
+        let nest = cme_kernels::adi(32);
+        let mut analyzer = Analyzer::new(cache)
+            .parallel(true)
+            .budget(cme_core::Budget::unlimited().with_max_solves(50));
+        let (_, outcome) = optimize_padding_with(&mut analyzer, &nest);
+        assert!(
+            outcome.degraded_candidates > 0,
+            "a 50-solve budget must exhaust on adi(32): {outcome}"
+        );
+        assert_eq!(outcome.failed_candidates, 0);
+        assert!(outcome.to_string().contains("degraded"), "{outcome}");
     }
 }
