@@ -1,19 +1,28 @@
 //! Criterion benches of the analysis pipeline (the Section 5.3 cost story:
 //! "CME generation always executes in less than 10s per program").
-// The deprecated free functions ARE the baseline being measured here; the
-// engine-vs-legacy comparison lives in `benches/engine.rs`.
-#![allow(deprecated)]
+// These benches time the uncached reference path (a one-shot session with
+// memoization disabled); the memoized-engine comparison lives in
+// `benches/engine.rs`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use cme_cache::{simulate_nest, CacheConfig};
-use cme_core::{analyze_nest, AnalysisOptions, CmeSystem};
+use cme_core::{AnalysisOptions, Analyzer, CmeSystem, NestAnalysis};
+use cme_ir::LoopNest;
 use cme_kernels::{adi, gauss, mmult, sor, tom, trans};
 use cme_reuse::{reuse_vectors, ReuseOptions};
 
 fn table1_cache() -> CacheConfig {
     CacheConfig::new(8192, 1, 32, 4).unwrap()
+}
+
+/// One uncached analysis — the monolithic miss-finding pass, no memo tables.
+fn baseline(nest: &LoopNest, cache: CacheConfig, options: &AnalysisOptions) -> NestAnalysis {
+    Analyzer::new(cache)
+        .options(options.clone())
+        .caching(false)
+        .analyze(nest)
 }
 
 /// Reuse-vector computation + symbolic equation generation per kernel
@@ -70,7 +79,7 @@ fn bench_solve(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::from_parameter(nest.name().to_string()),
             &nest,
-            |b, nest| b.iter(|| black_box(analyze_nest(nest, cache, &AnalysisOptions::default()))),
+            |b, nest| b.iter(|| black_box(baseline(nest, cache, &AnalysisOptions::default()))),
         );
     }
     g.finish();
@@ -99,14 +108,14 @@ fn bench_window_scan_ablation(c: &mut Criterion) {
     g.sample_size(10);
     let nest = mmult(32);
     g.bench_function("row-summarized", |b| {
-        b.iter(|| black_box(analyze_nest(&nest, cache, &AnalysisOptions::default())))
+        b.iter(|| black_box(baseline(&nest, cache, &AnalysisOptions::default())))
     });
     g.bench_function("pointwise", |b| {
         let opts = AnalysisOptions {
             pointwise_windows: true,
             ..AnalysisOptions::default()
         };
-        b.iter(|| black_box(analyze_nest(&nest, cache, &opts)))
+        b.iter(|| black_box(baseline(&nest, cache, &opts)))
     });
     g.finish();
 }
@@ -131,7 +140,7 @@ fn bench_reuse_scope_ablation(c: &mut Criterion) {
                 },
                 ..AnalysisOptions::default()
             };
-            b.iter(|| black_box(analyze_nest(&nest, cache, &opts)))
+            b.iter(|| black_box(baseline(&nest, cache, &opts)))
         });
     }
     g.finish();

@@ -1,14 +1,16 @@
-//! Engine-vs-legacy benches for the optimizer searches.
+//! Engine-vs-reference benches for the optimizer searches, plus the
+//! batch-vs-loop bench for `analyze_batch`.
 //!
-//! Both sides run the *same* search code (`optimize_padding_with`,
+//! Both search benches run the *same* search code (`optimize_padding_with`,
 //! `select_tile_and_layout_with`); the only difference is the `Analyzer`'s
 //! caching switch. With caching off every candidate layout is re-analyzed
-//! from scratch through the legacy per-reference solver — the pre-engine
-//! cost model. With caching on, candidates that only move base addresses
-//! or restride one array re-solve from the engine's memo tables. Each
-//! bench first proves the two paths produce bit-identical transformations
-//! and miss counts, then times them; a final check asserts the ≥2× engine
-//! speedup on the Table-1 matmul configuration.
+//! from scratch through the reference per-reference solver — the
+//! pre-engine cost model. With caching on, candidates that only move base
+//! addresses or restride one array re-solve from the engine's memo tables.
+//! Each bench first proves the two paths produce bit-identical
+//! transformations and miss counts, then times them; a final check asserts
+//! the ≥2× engine speedup on the Table-1 matmul configuration and the
+//! ≥1.5× batch speedup over a sequential per-nest loop.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -34,17 +36,20 @@ fn bench_padding_search(c: &mut Criterion) {
     let nest = matmul();
 
     // Equivalence first: the memoized search must land on the same layout
-    // with the same counts as the per-candidate legacy path.
+    // with the same counts as the per-candidate reference path.
     let mut engine = Analyzer::new(cache);
-    let mut legacy = Analyzer::new(cache).caching(false);
+    let mut reference = Analyzer::new(cache).caching(false);
     let (nest_e, out_e) = optimize_padding_with(&mut engine, &nest);
-    let (nest_l, out_l) = optimize_padding_with(&mut legacy, &nest);
-    assert_eq!(nest_e, nest_l, "padding: engine and legacy layouts differ");
-    assert_eq!(out_e.method, out_l.method);
-    assert_eq!(out_e.total_before, out_l.total_before);
-    assert_eq!(out_e.total_after, out_l.total_after);
-    assert_eq!(out_e.replacement_before, out_l.replacement_before);
-    assert_eq!(out_e.replacement_after, out_l.replacement_after);
+    let (nest_r, out_r) = optimize_padding_with(&mut reference, &nest);
+    assert_eq!(
+        nest_e, nest_r,
+        "padding: engine and reference layouts differ"
+    );
+    assert_eq!(out_e.method, out_r.method);
+    assert_eq!(out_e.total_before, out_r.total_before);
+    assert_eq!(out_e.total_after, out_r.total_after);
+    assert_eq!(out_e.replacement_before, out_r.replacement_before);
+    assert_eq!(out_e.replacement_after, out_r.replacement_after);
     assert!(
         engine.stats().memo_hit_rate() > 0.0,
         "the padding search must hit the memo tables"
@@ -56,8 +61,8 @@ fn bench_padding_search(c: &mut Criterion) {
     g.bench_function("engine", |b| {
         b.iter(|| black_box(optimize_padding_with(&mut engine, &nest)))
     });
-    g.bench_function("legacy", |b| {
-        b.iter(|| black_box(optimize_padding_with(&mut legacy, &nest)))
+    g.bench_function("reference", |b| {
+        b.iter(|| black_box(optimize_padding_with(&mut reference, &nest)))
     });
     g.finish();
 }
@@ -68,32 +73,142 @@ fn bench_tile_search(c: &mut Criterion) {
     let n = 32;
 
     let mut engine = Analyzer::new(cache);
-    let mut legacy = Analyzer::new(cache).caching(false);
+    let mut reference = Analyzer::new(cache).caching(false);
     let pick_e = select_tile_and_layout_with(&mut engine, &nest, 1, 2, n, n)
         .expect("tiling applies to matmul");
-    let pick_l = select_tile_and_layout_with(&mut legacy, &nest, 1, 2, n, n)
+    let pick_r = select_tile_and_layout_with(&mut reference, &nest, 1, 2, n, n)
         .expect("tiling applies to matmul");
-    assert_eq!(pick_e, pick_l, "tiling: engine and legacy choices differ");
+    assert_eq!(
+        pick_e, pick_r,
+        "tiling: engine and reference choices differ"
+    );
 
     let mut g = c.benchmark_group("select-tile-and-layout");
     g.sample_size(3);
     g.bench_function("engine", |b| {
         b.iter(|| black_box(select_tile_and_layout_with(&mut engine, &nest, 1, 2, n, n)))
     });
-    g.bench_function("legacy", |b| {
-        b.iter(|| black_box(select_tile_and_layout_with(&mut legacy, &nest, 1, 2, n, n)))
+    g.bench_function("reference", |b| {
+        b.iter(|| {
+            black_box(select_tile_and_layout_with(
+                &mut reference,
+                &nest,
+                1,
+                2,
+                n,
+                n,
+            ))
+        })
     });
     g.finish();
 }
 
+/// Translates every array of a nest by `lines` whole cache lines — the
+/// candidate class a converged base-address sweep enumerates.
+fn translate_layout(nest: &cme_ir::LoopNest, cache: &CacheConfig, lines: i64) -> cme_ir::LoopNest {
+    let mut out = nest.clone();
+    let mut seen = Vec::new();
+    for r in nest.references() {
+        let id = r.array();
+        if seen.contains(&id) {
+            continue;
+        }
+        seen.push(id);
+        let base = out.array(id).base();
+        out.array_mut(id)
+            .set_base(base + lines * cache.line_elems());
+    }
+    out
+}
+
+/// Batch multi-nest analysis vs a sequential per-nest loop, on the
+/// workload `analyze_batch` exists for: every Table-1 kernel at several
+/// candidate layouts (line-aligned translations, the base-sweep candidate
+/// class). The loop re-enters the engine one nest at a time with a
+/// one-shot session per candidate — the pre-batch pattern of the diffcheck
+/// corpus replay and externally-driven searches — so every candidate pays
+/// cold stages. The batched session analyzes the same candidates in one
+/// call, sharing memo tables (layout siblings reuse their reuse vectors,
+/// solve sets, and scans) and one worker pool across the whole batch.
+fn bench_batch_vs_loop(c: &mut Criterion) {
+    let cache = table1_cache();
+    let n = 32;
+    let candidates: Vec<_> = cme_kernels::table1_suite(n)
+        .iter()
+        .flat_map(|nest| (0..4).map(|v| translate_layout(nest, &cache, v)))
+        .collect();
+    let threads = std::thread::available_parallelism()
+        .map_or(4, |p| p.get())
+        .min(8);
+
+    // Equivalence first: the batch must be bit-identical to per-nest runs.
+    let solo: Vec<_> = candidates
+        .iter()
+        .map(|nest| Analyzer::new(cache).analyze(nest))
+        .collect();
+    let mut batched = Analyzer::new(cache).threads(threads);
+    let ids: Vec<_> = candidates.iter().map(|nest| batched.intern(nest)).collect();
+    assert_eq!(
+        batched.analyze_batch(&ids),
+        solo,
+        "batched analyses diverged from per-nest sessions"
+    );
+
+    let mut g = c.benchmark_group("table1-layout-sweep");
+    g.sample_size(5);
+    g.bench_function("per-nest-loop", |b| {
+        b.iter(|| {
+            // One-shot session per candidate: cold per-nest analysis, one
+            // nest at a time.
+            for nest in &candidates {
+                black_box(Analyzer::new(cache).analyze(nest));
+            }
+        })
+    });
+    g.bench_function("batch", |b| {
+        b.iter(|| {
+            // A fresh batched session each iteration: the same candidates,
+            // but all stages share one pool and one set of memo tables.
+            let mut a = Analyzer::new(cache).threads(threads);
+            let ids: Vec<_> = candidates.iter().map(|nest| a.intern(nest)).collect();
+            black_box(a.analyze_batch(&ids))
+        })
+    });
+    g.finish();
+}
+
+/// The batch API's acceptance bar: analyzing the Table-1 layout sweep in
+/// one batched session must be at least 1.5× faster than the sequential
+/// per-nest loop.
+fn check_batch_speedup(c: &mut Criterion) {
+    let mean = |label: &str| {
+        c.results
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, d)| d.as_secs_f64())
+    };
+    let (Some(batch), Some(looped)) = (
+        mean("table1-layout-sweep/batch"),
+        mean("table1-layout-sweep/per-nest-loop"),
+    ) else {
+        return;
+    };
+    let ratio = looped / batch.max(1e-12);
+    println!("table1-layout-sweep/batch vs per-nest-loop: {ratio:.1}x speedup");
+    assert!(
+        ratio >= 1.5,
+        "analyze_batch must be >= 1.5x faster than a per-nest loop, got {ratio:.2}x"
+    );
+}
+
 /// Reads the recorded means and enforces the acceptance bar: the engine
-/// path must be at least 2× faster than per-candidate legacy analysis.
+/// path must be at least 2× faster than per-candidate reference analysis.
 fn check_speedup(c: &mut Criterion) {
     for pair in [
-        ("optimize-padding/engine", "optimize-padding/legacy"),
+        ("optimize-padding/engine", "optimize-padding/reference"),
         (
             "select-tile-and-layout/engine",
-            "select-tile-and-layout/legacy",
+            "select-tile-and-layout/reference",
         ),
     ] {
         let mean = |label: &str| {
@@ -120,6 +235,8 @@ criterion_group!(
     benches,
     bench_padding_search,
     bench_tile_search,
-    check_speedup
+    bench_batch_vs_loop,
+    check_speedup,
+    check_batch_speedup
 );
 criterion_main!(benches);

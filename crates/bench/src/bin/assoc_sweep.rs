@@ -10,15 +10,15 @@
 //! misses absorbed, capacity floor reached) — and that the CME count
 //! tracks the simulator at every point.
 
-use cme_bench::arg_value;
+use cme_bench::BenchArgs;
 use cme_cache::{simulate_nest, CacheConfig};
 use cme_core::{AnalysisOptions, Analyzer};
 use cme_kernels::table1_suite;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let n = arg_value(&args, "--n").unwrap_or(48);
-    let size = arg_value(&args, "--size").unwrap_or(8192);
+    let args = BenchArgs::from_env();
+    let n = args.n(48);
+    let size = args.value_or("--size", 8192);
     println!("# Associativity sweep at fixed capacity {size}B, 32B lines, N = {n}");
     println!(
         "# {:<7} {:>6} {:>12} {:>12} {:>8}",

@@ -2,7 +2,7 @@
 //! workflow a downstream user would drive:
 //!
 //! ```text
-//! cmetool analyze   <kernel> [--n N] [--size BYTES] [--assoc K] [--line BYTES]
+//! cmetool analyze   <kernel> [--n N] [--size BYTES] [--assoc K] [--line BYTES] [--stats]
 //! cmetool simulate  <kernel> [...]        trace-driven LRU ground truth
 //! cmetool compare   <kernel> [...]        CME vs simulation, Table-1 row
 //! cmetool diagnose  <kernel> [...]        miss attribution + recommendations
@@ -19,20 +19,22 @@
 //! `analyze` accepts resource-governor flags: `--budget-ms MS` (wall-clock
 //! deadline) and `--max-solves N` (equation-evaluation cap). A budgeted run
 //! that exhausts prints its degraded-but-sound result plus the outcome
-//! line (`exhausted (...)`) instead of hanging or dying.
+//! line (`exhausted (...)`) instead of hanging or dying. With `--stats`,
+//! `analyze` also prints the engine's per-stage accounting (stage wall
+//! times, memo hit/miss counters) after the result.
 
-use cme_bench::arg_value;
-use cme_cache::{export_din, simulate_nest, CacheConfig};
+use cme_bench::{resolve_kernel, BenchArgs};
+use cme_cache::{export_din, simulate_nest};
 use cme_core::{compare_with_simulation, AnalysisOptions, Analyzer, Budget, CmeSystem};
-use cme_kernels::{kernel_by_name, kernel_names};
+use cme_kernels::kernel_names;
 use cme_opt::{diagnose, optimize_padding};
 use cme_reuse::ReuseOptions;
 use std::time::Duration;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let Some(command) = args.get(1).map(String::as_str) else {
-        eprintln!("usage: cmetool <analyze|simulate|compare|diagnose|pad|equations|export|kernels> [kernel] [--n N] [--size B] [--assoc K] [--line B]");
+    let args = BenchArgs::from_env();
+    let Some(command) = args.positional(0) else {
+        eprintln!("usage: cmetool <analyze|simulate|compare|diagnose|pad|equations|export|kernels> [kernel] [--n N] [--size B] [--assoc K] [--line B] [--stats]");
         std::process::exit(2);
     };
     if command == "kernels" {
@@ -41,20 +43,14 @@ fn main() {
         }
         return;
     }
-    let kernel = args.get(2).map(String::as_str).unwrap_or("mmult");
-    let n = arg_value(&args, "--n").unwrap_or(64);
-    let size = arg_value(&args, "--size").unwrap_or(8192);
-    let assoc = arg_value(&args, "--assoc").unwrap_or(1);
-    let line = arg_value(&args, "--line").unwrap_or(32);
-    let cache = CacheConfig::new(size, assoc, line, 4).unwrap_or_else(|e| {
-        eprintln!("bad cache geometry: {e}");
+    let kernel = args.positional(1).unwrap_or("mmult");
+    let n = args.n(64);
+    let cache = args.cache();
+    if args.flag("--file") && args.value_str("--file").is_none() {
+        eprintln!("--file needs a path");
         std::process::exit(2);
-    });
-    let nest = if let Some(pos) = args.iter().position(|a| a == "--file") {
-        let path = args.get(pos + 1).unwrap_or_else(|| {
-            eprintln!("--file needs a path");
-            std::process::exit(2);
-        });
+    }
+    let nest = if let Some(path) = args.value_str("--file") {
         let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read `{path}`: {e}");
             std::process::exit(2);
@@ -64,17 +60,14 @@ fn main() {
             std::process::exit(2);
         })
     } else {
-        kernel_by_name(kernel, n).unwrap_or_else(|| {
-            eprintln!("unknown kernel `{kernel}`; run `cmetool kernels`");
-            std::process::exit(2);
-        })
+        resolve_kernel(kernel, n)
     };
     let opts = AnalysisOptions::default();
     let mut budget = Budget::unlimited();
-    if let Some(ms) = arg_value(&args, "--budget-ms") {
+    if let Some(ms) = args.value("--budget-ms") {
         budget = budget.with_deadline(Duration::from_millis(ms.max(0) as u64));
     }
-    if let Some(n) = arg_value(&args, "--max-solves") {
+    if let Some(n) = args.value("--max-solves") {
         budget = budget.with_max_solves(n.max(0) as u64);
     }
     match command {
@@ -93,6 +86,9 @@ fn main() {
                     eprintln!("analysis failed: {e}");
                     std::process::exit(1);
                 }
+            }
+            if args.flag("--stats") {
+                println!("{}", analyzer.stats());
             }
         }
         "simulate" => {

@@ -1,32 +1,27 @@
 //! Developer diagnostic: pointwise CME-vs-simulator diff for one kernel,
 //! plus the incremental engine's work accounting (memo hit rates, phase
 //! timings, Diophantine-memo traffic) over a cold-then-warm re-analysis.
-//! Usage: diag <kernel> <n> <size> <assoc> <line>
+//! Usage: `diag <kernel> [--n N] [--size B] [--assoc K] [--line B]`
 
-use cme_cache::{CacheConfig, Simulator};
+use cme_bench::{resolve_kernel, BenchArgs};
+use cme_cache::Simulator;
 use cme_core::{AnalysisOptions, Analyzer};
 use cme_ir::LoopNest;
 use cme_reuse::{reuse_vectors, ReuseOptions};
 use std::collections::HashSet;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let kernel = args.get(1).map(String::as_str).unwrap_or("mmult");
-    let n: i64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(12);
-    let size: i64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1024);
-    let assoc: i64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let line: i64 = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(32);
-    let cache = CacheConfig::new(size, assoc, line, 4).unwrap();
+    let args = BenchArgs::from_env();
+    let kernel = args.positional(0).unwrap_or("mmult");
+    let n = args.n(12);
+    // A small default cache: the pointwise diff walks every iteration
+    // point, so diagnosis sizes stay tiny.
+    let cache = args.cache_with(1024, 1, 32);
     let nest: LoopNest = match kernel {
         "mmult" => cme_kernels::mmult_with_bases(n, 0, n * n, 2 * n * n),
         "alv-small" => cme_kernels::alv_with_layout(30, 12, 30, 512),
         "tiled" => cme_kernels::tiled_mmult(8, 4, 2, 0, 64, 128),
-        other => cme_kernels::kernel_by_name(other, n).unwrap_or_else(|| {
-            panic!(
-                "unknown kernel {other}; known: {:?}",
-                cme_kernels::kernel_names()
-            )
-        }),
+        other => resolve_kernel(other, n),
     };
     println!("{nest}\ncache {cache}");
 

@@ -6,15 +6,15 @@
 //! cargo run --release -p cme-bench --bin epsilon [-- --n 64]
 //! ```
 
-use cme_bench::{arg_value, table1_cache};
+use cme_bench::BenchArgs;
 use cme_core::{AnalysisOptions, Analyzer};
 use cme_kernels::mmult;
 use std::time::Instant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let n = arg_value(&args, "--n").unwrap_or(64);
-    let cache = table1_cache();
+    let args = BenchArgs::from_env();
+    let n = args.n(64);
+    let cache = args.cache();
     let nest = mmult(n);
     println!("# ε ablation on mmult N = {n}, cache {cache}");
     println!(

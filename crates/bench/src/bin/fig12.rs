@@ -11,14 +11,14 @@
 //! which our analysis reproduces). By default a CI-scale instance of the
 //! loop is swept; `--full 1` uses the paper's 1221×30 arrays (slower).
 
-use cme_bench::{arg_value, table1_cache};
+use cme_bench::BenchArgs;
 use cme_core::{AnalysisOptions, Analyzer};
 use cme_kernels::alv_with_layout;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let full = arg_value(&args, "--full").unwrap_or(0) == 1;
-    let cache = table1_cache();
+    let args = BenchArgs::from_env();
+    let full = args.value_or("--full", 0) == 1;
+    let cache = args.cache();
     let (nu, nh) = if full { (1221, 30) } else { (61, 30) };
     println!("# Figure 12: alv miss surface; cache {cache}");
     println!("row_size,delta_b,misses");

@@ -17,17 +17,16 @@
 
 // Figure 8 prescribes the paper's hand-picked reuse vectors, so this bin
 // stays on the low-level per-reference entry point by design.
-#![allow(deprecated)]
 
-use cme_bench::{arg_value, table1_cache};
-use cme_core::{analyze_reference, AnalysisOptions};
+use cme_bench::BenchArgs;
+use cme_core::{AnalysisOptions, Analyzer};
 use cme_kernels::mmult_with_bases;
 use cme_reuse::{ReuseKind, ReuseVector};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let n = arg_value(&args, "--n").unwrap_or(256);
-    let cache = table1_cache();
+    let args = BenchArgs::from_env();
+    let n = args.n(256);
+    let cache = args.cache();
     // The paper's layout: Z at 4192 with the other arrays packed behind it.
     let nest = mmult_with_bases(n, 4192, 4192 + n * n, 4192 + 2 * n * n);
     let z_load = nest.references()[0].id();
@@ -40,7 +39,9 @@ fn main() {
         exact_equation_counts: true,
         ..AnalysisOptions::default()
     };
-    let analysis = analyze_reference(&nest, cache, z_load, &rvs, &opts);
+    let analysis = Analyzer::new(cache)
+        .options(opts)
+        .analyze_reference_with_vectors(&nest, z_load, &rvs);
 
     println!("# Figure 8: miss-finding progress for the Z(j,i) load, N = {n}");
     println!("# cache: {cache}");

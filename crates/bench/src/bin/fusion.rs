@@ -10,14 +10,14 @@
 //! misses." (4-byte elements, 8KB direct-mapped, 32B lines, bases
 //! 0x10000110 / 0x10004130 / 0x10008150.)
 
-use cme_bench::table1_cache;
+use cme_bench::BenchArgs;
 use cme_cache::simulate_nest;
 use cme_core::AnalysisOptions;
 use cme_kernels::{adi_fusion_fused, adi_fusion_unfused};
 use cme_opt::evaluate_fusion;
 
 fn main() {
-    let cache = table1_cache();
+    let cache = BenchArgs::from_env().cache();
     let (n1, n2) = adi_fusion_unfused();
     let fused = adi_fusion_fused();
     println!("# Loop fusion by CME solution counting (Figure 13)");

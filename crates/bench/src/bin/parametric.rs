@@ -7,13 +7,13 @@
 //! cargo run --release -p cme-bench --bin parametric
 //! ```
 
-use cme_bench::table1_cache;
+use cme_bench::BenchArgs;
 use cme_core::Analyzer;
 use cme_kernels::alv_with_layout;
 use cme_opt::optimize_parameter;
 
 fn main() {
-    let cache = table1_cache();
+    let cache = BenchArgs::from_env().cache();
     let (nu, nh) = (61i64, 30i64);
     let base_spacing = nu * nh; // packed
     println!("# Parametric padding of alv: misses as a function of ΔB offset");

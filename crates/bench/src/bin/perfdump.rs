@@ -1,11 +1,12 @@
 //! Sliding-window cascade performance dump (`BENCH_cascade.json`).
 //!
-//! Runs one full Table-1 matmul analysis through the legacy per-point
-//! solver and through the engine's run-compressed sliding-window cascade
-//! (sequential and sharded), checks the miss counts are bit-identical, and
-//! writes a machine-readable JSON report: wall times, speedups, points
-//! scanned, rows covered incrementally (window steps) vs fully (rebuild
-//! rows), and the peak survivor-set size.
+//! Runs one full Table-1 matmul analysis through the reference per-point
+//! solver (an uncached session) and through the engine's run-compressed
+//! sliding-window cascade (sequential and sharded), checks the miss counts
+//! are bit-identical, and writes a machine-readable JSON report: wall
+//! times, speedups, per-stage times, points scanned, rows covered
+//! incrementally (window steps) vs fully (rebuild rows), and the peak
+//! survivor-set size.
 //!
 //! ```text
 //! cargo run --release -p cme-bench --bin perfdump -- \
@@ -18,38 +19,38 @@
 
 use std::time::Instant;
 
-use cme_bench::{arg_value, table1_cache};
+use cme_bench::BenchArgs;
 use cme_core::{AnalysisOptions, Analyzer, EngineStats, NestAnalysis};
 
-#[allow(deprecated)]
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let n = arg_value(&args, "--n").unwrap_or(64);
-    let threads = arg_value(&args, "--threads").unwrap_or(0).max(0) as usize;
+    let args = BenchArgs::from_env();
+    let n = args.n(64);
+    let threads = args.value_or("--threads", 0).max(0) as usize;
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(1, |p| p.get())
     } else {
         threads
     };
     let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_cascade.json".to_string());
+        .value_str("--out")
+        .unwrap_or("BENCH_cascade.json")
+        .to_string();
 
-    let cache = table1_cache();
+    let cache = args.cache();
     let nest = cme_kernels::mmult_with_bases(n, 0, n * n, 2 * n * n);
     let opts = AnalysisOptions::default();
 
     eprintln!("perfdump: table-1 matmul, N = {n}, {threads} threads");
 
     let t = Instant::now();
-    #[allow(deprecated)]
-    let legacy = cme_core::analyze_nest(&nest, cache, &opts);
-    let legacy_s = t.elapsed().as_secs_f64();
+    let reference = Analyzer::new(cache)
+        .options(opts.clone())
+        .caching(false)
+        .analyze(&nest);
+    let reference_s = t.elapsed().as_secs_f64();
     eprintln!(
-        "  legacy:          {legacy_s:>8.3}s  ({} misses)",
-        legacy.total_misses()
+        "  reference:       {reference_s:>8.3}s  ({} misses)",
+        reference.total_misses()
     );
 
     let mut seq = Analyzer::new(cache).options(opts.clone());
@@ -59,7 +60,7 @@ fn main() {
     let seq_stats = seq.stats();
     eprintln!(
         "  cascade (1 thr): {seq_s:>8.3}s  ({:.2}x)",
-        legacy_s / seq_s.max(1e-12)
+        reference_s / seq_s.max(1e-12)
     );
 
     let mut par = Analyzer::new(cache)
@@ -72,21 +73,34 @@ fn main() {
     let par_stats = par.stats();
     eprintln!(
         "  cascade ({threads} thr): {par_s:>8.3}s  ({:.2}x)",
-        legacy_s / par_s.max(1e-12)
+        reference_s / par_s.max(1e-12)
     );
     eprintln!("{seq_stats}");
 
-    assert_eq!(legacy, seq_res, "sequential cascade diverged from legacy");
-    assert_eq!(legacy, par_res, "sharded cascade diverged from legacy");
+    assert_eq!(
+        reference, seq_res,
+        "sequential cascade diverged from the reference solver"
+    );
+    assert_eq!(
+        reference, par_res,
+        "sharded cascade diverged from the reference solver"
+    );
 
     let json = render_json(
-        n, threads, &legacy, legacy_s, seq_s, par_s, &seq_stats, &par_stats,
+        n,
+        threads,
+        &reference,
+        reference_s,
+        seq_s,
+        par_s,
+        &seq_stats,
+        &par_stats,
     );
     std::fs::write(&out_path, &json).expect("write report");
     eprintln!("  wrote {out_path}");
 
-    if let Some(expect) = arg_value(&args, "--expect-misses") {
-        let got = legacy.total_misses();
+    if let Some(expect) = args.value("--expect-misses") {
+        let got = reference.total_misses();
         if got != expect as u64 {
             eprintln!("FAIL: expected {expect} total misses, analysis found {got}");
             std::process::exit(1);
@@ -99,8 +113,8 @@ fn main() {
 fn render_json(
     n: i64,
     threads: usize,
-    legacy: &NestAnalysis,
-    legacy_s: f64,
+    reference: &NestAnalysis,
+    reference_s: f64,
     seq_s: f64,
     par_s: f64,
     seq: &EngineStats,
@@ -110,26 +124,36 @@ fn render_json(
     s.push_str(&format!("  \"kernel\": \"mmult\",\n  \"n\": {n},\n"));
     s.push_str("  \"cache\": {\"size_bytes\": 8192, \"assoc\": 1, \"line_bytes\": 32, \"elem_bytes\": 4},\n");
     s.push_str(&format!("  \"threads\": {threads},\n"));
-    s.push_str(&format!("  \"total_misses\": {},\n", legacy.total_misses()));
-    s.push_str(&format!("  \"legacy_seconds\": {legacy_s:.6},\n"));
+    s.push_str(&format!(
+        "  \"total_misses\": {},\n",
+        reference.total_misses()
+    ));
+    s.push_str(&format!("  \"reference_seconds\": {reference_s:.6},\n"));
     s.push_str(&format!("  \"cascade_seq_seconds\": {seq_s:.6},\n"));
     s.push_str(&format!("  \"cascade_par_seconds\": {par_s:.6},\n"));
     s.push_str(&format!(
         "  \"speedup_seq\": {:.3},\n  \"speedup_par\": {:.3},\n",
-        legacy_s / seq_s.max(1e-12),
-        legacy_s / par_s.max(1e-12)
+        reference_s / seq_s.max(1e-12),
+        reference_s / par_s.max(1e-12)
     ));
     for (label, st) in [("cascade_seq", seq), ("cascade_par", par)] {
         s.push_str(&format!(
             "  \"{label}\": {{\"scan_points\": {}, \"scan_blocks\": {}, \
              \"window_steps\": {}, \"window_rebuilds\": {}, \
-             \"window_rebuild_rows\": {}, \"peak_survivors\": {}}},\n",
+             \"window_rebuild_rows\": {}, \"peak_survivors\": {}, \
+             \"stage_seconds\": {{\"lower\": {:.6}, \"reuse\": {:.6}, \
+             \"solve\": {:.6}, \"cascade\": {:.6}, \"classify\": {:.6}}}}},\n",
             st.scan_points,
             st.scan_blocks,
             st.window_steps,
             st.window_rebuilds,
             st.window_rebuild_rows,
-            st.peak_survivors
+            st.peak_survivors,
+            st.time_lower.as_secs_f64(),
+            st.time_reuse.as_secs_f64(),
+            st.time_solve.as_secs_f64(),
+            st.time_cascade.as_secs_f64(),
+            st.time_classify.as_secs_f64()
         ));
     }
     s.push_str(&format!(

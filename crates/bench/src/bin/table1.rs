@@ -15,16 +15,15 @@
 //! matmul nest alone walks 16.7M iteration points per reference several
 //! times. `--n 64` reproduces the same qualitative table in seconds.
 
-use cme_bench::{arg_value, cache_with_assoc};
+use cme_bench::BenchArgs;
 use cme_core::{compare_with_simulation, AnalysisOptions};
 use cme_kernels::table1_suite;
 use std::time::Instant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let n = arg_value(&args, "--n").unwrap_or(64);
-    let assoc = arg_value(&args, "--assoc").unwrap_or(1);
-    let cache = cache_with_assoc(assoc).expect("valid cache geometry");
+    let args = BenchArgs::from_env();
+    let n = args.n(64);
+    let cache = args.cache();
     println!("# Table 1: CME miss counts vs LRU simulation");
     println!("# cache: {cache}; problem size N = {n} (alv fixed at 1221x30)");
     println!(

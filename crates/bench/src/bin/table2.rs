@@ -12,17 +12,16 @@
 //! expected to show 0% — the paper: "There exists no padding solution for
 //! our algorithm to reduce the replacement misses in the trans loop nest."
 
-use cme_bench::{arg_value, cache_with_assoc};
+use cme_bench::BenchArgs;
 use cme_cache::simulate_nest;
 use cme_core::AnalysisOptions;
 use cme_kernels::table1_suite;
 use cme_opt::optimize_padding;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let n = arg_value(&args, "--n").unwrap_or(64);
-    let assoc = arg_value(&args, "--assoc").unwrap_or(1);
-    let cache = cache_with_assoc(assoc).expect("valid cache geometry");
+    let args = BenchArgs::from_env();
+    let n = args.n(64);
+    let cache = args.cache();
     println!("# Table 2: impact of the padding algorithm (simulated misses)");
     println!("# cache: {cache}; problem size N = {n}");
     println!(

@@ -7,16 +7,16 @@
 //! cargo run --release -p cme-bench --bin tiling [-- --n 32 --assoc 1]
 //! ```
 
-use cme_bench::arg_value;
-use cme_cache::{simulate_nest, CacheConfig};
+use cme_bench::BenchArgs;
+use cme_cache::simulate_nest;
 use cme_kernels::tiled_mmult;
 use cme_opt::tiling::{count_self_interference, select_tile_size};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let n = arg_value(&args, "--n").unwrap_or(32);
-    let assoc = arg_value(&args, "--assoc").unwrap_or(1);
-    let cache = CacheConfig::new(1024, assoc, 32, 4).expect("valid geometry");
+    let args = BenchArgs::from_env();
+    let n = args.n(32);
+    // A deliberately small cache: columns must alias for Eq. 8 to bite.
+    let cache = args.cache_with(1024, 1, 32);
     let col = cache.size_elems(); // pathological: columns alias the cache
     println!("# Tile-size selection from Equation 8");
     println!("# cache: {cache}; matmul N = {n}; array column size C = {col}");

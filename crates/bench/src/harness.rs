@@ -1,6 +1,14 @@
 //! Common experiment scaffolding.
+//!
+//! Every binary under `src/bin/` regenerates one table or figure of the
+//! paper, and they all share the same knobs: a cache geometry
+//! (`--size/--assoc/--line`, defaulting to the paper's Table-1 cache), a
+//! problem size (`--n`), and a kernel picked from the registry by name.
+//! [`BenchArgs`] parses those once so the binaries hold only their
+//! experiment logic.
 
 use cme_cache::{CacheConfig, CacheConfigError};
+use cme_ir::LoopNest;
 
 /// The paper's Table 1 cache: 8KB direct-mapped, 32B lines, 4B elements.
 pub fn table1_cache() -> CacheConfig {
@@ -18,4 +26,122 @@ pub fn arg_value(args: &[String], key: &str) -> Option<i64> {
         .position(|a| a == key)
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
+}
+
+/// Command-line arguments of an experiment binary, with the conventions
+/// shared by all of them baked in.
+pub struct BenchArgs {
+    args: Vec<String>,
+}
+
+impl BenchArgs {
+    /// Captures the process arguments.
+    pub fn from_env() -> Self {
+        Self {
+            args: std::env::args().collect(),
+        }
+    }
+
+    /// The raw argument vector (element 0 is the binary name).
+    pub fn raw(&self) -> &[String] {
+        &self.args
+    }
+
+    /// The `i`-th positional argument (0 = the first after the binary
+    /// name), skipping nothing — binaries with subcommands index past them.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.args.get(i + 1).map(String::as_str)
+    }
+
+    /// True when the bare flag `key` is present (e.g. `--stats`).
+    pub fn flag(&self, key: &str) -> bool {
+        self.args.iter().any(|a| a == key)
+    }
+
+    /// The integer value following `key`, if present and parsable.
+    pub fn value(&self, key: &str) -> Option<i64> {
+        arg_value(&self.args, key)
+    }
+
+    /// The integer value following `key`, or `default`.
+    pub fn value_or(&self, key: &str, default: i64) -> i64 {
+        self.value(key).unwrap_or(default)
+    }
+
+    /// The string value following `key`, if present.
+    pub fn value_str(&self, key: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// The problem size `--n`, or `default`.
+    pub fn n(&self, default: i64) -> i64 {
+        self.value_or("--n", default)
+    }
+
+    /// The cache geometry from `--size/--assoc/--line` (bytes, ways,
+    /// bytes), defaulting to the paper's Table-1 cache. Exits with a
+    /// diagnostic on an invalid combination.
+    pub fn cache(&self) -> CacheConfig {
+        self.cache_with(8192, 1, 32)
+    }
+
+    /// Like [`BenchArgs::cache`] but with experiment-specific defaults.
+    pub fn cache_with(&self, size: i64, assoc: i64, line: i64) -> CacheConfig {
+        let size = self.value_or("--size", size);
+        let assoc = self.value_or("--assoc", assoc);
+        let line = self.value_or("--line", line);
+        CacheConfig::new(size, assoc, line, 4).unwrap_or_else(|e| {
+            eprintln!("bad cache geometry: {e}");
+            std::process::exit(2);
+        })
+    }
+}
+
+/// Resolves a kernel from the registry by name at problem size `n`,
+/// exiting with the list of known kernels when the name is unknown.
+pub fn resolve_kernel(name: &str, n: i64) -> LoopNest {
+    cme_kernels::kernel_by_name(name, n).unwrap_or_else(|| {
+        eprintln!(
+            "unknown kernel `{name}`; known: {}",
+            cme_kernels::kernel_names().join(", ")
+        );
+        std::process::exit(2);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> BenchArgs {
+        BenchArgs {
+            args: std::iter::once("bin")
+                .chain(v.iter().copied())
+                .map(String::from)
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn values_and_flags_parse() {
+        let a = args(&["analyze", "mmult", "--n", "48", "--stats"]);
+        assert_eq!(a.positional(0), Some("analyze"));
+        assert_eq!(a.positional(1), Some("mmult"));
+        assert_eq!(a.n(64), 48);
+        assert!(a.flag("--stats"));
+        assert!(!a.flag("--quiet"));
+        assert_eq!(a.value("--missing"), None);
+    }
+
+    #[test]
+    fn cache_defaults_to_table1() {
+        assert_eq!(args(&[]).cache(), table1_cache());
+        let c = args(&["--assoc", "4", "--size", "16384"]).cache();
+        assert_eq!(c.assoc(), 4);
+        assert_eq!(c.size_bytes(), 16384);
+    }
 }

@@ -43,10 +43,14 @@
 //! The [`core::Analyzer`] session is reusable: re-analyzing transformed
 //! variants of the same nest (moved bases, padded columns) re-solves
 //! incrementally from memoized equation work — the engine behind the
-//! `cme::opt` searches. `analyzer.stats()` reports what was reused; the
-//! invalidation keys are derived in `docs/ENGINE.md`. The free functions
-//! `analyze_nest` / `analyze_nest_parallel` / `analyze_reference` remain
-//! as deprecated shims over this session API.
+//! `cme::opt` searches. Nests can be interned once into the session's
+//! [`core::ProgramDb`] and analyzed by [`core::NestId`] handle, singly or
+//! in one batched call ([`core::Analyzer::analyze_batch`]) that shares the
+//! memo tables and worker pool across the whole batch.
+//! `analyzer.stats()` reports what was reused, stage by stage; the
+//! invalidation keys are derived in `docs/ENGINE.md`. There is no separate
+//! monolithic entry point: `.caching(false)` turns a session into the
+//! uncached reference path.
 //!
 //! Sessions can also be **governed**: install a [`core::Budget`]
 //! (wall-clock deadline, solve cap, point ceiling) and/or a

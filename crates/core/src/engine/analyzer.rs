@@ -1,0 +1,285 @@
+//! The [`Analyzer`] session: cache, options, threading, and budget fixed
+//! as defaults over the staged incremental [`Engine`].
+
+use super::{Engine, EngineStats};
+use crate::equations::CmeSystem;
+use crate::governor::{AnalysisError, Budget, CancelToken, GovernedAnalysis};
+use crate::solve::{AnalysisOptions, NestAnalysis, RefAnalysis};
+use cme_cache::CacheConfig;
+use cme_ir::{LoopNest, NestId, RefId};
+use cme_reuse::ReuseVector;
+use std::sync::Arc;
+
+/// A configured analysis session: cache, options, and threading fixed as
+/// defaults, with the staged incremental [`Engine`] carrying memoized work
+/// across every `analyze` call.
+///
+/// ```
+/// use cme_cache::CacheConfig;
+/// use cme_core::{AnalysisOptions, Analyzer};
+/// use cme_ir::{AccessKind, NestBuilder};
+///
+/// let mut b = NestBuilder::new();
+/// b.ct_loop("i", 1, 64);
+/// let a = b.array("A", &[64], 0);
+/// b.reference(a, AccessKind::Read, &[("i", 0)]);
+/// let nest = b.build().unwrap();
+///
+/// let cfg = CacheConfig::new(8192, 1, 32, 4)?;
+/// let mut analyzer = Analyzer::new(cfg)
+///     .options(AnalysisOptions::default())
+///     .parallel(true);
+/// let analysis = analyzer.analyze(&nest);
+/// assert_eq!(analysis.total_misses(), 8);
+///
+/// // The handle API: intern once, analyze (or batch-analyze) by id.
+/// let id = analyzer.intern(&nest);
+/// assert_eq!(analyzer.analyze_batch(&[id])[0], analysis);
+/// # Ok::<(), cme_cache::CacheConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct Analyzer {
+    engine: Engine,
+    options: AnalysisOptions,
+    parallel: bool,
+    threads: usize,
+    budget: Budget,
+    cancel: Option<CancelToken>,
+}
+
+impl Analyzer {
+    /// A sequential session with default options, caching on, and an
+    /// unlimited budget.
+    pub fn new(cache: CacheConfig) -> Self {
+        Analyzer {
+            engine: Engine::new(cache),
+            options: AnalysisOptions::default(),
+            parallel: false,
+            threads: 0,
+            budget: Budget::unlimited(),
+            cancel: None,
+        }
+    }
+
+    /// Sets the session's per-query resource [`Budget`]. Exhausted
+    /// queries degrade to sound overcounts instead of failing (see
+    /// [`crate::Outcome`]).
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Installs a cooperative [`CancelToken`]: cancelling it (from any
+    /// thread) stops in-flight and subsequent queries at the next
+    /// checkpoint, degrading them like budget exhaustion.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Sets the session's default analysis options.
+    pub fn options(mut self, options: AnalysisOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Spreads each analysis over the machine's cores.
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.parallel = on;
+        self
+    }
+
+    /// Pins the work-pool width explicitly (overrides [`Analyzer::parallel`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables or disables the engine's memoization.
+    pub fn caching(mut self, on: bool) -> Self {
+        self.engine.set_caching(on);
+        self
+    }
+
+    /// The cache geometry this session analyzes against.
+    pub fn cache(&self) -> &CacheConfig {
+        self.engine.cache()
+    }
+
+    /// The session's default options.
+    pub fn current_options(&self) -> &AnalysisOptions {
+        &self.options
+    }
+
+    /// Interns a nest into the session's program database (idempotent).
+    pub fn intern(&mut self, nest: &LoopNest) -> NestId {
+        self.engine.intern(nest)
+    }
+
+    /// Analyzes a nest with the session defaults, interning it first. At
+    /// the default unlimited budget, results are bit-identical to the
+    /// uncached reference path, warm or cold; under a session budget or
+    /// cancellation the counts degrade to a sound overcount (use
+    /// [`Analyzer::try_analyze`] to observe the [`crate::Outcome`] tag).
+    /// Panics on [`AnalysisError`] — worker panic or address overflow.
+    pub fn analyze(&mut self, nest: &LoopNest) -> NestAnalysis {
+        let id = self.intern(nest);
+        self.analyze_id(id)
+    }
+
+    /// [`Analyzer::analyze`] for an already-interned nest.
+    pub fn analyze_id(&mut self, id: NestId) -> NestAnalysis {
+        let options = self.options.clone();
+        let threads = self.thread_count();
+        self.engine.analyze_id(id, &options, threads)
+    }
+
+    /// Analyzes a batch of interned nests in one session call: all
+    /// `(nest, reference)` work items and scan shards share one work
+    /// pool, and all nests share the session memo tables. Results are in
+    /// `ids` order, each bit-identical to [`Analyzer::analyze_id`] on
+    /// that nest alone. Panics on [`AnalysisError`].
+    pub fn analyze_batch(&mut self, ids: &[NestId]) -> Vec<NestAnalysis> {
+        let options = self.options.clone();
+        let threads = self.thread_count();
+        self.engine.analyze_batch(ids, &options, threads)
+    }
+
+    /// Governed batch analysis under the session budget (per nest) and
+    /// cancel token; see [`Engine::try_analyze_batch`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::try_analyze`]; one failing nest fails the batch.
+    pub fn try_analyze_batch(
+        &mut self,
+        ids: &[NestId],
+    ) -> Result<Vec<GovernedAnalysis>, AnalysisError> {
+        let options = self.options.clone();
+        let threads = self.thread_count();
+        let budget = self.budget;
+        let cancel = self.cancel.clone();
+        self.engine
+            .try_analyze_batch(ids, &options, threads, budget, cancel.as_ref())
+    }
+
+    /// Analyzes with one-off options (e.g. an exact-counting pass) while
+    /// still sharing the session's memo tables. Panics on
+    /// [`AnalysisError`]; see [`Analyzer::try_analyze_with_options`].
+    pub fn analyze_with_options(
+        &mut self,
+        nest: &LoopNest,
+        options: &AnalysisOptions,
+    ) -> NestAnalysis {
+        match self.try_analyze_with_options(nest, options) {
+            Ok(governed) => governed.analysis,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The governed, panic-free entry point: analyzes under the session's
+    /// budget and cancel token and reports how the query ended alongside
+    /// the (possibly degraded, always sound) counts.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::try_analyze`].
+    pub fn try_analyze(&mut self, nest: &LoopNest) -> Result<GovernedAnalysis, AnalysisError> {
+        let options = self.options.clone();
+        self.try_analyze_with_options(nest, &options)
+    }
+
+    /// [`Analyzer::try_analyze`] for an already-interned nest.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::try_analyze`].
+    pub fn try_analyze_id(&mut self, id: NestId) -> Result<GovernedAnalysis, AnalysisError> {
+        let options = self.options.clone();
+        let threads = self.thread_count();
+        let budget = self.budget;
+        let cancel = self.cancel.clone();
+        self.engine
+            .try_analyze_id(id, &options, threads, budget, cancel.as_ref())
+    }
+
+    /// [`Analyzer::try_analyze`] with one-off options.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::try_analyze`].
+    pub fn try_analyze_with_options(
+        &mut self,
+        nest: &LoopNest,
+        options: &AnalysisOptions,
+    ) -> Result<GovernedAnalysis, AnalysisError> {
+        let threads = self.thread_count();
+        let budget = self.budget;
+        let cancel = self.cancel.clone();
+        self.engine
+            .try_analyze(nest, options, threads, budget, cancel.as_ref())
+    }
+
+    /// Analyzes with the session options but with miss-point collection
+    /// forced on — the oracle-facing entry point of the differential test
+    /// harness (`cme-diffcheck`), which joins the returned
+    /// replacement/cold miss points against per-access simulator verdicts
+    /// from `cme_cache::simulate_nest_outcomes` to localize a
+    /// disagreement. Shares the session's memo tables: scans always
+    /// record their miss indices in the memo and `collect_miss_points`
+    /// only affects result assembly, so interleaving traced and plain
+    /// runs of the same nest stays fully memoized.
+    pub fn analyze_traced(&mut self, nest: &LoopNest) -> NestAnalysis {
+        let options = AnalysisOptions {
+            collect_miss_points: true,
+            ..self.options.clone()
+        };
+        self.analyze_with_options(nest, &options)
+    }
+
+    /// Analyzes a single reference against caller-supplied reuse vectors
+    /// (e.g. the hand-built vectors of the paper's Figure 8 walkthrough),
+    /// bypassing reuse-vector generation and the memo tables entirely —
+    /// the artifacts would be keyed by inputs the caller overrode.
+    pub fn analyze_reference_with_vectors(
+        &mut self,
+        nest: &LoopNest,
+        dest: RefId,
+        rvs: &[ReuseVector],
+    ) -> RefAnalysis {
+        crate::solve::solve_reference(nest, *self.engine.cache(), dest, rvs, &self.options)
+    }
+
+    /// The symbolic CME system for a nest (generated, rebased, or reused).
+    pub fn system(&mut self, nest: &LoopNest) -> Arc<CmeSystem> {
+        let reuse = self.options.reuse.clone();
+        self.engine.system(nest, &reuse)
+    }
+
+    /// Snapshot of the engine's accounting.
+    pub fn stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
+    /// Shared access to the underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable access to the underlying engine.
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    fn thread_count(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else if self.parallel {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            1
+        }
+    }
+}

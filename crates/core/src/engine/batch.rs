@@ -1,0 +1,85 @@
+//! Batch-driver bookkeeping: coalescing duplicate scan slots and merging
+//! sharded scan blocks.
+//!
+//! A batch plans every nest before any scan runs, so slots that would hit
+//! the scan memo *had the nests run sequentially* (layout siblings share
+//! scan keys) all miss `peek_scan` together. [`coalesce_scan_slots`]
+//! recovers the sharing: one executor per distinct key, every duplicate
+//! slot aliased to it. [`merge_scan_blocks`] folds the per-block partial
+//! outcomes of one pooled round back into whole per-slot outcomes,
+//! independent of how the blocks were sharded.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use super::stages::cascade::CascadeResult;
+
+/// Assigns every scan slot an executor: the first slot with each distinct
+/// key executes; later slots with the same key alias it. Unkeyed slots
+/// (caching off / oversized nests) always execute their own scan. Returns
+/// `(executors, role)`: `executors[ei]` is the todo index that scans, and
+/// `role[ti]` is the executor index whose outcome slot `ti` consumes.
+pub(crate) fn coalesce_scan_slots(
+    todo: &[(usize, usize, Option<u128>)],
+) -> (Vec<usize>, Vec<usize>) {
+    let mut canon: HashMap<u128, usize> = HashMap::new();
+    let mut executors: Vec<usize> = Vec::new();
+    let mut role: Vec<usize> = Vec::with_capacity(todo.len());
+    for (ti, &(_, _, key)) in todo.iter().enumerate() {
+        let ei = match key {
+            Some(k) => *canon.entry(k).or_insert_with(|| {
+                executors.push(ti);
+                executors.len() - 1
+            }),
+            None => {
+                executors.push(ti);
+                executors.len() - 1
+            }
+        };
+        role.push(ei);
+    }
+    (executors, role)
+}
+
+/// Merges pooled per-block scan results into one outcome per round item.
+/// `jobs[j].0` names the round item block `j` belongs to; blocks cover
+/// run ranges in order, so concatenating miss indices in job order keeps
+/// them sorted globally and per-point contention sums add associatively —
+/// the merged outcome is byte-identical to an unsharded scan.
+pub(crate) fn merge_scan_blocks(
+    empties: Vec<CascadeResult>,
+    jobs: Vec<(usize, usize, usize)>,
+    partials: Vec<CascadeResult>,
+) -> Vec<Arc<CascadeResult>> {
+    let mut merged = empties;
+    for ((ri, _, _), part) in jobs.into_iter().zip(partials) {
+        let m = &mut merged[ri];
+        m.replacement_misses += part.replacement_misses;
+        for (acc, c) in m.contentions.iter_mut().zip(&part.contentions) {
+            *acc += c;
+        }
+        m.miss_indices.extend_from_slice(&part.miss_indices);
+        m.truncated += part.truncated;
+    }
+    merged.into_iter().map(Arc::new).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_alias_their_first_executor_and_unkeyed_never_alias() {
+        let todo = vec![
+            (0, 0, Some(7u128)),
+            (0, 1, None),
+            (1, 0, Some(7u128)), // duplicate of slot 0
+            (1, 1, None),        // unkeyed: never coalesced, even repeated
+            (2, 0, Some(9u128)),
+            (2, 1, Some(7u128)), // duplicate of slot 0
+        ];
+        let (executors, role) = coalesce_scan_slots(&todo);
+        assert_eq!(executors, vec![0, 1, 3, 4]);
+        assert_eq!(role, vec![0, 1, 0, 2, 3, 0]);
+    }
+}

@@ -8,109 +8,55 @@
 //! short, for a destination reference `D` of array `A_D` with base
 //! `B_D = q_D·Ls + r_D` (`0 ≤ r_D < Ls`):
 //!
-//! - the **cascade** (cold/indeterminate refinement of Figure 6) depends
-//!   only on the nest *structure* (loop bounds, subscript coefficients,
-//!   base-relative constants), the cache geometry, the options, and
-//!   `r_D = B_D mod Ls` — reuse sources always address the same array, so
-//!   the whole-line quotient `q_D` cancels out of every line comparison;
+//! - a **solve set** (the cold/indeterminate refinement of Figure 6)
+//!   depends only on the nest *structure* (loop bounds, subscript
+//!   coefficients, base-relative constants), the cache geometry, the
+//!   options, and `r_D = B_D mod Ls` — reuse sources always address the
+//!   same array, so the whole-line quotient `q_D` cancels out of every
+//!   line comparison;
 //! - a **window scan**'s verdict additionally depends on every array's
 //!   line offset `r_A` and *exact* line distance `λ_A = q_A − q_D` — the
 //!   set test needs `λ_A mod Ns`, but line-identity coincidences across
 //!   arrays need the exact value, so the exact value is keyed.
 //!
-//! Two independent 64-bit hashes (seeded differently) are concatenated
-//! into the `u128` key, making accidental collisions negligible; the
-//! memoized values are exact analysis artifacts, so a collision would be
-//! silent — hence the 128-bit margin.
+//! The base-invariant structure itself is hashed **once, at intern
+//! time**, by [`cme_ir::db::structural_hash`]; every key here starts from
+//! that precomputed digest instead of re-walking the nest. Two
+//! independent 64-bit hashes (seeded differently) are concatenated into
+//! the `u128` key ([`KeyHasher`], hosted by `cme-ir` next to the
+//! interner), making accidental collisions negligible — the memoized
+//! values are exact analysis artifacts, so a collision would be silent.
 
 use cme_cache::CacheConfig;
+pub(crate) use cme_ir::db::KeyHasher;
 use cme_ir::LoopNest;
 use cme_math::gcd::{floor_div, modulo};
-use std::hash::{Hash, Hasher};
 
 use crate::solve::AnalysisOptions;
 
-/// Accumulates one logical key into two independently seeded hashers.
-pub(crate) struct KeyHasher {
-    a: std::collections::hash_map::DefaultHasher,
-    b: std::collections::hash_map::DefaultHasher,
-}
-
-impl KeyHasher {
-    pub(crate) fn new(domain: u64) -> Self {
-        let mut a = std::collections::hash_map::DefaultHasher::new();
-        let mut b = std::collections::hash_map::DefaultHasher::new();
-        // Distinct seeds: the two lanes must be independent functions.
-        a.write_u64(0x243f_6a88_85a3_08d3 ^ domain);
-        b.write_u64(0x1319_8a2e_0370_7344 ^ domain.rotate_left(17));
-        KeyHasher { a, b }
-    }
-
-    /// Resumes from a previously finished 128-bit prefix.
-    pub(crate) fn from_prefix(domain: u64, prefix: u128) -> Self {
-        let mut h = KeyHasher::new(domain);
-        h.feed(&(prefix as u64));
-        h.feed(&((prefix >> 64) as u64));
-        h
-    }
-
-    pub(crate) fn feed<T: Hash + ?Sized>(&mut self, value: &T) -> &mut Self {
-        value.hash(&mut self.a);
-        value.hash(&mut self.b);
-        self
-    }
-
-    pub(crate) fn finish(&self) -> u128 {
-        (u128::from(self.a.finish()) << 64) | u128::from(self.b.finish())
-    }
-}
-
 /// Hashes everything *every* engine memo depends on: cache geometry,
-/// reuse-vector options, loop bounds, and per-reference subscript structure
-/// with base-relative address constants. Analysis-mode options are keyed
-/// only where they matter — `ε` into the cascade key (it truncates the
-/// vector sequence), the scan-mode flags into the scan key — so a plain
-/// pass and an exact-counting pass share cascades. `collect_miss_points`
-/// is keyed nowhere: it only controls result assembly, never verdicts.
-pub(crate) fn prefix_key(cache: &CacheConfig, options: &AnalysisOptions, nest: &LoopNest) -> u128 {
+/// reuse-vector options, and the interned base-invariant structural hash.
+/// Analysis-mode options are keyed only where they matter — `ε` into the
+/// solve-set key (it truncates the vector sequence), the scan-mode flags
+/// into the scan key — so a plain pass and an exact-counting pass share
+/// solve sets. `collect_miss_points` is keyed nowhere: it only controls
+/// result assembly, never verdicts.
+pub(crate) fn prefix_key(cache: &CacheConfig, options: &AnalysisOptions, structural: u128) -> u128 {
     let mut h = KeyHasher::new(0x9e37);
     h.feed(cache);
     h.feed(&options.reuse.group)
         .feed(&options.reuse.extended)
         .feed(&options.reuse.max_vectors)
         .feed(&options.reuse.candidate_budget);
-    feed_structure(&mut h, nest);
+    h.feed(&(structural as u64))
+        .feed(&((structural >> 64) as u64));
     h.finish()
 }
 
-/// Feeds the base-invariant nest structure: loop bound affines, array
-/// extents and origins, and per-reference array index plus address affine
-/// with the constant taken *relative to the array base*.
-fn feed_structure(h: &mut KeyHasher, nest: &LoopNest) {
-    h.feed(&nest.depth());
-    for lp in nest.loops() {
-        h.feed(lp.lower().coeffs());
-        h.feed(&lp.lower().constant_term());
-        h.feed(lp.upper().coeffs());
-        h.feed(&lp.upper().constant_term());
-    }
-    h.feed(&nest.arrays().len());
-    for a in nest.arrays() {
-        h.feed(a.dims());
-        h.feed(a.origins());
-    }
-    h.feed(&nest.references().len());
-    for r in nest.references() {
-        let af = nest.address_affine(r.id());
-        h.feed(&r.array().index());
-        h.feed(af.coeffs());
-        h.feed(&(af.constant_term() - nest.array(r.array()).base()));
-    }
-}
-
-/// Key of one reference's cold/indeterminate cascade: the prefix plus the
-/// reference index, its own array's line offset `B_D mod Ls`, and the `ε`
-/// early-stop threshold (which truncates the vector sequence).
+/// Key of one reference's solve set (cold/indeterminate cascade): the
+/// prefix plus the reference index, its own array's line offset
+/// `B_D mod Ls`, and the `ε` early-stop threshold (which truncates the
+/// vector sequence).
 pub(crate) fn cascade_key(
     prefix: u128,
     nest: &LoopNest,
@@ -155,7 +101,7 @@ pub(crate) fn scan_key(
 pub(crate) fn system_key(
     cache: &CacheConfig,
     reuse: &cme_reuse::ReuseOptions,
-    nest: &LoopNest,
+    structural: u128,
 ) -> u128 {
     let mut h = KeyHasher::new(0x5751);
     h.feed(cache);
@@ -163,23 +109,15 @@ pub(crate) fn system_key(
         .feed(&reuse.extended)
         .feed(&reuse.max_vectors)
         .feed(&reuse.candidate_budget);
-    feed_structure(&mut h, nest);
-    h.finish()
-}
-
-/// Hash of the full layout (every base address) — used to tell "reuse the
-/// cached system verbatim" apart from "rebase it first".
-pub(crate) fn layout_hash(nest: &LoopNest) -> u128 {
-    let mut h = KeyHasher::new(0x1a07);
-    for a in nest.arrays() {
-        h.feed(&a.base());
-    }
+    h.feed(&(structural as u64))
+        .feed(&((structural >> 64) as u64));
     h.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cme_ir::db::structural_hash;
     use cme_ir::{AccessKind, NestBuilder};
 
     fn nest_with_bases(bases: [i64; 2]) -> LoopNest {
@@ -192,26 +130,30 @@ mod tests {
         b.build().unwrap()
     }
 
+    fn prefix_of(cache: &CacheConfig, opts: &AnalysisOptions, nest: &LoopNest) -> u128 {
+        prefix_key(cache, opts, structural_hash(nest))
+    }
+
     #[test]
     fn prefix_is_base_invariant_but_structure_sensitive() {
         let cache = CacheConfig::new(1024, 1, 32, 4).unwrap();
         let opts = AnalysisOptions::default();
-        let k1 = prefix_key(&cache, &opts, &nest_with_bases([0, 100]));
-        let k2 = prefix_key(&cache, &opts, &nest_with_bases([64, 7]));
+        let k1 = prefix_of(&cache, &opts, &nest_with_bases([0, 100]));
+        let k2 = prefix_of(&cache, &opts, &nest_with_bases([64, 7]));
         assert_eq!(k1, k2, "bases must not affect the structure prefix");
         let mut padded = nest_with_bases([0, 100]);
         let first_array = padded.references()[0].array();
         padded.array_mut(first_array).pad_column_to(9);
         assert_ne!(
             k1,
-            prefix_key(&cache, &opts, &padded),
+            prefix_of(&cache, &opts, &padded),
             "column padding changes strides, so the prefix must move"
         );
         let eps = AnalysisOptions::builder().epsilon(10).build();
         assert_eq!(
             k1,
-            prefix_key(&cache, &eps, &nest_with_bases([0, 100])),
-            "epsilon is keyed in the cascade, not the prefix"
+            prefix_of(&cache, &eps, &nest_with_bases([0, 100])),
+            "epsilon is keyed in the solve set, not the prefix"
         );
     }
 
@@ -222,8 +164,8 @@ mod tests {
         let opts = AnalysisOptions::default();
         let n1 = nest_with_bases([0, 100]);
         let n2 = nest_with_bases([ls * 3, 177]); // same B_A mod Ls, other array moved
-        let p = prefix_key(&cache, &opts, &n1);
-        assert_eq!(p, prefix_key(&cache, &opts, &n2));
+        let p = prefix_of(&cache, &opts, &n1);
+        assert_eq!(p, prefix_of(&cache, &opts, &n2));
         assert_eq!(
             cascade_key(p, &n1, &opts, 0, ls),
             cascade_key(p, &n2, &opts, 0, ls)
@@ -239,7 +181,7 @@ mod tests {
             cascade_key(p, &n1, &opts, 0, ls),
             cascade_key(p, &n1, &eps, 0, ls)
         );
-        // Exact-count mode does not affect the cascade.
+        // Exact-count mode does not affect the solve set.
         let exact = AnalysisOptions::builder()
             .exact_equation_counts(true)
             .build();
@@ -257,7 +199,7 @@ mod tests {
         let n1 = nest_with_bases([0, 100]);
         // Whole-layout translation by a multiple of Ls: identical key.
         let n2 = nest_with_bases([5 * ls, 100 + 5 * ls]);
-        let p = prefix_key(&cache, &opts, &n1);
+        let p = prefix_of(&cache, &opts, &n1);
         assert_eq!(
             scan_key(p, &n1, &opts, 0, 1, ls),
             scan_key(p, &n2, &opts, 0, 1, ls)

@@ -1,0 +1,197 @@
+//! The engine's memo tables: per-stage artifact caches and the
+//! equation-system cache, with their capacity policy.
+//!
+//! Every table maps a 128-bit invalidation key (see [`super::keys`]) to an
+//! `Arc`-shared, immutable artifact. When a table reaches its cap it is
+//! cleared wholesale — crude, but the values are shared, so in-flight
+//! users are unaffected, and the caps are sized so a full optimizer search
+//! fits: a padding search visits tens of candidate layouts, each
+//! contributing one scan entry per (reference × vector) and one solve set
+//! per distinct destination line offset — the scan table is the big one
+//! (small entries: a few counters plus the miss indices), the others stay
+//! tiny.
+//!
+//! Truncated artifacts (a governor stopped the work early) are sound
+//! overcounts for *one* query, not exact results: they are returned to the
+//! caller but never stored.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+use cme_ir::{LoopNest, NestId};
+use cme_reuse::ReuseOptions;
+
+use crate::equations::CmeSystem;
+use crate::governor::AnalysisError;
+
+use super::stages::cascade::CascadeResult;
+use super::stages::lower::{self, LoweredNest};
+use super::stages::reuse::ReusePlan;
+use super::stages::solve::SolveSet;
+use super::{keys, Engine};
+
+pub(crate) const REUSE_CAP: usize = 4096;
+pub(crate) const CASCADE_CAP: usize = 4096;
+pub(crate) const SCAN_CAP: usize = 1 << 17;
+pub(crate) const SYSTEM_CAP: usize = 256;
+
+/// A cached [`CmeSystem`] together with the layout it is targeted at;
+/// a candidate with the same structure but a moved layout *rebases* the
+/// system (constant terms only) instead of regenerating it.
+#[derive(Debug)]
+pub(crate) struct SystemEntry {
+    pub(crate) layout: u128,
+    pub(crate) system: Arc<CmeSystem>,
+}
+
+/// Locks a mutex, recovering from poisoning: every value behind the
+/// engine's locks is either an `Arc`-shared immutable snapshot or a plain
+/// accumulator written in one statement, so a panic elsewhere cannot leave
+/// it half-updated — recovering keeps the *session* usable after a worker
+/// panic fails one query.
+pub(crate) fn relock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Engine {
+    /// The lower-stage artifact of an interned nest: memoized per handle
+    /// (the database is append-only, so entries never go stale). With
+    /// caching off the artifact is rebuilt every query, like every other
+    /// stage.
+    pub(crate) fn lookup_lowered(&self, id: NestId) -> Result<Arc<LoweredNest>, AnalysisError> {
+        if self.caching {
+            if let Some(l) = relock(&self.lower_memo).get(&id.index()) {
+                self.counters.lowered_reused.fetch_add(1, Ordering::Relaxed);
+                return Ok(l.clone());
+            }
+        }
+        let l = Arc::new(lower::lower(&self.db, id)?);
+        self.counters.lowered_built.fetch_add(1, Ordering::Relaxed);
+        if self.caching {
+            relock(&self.lower_memo).insert(id.index(), l.clone());
+        }
+        Ok(l)
+    }
+
+    pub(crate) fn lookup_reuse(&self, key: u128, build: impl FnOnce() -> ReusePlan) -> ReusePlan {
+        if let Some(v) = relock(&self.reuse_memo).get(&key) {
+            self.counters.reuse_reused.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        let v = build();
+        self.counters.reuse_built.fetch_add(1, Ordering::Relaxed);
+        let mut map = relock(&self.reuse_memo);
+        if map.len() >= REUSE_CAP {
+            map.clear();
+        }
+        map.insert(key, v.clone());
+        v
+    }
+
+    pub(crate) fn lookup_cascade(
+        &self,
+        key: u128,
+        build: impl FnOnce() -> SolveSet,
+    ) -> Arc<SolveSet> {
+        if let Some(c) = relock(&self.cascade_memo).get(&key) {
+            self.counters
+                .cascades_reused
+                .fetch_add(1, Ordering::Relaxed);
+            return c.clone();
+        }
+        let c = Arc::new(build());
+        self.counters.cascades_built.fetch_add(1, Ordering::Relaxed);
+        if c.truncated {
+            // A truncated solve set is a sound overcount for *this* query
+            // only; memoizing it would degrade future full-budget runs.
+            return c;
+        }
+        let mut map = relock(&self.cascade_memo);
+        if map.len() >= CASCADE_CAP {
+            map.clear();
+        }
+        map.insert(key, c.clone());
+        c
+    }
+
+    pub(crate) fn peek_scan(&self, key: u128) -> Option<Arc<CascadeResult>> {
+        let hit = relock(&self.scan_memo).get(&key).cloned();
+        if hit.is_some() {
+            self.counters.scans_reused.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    pub(crate) fn store_scan(&self, key: u128, outcome: Arc<CascadeResult>) {
+        self.counters.scans_executed.fetch_add(1, Ordering::Relaxed);
+        let mut map = relock(&self.scan_memo);
+        if map.len() >= SCAN_CAP {
+            map.clear();
+        }
+        map.insert(key, outcome);
+    }
+
+    /// The symbolic CME system for a nest: generated once per structure,
+    /// *rebased* (address constants only) when only the layout moved, and
+    /// returned verbatim when nothing changed. Interns the nest.
+    pub fn system(&mut self, nest: &LoopNest, reuse: &ReuseOptions) -> Arc<CmeSystem> {
+        let id = self.db.intern(nest);
+        let key = keys::system_key(&self.cache, reuse, self.db.structural_hash(id));
+        let layout = self.db.layout_hash(id);
+        {
+            let mut map = relock(&self.system_memo);
+            if let Some(entry) = map.get_mut(&key) {
+                if entry.layout == layout {
+                    self.counters.systems_reused.fetch_add(1, Ordering::Relaxed);
+                    return entry.system.clone();
+                }
+                let rebased = Arc::new(entry.system.rebase_to(nest));
+                entry.layout = layout;
+                entry.system = rebased.clone();
+                self.counters
+                    .systems_rebased
+                    .fetch_add(1, Ordering::Relaxed);
+                return rebased;
+            }
+        }
+        let system = Arc::new(CmeSystem::generate(nest, self.cache, reuse));
+        self.counters
+            .systems_generated
+            .fetch_add(1, Ordering::Relaxed);
+        let mut map = relock(&self.system_memo);
+        if map.len() >= SYSTEM_CAP {
+            map.clear();
+        }
+        map.insert(
+            key,
+            SystemEntry {
+                layout,
+                system: system.clone(),
+            },
+        );
+        system
+    }
+
+    /// Counts a replacement equation's solutions through the shared solve
+    /// memo (see
+    /// [`crate::equations::ReplacementEquation::count_solutions_memo`]).
+    pub fn count_replacement(
+        &self,
+        eq: &crate::equations::ReplacementEquation,
+        nest: &LoopNest,
+    ) -> u64 {
+        eq.count_solutions_memo(nest, &self.cache, Some(&self.solve_memo))
+    }
+
+    /// Drops every cached artifact (including lowered nests; the interned
+    /// program database itself is kept — handles stay valid). Counters
+    /// keep accumulating.
+    pub fn clear_caches(&self) {
+        relock(&self.lower_memo).clear();
+        relock(&self.reuse_memo).clear();
+        relock(&self.cascade_memo).clear();
+        relock(&self.scan_memo).clear();
+        relock(&self.system_memo).clear();
+        self.solve_memo.clear();
+    }
+}

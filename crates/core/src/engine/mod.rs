@@ -1,316 +1,82 @@
-//! The incremental analysis engine and the [`Analyzer`] session API.
+//! The staged, incremental analysis engine and the [`Analyzer`] session
+//! API.
 //!
 //! Optimizer searches (padding, tiling, fusion) score dozens to hundreds
 //! of *candidate* nests that differ only in array layout — base addresses
 //! and padded column sizes — while the loop structure, the subscripts, and
 //! the cache stay fixed. Re-running the full miss-finding algorithm
 //! (Figure 6) per candidate repeats enormous amounts of identical work.
-//! This module memoizes the algorithm's two phases separately, each under
-//! the narrowest invalidation key that is still sound (see
-//! [`keys`] and `docs/ENGINE.md`):
 //!
-//! - the **cold/indeterminate cascade** per reference — which iteration
-//!   points are cold-CME solutions along each reuse vector, and which need
-//!   a window scan — depends only on the nest structure and the
-//!   reference's own line offset `B mod Ls`, so candidates that merely
-//!   move *other* arrays reuse it outright;
+//! The engine runs every analysis through the five-stage pipeline in
+//! `stages` (`lower → reuse → solve → cascade → classify`) over nests
+//! interned in a [`ProgramDb`], and memoizes each stage's artifact
+//! independently under the narrowest invalidation key that is still sound
+//! (derived in `keys` and `docs/ENGINE.md`):
+//!
+//! - **lowered nests** are cached per handle — structural hashes are
+//!   computed once, at intern time;
+//! - **reuse vectors** are base-invariant and cached per structure;
+//! - a reference's **solve set** (the cold/indeterminate refinement)
+//!   depends only on the structure and the reference's own line offset
+//!   `B mod Ls`, so candidates that merely move *other* arrays reuse it;
 //! - each **`(reference, reuse-vector)` window scan** depends on the full
 //!   layout only through per-array line offsets and exact relative line
-//!   distances, so converged search sweeps (which re-evaluate earlier
-//!   candidates) and line-aligned translations skip the scans entirely;
-//! - reuse vectors are base-invariant and cached per structure;
-//! - generated [`CmeSystem`]s are cached per structure and *rebased*
+//!   distances, so converged search sweeps and line-aligned translations
+//!   skip the scans entirely;
+//! - generated [`crate::equations::CmeSystem`]s are cached per structure and *rebased*
 //!   (constant terms only) onto candidates with new layouts; their
 //!   polytope counts go through a shared [`cme_math::SolveMemo`].
 //!
+//! [`Engine::analyze_batch`] analyzes many interned nests in one call:
+//! every `(nest, reference)` work item and every scan shard of the whole
+//! batch shares one work pool, so small nests cannot leave workers idle,
+//! and all nests share the session's memo tables. Duplicate scan slots
+//! across the batch (layout siblings share scan keys) are coalesced onto
+//! one executor per key (see the `batch` module docs). A batch's
+//! per-nest results are bit-identical to analyzing each nest on its own
+//! — the single-nest path *is* a batch of one.
+//!
 //! Every cached artifact is an exact analysis result: an [`Analyzer`] is
-//! bit-identical to the legacy sequential [`crate::analyze_nest`] whether
-//! its memos are warm or cold, sequential or pooled (property-tested in
-//! `tests/engine_equivalence.rs`).
-//!
-//! Independent of the memos, a single analysis runs the fast cascade:
-//!
-//! - survivor sets are run-compressed ([`RunSet`]) and the cold/scan
-//!   classification splits whole innermost runs at computable
-//!   line-boundary crossings instead of testing every point;
-//! - window scans slide incrementally along each run
-//!   ([`crate::window::SlidingWindow`]), paying O(references) per point
-//!   instead of O(window);
-//! - each `(reference, reuse-vector)` scan is sharded into contiguous
-//!   blocks of runs dispatched through the same work pool as the
-//!   per-reference items, and the per-block outcomes are merged back in
-//!   block order — so the merged [`ScanOutcome`] entering the memo tables
-//!   is independent of the sharding (see `docs/ENGINE.md`).
+//! bit-identical to the uncached reference path (session with
+//! `.caching(false)`) whether its memos are warm or cold, sequential or
+//! pooled (property-tested in `tests/engine_equivalence.rs`).
 //!
 //! Nests whose iteration space exceeds the memo size cap run through the
-//! very same fast path, just without storing the artifacts.
+//! very same pipeline, just without storing the artifacts.
 
+mod analyzer;
+mod batch;
 mod keys;
+mod memo;
 mod pool;
+mod stages;
+mod stats;
+#[cfg(test)]
+mod tests;
 
-use crate::equations::CmeSystem;
+pub use analyzer::Analyzer;
+pub use stats::EngineStats;
+
 use crate::governor::{AnalysisError, Budget, CancelToken, GovernedAnalysis, QueryGovernor};
-use crate::pointset::RunSet;
-use crate::solve::{
-    scan_interior, scan_interior_pointwise, AnalysisOptions, NestAnalysis, RefAnalysis, Scanner,
-    VectorReport,
-};
-use crate::window::{Geom, SlidingWindow, WindowStats};
+use crate::solve::{AnalysisOptions, NestAnalysis, RefAnalysis};
 use cme_cache::CacheConfig;
-use cme_ir::{IterationSpace, LoopNest, RefId};
-use cme_math::gcd::{floor_div, gcd, modulo};
-use cme_math::{Affine, Interval, SolveMemo};
-use cme_reuse::{reuse_vectors, ReuseOptions, ReuseVector};
+use cme_ir::{LoopNest, NestId, ProgramDb, RefId};
+use cme_math::SolveMemo;
+use cme_reuse::ReuseVector;
+use stages::cascade::{scan_run_block, split_blocks, CascadeResult};
+use stages::classify::Classification;
+use stages::lower::LoweredNest;
+use stages::reuse::ReusePlan;
+use stages::solve::SolveSet;
+use stats::Counters;
 use std::collections::HashMap;
-use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-/// One reuse vector's slice of a reference's cascade: how many points
-/// entered, how many stayed indeterminate (cold-CME solutions), and the
-/// run-compressed set of points whose reuse windows must be scanned.
-#[derive(Debug, Clone)]
-struct CascadeVector {
-    examined: u64,
-    cold_solutions: u64,
-    scan_set: RunSet,
-}
-
-/// A reference's full cold/indeterminate refinement (Figure 6 minus the
-/// window scans), reusable across every candidate layout that preserves
-/// the nest structure and the reference's own `B mod Ls`.
-#[derive(Debug, Clone)]
-struct CascadeEntry {
-    vectors: Vec<CascadeVector>,
-    /// Indeterminate set after the last processed vector; `None` when no
-    /// vector ran (no reuse, or `ε` at least the whole space).
-    final_set: Option<RunSet>,
-    early_stopped: bool,
-    /// The governor stopped the refinement early; the entry is a sound
-    /// overcount and must never enter the memo tables.
-    truncated: bool,
-}
-
-/// The verdicts of one `(reference, reuse-vector)` batch of window scans,
-/// aligned with the cascade's `scan_set` order. Always the *merged* result
-/// over every shard — block boundaries never leak into the memo tables.
-#[derive(Debug, Clone)]
-struct ScanOutcome {
-    replacement_misses: u64,
-    /// Per-perpetrator contention counts (all zero unless exact mode).
-    contentions: Vec<u64>,
-    /// Indices into the scan set of the points judged misses.
-    miss_indices: Vec<u64>,
-    /// Points the governor cut short, counted as misses (sound
-    /// overcount); nonzero outcomes must never enter the memo tables.
-    truncated: u64,
-}
-
-#[derive(Debug)]
-struct SystemEntry {
-    layout: u128,
-    system: Arc<CmeSystem>,
-}
-
-#[derive(Debug, Default)]
-struct Counters {
-    analyses: AtomicU64,
-    passthroughs: AtomicU64,
-    reuse_built: AtomicU64,
-    reuse_reused: AtomicU64,
-    cascades_built: AtomicU64,
-    cascades_reused: AtomicU64,
-    scans_executed: AtomicU64,
-    scans_reused: AtomicU64,
-    systems_generated: AtomicU64,
-    systems_rebased: AtomicU64,
-    systems_reused: AtomicU64,
-    scan_points: AtomicU64,
-    scan_blocks: AtomicU64,
-    window_steps: AtomicU64,
-    window_rebuilds: AtomicU64,
-    window_rebuild_rows: AtomicU64,
-    peak_survivors: AtomicU64,
-    truncated_points: AtomicU64,
-    exhausted_analyses: AtomicU64,
-    worker_panics: AtomicU64,
-}
-
-impl Counters {
-    fn absorb_scan(&self, points: u64, w: WindowStats) {
-        self.scan_points.fetch_add(points, Ordering::Relaxed);
-        self.scan_blocks.fetch_add(1, Ordering::Relaxed);
-        self.window_steps.fetch_add(w.steps, Ordering::Relaxed);
-        self.window_rebuilds
-            .fetch_add(w.rebuilds, Ordering::Relaxed);
-        self.window_rebuild_rows
-            .fetch_add(w.rebuild_rows, Ordering::Relaxed);
-    }
-}
-
-#[derive(Debug, Default, Clone, Copy)]
-struct Timings {
-    prepare: Duration,
-    scan: Duration,
-    assemble: Duration,
-}
-
-/// Snapshot of an [`Engine`]'s work accounting: artifacts generated vs
-/// reused, solver-memo traffic, and per-phase wall time.
-#[derive(Debug, Clone, Default)]
-pub struct EngineStats {
-    /// Nest analyses run through the engine.
-    pub analyses: u64,
-    /// References analyzed uncached (caching off or nest too large).
-    pub passthroughs: u64,
-    /// Reuse-vector sets computed.
-    pub reuse_built: u64,
-    /// Reuse-vector sets answered from the memo.
-    pub reuse_reused: u64,
-    /// Cold/indeterminate cascades computed.
-    pub cascades_built: u64,
-    /// Cascades answered from the memo.
-    pub cascades_reused: u64,
-    /// `(reference, reuse-vector)` scan batches executed.
-    pub scans_executed: u64,
-    /// Scan batches answered from the memo.
-    pub scans_reused: u64,
-    /// [`CmeSystem`]s generated from scratch.
-    pub systems_generated: u64,
-    /// Cached systems re-targeted at a new layout (constant terms only).
-    pub systems_rebased: u64,
-    /// Cached systems returned verbatim.
-    pub systems_reused: u64,
-    /// Destination points whose reuse windows were scanned.
-    pub scan_points: u64,
-    /// Contiguous run blocks the scans were sharded into.
-    pub scan_blocks: u64,
-    /// Scan points reached by sliding the window incrementally.
-    pub window_steps: u64,
-    /// Full window rebuilds (row/prefix boundaries, shard starts).
-    pub window_rebuilds: u64,
-    /// Innermost rows aggregated during those rebuilds.
-    pub window_rebuild_rows: u64,
-    /// Largest indeterminate set entering any single reuse vector.
-    pub peak_survivors: u64,
-    /// Iteration points classified indeterminate-treated-as-miss because
-    /// a budget or cancellation cut their refinement short.
-    pub truncated_points: u64,
-    /// Analyses that ended [`crate::Outcome::Exhausted`].
-    pub exhausted_analyses: u64,
-    /// Worker panics caught at the pool boundary (each failed one query).
-    pub worker_panics: u64,
-    /// Diophantine/polytope solver memo hits (shared [`SolveMemo`]).
-    pub solver_hits: u64,
-    /// Solver memo misses (counts actually computed).
-    pub solver_misses: u64,
-    /// Wall time spent generating reuse vectors and cascades.
-    pub time_prepare: Duration,
-    /// Wall time spent in window scans.
-    pub time_scan: Duration,
-    /// Wall time spent assembling results.
-    pub time_assemble: Duration,
-}
-
-impl EngineStats {
-    /// Fraction of memo lookups (reuse, cascade, scan) answered from
-    /// cache; `0.0` when nothing was looked up.
-    pub fn memo_hit_rate(&self) -> f64 {
-        // Saturating: long-lived sessions (nightly fuzz runs) may drive
-        // individual counters arbitrarily high, and a diagnostic ratio
-        // must never panic on the sum.
-        let hits = self
-            .reuse_reused
-            .saturating_add(self.cascades_reused)
-            .saturating_add(self.scans_reused);
-        let total = hits
-            .saturating_add(self.reuse_built)
-            .saturating_add(self.cascades_built)
-            .saturating_add(self.scans_executed);
-        if total == 0 {
-            0.0
-        } else {
-            hits as f64 / total as f64
-        }
-    }
-
-    /// Total equation-system artifacts served without regeneration.
-    pub fn systems_saved(&self) -> u64 {
-        self.systems_rebased.saturating_add(self.systems_reused)
-    }
-}
-
-impl fmt::Display for EngineStats {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "engine: {} analyses ({} uncached references)",
-            self.analyses, self.passthroughs
-        )?;
-        writeln!(
-            f,
-            "  reuse vectors: {} built, {} reused",
-            self.reuse_built, self.reuse_reused
-        )?;
-        writeln!(
-            f,
-            "  cascades:      {} built, {} reused",
-            self.cascades_built, self.cascades_reused
-        )?;
-        writeln!(
-            f,
-            "  window scans:  {} executed, {} reused",
-            self.scans_executed, self.scans_reused
-        )?;
-        writeln!(
-            f,
-            "  scan points:   {} in {} blocks ({} stepped, {} rebuilds over {} rows)",
-            self.scan_points,
-            self.scan_blocks,
-            self.window_steps,
-            self.window_rebuilds,
-            self.window_rebuild_rows
-        )?;
-        writeln!(f, "  peak survivors: {} points", self.peak_survivors)?;
-        writeln!(
-            f,
-            "  degraded:      {} exhausted analyses ({} points truncated-as-miss), {} worker panics",
-            self.exhausted_analyses, self.truncated_points, self.worker_panics
-        )?;
-        writeln!(
-            f,
-            "  systems:       {} generated, {} rebased, {} reused",
-            self.systems_generated, self.systems_rebased, self.systems_reused
-        )?;
-        writeln!(
-            f,
-            "  solver memo:   {} hits, {} misses",
-            self.solver_hits, self.solver_misses
-        )?;
-        writeln!(f, "  memo hit rate: {:.1}%", self.memo_hit_rate() * 100.0)?;
-        write!(
-            f,
-            "  phases: prepare {:.1?}, scan {:.1?}, assemble {:.1?}",
-            self.time_prepare, self.time_scan, self.time_assemble
-        )
-    }
-}
-
-/// Entry caps: when a memo reaches its cap it is cleared wholesale (the
-/// values are `Arc`-shared, so in-flight users are unaffected). Crude, but
-/// sized so a full optimizer search fits: a padding search visits tens of
-/// candidate layouts, each contributing one scan entry per (reference ×
-/// vector) and one cascade entry per distinct destination line offset —
-/// the scan table is the big one (small entries: a few counters plus the
-/// miss indices), the others stay tiny.
-const REUSE_CAP: usize = 4096;
-const CASCADE_CAP: usize = 4096;
-const SCAN_CAP: usize = 1 << 17;
-const SYSTEM_CAP: usize = 256;
-
-/// The incremental analysis engine: a fixed cache geometry plus memo
-/// tables that carry analysis artifacts across candidate nests.
+/// The staged incremental analysis engine: a fixed cache geometry, an
+/// interned [`ProgramDb`], and per-stage memo tables that carry analysis
+/// artifacts across candidate nests.
 ///
 /// Most callers want the [`Analyzer`] wrapper, which fixes options and
 /// threading as session defaults. `Engine` is the per-call-options core
@@ -320,41 +86,41 @@ pub struct Engine {
     cache: CacheConfig,
     caching: bool,
     max_cached_points: u64,
-    reuse_memo: Mutex<HashMap<u128, Arc<Vec<ReuseVector>>>>,
-    cascade_memo: Mutex<HashMap<u128, Arc<CascadeEntry>>>,
-    scan_memo: Mutex<HashMap<u128, Arc<ScanOutcome>>>,
-    system_memo: Mutex<HashMap<u128, SystemEntry>>,
+    db: ProgramDb,
+    lower_memo: Mutex<HashMap<usize, Arc<LoweredNest>>>,
+    reuse_memo: Mutex<HashMap<u128, ReusePlan>>,
+    cascade_memo: Mutex<HashMap<u128, Arc<SolveSet>>>,
+    scan_memo: Mutex<HashMap<u128, Arc<CascadeResult>>>,
+    system_memo: Mutex<HashMap<u128, memo::SystemEntry>>,
     solve_memo: Arc<SolveMemo>,
     counters: Counters,
-    timings: Mutex<Timings>,
     /// Test hook: worker items left before an injected panic fires
     /// (`u64::MAX` = disarmed).
     panic_countdown: AtomicU64,
 }
 
-/// Locks a mutex, recovering from poisoning: every value behind the
-/// engine's locks is either an `Arc`-shared immutable snapshot or a plain
-/// accumulator written in one statement, so a panic elsewhere cannot leave
-/// it half-updated — recovering keeps the *session* usable after a worker
-/// panic fails one query.
-fn relock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
 enum ScanSlot {
-    Ready(Arc<ScanOutcome>),
+    Ready(Arc<CascadeResult>),
     /// Needs scanning; `Some(key)` stores the merged outcome in the memo,
     /// `None` (nest too large to cache) scans without storing.
     Todo(Option<u128>),
 }
 
 enum Plan {
-    Done(RefAnalysis),
+    Done(Classification),
     Cached {
         rvs: Arc<Vec<ReuseVector>>,
-        cascade: Arc<CascadeEntry>,
+        solve: Arc<SolveSet>,
         scans: Vec<ScanSlot>,
     },
+}
+
+/// One nest's slice of a batch: its lowered artifact plus the derived
+/// memo-key prefix.
+struct NestCtx {
+    lowered: Arc<LoweredNest>,
+    prefix: u128,
+    fits_memo: bool,
 }
 
 impl Engine {
@@ -364,13 +130,14 @@ impl Engine {
             cache,
             caching: true,
             max_cached_points: 1 << 22,
+            db: ProgramDb::new(),
+            lower_memo: Mutex::new(HashMap::new()),
             reuse_memo: Mutex::new(HashMap::new()),
             cascade_memo: Mutex::new(HashMap::new()),
             scan_memo: Mutex::new(HashMap::new()),
             system_memo: Mutex::new(HashMap::new()),
             solve_memo: Arc::new(SolveMemo::new()),
             counters: Counters::default(),
-            timings: Mutex::new(Timings::default()),
             panic_countdown: AtomicU64::new(u64::MAX),
         }
     }
@@ -401,8 +168,20 @@ impl Engine {
         &self.cache
     }
 
-    /// Enables or disables memoization (disabled = every analysis is a
-    /// passthrough to the uncached algorithm).
+    /// Interns a nest into the engine's program database, returning its
+    /// handle. Idempotent: equal nests share a handle (and therefore every
+    /// memoized artifact).
+    pub fn intern(&mut self, nest: &LoopNest) -> NestId {
+        self.db.intern(nest)
+    }
+
+    /// The engine's interned program database.
+    pub fn db(&self) -> &ProgramDb {
+        &self.db
+    }
+
+    /// Enables or disables memoization (disabled = every analysis rebuilds
+    /// every stage artifact — the uncached reference path).
     pub fn set_caching(&mut self, on: bool) {
         self.caching = on;
     }
@@ -418,76 +197,58 @@ impl Engine {
         &self.solve_memo
     }
 
-    /// Drops every cached artifact. Counters keep accumulating.
-    pub fn clear_caches(&self) {
-        relock(&self.reuse_memo).clear();
-        relock(&self.cascade_memo).clear();
-        relock(&self.scan_memo).clear();
-        relock(&self.system_memo).clear();
-        self.solve_memo.clear();
-    }
-
-    /// Snapshot of the engine's accounting.
-    pub fn stats(&self) -> EngineStats {
-        let c = &self.counters;
-        let t = *relock(&self.timings);
-        EngineStats {
-            analyses: c.analyses.load(Ordering::Relaxed),
-            passthroughs: c.passthroughs.load(Ordering::Relaxed),
-            reuse_built: c.reuse_built.load(Ordering::Relaxed),
-            reuse_reused: c.reuse_reused.load(Ordering::Relaxed),
-            cascades_built: c.cascades_built.load(Ordering::Relaxed),
-            cascades_reused: c.cascades_reused.load(Ordering::Relaxed),
-            scans_executed: c.scans_executed.load(Ordering::Relaxed),
-            scans_reused: c.scans_reused.load(Ordering::Relaxed),
-            systems_generated: c.systems_generated.load(Ordering::Relaxed),
-            systems_rebased: c.systems_rebased.load(Ordering::Relaxed),
-            systems_reused: c.systems_reused.load(Ordering::Relaxed),
-            scan_points: c.scan_points.load(Ordering::Relaxed),
-            scan_blocks: c.scan_blocks.load(Ordering::Relaxed),
-            window_steps: c.window_steps.load(Ordering::Relaxed),
-            window_rebuilds: c.window_rebuilds.load(Ordering::Relaxed),
-            window_rebuild_rows: c.window_rebuild_rows.load(Ordering::Relaxed),
-            peak_survivors: c.peak_survivors.load(Ordering::Relaxed),
-            truncated_points: c.truncated_points.load(Ordering::Relaxed),
-            exhausted_analyses: c.exhausted_analyses.load(Ordering::Relaxed),
-            worker_panics: c.worker_panics.load(Ordering::Relaxed),
-            solver_hits: self.solve_memo.hits(),
-            solver_misses: self.solve_memo.misses(),
-            time_prepare: t.prepare,
-            time_scan: t.scan,
-            time_assemble: t.assemble,
-        }
-    }
-
-    /// Analyzes a nest, reusing every memoized artifact the candidate's
-    /// invalidation keys admit. Bit-identical to [`crate::analyze_nest`].
-    ///
-    /// `threads` sizes the work pool over `(reference × reuse-vector)`
-    /// items; `<= 1` runs inline on the caller's thread.
-    ///
-    /// Runs at full budget. Panics (with the worker's message) if a pool
-    /// worker panics, and on nests whose address arithmetic would overflow
-    /// — use [`Engine::try_analyze`] for the error-returning, budgeted
-    /// entry point.
+    /// Interns and analyzes a nest at full budget. Panics (with the
+    /// worker's message) if a pool worker panics, and on nests whose
+    /// address arithmetic would overflow — use [`Engine::try_analyze`] for
+    /// the error-returning, budgeted entry point.
     pub fn analyze(
         &mut self,
         nest: &LoopNest,
         options: &AnalysisOptions,
         threads: usize,
     ) -> NestAnalysis {
-        let gov = QueryGovernor::new(Budget::unlimited(), None);
-        match self.analyze_governed(nest, options, threads, &gov) {
-            Ok(analysis) => analysis,
+        let id = self.intern(nest);
+        self.analyze_id(id, options, threads)
+    }
+
+    /// [`Engine::analyze`] for an already-interned nest.
+    pub fn analyze_id(
+        &mut self,
+        id: NestId,
+        options: &AnalysisOptions,
+        threads: usize,
+    ) -> NestAnalysis {
+        match self.analyze_batch(&[id], options, threads).pop() {
+            Some(analysis) => analysis,
+            None => unreachable!("batch of one returns one result"),
+        }
+    }
+
+    /// Analyzes a batch of interned nests at full budget, sharing one
+    /// work pool and the session memo tables across the whole batch.
+    /// Results are in `ids` order, each bit-identical to analyzing that
+    /// nest alone. Panics like [`Engine::analyze`].
+    pub fn analyze_batch(
+        &mut self,
+        ids: &[NestId],
+        options: &AnalysisOptions,
+        threads: usize,
+    ) -> Vec<NestAnalysis> {
+        let govs: Vec<QueryGovernor> = ids
+            .iter()
+            .map(|_| QueryGovernor::new(Budget::unlimited(), None))
+            .collect();
+        match self.analyze_governed_batch(ids, options, threads, &govs) {
+            Ok(results) => results,
             Err(e) => panic!("{e}"),
         }
     }
 
-    /// The governed entry point: analyzes under `budget`, honoring
-    /// `cancel`, and never panics on the governed path. Exhaustion or
-    /// cancellation degrades instead of failing: unfinished iteration
-    /// points are counted as misses (the paper's `ε > 0` semantics, a
-    /// sound overcount) and the result is tagged
+    /// The governed entry point: interns and analyzes under `budget`,
+    /// honoring `cancel`, and never panics on the governed path.
+    /// Exhaustion or cancellation degrades instead of failing: unfinished
+    /// iteration points are counted as misses (the paper's `ε > 0`
+    /// semantics, a sound overcount) and the result is tagged
     /// [`crate::Outcome::Exhausted`].
     ///
     /// # Errors
@@ -504,101 +265,190 @@ impl Engine {
         budget: Budget,
         cancel: Option<&CancelToken>,
     ) -> Result<GovernedAnalysis, AnalysisError> {
-        let gov = QueryGovernor::new(budget, cancel.cloned());
-        let analysis = self.analyze_governed(nest, options, threads, &gov)?;
-        let outcome = gov.outcome();
-        if outcome.is_exhausted() {
-            self.counters
-                .exhausted_analyses
-                .fetch_add(1, Ordering::Relaxed);
-            self.counters
-                .truncated_points
-                .fetch_add(gov.truncated_points(), Ordering::Relaxed);
-        }
-        Ok(GovernedAnalysis { analysis, outcome })
+        let id = self.intern(nest);
+        self.try_analyze_id(id, options, threads, budget, cancel)
     }
 
-    fn analyze_governed(
+    /// [`Engine::try_analyze`] for an already-interned nest.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::try_analyze`].
+    pub fn try_analyze_id(
         &mut self,
-        nest: &LoopNest,
+        id: NestId,
         options: &AnalysisOptions,
         threads: usize,
-        gov: &QueryGovernor,
-    ) -> Result<NestAnalysis, AnalysisError> {
-        self.counters.analyses.fetch_add(1, Ordering::Relaxed);
-        let cache = self.cache;
-        let nrefs = nest.references().len();
-        let addrs: Vec<Affine> = nest
-            .references()
-            .iter()
-            .map(|r| nest.address_affine(r.id()))
-            .collect();
-        // One up-front pass bounds every address and the space size, so
-        // the unchecked arithmetic in the hot loops below cannot overflow.
-        crate::governor::validate_address_math(nest, &addrs)?;
-        let fits_memo = nest.space().count() <= self.max_cached_points;
-        let use_cache = self.caching && fits_memo;
-        let prefix = if use_cache {
-            keys::prefix_key(&cache, options, nest)
-        } else {
-            0
-        };
-        let ls = cache.line_elems();
-        let eng = &*self;
+        budget: Budget,
+        cancel: Option<&CancelToken>,
+    ) -> Result<GovernedAnalysis, AnalysisError> {
+        match self
+            .try_analyze_batch(&[id], options, threads, budget, cancel)?
+            .pop()
+        {
+            Some(governed) => Ok(governed),
+            None => unreachable!("batch of one returns one result"),
+        }
+    }
 
-        // Phase 1 — per reference: reuse vectors, then the cascade (memo
-        // or fresh); scan batches become slots (memo hit or todo).
-        let t0 = Instant::now();
-        let plans: Vec<Plan> = pool::run_pool((0..nrefs).collect(), threads, |_, ridx| {
+    /// Governed batch analysis: each nest runs under its *own* fresh
+    /// query governor built from `budget` (solve/point budgets are
+    /// per-nest; a deadline budget shares the wall clock, so later nests
+    /// see less of it), all honoring the same `cancel` token. Results are
+    /// in `ids` order with per-nest [`crate::Outcome`] tags.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::try_analyze`]; one failing nest fails the whole
+    /// batch (the session stays usable).
+    pub fn try_analyze_batch(
+        &mut self,
+        ids: &[NestId],
+        options: &AnalysisOptions,
+        threads: usize,
+        budget: Budget,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Vec<GovernedAnalysis>, AnalysisError> {
+        let govs: Vec<QueryGovernor> = ids
+            .iter()
+            .map(|_| QueryGovernor::new(budget, cancel.cloned()))
+            .collect();
+        let results = self.analyze_governed_batch(ids, options, threads, &govs)?;
+        Ok(results
+            .into_iter()
+            .zip(govs)
+            .map(|(analysis, gov)| {
+                let outcome = gov.outcome();
+                if outcome.is_exhausted() {
+                    self.counters
+                        .exhausted_analyses
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .truncated_points
+                        .fetch_add(gov.truncated_points(), Ordering::Relaxed);
+                }
+                GovernedAnalysis { analysis, outcome }
+            })
+            .collect())
+    }
+
+    /// The batch pipeline driver: runs every nest of the batch through
+    /// `lower → reuse → solve → cascade → classify`, pooling the work of
+    /// all nests together at each pooled stage.
+    fn analyze_governed_batch(
+        &mut self,
+        ids: &[NestId],
+        options: &AnalysisOptions,
+        threads: usize,
+        govs: &[QueryGovernor],
+    ) -> Result<Vec<NestAnalysis>, AnalysisError> {
+        debug_assert_eq!(ids.len(), govs.len());
+        self.counters
+            .analyses
+            .fetch_add(ids.len() as u64, Ordering::Relaxed);
+        let cache = self.cache;
+        let ls = cache.line_elems();
+
+        // Stage: lower — resolve every handle to its validated artifact
+        // and derive the memo-key prefix from the intern-time hash.
+        let t_lower = Instant::now();
+        let mut ctxs: Vec<NestCtx> = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let lowered = self.lookup_lowered(id)?;
+            let fits_memo = lowered.nest.space().count() <= self.max_cached_points;
+            let prefix = if self.caching && fits_memo {
+                keys::prefix_key(&cache, options, lowered.structural)
+            } else {
+                0
+            };
+            ctxs.push(NestCtx {
+                lowered,
+                prefix,
+                fits_memo,
+            });
+        }
+        Counters::add_time(&self.counters.lower_ns, t_lower.elapsed());
+
+        // Every (nest, reference) of the batch is one pool item, so small
+        // nests cannot leave workers idle. Item order (nest-major, then
+        // reference order) is the classification order downstream.
+        let mut item_of: Vec<(usize, usize)> = Vec::new();
+        for (ni, ctx) in ctxs.iter().enumerate() {
+            for ridx in 0..ctx.lowered.nest.references().len() {
+                item_of.push((ni, ridx));
+            }
+        }
+
+        let eng = &*self;
+        // Stages: reuse + solve, fused per item (the memo lookups run
+        // inline in the worker); scan batches become slots (memo hit or
+        // todo). Their stage times are summed across workers.
+        let plans: Vec<Plan> = pool::run_pool(item_of.clone(), threads, |_, (ni, ridx)| {
             eng.maybe_inject_panic();
+            let ctx = &ctxs[ni];
+            let nest = &*ctx.lowered.nest;
+            let gov = &govs[ni];
             let id = RefId::from_index(ridx);
             if !gov.live() {
                 // Budget already gone: every point of this reference is
                 // indeterminate-treated-as-miss.
-                return Plan::Done(truncated_ref_analysis(nest, id, options, gov));
+                return Plan::Done(stages::classify::truncated(nest, id, options, gov));
             }
             if !eng.caching {
                 // True passthrough: the uncached reference implementation
                 // (governed only at reference granularity).
                 eng.counters.passthroughs.fetch_add(1, Ordering::Relaxed);
-                let rvs = reuse_vectors(nest, &cache, id, &options.reuse);
-                #[allow(deprecated)]
-                return Plan::Done(crate::solve::analyze_reference(
-                    nest, cache, id, &rvs, options,
-                ));
+                let t = Instant::now();
+                let plan = stages::reuse::build(&ctx.lowered, &cache, id, &options.reuse);
+                Counters::add_time(&eng.counters.reuse_ns, t.elapsed());
+                let t = Instant::now();
+                let done = crate::solve::solve_reference(nest, cache, id, &plan.rvs, options);
+                Counters::add_time(&eng.counters.solve_ns, t.elapsed());
+                return Plan::Done(Classification { result: done });
             }
-            if !fits_memo {
-                // Too large for the memo tables: run the fast cascade and
-                // sharded scans, but store nothing.
+            if !ctx.fits_memo {
+                // Too large for the memo tables: run the fast pipeline,
+                // but store nothing.
                 eng.counters.passthroughs.fetch_add(1, Ordering::Relaxed);
                 eng.counters.reuse_built.fetch_add(1, Ordering::Relaxed);
-                let rvs = Arc::new(reuse_vectors(nest, &cache, id, &options.reuse));
+                let t = Instant::now();
+                let plan = stages::reuse::build(&ctx.lowered, &cache, id, &options.reuse);
+                Counters::add_time(&eng.counters.reuse_ns, t.elapsed());
                 eng.counters.cascades_built.fetch_add(1, Ordering::Relaxed);
-                let cascade = Arc::new(build_cascade(
-                    nest, &cache, &addrs, ridx, &rvs, options, gov,
+                let t = Instant::now();
+                let solve = Arc::new(stages::solve::build(
+                    &ctx.lowered,
+                    &cache,
+                    ridx,
+                    &plan.rvs,
+                    options,
+                    gov,
                 ));
-                let scans = cascade
-                    .vectors
-                    .iter()
-                    .map(|_| ScanSlot::Todo(None))
-                    .collect();
+                Counters::add_time(&eng.counters.solve_ns, t.elapsed());
+                let scans = solve.vectors.iter().map(|_| ScanSlot::Todo(None)).collect();
                 return Plan::Cached {
-                    rvs,
-                    cascade,
+                    rvs: plan.rvs,
+                    solve,
                     scans,
                 };
             }
-            let rkey = keys::KeyHasher::from_prefix(0x4e5e, prefix)
+            let rkey = keys::KeyHasher::from_prefix(0x4e5e, ctx.prefix)
                 .feed(&ridx)
                 .finish();
-            let rvs = eng.lookup_reuse(rkey, || reuse_vectors(nest, &cache, id, &options.reuse));
-            let ckey = keys::cascade_key(prefix, nest, options, ridx, ls);
-            let cascade = eng.lookup_cascade(ckey, || {
-                build_cascade(nest, &cache, &addrs, ridx, &rvs, options, gov)
+            let t = Instant::now();
+            let plan = eng.lookup_reuse(rkey, || {
+                stages::reuse::build(&ctx.lowered, &cache, id, &options.reuse)
             });
-            let scans = (0..cascade.vectors.len())
+            Counters::add_time(&eng.counters.reuse_ns, t.elapsed());
+            let ckey = keys::cascade_key(ctx.prefix, nest, options, ridx, ls);
+            let t = Instant::now();
+            let solve = eng.lookup_cascade(ckey, || {
+                stages::solve::build(&ctx.lowered, &cache, ridx, &plan.rvs, options, gov)
+            });
+            Counters::add_time(&eng.counters.solve_ns, t.elapsed());
+            let scans = (0..solve.vectors.len())
                 .map(|vi| {
-                    let skey = keys::scan_key(prefix, nest, options, ridx, vi, ls);
+                    let skey = keys::scan_key(ctx.prefix, nest, options, ridx, vi, ls);
                     match eng.peek_scan(skey) {
                         Some(o) => ScanSlot::Ready(o),
                         None => ScanSlot::Todo(Some(skey)),
@@ -606,1515 +456,184 @@ impl Engine {
                 })
                 .collect();
             Plan::Cached {
-                rvs,
-                cascade,
+                rvs: plan.rvs,
+                solve,
                 scans,
             }
         })
         .map_err(|p| eng.note_worker_panic(p))?;
         for plan in &plans {
-            if let Plan::Cached { cascade, .. } = plan {
-                for cv in &cascade.vectors {
+            if let Plan::Cached { solve, .. } = plan {
+                for sv in &solve.vectors {
                     eng.counters
                         .peak_survivors
-                        .fetch_max(cv.examined, Ordering::Relaxed);
+                        .fetch_max(sv.examined, Ordering::Relaxed);
                 }
             }
         }
-        let prepare_elapsed = t0.elapsed();
 
-        // Phase 2 — pooled window scans for every scan-memo miss. Each
-        // `(reference, vector)` scan is sharded into contiguous blocks of
-        // survivor runs so one dominant reference cannot serialize the
-        // pool; per-block outcomes are merged in block order, making the
-        // memoized result independent of the sharding.
-        let t1 = Instant::now();
-        let mut todo: Vec<(usize, usize, Option<u128>)> = Vec::new();
-        for (ridx, plan) in plans.iter().enumerate() {
+        // Stage: cascade — pooled window scans for every scan-memo miss
+        // of the whole batch. Each `(nest, reference, vector)` scan is
+        // sharded into contiguous blocks of survivor runs so one dominant
+        // reference cannot serialize the pool; per-block outcomes are
+        // merged in block order, making the memoized result independent
+        // of the sharding.
+        //
+        // A batch plans every nest before any scan runs, so slots that
+        // would hit the memo *had the nests run sequentially* (layout
+        // siblings share scan keys) all miss `peek_scan` together. They
+        // are coalesced here instead: one executor per distinct key, the
+        // merged outcome shared by every duplicate slot — exactly the
+        // artifact a sequential loop's memo hit would have returned.
+        let t_cascade = Instant::now();
+        let mut todo: Vec<(usize, usize, Option<u128>)> = Vec::new(); // (item, vector, key)
+        for (pi, plan) in plans.iter().enumerate() {
             if let Plan::Cached { scans, .. } = plan {
                 for (vi, slot) in scans.iter().enumerate() {
                     if let ScanSlot::Todo(key) = slot {
-                        todo.push((ridx, vi, *key));
+                        todo.push((pi, vi, *key));
                     }
                 }
             }
         }
-        let mut jobs: Vec<(usize, usize, usize)> = Vec::new(); // (todo idx, run_lo, run_hi)
-        for (ti, &(ridx, vi, _)) in todo.iter().enumerate() {
-            let Plan::Cached { cascade, .. } = &plans[ridx] else {
-                unreachable!("todo items only come from cached plans");
-            };
-            for (run_lo, run_hi) in split_blocks(&cascade.vectors[vi].scan_set, threads) {
-                jobs.push((ti, run_lo, run_hi));
-            }
-        }
-        let partials: Vec<ScanOutcome> =
-            pool::run_pool(jobs.clone(), threads, |_, (ti, run_lo, run_hi)| {
-                eng.maybe_inject_panic();
-                let (ridx, vi, _) = todo[ti];
-                let Plan::Cached { rvs, cascade, .. } = &plans[ridx] else {
+        let (exec_tis, role) = batch::coalesce_scan_slots(&todo);
+        let scan_round = |tis: &[usize]| -> Result<Vec<Arc<CascadeResult>>, AnalysisError> {
+            let mut jobs: Vec<(usize, usize, usize)> = Vec::new(); // (round idx, run_lo, run_hi)
+            for (ri, &ti) in tis.iter().enumerate() {
+                let (pi, vi, _) = todo[ti];
+                let Plan::Cached { solve, .. } = &plans[pi] else {
                     unreachable!("todo items only come from cached plans");
                 };
-                scan_run_block(
-                    nest,
-                    &cache,
-                    &addrs,
-                    ridx,
-                    &rvs[vi],
-                    &cascade.vectors[vi].scan_set,
-                    run_lo,
-                    run_hi,
-                    options,
-                    &eng.counters,
-                    gov,
-                )
-            })
-            .map_err(|p| eng.note_worker_panic(p))?;
-        let mut merged: Vec<ScanOutcome> = todo
-            .iter()
-            .map(|_| ScanOutcome {
-                replacement_misses: 0,
-                contentions: vec![0; nrefs],
-                miss_indices: Vec::new(),
-                truncated: 0,
-            })
-            .collect();
-        for ((ti, _, _), part) in jobs.into_iter().zip(partials) {
-            let m = &mut merged[ti];
-            m.replacement_misses += part.replacement_misses;
-            for (acc, c) in m.contentions.iter_mut().zip(&part.contentions) {
-                *acc += c;
+                for (run_lo, run_hi) in split_blocks(&solve.vectors[vi].scan_set, threads) {
+                    jobs.push((ri, run_lo, run_hi));
+                }
             }
-            // Blocks cover run ranges in order, so global indices stay
-            // sorted under concatenation.
-            m.miss_indices.extend_from_slice(&part.miss_indices);
-            m.truncated += part.truncated;
+            let partials: Vec<CascadeResult> =
+                pool::run_pool(jobs.clone(), threads, |_, (ri, run_lo, run_hi)| {
+                    eng.maybe_inject_panic();
+                    let (pi, vi, _) = todo[tis[ri]];
+                    let (ni, ridx) = item_of[pi];
+                    let Plan::Cached { rvs, solve, .. } = &plans[pi] else {
+                        unreachable!("todo items only come from cached plans");
+                    };
+                    scan_run_block(
+                        &ctxs[ni].lowered,
+                        &cache,
+                        ridx,
+                        &rvs[vi],
+                        &solve.vectors[vi].scan_set,
+                        run_lo,
+                        run_hi,
+                        options,
+                        &eng.counters,
+                        &govs[ni],
+                    )
+                })
+                .map_err(|p| eng.note_worker_panic(p))?;
+            let empties: Vec<CascadeResult> = tis
+                .iter()
+                .map(|&ti| {
+                    let (pi, _, _) = todo[ti];
+                    let (ni, _) = item_of[pi];
+                    CascadeResult::empty(ctxs[ni].lowered.addrs.len())
+                })
+                .collect();
+            Ok(batch::merge_scan_blocks(empties, jobs, partials))
+        };
+        let outcomes = scan_round(&exec_tis)?;
+        let mut fills: HashMap<(usize, usize), Arc<CascadeResult>> = HashMap::new();
+        for (&ti, outcome) in exec_tis.iter().zip(&outcomes) {
+            let (pi, vi, key) = todo[ti];
+            match key {
+                // Truncated scans are sound overcounts, not exact
+                // artifacts: never memoize them.
+                Some(key) if outcome.truncated == 0 => eng.store_scan(key, outcome.clone()),
+                _ => {
+                    eng.counters.scans_executed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            fills.insert((pi, vi), outcome.clone());
         }
-        let outcomes: Vec<Arc<ScanOutcome>> = todo
-            .iter()
-            .zip(merged)
-            .map(|(&(_, _, key), outcome)| {
-                let outcome = Arc::new(outcome);
+        // Duplicate slots share their executor's outcome — unless that
+        // outcome was truncated by the *executor's* governor. A truncated
+        // scan is a degradation chargeable only to the nest whose budget
+        // tripped; handing it to a sibling would degrade a nest whose own
+        // governor never fired, silently. Those slots re-scan under their
+        // own governors, exactly as a sequential loop would have (a
+        // truncated outcome is never memoized, so the sibling's lookup
+        // would have missed).
+        let mut retry: Vec<usize> = Vec::new();
+        for (ti, &ei) in role.iter().enumerate() {
+            if exec_tis[ei] == ti {
+                continue;
+            }
+            let (pi, vi, _) = todo[ti];
+            if outcomes[ei].truncated == 0 {
+                eng.counters.scans_reused.fetch_add(1, Ordering::Relaxed);
+                fills.insert((pi, vi), outcomes[ei].clone());
+            } else {
+                retry.push(ti);
+            }
+        }
+        if !retry.is_empty() {
+            for (&ti, outcome) in retry.iter().zip(scan_round(&retry)?) {
+                let (pi, vi, key) = todo[ti];
                 match key {
-                    // Truncated scans are sound overcounts, not exact
-                    // artifacts: never memoize them.
                     Some(key) if outcome.truncated == 0 => eng.store_scan(key, outcome.clone()),
                     _ => {
                         eng.counters.scans_executed.fetch_add(1, Ordering::Relaxed);
                     }
                 }
-                outcome
-            })
-            .collect();
-        let scan_elapsed = t1.elapsed();
-
-        // Phase 3 — deterministic assembly in reference order.
-        let t2 = Instant::now();
-        let mut fills: HashMap<(usize, usize), Arc<ScanOutcome>> = HashMap::new();
-        for ((ridx, vi, _), outcome) in todo.into_iter().zip(outcomes) {
-            fills.insert((ridx, vi), outcome);
+                fills.insert((pi, vi), outcome);
+            }
         }
-        let per_ref: Vec<RefAnalysis> = plans
-            .into_iter()
-            .enumerate()
-            .map(|(ridx, plan)| match plan {
-                Plan::Done(r) => r,
-                Plan::Cached {
-                    rvs,
-                    cascade,
-                    scans,
-                } => {
-                    let resolved: Vec<Arc<ScanOutcome>> = scans
+        Counters::add_time(&self.counters.cascade_ns, t_cascade.elapsed());
+
+        // Stage: classify — deterministic assembly, nest-major in
+        // reference order (the item order).
+        let t_classify = Instant::now();
+        let mut per_nest: Vec<Vec<RefAnalysis>> = ctxs.iter().map(|_| Vec::new()).collect();
+        for (pi, plan) in plans.into_iter().enumerate() {
+            let (ni, ridx) = item_of[pi];
+            let result = match plan {
+                Plan::Done(c) => c.result,
+                Plan::Cached { rvs, solve, scans } => {
+                    let resolved: Vec<Arc<CascadeResult>> = scans
                         .into_iter()
                         .enumerate()
                         .map(|(vi, slot)| match slot {
                             ScanSlot::Ready(o) => o,
-                            ScanSlot::Todo(_) => fills[&(ridx, vi)].clone(),
+                            ScanSlot::Todo(_) => fills[&(pi, vi)].clone(),
                         })
                         .collect();
-                    assemble(
-                        nest,
+                    stages::classify::classify(
+                        &ctxs[ni].lowered.nest,
                         RefId::from_index(ridx),
                         &rvs,
-                        &cascade,
+                        &solve,
                         &resolved,
                         options,
                     )
+                    .result
                 }
+            };
+            per_nest[ni].push(result);
+        }
+        let results: Vec<NestAnalysis> = ctxs
+            .iter()
+            .zip(per_nest)
+            .map(|(ctx, per_ref)| NestAnalysis {
+                nest_name: ctx.lowered.nest.name().to_string(),
+                cache,
+                per_ref,
             })
             .collect();
-        let assemble_elapsed = t2.elapsed();
-        {
-            let mut t = relock(&self.timings);
-            t.prepare += prepare_elapsed;
-            t.scan += scan_elapsed;
-            t.assemble += assemble_elapsed;
-        }
-        Ok(NestAnalysis {
-            nest_name: nest.name().to_string(),
-            cache,
-            per_ref,
-        })
+        Counters::add_time(&self.counters.classify_ns, t_classify.elapsed());
+        Ok(results)
     }
 
     fn note_worker_panic(&self, p: pool::WorkerPanic) -> AnalysisError {
         self.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
         AnalysisError::WorkerPanic { message: p.0 }
-    }
-
-    /// The symbolic CME system for a nest: generated once per structure,
-    /// *rebased* (address constants only) when only the layout moved, and
-    /// returned verbatim when nothing changed.
-    pub fn system(&mut self, nest: &LoopNest, reuse: &ReuseOptions) -> Arc<CmeSystem> {
-        let key = keys::system_key(&self.cache, reuse, nest);
-        let layout = keys::layout_hash(nest);
-        {
-            let mut map = relock(&self.system_memo);
-            if let Some(entry) = map.get_mut(&key) {
-                if entry.layout == layout {
-                    self.counters.systems_reused.fetch_add(1, Ordering::Relaxed);
-                    return entry.system.clone();
-                }
-                let rebased = Arc::new(entry.system.rebase_to(nest));
-                entry.layout = layout;
-                entry.system = rebased.clone();
-                self.counters
-                    .systems_rebased
-                    .fetch_add(1, Ordering::Relaxed);
-                return rebased;
-            }
-        }
-        let system = Arc::new(CmeSystem::generate(nest, self.cache, reuse));
-        self.counters
-            .systems_generated
-            .fetch_add(1, Ordering::Relaxed);
-        let mut map = relock(&self.system_memo);
-        if map.len() >= SYSTEM_CAP {
-            map.clear();
-        }
-        map.insert(
-            key,
-            SystemEntry {
-                layout,
-                system: system.clone(),
-            },
-        );
-        system
-    }
-
-    /// Counts a replacement equation's solutions through the shared solve
-    /// memo (see
-    /// [`crate::equations::ReplacementEquation::count_solutions_memo`]).
-    pub fn count_replacement(
-        &self,
-        eq: &crate::equations::ReplacementEquation,
-        nest: &LoopNest,
-    ) -> u64 {
-        eq.count_solutions_memo(nest, &self.cache, Some(&self.solve_memo))
-    }
-
-    fn lookup_reuse(
-        &self,
-        key: u128,
-        build: impl FnOnce() -> Vec<ReuseVector>,
-    ) -> Arc<Vec<ReuseVector>> {
-        if let Some(v) = relock(&self.reuse_memo).get(&key) {
-            self.counters.reuse_reused.fetch_add(1, Ordering::Relaxed);
-            return v.clone();
-        }
-        let v = Arc::new(build());
-        self.counters.reuse_built.fetch_add(1, Ordering::Relaxed);
-        let mut map = relock(&self.reuse_memo);
-        if map.len() >= REUSE_CAP {
-            map.clear();
-        }
-        map.insert(key, v.clone());
-        v
-    }
-
-    fn lookup_cascade(&self, key: u128, build: impl FnOnce() -> CascadeEntry) -> Arc<CascadeEntry> {
-        if let Some(c) = relock(&self.cascade_memo).get(&key) {
-            self.counters
-                .cascades_reused
-                .fetch_add(1, Ordering::Relaxed);
-            return c.clone();
-        }
-        let c = Arc::new(build());
-        self.counters.cascades_built.fetch_add(1, Ordering::Relaxed);
-        if c.truncated {
-            // A truncated cascade is a sound overcount for *this* query
-            // only; memoizing it would degrade future full-budget runs.
-            return c;
-        }
-        let mut map = relock(&self.cascade_memo);
-        if map.len() >= CASCADE_CAP {
-            map.clear();
-        }
-        map.insert(key, c.clone());
-        c
-    }
-
-    fn peek_scan(&self, key: u128) -> Option<Arc<ScanOutcome>> {
-        let hit = relock(&self.scan_memo).get(&key).cloned();
-        if hit.is_some() {
-            self.counters.scans_reused.fetch_add(1, Ordering::Relaxed);
-        }
-        hit
-    }
-
-    fn store_scan(&self, key: u128, outcome: Arc<ScanOutcome>) {
-        self.counters.scans_executed.fetch_add(1, Ordering::Relaxed);
-        let mut map = relock(&self.scan_memo);
-        if map.len() >= SCAN_CAP {
-            map.clear();
-        }
-        map.insert(key, outcome);
-    }
-}
-
-/// The fully degraded per-reference result: the budget died before any
-/// refinement, so every iteration point is indeterminate-treated-as-miss
-/// (all cold, zero vectors) — the shape [`assemble`] produces for a
-/// cascade with no processed vectors.
-fn truncated_ref_analysis(
-    nest: &LoopNest,
-    dest: RefId,
-    options: &AnalysisOptions,
-    gov: &QueryGovernor,
-) -> RefAnalysis {
-    let count = nest.space().count();
-    gov.note_truncated(count);
-    let cold_points = if options.collect_miss_points {
-        let mut pts = Vec::new();
-        let mut sp = nest.space();
-        while let Some(q) = sp.next_point() {
-            pts.push(q);
-        }
-        pts
-    } else {
-        Vec::new()
-    };
-    RefAnalysis {
-        dest,
-        label: nest.reference(dest).label().to_string(),
-        vectors: Vec::new(),
-        cold_misses: count,
-        replacement_misses: 0,
-        early_stopped: true,
-        replacement_miss_points: Vec::new(),
-        cold_miss_points: cold_points,
-    }
-}
-
-/// First innermost index `t' > t` at which `⌊(base + stride·t')/Ls⌋`
-/// differs from `cur_line`, or `i64::MAX` when the line never changes.
-fn next_line_crossing(base: i64, stride: i64, t: i64, cur_line: i64, ls: i64) -> i64 {
-    match stride.cmp(&0) {
-        std::cmp::Ordering::Equal => i64::MAX,
-        // Increasing: first t' with base + stride·t' ≥ (cur+1)·Ls.
-        std::cmp::Ordering::Greater => crate::window::ceil_div((cur_line + 1) * ls - base, stride),
-        // Decreasing: first t' with base + stride·t' ≤ cur·Ls − 1.
-        std::cmp::Ordering::Less => crate::window::ceil_div(base + 1 - cur_line * ls, -stride),
-    }
-    .max(t + 1)
-}
-
-/// Splits the cold/scan verdict of one survivor run into maximal
-/// constant-verdict segments: along a run the destination and source lines
-/// are floors of affine functions of the innermost index, so the verdict
-/// can only flip at computable line-boundary crossings, and the membership
-/// of the source point `p⃗` is a single interval of the innermost index.
-struct RunClassifier<'a> {
-    space: IterationSpace<'a>,
-    ls: i64,
-    dest_addr: &'a Affine,
-    src_addr: &'a Affine,
-    r: &'a [i64],
-    r_in: i64,
-    intra: bool,
-    buf: Vec<i64>,
-    p_prefix: Vec<i64>,
-    next: RunSet,
-    scan: RunSet,
-    cold: u64,
-}
-
-impl RunClassifier<'_> {
-    fn classify(&mut self, prefix: &[i64], lo: i64, hi: i64) {
-        let inner = self.buf.len() - 1;
-        self.buf[..inner].copy_from_slice(prefix);
-        self.buf[inner] = 0;
-        let d0 = self.dest_addr.eval(&self.buf);
-        let sd = self.dest_addr.coeff(inner);
-        for (l, p) in prefix.iter().enumerate().take(inner) {
-            self.p_prefix[l] = p - self.r[l];
-        }
-        // Innermost interval where the source p⃗ = i⃗ − r⃗ is in the space
-        // (intra-iteration reuse skips the membership test, matching the
-        // reference implementation).
-        let (a, b) = if self.intra {
-            (lo, hi)
-        } else {
-            let inb = if self.space.contains_prefix(&self.p_prefix) {
-                self.space.innermost_bounds(&self.p_prefix)
-            } else {
-                None
-            };
-            let live = inb.and_then(|(plo, phi)| {
-                let a = (plo + self.r_in).max(lo);
-                let b = (phi + self.r_in).min(hi);
-                (a <= b).then_some((a, b))
-            });
-            match live {
-                None => {
-                    // Source out of space for the whole run: all cold.
-                    self.cold += (hi - lo + 1) as u64;
-                    self.next.push_run(prefix, lo, hi);
-                    return;
-                }
-                Some((a, b)) => {
-                    if lo < a {
-                        self.cold += (a - lo) as u64;
-                        self.next.push_run(prefix, lo, a - 1);
-                    }
-                    (a, b)
-                }
-            }
-        };
-        // Source line along the run: src(t) = src_addr(p_prefix, t − r_in).
-        self.buf[..inner].copy_from_slice(&self.p_prefix);
-        self.buf[inner] = 0;
-        let ss = self.src_addr.coeff(inner);
-        let s0 = self.src_addr.eval(&self.buf) - ss * self.r_in;
-        let mut t = a;
-        while t <= b {
-            let ld = floor_div(d0 + sd * t, self.ls);
-            let lsrc = floor_div(s0 + ss * t, self.ls);
-            let seg_end = next_line_crossing(d0, sd, t, ld, self.ls)
-                .min(next_line_crossing(s0, ss, t, lsrc, self.ls))
-                .min(b + 1);
-            if lsrc != ld {
-                self.cold += (seg_end - t) as u64;
-                self.next.push_run(prefix, t, seg_end - 1);
-            } else {
-                self.scan.push_run(prefix, t, seg_end - 1);
-            }
-            t = seg_end;
-        }
-        if b < hi {
-            self.cold += (hi - b) as u64;
-            self.next.push_run(prefix, b + 1, hi);
-        }
-    }
-}
-
-/// Constant destination–source address gap along reuse vector `r⃗`:
-/// `dest(i⃗) − src(i⃗ − r⃗)` is independent of `i⃗` exactly when the two
-/// references share coefficients, and then equals `Δc + Σ_l coeff_l·r_l`.
-fn const_delta(dest: &Affine, src: &Affine, r: &[i64]) -> Option<i64> {
-    (dest.coeffs() == src.coeffs())
-        .then(|| dest.constant_term() - src.constant_term() + src.delta_along(r))
-}
-
-/// Facts about one survivor set that certify reuse vectors all-cold in
-/// O(1), computed lazily and valid only while the set is unchanged (an
-/// all-cold vector leaves it unchanged, so certified vectors keep the
-/// certificates of the set they were certified against).
-#[derive(Default)]
-struct ColdCerts {
-    /// `max(hi − plo(prefix))` over the runs: a purely-innermost reuse
-    /// distance beyond this puts every source point below its row.
-    reach: Option<i64>,
-    /// Range of `dest_addr mod Ls` over the set's points.
-    mod_range: Option<(i64, i64)>,
-    /// Per-dimension coordinate range over the set's points.
-    coord_ranges: Option<Vec<(i64, i64)>>,
-}
-
-impl ColdCerts {
-    /// True when some dimension pushes every source point `i⃗ − r⃗` outside
-    /// the space's bounding box — out of the space for certain, so every
-    /// point of `set` is cold.
-    fn source_outside(&mut self, r: &[i64], bbox: &[Interval], set: &RunSet) -> bool {
-        let ranges = self
-            .coord_ranges
-            .get_or_insert_with(|| coord_ranges(set, r.len()));
-        ranges
-            .iter()
-            .zip(bbox)
-            .zip(r)
-            .any(|((&(mn, mx), iv), &rd)| mx - rd < iv.lo || mn - rd > iv.hi)
-    }
-
-    /// True when every point of `set` is certainly cold for a vector whose
-    /// destination–source address gap is the constant `delta`.
-    #[allow(clippy::too_many_arguments)]
-    fn all_cold(
-        &mut self,
-        delta: i64,
-        intra: bool,
-        r: &[i64],
-        ls: i64,
-        space: &IterationSpace,
-        dest_addr: &Affine,
-        set: &RunSet,
-    ) -> bool {
-        if delta == 0 {
-            // Source and destination share a line at every point; cold only
-            // if the source falls out of the space everywhere, decidable
-            // when the vector is purely innermost (row membership becomes
-            // `t − r_in ≥ plo`).
-            let inner = r.len() - 1;
-            if intra || r[inner] <= 0 || r[..inner].iter().any(|&x| x != 0) {
-                return false;
-            }
-            let reach = *self.reach.get_or_insert_with(|| compute_reach(space, set));
-            r[inner] > reach
-        } else if delta.abs() >= ls {
-            // Addresses `a` and `a − δ` can share a `Ls`-aligned line only
-            // when `|δ| < Ls`.
-            true
-        } else {
-            // Same line ⟺ `a mod Ls ≥ δ` (δ > 0) resp. `< Ls + δ` (δ < 0):
-            // cold everywhere when the residue range stays clear of that.
-            let (mn, mx) = *self
-                .mod_range
-                .get_or_insert_with(|| compute_mod_range(dest_addr, set, ls));
-            if delta > 0 {
-                mx < delta
-            } else {
-                mn >= ls + delta
-            }
-        }
-    }
-}
-
-/// Min/max of every coordinate over the points of `set`.
-fn coord_ranges(set: &RunSet, depth: usize) -> Vec<(i64, i64)> {
-    let inner = depth - 1;
-    let mut ranges = vec![(i64::MAX, i64::MIN); depth];
-    for ri in 0..set.run_count() {
-        let run = set.run(ri);
-        for (range, &x) in ranges[..inner].iter_mut().zip(run.prefix) {
-            range.0 = range.0.min(x);
-            range.1 = range.1.max(x);
-        }
-        ranges[inner].0 = ranges[inner].0.min(run.lo);
-        ranges[inner].1 = ranges[inner].1.max(run.hi);
-    }
-    ranges
-}
-
-/// `max(hi − plo(prefix))` over the runs of `set`, or `i64::MAX` (no
-/// certificate) when a row's bounds are unavailable.
-fn compute_reach(space: &IterationSpace, set: &RunSet) -> i64 {
-    let mut reach = i64::MIN;
-    for ri in 0..set.run_count() {
-        let run = set.run(ri);
-        match space.innermost_bounds(run.prefix) {
-            Some((plo, _)) => reach = reach.max(run.hi - plo),
-            None => return i64::MAX,
-        }
-    }
-    reach
-}
-
-/// Min/max of `addr mod Ls` over the points of `set`, walking at most one
-/// residue period per run.
-fn compute_mod_range(addr: &Affine, set: &RunSet, ls: i64) -> (i64, i64) {
-    let inner = addr.nvars() - 1;
-    let step = modulo(addr.coeff(inner), ls);
-    let period = if step == 0 { 1 } else { ls / gcd(step, ls) };
-    let mut buf = vec![0i64; addr.nvars()];
-    let (mut mn, mut mx) = (i64::MAX, i64::MIN);
-    for ri in 0..set.run_count() {
-        let run = set.run(ri);
-        buf[..inner].copy_from_slice(run.prefix);
-        buf[inner] = run.lo;
-        let mut m = modulo(addr.eval(&buf), ls);
-        for _ in 0..(run.hi - run.lo + 1).min(period) {
-            mn = mn.min(m);
-            mx = mx.max(m);
-            m += step;
-            if m >= ls {
-                m -= ls;
-            }
-        }
-        if mn == 0 && mx == ls - 1 {
-            break; // saturated: no tighter range possible
-        }
-    }
-    (mn, mx)
-}
-
-/// Runs the cold/indeterminate refinement for one reference — the
-/// classification half of Figure 6, with the points needing window scans
-/// recorded per vector instead of scanned inline. Survivor sets are
-/// run-compressed and classified segment-wise, never point by point, and
-/// vectors with a constant address gap are certified all-cold in O(1)
-/// without touching the survivor runs at all.
-#[allow(clippy::too_many_arguments)]
-fn build_cascade(
-    nest: &LoopNest,
-    cache: &CacheConfig,
-    addrs: &[Affine],
-    dest_idx: usize,
-    rvs: &[ReuseVector],
-    options: &AnalysisOptions,
-    gov: &QueryGovernor,
-) -> CascadeEntry {
-    let depth = nest.depth();
-    let inner = depth - 1;
-    let space = nest.space();
-    let dest_addr = &addrs[dest_idx];
-    let mut c: Option<RunSet> = None;
-    let mut vectors = Vec::new();
-    let mut early_stopped = false;
-    let mut truncated = false;
-    let mut certs = ColdCerts::default();
-    let bbox = space.bounding_box();
-    for rv in rvs {
-        let examined = match &c {
-            Some(set) => set.len(),
-            None => space.count(),
-        };
-        if examined <= options.epsilon {
-            early_stopped = c.is_some() && examined > 0;
-            break;
-        }
-        // Governor checkpoint (after the ε check, so full-budget runs take
-        // the exact same branches): a dead budget or an over-ceiling
-        // survivor set stops the cascade here; the current survivors stay
-        // the final set and count as misses — the same sound-overcount
-        // shape as ε early stopping.
-        if !gov.admit_points(examined) || !gov.live() {
-            truncated = true;
-            gov.note_truncated(examined);
-            break;
-        }
-        let r = rv.vector();
-        if let Some(set) = &c {
-            let certified = (!rv.is_intra_iteration() && certs.source_outside(r, &bbox, set))
-                || const_delta(dest_addr, &addrs[rv.source().index()], r).is_some_and(|delta| {
-                    certs.all_cold(
-                        delta,
-                        rv.is_intra_iteration(),
-                        r,
-                        cache.line_elems(),
-                        &space,
-                        dest_addr,
-                        set,
-                    )
-                });
-            if certified {
-                // Every survivor misses cold: the set is untouched, so the
-                // certificates stay valid for the next vector too.
-                vectors.push(CascadeVector {
-                    examined,
-                    cold_solutions: examined,
-                    scan_set: RunSet::new(depth),
-                });
-                continue;
-            }
-        }
-        let mut cls = RunClassifier {
-            space: nest.space(),
-            ls: cache.line_elems(),
-            dest_addr,
-            src_addr: &addrs[rv.source().index()],
-            r,
-            r_in: r[inner],
-            intra: rv.is_intra_iteration(),
-            buf: vec![0i64; depth],
-            p_prefix: vec![0i64; inner],
-            next: RunSet::new(depth),
-            scan: RunSet::new(depth),
-            cold: 0,
-        };
-        // Mid-vector checkpoints every 64 rows/runs: an abandoned walk
-        // discards its partial classification (the previous survivor set
-        // stays the final one, every point of it a miss — sound).
-        let mut abandoned = false;
-        match &c {
-            None => {
-                // Whole space, one row at a time.
-                let mut rows = 0u64;
-                let mut pfx = space.first().map(|f| f[..inner].to_vec());
-                while let Some(pr) = pfx {
-                    if rows & 63 == 0 && !gov.live() {
-                        abandoned = true;
-                        break;
-                    }
-                    rows += 1;
-                    if let Some((lo, hi)) = space.innermost_bounds(&pr) {
-                        cls.classify(&pr, lo, hi);
-                    }
-                    pfx = space.prefix_successor(&pr);
-                }
-            }
-            Some(set) => {
-                for ri in 0..set.run_count() {
-                    if ri & 63 == 0 && !gov.live() {
-                        abandoned = true;
-                        break;
-                    }
-                    let run = set.run(ri);
-                    cls.classify(run.prefix, run.lo, run.hi);
-                }
-            }
-        }
-        if abandoned {
-            truncated = true;
-            gov.note_truncated(examined);
-            break;
-        }
-        gov.charge(examined);
-        // An all-cold walk reproduces the set run for run; anything else
-        // changed it and voids the memoized certificates.
-        if cls.cold != examined {
-            certs = ColdCerts::default();
-        }
-        vectors.push(CascadeVector {
-            examined,
-            cold_solutions: cls.cold,
-            scan_set: cls.scan,
-        });
-        c = Some(cls.next);
-    }
-    CascadeEntry {
-        vectors,
-        final_set: c,
-        early_stopped,
-        truncated,
-    }
-}
-
-/// Minimum points per scan block: below this the dispatch overhead beats
-/// the parallelism.
-const MIN_BLOCK_POINTS: u64 = 4096;
-
-/// Shards a scan set into contiguous blocks of whole runs, sized so every
-/// worker gets a few blocks. A single oversized run still forms one block
-/// (runs are the sharding granularity).
-fn split_blocks(set: &RunSet, threads: usize) -> Vec<(usize, usize)> {
-    let nruns = set.run_count();
-    if nruns == 0 {
-        return Vec::new();
-    }
-    if threads <= 1 {
-        return vec![(0, nruns)];
-    }
-    let target = (set.len() / (threads as u64 * 4)).max(MIN_BLOCK_POINTS);
-    let mut blocks = Vec::new();
-    let mut start = 0usize;
-    let mut acc = 0u64;
-    for ri in 0..nruns {
-        acc += set.run(ri).len();
-        if acc >= target {
-            blocks.push((start, ri + 1));
-            start = ri + 1;
-            acc = 0;
-        }
-    }
-    if start < nruns {
-        blocks.push((start, nruns));
-    }
-    blocks
-}
-
-/// Scans the reuse windows of the survivors in runs `run_lo..run_hi` of
-/// `points` along `rv` — the verdict half of Figure 6, with miss indices
-/// reported in the scan set's global order so per-block outcomes
-/// concatenate into the unsharded result.
-///
-/// The default mode slides a [`SlidingWindow`] along each run; exact-count
-/// and pointwise modes fall back to the per-point [`Scanner`] (their
-/// verdicts need per-perpetrator detail the window multiset does not
-/// keep), which still shards fine — contentions are per-point sums.
-#[allow(clippy::too_many_arguments)]
-fn scan_run_block(
-    nest: &LoopNest,
-    cache: &CacheConfig,
-    addrs: &[Affine],
-    dest_idx: usize,
-    rv: &ReuseVector,
-    points: &RunSet,
-    run_lo: usize,
-    run_hi: usize,
-    options: &AnalysisOptions,
-    counters: &Counters,
-    gov: &QueryGovernor,
-) -> ScanOutcome {
-    let depth = nest.depth();
-    let inner = depth - 1;
-    let space = nest.space();
-    let k = cache.assoc() as usize;
-    let nrefs = addrs.len();
-    let dest_addr = &addrs[dest_idx];
-    let src_idx = rv.source().index();
-    let r = rv.vector();
-    let intra = rv.is_intra_iteration();
-    let geom = Geom::new(cache);
-    let mut contentions = vec![0u64; nrefs];
-    let mut replacement_misses = 0u64;
-    let mut miss_indices: Vec<u64> = Vec::new();
-    let mut i_buf = vec![0i64; depth];
-    let mut block_points = 0u64;
-    let mut truncated = 0u64;
-    // Governed runs check the budget every `chunk` points; at full budget
-    // the chunk spans the whole run, so the per-point loops below run
-    // exactly as before (one extra comparison per run).
-    let chunk: i64 = if gov.unlimited() { i64::MAX } else { 4096 };
-
-    if options.exact_equation_counts || options.pointwise_windows {
-        // Legacy per-point scan.
-        let mut scanner = Scanner::new(cache, addrs, k, options.exact_equation_counts);
-        let mut p = vec![0i64; depth];
-        'runs_legacy: for ri in run_lo..run_hi {
-            let run = points.run(ri);
-            i_buf[..inner].copy_from_slice(run.prefix);
-            let mut seg = run.lo;
-            while seg <= run.hi {
-                let seg_hi = run.hi.min(seg.saturating_add(chunk - 1));
-                if !gov.live() {
-                    truncated += count_rest_as_misses(
-                        points,
-                        ri,
-                        run_hi,
-                        seg,
-                        &mut miss_indices,
-                        &mut replacement_misses,
-                    );
-                    break 'runs_legacy;
-                }
-                block_points += (seg_hi - seg + 1) as u64;
-                gov.charge((seg_hi - seg + 1) as u64);
-                for t in seg..=seg_hi {
-                    i_buf[inner] = t;
-                    let i = &i_buf;
-                    for l in 0..depth {
-                        p[l] = i[l] - r[l];
-                    }
-                    let a_dest = dest_addr.eval(i);
-                    let dline = geom.line(a_dest);
-                    scanner.reset(geom.set_of_line(dline), dline);
-                    let mut go = true;
-                    if intra {
-                        for s in (src_idx + 1)..dest_idx {
-                            if !scanner.check(i, s) {
-                                break;
-                            }
-                        }
-                    } else {
-                        // Tail of the source iteration (statements after the
-                        // source).
-                        for s in (src_idx + 1)..nrefs {
-                            if !scanner.check(&p, s) {
-                                go = false;
-                                break;
-                            }
-                        }
-                        // Whole iterations strictly between, row by row.
-                        if go {
-                            go = if options.pointwise_windows {
-                                scan_interior_pointwise(&mut scanner, &space, &p, i)
-                            } else {
-                                scan_interior(&mut scanner, &space, &p, i)
-                            };
-                        }
-                        // Head of the destination iteration (statements before
-                        // dest).
-                        if go {
-                            for s in 0..dest_idx {
-                                if !scanner.check(i, s) {
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                    if options.exact_equation_counts {
-                        for (s, v) in scanner.per_perp.iter().enumerate() {
-                            contentions[s] += v.len() as u64;
-                        }
-                    }
-                    if scanner.distinct.len() >= k {
-                        replacement_misses += 1;
-                        miss_indices.push(run.start + (t - run.lo) as u64);
-                    }
-                }
-                seg = seg_hi + 1;
-            }
-        }
-        counters.absorb_scan(block_points, WindowStats::default());
-        gov.note_truncated(truncated);
-        return ScanOutcome {
-            replacement_misses,
-            contentions,
-            miss_indices,
-            truncated,
-        };
-    }
-
-    // Fast mode: slide the window along each run. Inside one run the
-    // lockstep condition holds by construction, so the loop steps through
-    // per-reference address accumulators — no affine evaluation and no
-    // space checks per point; the endpoint side accesses fall out of the
-    // same accumulators (`w.src_addr(s)` is reference `s` at `p⃗`,
-    // `w.dst_addr(s)` at `i⃗`) and are deduplicated against the window and
-    // each other.
-    let mut w = SlidingWindow::new_for_space(cache, addrs, &space);
-    let mut p_buf = vec![0i64; depth];
-    let mut side: Vec<i64> = Vec::new();
-    let kk = k as u64;
-    'runs: for ri in run_lo..run_hi {
-        let run = points.run(ri);
-        i_buf[..inner].copy_from_slice(run.prefix);
-        if intra {
-            // No interior: only the statements strictly between the source
-            // and the destination, at i⃗ itself, with addresses accumulated
-            // along the run.
-            let mut dest_a = {
-                i_buf[inner] = run.lo;
-                dest_addr.eval(&i_buf)
-            };
-            let dest_stride = dest_addr.coeff(inner);
-            let mut side_a: Vec<i64> = addrs[(src_idx + 1)..dest_idx]
-                .iter()
-                .map(|a| a.eval(&i_buf))
-                .collect();
-            let side_strides: Vec<i64> = addrs[(src_idx + 1)..dest_idx]
-                .iter()
-                .map(|a| a.coeff(inner))
-                .collect();
-            let mut seg = run.lo;
-            while seg <= run.hi {
-                let seg_hi = run.hi.min(seg.saturating_add(chunk - 1));
-                if !gov.live() {
-                    truncated += count_rest_as_misses(
-                        points,
-                        ri,
-                        run_hi,
-                        seg,
-                        &mut miss_indices,
-                        &mut replacement_misses,
-                    );
-                    break 'runs;
-                }
-                block_points += (seg_hi - seg + 1) as u64;
-                gov.charge((seg_hi - seg + 1) as u64);
-                for t in seg..=seg_hi {
-                    let dline = geom.line(dest_a);
-                    let dset = geom.set_of_line(dline);
-                    let mut conflicts = 0;
-                    side.clear();
-                    for &addr in &side_a {
-                        if conflicts >= kk {
-                            break;
-                        }
-                        let line = geom.line(addr);
-                        if geom.set_of_line(line) == dset && line != dline && !side.contains(&line)
-                        {
-                            side.push(line);
-                            conflicts += 1;
-                        }
-                    }
-                    if conflicts >= kk {
-                        replacement_misses += 1;
-                        miss_indices.push(run.start + (t - run.lo) as u64);
-                    }
-                    dest_a += dest_stride;
-                    for (a, st) in side_a.iter_mut().zip(&side_strides) {
-                        *a += st;
-                    }
-                }
-                seg = seg_hi + 1;
-            }
-            continue;
-        }
-        // Position the window at the run's first point; every further
-        // point is one guaranteed-lockstep step.
-        i_buf[inner] = run.lo;
-        for l in 0..depth {
-            p_buf[l] = i_buf[l] - r[l];
-        }
-        w.begin_segment(&space, &p_buf, &i_buf, r);
-        let mut seg = run.lo;
-        while seg <= run.hi {
-            let seg_hi = run.hi.min(seg.saturating_add(chunk - 1));
-            if !gov.live() {
-                truncated += count_rest_as_misses(
-                    points,
-                    ri,
-                    run_hi,
-                    seg,
-                    &mut miss_indices,
-                    &mut replacement_misses,
-                );
-                break 'runs;
-            }
-            block_points += (seg_hi - seg + 1) as u64;
-            gov.charge((seg_hi - seg + 1) as u64);
-            for t in seg..=seg_hi {
-                if t > run.lo {
-                    w.step_in_segment();
-                }
-                let a_dest = w.dst_addr(dest_idx);
-                let dline = geom.line(a_dest);
-                let dset = geom.set_of_line(dline);
-                let mut conflicts = w.distinct_excluding(dset, dline);
-                side.clear();
-                // Tail of the source iteration, then head of the destination
-                // iteration.
-                for (at_src, lo_s, hi_s) in [(true, src_idx + 1, nrefs), (false, 0, dest_idx)] {
-                    for s in lo_s..hi_s {
-                        if conflicts >= kk {
-                            break;
-                        }
-                        let addr = if at_src { w.src_addr(s) } else { w.dst_addr(s) };
-                        let line = geom.line(addr);
-                        if geom.set_of_line(line) == dset
-                            && line != dline
-                            && !w.contains_line(line)
-                            && !side.contains(&line)
-                        {
-                            side.push(line);
-                            conflicts += 1;
-                        }
-                    }
-                }
-                if conflicts >= kk {
-                    replacement_misses += 1;
-                    miss_indices.push(run.start + (t - run.lo) as u64);
-                }
-            }
-            seg = seg_hi + 1;
-        }
-    }
-    counters.absorb_scan(block_points, w.stats);
-    gov.note_truncated(truncated);
-    ScanOutcome {
-        replacement_misses,
-        contentions,
-        miss_indices,
-        truncated,
-    }
-}
-
-/// Degrades the unscanned tail of a block — everything from innermost
-/// index `from_t` of run `from_run` through run `run_hi - 1` — by counting
-/// every point as a replacement miss (indeterminate-treated-as-miss).
-/// Indices stay in global scan-set order, so merged outcomes remain
-/// well-formed. Returns the number of points degraded.
-fn count_rest_as_misses(
-    points: &RunSet,
-    from_run: usize,
-    run_hi: usize,
-    from_t: i64,
-    miss_indices: &mut Vec<u64>,
-    replacement_misses: &mut u64,
-) -> u64 {
-    let mut degraded = 0u64;
-    for ri in from_run..run_hi {
-        let run = points.run(ri);
-        let lo = if ri == from_run {
-            from_t.max(run.lo)
-        } else {
-            run.lo
-        };
-        if lo > run.hi {
-            continue;
-        }
-        for t in lo..=run.hi {
-            miss_indices.push(run.start + (t - run.lo) as u64);
-        }
-        let n = (run.hi - lo + 1) as u64;
-        *replacement_misses += n;
-        degraded += n;
-    }
-    degraded
-}
-
-/// Stitches a cascade and its scan outcomes into the public
-/// [`RefAnalysis`], byte for byte what the reference implementation emits.
-fn assemble(
-    nest: &LoopNest,
-    dest: RefId,
-    rvs: &[ReuseVector],
-    cascade: &CascadeEntry,
-    scans: &[Arc<ScanOutcome>],
-    options: &AnalysisOptions,
-) -> RefAnalysis {
-    let mut vectors = Vec::with_capacity(cascade.vectors.len());
-    let mut replacement_misses = 0u64;
-    let mut repl_points: Vec<(Vec<i64>, usize)> = Vec::new();
-    for (vi, (cv, scan)) in cascade.vectors.iter().zip(scans).enumerate() {
-        replacement_misses += scan.replacement_misses;
-        vectors.push(VectorReport {
-            reuse: rvs[vi].clone(),
-            examined: cv.examined,
-            cold_solutions: cv.cold_solutions,
-            replacement_misses: scan.replacement_misses,
-            contentions_per_perpetrator: scan.contentions.clone(),
-            cumulative_replacement_misses: replacement_misses,
-        });
-        if options.collect_miss_points {
-            for &mi in &scan.miss_indices {
-                repl_points.push((cv.scan_set.point(mi), vi));
-            }
-        }
-    }
-    let (cold_misses, cold_points) = match &cascade.final_set {
-        Some(set) => (
-            set.len(),
-            if options.collect_miss_points {
-                let mut pts = Vec::with_capacity(set.len() as usize);
-                set.for_each(|q| pts.push(q.to_vec()));
-                pts
-            } else {
-                Vec::new()
-            },
-        ),
-        None => {
-            let mut pts = Vec::new();
-            if options.collect_miss_points {
-                let mut sp = nest.space();
-                while let Some(q) = sp.next_point() {
-                    pts.push(q);
-                }
-            }
-            (nest.space().count(), pts)
-        }
-    };
-    RefAnalysis {
-        dest,
-        label: nest.reference(dest).label().to_string(),
-        vectors,
-        cold_misses,
-        replacement_misses,
-        // A truncated cascade reports as early-stopped: the remaining
-        // survivors were counted as misses, exactly like ε stopping.
-        early_stopped: cascade.early_stopped || cascade.truncated,
-        replacement_miss_points: repl_points,
-        cold_miss_points: cold_points,
-    }
-}
-
-/// A configured analysis session: cache, options, and threading fixed as
-/// defaults, with the incremental [`Engine`] carrying memoized work across
-/// every `analyze` call.
-///
-/// ```
-/// use cme_cache::CacheConfig;
-/// use cme_core::{AnalysisOptions, Analyzer};
-/// use cme_ir::{AccessKind, NestBuilder};
-///
-/// let mut b = NestBuilder::new();
-/// b.ct_loop("i", 1, 64);
-/// let a = b.array("A", &[64], 0);
-/// b.reference(a, AccessKind::Read, &[("i", 0)]);
-/// let nest = b.build().unwrap();
-///
-/// let cfg = CacheConfig::new(8192, 1, 32, 4)?;
-/// let analysis = Analyzer::new(cfg)
-///     .options(AnalysisOptions::default())
-///     .parallel(true)
-///     .analyze(&nest);
-/// assert_eq!(analysis.total_misses(), 8);
-/// # Ok::<(), cme_cache::CacheConfigError>(())
-/// ```
-#[derive(Debug)]
-pub struct Analyzer {
-    engine: Engine,
-    options: AnalysisOptions,
-    parallel: bool,
-    threads: usize,
-    budget: Budget,
-    cancel: Option<CancelToken>,
-}
-
-impl Analyzer {
-    /// A sequential session with default options, caching on, and an
-    /// unlimited budget.
-    pub fn new(cache: CacheConfig) -> Self {
-        Analyzer {
-            engine: Engine::new(cache),
-            options: AnalysisOptions::default(),
-            parallel: false,
-            threads: 0,
-            budget: Budget::unlimited(),
-            cancel: None,
-        }
-    }
-
-    /// Sets the session's per-query resource [`Budget`]. Exhausted
-    /// queries degrade to sound overcounts instead of failing (see
-    /// [`crate::Outcome`]).
-    pub fn budget(mut self, budget: Budget) -> Self {
-        self.budget = budget;
-        self
-    }
-
-    /// Installs a cooperative [`CancelToken`]: cancelling it (from any
-    /// thread) stops in-flight and subsequent queries at the next
-    /// checkpoint, degrading them like budget exhaustion.
-    pub fn cancel_token(mut self, token: CancelToken) -> Self {
-        self.cancel = Some(token);
-        self
-    }
-
-    /// Sets the session's default analysis options.
-    pub fn options(mut self, options: AnalysisOptions) -> Self {
-        self.options = options;
-        self
-    }
-
-    /// Spreads each analysis over the machine's cores.
-    pub fn parallel(mut self, on: bool) -> Self {
-        self.parallel = on;
-        self
-    }
-
-    /// Pins the work-pool width explicitly (overrides [`Analyzer::parallel`]).
-    pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
-        self
-    }
-
-    /// Enables or disables the engine's memoization.
-    pub fn caching(mut self, on: bool) -> Self {
-        self.engine.set_caching(on);
-        self
-    }
-
-    /// The cache geometry this session analyzes against.
-    pub fn cache(&self) -> &CacheConfig {
-        self.engine.cache()
-    }
-
-    /// The session's default options.
-    pub fn current_options(&self) -> &AnalysisOptions {
-        &self.options
-    }
-
-    /// Analyzes a nest with the session defaults. At the default
-    /// unlimited budget, results are bit-identical to
-    /// [`crate::analyze_nest`], warm or cold; under a session budget or
-    /// cancellation the counts degrade to a sound overcount (use
-    /// [`Analyzer::try_analyze`] to observe the [`crate::Outcome`] tag).
-    /// Panics on [`AnalysisError`] — worker panic or address overflow.
-    pub fn analyze(&mut self, nest: &LoopNest) -> NestAnalysis {
-        let options = self.options.clone();
-        self.analyze_with_options(nest, &options)
-    }
-
-    /// Analyzes with one-off options (e.g. an exact-counting pass) while
-    /// still sharing the session's memo tables. Panics on
-    /// [`AnalysisError`]; see [`Analyzer::try_analyze_with_options`].
-    pub fn analyze_with_options(
-        &mut self,
-        nest: &LoopNest,
-        options: &AnalysisOptions,
-    ) -> NestAnalysis {
-        match self.try_analyze_with_options(nest, options) {
-            Ok(governed) => governed.analysis,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// The governed, panic-free entry point: analyzes under the session's
-    /// budget and cancel token and reports how the query ended alongside
-    /// the (possibly degraded, always sound) counts.
-    ///
-    /// # Errors
-    ///
-    /// See [`Engine::try_analyze`].
-    pub fn try_analyze(&mut self, nest: &LoopNest) -> Result<GovernedAnalysis, AnalysisError> {
-        let options = self.options.clone();
-        self.try_analyze_with_options(nest, &options)
-    }
-
-    /// [`Analyzer::try_analyze`] with one-off options.
-    ///
-    /// # Errors
-    ///
-    /// See [`Engine::try_analyze`].
-    pub fn try_analyze_with_options(
-        &mut self,
-        nest: &LoopNest,
-        options: &AnalysisOptions,
-    ) -> Result<GovernedAnalysis, AnalysisError> {
-        let threads = self.thread_count();
-        let budget = self.budget;
-        let cancel = self.cancel.clone();
-        self.engine
-            .try_analyze(nest, options, threads, budget, cancel.as_ref())
-    }
-
-    /// Analyzes with the session options but with miss-point collection
-    /// forced on — the oracle-facing entry point of the differential test
-    /// harness (`cme-diffcheck`), which joins the returned
-    /// replacement/cold miss points against per-access simulator verdicts
-    /// from `cme_cache::simulate_nest_outcomes` to localize a
-    /// disagreement. Shares the session's memo tables: scans always
-    /// record their miss indices in the memo and `collect_miss_points`
-    /// only affects result assembly, so interleaving traced and plain
-    /// runs of the same nest stays fully memoized.
-    pub fn analyze_traced(&mut self, nest: &LoopNest) -> NestAnalysis {
-        let options = AnalysisOptions {
-            collect_miss_points: true,
-            ..self.options.clone()
-        };
-        self.analyze_with_options(nest, &options)
-    }
-
-    /// The symbolic CME system for a nest (generated, rebased, or reused).
-    pub fn system(&mut self, nest: &LoopNest) -> Arc<CmeSystem> {
-        let reuse = self.options.reuse.clone();
-        self.engine.system(nest, &reuse)
-    }
-
-    /// Snapshot of the engine's accounting.
-    pub fn stats(&self) -> EngineStats {
-        self.engine.stats()
-    }
-
-    /// Shared access to the underlying engine.
-    pub fn engine(&self) -> &Engine {
-        &self.engine
-    }
-
-    /// Mutable access to the underlying engine.
-    pub fn engine_mut(&mut self) -> &mut Engine {
-        &mut self.engine
-    }
-
-    fn thread_count(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else if self.parallel {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            1
-        }
-    }
-}
-
-#[cfg(test)]
-#[allow(deprecated)] // the legacy free functions are the equivalence baseline
-mod tests {
-    use super::*;
-    use cme_ir::{AccessKind, NestBuilder};
-
-    fn matmul(n: i64, bz: i64, bx: i64, by: i64) -> LoopNest {
-        let mut b = NestBuilder::new();
-        b.name("mmult");
-        b.ct_loop("i", 1, n).ct_loop("k", 1, n).ct_loop("j", 1, n);
-        let z = b.array("Z", &[n, n], bz);
-        let x = b.array("X", &[n, n], bx);
-        let y = b.array("Y", &[n, n], by);
-        b.reference(z, AccessKind::Read, &[("j", 0), ("i", 0)]);
-        b.reference(x, AccessKind::Read, &[("k", 0), ("i", 0)]);
-        b.reference(y, AccessKind::Read, &[("j", 0), ("k", 0)]);
-        b.reference(z, AccessKind::Write, &[("j", 0), ("i", 0)]);
-        b.build().unwrap()
-    }
-
-    #[test]
-    fn engine_matches_legacy_warm_and_cold() {
-        let cache = CacheConfig::new(2048, 2, 32, 4).unwrap();
-        let opts = AnalysisOptions::builder().collect_miss_points(true).build();
-        let mut analyzer = Analyzer::new(cache).options(opts.clone());
-        for bases in [[0, 300, 777], [0, 300, 777], [32, 300, 777], [5, 311, 801]] {
-            let nest = matmul(12, bases[0], bases[1], bases[2]);
-            let legacy = crate::solve::analyze_nest(&nest, cache, &opts);
-            let cold = analyzer.analyze(&nest);
-            let warm = analyzer.analyze(&nest);
-            assert_eq!(legacy, cold);
-            assert_eq!(legacy, warm);
-        }
-        let stats = analyzer.stats();
-        assert!(stats.cascades_reused > 0, "{stats}");
-        assert!(stats.scans_reused > 0, "{stats}");
-        assert!(stats.memo_hit_rate() > 0.0);
-    }
-
-    #[test]
-    fn engine_matches_legacy_with_epsilon_and_exact() {
-        let cache = CacheConfig::new(8192, 1, 32, 4).unwrap();
-        for opts in [
-            AnalysisOptions::builder().epsilon(200).build(),
-            AnalysisOptions::builder()
-                .exact_equation_counts(true)
-                .build(),
-            AnalysisOptions::builder().pointwise_windows(true).build(),
-        ] {
-            let nest = matmul(8, 0, 4096, 8192);
-            let legacy = crate::solve::analyze_nest(&nest, cache, &opts);
-            let mut analyzer = Analyzer::new(cache).options(opts.clone());
-            assert_eq!(legacy, analyzer.analyze(&nest));
-            assert_eq!(legacy, analyzer.analyze(&nest), "warm pass diverged");
-        }
-    }
-
-    #[test]
-    fn caching_off_is_a_passthrough() {
-        let cache = CacheConfig::new(1024, 1, 32, 4).unwrap();
-        let nest = matmul(6, 0, 100, 200);
-        let mut analyzer = Analyzer::new(cache).caching(false);
-        let a = analyzer.analyze(&nest);
-        let b = analyzer.analyze(&nest);
-        assert_eq!(a, b);
-        let stats = analyzer.stats();
-        assert_eq!(stats.passthroughs, 8, "4 refs x 2 analyses uncached");
-        assert_eq!(stats.cascades_built + stats.cascades_reused, 0);
-    }
-
-    #[test]
-    fn moving_one_array_reuses_other_cascades() {
-        let cache = CacheConfig::new(1024, 1, 32, 4).unwrap();
-        let ls = cache.line_elems();
-        let mut analyzer = Analyzer::new(cache);
-        let n1 = matmul(8, 0, 128, 256);
-        let n2 = matmul(8, 0, 128, 256 + ls); // move Y by a whole line
-        let legacy = crate::solve::analyze_nest(&n2, cache, &AnalysisOptions::default());
-        analyzer.analyze(&n1);
-        let built_before = analyzer.stats().cascades_built;
-        assert_eq!(analyzer.analyze(&n2), legacy);
-        // Every reference keeps B mod Ls, so no cascade is rebuilt.
-        assert_eq!(analyzer.stats().cascades_built, built_before);
-    }
-
-    #[test]
-    fn system_cache_generates_rebases_and_reuses() {
-        let cache = CacheConfig::new(1024, 1, 32, 4).unwrap();
-        let reuse = cme_reuse::ReuseOptions::default();
-        let mut engine = Engine::new(cache);
-        let n1 = matmul(8, 0, 128, 256);
-        let s1 = engine.system(&n1, &reuse);
-        let s1b = engine.system(&n1, &reuse);
-        assert!(Arc::ptr_eq(&s1, &s1b));
-        let n2 = matmul(8, 8, 130, 300);
-        let s2 = engine.system(&n2, &reuse);
-        assert_eq!(*s2, CmeSystem::generate(&n2, cache, &reuse));
-        let stats = engine.stats();
-        assert_eq!(stats.systems_generated, 1);
-        assert_eq!(stats.systems_rebased, 1);
-        assert_eq!(stats.systems_reused, 1);
-        assert!(stats.systems_saved() == 2);
-    }
-
-    #[test]
-    fn clear_caches_resets_tables_not_counters() {
-        let cache = CacheConfig::new(1024, 1, 32, 4).unwrap();
-        let nest = matmul(6, 0, 100, 200);
-        let mut analyzer = Analyzer::new(cache);
-        analyzer.analyze(&nest);
-        analyzer.engine().clear_caches();
-        let legacy = crate::solve::analyze_nest(&nest, cache, &AnalysisOptions::default());
-        assert_eq!(analyzer.analyze(&nest), legacy);
-        let stats = analyzer.stats();
-        assert_eq!(stats.analyses, 2);
-        assert!(stats.cascades_built >= 8, "rebuilt after clear");
-    }
-
-    #[test]
-    fn stats_helpers_on_zero_queries() {
-        let stats = EngineStats::default();
-        assert_eq!(stats.memo_hit_rate(), 0.0);
-        assert_eq!(stats.systems_saved(), 0);
-        // A fresh engine that has answered nothing reports the same.
-        let engine = Engine::new(CacheConfig::new(1024, 1, 32, 4).unwrap());
-        assert_eq!(engine.stats().memo_hit_rate(), 0.0);
-        assert_eq!(engine.stats().systems_saved(), 0);
-    }
-
-    #[test]
-    fn stats_helpers_saturate_instead_of_overflowing() {
-        let stats = EngineStats {
-            reuse_built: u64::MAX,
-            reuse_reused: u64::MAX,
-            cascades_built: u64::MAX,
-            cascades_reused: u64::MAX,
-            scans_executed: u64::MAX,
-            scans_reused: u64::MAX,
-            systems_rebased: u64::MAX,
-            systems_reused: u64::MAX,
-            ..EngineStats::default()
-        };
-        let rate = stats.memo_hit_rate();
-        assert!(rate.is_finite() && (0.0..=1.0).contains(&rate));
-        assert_eq!(rate, 1.0, "hits and total both saturate to u64::MAX");
-        assert_eq!(stats.systems_saved(), u64::MAX);
-    }
-
-    #[test]
-    fn stats_hit_rate_counts_all_three_memo_families() {
-        let stats = EngineStats {
-            reuse_built: 1,
-            reuse_reused: 1,
-            cascades_built: 1,
-            cascades_reused: 1,
-            scans_executed: 1,
-            scans_reused: 1,
-            ..EngineStats::default()
-        };
-        assert!((stats.memo_hit_rate() - 0.5).abs() < 1e-12);
-    }
-
-    #[test]
-    fn traced_analysis_collects_points_and_stays_memoized() {
-        let cache = CacheConfig::new(1024, 2, 32, 4).unwrap();
-        let nest = matmul(8, 0, 100, 200);
-        let mut analyzer = Analyzer::new(cache);
-        let plain = analyzer.analyze(&nest);
-        let traced = analyzer.analyze_traced(&nest);
-        assert_eq!(traced.total_misses(), plain.total_misses());
-        let collected: usize = traced
-            .per_ref
-            .iter()
-            .map(|r| r.replacement_miss_points.len() + r.cold_miss_points.len())
-            .sum();
-        assert_eq!(collected as u64, traced.total_misses());
-        assert!(
-            analyzer.stats().scans_reused > 0,
-            "traced re-analysis must reuse the plain run's scans"
-        );
-        // Session options are untouched.
-        assert!(!analyzer.current_options().collect_miss_points);
-    }
-
-    /// Miss points traced at k=8 — real cascade output, not synthetic
-    /// runs — survive run compression losslessly: same count, same
-    /// points, same lexicographic order, random access intact.
-    #[test]
-    fn traced_miss_points_at_k8_run_compress_losslessly() {
-        use crate::pointset::{PointSet, RunSet};
-        let cache = CacheConfig::new(512, 8, 16, 4).unwrap();
-        let nest = matmul(8, 0, 100, 200);
-        let traced = Analyzer::new(cache).analyze_traced(&nest);
-        assert!(traced.total_misses() > 0, "degenerate fixture");
-        for (ri, r) in traced.per_ref.iter().enumerate() {
-            let mut pts: Vec<Vec<i64>> = r
-                .cold_miss_points
-                .iter()
-                .cloned()
-                .chain(r.replacement_miss_points.iter().map(|(p, _)| p.clone()))
-                .collect();
-            pts.sort();
-            pts.dedup();
-            let mut ps = PointSet::new(nest.depth());
-            for p in &pts {
-                ps.push(p);
-            }
-            let rs = RunSet::from_point_set(&ps);
-            assert_eq!(rs.len(), ps.len(), "ref {ri}: count changed");
-            assert_eq!(rs.recount(), rs.len(), "ref {ri}: run totals drifted");
-            assert_eq!(rs.to_point_set(), ps, "ref {ri}: points changed");
-            for (idx, p) in pts.iter().enumerate() {
-                assert_eq!(&rs.point(idx as u64), p, "ref {ri}: random access");
-            }
-        }
     }
 }

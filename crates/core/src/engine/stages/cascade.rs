@@ -1,0 +1,397 @@
+//! Stage 4 — **cascade**: the window scans that settle each surviving
+//! point's fate — §3.2's replacement equations (Eq. 4), generalized to
+//! k-way LRU sets (§4.2: a point misses when at least `k` distinct
+//! interfering lines map into its set inside the reuse window).
+//!
+//! Each `(reference, reuse-vector)` scan is sharded into contiguous
+//! blocks of whole survivor runs ([`split_blocks`]) dispatched through
+//! the driver's work pool, and the per-block [`CascadeResult`]s are
+//! merged back in block order — so the merged outcome entering the memo
+//! tables is independent of the sharding.
+//!
+//! The default mode slides a [`SlidingWindow`] along each run, paying
+//! O(references) per point instead of O(window); exact-count and
+//! pointwise modes fall back to the per-point [`Scanner`] (their verdicts
+//! need per-perpetrator detail the window multiset does not keep), which
+//! still shards fine — contentions are per-point sums.
+
+use cme_cache::CacheConfig;
+use cme_reuse::ReuseVector;
+
+use crate::governor::QueryGovernor;
+use crate::pointset::RunSet;
+use crate::solve::{scan_interior, scan_interior_pointwise, AnalysisOptions, Scanner};
+use crate::window::{Geom, SlidingWindow, WindowStats};
+
+use super::super::stats::Counters;
+use super::lower::LoweredNest;
+
+/// The verdicts of one `(reference, reuse-vector)` batch of window scans,
+/// aligned with the solve set's `scan_set` order. Always the *merged*
+/// result over every shard — block boundaries never leak into the memo
+/// tables.
+#[derive(Debug, Clone)]
+pub(crate) struct CascadeResult {
+    pub(crate) replacement_misses: u64,
+    /// Per-perpetrator contention counts (all zero unless exact mode).
+    pub(crate) contentions: Vec<u64>,
+    /// Indices into the scan set of the points judged misses.
+    pub(crate) miss_indices: Vec<u64>,
+    /// Points the governor cut short, counted as misses (sound
+    /// overcount); nonzero outcomes must never enter the memo tables.
+    pub(crate) truncated: u64,
+}
+
+impl CascadeResult {
+    /// An all-zero accumulator for merging block results of a nest with
+    /// `nrefs` references.
+    pub(crate) fn empty(nrefs: usize) -> Self {
+        CascadeResult {
+            replacement_misses: 0,
+            contentions: vec![0; nrefs],
+            miss_indices: Vec::new(),
+            truncated: 0,
+        }
+    }
+}
+
+/// Minimum points per scan block: below this the dispatch overhead beats
+/// the parallelism.
+const MIN_BLOCK_POINTS: u64 = 4096;
+
+/// Shards a scan set into contiguous blocks of whole runs, sized so every
+/// worker gets a few blocks. A single oversized run still forms one block
+/// (runs are the sharding granularity).
+pub(crate) fn split_blocks(set: &RunSet, threads: usize) -> Vec<(usize, usize)> {
+    let nruns = set.run_count();
+    if nruns == 0 {
+        return Vec::new();
+    }
+    if threads <= 1 {
+        return vec![(0, nruns)];
+    }
+    let target = (set.len() / (threads as u64 * 4)).max(MIN_BLOCK_POINTS);
+    let mut blocks = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for ri in 0..nruns {
+        acc += set.run(ri).len();
+        if acc >= target {
+            blocks.push((start, ri + 1));
+            start = ri + 1;
+            acc = 0;
+        }
+    }
+    if start < nruns {
+        blocks.push((start, nruns));
+    }
+    blocks
+}
+
+/// Scans the reuse windows of the survivors in runs `run_lo..run_hi` of
+/// `points` along `rv` — the verdict half of Figure 6, with miss indices
+/// reported in the scan set's global order so per-block outcomes
+/// concatenate into the unsharded result.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scan_run_block(
+    lowered: &LoweredNest,
+    cache: &CacheConfig,
+    dest_idx: usize,
+    rv: &ReuseVector,
+    points: &RunSet,
+    run_lo: usize,
+    run_hi: usize,
+    options: &AnalysisOptions,
+    counters: &Counters,
+    gov: &QueryGovernor,
+) -> CascadeResult {
+    let nest = &*lowered.nest;
+    let addrs = &lowered.addrs;
+    let depth = nest.depth();
+    let inner = depth - 1;
+    let space = nest.space();
+    let k = cache.assoc() as usize;
+    let nrefs = addrs.len();
+    let dest_addr = &addrs[dest_idx];
+    let src_idx = rv.source().index();
+    let r = rv.vector();
+    let intra = rv.is_intra_iteration();
+    let geom = Geom::new(cache);
+    let mut contentions = vec![0u64; nrefs];
+    let mut replacement_misses = 0u64;
+    let mut miss_indices: Vec<u64> = Vec::new();
+    let mut i_buf = vec![0i64; depth];
+    let mut block_points = 0u64;
+    let mut truncated = 0u64;
+    // Governed runs check the budget every `chunk` points; at full budget
+    // the chunk spans the whole run, so the per-point loops below run
+    // exactly as before (one extra comparison per run).
+    let chunk: i64 = if gov.unlimited() { i64::MAX } else { 4096 };
+
+    if options.exact_equation_counts || options.pointwise_windows {
+        // Per-point scan.
+        let mut scanner = Scanner::new(cache, addrs, k, options.exact_equation_counts);
+        let mut p = vec![0i64; depth];
+        'runs_pointwise: for ri in run_lo..run_hi {
+            let run = points.run(ri);
+            i_buf[..inner].copy_from_slice(run.prefix);
+            let mut seg = run.lo;
+            while seg <= run.hi {
+                let seg_hi = run.hi.min(seg.saturating_add(chunk - 1));
+                if !gov.live() {
+                    truncated += count_rest_as_misses(
+                        points,
+                        ri,
+                        run_hi,
+                        seg,
+                        &mut miss_indices,
+                        &mut replacement_misses,
+                    );
+                    break 'runs_pointwise;
+                }
+                block_points += (seg_hi - seg + 1) as u64;
+                gov.charge((seg_hi - seg + 1) as u64);
+                for t in seg..=seg_hi {
+                    i_buf[inner] = t;
+                    let i = &i_buf;
+                    for l in 0..depth {
+                        p[l] = i[l] - r[l];
+                    }
+                    let a_dest = dest_addr.eval(i);
+                    let dline = geom.line(a_dest);
+                    scanner.reset(geom.set_of_line(dline), dline);
+                    let mut go = true;
+                    if intra {
+                        for s in (src_idx + 1)..dest_idx {
+                            if !scanner.check(i, s) {
+                                break;
+                            }
+                        }
+                    } else {
+                        // Tail of the source iteration (statements after the
+                        // source).
+                        for s in (src_idx + 1)..nrefs {
+                            if !scanner.check(&p, s) {
+                                go = false;
+                                break;
+                            }
+                        }
+                        // Whole iterations strictly between, row by row.
+                        if go {
+                            go = if options.pointwise_windows {
+                                scan_interior_pointwise(&mut scanner, &space, &p, i)
+                            } else {
+                                scan_interior(&mut scanner, &space, &p, i)
+                            };
+                        }
+                        // Head of the destination iteration (statements before
+                        // dest).
+                        if go {
+                            for s in 0..dest_idx {
+                                if !scanner.check(i, s) {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if options.exact_equation_counts {
+                        for (s, v) in scanner.per_perp.iter().enumerate() {
+                            contentions[s] += v.len() as u64;
+                        }
+                    }
+                    if scanner.distinct.len() >= k {
+                        replacement_misses += 1;
+                        miss_indices.push(run.start + (t - run.lo) as u64);
+                    }
+                }
+                seg = seg_hi + 1;
+            }
+        }
+        counters.absorb_scan(block_points, WindowStats::default());
+        gov.note_truncated(truncated);
+        return CascadeResult {
+            replacement_misses,
+            contentions,
+            miss_indices,
+            truncated,
+        };
+    }
+
+    // Fast mode: slide the window along each run. Inside one run the
+    // lockstep condition holds by construction, so the loop steps through
+    // per-reference address accumulators — no affine evaluation and no
+    // space checks per point; the endpoint side accesses fall out of the
+    // same accumulators (`w.src_addr(s)` is reference `s` at `p⃗`,
+    // `w.dst_addr(s)` at `i⃗`) and are deduplicated against the window and
+    // each other.
+    let mut w = SlidingWindow::new_for_space(cache, addrs, &space);
+    let mut p_buf = vec![0i64; depth];
+    let mut side: Vec<i64> = Vec::new();
+    let kk = k as u64;
+    'runs: for ri in run_lo..run_hi {
+        let run = points.run(ri);
+        i_buf[..inner].copy_from_slice(run.prefix);
+        if intra {
+            // No interior: only the statements strictly between the source
+            // and the destination, at i⃗ itself, with addresses accumulated
+            // along the run.
+            let mut dest_a = {
+                i_buf[inner] = run.lo;
+                dest_addr.eval(&i_buf)
+            };
+            let dest_stride = dest_addr.coeff(inner);
+            let mut side_a: Vec<i64> = addrs[(src_idx + 1)..dest_idx]
+                .iter()
+                .map(|a| a.eval(&i_buf))
+                .collect();
+            let side_strides: Vec<i64> = addrs[(src_idx + 1)..dest_idx]
+                .iter()
+                .map(|a| a.coeff(inner))
+                .collect();
+            let mut seg = run.lo;
+            while seg <= run.hi {
+                let seg_hi = run.hi.min(seg.saturating_add(chunk - 1));
+                if !gov.live() {
+                    truncated += count_rest_as_misses(
+                        points,
+                        ri,
+                        run_hi,
+                        seg,
+                        &mut miss_indices,
+                        &mut replacement_misses,
+                    );
+                    break 'runs;
+                }
+                block_points += (seg_hi - seg + 1) as u64;
+                gov.charge((seg_hi - seg + 1) as u64);
+                for t in seg..=seg_hi {
+                    let dline = geom.line(dest_a);
+                    let dset = geom.set_of_line(dline);
+                    let mut conflicts = 0;
+                    side.clear();
+                    for &addr in &side_a {
+                        if conflicts >= kk {
+                            break;
+                        }
+                        let line = geom.line(addr);
+                        if geom.set_of_line(line) == dset && line != dline && !side.contains(&line)
+                        {
+                            side.push(line);
+                            conflicts += 1;
+                        }
+                    }
+                    if conflicts >= kk {
+                        replacement_misses += 1;
+                        miss_indices.push(run.start + (t - run.lo) as u64);
+                    }
+                    dest_a += dest_stride;
+                    for (a, st) in side_a.iter_mut().zip(&side_strides) {
+                        *a += st;
+                    }
+                }
+                seg = seg_hi + 1;
+            }
+            continue;
+        }
+        // Position the window at the run's first point; every further
+        // point is one guaranteed-lockstep step.
+        i_buf[inner] = run.lo;
+        for l in 0..depth {
+            p_buf[l] = i_buf[l] - r[l];
+        }
+        w.begin_segment(&space, &p_buf, &i_buf, r);
+        let mut seg = run.lo;
+        while seg <= run.hi {
+            let seg_hi = run.hi.min(seg.saturating_add(chunk - 1));
+            if !gov.live() {
+                truncated += count_rest_as_misses(
+                    points,
+                    ri,
+                    run_hi,
+                    seg,
+                    &mut miss_indices,
+                    &mut replacement_misses,
+                );
+                break 'runs;
+            }
+            block_points += (seg_hi - seg + 1) as u64;
+            gov.charge((seg_hi - seg + 1) as u64);
+            for t in seg..=seg_hi {
+                if t > run.lo {
+                    w.step_in_segment();
+                }
+                let a_dest = w.dst_addr(dest_idx);
+                let dline = geom.line(a_dest);
+                let dset = geom.set_of_line(dline);
+                let mut conflicts = w.distinct_excluding(dset, dline);
+                side.clear();
+                // Tail of the source iteration, then head of the destination
+                // iteration.
+                for (at_src, lo_s, hi_s) in [(true, src_idx + 1, nrefs), (false, 0, dest_idx)] {
+                    for s in lo_s..hi_s {
+                        if conflicts >= kk {
+                            break;
+                        }
+                        let addr = if at_src { w.src_addr(s) } else { w.dst_addr(s) };
+                        let line = geom.line(addr);
+                        if geom.set_of_line(line) == dset
+                            && line != dline
+                            && !w.contains_line(line)
+                            && !side.contains(&line)
+                        {
+                            side.push(line);
+                            conflicts += 1;
+                        }
+                    }
+                }
+                if conflicts >= kk {
+                    replacement_misses += 1;
+                    miss_indices.push(run.start + (t - run.lo) as u64);
+                }
+            }
+            seg = seg_hi + 1;
+        }
+    }
+    counters.absorb_scan(block_points, w.stats);
+    gov.note_truncated(truncated);
+    CascadeResult {
+        replacement_misses,
+        contentions,
+        miss_indices,
+        truncated,
+    }
+}
+
+/// Degrades the unscanned tail of a block — everything from innermost
+/// index `from_t` of run `from_run` through run `run_hi - 1` — by counting
+/// every point as a replacement miss (indeterminate-treated-as-miss).
+/// Indices stay in global scan-set order, so merged outcomes remain
+/// well-formed. Returns the number of points degraded.
+fn count_rest_as_misses(
+    points: &RunSet,
+    from_run: usize,
+    run_hi: usize,
+    from_t: i64,
+    miss_indices: &mut Vec<u64>,
+    replacement_misses: &mut u64,
+) -> u64 {
+    let mut degraded = 0u64;
+    for ri in from_run..run_hi {
+        let run = points.run(ri);
+        let lo = if ri == from_run {
+            from_t.max(run.lo)
+        } else {
+            run.lo
+        };
+        if lo > run.hi {
+            continue;
+        }
+        for t in lo..=run.hi {
+            miss_indices.push(run.start + (t - run.lo) as u64);
+        }
+        let n = (run.hi - lo + 1) as u64;
+        *replacement_misses += n;
+        degraded += n;
+    }
+    degraded
+}

@@ -1,0 +1,280 @@
+//! Work accounting for the staged engine: internal atomic [`Counters`]
+//! and the public [`EngineStats`] snapshot.
+//!
+//! Counter families map onto the pipeline stages in `engine/stages/`:
+//!
+//! | stage    | artifact                     | built / reused counters        |
+//! |----------|------------------------------|--------------------------------|
+//! | lower    | `LoweredNest`                | `lowered_built/-reused`        |
+//! | reuse    | `ReusePlan`                  | `reuse_built/-reused`          |
+//! | solve    | `SolveSet`                   | `cascades_built/-reused`       |
+//! | cascade  | `CascadeResult`              | `scans_executed/scans_reused`  |
+//! | classify | `Classification`             | — (pure assembly, never cached)|
+//!
+//! (The `cascades_*`/`scans_*` names predate the stage split and are kept
+//! for output stability: a "cascade" counter counts solve-stage
+//! cold/indeterminate refinements, a "scan" counter counts cascade-stage
+//! window-scan batches.)
+//!
+//! Per-stage wall time: `time_lower`, `time_cascade`, and `time_classify`
+//! are driver wall time; `time_reuse` and `time_solve` are summed across
+//! pool workers (the two stages run fused inside the per-reference work
+//! items), so on a multi-threaded session they can exceed wall time.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::window::WindowStats;
+
+use super::Engine;
+
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub(crate) analyses: AtomicU64,
+    pub(crate) passthroughs: AtomicU64,
+    pub(crate) lowered_built: AtomicU64,
+    pub(crate) lowered_reused: AtomicU64,
+    pub(crate) reuse_built: AtomicU64,
+    pub(crate) reuse_reused: AtomicU64,
+    pub(crate) cascades_built: AtomicU64,
+    pub(crate) cascades_reused: AtomicU64,
+    pub(crate) scans_executed: AtomicU64,
+    pub(crate) scans_reused: AtomicU64,
+    pub(crate) systems_generated: AtomicU64,
+    pub(crate) systems_rebased: AtomicU64,
+    pub(crate) systems_reused: AtomicU64,
+    pub(crate) scan_points: AtomicU64,
+    pub(crate) scan_blocks: AtomicU64,
+    pub(crate) window_steps: AtomicU64,
+    pub(crate) window_rebuilds: AtomicU64,
+    pub(crate) window_rebuild_rows: AtomicU64,
+    pub(crate) peak_survivors: AtomicU64,
+    pub(crate) truncated_points: AtomicU64,
+    pub(crate) exhausted_analyses: AtomicU64,
+    pub(crate) worker_panics: AtomicU64,
+    pub(crate) lower_ns: AtomicU64,
+    pub(crate) reuse_ns: AtomicU64,
+    pub(crate) solve_ns: AtomicU64,
+    pub(crate) cascade_ns: AtomicU64,
+    pub(crate) classify_ns: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn absorb_scan(&self, points: u64, w: WindowStats) {
+        self.scan_points.fetch_add(points, Ordering::Relaxed);
+        self.scan_blocks.fetch_add(1, Ordering::Relaxed);
+        self.window_steps.fetch_add(w.steps, Ordering::Relaxed);
+        self.window_rebuilds
+            .fetch_add(w.rebuilds, Ordering::Relaxed);
+        self.window_rebuild_rows
+            .fetch_add(w.rebuild_rows, Ordering::Relaxed);
+    }
+
+    /// Adds an elapsed duration to one stage-time accumulator.
+    pub(crate) fn add_time(slot: &AtomicU64, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        slot.fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
+/// Snapshot of an [`Engine`]'s work accounting: per-stage artifacts
+/// generated vs reused, solver-memo traffic, and per-stage time.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Nest analyses run through the engine.
+    pub analyses: u64,
+    /// References analyzed uncached (caching off or nest too large).
+    pub passthroughs: u64,
+    /// Lower-stage artifacts (`LoweredNest`) computed.
+    pub lowered_built: u64,
+    /// Lower-stage artifacts answered from the memo.
+    pub lowered_reused: u64,
+    /// Reuse-vector sets computed.
+    pub reuse_built: u64,
+    /// Reuse-vector sets answered from the memo.
+    pub reuse_reused: u64,
+    /// Solve-stage cold/indeterminate refinements (`SolveSet`) computed.
+    pub cascades_built: u64,
+    /// Solve sets answered from the memo.
+    pub cascades_reused: u64,
+    /// Cascade-stage `(reference, reuse-vector)` scan batches executed.
+    pub scans_executed: u64,
+    /// Scan batches answered from the memo.
+    pub scans_reused: u64,
+    /// [`crate::CmeSystem`]s generated from scratch.
+    pub systems_generated: u64,
+    /// Cached systems re-targeted at a new layout (constant terms only).
+    pub systems_rebased: u64,
+    /// Cached systems returned verbatim.
+    pub systems_reused: u64,
+    /// Destination points whose reuse windows were scanned.
+    pub scan_points: u64,
+    /// Contiguous run blocks the scans were sharded into.
+    pub scan_blocks: u64,
+    /// Scan points reached by sliding the window incrementally.
+    pub window_steps: u64,
+    /// Full window rebuilds (row/prefix boundaries, shard starts).
+    pub window_rebuilds: u64,
+    /// Innermost rows aggregated during those rebuilds.
+    pub window_rebuild_rows: u64,
+    /// Largest indeterminate set entering any single reuse vector.
+    pub peak_survivors: u64,
+    /// Iteration points classified indeterminate-treated-as-miss because
+    /// a budget or cancellation cut their refinement short.
+    pub truncated_points: u64,
+    /// Analyses that ended [`crate::Outcome::Exhausted`].
+    pub exhausted_analyses: u64,
+    /// Worker panics caught at the pool boundary (each failed one query).
+    pub worker_panics: u64,
+    /// Diophantine/polytope solver memo hits (shared [`cme_math::SolveMemo`]).
+    pub solver_hits: u64,
+    /// Solver memo misses (counts actually computed).
+    pub solver_misses: u64,
+    /// Wall time in the lower stage (interning, address affines,
+    /// overflow validation).
+    pub time_lower: Duration,
+    /// Worker-summed time in the reuse stage (vector generation/lookup).
+    pub time_reuse: Duration,
+    /// Worker-summed time in the solve stage (cold/indeterminate
+    /// refinement; uncached passthrough references are charged here).
+    pub time_solve: Duration,
+    /// Wall time in the cascade stage (sharded window scans).
+    pub time_cascade: Duration,
+    /// Wall time in the classify stage (deterministic result assembly).
+    pub time_classify: Duration,
+}
+
+impl EngineStats {
+    /// Fraction of memo lookups (lower, reuse, solve, scan) answered from
+    /// cache; `0.0` when nothing was looked up.
+    pub fn memo_hit_rate(&self) -> f64 {
+        // Saturating: long-lived sessions (nightly fuzz runs) may drive
+        // individual counters arbitrarily high, and a diagnostic ratio
+        // must never panic on the sum.
+        let hits = self
+            .lowered_reused
+            .saturating_add(self.reuse_reused)
+            .saturating_add(self.cascades_reused)
+            .saturating_add(self.scans_reused);
+        let total = hits
+            .saturating_add(self.lowered_built)
+            .saturating_add(self.reuse_built)
+            .saturating_add(self.cascades_built)
+            .saturating_add(self.scans_executed);
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Total equation-system artifacts served without regeneration.
+    pub fn systems_saved(&self) -> u64 {
+        self.systems_rebased.saturating_add(self.systems_reused)
+    }
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "engine: {} analyses ({} uncached references)",
+            self.analyses, self.passthroughs
+        )?;
+        writeln!(
+            f,
+            "  lowered nests: {} built, {} reused",
+            self.lowered_built, self.lowered_reused
+        )?;
+        writeln!(
+            f,
+            "  reuse vectors: {} built, {} reused",
+            self.reuse_built, self.reuse_reused
+        )?;
+        writeln!(
+            f,
+            "  solve sets:    {} built, {} reused",
+            self.cascades_built, self.cascades_reused
+        )?;
+        writeln!(
+            f,
+            "  window scans:  {} executed, {} reused",
+            self.scans_executed, self.scans_reused
+        )?;
+        writeln!(
+            f,
+            "  scan points:   {} in {} blocks ({} stepped, {} rebuilds over {} rows)",
+            self.scan_points,
+            self.scan_blocks,
+            self.window_steps,
+            self.window_rebuilds,
+            self.window_rebuild_rows
+        )?;
+        writeln!(f, "  peak survivors: {} points", self.peak_survivors)?;
+        writeln!(
+            f,
+            "  degraded:      {} exhausted analyses ({} points truncated-as-miss), {} worker panics",
+            self.exhausted_analyses, self.truncated_points, self.worker_panics
+        )?;
+        writeln!(
+            f,
+            "  systems:       {} generated, {} rebased, {} reused",
+            self.systems_generated, self.systems_rebased, self.systems_reused
+        )?;
+        writeln!(
+            f,
+            "  solver memo:   {} hits, {} misses",
+            self.solver_hits, self.solver_misses
+        )?;
+        writeln!(f, "  memo hit rate: {:.1}%", self.memo_hit_rate() * 100.0)?;
+        write!(
+            f,
+            "  stages: lower {:.1?}, reuse {:.1?}, solve {:.1?}, cascade {:.1?}, classify {:.1?}",
+            self.time_lower,
+            self.time_reuse,
+            self.time_solve,
+            self.time_cascade,
+            self.time_classify
+        )
+    }
+}
+
+impl Engine {
+    /// Snapshot of the engine's accounting.
+    pub fn stats(&self) -> EngineStats {
+        let c = &self.counters;
+        let ns = |a: &AtomicU64| Duration::from_nanos(a.load(Ordering::Relaxed));
+        EngineStats {
+            analyses: c.analyses.load(Ordering::Relaxed),
+            passthroughs: c.passthroughs.load(Ordering::Relaxed),
+            lowered_built: c.lowered_built.load(Ordering::Relaxed),
+            lowered_reused: c.lowered_reused.load(Ordering::Relaxed),
+            reuse_built: c.reuse_built.load(Ordering::Relaxed),
+            reuse_reused: c.reuse_reused.load(Ordering::Relaxed),
+            cascades_built: c.cascades_built.load(Ordering::Relaxed),
+            cascades_reused: c.cascades_reused.load(Ordering::Relaxed),
+            scans_executed: c.scans_executed.load(Ordering::Relaxed),
+            scans_reused: c.scans_reused.load(Ordering::Relaxed),
+            systems_generated: c.systems_generated.load(Ordering::Relaxed),
+            systems_rebased: c.systems_rebased.load(Ordering::Relaxed),
+            systems_reused: c.systems_reused.load(Ordering::Relaxed),
+            scan_points: c.scan_points.load(Ordering::Relaxed),
+            scan_blocks: c.scan_blocks.load(Ordering::Relaxed),
+            window_steps: c.window_steps.load(Ordering::Relaxed),
+            window_rebuilds: c.window_rebuilds.load(Ordering::Relaxed),
+            window_rebuild_rows: c.window_rebuild_rows.load(Ordering::Relaxed),
+            peak_survivors: c.peak_survivors.load(Ordering::Relaxed),
+            truncated_points: c.truncated_points.load(Ordering::Relaxed),
+            exhausted_analyses: c.exhausted_analyses.load(Ordering::Relaxed),
+            worker_panics: c.worker_panics.load(Ordering::Relaxed),
+            solver_hits: self.solve_memo.hits(),
+            solver_misses: self.solve_memo.misses(),
+            time_lower: ns(&c.lower_ns),
+            time_reuse: ns(&c.reuse_ns),
+            time_solve: ns(&c.solve_ns),
+            time_cascade: ns(&c.cascade_ns),
+            time_classify: ns(&c.classify_ns),
+        }
+    }
+}

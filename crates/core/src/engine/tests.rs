@@ -1,0 +1,293 @@
+use super::*;
+use crate::equations::CmeSystem;
+use crate::governor::Outcome;
+use cme_ir::{AccessKind, NestBuilder};
+use std::time::Duration;
+
+fn matmul(n: i64, bz: i64, bx: i64, by: i64) -> LoopNest {
+    let mut b = NestBuilder::new();
+    b.name("mmult");
+    b.ct_loop("i", 1, n).ct_loop("k", 1, n).ct_loop("j", 1, n);
+    let z = b.array("Z", &[n, n], bz);
+    let x = b.array("X", &[n, n], bx);
+    let y = b.array("Y", &[n, n], by);
+    b.reference(z, AccessKind::Read, &[("j", 0), ("i", 0)]);
+    b.reference(x, AccessKind::Read, &[("k", 0), ("i", 0)]);
+    b.reference(y, AccessKind::Read, &[("j", 0), ("k", 0)]);
+    b.reference(z, AccessKind::Write, &[("j", 0), ("i", 0)]);
+    b.build().unwrap()
+}
+
+#[test]
+fn engine_matches_reference_warm_and_cold() {
+    let cache = CacheConfig::new(2048, 2, 32, 4).unwrap();
+    let opts = AnalysisOptions::builder().collect_miss_points(true).build();
+    let mut analyzer = Analyzer::new(cache).options(opts.clone());
+    for bases in [[0, 300, 777], [0, 300, 777], [32, 300, 777], [5, 311, 801]] {
+        let nest = matmul(12, bases[0], bases[1], bases[2]);
+        let reference = crate::solve::solve_nest(&nest, cache, &opts);
+        let cold = analyzer.analyze(&nest);
+        let warm = analyzer.analyze(&nest);
+        assert_eq!(reference, cold);
+        assert_eq!(reference, warm);
+    }
+    let stats = analyzer.stats();
+    assert!(stats.lowered_reused > 0, "{stats}");
+    assert!(stats.cascades_reused > 0, "{stats}");
+    assert!(stats.scans_reused > 0, "{stats}");
+    assert!(stats.memo_hit_rate() > 0.0);
+}
+
+#[test]
+fn engine_matches_reference_with_epsilon_and_exact() {
+    let cache = CacheConfig::new(8192, 1, 32, 4).unwrap();
+    for opts in [
+        AnalysisOptions::builder().epsilon(200).build(),
+        AnalysisOptions::builder()
+            .exact_equation_counts(true)
+            .build(),
+        AnalysisOptions::builder().pointwise_windows(true).build(),
+    ] {
+        let nest = matmul(8, 0, 4096, 8192);
+        let reference = crate::solve::solve_nest(&nest, cache, &opts);
+        let mut analyzer = Analyzer::new(cache).options(opts.clone());
+        assert_eq!(reference, analyzer.analyze(&nest));
+        assert_eq!(reference, analyzer.analyze(&nest), "warm pass diverged");
+    }
+}
+
+#[test]
+fn batch_is_bit_identical_to_per_nest_analyses() {
+    let cache = CacheConfig::new(2048, 2, 32, 4).unwrap();
+    let ls = cache.line_elems();
+    let nests: Vec<LoopNest> = vec![
+        matmul(10, 0, 300, 777),
+        matmul(10, 0, 300, 777 + ls), // shares structure + most artifacts
+        matmul(7, 5, 311, 801),       // different structure entirely
+    ];
+    let mut solo = Analyzer::new(cache).threads(3);
+    let one_by_one: Vec<NestAnalysis> = nests.iter().map(|n| solo.analyze(n)).collect();
+
+    let mut batched = Analyzer::new(cache).threads(3);
+    let ids: Vec<NestId> = nests.iter().map(|n| batched.intern(n)).collect();
+    let together = batched.analyze_batch(&ids);
+    assert_eq!(together, one_by_one);
+
+    // The batch shares memo tables across its nests: the layout twin
+    // reuses the first nest's reuse vectors and solve sets in the same
+    // call, and re-batching is a pure memo sweep.
+    let stats = batched.stats();
+    assert!(stats.cascades_reused > 0, "{stats}");
+    let built = stats.cascades_built;
+    assert_eq!(batched.analyze_batch(&ids), one_by_one);
+    assert_eq!(batched.stats().cascades_built, built, "warm batch rebuilt");
+}
+
+#[test]
+fn governed_batch_tags_outcomes_per_nest() {
+    let cache = CacheConfig::new(1024, 1, 32, 4).unwrap();
+    let mut analyzer = Analyzer::new(cache);
+    let ids = [
+        analyzer.intern(&matmul(6, 0, 100, 200)),
+        analyzer.intern(&matmul(8, 0, 128, 256)),
+    ];
+    let governed = analyzer.try_analyze_batch(&ids).unwrap();
+    assert_eq!(governed.len(), 2);
+    for g in &governed {
+        assert_eq!(g.outcome, Outcome::Complete);
+    }
+    assert_eq!(governed[0].analysis, analyzer.analyze_id(ids[0]));
+
+    // A cancelled batch degrades every nest to the sound all-cold bound.
+    let token = CancelToken::new();
+    token.cancel();
+    let mut cancelled = Analyzer::new(cache).cancel_token(token);
+    let ids = [
+        cancelled.intern(&matmul(6, 0, 100, 200)),
+        cancelled.intern(&matmul(8, 0, 128, 256)),
+    ];
+    let degraded = cancelled.try_analyze_batch(&ids).unwrap();
+    for (g, id) in degraded.iter().zip(ids) {
+        assert!(g.outcome.is_exhausted());
+        let space: u64 = cancelled.engine().db().nest(id).space().count();
+        let per_ref = cancelled.engine().db().nest(id).references().len() as u64;
+        assert_eq!(g.analysis.total_misses(), space * per_ref);
+    }
+}
+
+#[test]
+fn caching_off_is_a_passthrough() {
+    let cache = CacheConfig::new(1024, 1, 32, 4).unwrap();
+    let nest = matmul(6, 0, 100, 200);
+    let mut analyzer = Analyzer::new(cache).caching(false);
+    let a = analyzer.analyze(&nest);
+    let b = analyzer.analyze(&nest);
+    assert_eq!(a, b);
+    let stats = analyzer.stats();
+    assert_eq!(stats.passthroughs, 8, "4 refs x 2 analyses uncached");
+    assert_eq!(stats.cascades_built + stats.cascades_reused, 0);
+}
+
+#[test]
+fn moving_one_array_reuses_other_cascades() {
+    let cache = CacheConfig::new(1024, 1, 32, 4).unwrap();
+    let ls = cache.line_elems();
+    let mut analyzer = Analyzer::new(cache);
+    let n1 = matmul(8, 0, 128, 256);
+    let n2 = matmul(8, 0, 128, 256 + ls); // move Y by a whole line
+    let reference = crate::solve::solve_nest(&n2, cache, &AnalysisOptions::default());
+    analyzer.analyze(&n1);
+    let built_before = analyzer.stats().cascades_built;
+    assert_eq!(analyzer.analyze(&n2), reference);
+    // Every reference keeps B mod Ls, so no cascade is rebuilt.
+    assert_eq!(analyzer.stats().cascades_built, built_before);
+}
+
+#[test]
+fn system_cache_generates_rebases_and_reuses() {
+    let cache = CacheConfig::new(1024, 1, 32, 4).unwrap();
+    let reuse = cme_reuse::ReuseOptions::default();
+    let mut engine = Engine::new(cache);
+    let n1 = matmul(8, 0, 128, 256);
+    let s1 = engine.system(&n1, &reuse);
+    let s1b = engine.system(&n1, &reuse);
+    assert!(Arc::ptr_eq(&s1, &s1b));
+    let n2 = matmul(8, 8, 130, 300);
+    let s2 = engine.system(&n2, &reuse);
+    assert_eq!(*s2, CmeSystem::generate(&n2, cache, &reuse));
+    let stats = engine.stats();
+    assert_eq!(stats.systems_generated, 1);
+    assert_eq!(stats.systems_rebased, 1);
+    assert_eq!(stats.systems_reused, 1);
+    assert!(stats.systems_saved() == 2);
+}
+
+#[test]
+fn clear_caches_resets_tables_not_counters() {
+    let cache = CacheConfig::new(1024, 1, 32, 4).unwrap();
+    let nest = matmul(6, 0, 100, 200);
+    let mut analyzer = Analyzer::new(cache);
+    analyzer.analyze(&nest);
+    analyzer.engine().clear_caches();
+    let reference = crate::solve::solve_nest(&nest, cache, &AnalysisOptions::default());
+    assert_eq!(analyzer.analyze(&nest), reference);
+    let stats = analyzer.stats();
+    assert_eq!(stats.analyses, 2);
+    assert!(stats.cascades_built >= 8, "rebuilt after clear");
+}
+
+#[test]
+fn stage_times_are_populated() {
+    let cache = CacheConfig::new(2048, 2, 32, 4).unwrap();
+    let mut analyzer = Analyzer::new(cache);
+    analyzer.analyze(&matmul(12, 0, 300, 777));
+    let stats = analyzer.stats();
+    assert!(stats.time_lower > Duration::ZERO, "{stats}");
+    assert!(stats.time_reuse > Duration::ZERO, "{stats}");
+    assert!(stats.time_solve > Duration::ZERO, "{stats}");
+    assert!(stats.time_cascade > Duration::ZERO, "{stats}");
+    assert!(stats.time_classify > Duration::ZERO, "{stats}");
+}
+
+#[test]
+fn stats_helpers_on_zero_queries() {
+    let stats = EngineStats::default();
+    assert_eq!(stats.memo_hit_rate(), 0.0);
+    assert_eq!(stats.systems_saved(), 0);
+    // A fresh engine that has answered nothing reports the same.
+    let engine = Engine::new(CacheConfig::new(1024, 1, 32, 4).unwrap());
+    assert_eq!(engine.stats().memo_hit_rate(), 0.0);
+    assert_eq!(engine.stats().systems_saved(), 0);
+}
+
+#[test]
+fn stats_helpers_saturate_instead_of_overflowing() {
+    let stats = EngineStats {
+        lowered_built: u64::MAX,
+        lowered_reused: u64::MAX,
+        reuse_built: u64::MAX,
+        reuse_reused: u64::MAX,
+        cascades_built: u64::MAX,
+        cascades_reused: u64::MAX,
+        scans_executed: u64::MAX,
+        scans_reused: u64::MAX,
+        systems_rebased: u64::MAX,
+        systems_reused: u64::MAX,
+        ..EngineStats::default()
+    };
+    let rate = stats.memo_hit_rate();
+    assert!(rate.is_finite() && (0.0..=1.0).contains(&rate));
+    assert_eq!(rate, 1.0, "hits and total both saturate to u64::MAX");
+    assert_eq!(stats.systems_saved(), u64::MAX);
+}
+
+#[test]
+fn stats_hit_rate_counts_all_four_memo_families() {
+    let stats = EngineStats {
+        lowered_built: 1,
+        lowered_reused: 1,
+        reuse_built: 1,
+        reuse_reused: 1,
+        cascades_built: 1,
+        cascades_reused: 1,
+        scans_executed: 1,
+        scans_reused: 1,
+        ..EngineStats::default()
+    };
+    assert!((stats.memo_hit_rate() - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn traced_analysis_collects_points_and_stays_memoized() {
+    let cache = CacheConfig::new(1024, 2, 32, 4).unwrap();
+    let nest = matmul(8, 0, 100, 200);
+    let mut analyzer = Analyzer::new(cache);
+    let plain = analyzer.analyze(&nest);
+    let traced = analyzer.analyze_traced(&nest);
+    assert_eq!(traced.total_misses(), plain.total_misses());
+    let collected: usize = traced
+        .per_ref
+        .iter()
+        .map(|r| r.replacement_miss_points.len() + r.cold_miss_points.len())
+        .sum();
+    assert_eq!(collected as u64, traced.total_misses());
+    assert!(
+        analyzer.stats().scans_reused > 0,
+        "traced re-analysis must reuse the plain run's scans"
+    );
+    // Session options are untouched.
+    assert!(!analyzer.current_options().collect_miss_points);
+}
+
+/// Miss points traced at k=8 — real cascade output, not synthetic
+/// runs — survive run compression losslessly: same count, same
+/// points, same lexicographic order, random access intact.
+#[test]
+fn traced_miss_points_at_k8_run_compress_losslessly() {
+    use crate::pointset::{PointSet, RunSet};
+    let cache = CacheConfig::new(512, 8, 16, 4).unwrap();
+    let nest = matmul(8, 0, 100, 200);
+    let traced = Analyzer::new(cache).analyze_traced(&nest);
+    assert!(traced.total_misses() > 0, "degenerate fixture");
+    for (ri, r) in traced.per_ref.iter().enumerate() {
+        let mut pts: Vec<Vec<i64>> = r
+            .cold_miss_points
+            .iter()
+            .cloned()
+            .chain(r.replacement_miss_points.iter().map(|(p, _)| p.clone()))
+            .collect();
+        pts.sort();
+        pts.dedup();
+        let mut ps = PointSet::new(nest.depth());
+        for p in &pts {
+            ps.push(p);
+        }
+        let rs = RunSet::from_point_set(&ps);
+        assert_eq!(rs.len(), ps.len(), "ref {ri}: count changed");
+        assert_eq!(rs.recount(), rs.len(), "ref {ri}: run totals drifted");
+        assert_eq!(rs.to_point_set(), ps, "ref {ri}: points changed");
+        for (idx, p) in pts.iter().enumerate() {
+            assert_eq!(&rs.point(idx as u64), p, "ref {ri}: random access");
+        }
+    }
+}

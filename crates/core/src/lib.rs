@@ -28,10 +28,13 @@
 //!   exactly over the iteration space with per-reuse-vector accounting
 //!   (reproducing Figure 8's progress table) and the `ε` precision/time
 //!   knob.
-//! - [`engine`] — the incremental analysis engine behind [`Analyzer`]:
-//!   memoizes reuse vectors, cold/indeterminate cascades, window-scan
-//!   verdicts, and generated equation systems across the candidate nests
-//!   of an optimizer search (see `docs/ENGINE.md`).
+//! - [`engine`] — the staged analysis pipeline behind [`Analyzer`]:
+//!   nests are interned into a program database
+//!   ([`cme_ir::ProgramDb`], re-exported here as [`ProgramDb`]) and run
+//!   through `lower → reuse → solve → cascade → classify`, with each
+//!   stage's artifact memoized across the candidate nests of an optimizer
+//!   search; [`Analyzer::analyze_batch`] analyzes many interned nests in
+//!   one shared-pool session (see `docs/ENGINE.md`).
 //! - [`governor`] — the resource governor: per-query [`Budget`]s,
 //!   cooperative [`CancelToken`]s, and graceful degradation of exhausted
 //!   queries to sound overcounts (the paper's `ε > 0` semantics), plus
@@ -78,13 +81,12 @@ pub mod solve;
 mod window;
 
 pub use accuracy::{compare_with_simulation, AccuracyRow};
+pub use cme_ir::{NestId, ProgramDb};
 pub use engine::{Analyzer, Engine, EngineStats};
 pub use equations::{CmeSystem, ColdEquation, EquationGroup, RefEquations, ReplacementEquation};
 pub use governor::{AnalysisError, Budget, CancelToken, ExhaustReason, GovernedAnalysis, Outcome};
 pub use pointset::{PointSet, Run, RunSet};
 pub use sequence::{analyze_sequence, SequenceAnalysis};
-#[allow(deprecated)]
-pub use solve::{analyze_nest, analyze_nest_parallel, analyze_reference};
 pub use solve::{
     AnalysisOptions, AnalysisOptionsBuilder, InvalidOptions, NestAnalysis, RefAnalysis,
     VectorReport,

@@ -13,7 +13,7 @@
 //! [`cme_cache::simulate_sequence`] provides the warm ground truth the
 //! bound is validated against. Closing the gap with true inter-nest reuse
 //! vectors is the paper's (and this crate's) future work; the paper notes
-//! most inter-nest misses occur between *adjacent* nests [16].
+//! most inter-nest misses occur between *adjacent* nests \[16\].
 
 use crate::engine::Analyzer;
 use crate::solve::{AnalysisOptions, NestAnalysis};

@@ -24,10 +24,13 @@ use crate::pointset::PointSet;
 use cme_cache::CacheConfig;
 use cme_ir::{LoopNest, RefId};
 use cme_math::Affine;
-use cme_reuse::{reuse_vectors, ReuseOptions, ReuseVector};
+#[cfg(test)]
+use cme_reuse::reuse_vectors;
+use cme_reuse::{ReuseOptions, ReuseVector};
 use std::fmt;
 
-/// Options for [`analyze_nest`] / [`analyze_reference`].
+/// Options controlling the miss-finding algorithm (used by every
+/// [`crate::Analyzer`] entry point).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AnalysisOptions {
     /// How reuse vectors are generated.
@@ -279,7 +282,7 @@ impl fmt::Display for NestAnalysis {
 
 /// Window scanner: accumulates the distinct conflicting memory lines seen in
 /// one reuse window (the semantic evaluation of the replacement equations).
-/// Shared between the legacy drivers below and the incremental engine
+/// Shared between the scan helpers below and the engine's cascade stage
 /// ([`crate::engine`]).
 pub(crate) struct Scanner<'a> {
     cache: &'a CacheConfig,
@@ -515,18 +518,13 @@ pub(crate) fn scan_interior(
 }
 
 /// Analyzes one reference with an explicit reuse-vector list (already in
-/// processing order). This is the entry point used to reproduce Figure 8
-/// with exactly the paper's three vectors.
-///
-/// This is the *reference implementation* of the miss-finding algorithm:
-/// one monolithic pass per reuse vector, no caching. The incremental
-/// engine ([`crate::Analyzer`]) is validated against it bit for bit.
-#[deprecated(
-    since = "0.2.0",
-    note = "use cme_core::Analyzer for analysis sessions; this free function \
-            is kept as the uncached reference implementation"
-)]
-pub fn analyze_reference(
+/// processing order) — the *reference implementation* of the miss-finding
+/// algorithm: one monolithic pass per reuse vector, no caching. The
+/// staged engine ([`crate::Analyzer`]) is validated against it bit for
+/// bit, runs it verbatim when caching is off, and exposes it publicly as
+/// [`crate::Analyzer::analyze_reference_with_vectors`] (the Figure 8
+/// entry point with exactly the paper's three vectors).
+pub(crate) fn solve_reference(
     nest: &LoopNest,
     cache: CacheConfig,
     dest: RefId,
@@ -694,16 +692,12 @@ pub fn analyze_reference(
 /// Analyzes every reference of a nest: generates its reuse vectors
 /// (Figure 3) and runs the miss-finding algorithm (Figure 6).
 ///
-/// This is the uncached *reference implementation*; prefer
-/// [`crate::Analyzer`], which produces bit-identical results and reuses
-/// work across repeated analyses (optimizer searches).
-#[deprecated(
-    since = "0.2.0",
-    note = "use cme_core::Analyzer for analysis sessions; this free function \
-            is kept as the uncached reference implementation"
-)]
-#[allow(deprecated)]
-pub fn analyze_nest(
+/// The uncached *reference implementation* — equivalent to a one-shot
+/// [`crate::Analyzer`] session with `.caching(false)`, which is the
+/// public spelling. Kept test-only as the bit-for-bit baseline of the
+/// engine's unit tests.
+#[cfg(test)]
+pub(crate) fn solve_nest(
     nest: &LoopNest,
     cache: CacheConfig,
     options: &AnalysisOptions,
@@ -713,7 +707,7 @@ pub fn analyze_nest(
         .iter()
         .map(|r| {
             let rvs = reuse_vectors(nest, &cache, r.id(), &options.reuse);
-            analyze_reference(nest, cache, r.id(), &rvs, options)
+            solve_reference(nest, cache, r.id(), &rvs, options)
         })
         .collect();
     NestAnalysis {
@@ -723,34 +717,7 @@ pub fn analyze_nest(
     }
 }
 
-/// [`analyze_nest`] with the work spread over a thread pool.
-///
-/// The per-reference analyses of the miss-finding algorithm are completely
-/// independent (each reference carries its own indeterminate set), so the
-/// result is bit-identical to the sequential version; wall-clock scales
-/// with the number of references on big nests.
-///
-/// This shim drives a one-shot [`crate::Analyzer`] session (the
-/// `(reference × reuse-vector)` work pool of the incremental engine);
-/// construct the `Analyzer` yourself to keep its caches warm across calls.
-#[deprecated(
-    since = "0.2.0",
-    note = "use cme_core::Analyzer::new(cache).parallel(true) so engine \
-            caches survive across analyses"
-)]
-pub fn analyze_nest_parallel(
-    nest: &LoopNest,
-    cache: CacheConfig,
-    options: &AnalysisOptions,
-) -> NestAnalysis {
-    crate::Analyzer::new(cache)
-        .options(options.clone())
-        .parallel(true)
-        .analyze(nest)
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the legacy free functions are the subject under test
 mod tests {
     use super::*;
     use cme_cache::simulate_nest;
@@ -781,7 +748,7 @@ mod tests {
         let a = b.array("A", &[256], 0);
         b.reference(a, AccessKind::Read, &[("i", 0)]);
         let nest = b.build().unwrap();
-        let analysis = analyze_nest(&nest, table1_cache(), &AnalysisOptions::default());
+        let analysis = solve_nest(&nest, table1_cache(), &AnalysisOptions::default());
         assert_eq!(analysis.total_misses(), 32);
         assert_eq!(analysis.total_cold(), 32);
         assert_eq!(analysis.total_replacement(), 0);
@@ -791,7 +758,7 @@ mod tests {
     fn matches_simulator_on_small_matmul_direct_mapped() {
         let nest = matmul(16, 4192, 2136, 96);
         let cache = table1_cache();
-        let analysis = analyze_nest(&nest, cache, &AnalysisOptions::default());
+        let analysis = solve_nest(&nest, cache, &AnalysisOptions::default());
         let sim = simulate_nest(&nest, cache);
         assert_eq!(
             analysis.total_misses(),
@@ -837,7 +804,7 @@ mod tests {
             collect_miss_points: true,
             ..AnalysisOptions::default()
         };
-        let analysis = analyze_nest(nest, cache, &opts);
+        let analysis = solve_nest(nest, cache, &opts);
         for (r, ra) in analysis.per_ref.iter().enumerate() {
             let mut cme_points: std::collections::HashSet<Vec<i64>> =
                 ra.cold_miss_points.iter().cloned().collect();
@@ -875,7 +842,7 @@ mod tests {
     fn matches_simulator_on_small_matmul_two_way() {
         let nest = matmul(16, 4192, 2136, 96);
         let cache = CacheConfig::new(2048, 2, 32, 4).unwrap();
-        let analysis = analyze_nest(&nest, cache, &AnalysisOptions::default());
+        let analysis = solve_nest(&nest, cache, &AnalysisOptions::default());
         let sim = simulate_nest(&nest, cache);
         assert_eq!(analysis.total_misses(), sim.total().misses());
     }
@@ -891,7 +858,7 @@ mod tests {
         b.reference(c, AccessKind::Write, &[("i", 0)]);
         let nest = b.build().unwrap();
         let cache = table1_cache();
-        let analysis = analyze_nest(&nest, cache, &AnalysisOptions::default());
+        let analysis = solve_nest(&nest, cache, &AnalysisOptions::default());
         let sim = simulate_nest(&nest, cache);
         assert_eq!(analysis.total_misses(), sim.total().misses());
         assert_eq!(analysis.total_replacement(), sim.total().replacement);
@@ -909,7 +876,7 @@ mod tests {
         b.reference(c, AccessKind::Write, &[("i", 0)]);
         let nest = b.build().unwrap();
         let cache = CacheConfig::new(16384, 2, 32, 4).unwrap(); // 256 sets, 2-way
-        let analysis = analyze_nest(&nest, cache, &AnalysisOptions::default());
+        let analysis = solve_nest(&nest, cache, &AnalysisOptions::default());
         let sim = simulate_nest(&nest, cache);
         assert_eq!(analysis.total_replacement(), 0);
         assert_eq!(analysis.total_misses(), sim.total().misses());
@@ -919,8 +886,8 @@ mod tests {
     fn epsilon_stops_early_and_overcounts_conservatively() {
         let nest = matmul(8, 0, 4096, 8192);
         let cache = table1_cache();
-        let exact = analyze_nest(&nest, cache, &AnalysisOptions::default());
-        let loose = analyze_nest(
+        let exact = solve_nest(&nest, cache, &AnalysisOptions::default());
+        let loose = solve_nest(
             &nest,
             cache,
             &AnalysisOptions {
@@ -937,7 +904,7 @@ mod tests {
     fn per_vector_reports_are_consistent() {
         let nest = matmul(8, 0, 4096, 8192);
         let cache = table1_cache();
-        let analysis = analyze_nest(
+        let analysis = solve_nest(
             &nest,
             cache,
             &AnalysisOptions {
@@ -965,7 +932,7 @@ mod tests {
             assert_eq!(r.replacement_misses, cum);
         }
         // Exact-count mode must not change the verdicts.
-        let fast = analyze_nest(&nest, cache, &AnalysisOptions::default());
+        let fast = solve_nest(&nest, cache, &AnalysisOptions::default());
         assert_eq!(fast.total_misses(), analysis.total_misses());
     }
 
@@ -978,7 +945,7 @@ mod tests {
         b.reference(a, AccessKind::Read, &[("i", 0), ("i", 0)]);
         let nest = b.build().unwrap();
         let cache = table1_cache();
-        let analysis = analyze_nest(&nest, cache, &AnalysisOptions::default());
+        let analysis = solve_nest(&nest, cache, &AnalysisOptions::default());
         let sim = simulate_nest(&nest, cache);
         assert_eq!(analysis.total_misses(), 8);
         assert_eq!(sim.total().misses(), 8);
@@ -993,8 +960,11 @@ mod tests {
             collect_miss_points: true,
             ..AnalysisOptions::default()
         };
-        let serial = analyze_nest(&nest, cache, &opts);
-        let parallel = analyze_nest_parallel(&nest, cache, &opts);
+        let serial = solve_nest(&nest, cache, &opts);
+        let parallel = crate::Analyzer::new(cache)
+            .options(opts)
+            .parallel(true)
+            .analyze(&nest);
         assert_eq!(serial, parallel);
     }
 
@@ -1032,7 +1002,7 @@ mod tests {
     #[test]
     fn display_summarizes() {
         let nest = matmul(4, 0, 64, 128);
-        let analysis = analyze_nest(&nest, table1_cache(), &AnalysisOptions::default());
+        let analysis = solve_nest(&nest, table1_cache(), &AnalysisOptions::default());
         let s = analysis.to_string();
         assert!(s.contains("mmult"));
         assert!(s.contains("total:"));

@@ -2,7 +2,7 @@
 //! LRU cache simulator, at scale.
 //!
 //! After the incremental engine (PR 1) and the sliding-window cascade
-//! (PR 2), most correctness evidence was "bit-identical to the legacy
+//! (PR 2), most correctness evidence was "bit-identical to the reference
 //! path" — which silently preserves any bug both paths share. This crate
 //! holds the reproduction to the standard of the paper itself (Table 1
 //! validates CME against DineroIII): every `(nest, cache, ε)` case is
@@ -105,8 +105,9 @@ impl Oracle for CmeOracle {
         let mut analyzer = Analyzer::new(cache)
             .options(options)
             .threads(threads.max(1));
+        let id = analyzer.intern(nest);
         analyzer
-            .analyze(nest)
+            .analyze_id(id)
             .per_ref
             .iter()
             .map(|r| r.total_misses())
@@ -130,7 +131,8 @@ impl Oracle for CmeOracle {
         if let Some(token) = cancel {
             analyzer = analyzer.cancel_token(token.clone());
         }
-        match analyzer.try_analyze(nest) {
+        let id = analyzer.intern(nest);
+        match analyzer.try_analyze_id(id) {
             Ok(governed) => (
                 governed
                     .analysis

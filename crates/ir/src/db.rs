@@ -1,0 +1,298 @@
+//! The interned program database: [`ProgramDb`] deduplicates [`LoopNest`]s
+//! behind compact [`NestId`] handles and computes their invalidation
+//! hashes exactly once, at intern time.
+//!
+//! Every analysis artifact downstream (reuse vectors, cold/indeterminate
+//! solve sets, window-scan verdicts, generated equation systems) is keyed
+//! by some function of the nest. Before interning existed, each engine
+//! query re-walked the whole nest to hash its structure; with the
+//! database, a query resolves a [`NestId`] to two precomputed 128-bit
+//! hashes:
+//!
+//! - [`structural_hash`] — **base-invariant**: loop bounds, array extents
+//!   and origins, and per-reference subscript structure with address
+//!   constants taken *relative to the array base*. Candidate layouts that
+//!   only move arrays (padding/placement searches) share this hash, which
+//!   is what lets them share memoized analysis artifacts.
+//! - [`layout_hash`] — the base addresses only. Together with the
+//!   structural hash it pins the nest exactly (up to hash collision,
+//!   which the 128-bit double hash makes negligible; interning itself
+//!   additionally compares candidates for real equality, so two distinct
+//!   nests never share a `NestId`).
+//!
+//! The database is append-only: handles stay valid for its whole
+//! lifetime. Sessions are expected to be bounded (one optimizer search,
+//! one fuzz case), so no eviction is provided — evicting would invalidate
+//! outstanding handles.
+
+use crate::nest::LoopNest;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Accumulates one logical key into two independently seeded 64-bit
+/// hashers, concatenated into a 128-bit key by [`KeyHasher::finish`].
+///
+/// Memoized analysis artifacts are exact results, so a key collision
+/// would be silent — the 128-bit double hash makes that negligible. The
+/// `domain` seed separates key families (structural, layout, cascade,
+/// scan, …) so equal payloads in different families cannot alias.
+pub struct KeyHasher {
+    a: std::collections::hash_map::DefaultHasher,
+    b: std::collections::hash_map::DefaultHasher,
+}
+
+impl KeyHasher {
+    /// A fresh hasher for one key family.
+    pub fn new(domain: u64) -> Self {
+        let mut a = std::collections::hash_map::DefaultHasher::new();
+        let mut b = std::collections::hash_map::DefaultHasher::new();
+        // Distinct seeds: the two lanes must be independent functions.
+        a.write_u64(0x243f_6a88_85a3_08d3 ^ domain);
+        b.write_u64(0x1319_8a2e_0370_7344 ^ domain.rotate_left(17));
+        KeyHasher { a, b }
+    }
+
+    /// Resumes from a previously finished 128-bit prefix.
+    pub fn from_prefix(domain: u64, prefix: u128) -> Self {
+        let mut h = KeyHasher::new(domain);
+        h.feed(&(prefix as u64));
+        h.feed(&((prefix >> 64) as u64));
+        h
+    }
+
+    /// Feeds a value into both lanes.
+    pub fn feed<T: Hash + ?Sized>(&mut self, value: &T) -> &mut Self {
+        value.hash(&mut self.a);
+        value.hash(&mut self.b);
+        self
+    }
+
+    /// The concatenated 128-bit key.
+    pub fn finish(&self) -> u128 {
+        (u128::from(self.a.finish()) << 64) | u128::from(self.b.finish())
+    }
+}
+
+/// Identifies an interned [`LoopNest`] within one [`ProgramDb`].
+///
+/// Like [`crate::RefId`] and [`crate::ArrayId`], the handle is only
+/// meaningful with respect to the database that issued it; resolving it
+/// against another database panics if out of range (or silently names a
+/// different nest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NestId(u32);
+
+impl NestId {
+    /// The position of this nest in intern order.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "nest#{}", self.0)
+    }
+}
+
+/// The base-invariant structural hash of a nest: loop bound affines,
+/// array extents and origins, and per-reference array index plus address
+/// affine with the constant taken *relative to the array base*. Two nests
+/// that differ only in array base addresses hash equal; any change to
+/// bounds, subscripts, padding (strides), or reference order moves it.
+pub fn structural_hash(nest: &LoopNest) -> u128 {
+    let mut h = KeyHasher::new(0x51dc);
+    h.feed(&nest.depth());
+    for lp in nest.loops() {
+        h.feed(lp.lower().coeffs());
+        h.feed(&lp.lower().constant_term());
+        h.feed(lp.upper().coeffs());
+        h.feed(&lp.upper().constant_term());
+    }
+    h.feed(&nest.arrays().len());
+    for a in nest.arrays() {
+        h.feed(a.dims());
+        h.feed(a.origins());
+    }
+    h.feed(&nest.references().len());
+    for r in nest.references() {
+        let af = nest.address_affine(r.id());
+        h.feed(&r.array().index());
+        h.feed(af.coeffs());
+        h.feed(&(af.constant_term() - nest.array(r.array()).base()));
+    }
+    h.finish()
+}
+
+/// Hash of the full layout — every array base address, in declaration
+/// order. Complements [`structural_hash`]: structure plus layout pins the
+/// analysis inputs of a nest exactly.
+pub fn layout_hash(nest: &LoopNest) -> u128 {
+    let mut h = KeyHasher::new(0x1a07);
+    for a in nest.arrays() {
+        h.feed(&a.base());
+    }
+    h.finish()
+}
+
+#[derive(Debug)]
+struct Entry {
+    nest: Arc<LoopNest>,
+    structural: u128,
+    layout: u128,
+}
+
+/// An append-only interner of [`LoopNest`]s. See the module docs.
+#[derive(Debug, Default)]
+pub struct ProgramDb {
+    entries: Vec<Entry>,
+    /// Buckets keyed by `H(structural, layout)`; candidates within a
+    /// bucket are confirmed by full equality, so interning never aliases
+    /// two different nests even under a hash collision.
+    index: HashMap<u128, Vec<u32>>,
+}
+
+impl ProgramDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        ProgramDb::default()
+    }
+
+    /// Interns a nest: returns the existing handle if an equal nest
+    /// (structure, layout, names — full equality) was interned before,
+    /// otherwise stores a copy and returns a fresh handle.
+    pub fn intern(&mut self, nest: &LoopNest) -> NestId {
+        let structural = structural_hash(nest);
+        let layout = layout_hash(nest);
+        let mut h = KeyHasher::from_prefix(0x1db, structural);
+        h.feed(&(layout as u64)).feed(&((layout >> 64) as u64));
+        let bucket = h.finish();
+        if let Some(ids) = self.index.get(&bucket) {
+            for &ix in ids {
+                if *self.entries[ix as usize].nest == *nest {
+                    return NestId(ix);
+                }
+            }
+        }
+        let ix = u32::try_from(self.entries.len()).unwrap_or_else(|_| {
+            // 4 billion interned nests would exhaust memory long before
+            // this; keep the API panic-documented rather than fallible.
+            panic!("ProgramDb capacity exceeded")
+        });
+        self.entries.push(Entry {
+            nest: Arc::new(nest.clone()),
+            structural,
+            layout,
+        });
+        self.index.entry(bucket).or_default().push(ix);
+        NestId(ix)
+    }
+
+    /// Resolves a handle to its nest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this database.
+    pub fn nest(&self, id: NestId) -> &Arc<LoopNest> {
+        &self.entries[id.index()].nest
+    }
+
+    /// The precomputed base-invariant [`structural_hash`] of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this database.
+    pub fn structural_hash(&self, id: NestId) -> u128 {
+        self.entries[id.index()].structural
+    }
+
+    /// The precomputed [`layout_hash`] of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this database.
+    pub fn layout_hash(&self, id: NestId) -> u128 {
+        self.entries[id.index()].layout
+    }
+
+    /// Number of distinct nests interned.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NestBuilder;
+    use crate::nest::AccessKind;
+
+    fn nest_with_bases(bases: [i64; 2]) -> LoopNest {
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 1, 8).ct_loop("j", 1, 8);
+        let a = b.array("A", &[8, 8], bases[0]);
+        let c = b.array("B", &[8, 8], bases[1]);
+        b.reference(a, AccessKind::Read, &[("j", 0), ("i", 0)]);
+        b.reference(c, AccessKind::Write, &[("j", 0), ("i", 0)]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut db = ProgramDb::new();
+        let nest = nest_with_bases([0, 100]);
+        let id1 = db.intern(&nest);
+        let id2 = db.intern(&nest);
+        let id3 = db.intern(&nest.clone());
+        assert_eq!(id1, id2);
+        assert_eq!(id1, id3);
+        assert_eq!(db.len(), 1);
+        assert_eq!(**db.nest(id1), nest);
+    }
+
+    #[test]
+    fn distinct_layouts_get_distinct_ids_but_share_structure() {
+        let mut db = ProgramDb::new();
+        let id1 = db.intern(&nest_with_bases([0, 100]));
+        let id2 = db.intern(&nest_with_bases([64, 7]));
+        assert_ne!(id1, id2);
+        assert_eq!(db.structural_hash(id1), db.structural_hash(id2));
+        assert_ne!(db.layout_hash(id1), db.layout_hash(id2));
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn structural_hash_tracks_structure() {
+        let base = nest_with_bases([0, 100]);
+        let mut padded = nest_with_bases([0, 100]);
+        let first = padded.references()[0].array();
+        padded.array_mut(first).pad_column_to(9);
+        assert_ne!(
+            structural_hash(&base),
+            structural_hash(&padded),
+            "padding changes strides, so the structural hash must move"
+        );
+        assert_eq!(
+            structural_hash(&base),
+            structural_hash(&nest_with_bases([32, 4])),
+            "bases alone must not affect the structural hash"
+        );
+    }
+
+    #[test]
+    fn ids_index_in_intern_order() {
+        let mut db = ProgramDb::new();
+        let a = db.intern(&nest_with_bases([0, 100]));
+        let b = db.intern(&nest_with_bases([1, 100]));
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(format!("{b}"), "nest#1");
+    }
+}

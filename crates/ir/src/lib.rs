@@ -47,6 +47,7 @@
 
 pub mod array;
 pub mod builder;
+pub mod db;
 pub mod nest;
 pub mod parse;
 pub mod space;
@@ -56,6 +57,7 @@ pub mod validate;
 pub use array::{ArrayDecl, ArrayId};
 pub use builder::NestBuilder;
 pub use cme_math::Affine;
+pub use db::{KeyHasher, NestId, ProgramDb};
 pub use nest::{AccessKind, Loop, LoopNest, RefId, Reference};
 pub use space::IterationSpace;
 pub use validate::ValidateNestError;

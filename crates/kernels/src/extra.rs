@@ -154,7 +154,7 @@ pub fn stencil3d(n: i64) -> LoopNest {
 
 /// Strided sweep: reads every `stride`-th element of a vector — the
 /// textbook spatial-locality killer ("Unfavorable strides", Bailey 92,
-/// citation [4] of the paper).
+/// citation \[4\] of the paper).
 ///
 /// # Panics
 ///

@@ -44,8 +44,9 @@ impl fmt::Display for ParametricResult {
 
 /// Finds the parameter value in `range` minimizing `count(p)`.
 ///
-/// `count` is any miss-counting oracle (typically a closure wrapping
-/// [`cme_core::analyze_nest`] on a nest parameterized by `p`); `periods`
+/// `count` is any miss-counting oracle (typically a closure driving a
+/// [`cme_core::Analyzer`] session over a nest parameterized by `p`, so the
+/// samples share the engine's memo tables); `periods`
 /// are the candidate periodicities, normally the powers of two up to the
 /// cache size in elements.
 ///

@@ -315,8 +315,11 @@ pub fn optimize_padding_with(
     let mut evaluations = 0usize;
     let mut count = |analyzer: &mut Analyzer, column: i64, spacings: &[i64]| -> u64 {
         evaluations += 1;
-        let cand = layout_with(nest, &order, column, spacings);
-        match analyzer.try_analyze(&cand) {
+        // Intern the candidate and score it by handle: revisited layouts
+        // (the greedy sweeps back-track constantly) dedup in the program
+        // database and skip straight to the memoized stage artifacts.
+        let cand = analyzer.intern(&layout_with(nest, &order, column, spacings));
+        match analyzer.try_analyze_id(cand) {
             Ok(governed) => {
                 degraded_candidates += governed.outcome.is_exhausted() as usize;
                 governed.analysis.total_replacement()
@@ -428,7 +431,8 @@ pub fn optimize_padding_with(
     }
 
     let optimized = layout_with(nest, &order, best_col, &best_spacings);
-    let (replacement_after, total_after) = match analyzer.try_analyze(&optimized) {
+    let optimized_id = analyzer.intern(&optimized);
+    let (replacement_after, total_after) = match analyzer.try_analyze_id(optimized_id) {
         Ok(governed) => {
             degraded_candidates += governed.outcome.is_exhausted() as usize;
             (

@@ -1,0 +1,85 @@
+//! Structural guardrails for the staged engine (source-level checks).
+//!
+//! The pipeline `lower → reuse → solve → cascade → classify` is layered:
+//! each stage may consume artifacts of *earlier* stages only. A stage that
+//! quietly grows a dependency on a later stage (via `use super::<stage>` or
+//! an inline `super::<stage>::` path) collapses the layering and makes the
+//! per-stage memo keys unsound to reason about — so the dependency
+//! direction is enforced here, against the source tree itself.
+//!
+//! The second guard keeps `engine/mod.rs` a driver rather than a dumping
+//! ground: after the staged split it must stay under 650 lines.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Pipeline order; a stage may reference only strictly earlier stages.
+const STAGES: [&str; 5] = ["lower", "reuse", "solve", "cascade", "classify"];
+
+fn engine_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/cme; the engine lives in crates/core.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../core/src/engine")
+}
+
+/// Strips line comments (`//`, `///`, `//!`) so prose mentioning a stage
+/// name does not trip the dependency check.
+fn code_of(path: &Path) -> String {
+    let src = fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+    src.lines()
+        .map(|l| l.split("//").next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn stages_only_depend_on_earlier_stages() {
+    let dir = engine_dir().join("stages");
+    for (i, stage) in STAGES.iter().enumerate() {
+        let path = dir.join(format!("{stage}.rs"));
+        assert!(path.is_file(), "stage file {path:?} is missing");
+        let code = code_of(&path);
+        for later in &STAGES[i + 1..] {
+            // Cross-stage paths are spelled `super::<stage>`; the bare
+            // name would also match e.g. the crate-level `crate::solve`
+            // reference module, which is not a stage.
+            let needle = format!("super::{later}");
+            assert!(
+                !code.contains(&needle),
+                "stage `{stage}` references downstream stage `{later}` \
+                 (found `{needle}` in {path:?}); the pipeline only flows \
+                 forward"
+            );
+        }
+    }
+}
+
+#[test]
+fn stages_do_not_reach_into_the_driver() {
+    // Stages may share low-level accounting (`stats`) but must not use the
+    // driver's memo tables or key derivation directly — those belong to
+    // `engine/mod.rs`, which owns lookup-vs-rebuild policy.
+    let dir = engine_dir().join("stages");
+    for stage in STAGES {
+        let code = code_of(&dir.join(format!("{stage}.rs")));
+        for private in ["super::super::memo", "super::super::keys"] {
+            assert!(
+                !code.contains(private),
+                "stage `{stage}` reaches into the engine driver via `{private}`"
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_mod_stays_a_driver() {
+    let path = engine_dir().join("mod.rs");
+    let lines = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {path:?}: {e}"))
+        .lines()
+        .count();
+    assert!(
+        lines <= 650,
+        "engine/mod.rs has grown to {lines} lines (max 650); move logic \
+         into a stage, the memo layer, or the Analyzer module"
+    );
+}

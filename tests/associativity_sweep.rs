@@ -1,17 +1,27 @@
 //! The headline generalization of the paper: the same CME machinery is
 //! exact for caches of *arbitrary associativity*. Sweep k ∈ {1, 2, 4, 8,
 //! full} on several kernels and compare against the simulator.
-// These tests exercise the deprecated free-function entry points on
-// purpose: they are the legacy reference semantics the new `Analyzer`
-// engine is validated against (see `engine_equivalence.rs`).
-#![allow(deprecated)]
 
 use cme::cache::{simulate_nest, CacheConfig};
-use cme::core::{analyze_nest, AnalysisOptions};
+use cme::core::{AnalysisOptions, Analyzer};
 use cme::kernels;
 
+/// The uncached reference path: a one-shot `Analyzer` session with
+/// memoization disabled — bit-identical semantics to the monolithic
+/// miss-finding pass.
+fn baseline(
+    nest: &cme::ir::LoopNest,
+    cache: cme::cache::CacheConfig,
+    options: &AnalysisOptions,
+) -> cme::core::NestAnalysis {
+    Analyzer::new(cache)
+        .options(options.clone())
+        .caching(false)
+        .analyze(nest)
+}
+
 fn check(nest: &cme::ir::LoopNest, cache: CacheConfig) {
-    let analysis = analyze_nest(nest, cache, &AnalysisOptions::default());
+    let analysis = baseline(nest, cache, &AnalysisOptions::default());
     let sim = simulate_nest(nest, cache);
     assert_eq!(
         analysis.total_misses(),
@@ -66,7 +76,7 @@ fn gauss_sound_across_associativities() {
     let nest = kernels::gauss(12);
     for assoc in [1, 2, 4] {
         let cache = CacheConfig::new(512, assoc, 16, 4).unwrap();
-        let analysis = analyze_nest(&nest, cache, &AnalysisOptions::default());
+        let analysis = baseline(&nest, cache, &AnalysisOptions::default());
         let sim = simulate_nest(&nest, cache);
         assert!(
             analysis.total_misses() >= sim.total().misses(),
@@ -85,7 +95,7 @@ fn cme_count_monotone_in_ways_at_fixed_sets() {
         .iter()
         .map(|&(size, k)| {
             let cache = CacheConfig::new(size, k, 16, 4).unwrap();
-            analyze_nest(&nest, cache, &AnalysisOptions::default()).total_misses()
+            baseline(&nest, cache, &AnalysisOptions::default()).total_misses()
         })
         .collect();
     assert!(counts[1] <= counts[0], "{counts:?}");

@@ -6,8 +6,8 @@
 //! sharded into blocks scanned in parallel. None of that may change a
 //! single bit of the result: this suite compares the engine — sequential,
 //! sharded, and on the no-memo fast path taken by oversized nests — against
-//! the deprecated reference implementation (`analyze_reference`, via
-//! `analyze_nest`) on the paper's Table-1 matmul, the Figure-8
+//! the uncached reference path (an `Analyzer` session with memoization
+//! disabled) on the paper's Table-1 matmul, the Figure-8
 //! configuration, and a proptest corpus, for associativities
 //! k ∈ {1, 2, 4, 8, full}.
 //!
@@ -16,14 +16,26 @@
 //! (examined / cold / replacement / contention counts), and the collected
 //! miss-point sets including their order.
 
-#![allow(deprecated)]
-
 use cme::cache::CacheConfig;
-use cme::core::{analyze_nest, AnalysisOptions, Analyzer, NestAnalysis};
+use cme::core::{AnalysisOptions, Analyzer, NestAnalysis};
 use cme::ir::LoopNest;
 use cme::kernels::mmult_with_bases;
 use cme_testgen::{arb_cache, arb_nest, NestDistribution};
 use proptest::prelude::*;
+
+/// The uncached reference path: a one-shot `Analyzer` session with
+/// memoization disabled — bit-identical semantics to the monolithic
+/// miss-finding pass.
+fn baseline(
+    nest: &cme::ir::LoopNest,
+    cache: cme::cache::CacheConfig,
+    options: &AnalysisOptions,
+) -> cme::core::NestAnalysis {
+    Analyzer::new(cache)
+        .options(options.clone())
+        .caching(false)
+        .analyze(nest)
+}
 
 /// The Table-1 geometry (8 KB, 32-byte lines) at k ∈ {1, 2, 4, 8} plus a
 /// fully-associative variant (every line in one set — the k = Ns·k corner
@@ -66,15 +78,15 @@ fn assert_cascade_matches_reference(
     opts: &AnalysisOptions,
     what: &str,
 ) -> NestAnalysis {
-    let legacy = analyze_nest(nest, cache, opts);
+    let reference = baseline(nest, cache, opts);
     let seq = Analyzer::new(cache).options(opts.clone()).analyze(nest);
-    assert_eq!(legacy, seq, "sequential cascade diverged: {what}");
+    assert_eq!(reference, seq, "sequential cascade diverged: {what}");
     let sharded = Analyzer::new(cache)
         .options(opts.clone())
         .parallel(true)
         .threads(4)
         .analyze(nest);
-    assert_eq!(legacy, sharded, "sharded cascade diverged: {what}");
+    assert_eq!(reference, sharded, "sharded cascade diverged: {what}");
     // Force the no-memo fast path every Figure-8-scale nest takes.
     let mut big = Analyzer::new(cache)
         .options(opts.clone())
@@ -82,8 +94,8 @@ fn assert_cascade_matches_reference(
         .threads(4);
     big.engine_mut().set_max_cached_points(1);
     let uncached = big.analyze(nest);
-    assert_eq!(legacy, uncached, "uncached fast path diverged: {what}");
-    legacy
+    assert_eq!(reference, uncached, "uncached fast path diverged: {what}");
+    reference
 }
 
 #[test]
@@ -137,14 +149,14 @@ proptest! {
             .collect_miss_points(true)
             .exact_equation_counts(exact)
             .build();
-        let legacy = analyze_nest(&nest, cache, &opts);
+        let reference = baseline(&nest, cache, &opts);
         let seq = Analyzer::new(cache).options(opts.clone()).analyze(&nest);
-        prop_assert_eq!(&legacy, &seq, "sequential cascade diverged");
+        prop_assert_eq!(&reference, &seq, "sequential cascade diverged");
         let sharded = Analyzer::new(cache)
             .options(opts.clone())
             .parallel(true)
             .threads(3)
             .analyze(&nest);
-        prop_assert_eq!(&legacy, &sharded, "sharded cascade diverged");
+        prop_assert_eq!(&reference, &sharded, "sharded cascade diverged");
     }
 }

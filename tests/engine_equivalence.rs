@@ -1,20 +1,30 @@
-//! The incremental engine's correctness contract: an [`Analyzer`] session
-//! — cold or memo-warm, sequential or parallel, caching on or off — must
-//! produce **bit-identical** `NestAnalysis` results to the legacy
-//! sequential `analyze_nest`, across randomized nests, cache geometries,
+//! The staged engine's correctness contract: an [`Analyzer`] session
+//! — cold or memo-warm, sequential or parallel, batched or per-nest —
+//! must produce **bit-identical** `NestAnalysis` results to the uncached
+//! reference path, across randomized nests, cache geometries,
 //! and analysis options. Warmth is manufactured the way the optimizers do:
 //! by re-analyzing layout-mutated variants (moved bases, padded columns)
 //! of the same structure before the nest under test.
 
-// The legacy free functions are deprecated but deliberately kept as the
-// reference semantics; this suite is their consumer of record.
-#![allow(deprecated)]
-
 use cme::cache::CacheConfig;
-use cme::core::{analyze_nest, AnalysisOptions, Analyzer};
+use cme::core::{AnalysisOptions, Analyzer};
 use cme::ir::LoopNest;
 use cme_testgen::{arb_cache, arb_nest, NestDistribution};
 use proptest::prelude::*;
+
+/// The uncached reference path: a one-shot `Analyzer` session with
+/// memoization disabled — bit-identical semantics to the monolithic
+/// miss-finding pass.
+fn baseline(
+    nest: &cme::ir::LoopNest,
+    cache: cme::cache::CacheConfig,
+    options: &AnalysisOptions,
+) -> cme::core::NestAnalysis {
+    Analyzer::new(cache)
+        .options(options.clone())
+        .caching(false)
+        .analyze(nest)
+}
 
 /// A spread of option sets covering every verdict-relevant switch.
 fn option_sets() -> Vec<AnalysisOptions> {
@@ -60,29 +70,29 @@ proptest! {
 
     /// Cold engine, sequential and parallel, across the option matrix.
     #[test]
-    fn cold_sessions_match_legacy(
+    fn cold_sessions_match_reference(
         nest in arb_nest(NestDistribution::default()),
         cache in arb_cache(),
     ) {
         for opts in option_sets() {
-            let legacy = analyze_nest(&nest, cache, &opts);
+            let reference = baseline(&nest, cache, &opts);
             let seq = Analyzer::new(cache)
                 .options(opts.clone())
                 .analyze(&nest);
-            prop_assert_eq!(&legacy, &seq, "sequential engine diverged");
+            prop_assert_eq!(&reference, &seq, "sequential engine diverged");
             let par = Analyzer::new(cache)
                 .options(opts.clone())
                 .parallel(true)
                 .threads(3)
                 .analyze(&nest);
-            prop_assert_eq!(&legacy, &par, "parallel engine diverged");
+            prop_assert_eq!(&reference, &par, "parallel engine diverged");
         }
     }
 
     /// A memo-warm session (primed on layout siblings of the same nest
-    /// structure) still reproduces the legacy result bit for bit.
+    /// structure) still reproduces the reference result bit for bit.
     #[test]
-    fn warm_sessions_match_legacy(
+    fn warm_sessions_match_reference(
         nest in arb_nest(NestDistribution::default()),
         cache in arb_cache(),
         shift in 1i64..256,
@@ -95,7 +105,7 @@ proptest! {
             analyzer.analyze(&mutate_layout(&nest, 2 * shift, 0));
             let warm = analyzer.analyze(&nest);
             prop_assert_eq!(
-                &analyze_nest(&nest, cache, &opts),
+                &baseline(&nest, cache, &opts),
                 &warm,
                 "warm engine diverged (shift {}, pad {})",
                 shift,
@@ -106,24 +116,24 @@ proptest! {
 
     /// Re-analyzing the same nest from a hot memo is a pure cache replay
     /// and must be idempotent; with caching disabled the session is a
-    /// passthrough to the legacy path.
+    /// passthrough to the reference path.
     #[test]
-    fn replay_and_passthrough_match_legacy(
+    fn replay_and_passthrough_match_reference(
         nest in arb_nest(NestDistribution::default()),
         cache in arb_cache(),
     ) {
         let opts = AnalysisOptions::default();
-        let legacy = analyze_nest(&nest, cache, &opts);
+        let reference = baseline(&nest, cache, &opts);
         let mut analyzer = Analyzer::new(cache).options(opts.clone());
         let first = analyzer.analyze(&nest);
         let replay = analyzer.analyze(&nest);
         prop_assert_eq!(&first, &replay, "memo replay not idempotent");
-        prop_assert_eq!(&legacy, &replay);
+        prop_assert_eq!(&reference, &replay);
         let off = Analyzer::new(cache)
             .options(opts)
             .caching(false)
             .analyze(&nest);
-        prop_assert_eq!(&legacy, &off, "passthrough diverged");
+        prop_assert_eq!(&reference, &off, "passthrough diverged");
     }
 }
 
@@ -145,4 +155,38 @@ fn warm_reuse_actually_happens() {
         "layout move must reuse cached reuse vectors: {stats}"
     );
     assert!(stats.memo_hit_rate() > 0.0, "{stats}");
+    // The per-stage accounting must be live: every pipeline stage did real
+    // work here, so every stage clock must have advanced.
+    assert!(stats.lowered_built > 0, "{stats}");
+    assert!(stats.time_lower > std::time::Duration::ZERO, "{stats}");
+    assert!(stats.time_reuse > std::time::Duration::ZERO, "{stats}");
+    assert!(stats.time_solve > std::time::Duration::ZERO, "{stats}");
+    assert!(stats.time_cascade > std::time::Duration::ZERO, "{stats}");
+    assert!(stats.time_classify > std::time::Duration::ZERO, "{stats}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `analyze_batch` over a nest and its layout siblings is bit-identical
+    /// to analyzing each nest in its own cold session.
+    #[test]
+    fn batch_matches_per_nest_sessions(
+        nest in arb_nest(NestDistribution::default()),
+        cache in arb_cache(),
+        shift in 1i64..256,
+    ) {
+        let variants = [
+            nest.clone(),
+            mutate_layout(&nest, shift, 0),
+            mutate_layout(&nest, 2 * shift, 1),
+        ];
+        let solo: Vec<_> = variants
+            .iter()
+            .map(|n| Analyzer::new(cache).analyze(n))
+            .collect();
+        let mut batched = Analyzer::new(cache).threads(3);
+        let ids: Vec<_> = variants.iter().map(|n| batched.intern(n)).collect();
+        prop_assert_eq!(batched.analyze_batch(&ids), solo);
+    }
 }

@@ -1,16 +1,25 @@
 //! Metamorphic property tests: relationships that must hold between the
 //! analysis results of a nest and its transformed variants, fuzzed over
 //! the shared random-nest distribution of `cme-testgen`.
-// These tests exercise the deprecated free-function entry points on
-// purpose: they are the legacy reference semantics the new `Analyzer`
-// engine is validated against (see `engine_equivalence.rs`).
-#![allow(deprecated)]
-
 use cme::cache::{simulate_nest, CacheConfig};
-use cme::core::{analyze_nest, analyze_nest_parallel, AnalysisOptions};
+use cme::core::{AnalysisOptions, Analyzer};
 use cme::ir::transform::{interchange, strip_mine};
 use cme_testgen::{arb_cache, arb_nest, is_uniform, NestDistribution};
 use proptest::prelude::*;
+
+/// The uncached reference path: a one-shot `Analyzer` session with
+/// memoization disabled — bit-identical semantics to the monolithic
+/// miss-finding pass.
+fn baseline(
+    nest: &cme::ir::LoopNest,
+    cache: cme::cache::CacheConfig,
+    options: &AnalysisOptions,
+) -> cme::core::NestAnalysis {
+    Analyzer::new(cache)
+        .options(options.clone())
+        .caching(false)
+        .analyze(nest)
+}
 
 fn opts() -> AnalysisOptions {
     AnalysisOptions::default()
@@ -35,7 +44,7 @@ proptest! {
             (0..nest.depth()).rev().collect()
         };
         if let Ok(swapped) = interchange(&nest, &perm) {
-            let cme = analyze_nest(&swapped, cache, &opts()).total_misses();
+            let cme = baseline(&swapped, cache, &opts()).total_misses();
             let sim = simulate_nest(&swapped, cache).total().misses();
             prop_assert!(cme >= sim, "under-count after interchange:\n{swapped}");
         }
@@ -65,7 +74,7 @@ proptest! {
             simulate_nest(&nest, cache).total().misses(),
             "strip-mining altered the trace:\n{}", stripped
         );
-        let cme = analyze_nest(&stripped, cache, &opts()).total_misses();
+        let cme = baseline(&stripped, cache, &opts()).total_misses();
         let sim = simulate_nest(&stripped, cache).total().misses();
         prop_assert!(cme >= sim);
     }
@@ -78,7 +87,7 @@ proptest! {
         cache in arb_cache(),
     ) {
         prop_assume!(is_uniform(&nest));
-        let cme = analyze_nest(&nest, cache, &opts()).total_misses();
+        let cme = baseline(&nest, cache, &opts()).total_misses();
         let sim = simulate_nest(&nest, cache).total().misses();
         prop_assert_eq!(cme, sim, "inexact on uniform nest:\n{}\n{}", nest, cache);
     }
@@ -90,8 +99,11 @@ proptest! {
         nest in arb_nest(NestDistribution::default()),
         cache in arb_cache(),
     ) {
-        let a = analyze_nest(&nest, cache, &opts());
-        let b = analyze_nest_parallel(&nest, cache, &opts());
+        let a = baseline(&nest, cache, &opts());
+        let b = Analyzer::new(cache)
+            .options(opts())
+            .parallel(true)
+            .analyze(&nest);
         prop_assert_eq!(a, b);
     }
 
@@ -133,8 +145,8 @@ proptest! {
         cache in arb_cache(),
         eps in 1u64..4096,
     ) {
-        let exact = analyze_nest(&nest, cache, &opts()).total_misses();
-        let loose = analyze_nest(
+        let exact = baseline(&nest, cache, &opts()).total_misses();
+        let loose = baseline(
             &nest,
             cache,
             &AnalysisOptions { epsilon: eps, ..opts() },
@@ -150,8 +162,8 @@ proptest! {
         nest in arb_nest(NestDistribution::default()),
         cache in arb_cache(),
     ) {
-        let fast = analyze_nest(&nest, cache, &opts());
-        let slow = analyze_nest(
+        let fast = baseline(&nest, cache, &opts());
+        let slow = baseline(
             &nest,
             cache,
             &AnalysisOptions { pointwise_windows: true, ..opts() },
@@ -172,7 +184,7 @@ mod regressions {
     use cme::ir::{AccessKind, LoopNest, NestBuilder};
 
     fn battery(nest: &LoopNest, cache: CacheConfig) -> NestAnalysis {
-        let analysis = analyze_nest(nest, cache, &opts());
+        let analysis = baseline(nest, cache, &opts());
         let sim = simulate_nest(nest, cache).total().misses();
         assert!(
             analysis.total_misses() >= sim,
@@ -188,12 +200,15 @@ mod regressions {
         }
         assert_eq!(
             analysis,
-            analyze_nest_parallel(nest, cache, &opts()),
+            Analyzer::new(cache)
+                .options(opts())
+                .parallel(true)
+                .analyze(nest),
             "parallel analyzer diverged\n{nest}"
         );
         assert_eq!(
             analysis,
-            analyze_nest(
+            baseline(
                 nest,
                 cache,
                 &AnalysisOptions {

@@ -2,10 +2,6 @@
 //! LRU simulator (the methodology behind Table 2 and the Section 5
 //! examples).
 
-// The brute-force baseline below counts through the deprecated legacy
-// entry point on purpose (see `engine_equivalence.rs`).
-#![allow(deprecated)]
-
 use cme::cache::{simulate_nest, CacheConfig};
 use cme::core::AnalysisOptions;
 use cme::kernels;
@@ -131,12 +127,16 @@ fn selected_tile_beats_bad_tile() {
 #[test]
 fn parametric_spacing_matches_brute_force() {
     let cache = CacheConfig::new(1024, 1, 32, 4).unwrap(); // 256 elements
-    let count = |delta: i64| -> i64 {
+                                                           // One shared session: all sampled spacings are layout siblings, so the
+                                                           // engine re-scores them from its memo tables.
+    let mut analyzer = cme::core::Analyzer::new(cache);
+    let mut count = |delta: i64| -> i64 {
         let nest = kernels::alv_with_layout(16, 6, 16, 256 + delta);
-        cme::core::analyze_nest(&nest, cache, &AnalysisOptions::default()).total_misses() as i64
+        let id = analyzer.intern(&nest);
+        analyzer.analyze_id(id).total_misses() as i64
     };
     // Periodicity of the set mapping: the cache size in elements.
-    let res = cme::opt::optimize_parameter(count, 0..=255, &[8, 16, 32, 64, 128, 256]);
+    let res = cme::opt::optimize_parameter(&mut count, 0..=255, &[8, 16, 32, 64, 128, 256]);
     // Brute force over the whole range.
     let brute = (0..=255).map(count).min().unwrap();
     assert_eq!(res.best_misses, brute, "{res}");

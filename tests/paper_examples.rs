@@ -2,13 +2,8 @@
 //! end-to-end: the Section 2.4 cache-set expression, the Equation 5
 //! replacement CME, and the Figure 8 miss-finding progression (at a scaled
 //! size plus spot checks of the full-size structure).
-// These tests exercise the deprecated free-function entry points on
-// purpose: they are the legacy reference semantics the new `Analyzer`
-// engine is validated against (see `engine_equivalence.rs`).
-#![allow(deprecated)]
-
 use cme::cache::CacheConfig;
-use cme::core::{analyze_reference, AnalysisOptions, CmeSystem};
+use cme::core::{AnalysisOptions, Analyzer, CmeSystem};
 use cme::ir::{AccessKind, LoopNest, NestBuilder};
 use cme::kernels::mmult_with_bases;
 use cme::reuse::{reuse_vectors, ReuseKind, ReuseOptions, ReuseVector};
@@ -84,7 +79,9 @@ fn figure_8_progression_scaled() {
         exact_equation_counts: true,
         ..AnalysisOptions::default()
     };
-    let analysis = analyze_reference(&nest, cache, z_load, &rvs, &opts);
+    let analysis = Analyzer::new(cache)
+        .options(opts)
+        .analyze_reference_with_vectors(&nest, z_load, &rvs);
     assert_eq!(analysis.vectors.len(), 3);
     // Cold-CME solution counts: N^3/8 along r1, then N^2/8 along r2 and r3
     // (the paper's 2097152 / 8192 / 8192 at N = 256).
@@ -119,10 +116,10 @@ fn figure_8_vectors_suffice_for_z() {
         ReuseVector::new(vec![0, 1, -7], z_load, ReuseKind::SelfSpatial, -7),
         ReuseVector::new(vec![0, 1, 0], z_load, ReuseKind::SelfTemporal, 0),
     ];
-    let opts = AnalysisOptions::default();
-    let restricted = analyze_reference(&nest, cache, z_load, &three, &opts);
+    let mut analyzer = Analyzer::new(cache);
+    let restricted = analyzer.analyze_reference_with_vectors(&nest, z_load, &three);
     let auto_rvs = reuse_vectors(&nest, &cache, z_load, &ReuseOptions::default());
-    let full = analyze_reference(&nest, cache, z_load, &auto_rvs, &opts);
+    let full = analyzer.analyze_reference_with_vectors(&nest, z_load, &auto_rvs);
     assert!(restricted.total_misses() >= full.total_misses());
 }
 
@@ -132,17 +129,15 @@ fn figure_8_vectors_suffice_for_z() {
 fn epsilon_tradeoff_is_monotone() {
     let cache = CacheConfig::new(1024, 1, 32, 4).unwrap();
     let nest = mmult_with_bases(12, 0, 144, 288);
-    let exact = cme::core::analyze_nest(&nest, cache, &AnalysisOptions::default());
+    let exact = Analyzer::new(cache).analyze(&nest);
     let mut last = u64::MAX;
     for eps in [0u64, 16, 256, 4096, 1 << 20] {
-        let a = cme::core::analyze_nest(
-            &nest,
-            cache,
-            &AnalysisOptions {
+        let a = Analyzer::new(cache)
+            .options(AnalysisOptions {
                 epsilon: eps,
                 ..AnalysisOptions::default()
-            },
-        );
+            })
+            .analyze(&nest);
         assert!(a.total_misses() >= exact.total_misses(), "eps={eps}");
         // Larger tolerance can only stop earlier (weakly more misses) —
         // not guaranteed monotone pointwise, but must stay sound.
@@ -182,8 +177,8 @@ fn section_3_2_1_tiny_stream() {
     assert_eq!(clean.total().replacement, 0);
     assert_eq!(clean.total().misses(), 2);
     // The CME analysis reaches the same verdicts.
-    let cme_conf = cme::core::analyze_nest(&make(256), cache, &AnalysisOptions::default());
-    let cme_clean = cme::core::analyze_nest(&make(128), cache, &AnalysisOptions::default());
+    let cme_conf = Analyzer::new(cache).analyze(&make(256));
+    let cme_clean = Analyzer::new(cache).analyze(&make(128));
     assert_eq!(cme_conf.total_misses(), 9);
     assert_eq!(cme_clean.total_misses(), 2);
     assert_eq!(cme_clean.total_replacement(), 0);

@@ -1,0 +1,128 @@
+//! Properties of the interned program IR ([`cme::ir::ProgramDb`]): the
+//! engine's memo keys hang off the intern-time hashes, so interning must
+//! be injective (distinct nests never share a handle), idempotent (equal
+//! nests always share one), and the structural hash must be exactly
+//! layout-blind — invariant under base-address moves, sensitive to
+//! everything else.
+
+use cme::ir::db::{layout_hash, structural_hash};
+use cme::ir::{LoopNest, ProgramDb};
+use cme_testgen::{arb_nest, NestDistribution};
+use proptest::prelude::*;
+
+/// The distinct arrays of a nest, in first-reference order.
+fn array_ids(nest: &LoopNest) -> Vec<cme::ir::ArrayId> {
+    let mut ids = Vec::new();
+    for r in nest.references() {
+        if !ids.contains(&r.array()) {
+            ids.push(r.array());
+        }
+    }
+    ids
+}
+
+/// Clone with every array's base address zeroed — the structure-only view.
+fn zero_bases(nest: &LoopNest) -> LoopNest {
+    let mut out = nest.clone();
+    for id in array_ids(nest) {
+        out.array_mut(id).set_base(0);
+    }
+    out
+}
+
+/// Clone with every array's base shifted by a distinct multiple of `shift`.
+fn shift_bases(nest: &LoopNest, shift: i64) -> LoopNest {
+    let mut out = nest.clone();
+    for (k, id) in array_ids(nest).into_iter().enumerate() {
+        let base = out.array(id).base();
+        out.array_mut(id).set_base(base + shift * (k as i64 + 1));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Interning is idempotent (same nest → same handle, every time) and
+    /// the handle resolves back to an equal nest.
+    #[test]
+    fn intern_is_idempotent_and_round_trips(
+        nest in arb_nest(NestDistribution::default()),
+    ) {
+        let mut db = ProgramDb::new();
+        let id = db.intern(&nest);
+        prop_assert_eq!(db.intern(&nest), id, "re-interning moved the handle");
+        prop_assert_eq!(&**db.nest(id), &nest, "handle resolved to a different nest");
+        prop_assert_eq!(db.len(), 1, "idempotent interning must not grow the db");
+        prop_assert_eq!(db.structural_hash(id), structural_hash(&nest));
+        prop_assert_eq!(db.layout_hash(id), layout_hash(&nest));
+    }
+
+    /// Interning is injective: two nests share a handle iff they are
+    /// equal. Exercised over independent random nests plus a layout
+    /// sibling, the hardest near-collision case (equal structural hash,
+    /// different layout).
+    #[test]
+    fn intern_is_injective(
+        a in arb_nest(NestDistribution::default()),
+        b in arb_nest(NestDistribution::default()),
+        shift in 1i64..512,
+    ) {
+        let mut db = ProgramDb::new();
+        let variants = [a.clone(), b.clone(), shift_bases(&a, shift)];
+        let ids: Vec<_> = variants.iter().map(|n| db.intern(n)).collect();
+        for (i, ni) in variants.iter().enumerate() {
+            for (j, nj) in variants.iter().enumerate() {
+                prop_assert_eq!(
+                    ids[i] == ids[j],
+                    ni == nj,
+                    "handles must coincide exactly for equal nests ({} vs {})",
+                    i,
+                    j
+                );
+            }
+        }
+        for (id, nest) in ids.iter().zip(&variants) {
+            prop_assert_eq!(&**db.nest(*id), nest);
+        }
+    }
+
+    /// The structural hash is layout-blind: moving base addresses never
+    /// changes it (the memoized reuse/solve artifacts keyed by it stay
+    /// shared across layout candidates), while the layout hash moves.
+    #[test]
+    fn structural_hash_ignores_bases(
+        nest in arb_nest(NestDistribution::default()),
+        shift in 1i64..1024,
+    ) {
+        let moved = shift_bases(&nest, shift);
+        prop_assert_eq!(
+            structural_hash(&nest),
+            structural_hash(&moved),
+            "a pure base move changed the structural hash"
+        );
+        // A base move must change the layout hash.
+        prop_assert_ne!(layout_hash(&nest), layout_hash(&moved));
+    }
+
+    /// Equal structural hashes mean structurally equal nests: zeroing the
+    /// bases of a nest and any base-shifted sibling yields the *same*
+    /// nest, and nests that differ structurally (padded column) hash
+    /// apart.
+    #[test]
+    fn structural_hash_pins_structure(
+        nest in arb_nest(NestDistribution::default()),
+        shift in 1i64..1024,
+    ) {
+        let moved = shift_bases(&nest, shift);
+        prop_assert_eq!(zero_bases(&nest), zero_bases(&moved));
+
+        // Padding restrides an array: a structural change, not layout.
+        let mut padded = nest.clone();
+        let id = array_ids(&nest)[0];
+        let cols = padded.array(id).column_size();
+        padded.array_mut(id).pad_column_to(cols + 1);
+        // Padding must move the structural hash.
+        prop_assert_ne!(structural_hash(&nest), structural_hash(&padded));
+    }
+}

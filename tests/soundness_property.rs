@@ -7,15 +7,25 @@
 //! lexicographically-earliest same-line reuse vector is conservative with
 //! respect to LRU stack distance, so missing reuse vectors can only inflate
 //! the count.
-// These tests exercise the deprecated free-function entry points on
-// purpose: they are the legacy reference semantics the new `Analyzer`
-// engine is validated against (see `engine_equivalence.rs`).
-#![allow(deprecated)]
 
 use cme::cache::{simulate_nest, CacheConfig};
-use cme::core::{analyze_nest, AnalysisOptions};
+use cme::core::{AnalysisOptions, Analyzer};
 use cme::ir::{AccessKind, LoopNest, NestBuilder};
 use proptest::prelude::*;
+
+/// The uncached reference path: a one-shot `Analyzer` session with
+/// memoization disabled — bit-identical semantics to the monolithic
+/// miss-finding pass.
+fn baseline(
+    nest: &cme::ir::LoopNest,
+    cache: cme::cache::CacheConfig,
+    options: &AnalysisOptions,
+) -> cme::core::NestAnalysis {
+    Analyzer::new(cache)
+        .options(options.clone())
+        .caching(false)
+        .analyze(nest)
+}
 
 /// A random 2-deep nest with 1–3 arrays and 2–5 references with offset
 /// subscripts — all within the paper's program model.
@@ -82,7 +92,7 @@ proptest! {
     #[test]
     fn cme_never_undercounts(nest in arb_nest(), assoc in prop_oneof![Just(1i64), Just(2), Just(4)]) {
         let cache = CacheConfig::new(512, assoc, 16, 4).unwrap();
-        let analysis = analyze_nest(&nest, cache, &AnalysisOptions::default());
+        let analysis = baseline(&nest, cache, &AnalysisOptions::default());
         let sim = simulate_nest(&nest, cache);
         prop_assert!(
             analysis.total_misses() >= sim.total().misses(),
@@ -130,7 +140,7 @@ proptest! {
         b.reference(a, AccessKind::Read, &subs);
         let nest = b.build().unwrap();
         let cache = CacheConfig::new(512, assoc, 16, 4).unwrap();
-        let analysis = analyze_nest(&nest, cache, &AnalysisOptions::default());
+        let analysis = baseline(&nest, cache, &AnalysisOptions::default());
         let sim = simulate_nest(&nest, cache);
         prop_assert_eq!(analysis.total_misses(), sim.total().misses(), "\n{}", nest);
     }
@@ -152,7 +162,7 @@ proptest! {
         b.reference(c, AccessKind::Write, &[("i", 0), ("j", 0)]);
         let nest = b.build().unwrap();
         let cache = CacheConfig::new(512, 1, 16, 4).unwrap();
-        let analysis = analyze_nest(&nest, cache, &AnalysisOptions::default());
+        let analysis = baseline(&nest, cache, &AnalysisOptions::default());
         let sim = simulate_nest(&nest, cache);
         prop_assert_eq!(analysis.total_misses(), sim.total().misses(), "\n{}", nest);
     }

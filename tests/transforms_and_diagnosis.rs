@@ -1,16 +1,26 @@
 //! End-to-end tests of the compiler-side transformations (interchange,
 //! fusion, strip-mining/tiling) composed with the CME analysis, plus the
 //! diagnosis-driven workflow of the paper's Section 7 vision.
-// These tests exercise the deprecated free-function entry points on
-// purpose: they are the legacy reference semantics the new `Analyzer`
-// engine is validated against (see `engine_equivalence.rs`).
-#![allow(deprecated)]
 
 use cme::cache::{simulate_nest, CacheConfig};
-use cme::core::{analyze_nest, AnalysisOptions};
+use cme::core::{AnalysisOptions, Analyzer};
 use cme::ir::transform::{fuse, interchange, strip_mine, tile_nest};
 use cme::kernels;
 use cme::opt::{diagnose, Recommendation};
+
+/// The uncached reference path: a one-shot `Analyzer` session with
+/// memoization disabled — bit-identical semantics to the monolithic
+/// miss-finding pass.
+fn baseline(
+    nest: &cme::ir::LoopNest,
+    cache: cme::cache::CacheConfig,
+    options: &AnalysisOptions,
+) -> cme::core::NestAnalysis {
+    Analyzer::new(cache)
+        .options(options.clone())
+        .caching(false)
+        .analyze(nest)
+}
 
 fn small_cache() -> CacheConfig {
     CacheConfig::new(1024, 1, 32, 4).unwrap()
@@ -30,8 +40,8 @@ fn mechanical_fusion_matches_handwritten_adi() {
     );
     let opts = AnalysisOptions::default();
     assert_eq!(
-        analyze_nest(&mechanical, cache, &opts).total_misses(),
-        analyze_nest(&handwritten, cache, &opts).total_misses()
+        baseline(&mechanical, cache, &opts).total_misses(),
+        baseline(&handwritten, cache, &opts).total_misses()
     );
     assert_eq!(
         simulate_nest(&mechanical, cache).total().misses(),
@@ -48,7 +58,7 @@ fn interchange_fixes_matvec_and_stays_exact() {
     let good = interchange(&bad, &[1, 0]).unwrap();
     let opts = AnalysisOptions::default();
     for nest in [&bad, &good] {
-        let cme = analyze_nest(nest, cache, &opts).total_misses();
+        let cme = baseline(nest, cache, &opts).total_misses();
         let sim = simulate_nest(nest, cache).total().misses();
         assert_eq!(cme, sim, "exactness on `{}`", nest.name());
     }
@@ -68,7 +78,7 @@ fn strip_mined_nest_is_analyzed_exactly() {
     let nest = kernels::matvec(32);
     let stripped = strip_mine(&nest, 0, 8).unwrap();
     let opts = AnalysisOptions::default();
-    let cme = analyze_nest(&stripped, cache, &opts).total_misses();
+    let cme = baseline(&stripped, cache, &opts).total_misses();
     let sim = simulate_nest(&stripped, cache).total().misses();
     assert_eq!(cme, sim);
     // Identical traces => identical misses vs. the original.
@@ -85,7 +95,7 @@ fn tiling_matmul_reduces_capacity_misses() {
     let tiled = tile_nest(&plain, &[(1, 8), (2, 8)]).unwrap();
     let opts = AnalysisOptions::default();
     // Exactness on the 5-deep tiled nest.
-    let cme = analyze_nest(&tiled, cache, &opts).total_misses();
+    let cme = baseline(&tiled, cache, &opts).total_misses();
     let sim = simulate_nest(&tiled, cache).total().misses();
     assert_eq!(cme, sim, "tiled nest must stay exact");
     // And tiling helps the capacity-bound matmul.
@@ -136,7 +146,7 @@ fn extra_kernels_are_analyzed_exactly() {
     let opts = AnalysisOptions::default();
     for name in ["jacobi2d", "matvec", "triad", "stencil3d"] {
         let nest = kernels::kernel_by_name(name, 12).unwrap();
-        let cme = analyze_nest(&nest, cache, &opts).total_misses();
+        let cme = baseline(&nest, cache, &opts).total_misses();
         let sim = simulate_nest(&nest, cache).total().misses();
         assert_eq!(cme, sim, "`{name}` should be exact");
     }
@@ -144,7 +154,7 @@ fn extra_kernels_are_analyzed_exactly() {
     // A(k,j) / A(j,k)), the gauss/trans situation: sound, possibly over.
     for name in ["lu", "syr2k"] {
         let nest = kernels::kernel_by_name(name, 12).unwrap();
-        let cme = analyze_nest(&nest, cache, &opts).total_misses();
+        let cme = baseline(&nest, cache, &opts).total_misses();
         let sim = simulate_nest(&nest, cache).total().misses();
         assert!(cme >= sim, "`{name}` must stay sound");
     }
@@ -167,8 +177,8 @@ fn kernels_roundtrip_through_text_format() {
         let reparsed = cme::ir::parse::parse_nest(&src)
             .unwrap_or_else(|e| panic!("{name} failed to reparse: {e}\n{src}"));
         assert_eq!(
-            analyze_nest(&nest, cache, &opts).total_misses(),
-            analyze_nest(&reparsed, cache, &opts).total_misses(),
+            baseline(&nest, cache, &opts).total_misses(),
+            baseline(&reparsed, cache, &opts).total_misses(),
             "analysis changed across the text roundtrip for {name}"
         );
         roundtripped += 1;
@@ -188,7 +198,7 @@ fn strided_sweeps_miss_once_per_line() {
         } else {
             (64 * stride + 7) / 8
         };
-        let a = analyze_nest(&nest, cache, &opts);
+        let a = baseline(&nest, cache, &opts);
         assert_eq!(a.total_misses(), expected_lines as u64, "stride {stride}");
         assert_eq!(
             simulate_nest(&nest, cache).total().misses(),
