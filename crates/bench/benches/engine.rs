@@ -14,9 +14,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 use cme_cache::CacheConfig;
-use cme_core::Analyzer;
+use cme_core::{Analyzer, ArtifactStore};
 use cme_opt::{optimize_padding_with, select_tile_and_layout_with};
 
 fn table1_cache() -> CacheConfig {
@@ -177,6 +178,99 @@ fn bench_batch_vs_loop(c: &mut Criterion) {
     g.finish();
 }
 
+/// Cold-vs-warm persistent-store replay of the Table-1 suite: the cold
+/// pass starts from an empty store directory (every nest recomputes and
+/// writes through), the warm pass replays the same suite through fresh
+/// sessions against the populated store (every nest answers from disk
+/// before any pipeline stage runs) — the `cme-serve` restart scenario.
+fn bench_store_replay(c: &mut Criterion) {
+    let cache = table1_cache();
+    let suite = cme_kernels::table1_suite(32);
+    let dir = std::env::temp_dir().join(format!("cme-bench-store-{}", std::process::id()));
+
+    // Equivalence first: a warm store-served replay must be bit-identical
+    // to storeless analysis.
+    std::fs::remove_dir_all(&dir).ok();
+    let plain: Vec<_> = suite
+        .iter()
+        .map(|nest| Analyzer::new(cache).analyze(nest))
+        .collect();
+    {
+        let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+        let mut writer = Analyzer::new(cache).store(Arc::clone(&store));
+        for nest in &suite {
+            writer.analyze(nest);
+        }
+        let mut warm = Analyzer::new(cache).store(store);
+        let served: Vec<_> = suite.iter().map(|nest| warm.analyze(nest)).collect();
+        assert_eq!(served, plain, "store-served counts diverged");
+        assert_eq!(
+            warm.stats().store_hits,
+            suite.len() as u64,
+            "the warm replay must answer every nest from the store"
+        );
+    }
+
+    let mut g = c.benchmark_group("table1-store-replay");
+    g.sample_size(5);
+    g.bench_function("cold-start", |b| {
+        b.iter(|| {
+            // Empty store: recompute everything, write everything through.
+            std::fs::remove_dir_all(&dir).ok();
+            let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+            let mut a = Analyzer::new(cache).store(store);
+            for nest in &suite {
+                black_box(a.analyze(nest));
+            }
+        })
+    });
+    // Repopulate once so the warm rows always start from a full store.
+    {
+        std::fs::remove_dir_all(&dir).ok();
+        let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+        let mut a = Analyzer::new(cache).store(store);
+        for nest in &suite {
+            a.analyze(nest);
+        }
+    }
+    g.bench_function("warm-start", |b| {
+        b.iter(|| {
+            // A fresh session (cold memo tables) against the populated
+            // store: every artifact is served from disk.
+            let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+            let mut a = Analyzer::new(cache).store(store);
+            for nest in &suite {
+                black_box(a.analyze(nest));
+            }
+        })
+    });
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The store's acceptance bar: warm-start replay of the Table-1 suite
+/// must be at least 3× faster than the cold start.
+fn check_store_speedup(c: &mut Criterion) {
+    let mean = |label: &str| {
+        c.results
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, d)| d.as_secs_f64())
+    };
+    let (Some(warm), Some(cold)) = (
+        mean("table1-store-replay/warm-start"),
+        mean("table1-store-replay/cold-start"),
+    ) else {
+        return;
+    };
+    let ratio = cold / warm.max(1e-12);
+    println!("table1-store-replay/warm-start vs cold-start: {ratio:.1}x speedup");
+    assert!(
+        ratio >= 3.0,
+        "warm-start store replay must be >= 3x faster than cold start, got {ratio:.2}x"
+    );
+}
+
 /// The batch API's acceptance bar: analyzing the Table-1 layout sweep in
 /// one batched session must be at least 1.5× faster than the sequential
 /// per-nest loop.
@@ -236,7 +330,9 @@ criterion_group!(
     bench_padding_search,
     bench_tile_search,
     bench_batch_vs_loop,
+    bench_store_replay,
     check_speedup,
-    check_batch_speedup
+    check_batch_speedup,
+    check_store_speedup
 );
 criterion_main!(benches);

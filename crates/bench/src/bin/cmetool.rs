@@ -9,6 +9,7 @@
 //! cmetool pad       <kernel> [...]        derive + verify a padding plan
 //! cmetool equations <kernel> [...]        print the symbolic CME system
 //! cmetool export    <kernel> [...]        dineroIII-format trace to stdout
+//! cmetool client    <kernel> [...]        send the query to a cme-serve instance
 //! cmetool kernels                         list known kernels
 //! ```
 //!
@@ -21,14 +22,27 @@
 //! that exhausts prints its degraded-but-sound result plus the outcome
 //! line (`exhausted (...)`) instead of hanging or dying. With `--stats`,
 //! `analyze` also prints the engine's per-stage accounting (stage wall
-//! times, memo hit/miss counters) after the result.
+//! times, memo hit/miss counters) after the result. `--store DIR` attaches
+//! the persistent artifact store, so repeated invocations answer from disk.
+//!
+//! `client` speaks the `cme-serve` line protocol (`docs/SERVE.md`) over
+//! `--connect HOST:PORT` or `--unix PATH`. It sends one request built from
+//! the same kernel/cache/budget flags as `analyze` (or a control op via
+//! `--op ping|stats|shutdown`), prints the decoded response (`--json` for
+//! the raw line), and exits 0 on success or with the stable
+//! [`ErrorCode::exit_code`] of the coded failure.
 
 use cme_bench::{resolve_kernel, BenchArgs};
 use cme_cache::{export_din, simulate_nest};
-use cme_core::{compare_with_simulation, AnalysisOptions, Analyzer, Budget, CmeSystem};
+use cme_core::api::{AnalyzeRequest, AnalyzeResponse, CacheSpec, ErrorCode};
+use cme_core::{
+    compare_with_simulation, AnalysisOptions, Analyzer, ArtifactStore, Budget, CmeSystem,
+};
 use cme_kernels::kernel_names;
 use cme_opt::{diagnose, optimize_padding};
 use cme_reuse::ReuseOptions;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
@@ -41,6 +55,10 @@ fn main() {
         for name in kernel_names() {
             println!("{name}");
         }
+        return;
+    }
+    if command == "client" {
+        run_client(&args);
         return;
     }
     let kernel = args.positional(1).unwrap_or("mmult");
@@ -77,6 +95,15 @@ fn main() {
                 .options(opts.clone())
                 .parallel(true)
                 .budget(budget);
+            if let Some(dir) = args.value_str("--store") {
+                match ArtifactStore::open(dir) {
+                    Ok(store) => analyzer = analyzer.store(Arc::new(store)),
+                    Err(e) => {
+                        eprintln!("cannot open store `{dir}`: {e}");
+                        std::process::exit(ErrorCode::Store.exit_code());
+                    }
+                }
+            }
             match analyzer.try_analyze(&nest) {
                 Ok(governed) => {
                     println!("{}", governed.analysis);
@@ -150,6 +177,119 @@ fn main() {
         other => {
             eprintln!("unknown command `{other}`");
             std::process::exit(2);
+        }
+    }
+}
+
+/// Sends one protocol line and reads the single response line.
+fn exchange<S: Read + Write>(mut stream: S, line: &str) -> std::io::Result<String> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response)?;
+    Ok(response.trim_end().to_string())
+}
+
+/// The `client` subcommand: build the request line, ship it to a
+/// `cme-serve` instance, decode and print the answer.
+fn run_client(args: &BenchArgs) {
+    let line = match args.value_str("--op").unwrap_or("analyze") {
+        "analyze" => {
+            let program = if let Some(path) = args.value_str("--file") {
+                std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("cannot read `{path}`: {e}");
+                    std::process::exit(ErrorCode::Io.exit_code());
+                })
+            } else {
+                let kernel = args.positional(1).unwrap_or("mmult");
+                let nest = resolve_kernel(kernel, args.n(64));
+                cme_ir::parse::to_source(&nest).unwrap_or_else(|| {
+                    eprintln!("kernel `{kernel}` has no textual form");
+                    std::process::exit(2);
+                })
+            };
+            let mut request = AnalyzeRequest::new("cmetool", program, CacheSpec::of(&args.cache()));
+            if let Some(e) = args.value("--epsilon") {
+                request.epsilon = e.max(0) as u64;
+            }
+            if let Some(ms) = args.value("--budget-ms") {
+                request.budget_ms = Some(ms.max(0) as u64);
+            }
+            if let Some(n) = args.value("--max-solves") {
+                request.max_solves = Some(n.max(0) as u64);
+            }
+            request.encode()
+        }
+        op @ ("ping" | "stats" | "shutdown") => {
+            format!(r#"{{"id":"cmetool","op":"{op}"}}"#)
+        }
+        other => {
+            eprintln!("unknown --op `{other}` (analyze|ping|stats|shutdown)");
+            std::process::exit(2);
+        }
+    };
+
+    let response = if let Some(addr) = args.value_str("--connect") {
+        std::net::TcpStream::connect(addr).and_then(|s| exchange(s, &line))
+    } else if let Some(path) = args.value_str("--unix") {
+        std::os::unix::net::UnixStream::connect(path).and_then(|s| exchange(s, &line))
+    } else {
+        eprintln!("client needs --connect HOST:PORT or --unix PATH");
+        std::process::exit(2);
+    };
+    let response = response.unwrap_or_else(|e| {
+        eprintln!("connection failed: {e}");
+        std::process::exit(ErrorCode::Io.exit_code());
+    });
+
+    if args.flag("--json") {
+        println!("{response}");
+    }
+    if args.value_str("--op").unwrap_or("analyze") != "analyze" {
+        if !args.flag("--json") {
+            println!("{response}");
+        }
+        return;
+    }
+    match AnalyzeResponse::decode(&response) {
+        Ok(resp) => match resp.result {
+            Ok(result) => {
+                if !args.flag("--json") {
+                    println!(
+                        "{}: {} misses ({} cold + {} replacement){}{}",
+                        result.nest_name,
+                        result.total_misses,
+                        result.total_cold,
+                        result.total_replacement,
+                        if result.store_hit { " [store hit]" } else { "" },
+                        if result.outcome.complete {
+                            String::new()
+                        } else {
+                            format!(
+                                " [degraded: {}, {:.0}% done]",
+                                result.outcome.reason,
+                                result.outcome.completed_fraction * 100.0
+                            )
+                        }
+                    );
+                    for r in &result.per_ref {
+                        println!(
+                            "  {}: {} cold, {} replacement",
+                            r.label, r.cold_misses, r.replacement_misses
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("server error: {e}");
+                std::process::exit(e.code.exit_code());
+            }
+        },
+        Err(e) => {
+            eprintln!("malformed response: {e}");
+            std::process::exit(ErrorCode::BadRequest.exit_code());
         }
     }
 }

@@ -63,27 +63,42 @@ fn main() {
         reference_s / seq_s.max(1e-12)
     );
 
-    let mut par = Analyzer::new(cache)
-        .options(opts.clone())
-        .parallel(true)
-        .threads(threads);
-    let t = Instant::now();
-    let par_res = par.analyze(&nest);
-    let par_s = t.elapsed().as_secs_f64();
-    let par_stats = par.stats();
-    eprintln!(
-        "  cascade ({threads} thr): {par_s:>8.3}s  ({:.2}x)",
-        reference_s / par_s.max(1e-12)
-    );
+    // Sweep the shard-pool width in powers of two up to the requested
+    // count, so the par-vs-seq gap (ROADMAP item 3) is visible per thread
+    // count, each run on a fresh session (no memo carry-over).
+    let mut sweep_counts: Vec<usize> = std::iter::successors(Some(1usize), |t| Some(t * 2))
+        .take_while(|t| *t < threads)
+        .collect();
+    sweep_counts.push(threads);
+    let mut sweep: Vec<(usize, f64)> = Vec::new();
+    let mut par_s = seq_s;
+    let mut par_stats = seq_stats.clone();
+    for &t_count in &sweep_counts {
+        let mut par = Analyzer::new(cache)
+            .options(opts.clone())
+            .parallel(true)
+            .threads(t_count);
+        let t = Instant::now();
+        let par_res = par.analyze(&nest);
+        let secs = t.elapsed().as_secs_f64();
+        eprintln!(
+            "  cascade ({t_count} thr): {secs:>8.3}s  ({:.2}x)",
+            reference_s / secs.max(1e-12)
+        );
+        assert_eq!(
+            reference, par_res,
+            "sharded cascade ({t_count} threads) diverged from the reference solver"
+        );
+        sweep.push((t_count, secs));
+        // The widest run is the headline "par" row.
+        par_s = secs;
+        par_stats = par.stats();
+    }
     eprintln!("{seq_stats}");
 
     assert_eq!(
         reference, seq_res,
         "sequential cascade diverged from the reference solver"
-    );
-    assert_eq!(
-        reference, par_res,
-        "sharded cascade diverged from the reference solver"
     );
 
     let json = render_json(
@@ -95,6 +110,7 @@ fn main() {
         par_s,
         &seq_stats,
         &par_stats,
+        &sweep,
     );
     std::fs::write(&out_path, &json).expect("write report");
     eprintln!("  wrote {out_path}");
@@ -119,11 +135,27 @@ fn render_json(
     par_s: f64,
     seq: &EngineStats,
     par: &EngineStats,
+    sweep: &[(usize, f64)],
 ) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"kernel\": \"mmult\",\n  \"n\": {n},\n"));
     s.push_str("  \"cache\": {\"size_bytes\": 8192, \"assoc\": 1, \"line_bytes\": 32, \"elem_bytes\": 4},\n");
-    s.push_str(&format!("  \"threads\": {threads},\n"));
+    // The cascade rows ran at different pool widths: 1 for the seq row,
+    // the full requested count for the par row (`threads` alone used to
+    // claim one number for both).
+    s.push_str("  \"threads_seq\": 1,\n");
+    s.push_str(&format!("  \"threads_par\": {threads},\n"));
+    s.push_str("  \"threads_sweep\": [");
+    for (i, (t, secs)) in sweep.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!(
+            "{{\"threads\": {t}, \"seconds\": {secs:.6}, \"speedup\": {:.3}}}",
+            reference_s / secs.max(1e-12)
+        ));
+    }
+    s.push_str("],\n");
     s.push_str(&format!(
         "  \"total_misses\": {},\n",
         reference.total_misses()

@@ -22,6 +22,7 @@
 //! | [`core`] | `cme-core` | CME generation + miss-finding (the paper's core) |
 //! | [`opt`] | `cme-opt` | padding, tiling, fusion, parametric optimization |
 //! | [`kernels`] | `cme-kernels` | the paper's benchmark loop nests |
+//! | [`api`] | `cme-core` | unified request/response contract (all frontends) |
 //!
 //! # Quickstart
 //!
@@ -61,6 +62,20 @@
 //! worker panics and adversarial-extent overflow surface as typed
 //! [`core::AnalysisError`]s that poison only that query, never the
 //! session. See the budget section of `docs/ENGINE.md`.
+//!
+//! Finished analyses can outlive the process: attach a persistent
+//! [`ArtifactStore`] ([`core::Analyzer::store`]) and repeated queries —
+//! same structure, layout, geometry, and options, across sessions and
+//! processes — are answered from disk before any pipeline stage runs.
+//! The [`api`] module is the serializable contract over all of this:
+//! [`api::AnalyzeRequest`] / [`api::AnalyzeResponse`] with stable
+//! [`api::ErrorCode`]s, spoken by `cmetool`, the `cme-serve` line
+//! protocol (`docs/SERVE.md`), and in-process callers
+//! ([`core::Analyzer::serve`]).
+//!
+//! The types a frontend needs are re-exported at the root, so `use
+//! cme::{Analyzer, Budget, ArtifactStore}` works without spelling the
+//! layer.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -72,3 +87,13 @@ pub use cme_kernels as kernels;
 pub use cme_math as math;
 pub use cme_opt as opt;
 pub use cme_reuse as reuse;
+
+pub use cme_core::api;
+
+pub use cme_cache::{CacheConfig, CacheConfigError};
+pub use cme_core::{
+    AnalysisError, AnalysisOptions, Analyzer, ArtifactKey, ArtifactStore, Budget, CancelToken,
+    Engine, EngineStats, GovernedAnalysis, NestAnalysis, NestId, Outcome, ProgramDb, RefAnalysis,
+    StoreError, StoreStats,
+};
+pub use cme_ir::{LoopNest, NestBuilder};

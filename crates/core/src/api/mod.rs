@@ -1,0 +1,1063 @@
+//! The unified request/response contract every frontend speaks.
+//!
+//! `cmetool`, the `cme-serve` wire protocol, in-process batch callers, and
+//! the `cme-diffcheck` corpus replayer all round-trip analyses through one
+//! schema: [`AnalyzeRequest`] in, [`AnalyzeResponse`] out, failures as a
+//! stable [`ErrorCode`] inside [`Error`]. A request carries the program as
+//! `.cme` source text (the canonical textual form of
+//! [`cme_ir::parse::parse_nest`]), the cache geometry, the `ε` precision
+//! knob, and an optional per-request [`Budget`]; a response carries either
+//! the per-reference miss counts plus the governor [`Outcome`] summary, or
+//! a coded error. Budget exhaustion is **not** an error: the counts are a
+//! sound overcount and arrive in a normal result tagged
+//! `outcome.complete = false` (see [`OutcomeSummary`]).
+//!
+//! Serialization is single-line JSON via [`json`] (objects key-sorted, so
+//! encoding is deterministic), which is also the framing unit of the
+//! `cme-serve` line protocol (`docs/SERVE.md`).
+
+pub mod json;
+
+use crate::engine::Analyzer;
+use crate::governor::{AnalysisError, Budget, GovernedAnalysis, Outcome};
+use crate::solve::{AnalysisOptions, InvalidOptions, NestAnalysis};
+use cme_cache::{CacheConfig, CacheConfigError};
+use cme_ir::parse::{parse_nest, to_source, ParseNestError};
+use cme_ir::LoopNest;
+use json::{obj, Json, JsonError};
+use std::fmt;
+use std::time::Duration;
+
+/// Stable machine-readable failure codes, shared by the wire protocol and
+/// the CLI exit status.
+///
+/// The string form ([`ErrorCode::as_str`]) and the exit code
+/// ([`ErrorCode::exit_code`]) are wire/ABI surface: existing values never
+/// change meaning, new variants only add (`#[non_exhaustive]`, so match
+/// with a `_` arm).
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The request line or field set was not valid protocol JSON.
+    BadRequest,
+    /// The `.cme` program text did not parse or validate.
+    Parse,
+    /// The cache geometry was rejected (see
+    /// [`cme_cache::CacheConfigError`]).
+    InvalidCache,
+    /// The analysis options were inconsistent (see
+    /// [`crate::InvalidOptions`]).
+    InvalidOptions,
+    /// A pool worker panicked; only this query was lost.
+    WorkerPanic,
+    /// Address arithmetic on this nest would overflow 64 bits.
+    Overflow,
+    /// The artifact store failed in a way recompute could not hide.
+    Store,
+    /// An I/O failure outside the store (socket, corpus file).
+    Io,
+    /// A differential-oracle disagreement (diffcheck replay only).
+    Mismatch,
+    /// Anything that should not happen; the message has the detail.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The stable wire spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::Parse => "parse",
+            ErrorCode::InvalidCache => "invalid-cache",
+            ErrorCode::InvalidOptions => "invalid-options",
+            ErrorCode::WorkerPanic => "worker-panic",
+            ErrorCode::Overflow => "overflow",
+            ErrorCode::Store => "store",
+            ErrorCode::Io => "io",
+            ErrorCode::Mismatch => "mismatch",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses the wire spelling back (`None` for unknown codes — forward
+    /// compatibility: treat those as [`ErrorCode::Internal`]).
+    pub fn from_wire(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "bad-request" => ErrorCode::BadRequest,
+            "parse" => ErrorCode::Parse,
+            "invalid-cache" => ErrorCode::InvalidCache,
+            "invalid-options" => ErrorCode::InvalidOptions,
+            "worker-panic" => ErrorCode::WorkerPanic,
+            "overflow" => ErrorCode::Overflow,
+            "store" => ErrorCode::Store,
+            "io" => ErrorCode::Io,
+            "mismatch" => ErrorCode::Mismatch,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+
+    /// The process exit code the CLI maps this failure to (success is 0;
+    /// these start at 10 so they never collide with shell conventions).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            ErrorCode::BadRequest => 10,
+            ErrorCode::Parse => 11,
+            ErrorCode::InvalidCache => 12,
+            ErrorCode::InvalidOptions => 13,
+            ErrorCode::WorkerPanic => 20,
+            ErrorCode::Overflow => 21,
+            ErrorCode::Store => 30,
+            ErrorCode::Io => 31,
+            ErrorCode::Mismatch => 40,
+            ErrorCode::Internal => 50,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A coded analysis failure: the one error type every frontend reports.
+///
+/// Internal error enums ([`AnalysisError`], [`ParseNestError`],
+/// [`CacheConfigError`], [`InvalidOptions`], store errors) convert in via
+/// `From`, so they stay out of the public contract. `#[non_exhaustive]`:
+/// construct with [`Error::new`].
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// The stable failure class.
+    pub code: ErrorCode,
+    /// Human-readable detail (not a stable surface).
+    pub message: String,
+}
+
+impl Error {
+    /// Builds an error from a code and message.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Error {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<AnalysisError> for Error {
+    fn from(e: AnalysisError) -> Self {
+        let code = match &e {
+            AnalysisError::WorkerPanic { .. } => ErrorCode::WorkerPanic,
+            AnalysisError::Overflow { .. } => ErrorCode::Overflow,
+        };
+        Error::new(code, e.to_string())
+    }
+}
+
+impl From<ParseNestError> for Error {
+    fn from(e: ParseNestError) -> Self {
+        Error::new(ErrorCode::Parse, e.to_string())
+    }
+}
+
+impl From<CacheConfigError> for Error {
+    fn from(e: CacheConfigError) -> Self {
+        Error::new(ErrorCode::InvalidCache, e.to_string())
+    }
+}
+
+impl From<InvalidOptions> for Error {
+    fn from(e: InvalidOptions) -> Self {
+        Error::new(ErrorCode::InvalidOptions, e.to_string())
+    }
+}
+
+impl From<JsonError> for Error {
+    fn from(e: JsonError) -> Self {
+        Error::new(ErrorCode::BadRequest, e.to_string())
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::new(ErrorCode::Io, e.to_string())
+    }
+}
+
+impl From<crate::store::StoreError> for Error {
+    fn from(e: crate::store::StoreError) -> Self {
+        Error::new(ErrorCode::Store, e.to_string())
+    }
+}
+
+/// Cache geometry as it travels on the wire: the four byte-denominated
+/// hardware parameters of [`CacheConfig::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheSpec {
+    /// Total capacity in bytes (`Cs`).
+    pub size_bytes: i64,
+    /// Associativity (`k`).
+    pub assoc: i64,
+    /// Line size in bytes (`Ls`).
+    pub line_bytes: i64,
+    /// Data element size in bytes.
+    pub elem_bytes: i64,
+}
+
+impl CacheSpec {
+    /// The spec of an already-validated geometry.
+    pub fn of(cfg: &CacheConfig) -> Self {
+        CacheSpec {
+            size_bytes: cfg.size_bytes(),
+            assoc: cfg.assoc(),
+            line_bytes: cfg.line_bytes(),
+            elem_bytes: cfg.elem_bytes(),
+        }
+    }
+
+    /// Validates into a [`CacheConfig`].
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::InvalidCache`] on infeasible geometry.
+    pub fn build(&self) -> Result<CacheConfig, Error> {
+        Ok(CacheConfig::new(
+            self.size_bytes,
+            self.assoc,
+            self.line_bytes,
+            self.elem_bytes,
+        )?)
+    }
+
+    fn to_json(self) -> Json {
+        obj([
+            ("size", Json::Int(self.size_bytes)),
+            ("assoc", Json::Int(self.assoc)),
+            ("line", Json::Int(self.line_bytes)),
+            ("elem", Json::Int(self.elem_bytes)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        Ok(CacheSpec {
+            size_bytes: req_i64(v, "size")?,
+            assoc: req_i64(v, "assoc")?,
+            line_bytes: req_i64(v, "line")?,
+            elem_bytes: req_i64(v, "elem")?,
+        })
+    }
+}
+
+fn bad(msg: impl Into<String>) -> Error {
+    Error::new(ErrorCode::BadRequest, msg)
+}
+
+fn req_i64(v: &Json, key: &str) -> Result<i64, Error> {
+    v.get(key)
+        .and_then(Json::as_i64)
+        .ok_or_else(|| bad(format!("missing or non-integer field `{key}`")))
+}
+
+fn req_str(v: &Json, key: &str) -> Result<String, Error> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| bad(format!("missing or non-string field `{key}`")))
+}
+
+fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, Error> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => x
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| bad(format!("field `{key}` must be a non-negative integer"))),
+    }
+}
+
+/// One analysis query: the program, the geometry, the precision knob, and
+/// the resource budget — everything a frontend may vary per request.
+///
+/// ```
+/// use cme_core::api::{AnalyzeRequest, CacheSpec};
+///
+/// let req = AnalyzeRequest::new(
+///     "q1",
+///     "REAL A(64) AT 0\nDO i = 1, 64\n  s = s + A(i)\nENDDO\n",
+///     CacheSpec { size_bytes: 8192, assoc: 1, line_bytes: 32, elem_bytes: 4 },
+/// );
+/// let round = AnalyzeRequest::decode(&req.encode()).unwrap();
+/// assert_eq!(round, req);
+/// assert_eq!(round.parse_program().unwrap().depth(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeRequest {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: String,
+    /// The loop nest as `.cme` source text.
+    pub program: String,
+    /// The cache geometry to analyze against.
+    pub cache: CacheSpec,
+    /// The `ε` early-stop threshold of Figure 6 (`0` = exact).
+    pub epsilon: u64,
+    /// Wall-clock budget in milliseconds (`None` = unlimited).
+    pub budget_ms: Option<u64>,
+    /// Equation-evaluation budget (`None` = unlimited).
+    pub max_solves: Option<u64>,
+    /// Resident point-set ceiling (`None` = unlimited).
+    pub max_points: Option<u64>,
+}
+
+impl AnalyzeRequest {
+    /// A full-budget exact request.
+    pub fn new(id: impl Into<String>, program: impl Into<String>, cache: CacheSpec) -> Self {
+        AnalyzeRequest {
+            id: id.into(),
+            program: program.into(),
+            cache,
+            epsilon: 0,
+            budget_ms: None,
+            max_solves: None,
+            max_points: None,
+        }
+    }
+
+    /// Builds a request from an in-memory nest via
+    /// [`cme_ir::parse::to_source`]; `None` for nests outside the textual
+    /// format (non-1 array origins).
+    pub fn from_nest(id: impl Into<String>, nest: &LoopNest, cache: CacheSpec) -> Option<Self> {
+        Some(AnalyzeRequest::new(id, to_source(nest)?, cache))
+    }
+
+    /// Parses and validates the program text.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::Parse`] with the parser's positioned message.
+    pub fn parse_program(&self) -> Result<LoopNest, Error> {
+        Ok(parse_nest(&self.program)?)
+    }
+
+    /// Validates the cache geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::InvalidCache`].
+    pub fn cache_config(&self) -> Result<CacheConfig, Error> {
+        self.cache.build()
+    }
+
+    /// The analysis options this request asks for.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::InvalidOptions`] on inconsistent combinations.
+    pub fn options(&self) -> Result<AnalysisOptions, Error> {
+        Ok(AnalysisOptions::builder()
+            .epsilon(self.epsilon)
+            .try_build()?)
+    }
+
+    /// The per-request governor budget (unlimited when no limit is set).
+    pub fn budget(&self) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(ms) = self.budget_ms {
+            b = b.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(n) = self.max_solves {
+            b = b.with_max_solves(n);
+        }
+        if let Some(n) = self.max_points {
+            b = b.with_max_points(n);
+        }
+        b
+    }
+
+    /// The JSON form.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("op", Json::Str("analyze".into())),
+            ("id", Json::Str(self.id.clone())),
+            ("program", Json::Str(self.program.clone())),
+            ("cache", self.cache.to_json()),
+            ("epsilon", Json::UInt(self.epsilon)),
+        ];
+        if let Some(ms) = self.budget_ms {
+            pairs.push(("budget_ms", Json::UInt(ms)));
+        }
+        if let Some(n) = self.max_solves {
+            pairs.push(("max_solves", Json::UInt(n)));
+        }
+        if let Some(n) = self.max_points {
+            pairs.push(("max_points", Json::UInt(n)));
+        }
+        obj(pairs)
+    }
+
+    /// Parses the JSON form. The `op` field, when present, must be
+    /// `"analyze"`.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadRequest`] naming the offending field.
+    pub fn from_json(v: &Json) -> Result<Self, Error> {
+        if let Some(op) = v.get("op") {
+            if op.as_str() != Some("analyze") {
+                return Err(bad("field `op` must be \"analyze\""));
+            }
+        }
+        Ok(AnalyzeRequest {
+            id: req_str(v, "id")?,
+            program: req_str(v, "program")?,
+            cache: CacheSpec::from_json(
+                v.get("cache").ok_or_else(|| bad("missing field `cache`"))?,
+            )?,
+            epsilon: opt_u64(v, "epsilon")?.unwrap_or(0),
+            budget_ms: opt_u64(v, "budget_ms")?,
+            max_solves: opt_u64(v, "max_solves")?,
+            max_points: opt_u64(v, "max_points")?,
+        })
+    }
+
+    /// One protocol line (no trailing newline).
+    pub fn encode(&self) -> String {
+        self.to_json().encode()
+    }
+
+    /// Parses one protocol line.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadRequest`].
+    pub fn decode(line: &str) -> Result<Self, Error> {
+        AnalyzeRequest::from_json(&json::parse(line)?)
+    }
+}
+
+/// Per-reference slice of a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefSummary {
+    /// The reference's display label (e.g. `Z(j,i)#0`).
+    pub label: String,
+    /// Cold misses.
+    pub cold_misses: u64,
+    /// Replacement misses.
+    pub replacement_misses: u64,
+    /// Reuse vectors investigated.
+    pub vectors_used: u64,
+}
+
+/// How the governor left the query, flattened for the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutcomeSummary {
+    /// True when every point was classified exactly (the counts equal an
+    /// ungoverned run's).
+    pub complete: bool,
+    /// The first limit that tripped (`"deadline"`, `"solve budget"`,
+    /// `"point budget"`, `"cancelled"`); empty when complete.
+    pub reason: String,
+    /// Fraction of charged work finished before the stop (`1.0` when
+    /// complete).
+    pub completed_fraction: f64,
+    /// Points counted as misses because refinement was cut short.
+    pub truncated_points: u64,
+}
+
+impl OutcomeSummary {
+    /// Flattens a governor [`Outcome`].
+    pub fn of(outcome: &Outcome) -> Self {
+        match outcome {
+            Outcome::Complete => OutcomeSummary {
+                complete: true,
+                reason: String::new(),
+                completed_fraction: 1.0,
+                truncated_points: 0,
+            },
+            Outcome::Exhausted {
+                reason,
+                completed_fraction,
+                truncated_points,
+                ..
+            } => OutcomeSummary {
+                complete: false,
+                reason: reason.to_string(),
+                completed_fraction: *completed_fraction,
+                truncated_points: *truncated_points,
+            },
+        }
+    }
+}
+
+/// The successful payload of a response: the counts of a
+/// [`crate::NestAnalysis`] plus the governor and store provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeResult {
+    /// Name of the analyzed nest.
+    pub nest_name: String,
+    /// Total misses (cold + replacement), an upper bound when
+    /// `outcome.complete` is false.
+    pub total_misses: u64,
+    /// Total cold misses.
+    pub total_cold: u64,
+    /// Total replacement misses.
+    pub total_replacement: u64,
+    /// Per-reference counts, in statement order.
+    pub per_ref: Vec<RefSummary>,
+    /// How the governor left the query.
+    pub outcome: OutcomeSummary,
+    /// True when the counts were served from the persistent artifact
+    /// store instead of recomputed.
+    pub store_hit: bool,
+}
+
+impl AnalyzeResult {
+    /// Summarizes a governed analysis.
+    pub fn of(governed: &GovernedAnalysis, store_hit: bool) -> Self {
+        AnalyzeResult::of_parts(&governed.analysis, &governed.outcome, store_hit)
+    }
+
+    /// Summarizes raw counts plus an outcome tag.
+    pub fn of_parts(analysis: &NestAnalysis, outcome: &Outcome, store_hit: bool) -> Self {
+        AnalyzeResult {
+            nest_name: analysis.nest_name.clone(),
+            total_misses: analysis.total_misses(),
+            total_cold: analysis.total_cold(),
+            total_replacement: analysis.total_replacement(),
+            per_ref: analysis
+                .per_ref
+                .iter()
+                .map(|r| RefSummary {
+                    label: r.label.clone(),
+                    cold_misses: r.cold_misses,
+                    replacement_misses: r.replacement_misses,
+                    vectors_used: r.vectors_used() as u64,
+                })
+                .collect(),
+            outcome: OutcomeSummary::of(outcome),
+            store_hit,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        obj([
+            ("nest", Json::Str(self.nest_name.clone())),
+            ("total_misses", Json::UInt(self.total_misses)),
+            ("total_cold", Json::UInt(self.total_cold)),
+            ("total_replacement", Json::UInt(self.total_replacement)),
+            (
+                "per_ref",
+                Json::Arr(
+                    self.per_ref
+                        .iter()
+                        .map(|r| {
+                            obj([
+                                ("label", Json::Str(r.label.clone())),
+                                ("cold", Json::UInt(r.cold_misses)),
+                                ("replacement", Json::UInt(r.replacement_misses)),
+                                ("vectors", Json::UInt(r.vectors_used)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "outcome",
+                obj([
+                    ("complete", Json::Bool(self.outcome.complete)),
+                    ("reason", Json::Str(self.outcome.reason.clone())),
+                    (
+                        "completed_fraction",
+                        Json::Float(self.outcome.completed_fraction),
+                    ),
+                    (
+                        "truncated_points",
+                        Json::UInt(self.outcome.truncated_points),
+                    ),
+                ]),
+            ),
+            ("store_hit", Json::Bool(self.store_hit)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        let per_ref = v
+            .get("per_ref")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing array field `per_ref`"))?
+            .iter()
+            .map(|r| {
+                Ok(RefSummary {
+                    label: req_str(r, "label")?,
+                    cold_misses: opt_u64(r, "cold")?.unwrap_or(0),
+                    replacement_misses: opt_u64(r, "replacement")?.unwrap_or(0),
+                    vectors_used: opt_u64(r, "vectors")?.unwrap_or(0),
+                })
+            })
+            .collect::<Result<Vec<_>, Error>>()?;
+        let o = v
+            .get("outcome")
+            .ok_or_else(|| bad("missing field `outcome`"))?;
+        Ok(AnalyzeResult {
+            nest_name: req_str(v, "nest")?,
+            total_misses: opt_u64(v, "total_misses")?.unwrap_or(0),
+            total_cold: opt_u64(v, "total_cold")?.unwrap_or(0),
+            total_replacement: opt_u64(v, "total_replacement")?.unwrap_or(0),
+            per_ref,
+            outcome: OutcomeSummary {
+                complete: o.get("complete").and_then(Json::as_bool).unwrap_or(true),
+                reason: o
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                completed_fraction: o
+                    .get("completed_fraction")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(1.0),
+                truncated_points: opt_u64(o, "truncated_points")?.unwrap_or(0),
+            },
+            store_hit: v.get("store_hit").and_then(Json::as_bool).unwrap_or(false),
+        })
+    }
+}
+
+/// One analysis answer: the echoed request id plus either a result or a
+/// coded error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeResponse {
+    /// The request's correlation id, echoed verbatim.
+    pub id: String,
+    /// The counts, or why there are none.
+    pub result: Result<AnalyzeResult, Error>,
+}
+
+impl AnalyzeResponse {
+    /// A success response.
+    pub fn ok(id: impl Into<String>, result: AnalyzeResult) -> Self {
+        AnalyzeResponse {
+            id: id.into(),
+            result: Ok(result),
+        }
+    }
+
+    /// An error response.
+    pub fn err(id: impl Into<String>, error: Error) -> Self {
+        AnalyzeResponse {
+            id: id.into(),
+            result: Err(error),
+        }
+    }
+
+    /// The JSON form: `{"id", "ok": {...}}` or
+    /// `{"id", "error": {"code", "message"}}`.
+    pub fn to_json(&self) -> Json {
+        match &self.result {
+            Ok(r) => obj([("id", Json::Str(self.id.clone())), ("ok", r.to_json())]),
+            Err(e) => obj([
+                ("id", Json::Str(self.id.clone())),
+                (
+                    "error",
+                    obj([
+                        ("code", Json::Str(e.code.as_str().into())),
+                        ("message", Json::Str(e.message.clone())),
+                    ]),
+                ),
+            ]),
+        }
+    }
+
+    /// Parses the JSON form. Unknown error codes degrade to
+    /// [`ErrorCode::Internal`] (forward compatibility).
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadRequest`] when neither `ok` nor `error` is present.
+    pub fn from_json(v: &Json) -> Result<Self, Error> {
+        let id = req_str(v, "id")?;
+        if let Some(ok) = v.get("ok") {
+            return Ok(AnalyzeResponse {
+                id,
+                result: Ok(AnalyzeResult::from_json(ok)?),
+            });
+        }
+        if let Some(e) = v.get("error") {
+            let code = req_str(e, "code")?;
+            return Ok(AnalyzeResponse {
+                id,
+                result: Err(Error::new(
+                    ErrorCode::from_wire(&code).unwrap_or(ErrorCode::Internal),
+                    req_str(e, "message")?,
+                )),
+            });
+        }
+        Err(bad("response has neither `ok` nor `error`"))
+    }
+
+    /// One protocol line (no trailing newline).
+    pub fn encode(&self) -> String {
+        self.to_json().encode()
+    }
+
+    /// Parses one protocol line.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadRequest`].
+    pub fn decode(line: &str) -> Result<Self, Error> {
+        AnalyzeResponse::from_json(&json::parse(line)?)
+    }
+}
+
+impl Analyzer {
+    /// Serves one [`AnalyzeRequest`] on this session: parses and validates
+    /// the request, analyzes under the request's own budget (overriding
+    /// the session budget), and packages the counts — or the coded failure
+    /// — as an [`AnalyzeResponse`]. The request's cache geometry must
+    /// match the session's; `cme-serve` routes requests to per-geometry
+    /// sessions, and in-process callers construct the session from the
+    /// request ([`AnalyzeRequest::cache_config`]).
+    ///
+    /// Budget exhaustion is a *success* with `outcome.complete = false`,
+    /// never an error.
+    pub fn serve(&mut self, request: &AnalyzeRequest) -> AnalyzeResponse {
+        match self.serve_inner(request) {
+            Ok(result) => AnalyzeResponse::ok(&request.id, result),
+            Err(e) => AnalyzeResponse::err(&request.id, e),
+        }
+    }
+
+    fn serve_inner(&mut self, request: &AnalyzeRequest) -> Result<AnalyzeResult, Error> {
+        let cache = request.cache_config()?;
+        if &cache != self.cache() {
+            return Err(Error::new(
+                ErrorCode::InvalidCache,
+                format!(
+                    "request geometry ({cache}) does not match the session ({})",
+                    self.cache()
+                ),
+            ));
+        }
+        let nest = request.parse_program()?;
+        let options = request.options()?;
+        let budget = request.budget();
+        let threads = self.thread_count();
+        let id = self.intern(&nest);
+        let hits_before = self.stats().store_hits;
+        let governed = self
+            .engine_mut()
+            .try_analyze_id(id, &options, threads, budget, None)?;
+        let store_hit = self.stats().store_hits > hits_before;
+        Ok(AnalyzeResult::of(&governed, store_hit))
+    }
+
+    /// [`Analyzer::serve`] over a batch: requests that share options and
+    /// budget are analyzed through one [`Analyzer::try_analyze_batch`]
+    /// pool session (sharing workers and memo tables); the rest fall back
+    /// to per-request serving. Responses are in request order, each
+    /// bit-identical to serving that request alone.
+    pub fn serve_batch(&mut self, requests: &[AnalyzeRequest]) -> Vec<AnalyzeResponse> {
+        // Validate everything first; only uniform, valid requests batch.
+        struct Item {
+            nest_id: cme_ir::NestId,
+            options: AnalysisOptions,
+            budget: Budget,
+        }
+        let mut items: Vec<Result<Item, Error>> = Vec::with_capacity(requests.len());
+        for request in requests {
+            items.push((|| {
+                let cache = request.cache_config()?;
+                if &cache != self.cache() {
+                    return Err(Error::new(
+                        ErrorCode::InvalidCache,
+                        format!(
+                            "request geometry ({cache}) does not match the session ({})",
+                            self.cache()
+                        ),
+                    ));
+                }
+                let nest = request.parse_program()?;
+                Ok(Item {
+                    nest_id: self.intern(&nest),
+                    options: request.options()?,
+                    budget: request.budget(),
+                })
+            })());
+        }
+        let uniform = {
+            let mut ok = items.iter().filter_map(|i| i.as_ref().ok());
+            match ok.next() {
+                Some(first) => ok.all(|i| i.options == first.options && i.budget == first.budget),
+                None => true,
+            }
+        };
+        let threads = self.thread_count();
+        let mut responses: Vec<Option<AnalyzeResponse>> = requests.iter().map(|_| None).collect();
+        if uniform {
+            let batch: Vec<(usize, &Item)> = items
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| r.as_ref().ok().map(|item| (i, item)))
+                .collect();
+            if let Some((_, first)) = batch.first() {
+                let ids: Vec<cme_ir::NestId> = batch.iter().map(|(_, it)| it.nest_id).collect();
+                let options = first.options.clone();
+                let budget = first.budget;
+                let hits_before = self.stats().store_hits;
+                match self
+                    .engine_mut()
+                    .try_analyze_batch(&ids, &options, threads, budget, None)
+                {
+                    Ok(governed) => {
+                        // Per-request hit attribution is coarse for a
+                        // batch: flag all batched results when any hit
+                        // landed only if the whole batch hit.
+                        let hits = self.stats().store_hits - hits_before;
+                        let all_hit = hits >= ids.len() as u64;
+                        for ((i, _), g) in batch.iter().zip(governed) {
+                            responses[*i] = Some(AnalyzeResponse::ok(
+                                &requests[*i].id,
+                                AnalyzeResult::of(&g, all_hit),
+                            ));
+                        }
+                    }
+                    Err(e) => {
+                        let err = Error::from(e);
+                        for (i, _) in &batch {
+                            responses[*i] =
+                                Some(AnalyzeResponse::err(&requests[*i].id, err.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        for (i, request) in requests.iter().enumerate() {
+            if responses[i].is_none() {
+                responses[i] = Some(match &items[i] {
+                    Err(e) => AnalyzeResponse::err(&request.id, e.clone()),
+                    Ok(_) => self.serve(request),
+                });
+            }
+        }
+        responses
+            .into_iter()
+            .map(|r| match r {
+                Some(r) => r,
+                None => unreachable!("every slot is filled above"),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cme_ir::{AccessKind, NestBuilder};
+
+    fn spec() -> CacheSpec {
+        CacheSpec {
+            size_bytes: 8192,
+            assoc: 1,
+            line_bytes: 32,
+            elem_bytes: 4,
+        }
+    }
+
+    fn sweep_source() -> &'static str {
+        "REAL A(64) AT 0\nDO i = 1, 64\n  s = s + A(i)\nENDDO\n"
+    }
+
+    #[test]
+    fn request_round_trips_through_json() {
+        let mut req = AnalyzeRequest::new("q-1", sweep_source(), spec());
+        req.epsilon = 10;
+        req.budget_ms = Some(250);
+        req.max_solves = Some(1_000_000);
+        let line = req.encode();
+        assert!(!line.contains('\n'), "wire framing is single-line");
+        assert_eq!(AnalyzeRequest::decode(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn request_budget_and_options_materialize() {
+        let mut req = AnalyzeRequest::new("q", sweep_source(), spec());
+        req.budget_ms = Some(5);
+        req.max_points = Some(77);
+        let b = req.budget();
+        assert_eq!(b.deadline(), Some(Duration::from_millis(5)));
+        assert_eq!(b.max_points(), Some(77));
+        assert_eq!(b.max_solves(), None);
+        assert!(AnalyzeRequest::new("q", sweep_source(), spec())
+            .budget()
+            .is_unlimited());
+        assert_eq!(req.options().unwrap().epsilon, 0);
+    }
+
+    #[test]
+    fn from_nest_uses_the_textual_format() {
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 1, 64);
+        let a = b.array("A", &[64], 0);
+        b.reference(a, AccessKind::Read, &[("i", 0)]);
+        let nest = b.build().unwrap();
+        let req = AnalyzeRequest::from_nest("n", &nest, spec()).unwrap();
+        let parsed = req.parse_program().unwrap();
+        assert_eq!(parsed.references().len(), nest.references().len());
+    }
+
+    #[test]
+    fn serve_answers_and_echoes_id() {
+        let cfg = spec().build().unwrap();
+        let mut analyzer = Analyzer::new(cfg);
+        let resp = analyzer.serve(&AnalyzeRequest::new("abc", sweep_source(), spec()));
+        assert_eq!(resp.id, "abc");
+        let result = resp.result.unwrap();
+        assert_eq!(result.total_misses, 8);
+        assert!(result.outcome.complete);
+        assert!(!result.store_hit);
+        // The response survives the wire.
+        let resp2 = AnalyzeResponse::ok("abc", result);
+        assert_eq!(AnalyzeResponse::decode(&resp2.encode()).unwrap(), resp2);
+    }
+
+    #[test]
+    fn serve_matches_in_process_analysis() {
+        let cfg = spec().build().unwrap();
+        let mut analyzer = Analyzer::new(cfg);
+        let req = AnalyzeRequest::new("q", sweep_source(), spec());
+        let nest = req.parse_program().unwrap();
+        let direct = analyzer.analyze(&nest);
+        let served = analyzer.serve(&req).result.unwrap();
+        assert_eq!(served.total_misses, direct.total_misses());
+        assert_eq!(served.total_cold, direct.total_cold());
+        assert_eq!(served.per_ref.len(), direct.per_ref.len());
+    }
+
+    #[test]
+    fn serve_reports_coded_errors() {
+        let cfg = spec().build().unwrap();
+        let mut analyzer = Analyzer::new(cfg);
+        let resp = analyzer.serve(&AnalyzeRequest::new("x", "DO i = ENDDO", spec()));
+        assert_eq!(resp.result.unwrap_err().code, ErrorCode::Parse);
+        let mut req = AnalyzeRequest::new("y", sweep_source(), spec());
+        req.cache.assoc = 3; // infeasible geometry
+        let resp = analyzer.serve(&req);
+        assert_eq!(resp.result.unwrap_err().code, ErrorCode::InvalidCache);
+        let mut req = AnalyzeRequest::new("z", sweep_source(), spec());
+        req.cache.size_bytes = 4096; // valid but a different session
+        let resp = analyzer.serve(&req);
+        assert_eq!(resp.result.unwrap_err().code, ErrorCode::InvalidCache);
+    }
+
+    #[test]
+    fn serve_surfaces_exhaustion_as_degraded_success() {
+        let cfg = spec().build().unwrap();
+        let mut analyzer = Analyzer::new(cfg);
+        let mut req = AnalyzeRequest::new("tight", sweep_source(), spec());
+        req.max_solves = Some(1);
+        let result = analyzer.serve(&req).result.unwrap();
+        assert!(!result.outcome.complete);
+        assert!(!result.outcome.reason.is_empty());
+        // Sound overcount: never below the exact answer.
+        assert!(result.total_misses >= 8);
+    }
+
+    #[test]
+    fn serve_batch_matches_individual_serves() {
+        let cfg = spec().build().unwrap();
+        let reqs: Vec<AnalyzeRequest> = (0..3)
+            .map(|i| {
+                let n = 32 << i;
+                AnalyzeRequest::new(
+                    format!("q{i}"),
+                    format!("REAL A({n}) AT 0\nDO i = 1, {n}\n  s = s + A(i)\nENDDO\n"),
+                    spec(),
+                )
+            })
+            .collect();
+        let batched = Analyzer::new(cfg).serve_batch(&reqs);
+        let mut solo = Analyzer::new(cfg);
+        for (req, resp) in reqs.iter().zip(&batched) {
+            assert_eq!(resp.id, req.id);
+            assert_eq!(
+                resp.result.as_ref().unwrap().total_misses,
+                solo.serve(req).result.unwrap().total_misses
+            );
+        }
+    }
+
+    #[test]
+    fn serve_batch_mixes_errors_and_results() {
+        let cfg = spec().build().unwrap();
+        let good = AnalyzeRequest::new("good", sweep_source(), spec());
+        let bad = AnalyzeRequest::new("bad", "not a program", spec());
+        let resps = Analyzer::new(cfg).serve_batch(&[good, bad]);
+        assert!(resps[0].result.is_ok());
+        assert_eq!(resps[1].result.as_ref().unwrap_err().code, ErrorCode::Parse);
+    }
+
+    #[test]
+    fn error_codes_are_stable() {
+        let all = [
+            (ErrorCode::BadRequest, "bad-request", 10),
+            (ErrorCode::Parse, "parse", 11),
+            (ErrorCode::InvalidCache, "invalid-cache", 12),
+            (ErrorCode::InvalidOptions, "invalid-options", 13),
+            (ErrorCode::WorkerPanic, "worker-panic", 20),
+            (ErrorCode::Overflow, "overflow", 21),
+            (ErrorCode::Store, "store", 30),
+            (ErrorCode::Io, "io", 31),
+            (ErrorCode::Mismatch, "mismatch", 40),
+            (ErrorCode::Internal, "internal", 50),
+        ];
+        for (code, s, exit) in all {
+            assert_eq!(code.as_str(), s);
+            assert_eq!(code.exit_code(), exit);
+            assert_eq!(ErrorCode::from_wire(s), Some(code));
+        }
+        assert_eq!(ErrorCode::from_wire("no-such-code"), None);
+    }
+
+    #[test]
+    fn internal_errors_convert_with_their_codes() {
+        let e: Error = AnalysisError::Overflow {
+            context: "ref #0".into(),
+        }
+        .into();
+        assert_eq!(e.code, ErrorCode::Overflow);
+        let e: Error = AnalysisError::WorkerPanic {
+            message: "boom".into(),
+        }
+        .into();
+        assert_eq!(e.code, ErrorCode::WorkerPanic);
+        let e: Error = parse_nest("garbage").unwrap_err().into();
+        assert_eq!(e.code, ErrorCode::Parse);
+        let e: Error = CacheConfig::new(0, 1, 32, 4).unwrap_err().into();
+        assert_eq!(e.code, ErrorCode::InvalidCache);
+        let e: Error = AnalysisOptions::builder()
+            .epsilon(5)
+            .exact_equation_counts(true)
+            .try_build()
+            .unwrap_err()
+            .into();
+        assert_eq!(e.code, ErrorCode::InvalidOptions);
+        let e: Error = json::parse("{{").unwrap_err().into();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn unknown_wire_error_code_degrades_to_internal() {
+        let line = r#"{"error":{"code":"from-the-future","message":"m"},"id":"x"}"#;
+        let resp = AnalyzeResponse::decode(line).unwrap();
+        assert_eq!(resp.result.unwrap_err().code, ErrorCode::Internal);
+    }
+}

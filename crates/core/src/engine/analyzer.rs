@@ -101,6 +101,16 @@ impl Analyzer {
         self
     }
 
+    /// Attaches a persistent [`crate::ArtifactStore`]: complete analyses
+    /// are written through to disk and repeated queries (same structure,
+    /// layout, geometry, and options — across sessions and processes)
+    /// are answered from the store before any pipeline stage runs. See
+    /// [`Engine::set_store`].
+    pub fn store(mut self, store: std::sync::Arc<crate::store::ArtifactStore>) -> Self {
+        self.engine.set_store(store);
+        self
+    }
+
     /// The cache geometry this session analyzes against.
     pub fn cache(&self) -> &CacheConfig {
         self.engine.cache()
@@ -271,7 +281,7 @@ impl Analyzer {
         &mut self.engine
     }
 
-    fn thread_count(&self) -> usize {
+    pub(crate) fn thread_count(&self) -> usize {
         if self.threads > 0 {
             self.threads
         } else if self.parallel {

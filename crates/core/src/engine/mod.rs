@@ -48,6 +48,7 @@ mod analyzer;
 mod batch;
 mod keys;
 mod memo;
+mod persist;
 mod pool;
 mod stages;
 mod stats;
@@ -59,6 +60,7 @@ pub use stats::EngineStats;
 
 use crate::governor::{AnalysisError, Budget, CancelToken, GovernedAnalysis, QueryGovernor};
 use crate::solve::{AnalysisOptions, NestAnalysis, RefAnalysis};
+use crate::store::ArtifactStore;
 use cme_cache::CacheConfig;
 use cme_ir::{LoopNest, NestId, ProgramDb, RefId};
 use cme_math::SolveMemo;
@@ -93,6 +95,7 @@ pub struct Engine {
     scan_memo: Mutex<HashMap<u128, Arc<CascadeResult>>>,
     system_memo: Mutex<HashMap<u128, memo::SystemEntry>>,
     solve_memo: Arc<SolveMemo>,
+    store: Option<Arc<ArtifactStore>>,
     counters: Counters,
     /// Test hook: worker items left before an injected panic fires
     /// (`u64::MAX` = disarmed).
@@ -137,6 +140,7 @@ impl Engine {
             scan_memo: Mutex::new(HashMap::new()),
             system_memo: Mutex::new(HashMap::new()),
             solve_memo: Arc::new(SolveMemo::new()),
+            store: None,
             counters: Counters::default(),
             panic_countdown: AtomicU64::new(u64::MAX),
         }
@@ -234,12 +238,8 @@ impl Engine {
         options: &AnalysisOptions,
         threads: usize,
     ) -> Vec<NestAnalysis> {
-        let govs: Vec<QueryGovernor> = ids
-            .iter()
-            .map(|_| QueryGovernor::new(Budget::unlimited(), None))
-            .collect();
-        match self.analyze_governed_batch(ids, options, threads, &govs) {
-            Ok(results) => results,
+        match self.try_analyze_batch(ids, options, threads, Budget::unlimited(), None) {
+            Ok(results) => results.into_iter().map(|g| g.analysis).collect(),
             Err(e) => panic!("{e}"),
         }
     }
@@ -309,27 +309,28 @@ impl Engine {
         budget: Budget,
         cancel: Option<&CancelToken>,
     ) -> Result<Vec<GovernedAnalysis>, AnalysisError> {
-        let govs: Vec<QueryGovernor> = ids
+        // Persistent-store consult, ahead of every pipeline stage (see
+        // `engine/persist.rs`): a hit is always a complete analysis, so
+        // it satisfies any budget.
+        let keys = self.artifact_keys(ids, options);
+        let served = self.consult_store(&keys);
+        let miss_idx: Vec<usize> = served
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        let miss_ids: Vec<NestId> = miss_idx.iter().map(|&i| ids[i]).collect();
+        self.counters
+            .analyses
+            .fetch_add((ids.len() - miss_ids.len()) as u64, Ordering::Relaxed);
+
+        let govs: Vec<QueryGovernor> = miss_ids
             .iter()
             .map(|_| QueryGovernor::new(budget, cancel.cloned()))
             .collect();
-        let results = self.analyze_governed_batch(ids, options, threads, &govs)?;
-        Ok(results
-            .into_iter()
-            .zip(govs)
-            .map(|(analysis, gov)| {
-                let outcome = gov.outcome();
-                if outcome.is_exhausted() {
-                    self.counters
-                        .exhausted_analyses
-                        .fetch_add(1, Ordering::Relaxed);
-                    self.counters
-                        .truncated_points
-                        .fetch_add(gov.truncated_points(), Ordering::Relaxed);
-                }
-                GovernedAnalysis { analysis, outcome }
-            })
-            .collect())
+        let computed = self.analyze_governed_batch(&miss_ids, options, threads, &govs)?;
+        Ok(self.merge_batch_results(served, &keys, &miss_idx, computed, &govs))
     }
 
     /// The batch pipeline driver: runs every nest of the batch through

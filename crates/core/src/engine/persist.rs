@@ -1,0 +1,133 @@
+//! Persistent-store glue for the engine driver: per-batch key
+//! derivation, the read-side consult ahead of the pipeline, and the
+//! exact-only write-through. Policy (what is trusted, what is evicted,
+//! what is never written) lives in [`crate::store`]; this module only
+//! wires it to the batch entry point and the counters.
+
+use super::Engine;
+use crate::governor::{GovernedAnalysis, Outcome, QueryGovernor};
+use crate::solve::{AnalysisOptions, NestAnalysis};
+use crate::store::{ArtifactKey, ArtifactStore};
+use cme_ir::NestId;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+impl Engine {
+    /// Attaches a persistent [`ArtifactStore`]: finished (complete)
+    /// analyses are written through to disk and later queries for the
+    /// same `(structure, layout, geometry, options)` are answered from
+    /// the store before any pipeline stage runs. The store is only
+    /// consulted while caching is on ([`Engine::set_caching`]) — the
+    /// uncached reference path stays a true recompute. Exhausted
+    /// (budget-truncated) results are never persisted.
+    pub fn set_store(&mut self, store: Arc<ArtifactStore>) {
+        self.store = Some(store);
+    }
+
+    /// The attached artifact store, if any.
+    pub fn store(&self) -> Option<&Arc<ArtifactStore>> {
+        self.store.as_ref()
+    }
+    /// The store key of every nest in the batch, or `None` per slot when
+    /// no store is attached. The store mirrors the memo tables' on/off
+    /// switch: with caching disabled this is a true recompute and every
+    /// slot is `None`.
+    pub(super) fn artifact_keys(
+        &self,
+        ids: &[NestId],
+        options: &AnalysisOptions,
+    ) -> Vec<Option<ArtifactKey>> {
+        match &self.store {
+            Some(_) if self.caching => ids
+                .iter()
+                .map(|&id| {
+                    Some(ArtifactKey::new(
+                        self.db.structural_hash(id),
+                        self.db.layout_hash(id),
+                        &self.cache,
+                        options,
+                    ))
+                })
+                .collect(),
+            _ => vec![None; ids.len()],
+        }
+    }
+
+    /// Read-side consult, ahead of every pipeline stage: one pre-served
+    /// analysis per keyed slot. A stored artifact is always a *complete*
+    /// analysis (truncated results are never persisted), so a hit
+    /// satisfies any budget.
+    pub(super) fn consult_store(&self, keys: &[Option<ArtifactKey>]) -> Vec<Option<NestAnalysis>> {
+        let mut served: Vec<Option<NestAnalysis>> = vec![None; keys.len()];
+        if let Some(store) = &self.store {
+            for (slot, key) in served.iter_mut().zip(keys) {
+                if let Some(key) = key {
+                    match store.get(key) {
+                        Some(analysis) => {
+                            self.counters.store_hits.fetch_add(1, Ordering::Relaxed);
+                            *slot = Some(analysis);
+                        }
+                        None => {
+                            self.counters.store_misses.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        }
+        served
+    }
+
+    /// Write-through of exact artifacts only — the caller must have
+    /// already checked the outcome: an exhausted result is a sound
+    /// overcount a later reader could not distinguish from the exact
+    /// answer, so it must never reach this point.
+    pub(super) fn persist_exact(&self, key: Option<&ArtifactKey>, analysis: &NestAnalysis) {
+        if let (Some(store), Some(key)) = (&self.store, key) {
+            store.put(key, analysis);
+            self.counters.store_writes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Assembles the batch result in `ids` order from store hits
+    /// (`served`, always [`Outcome::Complete`]) and pipeline results
+    /// (`computed`, in `miss_idx` order), tallying exhaustion and
+    /// writing exact artifacts through to the store.
+    pub(super) fn merge_batch_results(
+        &self,
+        served: Vec<Option<NestAnalysis>>,
+        keys: &[Option<ArtifactKey>],
+        miss_idx: &[usize],
+        computed: Vec<NestAnalysis>,
+        govs: &[QueryGovernor],
+    ) -> Vec<GovernedAnalysis> {
+        let mut out: Vec<Option<GovernedAnalysis>> = served
+            .into_iter()
+            .map(|s| {
+                s.map(|analysis| GovernedAnalysis {
+                    analysis,
+                    outcome: Outcome::Complete,
+                })
+            })
+            .collect();
+        for ((&i, analysis), gov) in miss_idx.iter().zip(computed).zip(govs) {
+            let outcome = gov.outcome();
+            if outcome.is_exhausted() {
+                self.counters
+                    .exhausted_analyses
+                    .fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .truncated_points
+                    .fetch_add(gov.truncated_points(), Ordering::Relaxed);
+            } else {
+                self.persist_exact(keys[i].as_ref(), &analysis);
+            }
+            out[i] = Some(GovernedAnalysis { analysis, outcome });
+        }
+        out.into_iter()
+            .map(|g| match g {
+                Some(g) => g,
+                None => unreachable!("every slot is a hit or a computed miss"),
+            })
+            .collect()
+    }
+}

@@ -53,6 +53,9 @@ pub(crate) struct Counters {
     pub(crate) truncated_points: AtomicU64,
     pub(crate) exhausted_analyses: AtomicU64,
     pub(crate) worker_panics: AtomicU64,
+    pub(crate) store_hits: AtomicU64,
+    pub(crate) store_misses: AtomicU64,
+    pub(crate) store_writes: AtomicU64,
     pub(crate) lower_ns: AtomicU64,
     pub(crate) reuse_ns: AtomicU64,
     pub(crate) solve_ns: AtomicU64,
@@ -127,6 +130,13 @@ pub struct EngineStats {
     pub exhausted_analyses: u64,
     /// Worker panics caught at the pool boundary (each failed one query).
     pub worker_panics: u64,
+    /// Analyses answered from the persistent [`crate::ArtifactStore`]
+    /// before any pipeline stage ran.
+    pub store_hits: u64,
+    /// Store lookups that fell through to the pipeline.
+    pub store_misses: u64,
+    /// Complete analyses written through to the persistent store.
+    pub store_writes: u64,
     /// Diophantine/polytope solver memo hits (shared [`cme_math::SolveMemo`]).
     pub solver_hits: u64,
     /// Solver memo misses (counts actually computed).
@@ -224,6 +234,11 @@ impl fmt::Display for EngineStats {
         )?;
         writeln!(
             f,
+            "  artifact store: {} hits, {} misses, {} writes",
+            self.store_hits, self.store_misses, self.store_writes
+        )?;
+        writeln!(
+            f,
             "  solver memo:   {} hits, {} misses",
             self.solver_hits, self.solver_misses
         )?;
@@ -268,6 +283,9 @@ impl Engine {
             truncated_points: c.truncated_points.load(Ordering::Relaxed),
             exhausted_analyses: c.exhausted_analyses.load(Ordering::Relaxed),
             worker_panics: c.worker_panics.load(Ordering::Relaxed),
+            store_hits: c.store_hits.load(Ordering::Relaxed),
+            store_misses: c.store_misses.load(Ordering::Relaxed),
+            store_writes: c.store_writes.load(Ordering::Relaxed),
             solver_hits: self.solve_memo.hits(),
             solver_misses: self.solve_memo.misses(),
             time_lower: ns(&c.lower_ns),

@@ -42,6 +42,14 @@
 //!   overflow.
 //! - [`accuracy`] — side-by-side comparison against the LRU simulator
 //!   (Table 1's DineroIII columns).
+//! - [`store`] — the persistent artifact store: finished analyses on
+//!   disk, keyed by `(structural_hash, layout_hash, geometry, options)`
+//!   with integrity checks and LRU size bounding, so repeated queries
+//!   survive the process (see `docs/SERVE.md`).
+//! - [`api`] — the unified request/response contract
+//!   ([`api::AnalyzeRequest`], [`api::AnalyzeResponse`],
+//!   [`api::ErrorCode`]) shared by `cmetool`, the `cme-serve` wire
+//!   protocol, and in-process batch callers.
 //!
 //! # Example
 //!
@@ -72,12 +80,14 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod accuracy;
+pub mod api;
 pub mod engine;
 pub mod equations;
 pub mod governor;
 pub mod pointset;
 pub mod sequence;
 pub mod solve;
+pub mod store;
 mod window;
 
 pub use accuracy::{compare_with_simulation, AccuracyRow};
@@ -91,3 +101,4 @@ pub use solve::{
     AnalysisOptions, AnalysisOptionsBuilder, InvalidOptions, NestAnalysis, RefAnalysis,
     VectorReport,
 };
+pub use store::{ArtifactKey, ArtifactStore, StoreError, StoreStats};

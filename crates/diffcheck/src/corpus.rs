@@ -118,6 +118,22 @@ impl CorpusCase {
         self.judge(report)
     }
 
+    /// Renders the case as a unified-API [`AnalyzeRequest`](cme_core::api::AnalyzeRequest)
+    /// (`cme_core::api`): the same program, geometry, and ε, with the case
+    /// name as the correlation id — so corpus replay can round-trip
+    /// through `cme-serve` or any other api frontend and compare counts
+    /// against [`CorpusCase::verify`]. Returns `None` for nests the
+    /// textual wire format cannot express (non-1 array origins).
+    pub fn to_request(&self) -> Option<cme_core::api::AnalyzeRequest> {
+        let mut request = cme_core::api::AnalyzeRequest::from_nest(
+            &self.name,
+            &self.nest,
+            cme_core::api::CacheSpec::of(&self.cache),
+        )?;
+        request.epsilon = self.epsilon;
+        Some(request)
+    }
+
     fn judge(&self, report: CaseReport) -> Result<CaseReport, String> {
         if self.expect.allows(&report.verdict) {
             Ok(report)
@@ -332,6 +348,31 @@ mod tests {
             .unwrap();
         assert!(!full.exhausted);
         assert_eq!(full.verdict, Verdict::Exact);
+    }
+
+    #[test]
+    fn replay_through_the_unified_api_matches_verify() {
+        let case = sample_case(false);
+        let report = case.verify(&mut crate::CmeOracle, 1).unwrap();
+        let request = case.to_request().unwrap();
+        assert_eq!(request.id, case.name);
+        assert!(request.budget().is_unlimited());
+        let mut analyzer = cme_core::Analyzer::new(request.cache_config().unwrap());
+        let served = analyzer.serve(&request).result.unwrap();
+        assert!(served.outcome.complete);
+        assert_eq!(served.total_misses, report.cme_total);
+    }
+
+    #[test]
+    fn violations_convert_to_coded_mismatch_errors() {
+        let e: cme_core::api::Error = crate::ViolationKind::Undercount {
+            ref_index: 2,
+            cme: 3,
+            sim: 5,
+        }
+        .into();
+        assert_eq!(e.code, cme_core::api::ErrorCode::Mismatch);
+        assert!(e.message.contains("undercount"));
     }
 
     #[test]

@@ -93,6 +93,12 @@ impl fmt::Display for ViolationKind {
     }
 }
 
+impl From<ViolationKind> for cme_core::api::Error {
+    fn from(v: ViolationKind) -> Self {
+        cme_core::api::Error::new(cme_core::api::ErrorCode::Mismatch, v.to_string())
+    }
+}
+
 /// The soundness classification of one case.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Verdict {

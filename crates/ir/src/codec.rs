@@ -1,0 +1,390 @@
+//! A minimal little-endian binary codec for persisted analysis artifacts.
+//!
+//! The build environment is offline, so the artifact store cannot lean on
+//! serde: this module provides the primitive layer — an append-only
+//! [`Encoder`], a bounds-checked [`Decoder`], and the [`fnv1a64`]
+//! integrity checksum — that `cme-core::store` composes into versioned,
+//! checksummed artifact files. The format is deliberately boring: fixed
+//! little-endian integers, length-prefixed strings and sequences, no
+//! padding, no alignment. Every read is bounds-checked and returns a
+//! typed [`CodecError`] instead of panicking, because store files are
+//! untrusted input (a crash-truncated or bit-flipped entry must decode to
+//! an error, never UB or a wrong value that the checksum missed).
+
+use std::fmt;
+
+/// Decoding failure: the byte stream does not match the expected shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The stream ended before a value's bytes.
+    Truncated {
+        /// Byte offset of the failed read.
+        at: usize,
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes remaining.
+        remaining: usize,
+    },
+    /// A length prefix exceeds the plausible bound for its field.
+    LengthOutOfRange {
+        /// Byte offset of the length prefix.
+        at: usize,
+        /// The decoded length.
+        len: u64,
+        /// The per-field ceiling that rejected it.
+        max: u64,
+    },
+    /// A string field was not valid UTF-8.
+    BadUtf8 {
+        /// Byte offset of the string payload.
+        at: usize,
+    },
+    /// An enum discriminant byte has no corresponding variant.
+    BadDiscriminant {
+        /// Byte offset of the discriminant.
+        at: usize,
+        /// The unexpected value.
+        value: u8,
+        /// What was being decoded.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated {
+                at,
+                needed,
+                remaining,
+            } => write!(
+                f,
+                "truncated stream at byte {at}: needed {needed} bytes, {remaining} remain"
+            ),
+            CodecError::LengthOutOfRange { at, len, max } => {
+                write!(f, "length {len} at byte {at} exceeds the bound {max}")
+            }
+            CodecError::BadUtf8 { at } => write!(f, "invalid UTF-8 string at byte {at}"),
+            CodecError::BadDiscriminant { at, value, what } => {
+                write!(f, "invalid {what} discriminant {value} at byte {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// The 64-bit FNV-1a hash — the store's integrity checksum.
+///
+/// Not cryptographic: it defends against truncation and accidental
+/// corruption, not adversaries (the store directory has the same trust
+/// level as the binary itself).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Append-only little-endian writer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Consumes the encoder, returning the bytes written.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The bytes written so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a bool as one byte (`0`/`1`).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `i64`, little-endian.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u128`, little-endian.
+    pub fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a length-prefixed (`u32`) UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Writes a length-prefixed (`u32`) sequence of `i64`s.
+    pub fn i64s(&mut self, vs: &[i64]) {
+        self.u32(vs.len() as u32);
+        for &v in vs {
+            self.i64(v);
+        }
+    }
+
+    /// Writes a length-prefixed (`u32`) sequence of `u64`s.
+    pub fn u64s(&mut self, vs: &[u64]) {
+        self.u32(vs.len() as u32);
+        for &v in vs {
+            self.u64(v);
+        }
+    }
+
+    /// Appends raw bytes with no prefix (framing is the caller's job).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Per-field ceiling for decoded sequence lengths: generous for any real
+/// artifact, small enough that a corrupt length prefix cannot drive an
+/// allocation into the gigabytes before the checksum is ever consulted.
+pub const MAX_SEQ_LEN: u64 = 1 << 28;
+
+/// Bounds-checked little-endian reader over a byte slice.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                at: self.pos,
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool byte, rejecting values other than `0`/`1`.
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        let at = self.pos;
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            value => Err(CodecError::BadDiscriminant {
+                at,
+                value,
+                what: "bool",
+            }),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, CodecError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(i64::from_le_bytes(a))
+    }
+
+    /// Reads a little-endian `u128`.
+    pub fn u128(&mut self) -> Result<u128, CodecError> {
+        let b = self.take(16)?;
+        let mut a = [0u8; 16];
+        a.copy_from_slice(b);
+        Ok(u128::from_le_bytes(a))
+    }
+
+    /// Reads a `u32` length prefix, rejecting lengths above `max`.
+    pub fn len_prefix(&mut self, max: u64) -> Result<usize, CodecError> {
+        let at = self.pos;
+        let len = u64::from(self.u32()?);
+        if len > max {
+            return Err(CodecError::LengthOutOfRange { at, len, max });
+        }
+        Ok(len as usize)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let len = self.len_prefix(MAX_SEQ_LEN)?;
+        let at = self.pos;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8 { at })
+    }
+
+    /// Reads a length-prefixed sequence of `i64`s.
+    pub fn i64s(&mut self) -> Result<Vec<i64>, CodecError> {
+        let len = self.len_prefix(MAX_SEQ_LEN)?;
+        let mut out = Vec::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            out.push(self.i64()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed sequence of `u64`s.
+    pub fn u64s(&mut self) -> Result<Vec<u64>, CodecError> {
+        let len = self.len_prefix(MAX_SEQ_LEN)?;
+        let mut out = Vec::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            out.push(self.u64()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut e = Encoder::new();
+        e.u8(7);
+        e.bool(true);
+        e.u32(0xdead_beef);
+        e.u64(u64::MAX - 3);
+        e.i64(i64::MIN + 11);
+        e.u128(0x0123_4567_89ab_cdef_0123_4567_89ab_cdef);
+        e.str("naïve ∞");
+        e.i64s(&[-1, 0, 1]);
+        e.u64s(&[42]);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert!(d.bool().unwrap());
+        assert_eq!(d.u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(d.i64().unwrap(), i64::MIN + 11);
+        assert_eq!(d.u128().unwrap(), 0x0123_4567_89ab_cdef_0123_4567_89ab_cdef);
+        assert_eq!(d.str().unwrap(), "naïve ∞");
+        assert_eq!(d.i64s().unwrap(), vec![-1, 0, 1]);
+        assert_eq!(d.u64s().unwrap(), vec![42]);
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut e = Encoder::new();
+        e.u64(123);
+        let bytes = e.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut d = Decoder::new(&bytes[..cut]);
+            assert!(matches!(d.u64(), Err(CodecError::Truncated { .. })));
+        }
+    }
+
+    #[test]
+    fn corrupt_length_prefix_is_bounded() {
+        let mut e = Encoder::new();
+        e.u32(u32::MAX); // an absurd string length
+        e.raw(b"xy");
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert!(matches!(d.str(), Err(CodecError::LengthOutOfRange { .. })));
+    }
+
+    #[test]
+    fn bad_bool_and_utf8_are_typed() {
+        let mut d = Decoder::new(&[9]);
+        assert!(matches!(d.bool(), Err(CodecError::BadDiscriminant { .. })));
+        let mut e = Encoder::new();
+        e.u32(2);
+        e.raw(&[0xff, 0xfe]);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert!(matches!(d.str(), Err(CodecError::BadUtf8 { .. })));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a64(b"artifact"), fnv1a64(b"artifacT"));
+    }
+}

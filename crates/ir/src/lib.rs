@@ -47,6 +47,7 @@
 
 pub mod array;
 pub mod builder;
+pub mod codec;
 pub mod db;
 pub mod nest;
 pub mod parse;

@@ -1,0 +1,638 @@
+//! Long-running analysis service over the unified request/response API.
+//!
+//! `cme-serve` speaks a JSON **line protocol**: each connection carries a
+//! stream of single-line requests and receives one single-line response
+//! per request, in order (see `docs/SERVE.md` for the schema). Concurrent
+//! clients are multiplexed onto shared per-geometry [`Analyzer`] sessions
+//! so every client benefits from every other client's memoized work, and
+//! all sessions write through one persistent [`ArtifactStore`] when a
+//! store directory is configured.
+//!
+//! Resource governance doubles as admission control: a server-wide
+//! `max_budget_ms` caps (and, for unbudgeted requests, supplies) the
+//! per-request deadline, so no client can monopolize a shared session.
+//! Exhausted requests come back as *degraded successes*
+//! (`outcome.complete = false`, a sound overcount) — never as errors, and
+//! never persisted to the store.
+//!
+//! The protocol carries four operations, dispatched on the `op` field:
+//! `analyze` (the [`AnalyzeRequest`] schema), `ping`, `stats`, and
+//! `shutdown`. Responses always echo the request `id` and carry either an
+//! `ok` object or a coded `error` object ([`ErrorCode`]).
+
+use cme_core::api::json::{self, obj, Json};
+use cme_core::api::{AnalyzeRequest, AnalyzeResponse, Error, ErrorCode};
+use cme_core::{Analyzer, ArtifactStore};
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread;
+use std::time::Duration;
+
+/// How a [`Server`] is provisioned: storage, parallelism, and the
+/// admission ceiling.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Directory of the persistent artifact store (`None` = in-memory
+    /// memoization only).
+    pub store_dir: Option<PathBuf>,
+    /// Size bound of the store in bytes (`None` =
+    /// [`ArtifactStore::DEFAULT_MAX_BYTES`]).
+    pub store_max_bytes: Option<u64>,
+    /// Worker threads per analysis (`0` = sequential).
+    pub threads: usize,
+    /// Admission control: every request's wall-clock budget is clamped to
+    /// this many milliseconds, and requests that arrive without a deadline
+    /// get exactly this one (`None` = requests run as budgeted, possibly
+    /// unbounded).
+    pub max_budget_ms: Option<u64>,
+}
+
+/// Aggregate traffic counters of a running [`Server`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Protocol lines answered (any op).
+    pub requests: u64,
+    /// Responses that carried a coded error.
+    pub errors: u64,
+    /// Live per-geometry sessions.
+    pub sessions: u64,
+}
+
+/// The shared server state: per-geometry [`Analyzer`] sessions, the
+/// optional artifact store behind them, and the shutdown latch.
+///
+/// One `Server` is shared (via `Arc`) by every listener and connection
+/// thread; [`Server::handle_line`] is the single protocol entry point, so
+/// transports stay trivial and tests can drive the protocol without a
+/// socket.
+#[derive(Debug)]
+pub struct Server {
+    config: ServerConfig,
+    store: Option<Arc<ArtifactStore>>,
+    sessions: Mutex<HashMap<[i64; 4], Arc<Mutex<Analyzer>>>>,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Locks a mutex, riding through poisoning: a panicking worker must not
+/// wedge every other client of the session.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Server {
+    /// Provisions a server: opens (or creates) the artifact store when a
+    /// directory is configured.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::Store`] when the store directory cannot be opened.
+    pub fn new(config: ServerConfig) -> Result<Arc<Self>, Error> {
+        let store = match &config.store_dir {
+            Some(dir) => Some(Arc::new(ArtifactStore::open_bounded(
+                dir,
+                config
+                    .store_max_bytes
+                    .unwrap_or(ArtifactStore::DEFAULT_MAX_BYTES),
+                ArtifactStore::DEFAULT_MAX_ENTRY_BYTES,
+            )?)),
+            None => None,
+        };
+        Ok(Arc::new(Server {
+            config,
+            store,
+            sessions: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }))
+    }
+
+    /// True once a `shutdown` request has been accepted; listeners drain
+    /// and stop accepting.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown from the host process (equivalent to the wire
+    /// `shutdown` op).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Snapshot of the server's own counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            sessions: lock(&self.sessions).len() as u64,
+        }
+    }
+
+    /// The session for a cache geometry, created on first use. Sessions
+    /// share the server's store and thread setting and persist for the
+    /// server's lifetime, so repeated queries hit the memo tables.
+    fn session(&self, request: &AnalyzeRequest) -> Result<Arc<Mutex<Analyzer>>, Error> {
+        let cfg = request.cache_config()?;
+        let key = [
+            request.cache.size_bytes,
+            request.cache.assoc,
+            request.cache.line_bytes,
+            request.cache.elem_bytes,
+        ];
+        let mut sessions = lock(&self.sessions);
+        if let Some(session) = sessions.get(&key) {
+            return Ok(Arc::clone(session));
+        }
+        let mut analyzer = Analyzer::new(cfg).threads(self.config.threads);
+        if let Some(store) = &self.store {
+            analyzer = analyzer.store(Arc::clone(store));
+        }
+        let session = Arc::new(Mutex::new(analyzer));
+        sessions.insert(key, Arc::clone(&session));
+        Ok(session)
+    }
+
+    /// Admission control: clamps the request's wall-clock budget to the
+    /// server ceiling (and imposes the ceiling on unbudgeted requests).
+    fn admit(&self, mut request: AnalyzeRequest) -> AnalyzeRequest {
+        if let Some(max) = self.config.max_budget_ms {
+            request.budget_ms = Some(request.budget_ms.map_or(max, |ms| ms.min(max)));
+        }
+        request
+    }
+
+    /// Serves one protocol line and returns the single-line response.
+    /// Never panics and never returns an embedded newline; malformed input
+    /// yields a coded error response.
+    pub fn handle_line(&self, line: &str) -> String {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let response = self.dispatch(line);
+        debug_assert!(!response.contains('\n'));
+        response
+    }
+
+    fn dispatch(&self, line: &str) -> String {
+        let value = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => return self.error_line("", Error::from(e)),
+        };
+        let id = value
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        match value.get("op").and_then(Json::as_str).unwrap_or("analyze") {
+            "ping" => self.ok_line(&id, obj([("pong", Json::Bool(true))])),
+            "stats" => self.ok_line(&id, self.stats_json()),
+            "shutdown" => {
+                self.request_shutdown();
+                self.ok_line(&id, obj([("shutdown", Json::Bool(true))]))
+            }
+            "analyze" => match AnalyzeRequest::from_json(&value) {
+                Ok(request) => self.analyze(&self.admit(request)).encode(),
+                Err(e) => self.error_line(&id, e),
+            },
+            other => self.error_line(
+                &id,
+                Error::new(ErrorCode::BadRequest, format!("unknown op `{other}`")),
+            ),
+        }
+    }
+
+    fn analyze(&self, request: &AnalyzeRequest) -> AnalyzeResponse {
+        let session = match self.session(request) {
+            Ok(s) => s,
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                return AnalyzeResponse::err(&request.id, e);
+            }
+        };
+        let response = lock(&session).serve(request);
+        if response.result.is_err() {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        response
+    }
+
+    fn ok_line(&self, id: &str, payload: Json) -> String {
+        obj([("id", Json::Str(id.into())), ("ok", payload)]).encode()
+    }
+
+    fn error_line(&self, id: &str, error: Error) -> String {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        AnalyzeResponse::err(id, error).encode()
+    }
+
+    /// The `stats` op payload: server, per-session engine, and store
+    /// counters.
+    fn stats_json(&self) -> Json {
+        let server = self.stats();
+        let engine = {
+            let sessions = lock(&self.sessions);
+            let mut analyses = 0u64;
+            let mut store_hits = 0u64;
+            let mut store_misses = 0u64;
+            let mut store_writes = 0u64;
+            let mut exhausted = 0u64;
+            for session in sessions.values() {
+                let s = lock(session).stats();
+                analyses += s.analyses;
+                store_hits += s.store_hits;
+                store_misses += s.store_misses;
+                store_writes += s.store_writes;
+                exhausted += s.exhausted_analyses;
+            }
+            obj([
+                ("analyses", Json::UInt(analyses)),
+                ("store_hits", Json::UInt(store_hits)),
+                ("store_misses", Json::UInt(store_misses)),
+                ("store_writes", Json::UInt(store_writes)),
+                ("exhausted", Json::UInt(exhausted)),
+            ])
+        };
+        let store = self.store.as_ref().map(|store| {
+            let s = store.stats();
+            obj([
+                ("dir", Json::Str(store.dir().display().to_string())),
+                ("entries", Json::UInt(store.entry_count() as u64)),
+                ("bytes", Json::UInt(store.total_bytes())),
+                ("hits", Json::UInt(s.hits)),
+                ("misses", Json::UInt(s.misses)),
+                ("writes", Json::UInt(s.writes)),
+                ("lru_evicted", Json::UInt(s.lru_evicted)),
+                ("corrupt_evicted", Json::UInt(s.corrupt_evicted)),
+                ("version_evicted", Json::UInt(s.version_evicted)),
+            ])
+        });
+        obj([
+            ("requests", Json::UInt(server.requests)),
+            ("errors", Json::UInt(server.errors)),
+            ("sessions", Json::UInt(server.sessions)),
+            ("engine", engine),
+            ("store", store.unwrap_or(Json::Null)),
+        ])
+    }
+
+    /// Drives one connection: reads newline-framed requests, writes one
+    /// response line per request, returns when the peer closes or shutdown
+    /// is requested.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket I/O failures (the connection is simply dropped).
+    pub fn handle_connection<R: io::Read, W: Write>(
+        &self,
+        reader: R,
+        mut writer: W,
+    ) -> io::Result<()> {
+        let reader = BufReader::new(reader);
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            writer.write_all(self.handle_line(&line).as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            if self.is_shutdown() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Accept loop over TCP: one thread per connection, polling the
+    /// shutdown latch between accepts. Returns after shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener setup failures; per-connection errors only drop
+    /// that connection.
+    pub fn serve_tcp(self: &Arc<Self>, listener: TcpListener) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        self.accept_loop(
+            || match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false).ok();
+                    Some(Ok(stream))
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                Err(e) => Some(Err(e)),
+            },
+            |server, stream: TcpStream| {
+                let reader = stream.try_clone()?;
+                server.handle_connection(reader, stream)
+            },
+        )
+    }
+
+    /// Accept loop over a Unix socket; semantics as [`Server::serve_tcp`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener setup failures.
+    pub fn serve_unix(self: &Arc<Self>, listener: UnixListener) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        self.accept_loop(
+            || match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false).ok();
+                    Some(Ok(stream))
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                Err(e) => Some(Err(e)),
+            },
+            |server, stream: UnixStream| {
+                let reader = stream.try_clone()?;
+                server.handle_connection(reader, stream)
+            },
+        )
+    }
+
+    fn accept_loop<S, A, H>(self: &Arc<Self>, mut accept: A, handle: H) -> io::Result<()>
+    where
+        S: Send + 'static,
+        A: FnMut() -> Option<io::Result<S>>,
+        H: Fn(&Server, S) -> io::Result<()> + Send + Sync + Copy + 'static,
+    {
+        let mut workers = Vec::new();
+        while !self.is_shutdown() {
+            match accept() {
+                Some(Ok(stream)) => {
+                    let server = Arc::clone(self);
+                    workers.push(thread::spawn(move || {
+                        let _ = handle(&server, stream);
+                    }));
+                }
+                Some(Err(e)) => return Err(e),
+                None => thread::sleep(Duration::from_millis(5)),
+            }
+            workers.retain(|w| !w.is_finished());
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cme_core::api::CacheSpec;
+    use std::net::SocketAddr;
+
+    fn spec() -> CacheSpec {
+        CacheSpec {
+            size_bytes: 1024,
+            assoc: 2,
+            line_bytes: 32,
+            elem_bytes: 4,
+        }
+    }
+
+    fn mmult(n: i64) -> String {
+        format!(
+            "REAL Z({n},{n}) AT 0\nREAL X({n},{n}) AT {xz}\nREAL Y({n},{n}) AT {yz}\n\
+             DO i = 1, {n}\n  DO j = 1, {n}\n    DO k = 1, {n}\n      \
+             Z(j,i) = Z(j,i) + X(k,i) * Y(j,k)\n    ENDDO\n  ENDDO\nENDDO\n",
+            n = n,
+            xz = n * n,
+            yz = 2 * n * n,
+        )
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cme-serve-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn start_tcp(server: &Arc<Server>) -> (SocketAddr, thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let srv = Arc::clone(server);
+        let handle = thread::spawn(move || {
+            srv.serve_tcp(listener).unwrap();
+        });
+        (addr, handle)
+    }
+
+    /// Sends each line and reads one response line per request.
+    fn roundtrip(addr: SocketAddr, lines: &[String]) -> Vec<String> {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let mut out = Vec::new();
+        for line in lines {
+            writer.write_all(line.as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+            writer.flush().unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            out.push(response.trim_end().to_string());
+        }
+        out
+    }
+
+    fn shutdown(server: &Arc<Server>, addr: SocketAddr, listener: thread::JoinHandle<()>) {
+        roundtrip(addr, &[r#"{"op":"shutdown","id":"bye"}"#.to_string()]);
+        listener.join().unwrap();
+        assert!(server.is_shutdown());
+    }
+
+    #[test]
+    fn concurrent_tcp_clients_match_in_process_batch() {
+        let dir = temp_dir("concurrent");
+        let server = Server::new(ServerConfig {
+            store_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let (addr, listener) = start_tcp(&server);
+
+        let sizes = [6i64, 8, 10];
+        let requests: Vec<AnalyzeRequest> = sizes
+            .iter()
+            .map(|&n| AnalyzeRequest::new(format!("n{n}"), mmult(n), spec()))
+            .collect();
+
+        // In-process reference: a fresh session, no store.
+        let reference: Vec<u64> = Analyzer::new(spec().build().unwrap())
+            .serve_batch(&requests)
+            .into_iter()
+            .map(|r| r.result.unwrap().total_misses)
+            .collect();
+
+        // Four clients send the same workload concurrently.
+        let lines: Vec<String> = requests.iter().map(AnalyzeRequest::encode).collect();
+        let clients: Vec<_> = (0..4)
+            .map(|_| {
+                let lines = lines.clone();
+                thread::spawn(move || roundtrip(addr, &lines))
+            })
+            .collect();
+        for client in clients {
+            let responses = client.join().unwrap();
+            for (response, (req, want)) in responses.iter().zip(requests.iter().zip(&reference)) {
+                let resp = AnalyzeResponse::decode(response).unwrap();
+                assert_eq!(resp.id, req.id);
+                let result = resp.result.unwrap();
+                assert!(result.outcome.complete);
+                assert_eq!(result.total_misses, *want, "bit-identical to in-process");
+            }
+        }
+
+        shutdown(&server, addr, listener);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn exhausted_requests_degrade_and_never_contaminate_the_store() {
+        let dir = temp_dir("exhaust");
+        let server = Server::new(ServerConfig {
+            store_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let (addr, listener) = start_tcp(&server);
+
+        let mut tight = AnalyzeRequest::new("tight", mmult(8), spec());
+        tight.max_solves = Some(1);
+        let full = AnalyzeRequest::new("full", mmult(8), spec());
+        let responses = roundtrip(addr, &[tight.encode(), full.encode(), full.encode()]);
+
+        // Degraded success: complete=false, a sound overcount, not an error.
+        let degraded = AnalyzeResponse::decode(&responses[0])
+            .unwrap()
+            .result
+            .unwrap();
+        assert!(!degraded.outcome.complete);
+        assert!(!degraded.outcome.reason.is_empty());
+
+        // The exhausted result was NOT persisted: the first full-budget
+        // run recomputes (store_hit=false) and lands the exact count …
+        let first = AnalyzeResponse::decode(&responses[1])
+            .unwrap()
+            .result
+            .unwrap();
+        assert!(first.outcome.complete);
+        assert!(!first.store_hit);
+        assert!(
+            degraded.total_misses >= first.total_misses,
+            "sound overcount"
+        );
+
+        // … and only a *complete* artifact is served back.
+        let second = AnalyzeResponse::decode(&responses[2])
+            .unwrap()
+            .result
+            .unwrap();
+        assert!(second.store_hit);
+        assert_eq!(second.total_misses, first.total_misses);
+
+        shutdown(&server, addr, listener);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn admission_control_caps_every_budget() {
+        let server = Server::new(ServerConfig {
+            max_budget_ms: Some(40),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        // An unbudgeted request gets the ceiling; an over-budgeted one is
+        // clamped; an under-budget one keeps its own deadline.
+        let unbudgeted = server.admit(AnalyzeRequest::new("a", mmult(4), spec()));
+        assert_eq!(unbudgeted.budget_ms, Some(40));
+        let mut over = AnalyzeRequest::new("b", mmult(4), spec());
+        over.budget_ms = Some(10_000);
+        assert_eq!(server.admit(over).budget_ms, Some(40));
+        let mut under = AnalyzeRequest::new("c", mmult(4), spec());
+        under.budget_ms = Some(7);
+        assert_eq!(server.admit(under).budget_ms, Some(7));
+    }
+
+    #[test]
+    fn protocol_ops_ping_stats_shutdown_and_errors() {
+        let server = Server::new(ServerConfig::default()).unwrap();
+        let (addr, listener) = start_tcp(&server);
+
+        let responses = roundtrip(
+            addr,
+            &[
+                r#"{"op":"ping","id":"p"}"#.to_string(),
+                AnalyzeRequest::new("q", mmult(4), spec()).encode(),
+                "this is not json".to_string(),
+                r#"{"op":"frobnicate","id":"f"}"#.to_string(),
+                r#"{"op":"stats","id":"s"}"#.to_string(),
+            ],
+        );
+
+        let ping = json::parse(&responses[0]).unwrap();
+        assert_eq!(ping.get("id").and_then(Json::as_str), Some("p"));
+        assert!(ping.get("ok").and_then(|o| o.get("pong")).is_some());
+
+        assert!(AnalyzeResponse::decode(&responses[1])
+            .unwrap()
+            .result
+            .is_ok());
+
+        for (line, id) in [(&responses[2], ""), (&responses[3], "f")] {
+            let resp = AnalyzeResponse::decode(line).unwrap();
+            assert_eq!(resp.id, id);
+            assert_eq!(resp.result.unwrap_err().code, ErrorCode::BadRequest);
+        }
+
+        let stats = json::parse(&responses[4]).unwrap();
+        let ok = stats.get("ok").unwrap();
+        assert_eq!(ok.get("sessions").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            ok.get("engine")
+                .and_then(|e| e.get("analyses"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(ok.get("store"), Some(&Json::Null));
+
+        shutdown(&server, addr, listener);
+    }
+
+    #[test]
+    fn unix_socket_speaks_the_same_protocol() {
+        let dir = temp_dir("unix");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sock");
+        let server = Server::new(ServerConfig::default()).unwrap();
+        let listener = UnixListener::bind(&path).unwrap();
+        let srv = Arc::clone(&server);
+        let handle = thread::spawn(move || {
+            srv.serve_unix(listener).unwrap();
+        });
+
+        let stream = UnixStream::connect(&path).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let req = AnalyzeRequest::new("u", mmult(4), spec());
+        for line in [req.encode(), r#"{"op":"shutdown","id":"z"}"#.to_string()] {
+            writer.write_all(line.as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+            writer.flush().unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            if let Ok(resp) = AnalyzeResponse::decode(response.trim_end()) {
+                assert!(resp.result.is_ok());
+            }
+        }
+        handle.join().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,154 @@
+//! The `cme-serve` binary: provisions a [`Server`] from command-line
+//! flags and runs the TCP and/or Unix-socket accept loops until a
+//! `shutdown` request arrives.
+
+use cme_serve::{Server, ServerConfig};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::thread;
+
+const USAGE: &str = "\
+cme-serve: long-running CME analysis service (JSON line protocol)
+
+USAGE:
+    cme-serve [--tcp ADDR] [--unix PATH] [OPTIONS]
+
+At least one of --tcp / --unix is required.
+
+OPTIONS:
+    --tcp ADDR             Listen on a TCP address (e.g. 127.0.0.1:7143)
+    --unix PATH            Listen on a Unix socket at PATH (replaced if stale)
+    --store DIR            Persistent artifact store directory
+    --store-max-bytes N    Store size bound in bytes (default 256 MiB)
+    --threads N            Worker threads per analysis (default 1)
+    --max-budget-ms N      Admission ceiling: clamp every request's
+                           wall-clock budget to N milliseconds
+    --help                 Show this help
+";
+
+struct Args {
+    tcp: Option<String>,
+    unix: Option<PathBuf>,
+    config: ServerConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        tcp: None,
+        unix: None,
+        config: ServerConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--tcp" => args.tcp = Some(value("--tcp")?),
+            "--unix" => args.unix = Some(PathBuf::from(value("--unix")?)),
+            "--store" => args.config.store_dir = Some(PathBuf::from(value("--store")?)),
+            "--store-max-bytes" => {
+                args.config.store_max_bytes = Some(
+                    value("--store-max-bytes")?
+                        .parse()
+                        .map_err(|e| format!("--store-max-bytes: {e}"))?,
+                )
+            }
+            "--threads" => {
+                args.config.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--max-budget-ms" => {
+                args.config.max_budget_ms = Some(
+                    value("--max-budget-ms")?
+                        .parse()
+                        .map_err(|e| format!("--max-budget-ms: {e}"))?,
+                )
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.tcp.is_none() && args.unix.is_none() {
+        return Err("at least one of --tcp / --unix is required".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("cme-serve: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let server = match Server::new(args.config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cme-serve: {e}");
+            return ExitCode::from(e.code.exit_code() as u8);
+        }
+    };
+
+    let mut listeners: Vec<thread::JoinHandle<std::io::Result<()>>> = Vec::new();
+    if let Some(path) = &args.unix {
+        // A stale socket file from a dead server would fail the bind.
+        std::fs::remove_file(path).ok();
+        match UnixListener::bind(path) {
+            Ok(listener) => {
+                println!("cme-serve: listening on unix:{}", path.display());
+                let srv = Arc::clone(&server);
+                listeners.push(thread::spawn(move || srv.serve_unix(listener)));
+            }
+            Err(e) => {
+                eprintln!("cme-serve: unix bind {}: {e}", path.display());
+                return ExitCode::from(31);
+            }
+        }
+    }
+    if let Some(addr) = &args.tcp {
+        match TcpListener::bind(addr) {
+            Ok(listener) => {
+                // The bound address (with the resolved port for `:0`).
+                match listener.local_addr() {
+                    Ok(local) => println!("cme-serve: listening on tcp:{local}"),
+                    Err(_) => println!("cme-serve: listening on tcp:{addr}"),
+                }
+                let srv = Arc::clone(&server);
+                listeners.push(thread::spawn(move || srv.serve_tcp(listener)));
+            }
+            Err(e) => {
+                eprintln!("cme-serve: tcp bind {addr}: {e}");
+                return ExitCode::from(31);
+            }
+        }
+    }
+
+    let mut code = ExitCode::SUCCESS;
+    for listener in listeners {
+        match listener.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                eprintln!("cme-serve: listener: {e}");
+                code = ExitCode::from(31);
+            }
+            Err(_) => {
+                eprintln!("cme-serve: listener thread panicked");
+                code = ExitCode::from(50);
+            }
+        }
+    }
+    if let Some(path) = &args.unix {
+        std::fs::remove_file(path).ok();
+    }
+    code
+}

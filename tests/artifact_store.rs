@@ -1,0 +1,224 @@
+//! Persistence contract of the on-disk artifact store.
+//!
+//! Round-trips randomized `cme-testgen` nests through
+//! serialize → deserialize and asserts bit-identical counts; then attacks
+//! the store with corrupted bytes and version-skewed entries and asserts
+//! the engine *recomputes* — never panics, never serves a stale or
+//! damaged artifact. Also pins the two safety invariants of the write
+//! path: exhausted (governor-truncated) analyses are never persisted, and
+//! the LRU size bound actually bounds the directory.
+
+use cme::core::store::{ArtifactKey, ArtifactStore};
+use cme::core::{Analyzer, Budget};
+use cme::ir::codec::{fnv1a64, Encoder};
+use cme::{AnalysisOptions, CacheConfig, LoopNest};
+use cme_testgen::{arb_cache, arb_nest, NestDistribution};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cme-test-store-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// The uncached, storeless reference result.
+fn plain(nest: &LoopNest, cache: CacheConfig) -> cme::NestAnalysis {
+    Analyzer::new(cache).caching(false).analyze(nest)
+}
+
+/// The store key the engine computes for `nest` under default options.
+fn key_of(nest: &LoopNest, cache: &CacheConfig) -> ArtifactKey {
+    let mut analyzer = Analyzer::new(*cache);
+    let id = analyzer.intern(nest);
+    let db = analyzer.engine().db();
+    ArtifactKey::new(
+        db.structural_hash(id),
+        db.layout_hash(id),
+        cache,
+        &AnalysisOptions::default(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// serialize → deserialize is the identity on analysis counts: a
+    /// second session answering from the store is bit-identical to the
+    /// session that computed and wrote the artifact.
+    #[test]
+    fn artifacts_round_trip_bit_identically(
+        nest in arb_nest(NestDistribution::default()),
+        cache in arb_cache(),
+    ) {
+        let dir = temp_dir("roundtrip");
+        {
+            let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+            let mut writer = Analyzer::new(cache).store(Arc::clone(&store));
+            let computed = writer.analyze(&nest);
+            prop_assert_eq!(writer.stats().store_writes, 1);
+
+            // Direct store round-trip of the same artifact.
+            let key = key_of(&nest, &cache);
+            let read_back = store.get(&key).expect("just written");
+            prop_assert_eq!(&read_back, &computed);
+
+            // A fresh session (cold memo tables) must serve from disk.
+            let mut reader = Analyzer::new(cache).store(store);
+            let served = reader.analyze(&nest);
+            prop_assert_eq!(reader.stats().store_hits, 1);
+            prop_assert_eq!(&served, &computed);
+            prop_assert_eq!(&served, &plain(&nest, cache));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn corrupted_entries_are_evicted_and_recomputed() {
+    let dir = temp_dir("corrupt");
+    let cache = CacheConfig::new(1024, 2, 32, 4).unwrap();
+    let nest = cme::kernels::mmult(10);
+    let expect = plain(&nest, cache);
+
+    {
+        let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+        Analyzer::new(cache).store(store).analyze(&nest);
+    }
+
+    // Flip one payload byte in every stored entry: the checksum no longer
+    // matches, so the bytes must not be trusted.
+    let mut flipped = 0;
+    for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("cmea") {
+            continue;
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        flipped += 1;
+    }
+    assert_eq!(flipped, 1, "the analysis persisted exactly one artifact");
+
+    let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+    let mut analyzer = Analyzer::new(cache).store(Arc::clone(&store));
+    let recomputed = analyzer.analyze(&nest);
+    assert_eq!(recomputed, expect, "recompute, never trust corrupt bytes");
+    let stats = store.stats();
+    assert_eq!(stats.corrupt_evicted, 1, "the damaged entry was deleted");
+    assert_eq!(stats.hits, 0);
+    assert_eq!(stats.writes, 1, "the fresh result was re-persisted");
+
+    // The rewritten artifact is healthy again.
+    let mut reader = Analyzer::new(cache).store(Arc::clone(&store));
+    assert_eq!(reader.analyze(&nest), expect);
+    assert_eq!(reader.stats().store_hits, 1);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn version_skewed_entries_are_evicted_and_recomputed() {
+    let dir = temp_dir("version");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache = CacheConfig::new(1024, 2, 32, 4).unwrap();
+    let nest = cme::kernels::mmult(8);
+    let expect = plain(&nest, cache);
+
+    // A well-formed entry from "the future": valid magic and checksum,
+    // format version 99. The reader must treat it as version skew (not
+    // corruption), evict it, and recompute.
+    let key = key_of(&nest, &cache);
+    let mut e = Encoder::new();
+    e.raw(b"CMEA");
+    e.u32(99);
+    let checksum = fnv1a64(e.bytes());
+    e.u64(checksum);
+    std::fs::write(dir.join(key.file_name()), e.into_bytes()).unwrap();
+
+    let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+    let mut analyzer = Analyzer::new(cache).store(Arc::clone(&store));
+    assert_eq!(analyzer.analyze(&nest), expect);
+    let stats = store.stats();
+    assert_eq!(stats.version_evicted, 1, "the skewed entry was deleted");
+    assert_eq!(stats.hits, 0, "a version-skewed entry is never served");
+    assert_eq!(stats.writes, 1, "replaced by a current-version artifact");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exhausted_analyses_are_never_persisted() {
+    let dir = temp_dir("exhausted");
+    let cache = CacheConfig::new(1024, 2, 32, 4).unwrap();
+    let nest = cme::kernels::mmult(10);
+
+    let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+    let mut tight = Analyzer::new(cache)
+        .store(Arc::clone(&store))
+        .budget(Budget::unlimited().with_max_solves(1));
+    let governed = tight.try_analyze(&nest).unwrap();
+    assert!(
+        !matches!(governed.outcome, cme::Outcome::Complete),
+        "the one-solve budget must exhaust on matmul"
+    );
+    assert_eq!(store.entry_count(), 0, "truncated artifacts never land");
+    assert_eq!(store.stats().writes, 0);
+
+    // A later full-budget session finds nothing to reuse — it recomputes
+    // the exact counts and only *then* persists.
+    let mut full = Analyzer::new(cache).store(Arc::clone(&store));
+    let exact = full.analyze(&nest);
+    assert_eq!(full.stats().store_hits, 0);
+    assert_eq!(exact, plain(&nest, cache));
+    assert_eq!(store.entry_count(), 1);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lru_eviction_enforces_the_size_bound() {
+    let dir = temp_dir("lru-measure");
+    let cache = CacheConfig::new(1024, 2, 32, 4).unwrap();
+    let nests: Vec<LoopNest> = (6..=10).map(cme::kernels::mmult).collect();
+
+    // Measure the footprint of the full set, unbounded.
+    let total = {
+        let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+        let mut a = Analyzer::new(cache).store(Arc::clone(&store));
+        for nest in &nests {
+            a.analyze(nest);
+        }
+        assert_eq!(store.entry_count(), nests.len());
+        store.total_bytes()
+    };
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Replay into a store that can only hold about half of that: older
+    // entries must be evicted and the bound must hold after every write.
+    let dir = temp_dir("lru-bounded");
+    let store = Arc::new(
+        ArtifactStore::open_bounded(&dir, total / 2, ArtifactStore::DEFAULT_MAX_ENTRY_BYTES)
+            .unwrap(),
+    );
+    for nest in &nests {
+        // One session per nest so every artifact is written through.
+        Analyzer::new(cache).store(Arc::clone(&store)).analyze(nest);
+        assert!(
+            store.total_bytes() <= total / 2,
+            "size bound violated: {} > {}",
+            store.total_bytes(),
+            total / 2
+        );
+    }
+    assert!(
+        store.stats().lru_evicted >= 1,
+        "something must have been evicted"
+    );
+    assert!(store.entry_count() < nests.len());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
