@@ -41,27 +41,75 @@ pub(crate) fn coalesce_scan_slots(
     (executors, role)
 }
 
+/// Merges two outcomes of *adjacent* block ranges (`a` before `b`).
+/// Counters add; miss runs concatenate wholesale, fusing only at the seam
+/// when `b`'s first run abuts `a`'s last (a miss cluster split by the
+/// block boundary). Because each side's run list is already maximal, this
+/// seam rule is exactly [`push_miss_span`]'s fusion rule, so adjacent
+/// merges are associative and any merge order yields the same bytes.
+///
+/// [`push_miss_span`]: super::stages::cascade::push_miss_span
+fn merge_adjacent(mut a: CascadeResult, mut b: CascadeResult) -> CascadeResult {
+    a.replacement_misses += b.replacement_misses;
+    for (acc, c) in a.contentions.iter_mut().zip(&b.contentions) {
+        *acc += c;
+    }
+    a.truncated += b.truncated;
+    let mut skip = 0;
+    if let (Some(last), Some(&(b_lo, b_hi))) = (a.miss_runs.last_mut(), b.miss_runs.first()) {
+        if last.1 + 1 == b_lo {
+            last.1 = b_hi;
+            skip = 1;
+        }
+    }
+    a.miss_runs.extend(b.miss_runs.drain(skip..));
+    a
+}
+
+/// Pairwise tree reduction over one round item's block outcomes, in block
+/// order. A tree of adjacent merges moves whole run vectors at each level
+/// instead of re-pushing every run through a single accumulator, so the
+/// merge cost is governed by the tree depth rather than re-traversing the
+/// growing fold accumulator once per block.
+fn reduce_tree(mut level: Vec<CascadeResult>) -> Option<CascadeResult> {
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut pairs = level.into_iter();
+        while let Some(a) = pairs.next() {
+            match pairs.next() {
+                Some(b) => next.push(merge_adjacent(a, b)),
+                None => next.push(a),
+            }
+        }
+        level = next;
+    }
+    level.pop()
+}
+
 /// Merges pooled per-block scan results into one outcome per round item.
 /// `jobs[j].0` names the round item block `j` belongs to; blocks cover
-/// run ranges in order, so concatenating miss indices in job order keeps
-/// them sorted globally and per-point contention sums add associatively —
-/// the merged outcome is byte-identical to an unsharded scan.
+/// run ranges in order, so a tree of adjacent merges per item rebuilds
+/// the canonical maximal-run list and associative counter sums — the
+/// merged outcome is byte-identical to an unsharded scan.
 pub(crate) fn merge_scan_blocks(
     empties: Vec<CascadeResult>,
     jobs: Vec<(usize, usize, usize)>,
     partials: Vec<CascadeResult>,
 ) -> Vec<Arc<CascadeResult>> {
-    let mut merged = empties;
+    let mut groups: Vec<Vec<CascadeResult>> = (0..empties.len()).map(|_| Vec::new()).collect();
     for ((ri, _, _), part) in jobs.into_iter().zip(partials) {
-        let m = &mut merged[ri];
-        m.replacement_misses += part.replacement_misses;
-        for (acc, c) in m.contentions.iter_mut().zip(&part.contentions) {
-            *acc += c;
-        }
-        m.miss_indices.extend_from_slice(&part.miss_indices);
-        m.truncated += part.truncated;
+        groups[ri].push(part);
     }
-    merged.into_iter().map(Arc::new).collect()
+    empties
+        .into_iter()
+        .zip(groups)
+        .map(|(base, group)| {
+            Arc::new(match reduce_tree(group) {
+                Some(part) => merge_adjacent(base, part),
+                None => base,
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -81,5 +129,56 @@ mod tests {
         let (executors, role) = coalesce_scan_slots(&todo);
         assert_eq!(executors, vec![0, 1, 3, 4]);
         assert_eq!(role, vec![0, 1, 0, 2, 3, 0]);
+    }
+
+    fn block(misses: u64, contentions: Vec<u64>, runs: Vec<(u64, u64)>) -> CascadeResult {
+        CascadeResult {
+            replacement_misses: misses,
+            contentions,
+            miss_runs: runs,
+            truncated: 0,
+        }
+    }
+
+    #[test]
+    fn merge_tree_fuses_seams_across_odd_block_counts() {
+        // Five blocks of one round item whose boundary runs chain: the
+        // cluster 3..=9 is split across blocks 0-2, and 20..=25 across
+        // blocks 3-4. The tree (pairs, then a leftover odd block) must
+        // fuse every seam exactly as a sequential fold would.
+        let empties = vec![CascadeResult::empty(2)];
+        let jobs = vec![(0, 0, 2), (0, 2, 4), (0, 4, 6), (0, 6, 8), (0, 8, 10)];
+        let partials = vec![
+            block(2, vec![1, 0], vec![(0, 0), (3, 4)]),
+            block(3, vec![0, 2], vec![(5, 6)]),
+            block(1, vec![1, 1], vec![(7, 9), (12, 12)]),
+            block(4, vec![0, 0], vec![(20, 22)]),
+            block(1, vec![2, 3], vec![(23, 25)]),
+        ];
+        let merged = merge_scan_blocks(empties, jobs, partials);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].replacement_misses, 11);
+        assert_eq!(merged[0].contentions, vec![4, 6]);
+        assert_eq!(
+            merged[0].miss_runs,
+            vec![(0, 0), (3, 9), (12, 12), (20, 25)]
+        );
+        assert_eq!(merged[0].truncated, 0);
+    }
+
+    #[test]
+    fn merge_routes_blocks_to_their_round_item() {
+        let empties = vec![CascadeResult::empty(1), CascadeResult::empty(1)];
+        let jobs = vec![(1, 0, 2), (0, 0, 2), (1, 2, 4)];
+        let partials = vec![
+            block(1, vec![0], vec![(0, 1)]),
+            block(2, vec![1], vec![(4, 4)]),
+            block(1, vec![0], vec![(2, 3)]),
+        ];
+        let merged = merge_scan_blocks(empties, jobs, partials);
+        assert_eq!(merged[0].replacement_misses, 2);
+        assert_eq!(merged[0].miss_runs, vec![(4, 4)]);
+        assert_eq!(merged[1].replacement_misses, 2);
+        assert_eq!(merged[1].miss_runs, vec![(0, 3)]);
     }
 }

@@ -65,7 +65,7 @@ use cme_cache::CacheConfig;
 use cme_ir::{LoopNest, NestId, ProgramDb, RefId};
 use cme_math::SolveMemo;
 use cme_reuse::ReuseVector;
-use stages::cascade::{scan_run_block, split_blocks, CascadeResult};
+use stages::cascade::{scan_run_block, shard_weight, split_blocks, CascadeResult};
 use stages::classify::Classification;
 use stages::lower::LoweredNest;
 use stages::reuse::ReusePlan;
@@ -467,8 +467,7 @@ impl Engine {
             if let Plan::Cached { solve, .. } = plan {
                 for sv in &solve.vectors {
                     eng.counters
-                        .peak_survivors
-                        .fetch_max(sv.examined, Ordering::Relaxed);
+                        .note_solved_vector(sv.examined, sv.scan_set.is_dense());
                 }
             }
         }
@@ -502,15 +501,16 @@ impl Engine {
             let mut jobs: Vec<(usize, usize, usize)> = Vec::new(); // (round idx, run_lo, run_hi)
             for (ri, &ti) in tis.iter().enumerate() {
                 let (pi, vi, _) = todo[ti];
-                let Plan::Cached { solve, .. } = &plans[pi] else {
+                let Plan::Cached { rvs, solve, .. } = &plans[pi] else {
                     unreachable!("todo items only come from cached plans");
                 };
-                for (run_lo, run_hi) in split_blocks(&solve.vectors[vi].scan_set, threads) {
+                let weight = shard_weight(rvs[vi].vector());
+                for (run_lo, run_hi) in split_blocks(&solve.vectors[vi].scan_set, threads, weight) {
                     jobs.push((ri, run_lo, run_hi));
                 }
             }
-            let partials: Vec<CascadeResult> =
-                pool::run_pool(jobs.clone(), threads, |_, (ri, run_lo, run_hi)| {
+            let (partials, shard_stats): (Vec<CascadeResult>, pool::PoolStats) =
+                pool::run_pool_stats(jobs.clone(), threads, |_, (ri, run_lo, run_hi)| {
                     eng.maybe_inject_panic();
                     let (pi, vi, _) = todo[tis[ri]];
                     let (ni, ridx) = item_of[pi];
@@ -531,6 +531,7 @@ impl Engine {
                     )
                 })
                 .map_err(|p| eng.note_worker_panic(p))?;
+            eng.counters.note_shard_stats(&shard_stats);
             let empties: Vec<CascadeResult> = tis
                 .iter()
                 .map(|&ti| {
@@ -539,7 +540,10 @@ impl Engine {
                     CascadeResult::empty(ctxs[ni].lowered.addrs.len())
                 })
                 .collect();
-            Ok(batch::merge_scan_blocks(empties, jobs, partials))
+            let t_merge = Instant::now();
+            let merged = batch::merge_scan_blocks(empties, jobs, partials);
+            Counters::add_time(&eng.counters.scan_merge_ns, t_merge.elapsed());
+            Ok(merged)
         };
         let outcomes = scan_round(&exec_tis)?;
         let mut fills: HashMap<(usize, usize), Arc<CascadeResult>> = HashMap::new();

@@ -2,10 +2,15 @@
 //!
 //! The engine's parallelism is a flat bag of independent work items —
 //! whole-reference passthroughs and per-`(reference, reuse-vector)` window
-//! scans. Workers pull the next unclaimed item from a shared atomic cursor
-//! (idle workers steal whatever is left, so an expensive item never
-//! serializes the cheap ones behind it), and results land in their item's
-//! slot so the output order is deterministic regardless of scheduling.
+//! scans. The item range is partitioned into one contiguous lane per
+//! worker, each lane owning a cache-line-padded claim cursor ([`Lane`]) so
+//! the hot claim path never bounces a shared line between cores; a worker
+//! that drains its lane *steals* from the fullest remaining lane, so an
+//! expensive item never serializes the cheap ones behind it. Results land
+//! in their item's slot, keeping the output order deterministic regardless
+//! of scheduling, and every claim is timed — [`PoolStats`] reports the
+//! per-shard busy time, the critical path, and the steal count that the
+//! perf artifacts and `EngineStats` surface.
 //!
 //! The pool is also the engine's **panic boundary**: every `work` call
 //! runs under `catch_unwind`, so a panicking item (inline or pooled)
@@ -14,8 +19,9 @@
 //! workers stop claiming items; the caller loses only this query.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// A caught panic from one work item: the first panic's payload, rendered
 /// as text when it was a string (the overwhelmingly common case).
@@ -32,15 +38,60 @@ fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Scheduling telemetry from one pooled run: how many shards (workers)
+/// actually ran, how much wall time they spent inside work items in total,
+/// the busiest single shard (the run's critical path), and how many items
+/// were claimed from another worker's lane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct PoolStats {
+    pub(crate) shards: usize,
+    pub(crate) busy: Duration,
+    pub(crate) longest: Duration,
+    pub(crate) steals: u64,
+}
+
+/// One worker's contiguous slice of the item range, padded to a cache line
+/// so claim traffic on one lane never invalidates a neighbour's cursor.
+#[repr(align(64))]
+struct Lane {
+    /// Next unclaimed index in `lo..hi`; claims past `hi` mean "drained".
+    cursor: AtomicUsize,
+    hi: usize,
+}
+
+impl Lane {
+    /// Claims the next item of this lane, if any.
+    fn claim(&self) -> Option<usize> {
+        let idx = self.cursor.fetch_add(1, Ordering::Relaxed);
+        (idx < self.hi).then_some(idx)
+    }
+
+    /// Items still unclaimed — racy by nature, used only to pick a victim.
+    fn remaining(&self) -> usize {
+        self.hi.saturating_sub(self.cursor.load(Ordering::Relaxed))
+    }
+}
+
+/// Per-worker timing accumulators, padded like the lanes: `busy_ns` is hot
+/// (one store per item) and must not share a line with another worker's.
+#[repr(align(64))]
+#[derive(Default)]
+struct LaneClock {
+    busy_ns: AtomicU64,
+    steals: AtomicU64,
+}
+
 /// Runs `work(index, item)` over every item and returns the results in
-/// item order. With `threads <= 1` (or one item) everything runs inline on
-/// the caller's thread — no pool, no synchronization. A panic in any item
-/// (first one wins) yields `Err(WorkerPanic)` instead of unwinding.
-pub(crate) fn run_pool<T, R, F>(
+/// item order, plus [`PoolStats`] describing how the run was scheduled.
+/// With `threads <= 1` (or one item) everything runs inline on the
+/// caller's thread — no pool, no synchronization — and the stats report a
+/// single shard. A panic in any item (first one wins) yields
+/// `Err(WorkerPanic)` instead of unwinding.
+pub(crate) fn run_pool_stats<T, R, F>(
     items: Vec<T>,
     threads: usize,
     work: F,
-) -> Result<Vec<R>, WorkerPanic>
+) -> Result<(Vec<R>, PoolStats), WorkerPanic>
 where
     T: Send,
     R: Send,
@@ -50,6 +101,7 @@ where
     // in-flight result for the query, so no broken invariant escapes.
     let guarded = |i: usize, t: T| catch_unwind(AssertUnwindSafe(|| work(i, t)));
     if threads <= 1 || items.len() <= 1 {
+        let start = Instant::now();
         let mut out = Vec::with_capacity(items.len());
         for (i, t) in items.into_iter().enumerate() {
             match guarded(i, t) {
@@ -57,42 +109,85 @@ where
                 Err(payload) => return Err(WorkerPanic(payload_message(payload))),
             }
         }
-        return Ok(out);
+        let busy = start.elapsed();
+        let stats = PoolStats {
+            shards: usize::from(!out.is_empty()),
+            busy,
+            longest: busy,
+            steals: 0,
+        };
+        return Ok((out, stats));
     }
     let n = items.len();
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
+    let workers = threads.min(n);
+    // Partition `0..n` into one contiguous lane per worker, front-loading
+    // the remainder so lane sizes differ by at most one.
+    let lanes: Vec<Lane> = {
+        let (base, extra) = (n / workers, n % workers);
+        let mut lo = 0;
+        (0..workers)
+            .map(|w| {
+                let len = base + usize::from(w < extra);
+                let lane = Lane {
+                    cursor: AtomicUsize::new(lo),
+                    hi: lo + len,
+                };
+                lo += len;
+                lane
+            })
+            .collect()
+    };
+    let clocks: Vec<LaneClock> = (0..workers).map(|_| LaneClock::default()).collect();
     let aborted = AtomicBool::new(false);
     let first_panic: Mutex<Option<String>> = Mutex::new(None);
-    let workers = threads.min(n);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                if aborted.load(Ordering::Relaxed) {
-                    break;
-                }
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= n {
-                    break;
-                }
-                // A poisoned slot can only mean another worker panicked
-                // while holding it mid-claim; treat its item as consumed.
-                let item = slots[idx].lock().unwrap_or_else(|e| e.into_inner()).take();
-                let Some(item) = item else { continue };
-                match guarded(idx, item) {
-                    Ok(out) => {
-                        *results[idx].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
-                    }
-                    Err(payload) => {
-                        aborted.store(true, Ordering::Relaxed);
-                        first_panic
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .get_or_insert_with(|| payload_message(payload));
+        for w in 0..workers {
+            let lanes = &lanes;
+            let clocks = &clocks;
+            let aborted = &aborted;
+            let first_panic = &first_panic;
+            let guarded = &guarded;
+            let slots = &slots;
+            let results = &results;
+            scope.spawn(move || {
+                let start = Instant::now();
+                loop {
+                    if aborted.load(Ordering::Relaxed) {
                         break;
                     }
+                    // Own lane first; once drained, raid the fullest lane.
+                    let idx = lanes[w].claim().or_else(|| {
+                        let victim = (0..workers)
+                            .filter(|&v| v != w)
+                            .max_by_key(|&v| lanes[v].remaining())?;
+                        let idx = lanes[victim].claim()?;
+                        clocks[w].steals.fetch_add(1, Ordering::Relaxed);
+                        Some(idx)
+                    });
+                    let Some(idx) = idx else { break };
+                    // A poisoned slot can only mean another worker panicked
+                    // while holding it mid-claim; treat its item as consumed.
+                    let item = slots[idx].lock().unwrap_or_else(|e| e.into_inner()).take();
+                    let Some(item) = item else { continue };
+                    match guarded(idx, item) {
+                        Ok(out) => {
+                            *results[idx].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                        }
+                        Err(payload) => {
+                            aborted.store(true, Ordering::Relaxed);
+                            first_panic
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .get_or_insert_with(|| payload_message(payload));
+                            break;
+                        }
+                    }
                 }
+                clocks[w]
+                    .busy_ns
+                    .store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
             });
         }
     });
@@ -107,7 +202,32 @@ where
             None => return Err(WorkerPanic("worker skipped an item".to_string())),
         }
     }
-    Ok(out)
+    let mut stats = PoolStats {
+        shards: workers,
+        ..PoolStats::default()
+    };
+    for clock in &clocks {
+        let busy = Duration::from_nanos(clock.busy_ns.load(Ordering::Relaxed));
+        stats.busy += busy;
+        stats.longest = stats.longest.max(busy);
+        stats.steals += clock.steals.load(Ordering::Relaxed);
+    }
+    Ok((out, stats))
+}
+
+/// [`run_pool_stats`] without the telemetry, for call sites that only need
+/// the results.
+pub(crate) fn run_pool<T, R, F>(
+    items: Vec<T>,
+    threads: usize,
+    work: F,
+) -> Result<Vec<R>, WorkerPanic>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    run_pool_stats(items, threads, work).map(|(out, _)| out)
 }
 
 #[cfg(test)]
@@ -155,6 +275,50 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.0.contains("unlucky"), "{}", err.0);
+    }
+
+    #[test]
+    fn stats_cover_every_item_once() {
+        use std::sync::atomic::AtomicU64;
+        let hits = AtomicU64::new(0);
+        let items: Vec<u64> = (0..1000).collect();
+        let (out, stats) = run_pool_stats(items, 4, |i, x| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            x + i as u64
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+        assert_eq!(out, (0..1000).map(|x| 2 * x).collect::<Vec<_>>());
+        assert!(stats.shards >= 1 && stats.shards <= 4);
+        assert!(stats.longest <= stats.busy);
+    }
+
+    #[test]
+    fn slow_lane_is_raided() {
+        // Lane 0 owns the first half of the items; making its first item
+        // slow forces the other workers to drain their lanes and then
+        // steal the rest of lane 0's work.
+        let items: Vec<u64> = (0..64).collect();
+        let (out, stats) = run_pool_stats(items, 4, |i, x| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            x
+        })
+        .unwrap();
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+        if std::thread::available_parallelism().map_or(1, usize::from) >= 2 {
+            assert!(stats.steals > 0, "expected steals, got {stats:?}");
+        }
+    }
+
+    #[test]
+    fn inline_stats_report_single_shard() {
+        let (out, stats) = run_pool_stats(vec![1u8, 2, 3], 1, |_, x| x).unwrap();
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(stats.shards, 1);
+        assert_eq!(stats.steals, 0);
+        assert_eq!(stats.busy, stats.longest);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use cme_cache::CacheConfig;
 use cme_reuse::ReuseVector;
 
 use crate::governor::QueryGovernor;
-use crate::pointset::RunSet;
+use crate::pointset::SurvivorSet;
 use crate::solve::{scan_interior, scan_interior_pointwise, AnalysisOptions, Scanner};
 use crate::window::{Geom, SlidingWindow, WindowStats};
 
@@ -35,8 +35,12 @@ pub(crate) struct CascadeResult {
     pub(crate) replacement_misses: u64,
     /// Per-perpetrator contention counts (all zero unless exact mode).
     pub(crate) contentions: Vec<u64>,
-    /// Indices into the scan set of the points judged misses.
-    pub(crate) miss_indices: Vec<u64>,
+    /// Maximal runs `(lo, hi)` (inclusive, increasing, non-adjacent) of
+    /// scan-set indices judged misses. Verdicts flip only at memory-line
+    /// boundaries, so misses cluster into `O(points / Ls)` runs — the
+    /// run form is both the compact storage and the unit the segmented
+    /// scan emits directly.
+    pub(crate) miss_runs: Vec<(u64, u64)>,
     /// Points the governor cut short, counted as misses (sound
     /// overcount); nonzero outcomes must never enter the memo tables.
     pub(crate) truncated: u64,
@@ -49,9 +53,35 @@ impl CascadeResult {
         CascadeResult {
             replacement_misses: 0,
             contentions: vec![0; nrefs],
-            miss_indices: Vec::new(),
+            miss_runs: Vec::new(),
             truncated: 0,
         }
+    }
+}
+
+/// Appends the inclusive index span `[lo, hi]` to a canonical miss-run
+/// list, fusing with the last run when adjacent — pushes arrive in
+/// strictly increasing index order, so this keeps the list in maximal-run
+/// form no matter how the scan was segmented.
+#[inline]
+pub(crate) fn push_miss_span(runs: &mut Vec<(u64, u64)>, lo: u64, hi: u64) {
+    if let Some(last) = runs.last_mut() {
+        if last.1 + 1 == lo {
+            last.1 = hi;
+            return;
+        }
+    }
+    runs.push((lo, hi));
+}
+
+/// Number of innermost steps (≥ 1) for which `addr + stride·Δ` stays on
+/// `line = ⌊addr/Ls⌋`; `i64::MAX` for temporal (stride-0) references.
+#[inline]
+fn line_span(addr: i64, stride: i64, line: i64, ls: i64) -> i64 {
+    match stride.cmp(&0) {
+        std::cmp::Ordering::Equal => i64::MAX,
+        std::cmp::Ordering::Greater => crate::window::ceil_div((line + 1) * ls - addr, stride),
+        std::cmp::Ordering::Less => crate::window::ceil_div(addr + 1 - line * ls, -stride),
     }
 }
 
@@ -59,38 +89,56 @@ impl CascadeResult {
 /// the parallelism.
 const MIN_BLOCK_POINTS: u64 = 4096;
 
-/// Shards a scan set into contiguous blocks of whole runs, sized so every
-/// worker gets a few blocks. A single oversized run still forms one block
-/// (runs are the sharding granularity).
-pub(crate) fn split_blocks(set: &RunSet, threads: usize) -> Vec<(usize, usize)> {
-    let nruns = set.run_count();
-    if nruns == 0 {
+/// Reuse-plan-aware shard weight for [`split_blocks`]: a stepping vector
+/// (any component besides a gap-one innermost) drags the window across
+/// whole array rows per point, so its per-point scan cost dwarfs gap-one
+/// and intra-iteration vectors — its scans split 16× finer so the pool
+/// can balance them.
+pub(crate) fn shard_weight(r: &[i64]) -> u64 {
+    let inner = r.len() - 1;
+    let intra = r.iter().all(|&c| c == 0);
+    let gap_one = r[inner] == 1 && r[..inner].iter().all(|&c| c == 0);
+    if intra || gap_one {
+        1
+    } else {
+        16
+    }
+}
+
+/// Shards a scan set into contiguous blocks of whole chunks (runs of a
+/// [`RunSet`], rows of a dense set), sized so every worker gets a few
+/// blocks. `weight` is the reuse plan's relative per-point cost estimate
+/// (stepping vectors touch far more window state per point than gap-one
+/// or intra vectors), so expensive scans split into proportionally
+/// smaller blocks and the pool can balance them. A single oversized
+/// chunk still forms one block (chunks are the sharding granularity).
+pub(crate) fn split_blocks(set: &SurvivorSet, threads: usize, weight: u64) -> Vec<(usize, usize)> {
+    let nchunks = set.chunk_count();
+    if nchunks == 0 {
         return Vec::new();
     }
     if threads <= 1 {
-        return vec![(0, nruns)];
+        return vec![(0, nchunks)];
     }
-    let target = (set.len() / (threads as u64 * 4)).max(MIN_BLOCK_POINTS);
+    let floor = MIN_BLOCK_POINTS / weight.clamp(1, MIN_BLOCK_POINTS);
+    let target = (set.len() / (threads as u64 * 4)).max(floor.max(1));
     let mut blocks = Vec::new();
     let mut start = 0usize;
-    let mut acc = 0u64;
-    for ri in 0..nruns {
-        acc += set.run(ri).len();
-        if acc >= target {
-            blocks.push((start, ri + 1));
-            start = ri + 1;
-            acc = 0;
+    for ci in 0..nchunks {
+        if set.chunk_start(ci + 1) - set.chunk_start(start) >= target {
+            blocks.push((start, ci + 1));
+            start = ci + 1;
         }
     }
-    if start < nruns {
-        blocks.push((start, nruns));
+    if start < nchunks {
+        blocks.push((start, nchunks));
     }
     blocks
 }
 
-/// Scans the reuse windows of the survivors in runs `run_lo..run_hi` of
-/// `points` along `rv` — the verdict half of Figure 6, with miss indices
-/// reported in the scan set's global order so per-block outcomes
+/// Scans the reuse windows of the survivors in chunks `chunk_lo..chunk_hi`
+/// of `points` along `rv` — the verdict half of Figure 6, with miss
+/// indices reported in the scan set's global order so per-block outcomes
 /// concatenate into the unsharded result.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn scan_run_block(
@@ -98,9 +146,9 @@ pub(crate) fn scan_run_block(
     cache: &CacheConfig,
     dest_idx: usize,
     rv: &ReuseVector,
-    points: &RunSet,
-    run_lo: usize,
-    run_hi: usize,
+    points: &SurvivorSet,
+    chunk_lo: usize,
+    chunk_hi: usize,
     options: &AnalysisOptions,
     counters: &Counters,
     gov: &QueryGovernor,
@@ -119,10 +167,13 @@ pub(crate) fn scan_run_block(
     let geom = Geom::new(cache);
     let mut contentions = vec![0u64; nrefs];
     let mut replacement_misses = 0u64;
-    let mut miss_indices: Vec<u64> = Vec::new();
+    let mut miss_runs: Vec<(u64, u64)> = Vec::new();
     let mut i_buf = vec![0i64; depth];
     let mut block_points = 0u64;
     let mut truncated = 0u64;
+    // Global point index one past this block — the truncation paths
+    // degrade everything from the cut point to here in O(1).
+    let block_end = points.chunk_start(chunk_hi);
     // Governed runs check the budget every `chunk` points; at full budget
     // the chunk spans the whole run, so the per-point loops below run
     // exactly as before (one extra comparison per run).
@@ -132,19 +183,16 @@ pub(crate) fn scan_run_block(
         // Per-point scan.
         let mut scanner = Scanner::new(cache, addrs, k, options.exact_equation_counts);
         let mut p = vec![0i64; depth];
-        'runs_pointwise: for ri in run_lo..run_hi {
-            let run = points.run(ri);
+        'runs_pointwise: for run in points.runs_in(chunk_lo, chunk_hi) {
             i_buf[..inner].copy_from_slice(run.prefix);
             let mut seg = run.lo;
             while seg <= run.hi {
                 let seg_hi = run.hi.min(seg.saturating_add(chunk - 1));
                 if !gov.live() {
-                    truncated += count_rest_as_misses(
-                        points,
-                        ri,
-                        run_hi,
-                        seg,
-                        &mut miss_indices,
+                    truncated += degrade_tail(
+                        run.start + (seg - run.lo) as u64,
+                        block_end,
+                        &mut miss_runs,
                         &mut replacement_misses,
                     );
                     break 'runs_pointwise;
@@ -201,7 +249,8 @@ pub(crate) fn scan_run_block(
                     }
                     if scanner.distinct.len() >= k {
                         replacement_misses += 1;
-                        miss_indices.push(run.start + (t - run.lo) as u64);
+                        let g = run.start + (t - run.lo) as u64;
+                        push_miss_span(&mut miss_runs, g, g);
                     }
                 }
                 seg = seg_hi + 1;
@@ -212,12 +261,163 @@ pub(crate) fn scan_run_block(
         return CascadeResult {
             replacement_misses,
             contentions,
-            miss_indices,
+            miss_runs,
             truncated,
         };
     }
 
-    // Fast mode: slide the window along each run. Inside one run the
+    // Fast mode. Two sub-paths:
+    //
+    // **Affine segment path** — intra scans and gap-one scans (vector
+    // `(0,…,0,1)`) have an *empty* reuse-window interior, so the verdict
+    // at a point depends only on the endpoint side accesses, each an
+    // affine function of the innermost index. Their memory lines are
+    // floors of affine functions, constant between computable
+    // line-boundary crossings, so one verdict settles a whole segment
+    // (~Ls points for stride-1 references) pushed as a single miss run.
+    //
+    // **Stepping path** — every other vector keeps a live window
+    // interior; slide a [`SlidingWindow`] along the run, paying
+    // O(references) per point.
+    let mut p_buf = vec![0i64; depth];
+    let mut side: Vec<i64> = Vec::new();
+    let kk = k as u64;
+    let ls = cache.line_elems();
+    let gap_one = !intra && r[inner] == 1 && r[..inner].iter().all(|&c| c == 0);
+
+    if intra || gap_one {
+        // Side references: for intra, the statements strictly between the
+        // source and the destination, at i⃗ itself; for gap-one, the tail
+        // of the source iteration at p⃗ then the head of the destination
+        // iteration at i⃗ (matching the stepping path's probe order).
+        let specs: Vec<(usize, bool)> = if intra {
+            ((src_idx + 1)..dest_idx).map(|s| (s, false)).collect()
+        } else {
+            ((src_idx + 1)..nrefs)
+                .map(|s| (s, true))
+                .chain((0..dest_idx).map(|s| (s, false)))
+                .collect()
+        };
+        let dest_stride = dest_addr.coeff(inner);
+        let strides: Vec<i64> = specs.iter().map(|&(s, _)| addrs[s].coeff(inner)).collect();
+        // Segment only when every involved reference crosses lines at
+        // most every other step (average segment ≥ 2); a reference
+        // striding a whole line per step would degrade segmentation to
+        // per-point work plus the crossing arithmetic.
+        let segmented = 2 * dest_stride.unsigned_abs() <= ls as u64
+            && strides.iter().all(|s| 2 * s.unsigned_abs() <= ls as u64);
+        let mut side_a: Vec<i64> = vec![0; specs.len()];
+        'runs_affine: for run in points.runs_in(chunk_lo, chunk_hi) {
+            i_buf[..inner].copy_from_slice(run.prefix);
+            i_buf[inner] = run.lo;
+            let mut dest_a = dest_addr.eval(&i_buf);
+            for l in 0..depth {
+                p_buf[l] = i_buf[l] - r[l];
+            }
+            for (slot, &(s, at_src)) in side_a.iter_mut().zip(&specs) {
+                *slot = addrs[s].eval(if at_src { &p_buf } else { &i_buf });
+            }
+            let mut seg = run.lo;
+            while seg <= run.hi {
+                let seg_hi = run.hi.min(seg.saturating_add(chunk - 1));
+                if !gov.live() {
+                    truncated += degrade_tail(
+                        run.start + (seg - run.lo) as u64,
+                        block_end,
+                        &mut miss_runs,
+                        &mut replacement_misses,
+                    );
+                    break 'runs_affine;
+                }
+                block_points += (seg_hi - seg + 1) as u64;
+                gov.charge((seg_hi - seg + 1) as u64);
+                if specs.is_empty() {
+                    // No interference source at all: the run is all hits.
+                    // (Still charged above — budget use is path-independent.)
+                    seg = seg_hi + 1;
+                    continue;
+                }
+                if segmented {
+                    let mut t = seg;
+                    while t <= seg_hi {
+                        let dline = geom.line(dest_a);
+                        let dset = geom.set_of_line(dline);
+                        let mut span =
+                            (seg_hi - t + 1).min(line_span(dest_a, dest_stride, dline, ls));
+                        let mut conflicts = 0u64;
+                        side.clear();
+                        for (j, &addr) in side_a.iter().enumerate() {
+                            if conflicts >= kk {
+                                // Unexamined references cannot lower the
+                                // verdict: the examined prefix alone keeps
+                                // `conflicts ≥ k` for the whole span.
+                                break;
+                            }
+                            let line = geom.line(addr);
+                            span = span.min(line_span(addr, strides[j], line, ls));
+                            if geom.set_of_line(line) == dset
+                                && line != dline
+                                && !side.contains(&line)
+                            {
+                                side.push(line);
+                                conflicts += 1;
+                            }
+                        }
+                        if conflicts >= kk {
+                            let g = run.start + (t - run.lo) as u64;
+                            replacement_misses += span as u64;
+                            push_miss_span(&mut miss_runs, g, g + span as u64 - 1);
+                        }
+                        dest_a += dest_stride * span;
+                        for (a, st) in side_a.iter_mut().zip(&strides) {
+                            *a += st * span;
+                        }
+                        t += span;
+                    }
+                } else {
+                    for t in seg..=seg_hi {
+                        let dline = geom.line(dest_a);
+                        let dset = geom.set_of_line(dline);
+                        let mut conflicts = 0;
+                        side.clear();
+                        for &addr in &side_a {
+                            if conflicts >= kk {
+                                break;
+                            }
+                            let line = geom.line(addr);
+                            if geom.set_of_line(line) == dset
+                                && line != dline
+                                && !side.contains(&line)
+                            {
+                                side.push(line);
+                                conflicts += 1;
+                            }
+                        }
+                        if conflicts >= kk {
+                            replacement_misses += 1;
+                            let g = run.start + (t - run.lo) as u64;
+                            push_miss_span(&mut miss_runs, g, g);
+                        }
+                        dest_a += dest_stride;
+                        for (a, st) in side_a.iter_mut().zip(&strides) {
+                            *a += st;
+                        }
+                    }
+                }
+                seg = seg_hi + 1;
+            }
+        }
+        counters.absorb_scan(block_points, WindowStats::default());
+        gov.note_truncated(truncated);
+        return CascadeResult {
+            replacement_misses,
+            contentions,
+            miss_runs,
+            truncated,
+        };
+    }
+
+    // Stepping path: slide the window along each run. Inside one run the
     // lockstep condition holds by construction, so the loop steps through
     // per-reference address accumulators — no affine evaluation and no
     // space checks per point; the endpoint side accesses fall out of the
@@ -225,91 +425,46 @@ pub(crate) fn scan_run_block(
     // `w.dst_addr(s)` at `i⃗`) and are deduplicated against the window and
     // each other.
     let mut w = SlidingWindow::new_for_space(cache, addrs, &space);
-    let mut p_buf = vec![0i64; depth];
-    let mut side: Vec<i64> = Vec::new();
-    let kk = k as u64;
-    'runs: for ri in run_lo..run_hi {
-        let run = points.run(ri);
-        i_buf[..inner].copy_from_slice(run.prefix);
-        if intra {
-            // No interior: only the statements strictly between the source
-            // and the destination, at i⃗ itself, with addresses accumulated
-            // along the run.
-            let mut dest_a = {
-                i_buf[inner] = run.lo;
-                dest_addr.eval(&i_buf)
-            };
-            let dest_stride = dest_addr.coeff(inner);
-            let mut side_a: Vec<i64> = addrs[(src_idx + 1)..dest_idx]
-                .iter()
-                .map(|a| a.eval(&i_buf))
-                .collect();
-            let side_strides: Vec<i64> = addrs[(src_idx + 1)..dest_idx]
-                .iter()
-                .map(|a| a.coeff(inner))
-                .collect();
-            let mut seg = run.lo;
-            while seg <= run.hi {
-                let seg_hi = run.hi.min(seg.saturating_add(chunk - 1));
-                if !gov.live() {
-                    truncated += count_rest_as_misses(
-                        points,
-                        ri,
-                        run_hi,
-                        seg,
-                        &mut miss_indices,
-                        &mut replacement_misses,
-                    );
-                    break 'runs;
-                }
-                block_points += (seg_hi - seg + 1) as u64;
-                gov.charge((seg_hi - seg + 1) as u64);
-                for t in seg..=seg_hi {
-                    let dline = geom.line(dest_a);
-                    let dset = geom.set_of_line(dline);
-                    let mut conflicts = 0;
-                    side.clear();
-                    for &addr in &side_a {
-                        if conflicts >= kk {
-                            break;
-                        }
-                        let line = geom.line(addr);
-                        if geom.set_of_line(line) == dset && line != dline && !side.contains(&line)
-                        {
-                            side.push(line);
-                            conflicts += 1;
-                        }
-                    }
-                    if conflicts >= kk {
-                        replacement_misses += 1;
-                        miss_indices.push(run.start + (t - run.lo) as u64);
-                    }
-                    dest_a += dest_stride;
-                    for (a, st) in side_a.iter_mut().zip(&side_strides) {
-                        *a += st;
-                    }
-                }
-                seg = seg_hi + 1;
+    // Armed-window chaining: once a run ends at destination `i⃗`, the next
+    // run in the same row is reached by a raw [`SlidingWindow::slide_by`]
+    // whenever the source endpoint also stays inside its row — skipping
+    // the endpoint re-evaluation and lockstep checks of `begin_segment`.
+    // This is the common shape for stepping vectors, whose scan sets are
+    // short runs spaced uniformly along whole rows.
+    let mut armed: Option<(&[i64], i64)> = None;
+    let mut src_row_hi = i64::MIN;
+    'runs: for run in points.runs_in(chunk_lo, chunk_hi) {
+        let fast = match armed {
+            Some((pfx, dst_inner)) if pfx == run.prefix => {
+                let delta = run.lo - dst_inner;
+                (delta > 0 && dst_inner - r[inner] + delta <= src_row_hi).then_some(delta)
             }
-            continue;
+            _ => None,
+        };
+        if let Some(delta) = fast {
+            w.slide_by(delta);
+        } else {
+            i_buf[..inner].copy_from_slice(run.prefix);
+            // Position the window at the run's first point; every further
+            // point is one guaranteed-lockstep step.
+            i_buf[inner] = run.lo;
+            for l in 0..depth {
+                p_buf[l] = i_buf[l] - r[l];
+            }
+            w.begin_segment(&space, &p_buf, &i_buf, r);
+            src_row_hi = space
+                .innermost_bounds(&p_buf[..inner])
+                .map_or(i64::MIN, |(_, hi)| hi);
         }
-        // Position the window at the run's first point; every further
-        // point is one guaranteed-lockstep step.
-        i_buf[inner] = run.lo;
-        for l in 0..depth {
-            p_buf[l] = i_buf[l] - r[l];
-        }
-        w.begin_segment(&space, &p_buf, &i_buf, r);
+        armed = Some((run.prefix, run.hi));
         let mut seg = run.lo;
         while seg <= run.hi {
             let seg_hi = run.hi.min(seg.saturating_add(chunk - 1));
             if !gov.live() {
-                truncated += count_rest_as_misses(
-                    points,
-                    ri,
-                    run_hi,
-                    seg,
-                    &mut miss_indices,
+                truncated += degrade_tail(
+                    run.start + (seg - run.lo) as u64,
+                    block_end,
+                    &mut miss_runs,
                     &mut replacement_misses,
                 );
                 break 'runs;
@@ -346,7 +501,8 @@ pub(crate) fn scan_run_block(
                 }
                 if conflicts >= kk {
                     replacement_misses += 1;
-                    miss_indices.push(run.start + (t - run.lo) as u64);
+                    let g = run.start + (t - run.lo) as u64;
+                    push_miss_span(&mut miss_runs, g, g);
                 }
             }
             seg = seg_hi + 1;
@@ -357,41 +513,28 @@ pub(crate) fn scan_run_block(
     CascadeResult {
         replacement_misses,
         contentions,
-        miss_indices,
+        miss_runs,
         truncated,
     }
 }
 
-/// Degrades the unscanned tail of a block — everything from innermost
-/// index `from_t` of run `from_run` through run `run_hi - 1` — by counting
-/// every point as a replacement miss (indeterminate-treated-as-miss).
-/// Indices stay in global scan-set order, so merged outcomes remain
-/// well-formed. Returns the number of points degraded.
-fn count_rest_as_misses(
-    points: &RunSet,
-    from_run: usize,
-    run_hi: usize,
-    from_t: i64,
-    miss_indices: &mut Vec<u64>,
+/// Degrades the unscanned tail of a block — every scan-set point from
+/// global index `g_from` up to the block's end `g_end` — by counting it
+/// as a replacement miss (indeterminate-treated-as-miss). Survivor runs
+/// are contiguous in the global index space, so the whole tail is one
+/// fused miss span: O(1), independent of how many runs or points the
+/// budget cut off. Returns the number of points degraded.
+fn degrade_tail(
+    g_from: u64,
+    g_end: u64,
+    miss_runs: &mut Vec<(u64, u64)>,
     replacement_misses: &mut u64,
 ) -> u64 {
-    let mut degraded = 0u64;
-    for ri in from_run..run_hi {
-        let run = points.run(ri);
-        let lo = if ri == from_run {
-            from_t.max(run.lo)
-        } else {
-            run.lo
-        };
-        if lo > run.hi {
-            continue;
-        }
-        for t in lo..=run.hi {
-            miss_indices.push(run.start + (t - run.lo) as u64);
-        }
-        let n = (run.hi - lo + 1) as u64;
-        *replacement_misses += n;
-        degraded += n;
+    if g_from >= g_end {
+        return 0;
     }
-    degraded
+    push_miss_span(miss_runs, g_from, g_end - 1);
+    let n = g_end - g_from;
+    *replacement_misses += n;
+    n
 }

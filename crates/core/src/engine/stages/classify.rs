@@ -47,8 +47,10 @@ pub(crate) fn classify(
             cumulative_replacement_misses: replacement_misses,
         });
         if options.collect_miss_points {
-            for &mi in &scan.miss_indices {
-                repl_points.push((sv.scan_set.point(mi), vi));
+            for &(lo, hi) in &scan.miss_runs {
+                for mi in lo..=hi {
+                    repl_points.push((sv.scan_set.point(mi), vi));
+                }
             }
         }
     }

@@ -3,13 +3,18 @@
 //! with the points needing window scans recorded per vector instead of
 //! scanned inline.
 //!
-//! Survivor sets are run-compressed ([`RunSet`]) and classified
-//! segment-wise, never point by point: along an innermost run the
-//! destination and source lines are floors of affine functions of the
-//! innermost index, so the verdict can only flip at computable
-//! line-boundary crossings. Vectors with a constant destination–source
-//! address gap are certified all-cold in O(1) without touching the
-//! survivor runs at all ([`ColdCerts`]).
+//! Survivor sets are [`SurvivorSet`]s — run-compressed or flat dense,
+//! picked per scan by a density estimate from the reuse plan (or forced
+//! via [`SurvivorRepr`]); both enumerate points in the same
+//! lexicographic order, so the classification is bit-identical either
+//! way. Sets are classified segment-wise, never point by point: along an
+//! innermost run the destination and source lines are floors of affine
+//! functions of the innermost index, so the verdict can only flip at
+//! computable line-boundary crossings — and when the stride divides the
+//! line size those crossings are periodic and advance by pure increments.
+//! Vectors with a constant destination–source address gap are certified
+//! all-cold in O(1) without touching the survivor runs at all
+//! ([`ColdCerts`]).
 //!
 //! A [`SolveSet`] depends only on the nest structure, the options, and
 //! the destination's own line offset `B mod Ls` — which is exactly what
@@ -23,19 +28,20 @@ use cme_math::{Affine, Interval};
 use cme_reuse::ReuseVector;
 
 use crate::governor::QueryGovernor;
-use crate::pointset::RunSet;
+use crate::pointset::{SurvivorRepr, SurvivorSet};
 use crate::solve::AnalysisOptions;
 
 use super::lower::LoweredNest;
 
 /// One reuse vector's slice of a reference's refinement: how many points
 /// entered, how many stayed indeterminate (cold-CME solutions), and the
-/// run-compressed set of points whose reuse windows must be scanned.
+/// set of points whose reuse windows must be scanned (run-compressed or
+/// dense per the representation policy).
 #[derive(Debug, Clone)]
 pub(crate) struct SolvedVector {
     pub(crate) examined: u64,
     pub(crate) cold_solutions: u64,
-    pub(crate) scan_set: RunSet,
+    pub(crate) scan_set: SurvivorSet,
 }
 
 /// A reference's full cold/indeterminate refinement (Figure 6 minus the
@@ -46,7 +52,7 @@ pub(crate) struct SolveSet {
     pub(crate) vectors: Vec<SolvedVector>,
     /// Indeterminate set after the last processed vector; `None` when no
     /// vector ran (no reuse, or `ε` at least the whole space).
-    pub(crate) final_set: Option<RunSet>,
+    pub(crate) final_set: Option<SurvivorSet>,
     pub(crate) early_stopped: bool,
     /// The governor stopped the refinement early; the entry is a sound
     /// overcount and must never enter the memo tables.
@@ -80,36 +86,61 @@ struct RunClassifier<'a> {
     r_in: i64,
     intra: bool,
     buf: Vec<i64>,
+    sbuf: Vec<i64>,
     p_prefix: Vec<i64>,
-    next: RunSet,
-    scan: RunSet,
+    next: SurvivorSet,
+    scan: SurvivorSet,
     cold: u64,
+    // Per-prefix state, hoisted across consecutive runs that share a
+    // prefix (the common shape for strided survivor sets: many short
+    // runs per row). `buf[..inner]` doubles as the cached-prefix key.
+    have_prefix: bool,
+    d0: i64,
+    sd: i64,
+    s0: i64,
+    ss: i64,
+    /// Innermost interval (already shifted by `r_in`) where the source
+    /// point is in the space; `None` means the whole row's sources are
+    /// out of space. Unused for intra-iteration vectors.
+    src_live: Option<(i64, i64)>,
 }
 
 impl RunClassifier<'_> {
     fn classify(&mut self, prefix: &[i64], lo: i64, hi: i64) {
         let inner = self.buf.len() - 1;
-        self.buf[..inner].copy_from_slice(prefix);
-        self.buf[inner] = 0;
-        let d0 = self.dest_addr.eval(&self.buf);
-        let sd = self.dest_addr.coeff(inner);
-        for (l, p) in prefix.iter().enumerate().take(inner) {
-            self.p_prefix[l] = p - self.r[l];
-        }
-        // Innermost interval where the source p⃗ = i⃗ − r⃗ is in the space
-        // (intra-iteration reuse skips the membership test, matching the
-        // reference implementation).
-        let (a, b) = if self.intra {
-            (lo, hi)
-        } else {
-            let inb = if self.space.contains_prefix(&self.p_prefix) {
-                self.space.innermost_bounds(&self.p_prefix)
+        if !self.have_prefix || self.buf[..inner] != *prefix {
+            self.have_prefix = true;
+            self.buf[..inner].copy_from_slice(prefix);
+            self.buf[inner] = 0;
+            self.d0 = self.dest_addr.eval(&self.buf);
+            self.sd = self.dest_addr.coeff(inner);
+            for (l, p) in prefix.iter().enumerate().take(inner) {
+                self.p_prefix[l] = p - self.r[l];
+            }
+            // Innermost interval where the source p⃗ = i⃗ − r⃗ is in the
+            // space (intra-iteration reuse skips the membership test,
+            // matching the reference implementation).
+            self.src_live = if self.intra {
+                None
+            } else if self.space.contains_prefix(&self.p_prefix) {
+                self.space
+                    .innermost_bounds(&self.p_prefix)
+                    .map(|(plo, phi)| (plo + self.r_in, phi + self.r_in))
             } else {
                 None
             };
-            let live = inb.and_then(|(plo, phi)| {
-                let a = (plo + self.r_in).max(lo);
-                let b = (phi + self.r_in).min(hi);
+            // Source line along the run: src(t) = src_addr(p_prefix, t − r_in).
+            self.ss = self.src_addr.coeff(inner);
+            self.sbuf[..inner].copy_from_slice(&self.p_prefix);
+            self.sbuf[inner] = 0;
+            self.s0 = self.src_addr.eval(&self.sbuf) - self.ss * self.r_in;
+        }
+        let (a, b) = if self.intra {
+            (lo, hi)
+        } else {
+            let live = self.src_live.and_then(|(plo, phi)| {
+                let a = plo.max(lo);
+                let b = phi.min(hi);
                 (a <= b).then_some((a, b))
             });
             match live {
@@ -128,25 +159,70 @@ impl RunClassifier<'_> {
                 }
             }
         };
-        // Source line along the run: src(t) = src_addr(p_prefix, t − r_in).
-        self.buf[..inner].copy_from_slice(&self.p_prefix);
-        self.buf[inner] = 0;
-        let ss = self.src_addr.coeff(inner);
-        let s0 = self.src_addr.eval(&self.buf) - ss * self.r_in;
+        let (d0, sd, s0, ss) = (self.d0, self.sd, self.s0, self.ss);
+        // Single-point run: one verdict, no crossing computations.
+        if a == b {
+            if floor_div(d0 + sd * a, self.ls) != floor_div(s0 + ss * a, self.ls) {
+                self.cold += 1;
+                self.next.push_run(prefix, a, a);
+            } else {
+                self.scan.push_run(prefix, a, a);
+            }
+            if b < hi {
+                self.cold += (hi - b) as u64;
+                self.next.push_run(prefix, b + 1, hi);
+            }
+            return;
+        }
         let mut t = a;
-        while t <= b {
-            let ld = floor_div(d0 + sd * t, self.ls);
-            let lsrc = floor_div(s0 + ss * t, self.ls);
-            let seg_end = next_line_crossing(d0, sd, t, ld, self.ls)
-                .min(next_line_crossing(s0, ss, t, lsrc, self.ls))
-                .min(b + 1);
+        let mut ld = floor_div(d0 + sd * t, self.ls);
+        let mut lsrc = floor_div(s0 + ss * t, self.ls);
+        let mut nd = next_line_crossing(d0, sd, t, ld, self.ls);
+        let mut ns = next_line_crossing(s0, ss, t, lsrc, self.ls);
+        // A stride dividing Ls crosses a line boundary exactly every
+        // Ls/|stride| steps, moving the line by ±1 — crossings after the
+        // first advance by pure increments, no divisions (the common
+        // unit-stride shape). Other strides recompute per crossing.
+        let pd = if sd != 0 && self.ls % sd == 0 {
+            self.ls / sd.abs()
+        } else {
+            0
+        };
+        let ps = if ss != 0 && self.ls % ss == 0 {
+            self.ls / ss.abs()
+        } else {
+            0
+        };
+        loop {
+            let seg_end = nd.min(ns).min(b + 1);
             if lsrc != ld {
                 self.cold += (seg_end - t) as u64;
                 self.next.push_run(prefix, t, seg_end - 1);
             } else {
                 self.scan.push_run(prefix, t, seg_end - 1);
             }
+            if seg_end > b {
+                break;
+            }
             t = seg_end;
+            if t == nd {
+                if pd != 0 {
+                    ld += sd.signum();
+                    nd += pd;
+                } else {
+                    ld = floor_div(d0 + sd * t, self.ls);
+                    nd = next_line_crossing(d0, sd, t, ld, self.ls);
+                }
+            }
+            if t == ns {
+                if ps != 0 {
+                    lsrc += ss.signum();
+                    ns += ps;
+                } else {
+                    lsrc = floor_div(s0 + ss * t, self.ls);
+                    ns = next_line_crossing(s0, ss, t, lsrc, self.ls);
+                }
+            }
         }
         if b < hi {
             self.cold += (hi - b) as u64;
@@ -182,7 +258,7 @@ impl ColdCerts {
     /// True when some dimension pushes every source point `i⃗ − r⃗` outside
     /// the space's bounding box — out of the space for certain, so every
     /// point of `set` is cold.
-    fn source_outside(&mut self, r: &[i64], bbox: &[Interval], set: &RunSet) -> bool {
+    fn source_outside(&mut self, r: &[i64], bbox: &[Interval], set: &SurvivorSet) -> bool {
         let ranges = self
             .coord_ranges
             .get_or_insert_with(|| coord_ranges(set, r.len()));
@@ -204,7 +280,7 @@ impl ColdCerts {
         ls: i64,
         space: &IterationSpace,
         dest_addr: &Affine,
-        set: &RunSet,
+        set: &SurvivorSet,
     ) -> bool {
         if delta == 0 {
             // Source and destination share a line at every point; cold only
@@ -237,11 +313,10 @@ impl ColdCerts {
 }
 
 /// Min/max of every coordinate over the points of `set`.
-fn coord_ranges(set: &RunSet, depth: usize) -> Vec<(i64, i64)> {
+fn coord_ranges(set: &SurvivorSet, depth: usize) -> Vec<(i64, i64)> {
     let inner = depth - 1;
     let mut ranges = vec![(i64::MAX, i64::MIN); depth];
-    for ri in 0..set.run_count() {
-        let run = set.run(ri);
+    for run in set.runs() {
         for (range, &x) in ranges[..inner].iter_mut().zip(run.prefix) {
             range.0 = range.0.min(x);
             range.1 = range.1.max(x);
@@ -254,10 +329,9 @@ fn coord_ranges(set: &RunSet, depth: usize) -> Vec<(i64, i64)> {
 
 /// `max(hi − plo(prefix))` over the runs of `set`, or `i64::MAX` (no
 /// certificate) when a row's bounds are unavailable.
-fn compute_reach(space: &IterationSpace, set: &RunSet) -> i64 {
+fn compute_reach(space: &IterationSpace, set: &SurvivorSet) -> i64 {
     let mut reach = i64::MIN;
-    for ri in 0..set.run_count() {
-        let run = set.run(ri);
+    for run in set.runs() {
         match space.innermost_bounds(run.prefix) {
             Some((plo, _)) => reach = reach.max(run.hi - plo),
             None => return i64::MAX,
@@ -268,14 +342,13 @@ fn compute_reach(space: &IterationSpace, set: &RunSet) -> i64 {
 
 /// Min/max of `addr mod Ls` over the points of `set`, walking at most one
 /// residue period per run.
-fn compute_mod_range(addr: &Affine, set: &RunSet, ls: i64) -> (i64, i64) {
+fn compute_mod_range(addr: &Affine, set: &SurvivorSet, ls: i64) -> (i64, i64) {
     let inner = addr.nvars() - 1;
     let step = modulo(addr.coeff(inner), ls);
     let period = if step == 0 { 1 } else { ls / gcd(step, ls) };
     let mut buf = vec![0i64; addr.nvars()];
     let (mut mn, mut mx) = (i64::MAX, i64::MIN);
-    for ri in 0..set.run_count() {
-        let run = set.run(ri);
+    for run in set.runs() {
         buf[..inner].copy_from_slice(run.prefix);
         buf[inner] = run.lo;
         let mut m = modulo(addr.eval(&buf), ls);
@@ -312,7 +385,8 @@ pub(crate) fn build(
     let inner = depth - 1;
     let space = nest.space();
     let dest_addr = &addrs[dest_idx];
-    let mut c: Option<RunSet> = None;
+    let total_points = space.count();
+    let mut c: Option<SurvivorSet> = None;
     let mut vectors = Vec::new();
     let mut early_stopped = false;
     let mut truncated = false;
@@ -357,11 +431,22 @@ pub(crate) fn build(
                 vectors.push(SolvedVector {
                     examined,
                     cold_solutions: examined,
-                    scan_set: RunSet::new(depth),
+                    scan_set: SurvivorSet::new(depth, false),
                 });
                 continue;
             }
         }
+        // Representation choice for this scan's output sets: dense rows
+        // once the incoming survivors are at least a 1/Ls fraction of the
+        // space — below that, run compression stores the same set in less
+        // memory than one bit per space point.
+        let dense = match options.survivor_repr {
+            SurvivorRepr::ForceRuns => false,
+            SurvivorRepr::ForceDense => true,
+            SurvivorRepr::Auto => {
+                examined.saturating_mul(cache.line_elems() as u64) >= total_points
+            }
+        };
         let mut cls = RunClassifier {
             space: nest.space(),
             ls: cache.line_elems(),
@@ -371,10 +456,17 @@ pub(crate) fn build(
             r_in: r[inner],
             intra: rv.is_intra_iteration(),
             buf: vec![0i64; depth],
+            sbuf: vec![0i64; depth],
             p_prefix: vec![0i64; inner],
-            next: RunSet::new(depth),
-            scan: RunSet::new(depth),
+            next: SurvivorSet::new(depth, dense),
+            scan: SurvivorSet::new(depth, dense),
             cold: 0,
+            have_prefix: false,
+            d0: 0,
+            sd: 0,
+            s0: 0,
+            ss: 0,
+            src_live: None,
         };
         // Mid-vector checkpoints every 64 rows/runs: an abandoned walk
         // discards its partial classification (the previous survivor set
@@ -398,12 +490,11 @@ pub(crate) fn build(
                 }
             }
             Some(set) => {
-                for ri in 0..set.run_count() {
+                for (ri, run) in set.runs().enumerate() {
                     if ri & 63 == 0 && !gov.live() {
                         abandoned = true;
                         break;
                     }
-                    let run = set.run(ri);
                     cls.classify(run.prefix, run.lo, run.hi);
                 }
             }

@@ -50,6 +50,12 @@ pub(crate) struct Counters {
     pub(crate) window_rebuilds: AtomicU64,
     pub(crate) window_rebuild_rows: AtomicU64,
     pub(crate) peak_survivors: AtomicU64,
+    pub(crate) scan_sets_dense: AtomicU64,
+    pub(crate) scan_sets_runs: AtomicU64,
+    pub(crate) scan_shard_busy_ns: AtomicU64,
+    pub(crate) scan_shard_longest_ns: AtomicU64,
+    pub(crate) scan_steals: AtomicU64,
+    pub(crate) scan_merge_ns: AtomicU64,
     pub(crate) truncated_points: AtomicU64,
     pub(crate) exhausted_analyses: AtomicU64,
     pub(crate) worker_panics: AtomicU64,
@@ -78,6 +84,31 @@ impl Counters {
     pub(crate) fn add_time(slot: &AtomicU64, elapsed: Duration) {
         let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
         slot.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Records one solved vector's survivor peak and which side of the
+    /// density heuristic its scan sets landed on.
+    pub(crate) fn note_solved_vector(&self, examined: u64, dense: bool) {
+        self.peak_survivors.fetch_max(examined, Ordering::Relaxed);
+        let slot = if dense {
+            &self.scan_sets_dense
+        } else {
+            &self.scan_sets_runs
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one pooled scan round's lane clocks into the session totals.
+    pub(crate) fn note_shard_stats(&self, stats: &super::pool::PoolStats) {
+        self.scan_shard_busy_ns.fetch_add(
+            u64::try_from(stats.busy.as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        self.scan_shard_longest_ns.fetch_max(
+            u64::try_from(stats.longest.as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        self.scan_steals.fetch_add(stats.steals, Ordering::Relaxed);
     }
 }
 
@@ -123,6 +154,22 @@ pub struct EngineStats {
     pub window_rebuild_rows: u64,
     /// Largest indeterminate set entering any single reuse vector.
     pub peak_survivors: u64,
+    /// Survivor scan sets held in the flat dense representation (picked
+    /// by the density heuristic or forced via
+    /// [`crate::SurvivorRepr::ForceDense`]).
+    pub scan_sets_dense: u64,
+    /// Survivor scan sets held run-compressed.
+    pub scan_sets_runs: u64,
+    /// Worker-summed wall time spent inside cascade scan shards.
+    pub time_scan_shards: Duration,
+    /// Busiest single shard pass of any scan round — the cascade stage's
+    /// parallel critical path.
+    pub time_scan_longest_shard: Duration,
+    /// Scan blocks a worker claimed from another worker's lane.
+    pub scan_steals: u64,
+    /// Wall time merging per-block scan outcomes back into per-slot
+    /// results.
+    pub time_scan_merge: Duration,
     /// Iteration points classified indeterminate-treated-as-miss because
     /// a budget or cancellation cut their refinement short.
     pub truncated_points: u64,
@@ -224,6 +271,19 @@ impl fmt::Display for EngineStats {
         writeln!(f, "  peak survivors: {} points", self.peak_survivors)?;
         writeln!(
             f,
+            "  scan sets:     {} dense, {} run-compressed",
+            self.scan_sets_dense, self.scan_sets_runs
+        )?;
+        writeln!(
+            f,
+            "  scan shards:   {:.1?} busy (longest {:.1?}), {} steals, merge {:.1?}",
+            self.time_scan_shards,
+            self.time_scan_longest_shard,
+            self.scan_steals,
+            self.time_scan_merge
+        )?;
+        writeln!(
+            f,
             "  degraded:      {} exhausted analyses ({} points truncated-as-miss), {} worker panics",
             self.exhausted_analyses, self.truncated_points, self.worker_panics
         )?;
@@ -280,6 +340,12 @@ impl Engine {
             window_rebuilds: c.window_rebuilds.load(Ordering::Relaxed),
             window_rebuild_rows: c.window_rebuild_rows.load(Ordering::Relaxed),
             peak_survivors: c.peak_survivors.load(Ordering::Relaxed),
+            scan_sets_dense: c.scan_sets_dense.load(Ordering::Relaxed),
+            scan_sets_runs: c.scan_sets_runs.load(Ordering::Relaxed),
+            time_scan_shards: ns(&c.scan_shard_busy_ns),
+            time_scan_longest_shard: ns(&c.scan_shard_longest_ns),
+            scan_steals: c.scan_steals.load(Ordering::Relaxed),
+            time_scan_merge: ns(&c.scan_merge_ns),
             truncated_points: c.truncated_points.load(Ordering::Relaxed),
             exhausted_analyses: c.exhausted_analyses.load(Ordering::Relaxed),
             worker_panics: c.worker_panics.load(Ordering::Relaxed),

@@ -591,7 +591,13 @@ mod tests {
     #[test]
     fn cold_equation_boundary_semantics() {
         let (nest, cache) = eq5_setting();
-        let sys = CmeSystem::generate(&nest, cache, &ReuseOptions::default());
+        // Pruning keeps only the most recent source per same-gap family;
+        // this test inspects the *full* equation set, self group included.
+        let opts = ReuseOptions {
+            prune_dominated: false,
+            ..ReuseOptions::default()
+        };
+        let sys = CmeSystem::generate(&nest, cache, &opts);
         let group = sys.per_ref[0]
             .groups
             .iter()

@@ -95,7 +95,7 @@ pub use cme_ir::{NestId, ProgramDb};
 pub use engine::{Analyzer, Engine, EngineStats};
 pub use equations::{CmeSystem, ColdEquation, EquationGroup, RefEquations, ReplacementEquation};
 pub use governor::{AnalysisError, Budget, CancelToken, ExhaustReason, GovernedAnalysis, Outcome};
-pub use pointset::{PointSet, Run, RunSet};
+pub use pointset::{DenseSet, PointSet, Run, RunSet, SurvivorRepr, SurvivorRuns, SurvivorSet};
 pub use sequence::{analyze_sequence, SequenceAnalysis};
 pub use solve::{
     AnalysisOptions, AnalysisOptionsBuilder, InvalidOptions, NestAnalysis, RefAnalysis,

@@ -332,6 +332,477 @@ impl RunSet {
     }
 }
 
+/// Sets bits `lo..=hi` of a little-endian word array, whole words at a
+/// time for the interior.
+#[inline]
+fn set_bit_range(words: &mut [u64], lo: usize, hi: usize) {
+    let (wl, wh) = (lo / 64, hi / 64);
+    let ml = !0u64 << (lo % 64);
+    let mh = !0u64 >> (63 - (hi % 64));
+    if wl == wh {
+        words[wl] |= ml & mh;
+    } else {
+        words[wl] |= ml;
+        for w in &mut words[wl + 1..wh] {
+            *w = !0;
+        }
+        words[wh] |= mh;
+    }
+}
+
+/// A set of iteration points stored as per-row bitmaps: one directory
+/// entry per outer-index prefix (row), innermost membership packed 64
+/// points per word.
+///
+/// The write contract matches [`RunSet::push_run`] — strictly increasing
+/// lexicographic appends — and decoding a row's words yields exactly the
+/// maximal runs the run-compressed form would store, in the same order
+/// with the same lexicographic `start` indices: the two representations
+/// are interchangeable bit for bit (see [`SurvivorSet`]).
+///
+/// Dense packing wins when survivor sets carry many short runs per row
+/// (alternating verdict patterns with period ~`Ls`, strided single-point
+/// survivors): a run costs ~32 bytes of directory in [`RunSet`] but one
+/// bit per point here, and range pushes touch 64 points per word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseSet {
+    depth: usize,
+    /// Row prefixes, flat, `depth − 1` elems each.
+    prefixes: Vec<i64>,
+    /// Per row: the innermost index bit 0 of its first word stands for.
+    row_base: Vec<i64>,
+    /// Per row: start of its words in `words` (a row's words end where
+    /// the next row's begin; the last row owns the tail).
+    row_words: Vec<u32>,
+    /// Per row: lexicographic index of its first point.
+    row_start: Vec<u64>,
+    words: Vec<u64>,
+    len: u64,
+    /// Innermost index of the most recent push (order checking).
+    last_hi: i64,
+}
+
+impl DenseSet {
+    /// Creates an empty dense set of `depth`-dimensional points.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `depth == 0` — a zero-dimensional point has no
+    /// innermost axis to pack along.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth >= 1, "DenseSet requires depth >= 1");
+        DenseSet {
+            depth,
+            prefixes: Vec::new(),
+            row_base: Vec::new(),
+            row_words: Vec::new(),
+            row_start: Vec::new(),
+            words: Vec::new(),
+            len: 0,
+            last_hi: 0,
+        }
+    }
+
+    /// Point dimensionality.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of points stored.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of rows (distinct outer-index prefixes).
+    pub fn rows(&self) -> usize {
+        self.row_base.len()
+    }
+
+    /// The word range backing row `ri`.
+    #[inline]
+    fn row_word_range(&self, ri: usize) -> (usize, usize) {
+        let ws = self.row_words[ri] as usize;
+        let we = self
+            .row_words
+            .get(ri + 1)
+            .map_or(self.words.len(), |&w| w as usize);
+        (ws, we)
+    }
+
+    /// Appends a whole run `(prefix, lo..=hi)`; empty intervals are
+    /// ignored. Same ordering contract as [`RunSet::push_run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on prefix dimension mismatch, and (in debug builds) on
+    /// out-of-order appends.
+    pub fn push_run(&mut self, prefix: &[i64], lo: i64, hi: i64) {
+        let pw = self.depth - 1;
+        assert_eq!(prefix.len(), pw, "prefix dimension mismatch");
+        if lo > hi {
+            return;
+        }
+        let last = self.rows().wrapping_sub(1);
+        let same_row =
+            !self.row_base.is_empty() && &self.prefixes[last * pw..(last + 1) * pw] == prefix;
+        if same_row {
+            debug_assert!(lo > self.last_hi, "runs must be appended in lex order");
+        } else {
+            debug_assert!(
+                self.row_base.is_empty()
+                    || cme_math::lexi::lex_cmp(&self.prefixes[last * pw..(last + 1) * pw], prefix)
+                        == std::cmp::Ordering::Less,
+                "prefixes must be appended in lex order"
+            );
+            self.prefixes.extend_from_slice(prefix);
+            self.row_base.push(lo);
+            self.row_words.push(self.words.len() as u32);
+            self.row_start.push(self.len);
+        }
+        let ri = self.rows() - 1;
+        let base = self.row_base[ri];
+        let (b_lo, b_hi) = ((lo - base) as usize, (hi - base) as usize);
+        let ws = self.row_words[ri] as usize;
+        if self.words.len() < ws + b_hi / 64 + 1 {
+            self.words.resize(ws + b_hi / 64 + 1, 0);
+        }
+        set_bit_range(&mut self.words[ws..], b_lo, b_hi);
+        self.len += (hi - lo + 1) as u64;
+        self.last_hi = hi;
+    }
+
+    /// Appends one point (in lexicographic order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != depth`.
+    pub fn push(&mut self, point: &[i64]) {
+        assert_eq!(point.len(), self.depth, "point dimension mismatch");
+        let inner = point[self.depth - 1];
+        self.push_run(&point[..self.depth - 1], inner, inner);
+    }
+
+    /// Iterates the maximal runs of rows `row_lo..row_hi`, in
+    /// lexicographic order — the exact run stream [`RunSet`] would store
+    /// for the same pushes.
+    pub fn runs_in(&self, row_lo: usize, row_hi: usize) -> DenseRuns<'_> {
+        if row_lo >= row_hi {
+            return DenseRuns {
+                set: self,
+                ri: 0,
+                row_hi: 0,
+                row_ws: 0,
+                wi: 0,
+                word_end: 0,
+                cur: 0,
+                start: 0,
+            };
+        }
+        let (ws, we) = self.row_word_range(row_lo);
+        DenseRuns {
+            set: self,
+            ri: row_lo,
+            row_hi,
+            row_ws: ws,
+            wi: ws,
+            word_end: we,
+            cur: self.words[ws],
+            start: self.row_start[row_lo],
+        }
+    }
+
+    /// The `idx`-th point in lexicographic order (O(log rows + row
+    /// words)).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx >= len()`.
+    pub fn point(&self, idx: u64) -> Vec<i64> {
+        assert!(idx < self.len, "point index out of range");
+        let ri = match self.row_start.binary_search(&idx) {
+            Ok(ri) => ri,
+            Err(ins) => ins - 1,
+        };
+        let pw = self.depth - 1;
+        let mut remaining = idx - self.row_start[ri];
+        let (ws, we) = self.row_word_range(ri);
+        for (k, &w) in self.words[ws..we].iter().enumerate() {
+            let pc = u64::from(w.count_ones());
+            if remaining < pc {
+                let mut w = w;
+                for _ in 0..remaining {
+                    w &= w - 1; // drop the lowest set bit
+                }
+                let mut p = Vec::with_capacity(self.depth);
+                p.extend_from_slice(&self.prefixes[ri * pw..(ri + 1) * pw]);
+                p.push(self.row_base[ri] + (k as i64) * 64 + i64::from(w.trailing_zeros()));
+                return p;
+            }
+            remaining -= pc;
+        }
+        unreachable!("row popcounts inconsistent with len");
+    }
+}
+
+/// Iterator over the maximal runs of a [`DenseSet`] row range; yields
+/// the same `Run` stream the equivalent [`RunSet`] stores.
+pub struct DenseRuns<'a> {
+    set: &'a DenseSet,
+    ri: usize,
+    row_hi: usize,
+    /// First word of the current row (bit origin).
+    row_ws: usize,
+    /// Current word index; bits of `words[wi]` below the cursor are
+    /// cleared in `cur`.
+    wi: usize,
+    word_end: usize,
+    cur: u64,
+    /// Global lexicographic index of the next yielded point.
+    start: u64,
+}
+
+impl<'a> Iterator for DenseRuns<'a> {
+    type Item = Run<'a>;
+
+    fn next(&mut self) -> Option<Run<'a>> {
+        // Find the next set bit, advancing words and rows as needed.
+        while self.cur == 0 {
+            self.wi += 1;
+            if self.wi >= self.word_end {
+                self.ri += 1;
+                if self.ri >= self.row_hi || self.ri >= self.set.rows() {
+                    return None;
+                }
+                debug_assert_eq!(self.start, self.set.row_start[self.ri]);
+                let (ws, we) = self.set.row_word_range(self.ri);
+                self.row_ws = ws;
+                self.wi = ws;
+                self.word_end = we;
+            }
+            self.cur = self.set.words[self.wi];
+        }
+        let tz = self.cur.trailing_zeros();
+        let run_start_bit = (self.wi - self.row_ws) * 64 + tz as usize;
+        let ones = (self.cur >> tz).trailing_ones();
+        let mut run_len = ones as usize;
+        self.cur = match tz + ones {
+            64 => 0,
+            consumed => self.cur & (!0u64 << consumed),
+        };
+        if tz + ones == 64 {
+            // The run may continue into the following words of the row.
+            while self.wi + 1 < self.word_end {
+                self.wi += 1;
+                let w = self.set.words[self.wi];
+                let o = w.trailing_ones();
+                run_len += o as usize;
+                if o == 64 {
+                    self.cur = 0;
+                    continue;
+                }
+                self.cur = w & (!0u64 << o);
+                break;
+            }
+        }
+        let pw = self.set.depth - 1;
+        let lo = self.set.row_base[self.ri] + run_start_bit as i64;
+        let start = self.start;
+        self.start += run_len as u64;
+        Some(Run {
+            prefix: &self.set.prefixes[self.ri * pw..(self.ri + 1) * pw],
+            lo,
+            hi: lo + run_len as i64 - 1,
+            start,
+        })
+    }
+}
+
+/// How the engine stores survivor and scan sets
+/// ([`AnalysisOptions::survivor_repr`](crate::AnalysisOptions)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SurvivorRepr {
+    /// Pick per scan from a density estimate: dense when the incoming
+    /// survivor count is at least a `1/Ls` fraction of the iteration
+    /// space (run compression cannot beat ~`Ls`-points-per-run packing
+    /// at that density), run-compressed otherwise.
+    #[default]
+    Auto,
+    /// Always run-compressed ([`RunSet`]).
+    ForceRuns,
+    /// Always dense bitmap rows ([`DenseSet`]).
+    ForceDense,
+}
+
+/// A survivor/scan point set in either representation. Both sides share
+/// the push contract, the lexicographic point order, and the decoded
+/// maximal-run stream, so every consumer — classification walks, window
+/// scans, sharding, miss-index bookkeeping — is representation-blind:
+/// analysis results are bit-identical whichever side a set lands on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SurvivorSet {
+    /// Run-compressed storage.
+    Runs(RunSet),
+    /// Dense bitmap-row storage.
+    Dense(DenseSet),
+}
+
+impl SurvivorSet {
+    /// Creates an empty set of `depth`-dimensional points in the chosen
+    /// representation.
+    pub fn new(depth: usize, dense: bool) -> Self {
+        if dense {
+            SurvivorSet::Dense(DenseSet::new(depth))
+        } else {
+            SurvivorSet::Runs(RunSet::new(depth))
+        }
+    }
+
+    /// Whether the set uses the dense bitmap representation.
+    pub fn is_dense(&self) -> bool {
+        matches!(self, SurvivorSet::Dense(_))
+    }
+
+    /// Point dimensionality.
+    pub fn depth(&self) -> usize {
+        match self {
+            SurvivorSet::Runs(s) => s.depth(),
+            SurvivorSet::Dense(s) => s.depth(),
+        }
+    }
+
+    /// Number of points stored.
+    pub fn len(&self) -> u64 {
+        match self {
+            SurvivorSet::Runs(s) => s.len(),
+            SurvivorSet::Dense(s) => s.len(),
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a whole run (same ordering contract as
+    /// [`RunSet::push_run`]).
+    pub fn push_run(&mut self, prefix: &[i64], lo: i64, hi: i64) {
+        match self {
+            SurvivorSet::Runs(s) => s.push_run(prefix, lo, hi),
+            SurvivorSet::Dense(s) => s.push_run(prefix, lo, hi),
+        }
+    }
+
+    /// Appends one point (in lexicographic order).
+    pub fn push(&mut self, point: &[i64]) {
+        match self {
+            SurvivorSet::Runs(s) => s.push(point),
+            SurvivorSet::Dense(s) => s.push(point),
+        }
+    }
+
+    /// Number of sharding chunks: runs for the run-compressed side, rows
+    /// for the dense side — in both, a contiguous chunk range covers a
+    /// contiguous range of lexicographic point indices.
+    pub fn chunk_count(&self) -> usize {
+        match self {
+            SurvivorSet::Runs(s) => s.run_count(),
+            SurvivorSet::Dense(s) => s.rows(),
+        }
+    }
+
+    /// Lexicographic index of the first point of chunk `ci`
+    /// (`len()` when `ci == chunk_count()`).
+    pub fn chunk_start(&self, ci: usize) -> u64 {
+        if ci == self.chunk_count() {
+            return self.len();
+        }
+        match self {
+            SurvivorSet::Runs(s) => s.run(ci).start,
+            SurvivorSet::Dense(s) => s.row_start[ci],
+        }
+    }
+
+    /// Iterates the maximal runs of chunks `lo..hi` in lexicographic
+    /// order — the identical stream from either representation.
+    pub fn runs_in(&self, lo: usize, hi: usize) -> SurvivorRuns<'_> {
+        match self {
+            SurvivorSet::Runs(s) => SurvivorRuns::Runs { set: s, ri: lo, hi },
+            SurvivorSet::Dense(s) => SurvivorRuns::Dense(s.runs_in(lo, hi)),
+        }
+    }
+
+    /// Iterates every maximal run.
+    pub fn runs(&self) -> SurvivorRuns<'_> {
+        self.runs_in(0, self.chunk_count())
+    }
+
+    /// The `idx`-th point in lexicographic order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx >= len()`.
+    pub fn point(&self, idx: u64) -> Vec<i64> {
+        match self {
+            SurvivorSet::Runs(s) => s.point(idx),
+            SurvivorSet::Dense(s) => s.point(idx),
+        }
+    }
+
+    /// Visits every point in lexicographic order. The slice passed to
+    /// `visit` is a scratch buffer valid only for the duration of the
+    /// call.
+    pub fn for_each(&self, mut visit: impl FnMut(&[i64])) {
+        let mut buf = vec![0i64; self.depth()];
+        let pw = self.depth() - 1;
+        for run in self.runs() {
+            buf[..pw].copy_from_slice(run.prefix);
+            for v in run.lo..=run.hi {
+                buf[pw] = v;
+                visit(&buf);
+            }
+        }
+    }
+}
+
+/// Iterator over the maximal runs of a [`SurvivorSet`] chunk range.
+pub enum SurvivorRuns<'a> {
+    /// Indexed walk of a [`RunSet`]'s runs.
+    Runs {
+        /// The underlying run-compressed set.
+        set: &'a RunSet,
+        /// Next run index.
+        ri: usize,
+        /// One past the last run index.
+        hi: usize,
+    },
+    /// Word-decoding walk of a [`DenseSet`]'s rows.
+    Dense(DenseRuns<'a>),
+}
+
+impl<'a> Iterator for SurvivorRuns<'a> {
+    type Item = Run<'a>;
+
+    fn next(&mut self) -> Option<Run<'a>> {
+        match self {
+            SurvivorRuns::Runs { set, ri, hi } => {
+                if ri < hi {
+                    let run = set.run(*ri);
+                    *ri += 1;
+                    Some(run)
+                } else {
+                    None
+                }
+            }
+            SurvivorRuns::Dense(d) => d.next(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,6 +902,83 @@ mod tests {
         let _ = RunSet::new(0);
     }
 
+    #[test]
+    fn dense_set_matches_runset_run_stream() {
+        let mut d = DenseSet::new(3);
+        let mut r = RunSet::new(3);
+        let pushes: [(&[i64], i64, i64); 6] = [
+            (&[0, 0], 0, 5),
+            (&[0, 0], 7, 7),
+            (&[0, 0], 8, 200), // crosses multiple words
+            (&[0, 1], -3, 1),  // negative bases
+            (&[2, 0], 63, 64), // word-boundary straddle
+            (&[2, 0], 66, 66),
+        ];
+        for (p, lo, hi) in pushes {
+            d.push_run(p, lo, hi);
+            r.push_run(p, lo, hi);
+        }
+        assert_eq!(d.len(), r.len());
+        assert_eq!(d.rows(), 3);
+        let druns: Vec<_> = d
+            .runs_in(0, d.rows())
+            .map(|run| (run.prefix.to_vec(), run.lo, run.hi, run.start))
+            .collect();
+        let rruns: Vec<_> = (0..r.run_count())
+            .map(|i| {
+                let run = r.run(i);
+                (run.prefix.to_vec(), run.lo, run.hi, run.start)
+            })
+            .collect();
+        assert_eq!(druns, rruns);
+        for idx in 0..d.len() {
+            assert_eq!(d.point(idx), r.point(idx));
+        }
+    }
+
+    #[test]
+    fn dense_set_adjacent_runs_fuse_like_runset() {
+        let mut d = DenseSet::new(2);
+        d.push_run(&[4], 0, 9);
+        d.push_run(&[4], 10, 19); // adjacent: one maximal run when read
+        assert_eq!(d.len(), 20);
+        let runs: Vec<_> = d.runs_in(0, d.rows()).map(|r| (r.lo, r.hi)).collect();
+        assert_eq!(runs, vec![(0, 19)]);
+    }
+
+    #[test]
+    fn survivor_set_chunks_cover_lex_indices_in_both_reprs() {
+        for dense in [false, true] {
+            let mut s = SurvivorSet::new(2, dense);
+            assert_eq!(s.is_dense(), dense);
+            s.push_run(&[0], 0, 99);
+            s.push_run(&[1], 5, 5);
+            s.push_run(&[1], 50, 69);
+            assert_eq!(s.len(), 121);
+            assert_eq!(s.chunk_start(0), 0);
+            assert_eq!(s.chunk_start(s.chunk_count()), s.len());
+            // Chunk boundaries partition the lex index range; any split
+            // reproduces the whole run stream piecewise.
+            let whole: Vec<_> = s
+                .runs()
+                .map(|r| (r.prefix.to_vec(), r.lo, r.hi, r.start))
+                .collect();
+            let mid = s.chunk_count() / 2;
+            let split: Vec<_> = s
+                .runs_in(0, mid)
+                .chain(s.runs_in(mid, s.chunk_count()))
+                .map(|r| (r.prefix.to_vec(), r.lo, r.hi, r.start))
+                .collect();
+            assert_eq!(whole, split);
+            let mut visited = 0u64;
+            s.for_each(|p| {
+                assert_eq!(s.point(visited), p);
+                visited += 1;
+            });
+            assert_eq!(visited, s.len());
+        }
+    }
+
     mod props {
         use super::*;
         use cme_testgen::{arb_nest, NestDistribution};
@@ -461,6 +1009,41 @@ mod tests {
                 if !rs.is_empty() {
                     let idx = probe % rs.len();
                     prop_assert_eq!(rs.point(idx), ps.point(idx as usize).to_vec());
+                }
+            }
+
+            /// Both survivor representations decode to the identical
+            /// run stream, point order, and chunk index map for every
+            /// random iteration space.
+            #[test]
+            fn survivor_reprs_are_interchangeable(
+                nest in arb_nest(NestDistribution::default()),
+                probe in 0u64..4096,
+            ) {
+                let depth = nest.depth();
+                if depth == 0 {
+                    return Ok(());
+                }
+                let mut runs = SurvivorSet::new(depth, false);
+                let mut dense = SurvivorSet::new(depth, true);
+                let mut sp = nest.space();
+                while let Some(q) = sp.next_point() {
+                    runs.push(&q);
+                    dense.push(&q);
+                }
+                prop_assert_eq!(runs.len(), dense.len());
+                let a: Vec<_> = runs
+                    .runs()
+                    .map(|r| (r.prefix.to_vec(), r.lo, r.hi, r.start))
+                    .collect();
+                let b: Vec<_> = dense
+                    .runs()
+                    .map(|r| (r.prefix.to_vec(), r.lo, r.hi, r.start))
+                    .collect();
+                prop_assert_eq!(a, b);
+                if !runs.is_empty() {
+                    let idx = probe % runs.len();
+                    prop_assert_eq!(runs.point(idx), dense.point(idx));
                 }
             }
         }

@@ -57,6 +57,10 @@ impl Hasher for LineHasher {
         self.write_u64(v as u64);
     }
 
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
     fn write_u64(&mut self, v: u64) {
         let mut h = self.0 ^ v;
         h = h.wrapping_mul(0x9e37_79b9_7f4a_7c15);
@@ -67,22 +71,45 @@ impl Hasher for LineHasher {
 
 type LineCounts = HashMap<i64, u64, BuildHasherDefault<LineHasher>>;
 
-/// Widest line span (≈4 MB of counters) still backed by the dense array.
-const MAX_DENSE_LINES: i64 = 1 << 20;
+/// Overflow tier of the dense multiset: line index → accesses beyond the
+/// saturated `u8` counter. An entry exists (and is positive) only while
+/// the fast-tier counter sits at [`SAT`].
+type SpillCounts = HashMap<u32, u64, BuildHasherDefault<LineHasher>>;
+
+/// Saturation ceiling of the dense fast tier's per-line `u8` counters.
+const SAT: u8 = u8::MAX;
+
+/// Widest line span (≈4 MB of `u8` counters plus a 512 KB occupancy
+/// bitmap) still backed by the dense array.
+const MAX_DENSE_LINES: i64 = 1 << 22;
 
 /// Multiset of window-interior accesses keyed by memory line.
 ///
 /// When every reference's address range over the space's bounding box
-/// spans at most [`MAX_DENSE_LINES`] lines, counts live in a dense array
-/// indexed by `line − base`: one predictable load per update, no hashing —
-/// the stepping hot path. Touched slots are remembered so a clear costs
-/// O(lines seen), not O(span). Wider (or unknown) spans fall back to the
-/// hash multiset.
+/// spans at most [`MAX_DENSE_LINES`] lines, counts live in a dense
+/// saturating-`u8` array indexed by `line − base` — one predictable byte
+/// load per update, no hashing — with the rare multiplicity above [`SAT`]
+/// spilled to a side map. Membership lives in a separate occupancy bitmap
+/// packing 64 lines per word: `contains_line` is a bit test, a clear
+/// zeroes whole 64-counter blocks guided by the dirty-word list (O(words
+/// touched), not O(span) and not O(lines touched)), and bulk updates over
+/// contiguous line ranges discover 0→occupied transitions a word at a
+/// time. Wider (or unknown) spans fall back to the hash multiset.
 enum LineMultiset {
     Dense {
         base: i64,
-        counts: Vec<u32>,
+        /// Saturating fast-tier counters: [`SAT`] means "at least `SAT`;
+        /// the excess lives in `spill`".
+        counts: Vec<u8>,
+        /// Occupancy bitmap: bit `idx % 64` of word `idx / 64` is set iff
+        /// `counts[idx] > 0`.
+        occ: Vec<u64>,
+        /// Occupancy words dirtied since the last clear (a word may repeat
+        /// if it empties and refills; clearing is idempotent).
         touched: Vec<u32>,
+        /// Overflow beyond the `u8` tier; `spill[idx] > 0` only while
+        /// `counts[idx] == SAT`.
+        spill: SpillCounts,
     },
     Sparse(LineCounts),
 }
@@ -92,10 +119,15 @@ impl LineMultiset {
     /// Multiplicity of `line` (test support).
     fn count_of(&self, line: i64) -> u64 {
         match self {
-            LineMultiset::Dense { base, counts, .. } => {
+            LineMultiset::Dense {
+                base,
+                counts,
+                spill,
+                ..
+            } => {
                 let idx = line.wrapping_sub(*base);
                 if idx >= 0 && (idx as usize) < counts.len() {
-                    u64::from(counts[idx as usize])
+                    u64::from(counts[idx as usize]) + spill.get(&(idx as u32)).copied().unwrap_or(0)
                 } else {
                     0
                 }
@@ -107,7 +139,7 @@ impl LineMultiset {
     /// Number of distinct lines present (test support).
     fn distinct_len(&self) -> usize {
         match self {
-            LineMultiset::Dense { counts, .. } => counts.iter().filter(|&&c| c > 0).count(),
+            LineMultiset::Dense { occ, .. } => occ.iter().map(|w| w.count_ones() as usize).sum(),
             LineMultiset::Sparse(map) => map.len(),
         }
     }
@@ -261,10 +293,13 @@ impl<'a> SlidingWindow<'a> {
             lmax = lmax.max(w.geom.line(range.hi));
         }
         if lmin <= lmax && lmax - lmin < MAX_DENSE_LINES {
+            let span = (lmax - lmin + 1) as usize;
             w.counts = LineMultiset::Dense {
                 base: lmin,
-                counts: vec![0; (lmax - lmin + 1) as usize],
+                counts: vec![0; span],
+                occ: vec![0; span.div_ceil(64)],
                 touched: Vec::new(),
+                spill: SpillCounts::default(),
             };
         }
         w
@@ -299,9 +334,13 @@ impl<'a> SlidingWindow<'a> {
     /// endpoint side accesses against the window).
     pub(crate) fn contains_line(&self, line: i64) -> bool {
         match &self.counts {
-            LineMultiset::Dense { base, counts, .. } => {
+            LineMultiset::Dense {
+                base, counts, occ, ..
+            } => {
                 let idx = line.wrapping_sub(*base);
-                idx >= 0 && (idx as usize) < counts.len() && counts[idx as usize] > 0
+                idx >= 0
+                    && (idx as usize) < counts.len()
+                    && occ[idx as usize / 64] >> (idx as usize % 64) & 1 == 1
             }
             LineMultiset::Sparse(map) => map.contains_key(&line),
         }
@@ -310,11 +349,22 @@ impl<'a> SlidingWindow<'a> {
     fn clear_counts(&mut self) {
         match &mut self.counts {
             LineMultiset::Dense {
-                counts, touched, ..
+                counts,
+                occ,
+                touched,
+                spill,
+                ..
             } => {
-                for idx in touched.drain(..) {
-                    counts[idx as usize] = 0;
+                // Word-parallel clear: each dirty occupancy word zeroes its
+                // whole 64-counter block, regardless of which bits are set.
+                for wi in touched.drain(..) {
+                    let wi = wi as usize;
+                    occ[wi] = 0;
+                    let lo = wi * 64;
+                    let hi = (lo + 64).min(counts.len());
+                    counts[lo..hi].fill(0);
                 }
+                spill.clear();
             }
             LineMultiset::Sparse(map) => map.clear(),
         }
@@ -327,15 +377,29 @@ impl<'a> SlidingWindow<'a> {
             LineMultiset::Dense {
                 base,
                 counts,
+                occ,
                 touched,
+                spill,
             } => {
                 let idx = (line - *base) as usize;
                 let c = &mut counts[idx];
                 if *c == 0 {
-                    touched.push(idx as u32);
+                    let w = &mut occ[idx / 64];
+                    if *w == 0 {
+                        touched.push((idx / 64) as u32);
+                    }
+                    *w |= 1u64 << (idx % 64);
                     self.distinct_per_set[self.geom.set_of_line(line) as usize] += 1;
                 }
-                *c += n as u32;
+                let total = u64::from(*c) + n;
+                if total >= u64::from(SAT) {
+                    if total > u64::from(SAT) {
+                        *spill.entry(idx as u32).or_insert(0) += total - u64::from(SAT);
+                    }
+                    *c = SAT;
+                } else {
+                    *c = total as u8;
+                }
             }
             LineMultiset::Sparse(map) => match map.entry(line) {
                 Entry::Occupied(mut e) => *e.get_mut() += n,
@@ -347,43 +411,158 @@ impl<'a> SlidingWindow<'a> {
         }
     }
 
+    /// Removes one access of `line` (the single-step mirror of
+    /// [`SlidingWindow::remove_line`]).
     fn remove_access(&mut self, line: i64) {
+        self.remove_line(line, 1);
+    }
+
+    /// Removes `n` accesses of `line` at once, draining any spilled
+    /// overflow before the saturated fast-tier counter is decremented.
+    fn remove_line(&mut self, line: i64, n: u64) {
+        debug_assert!(n > 0);
         match &mut self.counts {
-            LineMultiset::Dense { base, counts, .. } => {
+            LineMultiset::Dense {
+                base,
+                counts,
+                occ,
+                spill,
+                ..
+            } => {
                 let idx = (line - *base) as usize;
                 let c = &mut counts[idx];
-                debug_assert!(*c > 0, "removing an access absent from the window");
-                *c -= 1;
-                if *c == 0 {
+                let mut n = n;
+                if *c == SAT {
+                    if let Entry::Occupied(mut e) = spill.entry(idx as u32) {
+                        let s = e.get_mut();
+                        if *s > n {
+                            *s -= n;
+                            return;
+                        }
+                        n -= *s;
+                        e.remove();
+                        if n == 0 {
+                            return;
+                        }
+                    }
+                }
+                debug_assert!(
+                    u64::from(*c) >= n,
+                    "removing accesses absent from the window"
+                );
+                let rem = u64::from(*c) - n;
+                *c = rem as u8;
+                if rem == 0 {
+                    occ[idx / 64] &= !(1u64 << (idx % 64));
                     self.distinct_per_set[self.geom.set_of_line(line) as usize] -= 1;
                 }
             }
             LineMultiset::Sparse(map) => match map.entry(line) {
                 Entry::Occupied(mut e) => {
-                    if *e.get() == 1 {
+                    debug_assert!(*e.get() >= n, "removing accesses absent from the window");
+                    if *e.get() == n {
                         e.remove();
                         self.distinct_per_set[self.geom.set_of_line(line) as usize] -= 1;
                     } else {
-                        *e.get_mut() -= 1;
+                        *e.get_mut() -= n;
                     }
                 }
                 Entry::Vacant(_) => {
-                    debug_assert!(false, "removing an access absent from the window")
+                    debug_assert!(false, "removing accesses absent from the window")
                 }
             },
         }
     }
 
-    /// Adds one reference's accesses over a whole innermost row: addresses
-    /// `base, base+stride, …` (`count` of them), aggregated per memory
-    /// line. Returns the number of line-count updates performed.
-    fn add_progression(&mut self, base: i64, stride: i64, count: i64) -> u64 {
+    /// Word-parallel bulk add over the contiguous line range
+    /// `[lmin, lmax]` of the access progression `base, base+stride, …`
+    /// (`count` accesses, `0 < stride ≤ Ls`): membership transitions are
+    /// discovered 64 lines per occupancy word — lines already present cost
+    /// no per-line bookkeeping at all — then the saturating counters
+    /// absorb each line's multiplicity. Returns `false` (no-op) when the
+    /// multiset is not dense.
+    fn dense_add_range(
+        &mut self,
+        lmin: i64,
+        lmax: i64,
+        base: i64,
+        stride: i64,
+        count: i64,
+    ) -> bool {
+        let ls = self.cache.line_elems();
+        let geom = self.geom;
+        let LineMultiset::Dense {
+            base: dbase,
+            counts,
+            occ,
+            touched,
+            spill,
+        } = &mut self.counts
+        else {
+            return false;
+        };
+        let ilo = (lmin - *dbase) as usize;
+        let ihi = (lmax - *dbase) as usize;
+        let (wlo, whi) = (ilo / 64, ihi / 64);
+        for (wi, word) in occ.iter_mut().enumerate().take(whi + 1).skip(wlo) {
+            let lo_bit = if wi == wlo { ilo % 64 } else { 0 };
+            let hi_bit = if wi == whi { ihi % 64 } else { 63 };
+            let mask = (!0u64 << lo_bit) & (!0u64 >> (63 - hi_bit));
+            let mut newly = mask & !*word;
+            if *word == 0 {
+                touched.push(wi as u32);
+            }
+            *word |= mask;
+            while newly != 0 {
+                let b = newly.trailing_zeros() as usize;
+                newly &= newly - 1;
+                let line = *dbase + (wi * 64 + b) as i64;
+                self.distinct_per_set[geom.set_of_line(line) as usize] += 1;
+            }
+        }
+        for line in lmin..=lmax {
+            // Accesses q with line·Ls ≤ base + stride·q < (line+1)·Ls;
+            // stride ≤ Ls guarantees every line in the range is hit.
+            let lo = ceil_div(line * ls - base, stride).max(0);
+            let hi = floor_div((line + 1) * ls - 1 - base, stride).min(count - 1);
+            debug_assert!(lo <= hi);
+            let n = (hi - lo + 1) as u64;
+            let c = &mut counts[(line - *dbase) as usize];
+            let total = u64::from(*c) + n;
+            if total >= u64::from(SAT) {
+                if total > u64::from(SAT) {
+                    *spill.entry((line - *dbase) as u32).or_insert(0) += total - u64::from(SAT);
+                }
+                *c = SAT;
+            } else {
+                *c = total as u8;
+            }
+        }
+        true
+    }
+
+    /// Adds (`sign > 0`) or removes (`sign < 0`) one reference's accesses
+    /// over an innermost segment: addresses `base, base+stride, …`
+    /// (`count` of them), aggregated per memory line — consecutive
+    /// accesses striding less than a line collapse into one count update
+    /// per line covered, so a `count`-point batch costs
+    /// `O(count·stride/Ls + 1)` updates instead of `count`. Returns the
+    /// number of line-count updates performed.
+    fn progression(&mut self, base: i64, stride: i64, count: i64, sign: i64) -> u64 {
+        #[inline]
+        fn apply(w: &mut SlidingWindow<'_>, line: i64, n: u64, sign: i64) {
+            if sign > 0 {
+                w.add_line(line, n);
+            } else {
+                w.remove_line(line, n);
+            }
+        }
         if count <= 0 {
             return 0;
         }
         let ls = self.cache.line_elems();
         if stride == 0 || count == 1 {
-            self.add_line(self.geom.line(base), count as u64);
+            apply(self, self.geom.line(base), count as u64, sign);
             return 1;
         }
         // Normalize to a positive stride (the multiset is order-blind).
@@ -393,26 +572,36 @@ impl<'a> SlidingWindow<'a> {
             (base, stride)
         };
         if stride <= ls {
-            // Consecutive accesses move less than a line: the row covers
-            // every line in its address range, each with a computable
-            // multiplicity.
+            // Consecutive accesses move less than a line: the segment
+            // covers every line in its address range, each with a
+            // computable multiplicity.
             let lmin = self.geom.line(base);
             let lmax = self.geom.line(base + stride * (count - 1));
+            if sign > 0 && self.dense_add_range(lmin, lmax, base, stride, count) {
+                return (lmax - lmin + 1) as u64;
+            }
             for line in lmin..=lmax {
                 // Accesses q with line·Ls ≤ base + stride·q < (line+1)·Ls.
                 let lo = ceil_div(line * ls - base, stride).max(0);
                 let hi = floor_div((line + 1) * ls - 1 - base, stride).min(count - 1);
                 if lo <= hi {
-                    self.add_line(line, (hi - lo + 1) as u64);
+                    apply(self, line, (hi - lo + 1) as u64, sign);
                 }
             }
             return (lmax - lmin + 1) as u64;
         }
         // Stride beyond a line: every access lands on its own line.
         for q in 0..count {
-            self.add_line(self.geom.line(base + stride * q), 1);
+            apply(self, self.geom.line(base + stride * q), 1, sign);
         }
         count as u64
+    }
+
+    /// Adds one reference's accesses over a whole innermost row: addresses
+    /// `base, base+stride, …` (`count` of them), aggregated per memory
+    /// line. Returns the number of line-count updates performed.
+    fn add_progression(&mut self, base: i64, stride: i64, count: i64) -> u64 {
+        self.progression(base, stride, count, 1)
     }
 
     /// Adds every reference's accesses over the row `(prefix, lo..=hi)`.
@@ -501,8 +690,12 @@ impl<'a> SlidingWindow<'a> {
         }
         // An endpoint move costs ~refs line updates; chasing further than
         // the last rebuild's work is a loss even when every move succeeds.
+        // The budget is denominated in line-count updates so that batched
+        // in-row slides (which collapse many moves into few updates) are
+        // charged what they actually cost.
         let per_move = self.addrs.len().max(1) as u64;
-        let budget = (self.last_rebuild_ops / per_move).max(32);
+        let budget = self.last_rebuild_ops.max(32 * per_move);
+        let inner = i_next.len() - 1;
         let mut taken = 0u64;
         loop {
             let dst_behind = self.dst != i_next;
@@ -512,6 +705,53 @@ impl<'a> SlidingWindow<'a> {
             }
             if taken >= budget {
                 return false;
+            }
+            // Batched in-row slide: an endpoint that stays in its current
+            // row for k ≥ 2 moves enters (or uncovers) k consecutive
+            // iteration points whose per-reference accesses form innermost
+            // arithmetic progressions — whole-progression multiset updates
+            // replace k single steps. Priority mirrors the per-step cases:
+            // the destination catches up first (growing the interior is
+            // always safe), the source only once the destination arrived
+            // (its uncovered points are then strictly inside).
+            if self.interior_pts > 0 {
+                let k = if dst_behind && self.dst[..inner] == i_next[..inner] {
+                    let k = i_next[inner] - self.dst[inner];
+                    if k >= 2 {
+                        // Entering points: self.dst, …, self.dst + k − 1.
+                        let mut ops = 0u64;
+                        for s in 0..self.addrs.len() {
+                            let base = self.addrs[s].eval(&self.dst);
+                            ops += self.progression(base, self.stride_in[s], k, 1);
+                        }
+                        self.interior_pts += k as u64;
+                        self.dst[inner] += k;
+                        taken += ops;
+                    }
+                    k
+                } else if !dst_behind && self.src[..inner] == self.tgt_src[..inner] {
+                    let k = self.tgt_src[inner] - self.src[inner];
+                    if k >= 2 {
+                        // Leaving points: self.src + 1, …, self.src + k.
+                        debug_assert!((k as u64) <= self.interior_pts);
+                        let mut ops = 0u64;
+                        self.src[inner] += 1;
+                        for s in 0..self.addrs.len() {
+                            let base = self.addrs[s].eval(&self.src);
+                            ops += self.progression(base, self.stride_in[s], k, -1);
+                        }
+                        self.interior_pts -= k as u64;
+                        self.src[inner] += k - 1;
+                        taken += ops;
+                    }
+                    k
+                } else {
+                    0
+                };
+                if k >= 2 {
+                    self.stats.steps += k as u64;
+                    continue;
+                }
             }
             if dst_behind && src_behind && self.interior_pts == 0 {
                 // Empty interior means `succ(p⃗) = i⃗`: the entering point is
@@ -552,7 +792,7 @@ impl<'a> SlidingWindow<'a> {
                 std::mem::swap(&mut self.src, &mut self.next_src);
             }
             self.stats.steps += 1;
-            taken += 1;
+            taken += per_move;
         }
     }
 
@@ -573,6 +813,38 @@ impl<'a> SlidingWindow<'a> {
             self.src_addr[s] = self.addrs[s].eval(p);
             self.dst_addr[s] = self.addrs[s].eval(i);
         }
+    }
+
+    /// Slides an armed window forward `delta` innermost steps in one shot —
+    /// the run-batched mirror of [`SlidingWindow::step_in_segment`] for
+    /// the gap between two scan runs in the same row. The caller
+    /// guarantees the lockstep condition over the whole stretch: both
+    /// endpoints stay inside their current innermost rows, so every
+    /// intermediate point is a space point. Entering and leaving accesses
+    /// are applied as whole arithmetic progressions (word-parallel on the
+    /// dense tier) and the per-reference address accumulators stay armed;
+    /// gap-one windows (empty interior) move with no multiset traffic at
+    /// all, since the entering stretch *is* the leaving stretch.
+    pub(crate) fn slide_by(&mut self, delta: i64) {
+        debug_assert!(delta > 0);
+        let inner = self.dst.len() - 1;
+        if self.interior_pts > 0 {
+            for s in 0..self.addrs.len() {
+                let (base, st) = (self.dst_addr[s], self.stride_in[s]);
+                self.progression(base, st, delta, 1);
+            }
+            for s in 0..self.addrs.len() {
+                let (base, st) = (self.src_addr[s] + self.stride_in[s], self.stride_in[s]);
+                self.progression(base, st, delta, -1);
+            }
+        }
+        for s in 0..self.addrs.len() {
+            self.src_addr[s] += self.stride_in[s] * delta;
+            self.dst_addr[s] += self.stride_in[s] * delta;
+        }
+        self.src[inner] += delta;
+        self.dst[inner] += delta;
+        self.stats.steps += delta as u64;
     }
 
     /// Slides one innermost step inside a classified scan segment, where
@@ -719,6 +991,45 @@ mod tests {
             }
             assert!(w.stats.steps > 0, "vector {r:?} never stepped");
         }
+    }
+
+    #[test]
+    fn dense_tier_saturates_into_spill_and_drains_back() {
+        let nest = nest3();
+        let cache = CacheConfig::new(256, 1, 16, 4).unwrap();
+        let addrs = addrs_of(&nest);
+        let space = nest.space();
+        let mut w = SlidingWindow::new_for_space(&cache, &addrs, &space);
+        assert!(matches!(w.counts, LineMultiset::Dense { .. }));
+        let line = 1;
+        // Climb across the u8 tier boundary in pieces: below, exactly at,
+        // and far beyond saturation.
+        w.add_line(line, 254);
+        assert_eq!(w.counts.count_of(line), 254);
+        w.add_line(line, 1); // lands exactly on SAT: no spill entry yet
+        assert_eq!(w.counts.count_of(line), 255);
+        w.add_line(line, 1000); // overflow spills
+        assert_eq!(w.counts.count_of(line), 1255);
+        assert_eq!(w.counts.distinct_len(), 1);
+        // Drain in chunks that stay in the spill, then cross back into
+        // the fast tier, then empty the line.
+        w.remove_line(line, 500);
+        assert_eq!(w.counts.count_of(line), 755);
+        w.remove_line(line, 600);
+        assert_eq!(w.counts.count_of(line), 155);
+        assert!(w.contains_line(line));
+        w.remove_line(line, 155);
+        assert_eq!(w.counts.count_of(line), 0);
+        assert!(!w.contains_line(line));
+        assert_eq!(w.counts.distinct_len(), 0);
+        assert_eq!(w.distinct_per_set[w.geom.set_of_line(line) as usize], 0);
+        // A cleared window must forget the spilled tier too.
+        w.add_line(line, 5000);
+        assert_eq!(w.counts.count_of(line), 5000);
+        w.clear_counts();
+        assert_eq!(w.counts.count_of(line), 0);
+        assert_eq!(w.counts.distinct_len(), 0);
+        assert!(!w.contains_line(line));
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Representation-equivalence suite for the cascade scan core: the
+//! survivor/scan sets may be run-compressed or flat dense (picked per
+//! scan by the density heuristic, or forced), and every analysis result
+//! must be bit-identical whichever side each set lands on — across
+//! associativities from direct-mapped to fully associative.
+
+use cme_cache::CacheConfig;
+use cme_core::solve::AnalysisOptions;
+use cme_core::{Analyzer, SurvivorRepr};
+use cme_ir::LoopNest;
+use cme_kernels::{mmult, table1_suite, trans};
+use cme_testgen::{arb_nest, NestDistribution};
+use proptest::prelude::*;
+
+/// Cache geometries from direct-mapped through fully associative
+/// (size 2048 B, 32 B lines, 4 B elements → k = 64 is full).
+fn assoc_sweep() -> Vec<CacheConfig> {
+    [1, 2, 4, 8, 64]
+        .into_iter()
+        .map(|k| CacheConfig::new(2048, k, 32, 4).unwrap())
+        .collect()
+}
+
+fn reprs() -> [SurvivorRepr; 3] {
+    [
+        SurvivorRepr::Auto,
+        SurvivorRepr::ForceRuns,
+        SurvivorRepr::ForceDense,
+    ]
+}
+
+/// Runs `nest` under every representation policy on one cache and
+/// asserts all three agree bit-for-bit (including per-reference,
+/// per-vector reports).
+fn assert_repr_identical(cache: CacheConfig, nest: &LoopNest, label: &str) {
+    let mut baseline = None;
+    for repr in reprs() {
+        let opts = AnalysisOptions::builder().survivor_repr(repr).build();
+        let mut analyzer = Analyzer::new(cache).options(opts);
+        let analysis = analyzer.analyze(nest);
+        match &baseline {
+            None => baseline = Some(analysis),
+            Some(b) => assert_eq!(
+                b,
+                &analysis,
+                "{label}: {repr:?} diverged from {:?}",
+                reprs()[0]
+            ),
+        }
+    }
+}
+
+#[test]
+fn mmult_is_bit_identical_across_reprs_and_associativity() {
+    for cache in assoc_sweep() {
+        // N=24 straddles the density threshold: mmult's gap-one vectors
+        // leave dense survivor fronts while the stepping vectors leave
+        // sparse ones, so an Auto run mixes both representations.
+        assert_repr_identical(cache, &mmult(24), "mmult N=24");
+    }
+}
+
+#[test]
+fn table1_kernels_are_bit_identical_across_reprs() {
+    // Full sweep on one representative k-way geometry; mmult above
+    // covers the associativity axis.
+    let cache = CacheConfig::new(2048, 4, 32, 4).unwrap();
+    for nest in table1_suite(16) {
+        let label = nest.name().to_string();
+        assert_repr_identical(cache, &nest, &label);
+    }
+}
+
+#[test]
+fn forced_reprs_do_not_share_solve_memo_entries() {
+    // One session, repr flipped between queries: the solve memo must not
+    // hand a ForceDense query a run-compressed artifact (or vice versa).
+    // Results still agree — only the internal representation is keyed.
+    let cache = CacheConfig::new(2048, 2, 32, 4).unwrap();
+    let nest = trans(24);
+    let mut analyzer = Analyzer::new(cache);
+    let runs_opts = AnalysisOptions::builder()
+        .survivor_repr(SurvivorRepr::ForceRuns)
+        .build();
+    let dense_opts = AnalysisOptions::builder()
+        .survivor_repr(SurvivorRepr::ForceDense)
+        .build();
+    let a = analyzer.analyze_with_options(&nest, &runs_opts);
+    let built_after_runs = analyzer.stats().cascades_built;
+    let b = analyzer.analyze_with_options(&nest, &dense_opts);
+    assert_eq!(a, b, "repr flip changed the analysis");
+    assert!(
+        analyzer.stats().cascades_built > built_after_runs,
+        "ForceDense reused a ForceRuns solve set: {}",
+        analyzer.stats()
+    );
+    // Same repr again: now it must reuse.
+    let built_after_dense = analyzer.stats().cascades_built;
+    let c = analyzer.analyze_with_options(&nest, &dense_opts);
+    assert_eq!(a, c);
+    assert_eq!(
+        analyzer.stats().cascades_built,
+        built_after_dense,
+        "warm same-repr query rebuilt its solve set"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random nests, both forced representations and the heuristic, on a
+    /// k-way geometry: all bit-identical.
+    #[test]
+    fn random_nests_are_repr_invariant(
+        nest in arb_nest(NestDistribution::default()),
+    ) {
+        let cache = CacheConfig::new(1024, 4, 32, 4).unwrap();
+        let mut baseline = None;
+        for repr in reprs() {
+            let opts = AnalysisOptions::builder().survivor_repr(repr).build();
+            let mut analyzer = Analyzer::new(cache).options(opts);
+            let analysis = analyzer.analyze(&nest);
+            match &baseline {
+                None => baseline = Some(analysis),
+                Some(b) => prop_assert_eq!(b, &analysis, "{:?} diverged", repr),
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Governor behaviour on the dense cascade path: a tiny budget must
+//! degrade a forced-dense analysis to a sound bound (never panic, never
+//! undercount), and truncated outcomes must never leak into the memo
+//! tables or the persistent artifact store.
+
+use std::sync::Arc;
+
+use cme_cache::CacheConfig;
+use cme_core::solve::AnalysisOptions;
+use cme_core::{Analyzer, ArtifactStore, Budget, SurvivorRepr};
+use cme_kernels::mmult;
+
+fn dense_opts() -> AnalysisOptions {
+    AnalysisOptions::builder()
+        .survivor_repr(SurvivorRepr::ForceDense)
+        .build()
+}
+
+#[test]
+fn tiny_budget_truncates_the_dense_path_to_a_sound_bound() {
+    let cache = CacheConfig::new(2048, 4, 32, 4).unwrap();
+    let nest = mmult(16);
+    let exact = Analyzer::new(cache).options(dense_opts()).analyze(&nest);
+
+    let governed = Analyzer::new(cache)
+        .options(dense_opts())
+        .budget(Budget::unlimited().with_max_solves(50))
+        .try_analyze(&nest)
+        .unwrap();
+    assert!(
+        governed.outcome.is_exhausted(),
+        "50 solves cannot finish mmult N=16: {:?}",
+        governed.outcome
+    );
+    // Sound: truncation only ever adds misses, bounded by all-miss.
+    let space: u64 = nest.space().count();
+    let per_ref = nest.references().len() as u64;
+    assert!(governed.analysis.total_misses() >= exact.total_misses());
+    assert!(governed.analysis.total_misses() <= space * per_ref);
+}
+
+#[test]
+fn truncated_dense_scans_are_never_memoized() {
+    let cache = CacheConfig::new(2048, 4, 32, 4).unwrap();
+    let nest = mmult(16);
+    // A solve budget (not a point ceiling) trips *mid-pipeline*: the
+    // first reference's scans still run, truncated by the dead governor.
+    let mut analyzer = Analyzer::new(cache)
+        .options(dense_opts())
+        .budget(Budget::unlimited().with_max_solves(50));
+    let first = analyzer.try_analyze(&nest).unwrap();
+    assert!(first.outcome.is_exhausted(), "{:?}", first.outcome);
+    let after_first = analyzer.stats();
+
+    // A second identical query must redo the truncated work — nothing of
+    // a truncated scan may be served from the memo tables.
+    let second = analyzer.try_analyze(&nest).unwrap();
+    assert!(second.outcome.is_exhausted());
+    assert_eq!(
+        first.analysis, second.analysis,
+        "degradation must be deterministic"
+    );
+    let after_second = analyzer.stats();
+    assert_eq!(
+        after_second.scans_reused, after_first.scans_reused,
+        "a truncated scan outcome was memoized: {after_second}"
+    );
+    assert!(
+        after_second.scans_executed > after_first.scans_executed,
+        "second truncated query executed no scans: {after_second}"
+    );
+}
+
+#[test]
+fn truncated_dense_analyses_are_never_persisted() {
+    let dir = std::env::temp_dir().join(format!(
+        "cme-governor-test-{}-{:x}",
+        std::process::id(),
+        std::ptr::from_ref(&dense_opts) as usize
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+    let cache = CacheConfig::new(2048, 4, 32, 4).unwrap();
+    let nest = mmult(16);
+
+    let mut truncated = Analyzer::new(cache)
+        .options(dense_opts())
+        .budget(Budget::unlimited().with_max_solves(50))
+        .store(store.clone());
+    let g = truncated.try_analyze(&nest).unwrap();
+    assert!(g.outcome.is_exhausted());
+    assert_eq!(
+        truncated.stats().store_writes,
+        0,
+        "a truncated analysis reached the artifact store"
+    );
+    assert_eq!(store.entry_count(), 0);
+
+    // The same session shape with no budget persists normally.
+    let mut complete = Analyzer::new(cache)
+        .options(dense_opts())
+        .store(store.clone());
+    let full = complete.analyze(&nest);
+    assert!(complete.stats().store_writes > 0);
+    assert!(store.entry_count() > 0);
+    // And the degraded run's overcount brackets the persisted truth.
+    assert!(g.analysis.total_misses() >= full.total_misses());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -226,17 +226,23 @@ impl<'a> IterationSpace<'a> {
         })
     }
 
+    /// `true` when every loop bound is a constant — the space is an axis-
+    /// aligned box, so membership factors per dimension and the bounding
+    /// box is exact. Several refinement shortcuts (e.g. reuse-vector
+    /// dominance pruning) are sound only under this shape.
+    pub fn is_rectangular(&self) -> bool {
+        self.nest
+            .loops
+            .iter()
+            .all(|l| l.lower().is_constant() && l.upper().is_constant())
+    }
+
     /// Exact number of iteration points.
     ///
     /// Rectangular nests (all-constant bounds) are counted in closed form;
     /// affine-bounded nests are counted level by level.
     pub fn count(&self) -> u64 {
-        if self
-            .nest
-            .loops
-            .iter()
-            .all(|l| l.lower().is_constant() && l.upper().is_constant())
-        {
+        if self.is_rectangular() {
             return self
                 .nest
                 .loops

@@ -54,7 +54,6 @@ use cme_math::diophantine::solve_linear_form;
 use cme_math::lexi::{is_lex_positive, is_zero, lex_cmp};
 use cme_math::matrix::kernel_lattice_of_form;
 use std::cmp::Ordering;
-use std::collections::BTreeSet;
 use std::fmt;
 
 /// Classification of a reuse vector.
@@ -166,6 +165,16 @@ pub struct ReuseOptions {
     /// visits small (recent) lattice shifts first, so exhausting the budget
     /// drops only long-distance reuse.
     pub candidate_budget: usize,
+    /// Drop vectors that are provably redundant for the lex-ordered
+    /// miss-finding refinement (Figure 6): over a **rectangular** iteration
+    /// space, a vector `r₂` whose constant address gap equals that of an
+    /// earlier (lex-smaller) vector `r₁` lying componentwise between `0⃗`
+    /// and `r₂` can never classify a point the earlier vector did not —
+    /// same gap means the same same-line condition, and betweenness makes
+    /// `i⃗ − r₂ ∈ space ⇒ i⃗ − r₁ ∈ space`. Pruning such vectors changes no
+    /// miss count; it only skips dead refinement walks. Ignored (never
+    /// applied) for non-rectangular spaces, where the implication fails.
+    pub prune_dominated: bool,
 }
 
 impl Default for ReuseOptions {
@@ -175,6 +184,7 @@ impl Default for ReuseOptions {
             extended: true,
             max_vectors: 16_384,
             candidate_budget: 400_000,
+            prune_dominated: true,
         }
     }
 }
@@ -216,10 +226,21 @@ pub fn reuse_vectors(
         .map(|b| if b.is_empty() { 0 } else { b.hi - b.lo })
         .collect();
 
-    // Candidate set keyed for dedup: (vector, source id).
-    let mut seen: BTreeSet<(Vec<i64>, usize)> = BTreeSet::new();
+    // Candidates are collected flat and deduplicated after the final sort
+    // (equal `(vector, source)` keys land adjacent): a per-candidate
+    // ordered-set probe was the dominant generation cost, and duplicates
+    // are rare by construction — one vector solves `lin·v = d − shift`
+    // for exactly one `d` per source.
     let mut out: Vec<ReuseVector> = Vec::new();
     let mut budget = options.candidate_budget;
+    // Every vector emitted for one `(source, d)` pair shares the constant
+    // gap `d` (the lattice shifts lie in the kernel of the address form),
+    // so the dominance rule applies within the family as candidates
+    // stream by — the spiral visits near-zero shifts first, which are
+    // exactly the dominators, keeping the family list tiny and skipping
+    // the allocation for the O(extent) dominated tail.
+    let prune_inline = options.prune_dominated && nest.space().is_rectangular();
+    let mut family: Vec<Vec<i64>> = Vec::new();
 
     for src in nest.references() {
         let is_self = src.id() == dest;
@@ -245,18 +266,27 @@ pub fn reuse_vectors(
             let Some(part) = solve_linear_form(&lin, rhs) else {
                 continue;
             };
-            let mut emit = |v: Vec<i64>| -> bool {
-                push_candidate(
-                    dest,
-                    src.id(),
-                    &dest_addr,
-                    &src_addr,
-                    line,
-                    depth,
-                    v,
-                    &mut seen,
-                    &mut out,
-                );
+            family.clear();
+            let mut emit = |v: &[i64]| -> bool {
+                let dominated = prune_inline
+                    && family
+                        .iter()
+                        .any(|r1| lex_cmp(r1, v) == Ordering::Less && componentwise_between(r1, v));
+                if !dominated
+                    && push_candidate(
+                        dest,
+                        src.id(),
+                        &dest_addr,
+                        &src_addr,
+                        line,
+                        depth,
+                        v,
+                        &mut out,
+                    )
+                    && prune_inline
+                {
+                    family.push(v.to_vec());
+                }
                 budget = budget.saturating_sub(1);
                 budget > 0
             };
@@ -270,11 +300,51 @@ pub fn reuse_vectors(
     }
 
     sort_reuse_vectors(&mut out);
+    out.dedup_by(|a, b| a.vector == b.vector && a.source == b.source);
+    if options.prune_dominated && nest.space().is_rectangular() {
+        prune_dominated(&mut out);
+    }
     out.truncate(options.max_vectors);
     out
 }
 
-/// Validates and records one candidate reuse vector.
+/// Removes vectors dominated under the rectangular-space rule documented
+/// on [`ReuseOptions::prune_dominated`]. `out` must already be in final
+/// processing order: the refinement examines a shrinking survivor chain,
+/// so an earlier vector with the same constant gap sees a superset of any
+/// later vector's points — every point the later vector would send to a
+/// window scan (same line, source in space) was already sent by the
+/// earlier one, leaving the later vector an all-cold no-op.
+fn prune_dominated(out: &mut Vec<ReuseVector>) {
+    let mut kept: Vec<(i64, Vec<i64>)> = Vec::new();
+    out.retain(|rv| {
+        let dominated = kept.iter().any(|(delta, r1)| {
+            *delta == rv.delta
+                && r1.iter().zip(&rv.vector).all(|(&a, &b)| {
+                    // `a` componentwise between 0 and `b`.
+                    if b >= 0 {
+                        0 <= a && a <= b
+                    } else {
+                        b <= a && a <= 0
+                    }
+                })
+        });
+        if !dominated {
+            kept.push((rv.delta, rv.vector.clone()));
+        }
+        !dominated
+    });
+}
+
+/// `true` when `a` lies componentwise between `0⃗` and `b`.
+fn componentwise_between(a: &[i64], b: &[i64]) -> bool {
+    a.iter()
+        .zip(b)
+        .all(|(&x, &y)| (0.min(y)..=0.max(y)).contains(&x))
+}
+
+/// Validates and records one candidate reuse vector; returns whether it
+/// was accepted.
 #[allow(clippy::too_many_arguments)]
 fn push_candidate(
     dest: RefId,
@@ -283,29 +353,25 @@ fn push_candidate(
     src_addr: &Affine,
     line: i64,
     depth: usize,
-    vector: Vec<i64>,
-    seen: &mut BTreeSet<(Vec<i64>, usize)>,
+    vector: &[i64],
     out: &mut Vec<ReuseVector>,
-) {
+) -> bool {
     if vector.len() != depth {
-        return;
+        return false;
     }
     // Direction must be lexicographically non-negative; zero only for
     // earlier statements in the same iteration.
-    if is_zero(&vector) {
+    if is_zero(vector) {
         if source.index() >= dest.index() {
-            return;
+            return false;
         }
-    } else if !is_lex_positive(&vector) {
-        return;
+    } else if !is_lex_positive(vector) {
+        return false;
     }
     let delta =
-        (dest_addr.constant_term() - src_addr.constant_term()) + src_addr.delta_along(&vector);
+        (dest_addr.constant_term() - src_addr.constant_term()) + src_addr.delta_along(vector);
     if delta.abs() >= line {
-        return; // can never touch the same memory line
-    }
-    if !seen.insert((vector.clone(), source.index())) {
-        return;
+        return false; // can never touch the same memory line
     }
     let kind = match (source == dest, delta == 0) {
         (true, true) => ReuseKind::SelfTemporal,
@@ -313,7 +379,8 @@ fn push_candidate(
         (false, true) => ReuseKind::GroupTemporal,
         (false, false) => ReuseKind::GroupSpatial,
     };
-    out.push(ReuseVector::new(vector, source, kind, delta));
+    out.push(ReuseVector::new(vector.to_vec(), source, kind, delta));
+    true
 }
 
 /// Depth-first enumeration of `part + Σ tᵢ·basis[i]` with every component
@@ -325,43 +392,67 @@ fn enumerate_lattice(
     pivots: &[usize],
     widths: &[i64],
     t_clip: i64,
-    emit: &mut impl FnMut(Vec<i64>) -> bool,
+    emit: &mut impl FnMut(&[i64]) -> bool,
 ) -> bool {
+    // A component settled at level `idx` — touched by `basis[idx]` but by
+    // no later basis vector — yields an exact interval constraint on this
+    // level's t. Intersecting over *all* settled components (not just the
+    // pivot) prunes entire subtrees: a vector like (1, 0, −N) would
+    // otherwise spin O(extent) t-values at its level only to have the
+    // −N·t component reject every leaf.
+    let settled: Vec<Vec<usize>> = (0..basis.len())
+        .map(|idx| {
+            (0..part.len())
+                .filter(|&c| {
+                    basis[idx][c] != 0 && basis[idx + 1..].iter().all(|later| later[c] == 0)
+                })
+                .collect()
+        })
+        .collect();
+    debug_assert!(
+        pivots
+            .iter()
+            .zip(&settled)
+            .all(|(p, s)| basis.is_empty() || s.contains(p) || s.is_empty()),
+        "echelon pivots should be settled at their own level"
+    );
     fn rec(
         cur: &mut Vec<i64>,
         idx: usize,
         basis: &[Vec<i64>],
-        pivots: &[usize],
+        settled: &[Vec<usize>],
         widths: &[i64],
         t_clip: i64,
-        emit: &mut impl FnMut(Vec<i64>) -> bool,
+        emit: &mut impl FnMut(&[i64]) -> bool,
     ) -> bool {
         if idx == basis.len() {
             if cur.iter().zip(widths).all(|(v, w)| v.abs() <= *w) {
-                return emit(cur.clone());
+                return emit(cur);
             }
             return true;
         }
         let b = &basis[idx];
-        let p = pivots[idx];
-        let bp = b[p];
-        debug_assert!(bp != 0);
-        let w = widths[p];
-        // |cur[p] + t·bp| <= w  =>  (−w − cur[p])/bp {<=,>=} t {<=,>=} (w − cur[p])/bp.
-        let (q_low, q_high) = (-w - cur[p], w - cur[p]);
-        let (lo, hi) = if bp > 0 {
-            (
-                cme_math::diophantine::ceil_div(q_low, bp),
-                cme_math::gcd::floor_div(q_high, bp),
-            )
-        } else {
-            (
-                cme_math::diophantine::ceil_div(q_high, bp),
-                cme_math::gcd::floor_div(q_low, bp),
-            )
-        };
-        let lo = lo.max(-t_clip);
-        let hi = hi.min(t_clip);
+        let mut lo = -t_clip;
+        let mut hi = t_clip;
+        for &c in &settled[idx] {
+            let bc = b[c];
+            let w = widths[c];
+            // |cur[c] + t·bc| <= w  =>  (−w − cur[c])/bc {<=,>=} t {<=,>=} (w − cur[c])/bc.
+            let (q_low, q_high) = (-w - cur[c], w - cur[c]);
+            let (c_lo, c_hi) = if bc > 0 {
+                (
+                    cme_math::diophantine::ceil_div(q_low, bc),
+                    cme_math::gcd::floor_div(q_high, bc),
+                )
+            } else {
+                (
+                    cme_math::diophantine::ceil_div(q_high, bc),
+                    cme_math::gcd::floor_div(q_low, bc),
+                )
+            };
+            lo = lo.max(c_lo);
+            hi = hi.min(c_hi);
+        }
         if lo > hi {
             return true;
         }
@@ -371,7 +462,7 @@ fn enumerate_lattice(
             for (c, bv) in cur.iter_mut().zip(b) {
                 *c += t * bv;
             }
-            let keep_going = rec(cur, idx + 1, basis, pivots, widths, t_clip, emit);
+            let keep_going = rec(cur, idx + 1, basis, settled, widths, t_clip, emit);
             for (c, bv) in cur.iter_mut().zip(b) {
                 *c -= t * bv;
             }
@@ -382,7 +473,7 @@ fn enumerate_lattice(
         true
     }
     let mut cur = part.to_vec();
-    rec(&mut cur, 0, basis, pivots, widths, t_clip, emit)
+    rec(&mut cur, 0, basis, &settled, widths, t_clip, emit)
 }
 
 /// Yields `0`-adjacent values first: the t in `[lo, hi]` closest to zero,
@@ -481,7 +572,13 @@ mod tests {
     fn kinds_are_classified() {
         let nest = matmul(32);
         let z_load = nest.references()[0].id();
-        let rvs = reuse_vectors(&nest, &table1_cache(), z_load, &ReuseOptions::default());
+        // Pruning keeps only the most recent source of each constant-gap
+        // family; disable it here to inspect the full classification.
+        let full = ReuseOptions {
+            prune_dominated: false,
+            ..ReuseOptions::default()
+        };
+        let rvs = reuse_vectors(&nest, &table1_cache(), z_load, &full);
         let kind_of = |v: &[i64], src: RefId| {
             rvs.iter()
                 .find(|r| r.vector() == v && r.source() == src)
@@ -496,6 +593,54 @@ mod tests {
         let first_010 = rvs.iter().find(|r| r.vector() == [0, 1, 0]).unwrap();
         assert_eq!(first_010.source(), z_store);
         assert_eq!(first_010.kind(), ReuseKind::GroupTemporal);
+    }
+
+    #[test]
+    fn pruning_drops_dominated_same_gap_vectors_only() {
+        let nest = matmul(32);
+        let z_load = nest.references()[0].id();
+        let z_store = nest.references()[3].id();
+        let pruned = reuse_vectors(&nest, &table1_cache(), z_load, &ReuseOptions::default());
+        let full = reuse_vectors(
+            &nest,
+            &table1_cache(),
+            z_load,
+            &ReuseOptions {
+                prune_dominated: false,
+                ..ReuseOptions::default()
+            },
+        );
+        assert!(
+            pruned.len() < full.len(),
+            "matmul's constant-gap families must shrink ({} vs {})",
+            pruned.len(),
+            full.len()
+        );
+        // Every pruned vector is dominated: an earlier survivor shares its
+        // gap and lies componentwise between the origin and the vector.
+        for rv in &full {
+            if pruned.contains(rv) {
+                continue;
+            }
+            assert!(
+                pruned.iter().any(|r1| {
+                    r1.delta() == rv.delta()
+                        && lex_cmp(r1.vector(), rv.vector()) != Ordering::Greater
+                        && r1
+                            .vector()
+                            .iter()
+                            .zip(rv.vector())
+                            .all(|(&a, &b)| (0.min(b)..=0.max(b)).contains(&a))
+                }),
+                "{rv} was pruned without a dominator"
+            );
+        }
+        // The paper's vectors survive, with the store (more recent) as the
+        // kept source of the (0,1,0) family.
+        assert!(pruned.iter().any(|r| r.vector() == [0, 0, 1]));
+        assert!(pruned.iter().any(|r| r.vector() == [0, 1, -7]));
+        let first_010 = pruned.iter().find(|r| r.vector() == [0, 1, 0]).unwrap();
+        assert_eq!(first_010.source(), z_store);
     }
 
     #[test]
