@@ -248,6 +248,108 @@ fn bench_store_replay(c: &mut Criterion) {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Closed-form parametric sweep vs exhaustive enumeration (Section
+/// 5.1.3): a 4096-candidate Table-1 padding sweep answered by sampling a
+/// bounded window (≤ 3 set-mapping periods), fitting a certified
+/// quasi-polynomial, and minimizing it analytically — against brute force
+/// over every candidate in one batched session. Equivalence first: the
+/// analytic optimum must be bit-identical to the exhaustive argmin.
+fn bench_closed_form_sweep(c: &mut Criterion) {
+    let cache = table1_cache();
+    // N = 16 keeps the exhaustive side affordable in CI; the candidate
+    // range stays at the full 4096 padding values (four lines per step,
+    // so the set-mapping period on the step lattice is 64 candidates and
+    // the sample window stays well inside 3 periods).
+    let n = 16;
+    let nest = cme_kernels::mmult_with_bases(n, 0, n * n, 2 * n * n);
+    let request = cme_core::SweepRequest::new(
+        cme_core::SweepParameter::PadBytes {
+            after: cme_ir::ArrayId::from_index(0),
+        },
+        0,
+        4096,
+        4 * cache.line_bytes(),
+    );
+
+    let exhaustive = |nest: &cme_ir::LoopNest| {
+        let mut a = Analyzer::new(cache);
+        let ids: Vec<_> = (0..request.count)
+            .map(|k| {
+                let candidate = request
+                    .parameter
+                    .apply(nest, &cache, request.value_at(k))
+                    .expect("padding is always feasible");
+                a.intern(&candidate)
+            })
+            .collect();
+        a.analyze_batch(&ids)
+            .iter()
+            .map(|r| r.total_misses())
+            .enumerate()
+            .min_by_key(|&(k, m)| (m, k))
+            .expect("non-empty range")
+    };
+
+    let result = Analyzer::new(cache)
+        .sweep(&nest, &request)
+        .expect("sweeps never error");
+    assert!(
+        result.function.is_some() && result.certificate.is_some(),
+        "the table-1 padding sweep must fit a certified closed form"
+    );
+    assert!(
+        result.evaluations * 3 <= result.candidates * 2,
+        "the closed form must be answered from a bounded sample window \
+         ({} of {} analyses)",
+        result.evaluations,
+        result.candidates
+    );
+    let (ex_k, ex_misses) = exhaustive(&nest);
+    assert_eq!(
+        (result.best_k, result.best_misses),
+        (ex_k, ex_misses),
+        "closed-form optimum diverged from exhaustive enumeration"
+    );
+    println!("closed-form sweep: {result}");
+
+    let mut g = c.benchmark_group("table1-padding-sweep");
+    g.sample_size(2);
+    g.bench_function("closed-form", |b| {
+        b.iter(|| {
+            // A fresh session each iteration: cold memo, full sample +
+            // fit + analytic minimization.
+            black_box(Analyzer::new(cache).sweep(&nest, &request).unwrap())
+        })
+    });
+    g.bench_function("exhaustive", |b| b.iter(|| black_box(exhaustive(&nest))));
+    g.finish();
+}
+
+/// The sweep engine's acceptance bar: the closed-form answer over the
+/// 4096-candidate padding range must be at least 5× faster than
+/// exhaustive enumeration.
+fn check_sweep_speedup(c: &mut Criterion) {
+    let mean = |label: &str| {
+        c.results
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, d)| d.as_secs_f64())
+    };
+    let (Some(closed), Some(exhaustive)) = (
+        mean("table1-padding-sweep/closed-form"),
+        mean("table1-padding-sweep/exhaustive"),
+    ) else {
+        return;
+    };
+    let ratio = exhaustive / closed.max(1e-12);
+    println!("table1-padding-sweep/closed-form vs exhaustive: {ratio:.1}x speedup");
+    assert!(
+        ratio >= 5.0,
+        "closed-form sweeps must be >= 5x faster than exhaustive \
+         enumeration, got {ratio:.2}x"
+    );
+}
+
 /// The store's acceptance bar: warm-start replay of the Table-1 suite
 /// must be at least 3× faster than the cold start.
 fn check_store_speedup(c: &mut Criterion) {
@@ -330,9 +432,11 @@ criterion_group!(
     bench_padding_search,
     bench_tile_search,
     bench_batch_vs_loop,
+    bench_closed_form_sweep,
     bench_store_replay,
     check_speedup,
     check_batch_speedup,
+    check_sweep_speedup,
     check_store_speedup
 );
 criterion_main!(benches);

@@ -20,7 +20,10 @@
 use std::time::Instant;
 
 use cme_bench::BenchArgs;
-use cme_core::{AnalysisOptions, Analyzer, EngineStats, NestAnalysis};
+use cme_core::{
+    AnalysisOptions, Analyzer, EngineStats, NestAnalysis, SweepParameter, SweepRequest,
+};
+use cme_ir::ArrayId;
 
 fn main() {
     let args = BenchArgs::from_env();
@@ -73,6 +76,7 @@ fn main() {
     let mut sweep: Vec<(usize, f64)> = Vec::new();
     let mut par_s = seq_s;
     let mut par_stats = seq_stats.clone();
+    let mut par_threads = seq.thread_count();
     for &t_count in &sweep_counts {
         let mut par = Analyzer::new(cache)
             .options(opts.clone())
@@ -90,9 +94,11 @@ fn main() {
             "sharded cascade ({t_count} threads) diverged from the reference solver"
         );
         sweep.push((t_count, secs));
-        // The widest run is the headline "par" row.
+        // The widest run is the headline "par" row, at the pool width the
+        // session actually ran (not the requested count).
         par_s = secs;
         par_stats = par.stats();
+        par_threads = par.thread_count();
     }
     eprintln!("{seq_stats}");
 
@@ -101,9 +107,44 @@ fn main() {
         "sequential cascade diverged from the reference solver"
     );
 
+    // Closed-form parametric sweep vs exhaustive enumeration (Section
+    // 5.1.3): a 4096-candidate padding sweep answered by fitting a
+    // certified quasi-polynomial from a bounded sample window, checked
+    // bit-identical against brute force over every candidate.
+    let request = SweepRequest::new(
+        SweepParameter::PadBytes {
+            after: ArrayId::from_index(0),
+        },
+        0,
+        4096,
+        cache.line_bytes(),
+    );
+    let mut closed = Analyzer::new(cache).options(opts.clone());
+    let t = Instant::now();
+    let sweep_res = closed.sweep(&nest, &request).expect("sweep never errors");
+    let sweep_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let (ex_k, ex_misses) = exhaustive_argmin(&nest, cache, &opts, &request);
+    let exhaustive_s = t.elapsed().as_secs_f64();
+    assert!(
+        sweep_res.function.is_some() && sweep_res.certificate.is_some(),
+        "the table-1 padding sweep must fit a certified closed form"
+    );
+    assert_eq!(
+        (sweep_res.best_k, sweep_res.best_misses),
+        (ex_k, ex_misses),
+        "closed-form optimum diverged from exhaustive enumeration"
+    );
+    eprintln!(
+        "  sweep:           {sweep_s:>8.3}s  ({} of {} analyses; exhaustive {exhaustive_s:.3}s, {:.2}x)",
+        sweep_res.evaluations,
+        sweep_res.candidates,
+        exhaustive_s / sweep_s.max(1e-12)
+    );
+
     let json = render_json(
         n,
-        threads,
+        (seq.thread_count(), par_threads),
         &reference,
         reference_s,
         seq_s,
@@ -111,6 +152,7 @@ fn main() {
         &seq_stats,
         &par_stats,
         &sweep,
+        (&sweep_res, sweep_s, exhaustive_s),
     );
     std::fs::write(&out_path, &json).expect("write report");
     eprintln!("  wrote {out_path}");
@@ -125,10 +167,38 @@ fn main() {
     }
 }
 
+/// Brute force over every sweep candidate in one batched session:
+/// `(best_k, best_misses)` with the smallest-parameter tie-break — the
+/// baseline the closed form must reproduce bit-identically.
+fn exhaustive_argmin(
+    nest: &cme_ir::LoopNest,
+    cache: cme_cache::CacheConfig,
+    opts: &AnalysisOptions,
+    request: &SweepRequest,
+) -> (usize, u64) {
+    let mut analyzer = Analyzer::new(cache).options(opts.clone());
+    let ids: Vec<_> = (0..request.count)
+        .map(|k| {
+            let candidate = request
+                .parameter
+                .apply(nest, &cache, request.value_at(k))
+                .expect("padding candidates are always feasible");
+            analyzer.intern(&candidate)
+        })
+        .collect();
+    analyzer
+        .analyze_batch(&ids)
+        .iter()
+        .map(|a| a.total_misses())
+        .enumerate()
+        .min_by_key(|&(k, m)| (m, k))
+        .expect("non-empty candidate range")
+}
+
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     n: i64,
-    threads: usize,
+    (threads_seq, threads_par): (usize, usize),
     reference: &NestAnalysis,
     reference_s: f64,
     seq_s: f64,
@@ -136,15 +206,16 @@ fn render_json(
     seq: &EngineStats,
     par: &EngineStats,
     sweep: &[(usize, f64)],
+    (sweep_res, sweep_s, exhaustive_s): (&cme_core::SweepResult, f64, f64),
 ) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"kernel\": \"mmult\",\n  \"n\": {n},\n"));
     s.push_str("  \"cache\": {\"size_bytes\": 8192, \"assoc\": 1, \"line_bytes\": 32, \"elem_bytes\": 4},\n");
-    // The cascade rows ran at different pool widths: 1 for the seq row,
-    // the full requested count for the par row (`threads` alone used to
-    // claim one number for both).
-    s.push_str("  \"threads_seq\": 1,\n");
-    s.push_str(&format!("  \"threads_par\": {threads},\n"));
+    // The cascade rows ran at different pool widths, recorded from the
+    // sessions' actual `Analyzer::thread_count()` (a hard-coded 1 /
+    // requested count used to go stale when the pool clamped).
+    s.push_str(&format!("  \"threads_seq\": {threads_seq},\n"));
+    s.push_str(&format!("  \"threads_par\": {threads_par},\n"));
     s.push_str("  \"threads_sweep\": [");
     for (i, (t, secs)) in sweep.iter().enumerate() {
         if i > 0 {
@@ -197,6 +268,17 @@ fn render_json(
             st.time_classify.as_secs_f64()
         ));
     }
+    s.push_str(&format!(
+        "  \"sweep\": {{\"candidates\": {}, \"evaluations\": {}, \"fitted\": {}, \
+         \"best_k\": {}, \"best_misses\": {}, \"sweep_seconds\": {sweep_s:.6}, \
+         \"exhaustive_seconds\": {exhaustive_s:.6}, \"speedup\": {:.3}}},\n",
+        sweep_res.candidates,
+        sweep_res.evaluations,
+        sweep_res.function.is_some(),
+        sweep_res.best_k,
+        sweep_res.best_misses,
+        exhaustive_s / sweep_s.max(1e-12)
+    ));
     s.push_str(&format!(
         "  \"incremental_fraction\": {:.4}\n}}\n",
         seq.window_steps as f64 / (seq.window_steps + seq.window_rebuild_rows).max(1) as f64

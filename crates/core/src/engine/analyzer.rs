@@ -8,6 +8,7 @@ use crate::solve::{AnalysisOptions, NestAnalysis, RefAnalysis};
 use cme_cache::CacheConfig;
 use cme_ir::{LoopNest, NestId, RefId};
 use cme_reuse::ReuseVector;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A configured analysis session: cache, options, and threading fixed as
@@ -45,6 +46,10 @@ pub struct Analyzer {
     threads: usize,
     budget: Budget,
     cancel: Option<CancelToken>,
+    /// Session memo of fitted parametric sweeps (see
+    /// [`super::sweep::SweepResult`]); only complete, fitted results are
+    /// ever inserted.
+    pub(super) sweep_memo: HashMap<u128, super::sweep::SweepResult>,
 }
 
 impl Analyzer {
@@ -58,6 +63,7 @@ impl Analyzer {
             threads: 0,
             budget: Budget::unlimited(),
             cancel: None,
+            sweep_memo: HashMap::new(),
         }
     }
 
@@ -281,7 +287,10 @@ impl Analyzer {
         &mut self.engine
     }
 
-    pub(crate) fn thread_count(&self) -> usize {
+    /// The work-pool width the session's analyses actually run at:
+    /// [`Analyzer::threads`] when pinned, the machine's available
+    /// parallelism under [`Analyzer::parallel`], 1 otherwise.
+    pub fn thread_count(&self) -> usize {
         if self.threads > 0 {
             self.threads
         } else if self.parallel {

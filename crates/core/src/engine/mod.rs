@@ -52,11 +52,13 @@ mod persist;
 mod pool;
 mod stages;
 mod stats;
+pub mod sweep;
 #[cfg(test)]
 mod tests;
 
 pub use analyzer::Analyzer;
 pub use stats::EngineStats;
+pub use sweep::{SweepMetric, SweepParameter, SweepRequest, SweepResult};
 
 use crate::governor::{AnalysisError, Budget, CancelToken, GovernedAnalysis, QueryGovernor};
 use crate::solve::{AnalysisOptions, NestAnalysis, RefAnalysis};

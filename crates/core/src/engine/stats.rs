@@ -62,6 +62,10 @@ pub(crate) struct Counters {
     pub(crate) store_hits: AtomicU64,
     pub(crate) store_misses: AtomicU64,
     pub(crate) store_writes: AtomicU64,
+    pub(crate) sweeps_fitted: AtomicU64,
+    pub(crate) sweeps_fallback: AtomicU64,
+    pub(crate) sweep_memo_hits: AtomicU64,
+    pub(crate) sweep_samples: AtomicU64,
     pub(crate) lower_ns: AtomicU64,
     pub(crate) reuse_ns: AtomicU64,
     pub(crate) solve_ns: AtomicU64,
@@ -184,6 +188,16 @@ pub struct EngineStats {
     pub store_misses: u64,
     /// Complete analyses written through to the persistent store.
     pub store_writes: u64,
+    /// Parametric sweeps answered by a certified closed form (fresh fits
+    /// plus store rehydrations; see [`crate::SweepResult`]).
+    pub sweeps_fitted: u64,
+    /// Parametric sweeps that degraded to direct evaluation.
+    pub sweeps_fallback: u64,
+    /// Sweeps answered verbatim from the session sweep memo.
+    pub sweep_memo_hits: u64,
+    /// Numeric analyses run on behalf of sweeps (samples + fallback
+    /// evaluations).
+    pub sweep_samples: u64,
     /// Diophantine/polytope solver memo hits (shared [`cme_math::SolveMemo`]).
     pub solver_hits: u64,
     /// Solver memo misses (counts actually computed).
@@ -299,6 +313,11 @@ impl fmt::Display for EngineStats {
         )?;
         writeln!(
             f,
+            "  sweeps:        {} fitted, {} fallback, {} memo hits, {} samples",
+            self.sweeps_fitted, self.sweeps_fallback, self.sweep_memo_hits, self.sweep_samples
+        )?;
+        writeln!(
+            f,
             "  solver memo:   {} hits, {} misses",
             self.solver_hits, self.solver_misses
         )?;
@@ -352,6 +371,10 @@ impl Engine {
             store_hits: c.store_hits.load(Ordering::Relaxed),
             store_misses: c.store_misses.load(Ordering::Relaxed),
             store_writes: c.store_writes.load(Ordering::Relaxed),
+            sweeps_fitted: c.sweeps_fitted.load(Ordering::Relaxed),
+            sweeps_fallback: c.sweeps_fallback.load(Ordering::Relaxed),
+            sweep_memo_hits: c.sweep_memo_hits.load(Ordering::Relaxed),
+            sweep_samples: c.sweep_samples.load(Ordering::Relaxed),
             solver_hits: self.solve_memo.hits(),
             solver_misses: self.solve_memo.misses(),
             time_lower: ns(&c.lower_ns),

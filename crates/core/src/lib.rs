@@ -92,7 +92,9 @@ mod window;
 
 pub use accuracy::{compare_with_simulation, AccuracyRow};
 pub use cme_ir::{NestId, ProgramDb};
-pub use engine::{Analyzer, Engine, EngineStats};
+pub use engine::{
+    Analyzer, Engine, EngineStats, SweepMetric, SweepParameter, SweepRequest, SweepResult,
+};
 pub use equations::{CmeSystem, ColdEquation, EquationGroup, RefEquations, ReplacementEquation};
 pub use governor::{AnalysisError, Budget, CancelToken, ExhaustReason, GovernedAnalysis, Outcome};
 pub use pointset::{DenseSet, PointSet, Run, RunSet, SurvivorRepr, SurvivorRuns, SurvivorSet};
@@ -101,4 +103,4 @@ pub use solve::{
     AnalysisOptions, AnalysisOptionsBuilder, InvalidOptions, NestAnalysis, RefAnalysis,
     VectorReport,
 };
-pub use store::{ArtifactKey, ArtifactStore, StoreError, StoreStats};
+pub use store::{ArtifactKey, ArtifactStore, StoreError, StoreStats, SweepRecord};

@@ -39,6 +39,7 @@ use crate::solve::{AnalysisOptions, NestAnalysis, RefAnalysis, VectorReport};
 use cme_cache::CacheConfig;
 use cme_ir::codec::{fnv1a64, CodecError, Decoder, Encoder};
 use cme_ir::{KeyHasher, RefId};
+use cme_math::quasipoly::{FitCertificate, QuasiPolynomial};
 use cme_reuse::{ReuseKind, ReuseVector};
 use std::fmt;
 use std::fs;
@@ -56,6 +57,13 @@ pub const STORE_FORMAT_VERSION: u32 = 1;
 pub const ENGINE_VERSION: &str = env!("CARGO_PKG_VERSION");
 
 const MAGIC: &[u8; 4] = b"CMEA";
+
+/// Magic of persisted parametric-sweep entries ([`SweepRecord`]). Sweep
+/// entries share the store directory, extension, size bound, and LRU
+/// eviction with analysis entries; the distinct magic (plus a distinct
+/// filename salt) keeps the two namespaces from ever decoding as each
+/// other.
+const SWEEP_MAGIC: &[u8; 4] = b"CMES";
 
 /// Extension of live entries; temp files use `.tmp` and are ignored.
 const ENTRY_EXT: &str = "cmea";
@@ -648,6 +656,222 @@ fn decode_vector_report(d: &mut Decoder<'_>) -> Result<VectorReport, CodecError>
     })
 }
 
+/// A persisted fitted sweep: the quasi-polynomial, its certificate, and
+/// the sample cost that produced it. Pure data — the argmin is always
+/// recomputed from the function on rehydration, never trusted from disk.
+/// Only *fitted, complete* sweeps are ever recorded (the same contract as
+/// [`ArtifactStore::put`]: degraded results are sound overcounts, not
+/// artifacts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepRecord {
+    head: Vec<i64>,
+    coeffs: Vec<(i64, i64, i64)>,
+    degree: u8,
+    samples: u64,
+    margin: u64,
+    /// Numeric analyses the original fit consumed.
+    pub evaluations: u64,
+}
+
+impl SweepRecord {
+    /// Captures a fitted function and its certificate for persistence.
+    pub fn new(function: &QuasiPolynomial, cert: &FitCertificate, evaluations: u64) -> Self {
+        SweepRecord {
+            head: function.head().to_vec(),
+            coeffs: function.coefficients().to_vec(),
+            degree: cert.degree,
+            samples: cert.samples as u64,
+            margin: cert.verification_margin as u64,
+            evaluations,
+        }
+    }
+
+    /// The fitted function; `None` if the record is malformed (empty
+    /// residue table — cannot happen through [`SweepRecord::new`]).
+    pub fn function(&self) -> Option<QuasiPolynomial> {
+        if self.coeffs.is_empty() {
+            return None;
+        }
+        Some(QuasiPolynomial::with_head(
+            self.head.clone(),
+            self.coeffs.clone(),
+        ))
+    }
+
+    /// The exact-fit certificate backing the function.
+    pub fn certificate(&self) -> FitCertificate {
+        FitCertificate {
+            period: self.coeffs.len(),
+            onset: self.head.len() as i64,
+            degree: self.degree,
+            samples: self.samples as usize,
+            verification_margin: self.margin as usize,
+        }
+    }
+}
+
+/// File name of a sweep entry: the composite hash of the artifact key
+/// plus the sweep fingerprint (parameter, range, step, metric). Same
+/// collision posture as [`ArtifactKey::file_name`] — the key and
+/// fingerprint are echoed inside the file, so a name collision is a
+/// miss, never a wrong result.
+fn sweep_file_name(key: &ArtifactKey, param_fp: u128) -> String {
+    let mut h = KeyHasher::new(0x53e9);
+    h.feed(&key.structural)
+        .feed(&key.layout)
+        .feed(&key.cache)
+        .feed(&key.options_fp)
+        .feed(&param_fp);
+    format!("{:032x}.{ENTRY_EXT}", h.finish())
+}
+
+fn encode_sweep_entry(key: &ArtifactKey, param_fp: u128, rec: &SweepRecord) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.raw(SWEEP_MAGIC);
+    e.u32(STORE_FORMAT_VERSION);
+    e.str(ENGINE_VERSION);
+    key.encode(&mut e);
+    e.u128(param_fp);
+    e.i64s(&rec.head);
+    e.u32(rec.coeffs.len() as u32);
+    for &(a, b, c) in &rec.coeffs {
+        e.i64(a);
+        e.i64(b);
+        e.i64(c);
+    }
+    e.u8(rec.degree);
+    e.u64(rec.samples);
+    e.u64(rec.margin);
+    e.u64(rec.evaluations);
+    let checksum = fnv1a64(e.bytes());
+    e.u64(checksum);
+    e.into_bytes()
+}
+
+fn decode_sweep_entry(
+    bytes: &[u8],
+    key: &ArtifactKey,
+    param_fp: u128,
+) -> Result<Option<SweepRecord>, EntryReject> {
+    if bytes.len() < SWEEP_MAGIC.len() + 8 {
+        return Err(EntryReject::Corrupt);
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let mut stored = [0u8; 8];
+    stored.copy_from_slice(tail);
+    if fnv1a64(body) != u64::from_le_bytes(stored) {
+        return Err(EntryReject::Corrupt);
+    }
+    let mut d = Decoder::new(body);
+    if d.raw(SWEEP_MAGIC.len()).map_err(|_| EntryReject::Corrupt)? != SWEEP_MAGIC {
+        return Err(EntryReject::Corrupt);
+    }
+    if d.u32().map_err(|_| EntryReject::Corrupt)? != STORE_FORMAT_VERSION {
+        return Err(EntryReject::Version);
+    }
+    if d.str().map_err(|_| EntryReject::Corrupt)? != ENGINE_VERSION {
+        return Err(EntryReject::Version);
+    }
+    let echoed = ArtifactKey::decode(&mut d).map_err(|_| EntryReject::Corrupt)?;
+    let echoed_fp = d.u128().map_err(|_| EntryReject::Corrupt)?;
+    if &echoed != key || echoed_fp != param_fp {
+        return Ok(None);
+    }
+    let rec = (|| -> Result<SweepRecord, CodecError> {
+        let head = d.i64s()?;
+        let n = d.u32()? as usize;
+        let mut coeffs = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            coeffs.push((d.i64()?, d.i64()?, d.i64()?));
+        }
+        Ok(SweepRecord {
+            head,
+            coeffs,
+            degree: d.u8()?,
+            samples: d.u64()?,
+            margin: d.u64()?,
+            evaluations: d.u64()?,
+        })
+    })()
+    .map_err(|_| EntryReject::Corrupt)?;
+    if rec.coeffs.is_empty() || !d.is_exhausted() {
+        return Err(EntryReject::Corrupt);
+    }
+    Ok(Some(rec))
+}
+
+impl ArtifactStore {
+    /// Looks up a persisted sweep for `(key, param_fp)`. Same trust and
+    /// miss model as [`ArtifactStore::get`]: any anomaly is a miss, and
+    /// corrupt or version-skewed entries are evicted on contact.
+    pub fn get_sweep(&self, key: &ArtifactKey, param_fp: u128) -> Option<SweepRecord> {
+        let path = self.dir.join(sweep_file_name(key, param_fp));
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match decode_sweep_entry(&bytes, key, param_fp) {
+            Ok(Some(rec)) => {
+                if let Ok(f) = fs::File::options().append(true).open(&path) {
+                    let _ = f.set_modified(SystemTime::now());
+                }
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Some(rec)
+            }
+            Ok(None) => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(kind) => {
+                let slot = match kind {
+                    EntryReject::Corrupt => &self.counters.corrupt_evicted,
+                    EntryReject::Version => &self.counters.version_evicted,
+                };
+                slot.fetch_add(1, Ordering::Relaxed);
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                let _ = fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Persists a **fitted, complete** sweep, then enforces the size
+    /// bound. The caller contract mirrors [`ArtifactStore::put`]:
+    /// fallback or budget-degraded sweeps must never be offered.
+    pub fn put_sweep(&self, key: &ArtifactKey, param_fp: u128, rec: &SweepRecord) {
+        let bytes = encode_sweep_entry(key, param_fp, rec);
+        if bytes.len() as u64 > self.max_entry_bytes {
+            self.counters.skipped_large.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let final_path = self.dir.join(sweep_file_name(key, param_fp));
+        let tmp_path = self.dir.join(format!(
+            "{:016x}-{:x}.tmp",
+            fnv1a64(final_path.as_os_str().as_encoded_bytes()),
+            std::process::id()
+        ));
+        let write = (|| -> std::io::Result<()> {
+            let mut f = fs::File::create(&tmp_path)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+            fs::rename(&tmp_path, &final_path)
+        })();
+        match write {
+            Ok(()) => {
+                self.counters.writes.fetch_add(1, Ordering::Relaxed);
+                self.evict_to_fit();
+            }
+            Err(_) => {
+                let _ = fs::remove_file(&tmp_path);
+                self.counters.write_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -686,6 +910,57 @@ mod tests {
         assert_eq!(got, analysis);
         let s = store.stats();
         assert_eq!((s.hits, s.misses, s.writes), (1, 1, 1));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn sweep_entries_round_trip_and_share_the_namespace_safely() {
+        let store = temp_store("sweep-roundtrip");
+        let key = sample_key(7);
+        let q = QuasiPolynomial::with_head(vec![41, 37], vec![(5, 1, 0), (9, 0, 0)]);
+        let cert = FitCertificate {
+            period: 2,
+            onset: 2,
+            degree: 1,
+            samples: 12,
+            verification_margin: 3,
+        };
+        let rec = SweepRecord::new(&q, &cert, 12);
+        let fp = 0x1234_5678_u128;
+        assert!(store.get_sweep(&key, fp).is_none());
+        store.put_sweep(&key, fp, &rec);
+        let got = store.get_sweep(&key, fp).expect("warm sweep read");
+        assert_eq!(got, rec);
+        assert_eq!(got.function().expect("function"), q);
+        assert_eq!(got.certificate(), cert);
+        // A different fingerprint is a different entry, not a collision.
+        assert!(store.get_sweep(&key, fp ^ 1).is_none());
+        // The analysis namespace never sees the sweep entry.
+        assert!(store.get(&key).is_none());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_sweep_entries_are_evicted_not_trusted() {
+        let store = temp_store("sweep-corrupt");
+        let key = sample_key(9);
+        let q = QuasiPolynomial::with_head(vec![], vec![(3, 0, 0)]);
+        let cert = FitCertificate {
+            period: 1,
+            onset: 0,
+            degree: 0,
+            samples: 8,
+            verification_margin: 7,
+        };
+        store.put_sweep(&key, 5, &SweepRecord::new(&q, &cert, 8));
+        let path = store.dir().join(sweep_file_name(&key, 5));
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.get_sweep(&key, 5).is_none());
+        assert!(!path.exists(), "corrupt sweep entry must be deleted");
+        assert_eq!(store.stats().corrupt_evicted, 1);
         let _ = fs::remove_dir_all(store.dir());
     }
 

@@ -18,12 +18,14 @@
 //! ...
 //! ```
 
+use crate::closedform::{check_sweep_case, request_of, SweepCheckReport};
 use crate::verdict::{check_case, check_case_governed, CaseReport, Verdict};
 use crate::Oracle;
 use cme_cache::CacheConfig;
 use cme_core::Budget;
 use cme_ir::parse::{parse_nest, to_source};
 use cme_ir::LoopNest;
+use cme_testgen::{ParamKind, SweepSpec};
 use std::fmt;
 
 /// The verdict a corpus case is allowed to produce.
@@ -73,6 +75,11 @@ pub struct CorpusCase {
     pub expect: Expectation,
     /// The generator seed this case was minimized from, if any.
     pub seed: Option<u64>,
+    /// An optional parametric sweep (`! sweep:` directive): replay
+    /// additionally runs the closed-form differential tier — the sweep
+    /// must fit a certified function and the fit must survive
+    /// adversarial replay (see [`crate::closedform`]).
+    pub sweep: Option<SweepSpec>,
 }
 
 impl CorpusCase {
@@ -89,14 +96,50 @@ impl CorpusCase {
         shard_threads: usize,
     ) -> Result<CaseReport, String> {
         let report = check_case(oracle, &self.nest, self.cache, self.epsilon, shard_threads);
-        self.judge(report)
+        let report = self.judge(report)?;
+        self.verify_sweep()?;
+        Ok(report)
+    }
+
+    /// Runs the closed-form differential tier, when the case carries a
+    /// `! sweep:` directive: the sweep must fit, and the fitted function
+    /// must replay clean against the numeric engine and the simulator.
+    /// Returns `Ok(None)` for cases without a sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the sweep errors, fails to fit, or its fit
+    /// diverges — all three break the case's promise.
+    pub fn verify_sweep(&self) -> Result<Option<SweepCheckReport>, String> {
+        let Some(spec) = &self.sweep else {
+            return Ok(None);
+        };
+        let request = request_of(spec);
+        let report = check_sweep_case(&self.nest, self.cache, &request, self.seed.unwrap_or(0))
+            .map_err(|e| format!("corpus case `{}` sweep errored: {e}", self.name))?;
+        if !report.fitted {
+            return Err(format!(
+                "corpus case `{}` sweep no longer fits a closed form: {}",
+                self.name, report.result
+            ));
+        }
+        if let Verdict::Violation(v) = &report.verdict {
+            return Err(format!(
+                "corpus case `{}` fitted function diverges: {v}\n{}",
+                self.name, self.nest
+            ));
+        }
+        Ok(Some(report))
     }
 
     /// [`CorpusCase::verify`] under a resource [`Budget`]. When the check
     /// comes back exhausted, the expectation is relaxed one notch: an
     /// `exact` case may legally degrade to a sound overcount (the budget
     /// acted as `ε > 0`), but a violation still fails — soundness holds
-    /// under every budget.
+    /// under every budget. The closed-form sweep tier is skipped here:
+    /// a truncated sweep is never fitted, so governed replay would only
+    /// prove the fallback ran — [`CorpusCase::verify_sweep`] is the
+    /// ungoverned cross-check.
     pub fn verify_governed<O: Oracle + ?Sized>(
         &self,
         oracle: &mut O,
@@ -169,6 +212,16 @@ pub fn write_case(case: &CorpusCase) -> Option<String> {
     if let Some(seed) = case.seed {
         out.push_str(&format!("! seed: {seed}\n"));
     }
+    if let Some(sweep) = &case.sweep {
+        out.push_str(&format!(
+            "! sweep: param={} target={} start={} count={} step={}\n",
+            sweep.kind.token(),
+            sweep.target,
+            sweep.start,
+            sweep.count,
+            sweep.step
+        ));
+    }
     out.push_str(&source);
     Some(out)
 }
@@ -186,6 +239,7 @@ pub fn parse_case(fallback_name: &str, text: &str) -> Result<CorpusCase, String>
     let mut epsilon = 0u64;
     let mut expect = Expectation::Any;
     let mut seed = None;
+    let mut sweep = None;
 
     for line in text.lines() {
         let Some(rest) = line.trim().strip_prefix('!') else {
@@ -218,6 +272,7 @@ pub fn parse_case(fallback_name: &str, text: &str) -> Result<CorpusCase, String>
                         .map_err(|e| format!("bad seed `{value}`: {e}"))?,
                 )
             }
+            "sweep" => sweep = Some(parse_sweep(value)?),
             _ => {} // free-form comment
         }
     }
@@ -231,6 +286,43 @@ pub fn parse_case(fallback_name: &str, text: &str) -> Result<CorpusCase, String>
         epsilon,
         expect,
         seed,
+        sweep,
+    })
+}
+
+fn parse_sweep(spec: &str) -> Result<SweepSpec, String> {
+    let mut kind = None;
+    let mut target = None;
+    let mut start = 0i64;
+    let mut count = None;
+    let mut step = 1i64;
+    for token in spec.split_whitespace() {
+        let Some((key, value)) = token.split_once('=') else {
+            return Err(format!("bad sweep token `{token}`"));
+        };
+        let num = |v: &str| -> Result<i64, String> {
+            v.parse().map_err(|e| format!("bad sweep value `{v}`: {e}"))
+        };
+        match key {
+            "param" => {
+                kind = Some(
+                    ParamKind::from_token(value)
+                        .ok_or_else(|| format!("unknown sweep param `{value}`"))?,
+                )
+            }
+            "target" => target = Some(num(value)? as usize),
+            "start" => start = num(value)?,
+            "count" => count = Some(num(value)?.max(1) as usize),
+            "step" => step = num(value)?,
+            other => return Err(format!("unknown sweep key `{other}`")),
+        }
+    }
+    Ok(SweepSpec {
+        kind: kind.ok_or("sweep spec missing param")?,
+        target: target.ok_or("sweep spec missing target")?,
+        start,
+        count: count.ok_or("sweep spec missing count")?,
+        step,
     })
 }
 
@@ -290,6 +382,7 @@ mod tests {
             epsilon: 0,
             expect: Expectation::Exact,
             seed: Some(7),
+            sweep: None,
         }
     }
 
@@ -313,6 +406,60 @@ mod tests {
                     case.nest.address_affine(r.id())
                 );
             }
+        }
+    }
+
+    #[test]
+    fn sweep_directive_round_trips_and_runs_the_closed_form_tier() {
+        let mut b = NestBuilder::new();
+        b.name("sweep-sample").ct_loop("i", 0, 64);
+        let a = b.array("A", &[64], 0);
+        let c = b.array("B", &[64], 256);
+        b.reference(a, AccessKind::Read, &[("i", 0)]);
+        b.reference(c, AccessKind::Read, &[("i", 0)]);
+        let case = CorpusCase {
+            name: "sweep-sample".into(),
+            nest: b.build().unwrap(),
+            cache: CacheConfig::new(1024, 1, 32, 4).unwrap(),
+            epsilon: 0,
+            expect: Expectation::Exact,
+            seed: Some(11),
+            sweep: Some(SweepSpec {
+                kind: ParamKind::BaseSpacing,
+                target: 1,
+                start: 0,
+                count: 128,
+                step: 8,
+            }),
+        };
+        let text = write_case(&case).unwrap();
+        assert!(
+            text.contains("! sweep: param=base-spacing target=1 start=0 count=128 step=8"),
+            "{text}"
+        );
+        let back = parse_case("fallback", &text).unwrap();
+        assert_eq!(back.sweep, case.sweep);
+        let sweep_report = back.verify_sweep().unwrap().expect("case carries a sweep");
+        assert!(sweep_report.fitted, "this fixture fits a closed form");
+        assert!(!sweep_report.is_violation());
+        // Full replay runs both tiers.
+        back.verify(&mut crate::CmeOracle, 4).unwrap();
+        // Cases without the directive skip the tier.
+        assert!(sample_case(false).verify_sweep().unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_sweep_directives_are_rejected() {
+        let base = "! cache: size=512 assoc=2 line=16 elem=4\n";
+        for bad in [
+            "! sweep: param=bogus target=0 count=8",
+            "! sweep: target=0 count=8",
+            "! sweep: param=pad-bytes count=8",
+            "! sweep: param=pad-bytes target=0",
+            "! sweep: param=pad-bytes target=0 count=8 extra=1",
+        ] {
+            let text = format!("{base}{bad}\nREAL A(4) AT 0\nDO i = 1, 4\n  s = s + A(i)\nENDDO");
+            assert!(parse_case("x", &text).is_err(), "`{bad}` must be rejected");
         }
     }
 

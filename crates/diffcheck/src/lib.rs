@@ -16,6 +16,10 @@
 //!   minimization along extents → refs → depth → geometry.
 //! - [`corpus`] — self-contained `.cme` regression seeds under
 //!   `tests/corpus/`, replayable without the generator.
+//! - [`closedform`] — differential certification of the sweep engine's
+//!   fitted miss functions: every closed form is replayed against the
+//!   numeric engine at adversarial points and against the simulator on
+//!   small variants, with divergence as a first-class violation.
 //! - [`Oracle`] — the analysis entry point under test, as a trait, so
 //!   mutation tests can inject a broken oracle and prove the harness
 //!   catches it.
@@ -35,13 +39,20 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod closedform;
 pub mod corpus;
 pub mod minimize;
 pub mod verdict;
 
+pub use closedform::{
+    adversarial_points, check_sweep_case, minimize_sweep_divergence, replay_function, request_of,
+    spec_of, SweepCheckReport,
+};
 pub use corpus::{parse_case, write_case, CorpusCase, Expectation};
 pub use minimize::{minimize_violation, shrink_case};
-pub use verdict::{check_case, check_case_governed, CaseReport, Verdict, ViolationKind};
+pub use verdict::{
+    check_case, check_case_governed, CaseReport, GroundTruth, Verdict, ViolationKind,
+};
 
 use cme_cache::CacheConfig;
 use cme_core::{AnalysisOptions, Analyzer, Budget, CancelToken};
@@ -240,6 +251,7 @@ impl TimedOutCase {
             epsilon: self.epsilon,
             expect: Expectation::Any,
             seed: Some(self.case_seed),
+            sweep: None,
         }
     }
 }
@@ -275,6 +287,7 @@ impl FoundViolation {
             epsilon: self.epsilon,
             expect: Expectation::Any,
             seed: Some(self.case_seed),
+            sweep: None,
         }
     }
 }

@@ -17,10 +17,10 @@
 use cme_cache::CacheConfig;
 use cme_core::Budget;
 use cme_diffcheck::{
-    assoc_label, check_case, parse_case, run_fuzz, shrink_case, write_case, CmeOracle, CorpusCase,
-    Expectation, FuzzConfig, Verdict,
+    assoc_label, check_case, check_sweep_case, parse_case, request_of, run_fuzz, shrink_case,
+    write_case, CmeOracle, CorpusCase, Expectation, FuzzConfig, Verdict,
 };
-use cme_testgen::{is_uniform, random_cache, random_nest, CaseRng, NestDistribution};
+use cme_testgen::{is_uniform, random_cache, random_nest, random_sweep, CaseRng, NestDistribution};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -206,6 +206,7 @@ fn emit_corpus(dir: &Path, threads: usize) -> std::io::Result<()> {
             epsilon: 0,
             expect,
             seed: None,
+            sweep: None,
         };
         write_file(dir, &case)?;
         println!("emitted {name}: {} ({})", report.verdict, expect);
@@ -246,10 +247,96 @@ fn emit_corpus(dir: &Path, threads: usize) -> std::io::Result<()> {
                     Expectation::SoundOvercount
                 },
                 seed: Some(seed),
+                sweep: None,
             };
             write_file(dir, &case)?;
             println!("emitted {}: {}", case.name, verdict);
         }
+    }
+    emit_sweep_corpus(dir, threads)
+}
+
+/// Appends eight sweep seeds: generator cases whose random parametric
+/// sweep fits a certified closed form that replays clean against both
+/// ground truths, shrunk while the base verdict, the fit, and the clean
+/// replay all persist — the committed evidence for the closed-form tier.
+fn emit_sweep_corpus(dir: &Path, threads: usize) -> std::io::Result<()> {
+    let mut oracle = CmeOracle;
+    // Smaller nests than the default distribution: shrinking re-runs a
+    // full sweep per candidate edit, so start compact.
+    let dist = NestDistribution {
+        extent: 4..8,
+        max_depth: 3,
+        refs: 2..4,
+        ..NestDistribution::default()
+    };
+    let mut emitted = 0u32;
+    let mut per_kind = std::collections::BTreeMap::<&str, u32>::new();
+    for seed in 1u64.. {
+        if emitted == 8 {
+            break;
+        }
+        let mut rng = CaseRng::new(seed);
+        let nest = random_nest(&mut rng, &dist);
+        let cache = random_cache(&mut rng);
+        let spec = random_sweep(&mut rng, &nest, cache);
+        // Keep the kinds diverse: at most three seeds per parameter kind,
+        // so eight seeds always span at least three kinds.
+        if per_kind.get(spec.kind.token()).copied().unwrap_or(0) >= 3 {
+            continue;
+        }
+        let request = request_of(&spec);
+        // The committed case must keep real parametric structure: a
+        // constant miss function fits trivially and certifies nothing.
+        let non_constant = |s: &cme_diffcheck::SweepCheckReport| {
+            s.result.function.as_ref().is_some_and(|f| {
+                let first = f.eval(0);
+                (1..spec.count as i64).any(|k| f.eval(k) != first)
+            })
+        };
+        let Ok(check) = check_sweep_case(&nest, cache, &request, seed) else {
+            continue;
+        };
+        if !check.fitted || check.is_violation() || check.result.best_misses == 0 {
+            continue;
+        }
+        if !non_constant(&check) {
+            continue;
+        }
+        let verdict = check_case(&mut oracle, &nest, cache, 0, threads).verdict;
+        if verdict.is_violation() {
+            continue;
+        }
+        let (min_nest, min_cache) = shrink_case(&nest, cache, |n, c| {
+            let r = check_case(&mut oracle, n, c, 0, threads);
+            if r.verdict != verdict || r.sim_total == 0 {
+                return false;
+            }
+            check_sweep_case(n, c, &request, seed)
+                .map(|s| {
+                    s.fitted && !s.is_violation() && s.result.best_misses > 0 && non_constant(&s)
+                })
+                .unwrap_or(false)
+        });
+        let case = CorpusCase {
+            name: format!("sweep-{}-seed{}", spec.kind.token(), seed),
+            nest: min_nest,
+            cache: min_cache,
+            epsilon: 0,
+            expect: match verdict {
+                Verdict::Exact => Expectation::Exact,
+                _ => Expectation::SoundOvercount,
+            },
+            seed: Some(seed),
+            sweep: Some(spec),
+        };
+        write_file(dir, &case)?;
+        println!(
+            "emitted {}: closed form over {} candidates ({})",
+            case.name, spec.count, verdict
+        );
+        *per_kind.entry(spec.kind.token()).or_insert(0) += 1;
+        emitted += 1;
     }
     Ok(())
 }

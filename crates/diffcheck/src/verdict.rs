@@ -68,6 +68,41 @@ pub enum ViolationKind {
         /// Miss count on the sharded path.
         sharded: u64,
     },
+    /// A fitted closed-form miss function disagrees with the ground
+    /// truth at a replay point: either it differs from the numeric
+    /// engine anywhere (the exact-fit certificate is broken) or it
+    /// falls below the LRU simulator (soundness is broken). See
+    /// [`crate::closedform`].
+    ClosedFormDivergence {
+        /// Candidate index where the divergence was found.
+        k: usize,
+        /// Raw parameter value at that candidate.
+        value: i64,
+        /// The fitted function's prediction.
+        fitted: i64,
+        /// The ground-truth count it was replayed against.
+        truth: u64,
+        /// Which ground truth disagreed.
+        against: GroundTruth,
+    },
+}
+
+/// The ground truth a closed-form replay point was checked against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroundTruth {
+    /// The numeric analysis engine — the fit must match it exactly.
+    Engine,
+    /// The LRU simulator — the fit must never fall below it.
+    Simulator,
+}
+
+impl fmt::Display for GroundTruth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroundTruth::Engine => write!(f, "engine"),
+            GroundTruth::Simulator => write!(f, "simulator"),
+        }
+    }
 }
 
 impl fmt::Display for ViolationKind {
@@ -88,6 +123,16 @@ impl fmt::Display for ViolationKind {
             } => write!(
                 f,
                 "engine path divergence at ref#{ref_index}: sequential={sequential} sharded={sharded}"
+            ),
+            ViolationKind::ClosedFormDivergence {
+                k,
+                value,
+                fitted,
+                truth,
+                against,
+            } => write!(
+                f,
+                "closed-form divergence at k={k} (value {value}): fitted={fitted} vs {against}={truth}"
             ),
         }
     }

@@ -14,6 +14,12 @@ use std::fmt;
 pub struct ArrayId(pub(crate) usize);
 
 impl ArrayId {
+    /// The id of the array at `index` in [`crate::LoopNest::arrays`].
+    /// Validity is only meaningful against the nest the index came from.
+    pub fn from_index(index: usize) -> ArrayId {
+        ArrayId(index)
+    }
+
     /// The position of this array in [`crate::LoopNest::arrays`].
     pub fn index(&self) -> usize {
         self.0

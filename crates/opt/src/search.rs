@@ -12,8 +12,9 @@
 
 use crate::padding::{plan_padding, plan_padding_partial, PaddingPlan};
 use cme_cache::CacheConfig;
-use cme_core::{AnalysisOptions, Analyzer};
+use cme_core::{AnalysisOptions, Analyzer, SweepMetric, SweepParameter, SweepRequest};
 use cme_ir::{ArrayId, LoopNest};
+use cme_math::gcd::gcd;
 use std::fmt;
 
 /// How an optimized layout was obtained.
@@ -60,6 +61,13 @@ pub struct PaddingOutcome {
     /// Candidate scores lost to an [`cme_core::AnalysisError`] (scored
     /// `u64::MAX`, so they are never selected).
     pub failed_candidates: usize,
+    /// Closed-form parametric sweeps answered by a certified
+    /// quasi-polynomial fit ([`cme_core::SweepResult`]); every such fit
+    /// carried an exact-fit certificate.
+    pub sweeps_fitted: usize,
+    /// Numeric candidate evaluations the closed forms made unnecessary
+    /// (swept range size minus samples actually analyzed).
+    pub sweep_evaluations_saved: usize,
 }
 
 impl PaddingOutcome {
@@ -86,6 +94,13 @@ impl fmt::Display for PaddingOutcome {
             self.total_after,
             self.method
         )?;
+        if self.sweeps_fitted > 0 {
+            write!(
+                f,
+                " [{} closed-form sweeps saved {} evaluations]",
+                self.sweeps_fitted, self.sweep_evaluations_saved
+            )?;
+        }
         if self.degraded_candidates > 0 || self.failed_candidates > 0 {
             write!(
                 f,
@@ -176,11 +191,12 @@ pub fn optimize_padding_with(
 ) -> (LoopNest, PaddingOutcome) {
     let cache = *analyzer.cache();
     let cache = &cache;
-    let mut degraded_candidates = 0usize;
-    let mut failed_candidates = 0usize;
+    let degraded_candidates = std::cell::Cell::new(0usize);
+    let failed_candidates = std::cell::Cell::new(0usize);
     let before = match analyzer.try_analyze(nest) {
         Ok(governed) => {
-            degraded_candidates += governed.outcome.is_exhausted() as usize;
+            degraded_candidates
+                .set(degraded_candidates.get() + governed.outcome.is_exhausted() as usize);
             governed.analysis
         }
         Err(_) => {
@@ -194,8 +210,10 @@ pub fn optimize_padding_with(
                     replacement_after: 0,
                     total_before: 0,
                     total_after: 0,
-                    degraded_candidates,
+                    degraded_candidates: degraded_candidates.get(),
                     failed_candidates: 1,
+                    sweeps_fitted: 0,
+                    sweep_evaluations_saved: 0,
                 },
             );
         }
@@ -215,7 +233,8 @@ pub fn optimize_padding_with(
         let mut candidate = nest.clone();
         plan.apply(&mut candidate);
         if let Ok(governed) = analyzer.try_analyze(&candidate) {
-            degraded_candidates += governed.outcome.is_exhausted() as usize;
+            degraded_candidates
+                .set(degraded_candidates.get() + governed.outcome.is_exhausted() as usize);
             let after = governed.analysis;
             let improves = after.total_replacement() < replacement_before
                 || (after.total_replacement() == 0
@@ -230,13 +249,15 @@ pub fn optimize_padding_with(
                         replacement_after: after.total_replacement(),
                         total_before,
                         total_after: after.total_misses(),
-                        degraded_candidates,
-                        failed_candidates,
+                        degraded_candidates: degraded_candidates.get(),
+                        failed_candidates: failed_candidates.get(),
+                        sweeps_fitted: 0,
+                        sweep_evaluations_saved: 0,
                     },
                 );
             }
         } else {
-            failed_candidates += 1;
+            failed_candidates.set(failed_candidates.get() + 1);
         }
     }
     if replacement_before == 0 || !searchable {
@@ -249,7 +270,9 @@ pub fn optimize_padding_with(
                 plan.apply(&mut candidate);
                 match analyzer.try_analyze(&candidate) {
                     Ok(governed) => {
-                        degraded_candidates += governed.outcome.is_exhausted() as usize;
+                        degraded_candidates.set(
+                            degraded_candidates.get() + governed.outcome.is_exhausted() as usize,
+                        );
                         let after = governed.analysis;
                         if after.total_replacement() < replacement_before {
                             return (
@@ -260,13 +283,15 @@ pub fn optimize_padding_with(
                                     replacement_after: after.total_replacement(),
                                     total_before,
                                     total_after: after.total_misses(),
-                                    degraded_candidates,
-                                    failed_candidates,
+                                    degraded_candidates: degraded_candidates.get(),
+                                    failed_candidates: failed_candidates.get(),
+                                    sweeps_fitted: 0,
+                                    sweep_evaluations_saved: 0,
                                 },
                             );
                         }
                     }
-                    Err(_) => failed_candidates += 1,
+                    Err(_) => failed_candidates.set(failed_candidates.get() + 1),
                 }
             }
         }
@@ -278,8 +303,10 @@ pub fn optimize_padding_with(
                 replacement_after: replacement_before,
                 total_before,
                 total_after: total_before,
-                degraded_candidates,
-                failed_candidates,
+                degraded_candidates: degraded_candidates.get(),
+                failed_candidates: failed_candidates.get(),
+                sweeps_fitted: 0,
+                sweep_evaluations_saved: 0,
             },
         );
     }
@@ -321,11 +348,12 @@ pub fn optimize_padding_with(
         let cand = analyzer.intern(&layout_with(nest, &order, column, spacings));
         match analyzer.try_analyze_id(cand) {
             Ok(governed) => {
-                degraded_candidates += governed.outcome.is_exhausted() as usize;
+                degraded_candidates
+                    .set(degraded_candidates.get() + governed.outcome.is_exhausted() as usize);
                 governed.analysis.total_replacement()
             }
             Err(_) => {
-                failed_candidates += 1;
+                failed_candidates.set(failed_candidates.get() + 1);
                 u64::MAX
             }
         }
@@ -430,11 +458,70 @@ pub fn optimize_padding_with(
         }
     }
 
+    // --- Method 3: closed-form periodic refinement ---------------------
+    // The miss count as a function of inter-array padding is exactly
+    // periodic in the cache's way span, so a *whole range* of pad
+    // candidates per gap costs O(samples): the engine fits a certified
+    // quasi-polynomial over one period plus a verification window and
+    // minimizes it analytically ([`Analyzer::sweep`]). Sweeps ride the
+    // session governor like every other candidate; a degraded (budget-
+    // truncated) sweep is never trusted — its winner is simply not
+    // accepted, which keeps the degraded-last ranking policy intact. Any
+    // accepted winner is re-counted numerically first, so a wrong fit can
+    // never worsen the layout (diffcheck independently cross-validates
+    // fits as `ClosedFormDivergence`).
+    let mut sweeps_fitted = 0usize;
+    let mut sweep_evaluations_saved = 0usize;
+
+    if best_score > 0 && degraded_candidates.get() == 0 {
+        let step_bytes = ls * cache.elem_bytes();
+        let raw_period = cache.way_span_elems() * cache.elem_bytes();
+        let period_steps = raw_period / gcd(raw_period, step_bytes);
+        // Several periods' worth of candidates: the closed form answers
+        // them all at the cost of ~2 periods of samples.
+        let range = (16 * period_steps).max(64) as usize;
+        for g in 0..ngaps {
+            let current = layout_with(nest, &order, best_col, &best_spacings);
+            let request = SweepRequest {
+                parameter: SweepParameter::PadBytes { after: order[g] },
+                start: 0,
+                count: range,
+                step: step_bytes,
+                metric: SweepMetric::ReplacementMisses,
+                exhaustive_fallback: false,
+            };
+            let Ok(result) = analyzer.sweep(&current, &request) else {
+                failed_candidates.set(failed_candidates.get() + 1);
+                continue;
+            };
+            sweeps_fitted += usize::from(result.certificate.is_some());
+            sweep_evaluations_saved += result.evaluations_saved();
+            if result.degraded > 0 {
+                continue;
+            }
+            if result.best_misses < best_score && result.best_value > 0 {
+                let extra = result.best_value / cache.elem_bytes();
+                let old = best_spacings[g];
+                best_spacings[g] = old + extra;
+                let s = count(analyzer, best_col, &best_spacings);
+                if s < best_score {
+                    best_score = s;
+                } else {
+                    best_spacings[g] = old;
+                }
+            }
+            if best_score == 0 {
+                break;
+            }
+        }
+    }
+
     let optimized = layout_with(nest, &order, best_col, &best_spacings);
     let optimized_id = analyzer.intern(&optimized);
     let (replacement_after, total_after) = match analyzer.try_analyze_id(optimized_id) {
         Ok(governed) => {
-            degraded_candidates += governed.outcome.is_exhausted() as usize;
+            degraded_candidates
+                .set(degraded_candidates.get() + governed.outcome.is_exhausted() as usize);
             (
                 governed.analysis.total_replacement(),
                 governed.analysis.total_misses(),
@@ -443,7 +530,7 @@ pub fn optimize_padding_with(
         Err(_) => {
             // The final re-count failed; fall back to the search's own
             // (possibly overcounted) score for the winning layout.
-            failed_candidates += 1;
+            failed_candidates.set(failed_candidates.get() + 1);
             (best_score, total_before)
         }
     };
@@ -455,8 +542,10 @@ pub fn optimize_padding_with(
             replacement_after,
             total_before,
             total_after,
-            degraded_candidates,
-            failed_candidates,
+            degraded_candidates: degraded_candidates.get(),
+            failed_candidates: failed_candidates.get(),
+            sweeps_fitted,
+            sweep_evaluations_saved,
         },
     )
 }
@@ -510,6 +599,60 @@ mod tests {
     }
 
     #[test]
+    fn residual_conflicts_trigger_certified_closed_form_sweeps() {
+        use cme_ir::{AccessKind, NestBuilder};
+        // A's two references sit exactly one way span apart, so their
+        // conflict survives any layout move — the greedy search cannot
+        // reach zero and hands off to the closed-form sweep stage, which
+        // answers a multi-thousand-candidate pad range per gap in about
+        // two periods' worth of samples.
+        let cache = table1_cache();
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 0, 2047);
+        let a = b.array("A", &[4096], 0);
+        let c = b.array("B", &[2048], 4096);
+        b.reference(a, AccessKind::Read, &[("i", 0)]);
+        b.reference(a, AccessKind::Write, &[("i", 2048)]);
+        b.reference(c, AccessKind::Read, &[("i", 0)]);
+        let nest = b.build().unwrap();
+
+        let mut analyzer = Analyzer::new(cache).parallel(true);
+        let (optimized, outcome) = optimize_padding_with(&mut analyzer, &nest);
+        assert!(
+            outcome.replacement_after > 0,
+            "the way-span self conflict is not fixable by layout: {outcome}"
+        );
+        assert!(
+            outcome.sweeps_fitted >= 1,
+            "the residual conflict must reach the sweep stage: {outcome}"
+        );
+        // One period is 256 line-steps here (way span 8192 bytes / 32-byte
+        // lines): the 4096-candidate range must cost at most ~3 periods of
+        // numeric analyses, not the range.
+        let stats = analyzer.stats();
+        let period_steps = (cache.way_span_elems() * cache.elem_bytes()
+            / (cache.line_elems() * cache.elem_bytes())) as u64;
+        assert!(
+            stats.sweep_samples <= 3 * period_steps * outcome.sweeps_fitted as u64,
+            "sweep sampled {} analyses for {} sweeps (period {period_steps})",
+            stats.sweep_samples,
+            outcome.sweeps_fitted
+        );
+        assert!(
+            outcome.sweep_evaluations_saved > 3_000,
+            "a 4096-candidate range must be answered in O(samples): {outcome}"
+        );
+        assert!(outcome.to_string().contains("closed-form sweeps"));
+        // The sweep stage never regresses the numerically verified layout.
+        assert!(outcome.replacement_after <= outcome.replacement_before);
+        assert_eq!(
+            simulate_nest(&optimized, cache).total().replacement,
+            outcome.replacement_after,
+            "CME verdict confirmed by simulation"
+        );
+    }
+
+    #[test]
     fn outcome_display_and_pct() {
         let mut o = PaddingOutcome {
             method: PaddingMethod::CountingSearch { evaluations: 7 },
@@ -519,6 +662,8 @@ mod tests {
             total_after: 75,
             degraded_candidates: 0,
             failed_candidates: 0,
+            sweeps_fitted: 0,
+            sweep_evaluations_saved: 0,
         };
         assert!((o.replacement_reduction_pct() - 75.0).abs() < 1e-9);
         assert!(o.to_string().contains("7 counts"));

@@ -148,6 +148,106 @@ pub fn random_cache(rng: &mut CaseRng) -> CacheConfig {
     .expect("every sampled geometry is organizable")
 }
 
+/// The kind of layout/transform parameter a parametric sweep ranges
+/// over. This is `cme-testgen`'s own mirror of the engine's
+/// `SweepParameter` (this crate sits below `cme-core` in the dependency
+/// order); `cme-diffcheck` converts a [`SweepSpec`] into the engine's
+/// request type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// Shift one array's base address (elements).
+    BaseSpacing,
+    /// Insert padding (bytes) after one array, shifting everything above.
+    PadBytes,
+    /// Grow one rank-2 array's leading dimension (elements).
+    LeadingDimension,
+    /// Tile one loop level with the parameter as the tile size.
+    TileSize,
+}
+
+impl ParamKind {
+    /// The directive token used by the `.cme` corpus format.
+    pub fn token(&self) -> &'static str {
+        match self {
+            ParamKind::BaseSpacing => "base-spacing",
+            ParamKind::PadBytes => "pad-bytes",
+            ParamKind::LeadingDimension => "leading-dimension",
+            ParamKind::TileSize => "tile-size",
+        }
+    }
+
+    /// Parses a directive token back into a kind.
+    pub fn from_token(token: &str) -> Option<ParamKind> {
+        match token {
+            "base-spacing" => Some(ParamKind::BaseSpacing),
+            "pad-bytes" => Some(ParamKind::PadBytes),
+            "leading-dimension" => Some(ParamKind::LeadingDimension),
+            "tile-size" => Some(ParamKind::TileSize),
+            _ => None,
+        }
+    }
+}
+
+/// One generated parametric sweep: candidate `k ∈ 0..count` sets the
+/// parameter to `start + k·step` (elements for spacings and leading
+/// dimensions, bytes for pads, a tile size for tiling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// The parameter kind.
+    pub kind: ParamKind,
+    /// Array index (layout kinds) or loop level (tile size) it targets.
+    pub target: usize,
+    /// Parameter value of candidate 0.
+    pub start: i64,
+    /// Number of candidates.
+    pub count: usize,
+    /// Increment between consecutive candidates.
+    pub step: i64,
+}
+
+/// Generates one random sweep over `nest` on `cache`, from the same
+/// seeded stream as [`random_nest`]. The step is drawn from divisors of
+/// the cache's way span so the induced period over the step lattice
+/// stays small (8–64 samples) — generated cases are meant to *fit*, so
+/// the differential tier has closed forms to cross-validate.
+pub fn random_sweep(rng: &mut CaseRng, nest: &LoopNest, cache: CacheConfig) -> SweepSpec {
+    let way_span = (cache.size_bytes() / cache.assoc() / cache.elem_bytes()).max(8);
+    let narrays = nest.arrays().len();
+    let rank2: Vec<usize> = (0..narrays)
+        .filter(|&a| nest.arrays()[a].rank() == 2)
+        .collect();
+    // Layout kinds dominate (they carry the geometric period guarantee);
+    // leading-dimension only when a rank-2 array exists.
+    let kind = match rng.below(4) {
+        0 | 1 => ParamKind::BaseSpacing,
+        2 => ParamKind::PadBytes,
+        _ if !rank2.is_empty() => ParamKind::LeadingDimension,
+        _ => ParamKind::BaseSpacing,
+    };
+    let target = match kind {
+        ParamKind::LeadingDimension => rank2[rng.below(rank2.len() as u64) as usize],
+        _ => rng.below(narrays as u64) as usize,
+    };
+    let period = *rng.choose(&[8i64, 16, 32]);
+    let step = match kind {
+        // Pad steps are in bytes; the way span in bytes is
+        // `way_span * elem_bytes`, so scale the step accordingly.
+        ParamKind::PadBytes => (way_span / period).max(1) * cache.elem_bytes(),
+        _ => (way_span / period).max(1),
+    };
+    let start = match kind {
+        ParamKind::LeadingDimension => nest.arrays()[target].column_size(),
+        _ => 0,
+    };
+    SweepSpec {
+        kind,
+        target,
+        start,
+        count: 4 * period as usize,
+        step,
+    }
+}
+
 /// A random loop nest within the CME program model (see [`random_nest`]).
 pub fn arb_nest(dist: NestDistribution) -> impl Strategy<Value = LoopNest> {
     (0u64..u64::MAX).prop_map(move |seed| random_nest(&mut CaseRng::new(seed), &dist))
@@ -183,6 +283,34 @@ mod tests {
             prop_assert!(cache.num_sets() >= 1);
             prop_assert!(cache.line_elems() >= 4);
         }
+    }
+
+    #[test]
+    fn sweeps_are_deterministic_and_well_formed() {
+        let dist = NestDistribution::default();
+        let mut kinds = std::collections::BTreeSet::new();
+        for seed in 0..64 {
+            let mut rng = CaseRng::new(seed);
+            let nest = random_nest(&mut rng, &dist);
+            let cache = random_cache(&mut rng);
+            let a = random_sweep(&mut CaseRng::new(seed ^ 1), &nest, cache);
+            let b = random_sweep(&mut CaseRng::new(seed ^ 1), &nest, cache);
+            assert_eq!(a, b, "sweep generation must be seed-deterministic");
+            assert!(a.count >= 32 && a.step >= 1);
+            if a.kind == ParamKind::LeadingDimension {
+                assert_eq!(nest.arrays()[a.target].rank(), 2);
+                assert_eq!(a.start, nest.arrays()[a.target].column_size());
+            } else {
+                assert!(a.target < nest.arrays().len());
+                assert_eq!(a.start, 0);
+            }
+            kinds.insert(a.kind.token());
+            assert_eq!(ParamKind::from_token(a.kind.token()), Some(a.kind));
+        }
+        assert!(
+            kinds.contains("base-spacing") && kinds.contains("pad-bytes"),
+            "both dominant kinds must be reachable: {kinds:?}"
+        );
     }
 
     #[test]

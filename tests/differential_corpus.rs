@@ -27,9 +27,47 @@ fn corpus_files() -> Vec<PathBuf> {
 fn corpus_is_seeded() {
     let files = corpus_files();
     assert!(
-        files.len() >= 17,
-        "expected the Table 1 kernels plus 10 generator cases, found {}",
+        files.len() >= 25,
+        "expected the Table 1 kernels, 10 generator cases, and 8 sweep seeds, found {}",
         files.len()
+    );
+}
+
+#[test]
+fn sweep_corpus_certifies_closed_forms_with_zero_divergence() {
+    // The closed-form tier: every committed sweep seed must still fit a
+    // certified quasi-polynomial, and the fit must replay clean against
+    // the numeric engine and the LRU simulator at adversarial points.
+    let mut sweeps = 0;
+    let mut kinds = std::collections::BTreeSet::new();
+    for path in corpus_files() {
+        let stem = path.file_stem().unwrap().to_string_lossy().to_string();
+        let case = parse_case(&stem, &std::fs::read_to_string(&path).unwrap()).unwrap();
+        let Some(spec) = case.sweep else { continue };
+        sweeps += 1;
+        kinds.insert(spec.kind.token());
+        let report = case
+            .verify_sweep()
+            .unwrap_or_else(|e| panic!("{stem}: {e}"))
+            .expect("case carries a sweep");
+        assert!(report.fitted, "{stem}: sweep must fit");
+        assert!(
+            report.result.certificate.is_some(),
+            "{stem}: fit must be certified"
+        );
+        assert!(!report.is_violation(), "{stem}: zero divergence required");
+        assert!(
+            report.engine_points > 0,
+            "{stem}: replay must check real points"
+        );
+    }
+    assert!(
+        sweeps >= 8,
+        "expected at least 8 sweep seeds, found {sweeps}"
+    );
+    assert!(
+        kinds.len() >= 3,
+        "sweep seeds must span at least 3 parameter kinds: {kinds:?}"
     );
 }
 

@@ -249,3 +249,133 @@ fn full_budget_governed_run_is_bit_identical_to_ungoverned() {
         assert_eq!(governed.analysis, plain);
     }
 }
+
+/// Governed parametric sweeps (Section 5.1.3 under a budget): a sweep
+/// whose samples truncate must degrade to the exhaustive fallback whole —
+/// never a half-fitted function — and truncated results must never enter
+/// the session memo or the persistent store.
+mod sweeps {
+    use super::*;
+    use cme::core::{SweepParameter, SweepRequest};
+    use cme::ArtifactStore;
+    use std::sync::Arc;
+
+    /// Two 64-element arrays scanned in lockstep; the sweep moves B's
+    /// base, the geometry that fits a clean quasi-polynomial at full
+    /// budget.
+    fn spacing_nest() -> LoopNest {
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 0, 64);
+        let a = b.array("A", &[64], 0);
+        let c = b.array("B", &[64], 4096);
+        b.reference(a, AccessKind::Read, &[("i", 0)]);
+        b.reference(c, AccessKind::Read, &[("i", 0)]);
+        b.build().expect("valid nest")
+    }
+
+    fn spacing_request() -> SweepRequest {
+        let array = cme::ir::ArrayId::from_index(1);
+        SweepRequest::new(SweepParameter::BaseSpacing { array }, 0, 128, 8)
+    }
+
+    fn small_cache() -> CacheConfig {
+        CacheConfig::new(1024, 1, 32, 4).expect("geometry")
+    }
+
+    fn tiny_budget() -> Budget {
+        Budget::unlimited().with_max_solves(1)
+    }
+
+    fn store_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cme-governor-sweep-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A solve budget too small for even one candidate degrades the
+    /// sweep to the exhaustive fallback as a whole: no function, no
+    /// certificate, every truncation visible in `degraded`.
+    #[test]
+    fn tiny_budget_sweep_degrades_whole_never_half_fitted() {
+        let nest = spacing_nest();
+        let request = spacing_request();
+        let mut analyzer = Analyzer::new(small_cache()).budget(tiny_budget());
+        let result = analyzer
+            .sweep(&nest, &request)
+            .expect("budgets never error");
+        assert!(result.fallback, "truncated sweep must fall back: {result}");
+        assert!(result.function.is_none(), "no half-fitted function");
+        assert!(result.certificate.is_none(), "no certificate without a fit");
+        assert!(result.degraded > 0, "truncation must be visible: {result}");
+        let stats = analyzer.stats();
+        assert_eq!(stats.sweeps_fitted, 0, "{stats}");
+        assert_eq!(stats.sweeps_fallback, 1, "{stats}");
+    }
+
+    /// Repeating the identical truncated sweep in the same session must
+    /// recompute — degraded results never enter the sweep memo — while a
+    /// full-budget session fits and *does* memoize.
+    #[test]
+    fn truncated_sweeps_are_never_memoized() {
+        let nest = spacing_nest();
+        let request = spacing_request();
+        let mut governed = Analyzer::new(small_cache()).budget(tiny_budget());
+        let first = governed.sweep(&nest, &request).expect("no error path");
+        let second = governed.sweep(&nest, &request).expect("no error path");
+        assert!(first.fallback && second.fallback);
+        assert!(!second.memo_hit, "degraded result must not be memoized");
+        assert_eq!(
+            governed.stats().sweeps_fallback,
+            2,
+            "both calls must take the fallback path: {}",
+            governed.stats()
+        );
+
+        let mut full = Analyzer::new(small_cache());
+        let cold = full.sweep(&nest, &request).expect("no error path");
+        let warm = full.sweep(&nest, &request).expect("no error path");
+        assert!(cold.function.is_some(), "full budget must fit: {cold}");
+        assert!(warm.memo_hit, "complete results are memoized");
+        assert_eq!(warm.best_k, cold.best_k);
+        assert_eq!(warm.best_misses, cold.best_misses);
+    }
+
+    /// Truncated sweeps never reach the artifact store: a fresh session
+    /// over the same store sees a cold miss, and only its own complete
+    /// fit is persisted for the session after it.
+    #[test]
+    fn truncated_sweeps_are_never_persisted() {
+        let nest = spacing_nest();
+        let request = spacing_request();
+        let dir = store_dir("persist");
+        {
+            let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+            let mut governed = Analyzer::new(small_cache())
+                .store(Arc::clone(&store))
+                .budget(tiny_budget());
+            let truncated = governed.sweep(&nest, &request).expect("no error path");
+            assert!(truncated.fallback && truncated.degraded > 0);
+        }
+        let cold = {
+            let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+            let mut full = Analyzer::new(small_cache()).store(store);
+            full.sweep(&nest, &request).expect("no error path")
+        };
+        assert!(
+            !cold.store_hit && !cold.memo_hit,
+            "truncated sweep must not have been persisted: {cold}"
+        );
+        assert!(cold.function.is_some(), "full budget must fit: {cold}");
+        // The complete fit *is* persisted: a third session reads it back
+        // bit-identically without re-analyzing.
+        let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+        let mut reader = Analyzer::new(small_cache()).store(store);
+        let warm = reader.sweep(&nest, &request).expect("no error path");
+        assert!(warm.store_hit, "complete fit must persist: {warm}");
+        assert_eq!(warm.best_k, cold.best_k);
+        assert_eq!(warm.best_misses, cold.best_misses);
+        assert_eq!(warm.function, cold.function);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
