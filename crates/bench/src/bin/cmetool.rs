@@ -30,7 +30,12 @@
 //! the same kernel/cache/budget flags as `analyze` (or a control op via
 //! `--op ping|stats|shutdown`), prints the decoded response (`--json` for
 //! the raw line), and exits 0 on success or with the stable
-//! [`ErrorCode::exit_code`] of the coded failure.
+//! [`ErrorCode::exit_code`] of the coded failure. Transport is the shared
+//! resilient client (`cme_serve::client`): connect/read deadlines and
+//! bounded jittered retry of idempotent requests across connect failures,
+//! broken exchanges, and `overloaded` shedding — tunable with `--retries
+//! N`, `--connect-timeout-ms MS`, `--read-timeout-ms MS`. `--op shutdown`
+//! is never resent once delivered.
 
 use cme_bench::{resolve_kernel, BenchArgs};
 use cme_cache::{export_din, simulate_nest};
@@ -41,7 +46,7 @@ use cme_core::{
 use cme_kernels::kernel_names;
 use cme_opt::{diagnose, optimize_padding};
 use cme_reuse::ReuseOptions;
-use std::io::{BufRead, BufReader, Read, Write};
+use cme_serve::client::{Client, ClientConfig, Endpoint, Idempotency};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -181,21 +186,13 @@ fn main() {
     }
 }
 
-/// Sends one protocol line and reads the single response line.
-fn exchange<S: Read + Write>(mut stream: S, line: &str) -> std::io::Result<String> {
-    stream.write_all(line.as_bytes())?;
-    stream.write_all(b"\n")?;
-    stream.flush()?;
-    let mut reader = BufReader::new(stream);
-    let mut response = String::new();
-    reader.read_line(&mut response)?;
-    Ok(response.trim_end().to_string())
-}
-
 /// The `client` subcommand: build the request line, ship it to a
-/// `cme-serve` instance, decode and print the answer.
+/// `cme-serve` instance through the shared resilient client
+/// ([`cme_serve::client`] — connect/read deadlines, bounded backoff,
+/// idempotency-gated retry), decode and print the answer.
 fn run_client(args: &BenchArgs) {
-    let line = match args.value_str("--op").unwrap_or("analyze") {
+    let op = args.value_str("--op").unwrap_or("analyze");
+    let line = match op {
         "analyze" => {
             let program = if let Some(path) = args.value_str("--file") {
                 std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -231,23 +228,41 @@ fn run_client(args: &BenchArgs) {
         }
     };
 
-    let response = if let Some(addr) = args.value_str("--connect") {
-        std::net::TcpStream::connect(addr).and_then(|s| exchange(s, &line))
+    let endpoint = if let Some(addr) = args.value_str("--connect") {
+        Endpoint::Tcp(addr.to_string())
     } else if let Some(path) = args.value_str("--unix") {
-        std::os::unix::net::UnixStream::connect(path).and_then(|s| exchange(s, &line))
+        Endpoint::Unix(path.into())
     } else {
         eprintln!("client needs --connect HOST:PORT or --unix PATH");
         std::process::exit(2);
     };
-    let response = response.unwrap_or_else(|e| {
-        eprintln!("connection failed: {e}");
+    let mut config = ClientConfig::new(endpoint);
+    if let Some(n) = args.value("--retries") {
+        config.max_retries = n.max(0) as u32;
+    }
+    if let Some(ms) = args.value("--connect-timeout-ms") {
+        config.connect_timeout_ms = ms.max(0) as u64;
+    }
+    if let Some(ms) = args.value("--read-timeout-ms") {
+        config.read_timeout_ms = ms.max(0) as u64;
+    }
+    // Everything but `shutdown` converges on replay; shutdown must reach
+    // the server at most once.
+    let idempotency = if op == "shutdown" {
+        Idempotency::NonIdempotent
+    } else {
+        Idempotency::Idempotent
+    };
+    let mut client = Client::new(config);
+    let response = client.exchange(&line, idempotency).unwrap_or_else(|e| {
+        eprintln!("exchange failed: {e}");
         std::process::exit(ErrorCode::Io.exit_code());
     });
 
     if args.flag("--json") {
         println!("{response}");
     }
-    if args.value_str("--op").unwrap_or("analyze") != "analyze" {
+    if op != "analyze" {
         if !args.flag("--json") {
             println!("{response}");
         }

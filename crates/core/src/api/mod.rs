@@ -56,6 +56,11 @@ pub enum ErrorCode {
     Store,
     /// An I/O failure outside the store (socket, corpus file).
     Io,
+    /// The server shed this connection or request under load; retry with
+    /// backoff once load clears. Pre-`Overloaded` clients decode this as
+    /// [`ErrorCode::Internal`] (the unknown-code rule), which is still a
+    /// safe, non-retrying interpretation.
+    Overloaded,
     /// A differential-oracle disagreement (diffcheck replay only).
     Mismatch,
     /// Anything that should not happen; the message has the detail.
@@ -74,6 +79,7 @@ impl ErrorCode {
             ErrorCode::Overflow => "overflow",
             ErrorCode::Store => "store",
             ErrorCode::Io => "io",
+            ErrorCode::Overloaded => "overloaded",
             ErrorCode::Mismatch => "mismatch",
             ErrorCode::Internal => "internal",
         }
@@ -91,6 +97,7 @@ impl ErrorCode {
             "overflow" => ErrorCode::Overflow,
             "store" => ErrorCode::Store,
             "io" => ErrorCode::Io,
+            "overloaded" => ErrorCode::Overloaded,
             "mismatch" => ErrorCode::Mismatch,
             "internal" => ErrorCode::Internal,
             _ => return None,
@@ -109,6 +116,7 @@ impl ErrorCode {
             ErrorCode::Overflow => 21,
             ErrorCode::Store => 30,
             ErrorCode::Io => 31,
+            ErrorCode::Overloaded => 32,
             ErrorCode::Mismatch => 40,
             ErrorCode::Internal => 50,
         }
@@ -1016,6 +1024,7 @@ mod tests {
             (ErrorCode::Overflow, "overflow", 21),
             (ErrorCode::Store, "store", 30),
             (ErrorCode::Io, "io", 31),
+            (ErrorCode::Overloaded, "overloaded", 32),
             (ErrorCode::Mismatch, "mismatch", 40),
             (ErrorCode::Internal, "internal", 50),
         ];

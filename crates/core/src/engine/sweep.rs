@@ -339,7 +339,10 @@ fn period_candidates(
         None => ((count / 4).max(1).next_power_of_two().min(64)) as i64,
     };
     let pk = pk.max(1) as usize;
-    let mut divisors: Vec<usize> = (1..=pk).filter(|&d| pk.is_multiple_of(d)).take(64).collect();
+    let mut divisors: Vec<usize> = (1..=pk)
+        .filter(|&d| pk.is_multiple_of(d))
+        .take(64)
+        .collect();
     divisors.sort_unstable();
     divisors
 }

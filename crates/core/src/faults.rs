@@ -1,0 +1,310 @@
+//! Deterministic fault injection at the artifact-store I/O boundary.
+//!
+//! The store's trust model (`crate::store`) promises that *every* I/O
+//! anomaly — a failed read, a torn temp file, a corrupt entry, a crash
+//! between write and rename — degrades to a recompute with bit-identical
+//! counts, never to a wrong or truncated artifact. This module makes
+//! that promise testable the way `cme-diffcheck` makes numerical
+//! soundness testable: a [`FaultPlan`] is a seeded, reproducible stream
+//! of injected failures that an [`crate::ArtifactStore`] consults on
+//! every read and write, so a chaos suite can replay thousands of
+//! distinct failure interleavings from nothing but a `u64` seed.
+//!
+//! Injection points mirror the real failure modes:
+//!
+//! - **read error** ([`ReadFault::Error`]) — `fs::read` fails (EIO, a
+//!   vanished file); the store must miss and recompute;
+//! - **truncated read** ([`ReadFault::Truncate`]) — the entry's byte
+//!   stream ends early (torn write that slipped through, short read);
+//!   the checksum must reject it and the entry must be evicted;
+//! - **flipped byte** ([`ReadFault::FlipByte`]) — silent media
+//!   corruption; same required outcome as truncation;
+//! - **write error** ([`WriteFault::Error`]) — the temp file cannot be
+//!   written (ENOSPC, EACCES); the analysis must still succeed and the
+//!   failure must be counted, not raised;
+//! - **torn write** ([`WriteFault::Torn`]) — only a prefix of the entry
+//!   reaches disk but the rename still lands: the *next reader* must
+//!   detect and evict it;
+//! - **mid-write crash** ([`WriteFault::CrashBeforeRename`]) — the
+//!   process "dies" after writing the temp file and before the rename:
+//!   the live name must stay untouched and the stray temp file ignored.
+//!
+//! Decisions are derived per operation index from a splitmix64 stream,
+//! so a plan's fault sequence depends only on `(seed, rates)` and the
+//! order of store operations — identical across runs of a
+//! single-threaded replay, and reproducible enough under concurrency to
+//! shake out interleavings. The plan counts every injection
+//! ([`FaultPlan::injected`]) so a suite can assert it actually exercised
+//! each class.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An injected failure on the read side of the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFault {
+    /// The underlying `fs::read` fails outright.
+    Error,
+    /// The bytes come back truncated at a seeded fraction.
+    Truncate,
+    /// One seeded byte of the payload is flipped.
+    FlipByte,
+}
+
+/// An injected failure on the write side of the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// The temp file cannot be created or written at all.
+    Error,
+    /// Only a prefix of the entry reaches the temp file, and the rename
+    /// still happens — a torn entry lands under the live name.
+    Torn,
+    /// The process "crashes" after the temp write, before the rename:
+    /// the temp file is stranded and the live name never changes.
+    CrashBeforeRename,
+}
+
+/// Counters of faults actually injected by a plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectedFaults {
+    /// Read operations that failed outright.
+    pub read_errors: u64,
+    /// Reads whose bytes were truncated.
+    pub truncated_reads: u64,
+    /// Reads with a flipped payload byte.
+    pub corrupted_reads: u64,
+    /// Writes that failed outright.
+    pub write_errors: u64,
+    /// Writes torn to a prefix under the live name.
+    pub torn_writes: u64,
+    /// Writes abandoned between temp file and rename.
+    pub crashed_writes: u64,
+}
+
+impl InjectedFaults {
+    /// Total injections across every class.
+    pub fn total(&self) -> u64 {
+        self.read_errors
+            + self.truncated_reads
+            + self.corrupted_reads
+            + self.write_errors
+            + self.torn_writes
+            + self.crashed_writes
+    }
+}
+
+/// A seeded, reproducible schedule of store I/O faults.
+///
+/// Rates are percentages (0–100) per operation; read and write sides
+/// draw from independent substreams, so changing one rate never shifts
+/// the other side's schedule.
+///
+/// ```
+/// use cme_core::faults::FaultPlan;
+/// let a = FaultPlan::new(7).read_fault_percent(50);
+/// let b = FaultPlan::new(7).read_fault_percent(50);
+/// assert_eq!(a.next_read_fault(), b.next_read_fault());
+/// ```
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    read_percent: u32,
+    write_percent: u32,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    injected_read_errors: AtomicU64,
+    injected_truncated: AtomicU64,
+    injected_corrupted: AtomicU64,
+    injected_write_errors: AtomicU64,
+    injected_torn: AtomicU64,
+    injected_crashed: AtomicU64,
+}
+
+/// splitmix64: one decorrelated 64-bit value per (seed, index) pair.
+fn mix(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(0x94d0_49bb_1331_11eb);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and default rates: 25% of reads and
+    /// 25% of writes fault (an aggressive chaos setting; production
+    /// stores see none of this).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            read_percent: 25,
+            write_percent: 25,
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            injected_read_errors: AtomicU64::new(0),
+            injected_truncated: AtomicU64::new(0),
+            injected_corrupted: AtomicU64::new(0),
+            injected_write_errors: AtomicU64::new(0),
+            injected_torn: AtomicU64::new(0),
+            injected_crashed: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the per-read fault probability in percent (clamped to 100).
+    pub fn read_fault_percent(mut self, percent: u32) -> Self {
+        self.read_percent = percent.min(100);
+        self
+    }
+
+    /// Sets the per-write fault probability in percent (clamped to 100).
+    pub fn write_fault_percent(mut self, percent: u32) -> Self {
+        self.write_percent = percent.min(100);
+        self
+    }
+
+    /// The plan's seed (printed in chaos-suite failure reports).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fault decision for the next read operation, advancing the
+    /// read substream. `None` = the read proceeds untouched.
+    pub fn next_read_fault(&self) -> Option<ReadFault> {
+        let index = self.reads.fetch_add(1, Ordering::Relaxed);
+        let draw = mix(self.seed ^ 0x52_45_41_44, index); // "READ"
+        if draw % 100 >= u64::from(self.read_percent) {
+            return None;
+        }
+        let fault = match (draw >> 8) % 3 {
+            0 => {
+                self.injected_read_errors.fetch_add(1, Ordering::Relaxed);
+                ReadFault::Error
+            }
+            1 => {
+                self.injected_truncated.fetch_add(1, Ordering::Relaxed);
+                ReadFault::Truncate
+            }
+            _ => {
+                self.injected_corrupted.fetch_add(1, Ordering::Relaxed);
+                ReadFault::FlipByte
+            }
+        };
+        Some(fault)
+    }
+
+    /// The fault decision for the next write operation, advancing the
+    /// write substream. `None` = the write proceeds untouched.
+    pub fn next_write_fault(&self) -> Option<WriteFault> {
+        let index = self.writes.fetch_add(1, Ordering::Relaxed);
+        let draw = mix(self.seed ^ 0x57_52_49_54, index); // "WRIT"
+        if draw % 100 >= u64::from(self.write_percent) {
+            return None;
+        }
+        let fault = match (draw >> 8) % 3 {
+            0 => {
+                self.injected_write_errors.fetch_add(1, Ordering::Relaxed);
+                WriteFault::Error
+            }
+            1 => {
+                self.injected_torn.fetch_add(1, Ordering::Relaxed);
+                WriteFault::Torn
+            }
+            _ => {
+                self.injected_crashed.fetch_add(1, Ordering::Relaxed);
+                WriteFault::CrashBeforeRename
+            }
+        };
+        Some(fault)
+    }
+
+    /// A seeded cut point in `1..len` for truncating or corrupting a
+    /// byte stream (deterministic per plan and stream length).
+    pub fn cut_point(&self, len: usize) -> usize {
+        if len <= 1 {
+            return 0;
+        }
+        (mix(self.seed ^ 0x43_55_54, len as u64) as usize) % (len - 1) + 1 // "CUT"
+    }
+
+    /// Snapshot of how many faults this plan has actually injected.
+    pub fn injected(&self) -> InjectedFaults {
+        InjectedFaults {
+            read_errors: self.injected_read_errors.load(Ordering::Relaxed),
+            truncated_reads: self.injected_truncated.load(Ordering::Relaxed),
+            corrupted_reads: self.injected_corrupted.load(Ordering::Relaxed),
+            write_errors: self.injected_write_errors.load(Ordering::Relaxed),
+            torn_writes: self.injected_torn.load(Ordering::Relaxed),
+            crashed_writes: self.injected_crashed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(plan: &FaultPlan, n: usize) -> (Vec<Option<ReadFault>>, Vec<Option<WriteFault>>) {
+        (
+            (0..n).map(|_| plan.next_read_fault()).collect(),
+            (0..n).map(|_| plan.next_write_fault()).collect(),
+        )
+    }
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        let (ra, wa) = drain(&FaultPlan::new(11), 256);
+        let (rb, wb) = drain(&FaultPlan::new(11), 256);
+        assert_eq!(ra, rb);
+        assert_eq!(wa, wb);
+        let (rc, wc) = drain(&FaultPlan::new(12), 256);
+        assert!(ra != rc || wa != wc, "seeds must differ");
+    }
+
+    #[test]
+    fn rates_bound_injection_and_counters_track_it() {
+        let plan = FaultPlan::new(3)
+            .read_fault_percent(0)
+            .write_fault_percent(100);
+        let (reads, writes) = drain(&plan, 300);
+        assert!(reads.iter().all(Option::is_none));
+        assert!(writes.iter().all(Option::is_some));
+        let injected = plan.injected();
+        assert_eq!(
+            injected.read_errors + injected.truncated_reads + injected.corrupted_reads,
+            0
+        );
+        assert_eq!(
+            injected.write_errors + injected.torn_writes + injected.crashed_writes,
+            300
+        );
+        assert_eq!(injected.total(), 300);
+    }
+
+    #[test]
+    fn default_rates_hit_every_fault_class_eventually() {
+        let plan = FaultPlan::new(0xc0ffee);
+        drain(&plan, 4096);
+        let i = plan.injected();
+        for (name, count) in [
+            ("read_errors", i.read_errors),
+            ("truncated_reads", i.truncated_reads),
+            ("corrupted_reads", i.corrupted_reads),
+            ("write_errors", i.write_errors),
+            ("torn_writes", i.torn_writes),
+            ("crashed_writes", i.crashed_writes),
+        ] {
+            assert!(count > 0, "{name} never injected over 4096 ops");
+        }
+    }
+
+    #[test]
+    fn cut_points_stay_in_bounds() {
+        let plan = FaultPlan::new(9);
+        for len in [2usize, 3, 10, 1000] {
+            let cut = plan.cut_point(len);
+            assert!(cut >= 1 && cut < len, "cut {cut} out of bounds for {len}");
+        }
+        assert_eq!(plan.cut_point(0), 0);
+        assert_eq!(plan.cut_point(1), 0);
+    }
+}

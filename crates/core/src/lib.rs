@@ -83,6 +83,7 @@ pub mod accuracy;
 pub mod api;
 pub mod engine;
 pub mod equations;
+pub mod faults;
 pub mod governor;
 pub mod pointset;
 pub mod sequence;
@@ -96,6 +97,7 @@ pub use engine::{
     Analyzer, Engine, EngineStats, SweepMetric, SweepParameter, SweepRequest, SweepResult,
 };
 pub use equations::{CmeSystem, ColdEquation, EquationGroup, RefEquations, ReplacementEquation};
+pub use faults::{FaultPlan, InjectedFaults, ReadFault, WriteFault};
 pub use governor::{AnalysisError, Budget, CancelToken, ExhaustReason, GovernedAnalysis, Outcome};
 pub use pointset::{DenseSet, PointSet, Run, RunSet, SurvivorRepr, SurvivorRuns, SurvivorSet};
 pub use sequence::{analyze_sequence, SequenceAnalysis};

@@ -35,6 +35,7 @@
 //! I/O failures never fail an analysis: a read error is a miss, a write
 //! error is counted ([`StoreStats::write_errors`]) and dropped.
 
+use crate::faults::{FaultPlan, ReadFault, WriteFault};
 use crate::solve::{AnalysisOptions, NestAnalysis, RefAnalysis, VectorReport};
 use cme_cache::CacheConfig;
 use cme_ir::codec::{fnv1a64, CodecError, Decoder, Encoder};
@@ -46,6 +47,7 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::SystemTime;
 
 /// Layout version of the artifact file format. Bump on any codec change;
@@ -260,6 +262,7 @@ pub struct ArtifactStore {
     max_bytes: u64,
     max_entry_bytes: u64,
     counters: StoreCounters,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl ArtifactStore {
@@ -300,7 +303,19 @@ impl ArtifactStore {
             max_bytes,
             max_entry_bytes,
             counters: StoreCounters::default(),
+            faults: None,
         })
+    }
+
+    /// Attaches a seeded [`FaultPlan`] (chaos testing): every subsequent
+    /// read and write consults the plan and may fail, truncate, corrupt,
+    /// tear, or abandon the operation exactly as the matching real I/O
+    /// failure would. The store's degradation contract is unchanged —
+    /// that is the point: callers must not be able to tell an injected
+    /// fault from a real one.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// The store directory.
@@ -345,7 +360,7 @@ impl ArtifactStore {
     /// touches the entry's mtime, making eviction least-recently-used.
     pub fn get(&self, key: &ArtifactKey) -> Option<NestAnalysis> {
         let path = self.dir.join(key.file_name());
-        let bytes = match fs::read(&path) {
+        let bytes = match self.read_entry_bytes(&path) {
             Ok(b) => b,
             Err(_) => {
                 self.counters.misses.fetch_add(1, Ordering::Relaxed);
@@ -392,6 +407,55 @@ impl ArtifactStore {
             return;
         }
         let final_path = self.dir.join(key.file_name());
+        if self.write_entry(&final_path, &bytes) {
+            self.counters.writes.fetch_add(1, Ordering::Relaxed);
+            self.evict_to_fit();
+        }
+    }
+
+    /// Reads an entry's raw bytes, routing through the fault plan when
+    /// one is attached: an injected read error behaves exactly like a
+    /// failed `fs::read`; truncation and byte flips mutate the returned
+    /// stream so the decoder's checksum discipline is what catches them.
+    fn read_entry_bytes(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        let fault = self.faults.as_ref().and_then(|f| f.next_read_fault());
+        if matches!(fault, Some(ReadFault::Error)) {
+            return Err(std::io::Error::other("injected read error"));
+        }
+        let mut bytes = fs::read(path)?;
+        if bytes.is_empty() {
+            return Ok(bytes);
+        }
+        match (fault, &self.faults) {
+            (Some(ReadFault::Truncate), Some(plan)) => {
+                let cut = plan.cut_point(bytes.len());
+                bytes.truncate(cut);
+            }
+            (Some(ReadFault::FlipByte), Some(plan)) => {
+                let at = plan.cut_point(bytes.len()).min(bytes.len() - 1);
+                bytes[at] ^= 0x40;
+            }
+            _ => {}
+        }
+        Ok(bytes)
+    }
+
+    /// Writes `bytes` under `final_path` via the atomic temp+rename
+    /// discipline, routing through the fault plan when one is attached.
+    /// Returns `false` when the write (real or injected) failed outright;
+    /// torn and crash-abandoned writes return as the matching real
+    /// failure would (a torn write "succeeds" from the writer's view —
+    /// the *next reader* is who must catch it).
+    fn write_entry(&self, final_path: &Path, bytes: &[u8]) -> bool {
+        let fault = self.faults.as_ref().and_then(|f| f.next_write_fault());
+        if matches!(fault, Some(WriteFault::Error)) {
+            self.counters.write_errors.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let written: &[u8] = match (&fault, &self.faults) {
+            (Some(WriteFault::Torn), Some(plan)) => &bytes[..plan.cut_point(bytes.len())],
+            _ => bytes,
+        };
         let tmp_path = self.dir.join(format!(
             "{:016x}-{:x}.tmp",
             fnv1a64(final_path.as_os_str().as_encoded_bytes()),
@@ -399,18 +463,22 @@ impl ArtifactStore {
         ));
         let write = (|| -> std::io::Result<()> {
             let mut f = fs::File::create(&tmp_path)?;
-            f.write_all(&bytes)?;
+            f.write_all(written)?;
             f.sync_all()?;
-            fs::rename(&tmp_path, &final_path)
+            if matches!(fault, Some(WriteFault::CrashBeforeRename)) {
+                // The simulated crash: the temp file is stranded and the
+                // live name never changes. The writer reports success the
+                // way a really-crashed process reports nothing at all.
+                return Ok(());
+            }
+            fs::rename(&tmp_path, final_path)
         })();
         match write {
-            Ok(()) => {
-                self.counters.writes.fetch_add(1, Ordering::Relaxed);
-                self.evict_to_fit();
-            }
+            Ok(()) => true,
             Err(_) => {
                 let _ = fs::remove_file(&tmp_path);
                 self.counters.write_errors.fetch_add(1, Ordering::Relaxed);
+                false
             }
         }
     }
@@ -806,7 +874,7 @@ impl ArtifactStore {
     /// corrupt or version-skewed entries are evicted on contact.
     pub fn get_sweep(&self, key: &ArtifactKey, param_fp: u128) -> Option<SweepRecord> {
         let path = self.dir.join(sweep_file_name(key, param_fp));
-        let bytes = match fs::read(&path) {
+        let bytes = match self.read_entry_bytes(&path) {
             Ok(b) => b,
             Err(_) => {
                 self.counters.misses.fetch_add(1, Ordering::Relaxed);
@@ -848,26 +916,9 @@ impl ArtifactStore {
             return;
         }
         let final_path = self.dir.join(sweep_file_name(key, param_fp));
-        let tmp_path = self.dir.join(format!(
-            "{:016x}-{:x}.tmp",
-            fnv1a64(final_path.as_os_str().as_encoded_bytes()),
-            std::process::id()
-        ));
-        let write = (|| -> std::io::Result<()> {
-            let mut f = fs::File::create(&tmp_path)?;
-            f.write_all(&bytes)?;
-            f.sync_all()?;
-            fs::rename(&tmp_path, &final_path)
-        })();
-        match write {
-            Ok(()) => {
-                self.counters.writes.fetch_add(1, Ordering::Relaxed);
-                self.evict_to_fit();
-            }
-            Err(_) => {
-                let _ = fs::remove_file(&tmp_path);
-                self.counters.write_errors.fetch_add(1, Ordering::Relaxed);
-            }
+        if self.write_entry(&final_path, &bytes) {
+            self.counters.writes.fetch_add(1, Ordering::Relaxed);
+            self.evict_to_fit();
         }
     }
 }
@@ -1070,6 +1121,114 @@ mod tests {
         let a = ArtifactKey::new(1, 2, &cfg, &exact);
         let b = ArtifactKey::new(1, 2, &cfg, &eps);
         assert_ne!(a.file_name(), b.file_name());
+    }
+
+    #[test]
+    fn faulted_store_never_serves_wrong_data_and_always_degrades() {
+        // Across seeds, a store under aggressive injected I/O faults must
+        // behave like a (possibly forgetful) correct store: every `get`
+        // either misses or returns the bit-identical artifact, `put`
+        // never raises, and torn/corrupt entries are evicted on contact.
+        let analysis = sample_analysis();
+        for seed in 0..32u64 {
+            let dir = std::env::temp_dir().join(format!(
+                "cme-store-test-faulted-{seed}-{}",
+                std::process::id()
+            ));
+            let _ = fs::remove_dir_all(&dir);
+            let plan = Arc::new(
+                FaultPlan::new(seed)
+                    .read_fault_percent(60)
+                    .write_fault_percent(60),
+            );
+            let store = ArtifactStore::open(&dir)
+                .unwrap()
+                .with_faults(Arc::clone(&plan));
+            for round in 0..6u128 {
+                let key = sample_key(round % 2);
+                store.put(&key, &analysis);
+                if let Some(got) = store.get(&key) {
+                    assert_eq!(got, analysis, "seed {seed} round {round}: wrong artifact");
+                }
+            }
+            // Whatever survived on disk must be the exact artifact when
+            // read through a clean (fault-free) store handle.
+            let clean = ArtifactStore::open(&dir).unwrap();
+            for salt in 0..2u128 {
+                if let Some(got) = clean.get(&sample_key(salt)) {
+                    assert_eq!(got, analysis, "seed {seed}: corrupt entry served");
+                }
+            }
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn torn_write_lands_corrupt_and_is_evicted_by_the_next_reader() {
+        let dir = std::env::temp_dir().join(format!("cme-store-test-torn-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        // A plan that tears every write (write faults at 100% cycle
+        // through the classes; find a seed whose first write is Torn).
+        let seed = (0..64)
+            .find(|&s| {
+                matches!(
+                    FaultPlan::new(s)
+                        .write_fault_percent(100)
+                        .next_write_fault(),
+                    Some(crate::faults::WriteFault::Torn)
+                )
+            })
+            .expect("some seed tears first");
+        let plan = Arc::new(
+            FaultPlan::new(seed)
+                .write_fault_percent(100)
+                .read_fault_percent(0),
+        );
+        let store = ArtifactStore::open(&dir).unwrap().with_faults(plan);
+        let key = sample_key(1);
+        store.put(&key, &sample_analysis());
+        let path = store.dir().join(key.file_name());
+        assert!(path.exists(), "torn write still renames");
+        // The same handle reads with faults off: the checksum catches it.
+        assert!(store.get(&key).is_none());
+        assert!(!path.exists(), "torn entry must be evicted on contact");
+        assert_eq!(store.stats().corrupt_evicted, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crashed_write_strands_a_temp_file_and_preserves_the_live_entry() {
+        let dir = std::env::temp_dir().join(format!("cme-store-test-crash-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let analysis = sample_analysis();
+        let key = sample_key(2);
+        // First, a clean write of the live entry.
+        let clean = ArtifactStore::open(&dir).unwrap();
+        clean.put(&key, &analysis);
+        let live = fs::read(clean.dir().join(key.file_name())).unwrap();
+        // Then a crash-before-rename overwrite attempt.
+        let seed = (0..64)
+            .find(|&s| {
+                matches!(
+                    FaultPlan::new(s)
+                        .write_fault_percent(100)
+                        .next_write_fault(),
+                    Some(crate::faults::WriteFault::CrashBeforeRename)
+                )
+            })
+            .expect("some seed crashes first");
+        let plan = Arc::new(
+            FaultPlan::new(seed)
+                .write_fault_percent(100)
+                .read_fault_percent(0),
+        );
+        let store = ArtifactStore::open(&dir).unwrap().with_faults(plan);
+        store.put(&key, &analysis);
+        // The live name is byte-identical, the temp file is ignored.
+        assert_eq!(fs::read(store.dir().join(key.file_name())).unwrap(), live);
+        assert_eq!(store.entry_count(), 1, "temp files are not entries");
+        assert_eq!(store.get(&key).unwrap(), analysis);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

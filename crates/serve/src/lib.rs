@@ -15,27 +15,63 @@
 //! (`outcome.complete = false`, a sound overcount) — never as errors, and
 //! never persisted to the store.
 //!
+//! The same discipline extends to the transport (`docs/SERVE.md` has the
+//! operator's view):
+//!
+//! - **bounded connections** — beyond [`ServerConfig::max_connections`],
+//!   new peers are *shed*: one [`ErrorCode::Overloaded`] response line,
+//!   then close. Overload is explicit and retryable, never a hang.
+//! - **bounded request lines** — a line that exceeds
+//!   [`ServerConfig::max_line_bytes`] without a newline gets one
+//!   `bad-request` response and the connection is closed; the read
+//!   buffer can never grow without bound.
+//! - **bounded waiting** — a connection that does not deliver a complete
+//!   request line within [`ServerConfig::idle_timeout_ms`] (silent *or*
+//!   dribbling one byte at a time) is closed and counted. Reads wake on
+//!   a short tick, so every connection also observes the shutdown latch
+//!   within that tick — an idle peer cannot stall a drain.
+//! - **bounded sessions** — the per-geometry session map is LRU-capped
+//!   at [`ServerConfig::max_sessions`].
+//!
 //! The protocol carries four operations, dispatched on the `op` field:
 //! `analyze` (the [`AnalyzeRequest`] schema), `ping`, `stats`, and
 //! `shutdown`. Responses always echo the request `id` and carry either an
-//! `ok` object or a coded `error` object ([`ErrorCode`]).
+//! `ok` object or a coded `error` object ([`ErrorCode`]). The [`client`]
+//! module is the matching resilient client: connect/read deadlines,
+//! bounded seeded backoff, and retry restricted to idempotent requests.
+
+pub mod client;
 
 use cme_core::api::json::{self, obj, Json};
 use cme_core::api::{AnalyzeRequest, AnalyzeResponse, Error, ErrorCode};
 use cme_core::{Analyzer, ArtifactStore};
 use std::collections::HashMap;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// How a [`Server`] is provisioned: storage, parallelism, and the
-/// admission ceiling.
-#[derive(Debug, Clone, Default)]
+/// Granularity at which connection reads wake to re-check the shutdown
+/// latch and the request-line deadline. Bounds how long an in-flight
+/// idle connection can delay a drain.
+const READ_TICK: Duration = Duration::from_millis(25);
+
+/// Write deadline for best-effort responses to shed or misbehaving
+/// connections — the peer may not be reading at all, and a full socket
+/// buffer must not wedge the accept loop or a connection thread.
+const BEST_EFFORT_WRITE: Duration = Duration::from_millis(250);
+
+/// How a [`Server`] is provisioned: storage, parallelism, the admission
+/// ceiling, and the overload limits.
+///
+/// Every limit has a production-shaped default via [`Default`]; setting a
+/// limit to `0` disables it (unbounded), which is only sensible in
+/// tests.
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Directory of the persistent artifact store (`None` = in-memory
     /// memoization only).
@@ -50,6 +86,44 @@ pub struct ServerConfig {
     /// get exactly this one (`None` = requests run as budgeted, possibly
     /// unbounded).
     pub max_budget_ms: Option<u64>,
+    /// Max milliseconds for a complete request line to arrive once the
+    /// server starts waiting for one; a connection that stays silent *or*
+    /// dribbles bytes slower than this is closed and counted
+    /// ([`ServerStats::timed_out_connections`]). `0` disables.
+    pub idle_timeout_ms: u64,
+    /// Byte cap on one request line. A longer line (terminated or not)
+    /// gets one `bad-request` response and the connection is closed
+    /// ([`ServerStats::oversized_lines`]). `0` disables.
+    pub max_line_bytes: usize,
+    /// Connection pool bound across all listeners. Accepts beyond it are
+    /// shed with one [`ErrorCode::Overloaded`] line
+    /// ([`ServerStats::shed_connections`]). `0` disables.
+    pub max_connections: usize,
+    /// LRU cap on the per-geometry session map
+    /// ([`ServerStats::sessions_evicted`]). `0` disables.
+    pub max_sessions: usize,
+    /// Poll tick of the accept loops in milliseconds (min 1).
+    pub accept_tick_ms: u64,
+    /// Drain deadline after shutdown: the accept loops stop accepting at
+    /// once and join in-flight connections for at most this long.
+    pub drain_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            store_dir: None,
+            store_max_bytes: None,
+            threads: 0,
+            max_budget_ms: None,
+            idle_timeout_ms: 30_000,
+            max_line_bytes: 4 << 20,
+            max_connections: 128,
+            max_sessions: 32,
+            accept_tick_ms: 5,
+            drain_ms: 5_000,
+        }
+    }
 }
 
 /// Aggregate traffic counters of a running [`Server`].
@@ -61,10 +135,33 @@ pub struct ServerStats {
     pub errors: u64,
     /// Live per-geometry sessions.
     pub sessions: u64,
+    /// Connections accepted and served (shed connections excluded).
+    pub connections: u64,
+    /// Connections currently in flight.
+    pub active_connections: u64,
+    /// Connections shed at the pool bound with an `overloaded` response.
+    pub shed_connections: u64,
+    /// Connections closed for exceeding the request-line deadline.
+    pub timed_out_connections: u64,
+    /// Request lines rejected (and connections closed) at the byte cap.
+    pub oversized_lines: u64,
+    /// Sessions evicted by the LRU cap on the session map.
+    pub sessions_evicted: u64,
+    /// Connection threads that panicked (joined and counted, never
+    /// silently dropped).
+    pub worker_panics: u64,
+}
+
+/// One per-geometry analyzer session plus its LRU stamp.
+#[derive(Debug)]
+struct SessionSlot {
+    analyzer: Arc<Mutex<Analyzer>>,
+    last_used: u64,
 }
 
 /// The shared server state: per-geometry [`Analyzer`] sessions, the
-/// optional artifact store behind them, and the shutdown latch.
+/// optional artifact store behind them, the shutdown latch, and the
+/// traffic counters.
 ///
 /// One `Server` is shared (via `Arc`) by every listener and connection
 /// thread; [`Server::handle_line`] is the single protocol entry point, so
@@ -74,16 +171,62 @@ pub struct ServerStats {
 pub struct Server {
     config: ServerConfig,
     store: Option<Arc<ArtifactStore>>,
-    sessions: Mutex<HashMap<[i64; 4], Arc<Mutex<Analyzer>>>>,
+    sessions: Mutex<HashMap<[i64; 4], SessionSlot>>,
+    session_clock: AtomicU64,
     shutdown: AtomicBool,
     requests: AtomicU64,
     errors: AtomicU64,
+    connections: AtomicU64,
+    active: AtomicU64,
+    shed_connections: AtomicU64,
+    timed_out: AtomicU64,
+    oversized: AtomicU64,
+    sessions_evicted: AtomicU64,
+    worker_panics: AtomicU64,
 }
 
 /// Locks a mutex, riding through poisoning: a panicking worker must not
 /// wedge every other client of the session.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A duplex byte stream with socket deadlines — the connection-side
+/// surface the server needs from TCP and Unix sockets.
+pub trait Transport: Read + Write {
+    /// Sets the read timeout (the server uses a short tick so reads stay
+    /// shutdown-aware).
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
+    /// Sets the write timeout (used for best-effort error responses).
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
+}
+
+impl Transport for TcpStream {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, timeout)
+    }
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_write_timeout(self, timeout)
+    }
+}
+
+impl Transport for UnixStream {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        UnixStream::set_read_timeout(self, timeout)
+    }
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        UnixStream::set_write_timeout(self, timeout)
+    }
+}
+
+/// Decrements the live-connection gauge when a connection thread exits,
+/// panic or not — a leaked increment would shed forever.
+struct ActiveGuard(Arc<Server>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 impl Server {
@@ -104,14 +247,38 @@ impl Server {
             )?)),
             None => None,
         };
-        Ok(Arc::new(Server {
+        Ok(Self::assemble(config, store))
+    }
+
+    /// Provisions a server around an already-opened store — the chaos
+    /// suite's entry point, so a store wrapped in a
+    /// [`cme_core::FaultPlan`] can sit under an otherwise stock server.
+    pub fn with_store(config: ServerConfig, store: Arc<ArtifactStore>) -> Arc<Self> {
+        Self::assemble(config, Some(store))
+    }
+
+    fn assemble(config: ServerConfig, store: Option<Arc<ArtifactStore>>) -> Arc<Self> {
+        Arc::new(Server {
             config,
             store,
             sessions: Mutex::new(HashMap::new()),
+            session_clock: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
-        }))
+            connections: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+            shed_connections: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            oversized: AtomicU64::new(0),
+            sessions_evicted: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+        })
+    }
+
+    /// The configuration this server was provisioned with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
     }
 
     /// True once a `shutdown` request has been accepted; listeners drain
@@ -132,12 +299,22 @@ impl Server {
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             sessions: lock(&self.sessions).len() as u64,
+            connections: self.connections.load(Ordering::Relaxed),
+            active_connections: self.active.load(Ordering::Relaxed),
+            shed_connections: self.shed_connections.load(Ordering::Relaxed),
+            timed_out_connections: self.timed_out.load(Ordering::Relaxed),
+            oversized_lines: self.oversized.load(Ordering::Relaxed),
+            sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
         }
     }
 
     /// The session for a cache geometry, created on first use. Sessions
-    /// share the server's store and thread setting and persist for the
-    /// server's lifetime, so repeated queries hit the memo tables.
+    /// share the server's store and thread setting; the map is LRU-capped
+    /// at [`ServerConfig::max_sessions`], so a cold geometry evicts the
+    /// least-recently-used one. In-flight requests keep their own handle
+    /// to an evicted session — eviction only forgets memo state for
+    /// *future* requests, it never breaks a running one.
     fn session(&self, request: &AnalyzeRequest) -> Result<Arc<Mutex<Analyzer>>, Error> {
         let cfg = request.cache_config()?;
         let key = [
@@ -146,16 +323,35 @@ impl Server {
             request.cache.line_bytes,
             request.cache.elem_bytes,
         ];
+        let stamp = self.session_clock.fetch_add(1, Ordering::Relaxed);
         let mut sessions = lock(&self.sessions);
-        if let Some(session) = sessions.get(&key) {
-            return Ok(Arc::clone(session));
+        if let Some(slot) = sessions.get_mut(&key) {
+            slot.last_used = stamp;
+            return Ok(Arc::clone(&slot.analyzer));
+        }
+        let cap = self.config.max_sessions;
+        if cap > 0 && sessions.len() >= cap {
+            if let Some(lru) = sessions
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| *k)
+            {
+                sessions.remove(&lru);
+                self.sessions_evicted.fetch_add(1, Ordering::Relaxed);
+            }
         }
         let mut analyzer = Analyzer::new(cfg).threads(self.config.threads);
         if let Some(store) = &self.store {
             analyzer = analyzer.store(Arc::clone(store));
         }
         let session = Arc::new(Mutex::new(analyzer));
-        sessions.insert(key, Arc::clone(&session));
+        sessions.insert(
+            key,
+            SessionSlot {
+                analyzer: Arc::clone(&session),
+                last_used: stamp,
+            },
+        );
         Ok(session)
     }
 
@@ -230,6 +426,20 @@ impl Server {
         AnalyzeResponse::err(id, error).encode()
     }
 
+    /// The one-line `overloaded` response a shed connection receives.
+    fn shed_line(&self) -> String {
+        self.error_line(
+            "",
+            Error::new(
+                ErrorCode::Overloaded,
+                format!(
+                    "server at connection capacity ({}); retry with backoff",
+                    self.config.max_connections
+                ),
+            ),
+        )
+    }
+
     /// The `stats` op payload: server, per-session engine, and store
     /// counters.
     fn stats_json(&self) -> Json {
@@ -241,8 +451,8 @@ impl Server {
             let mut store_misses = 0u64;
             let mut store_writes = 0u64;
             let mut exhausted = 0u64;
-            for session in sessions.values() {
-                let s = lock(session).stats();
+            for slot in sessions.values() {
+                let s = lock(&slot.analyzer).stats();
                 analyses += s.analyses;
                 store_hits += s.store_hits;
                 store_misses += s.store_misses;
@@ -269,47 +479,141 @@ impl Server {
                 ("lru_evicted", Json::UInt(s.lru_evicted)),
                 ("corrupt_evicted", Json::UInt(s.corrupt_evicted)),
                 ("version_evicted", Json::UInt(s.version_evicted)),
+                ("write_errors", Json::UInt(s.write_errors)),
             ])
         });
         obj([
             ("requests", Json::UInt(server.requests)),
             ("errors", Json::UInt(server.errors)),
             ("sessions", Json::UInt(server.sessions)),
+            ("connections", Json::UInt(server.connections)),
+            ("active_connections", Json::UInt(server.active_connections)),
+            ("shed_connections", Json::UInt(server.shed_connections)),
+            (
+                "timed_out_connections",
+                Json::UInt(server.timed_out_connections),
+            ),
+            ("oversized_lines", Json::UInt(server.oversized_lines)),
+            ("sessions_evicted", Json::UInt(server.sessions_evicted)),
+            ("worker_panics", Json::UInt(server.worker_panics)),
             ("engine", engine),
             ("store", store.unwrap_or(Json::Null)),
         ])
     }
 
-    /// Drives one connection: reads newline-framed requests, writes one
-    /// response line per request, returns when the peer closes or shutdown
-    /// is requested.
+    /// Drives one connection: reads newline-framed requests under the
+    /// configured deadlines, writes one response line per request, and
+    /// returns when the peer closes, a limit trips, or shutdown is
+    /// requested.
+    ///
+    /// Reads wake every 25 ms tick to re-check the shutdown latch, so
+    /// a connection observes a drain within one tick even if its peer
+    /// never sends another byte. A request already buffered when shutdown
+    /// lands is still answered; a *partial* line is abandoned.
     ///
     /// # Errors
     ///
     /// Propagates socket I/O failures (the connection is simply dropped).
-    pub fn handle_connection<R: io::Read, W: Write>(
-        &self,
-        reader: R,
-        mut writer: W,
-    ) -> io::Result<()> {
-        let reader = BufReader::new(reader);
-        for line in reader.lines() {
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
+    pub fn handle_connection<S: Transport>(&self, mut stream: S) -> io::Result<()> {
+        stream.set_read_timeout(Some(READ_TICK))?;
+        let line_window = (self.config.idle_timeout_ms > 0)
+            .then(|| Duration::from_millis(self.config.idle_timeout_ms));
+        let max_line = self.config.max_line_bytes;
+        let mut buf: Vec<u8> = Vec::new();
+        let mut deadline = line_window.map(|w| Instant::now() + w);
+        let mut chunk = [0u8; 4096];
+        loop {
+            // Serve every complete line already buffered.
+            while let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+                let line_bytes: Vec<u8> = buf.drain(..=nl).collect();
+                let line = String::from_utf8_lossy(&line_bytes[..nl]);
+                let line = line.trim();
+                // The next request's delivery window starts now.
+                deadline = line_window.map(|w| Instant::now() + w);
+                if line.is_empty() {
+                    continue;
+                }
+                let response = self.handle_line(line);
+                stream.write_all(response.as_bytes())?;
+                stream.write_all(b"\n")?;
+                stream.flush()?;
+                if self.is_shutdown() {
+                    return Ok(());
+                }
             }
-            writer.write_all(self.handle_line(&line).as_bytes())?;
-            writer.write_all(b"\n")?;
-            writer.flush()?;
-            if self.is_shutdown() {
-                break;
+            if max_line > 0 && buf.len() > max_line {
+                self.oversized.fetch_add(1, Ordering::Relaxed);
+                let response = self.error_line(
+                    "",
+                    Error::new(
+                        ErrorCode::BadRequest,
+                        format!("request line exceeds {max_line} bytes"),
+                    ),
+                );
+                self.write_best_effort(&mut stream, &response);
+                return Ok(());
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => return Ok(()),
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if self.is_shutdown() {
+                        return Ok(());
+                    }
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        self.timed_out.fetch_add(1, Ordering::Relaxed);
+                        return Ok(());
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
             }
         }
-        Ok(())
     }
 
-    /// Accept loop over TCP: one thread per connection, polling the
-    /// shutdown latch between accepts. Returns after shutdown.
+    /// Writes one response line with a short write deadline and swallows
+    /// failures — used on paths where the peer is being disconnected and
+    /// may not be reading.
+    fn write_best_effort<S: Transport>(&self, stream: &mut S, line: &str) {
+        let _ = stream.set_write_timeout(Some(BEST_EFFORT_WRITE));
+        let _ = stream.write_all(line.as_bytes());
+        let _ = stream.write_all(b"\n");
+        let _ = stream.flush();
+    }
+
+    /// Sheds one connection at the pool bound: one `overloaded` line,
+    /// best effort, then close.
+    fn shed<S: Transport>(&self, mut stream: S) {
+        self.shed_connections.fetch_add(1, Ordering::Relaxed);
+        let line = self.shed_line();
+        self.write_best_effort(&mut stream, &line);
+    }
+
+    /// Joins every finished connection thread, counting panics — a
+    /// panicking connection thread is evidence, not garbage to drop on
+    /// the floor.
+    fn reap(&self, workers: &mut Vec<thread::JoinHandle<()>>) {
+        let mut i = 0;
+        while i < workers.len() {
+            if workers[i].is_finished() {
+                if workers.swap_remove(i).join().is_err() {
+                    self.worker_panics.fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Accept loop over TCP: one thread per connection up to the pool
+    /// bound (beyond it, shed), polling the shutdown latch between
+    /// accepts. Returns once shutdown is requested and in-flight
+    /// connections have drained (or the drain deadline passed).
     ///
     /// # Errors
     ///
@@ -317,20 +621,14 @@ impl Server {
     /// that connection.
     pub fn serve_tcp(self: &Arc<Self>, listener: TcpListener) -> io::Result<()> {
         listener.set_nonblocking(true)?;
-        self.accept_loop(
-            || match listener.accept() {
-                Ok((stream, _)) => {
-                    stream.set_nonblocking(false).ok();
-                    Some(Ok(stream))
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
-                Err(e) => Some(Err(e)),
-            },
-            |server, stream: TcpStream| {
-                let reader = stream.try_clone()?;
-                server.handle_connection(reader, stream)
-            },
-        )
+        self.accept_loop(|| match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false).ok();
+                Some(Ok(stream))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+            Err(e) => Some(Err(e)),
+        })
     }
 
     /// Accept loop over a Unix socket; semantics as [`Server::serve_tcp`].
@@ -340,44 +638,55 @@ impl Server {
     /// Propagates listener setup failures.
     pub fn serve_unix(self: &Arc<Self>, listener: UnixListener) -> io::Result<()> {
         listener.set_nonblocking(true)?;
-        self.accept_loop(
-            || match listener.accept() {
-                Ok((stream, _)) => {
-                    stream.set_nonblocking(false).ok();
-                    Some(Ok(stream))
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
-                Err(e) => Some(Err(e)),
-            },
-            |server, stream: UnixStream| {
-                let reader = stream.try_clone()?;
-                server.handle_connection(reader, stream)
-            },
-        )
+        self.accept_loop(|| match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false).ok();
+                Some(Ok(stream))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+            Err(e) => Some(Err(e)),
+        })
     }
 
-    fn accept_loop<S, A, H>(self: &Arc<Self>, mut accept: A, handle: H) -> io::Result<()>
+    fn accept_loop<S, A>(self: &Arc<Self>, mut accept: A) -> io::Result<()>
     where
-        S: Send + 'static,
+        S: Transport + Send + 'static,
         A: FnMut() -> Option<io::Result<S>>,
-        H: Fn(&Server, S) -> io::Result<()> + Send + Sync + Copy + 'static,
     {
-        let mut workers = Vec::new();
+        let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
+        let tick = Duration::from_millis(self.config.accept_tick_ms.max(1));
         while !self.is_shutdown() {
             match accept() {
                 Some(Ok(stream)) => {
-                    let server = Arc::clone(self);
-                    workers.push(thread::spawn(move || {
-                        let _ = handle(&server, stream);
-                    }));
+                    let cap = self.config.max_connections;
+                    if cap > 0 && self.active.load(Ordering::Relaxed) >= cap as u64 {
+                        self.shed(stream);
+                    } else {
+                        self.connections.fetch_add(1, Ordering::Relaxed);
+                        self.active.fetch_add(1, Ordering::Relaxed);
+                        let server = Arc::clone(self);
+                        workers.push(thread::spawn(move || {
+                            let _guard = ActiveGuard(Arc::clone(&server));
+                            let _ = server.handle_connection(stream);
+                        }));
+                    }
                 }
                 Some(Err(e)) => return Err(e),
-                None => thread::sleep(Duration::from_millis(5)),
+                None => thread::sleep(tick),
             }
-            workers.retain(|w| !w.is_finished());
+            self.reap(&mut workers);
         }
-        for w in workers {
-            let _ = w.join();
+        // Drain: in-flight connections observe the latch within one read
+        // tick; join what finishes inside the deadline and abandon the
+        // rest (they exit on their own moments later — the deadline
+        // bounds *our* return, not their lifetime).
+        let deadline = Instant::now() + Duration::from_millis(self.config.drain_ms);
+        loop {
+            self.reap(&mut workers);
+            if workers.is_empty() || Instant::now() >= deadline {
+                break;
+            }
+            thread::sleep(READ_TICK);
         }
         Ok(())
     }
@@ -387,6 +696,7 @@ impl Server {
 mod tests {
     use super::*;
     use cme_core::api::CacheSpec;
+    use std::io::{BufRead, BufReader};
     use std::net::SocketAddr;
 
     fn spec() -> CacheSpec {
@@ -602,6 +912,21 @@ mod tests {
             Some(1)
         );
         assert_eq!(ok.get("store"), Some(&Json::Null));
+        // The overload counters are part of the stats surface.
+        for key in [
+            "connections",
+            "active_connections",
+            "shed_connections",
+            "timed_out_connections",
+            "oversized_lines",
+            "sessions_evicted",
+            "worker_panics",
+        ] {
+            assert!(
+                ok.get(key).and_then(Json::as_u64).is_some(),
+                "missing {key}"
+            );
+        }
 
         shutdown(&server, addr, listener);
     }
@@ -634,5 +959,56 @@ mod tests {
         }
         handle.join().unwrap();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn session_map_is_lru_capped_and_counted() {
+        let server = Server::new(ServerConfig {
+            max_sessions: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        // Three distinct geometries through a 2-session cap.
+        for size in [1024i64, 2048, 4096] {
+            let mut s = spec();
+            s.size_bytes = size;
+            let req = AnalyzeRequest::new(format!("g{size}"), mmult(4), s);
+            let resp = AnalyzeResponse::decode(&server.handle_line(&req.encode())).unwrap();
+            assert!(resp.result.is_ok());
+        }
+        let stats = server.stats();
+        assert_eq!(stats.sessions, 2);
+        assert_eq!(stats.sessions_evicted, 1);
+        // The evicted geometry still answers — a fresh session replaces it.
+        let req = AnalyzeRequest::new("again", mmult(4), spec());
+        let resp = AnalyzeResponse::decode(&server.handle_line(&req.encode())).unwrap();
+        assert!(resp.result.is_ok());
+    }
+
+    #[test]
+    fn idle_connection_cannot_stall_a_drain() {
+        // Regression for the PR 6 shutdown lag: a connected client that
+        // never sends a complete line used to block the accept loop's
+        // join forever. With shutdown-aware timed reads the listener must
+        // return within a read tick + drain slack.
+        let server = Server::new(ServerConfig {
+            drain_ms: 2_000,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let (addr, listener) = start_tcp(&server);
+        let idle = TcpStream::connect(addr).unwrap();
+        // Half a request, never terminated.
+        (&idle).write_all(b"{\"op\":\"pi").unwrap();
+        thread::sleep(Duration::from_millis(100));
+        let started = Instant::now();
+        server.request_shutdown();
+        listener.join().unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "drain took {:?}",
+            started.elapsed()
+        );
+        drop(idle);
     }
 }

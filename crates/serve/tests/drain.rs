@@ -1,0 +1,187 @@
+//! Process-level lifecycle tests against the real `cme-serve` binary:
+//! SIGTERM drains within `--drain-ms` and exits 0 even with idle
+//! connections open, the wire `shutdown` op does the same through the
+//! resilient client, and socket-file claiming refuses to steal a live
+//! server's socket while reclaiming a dead one's.
+
+mod common;
+
+use cme_serve::client::{Client, ClientConfig, Endpoint, Idempotency};
+use common::temp_dir;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn server_binary() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cme-serve"))
+}
+
+/// Reads the binary's startup line and extracts the resolved address
+/// after `listening on tcp:` / `listening on unix:`.
+fn wait_for_listening(child: &mut Child) -> (String, BufReader<std::process::ChildStdout>) {
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("startup line");
+    let addr = line
+        .rsplit_once("listening on ")
+        .unwrap_or_else(|| panic!("unexpected startup line: {line}"))
+        .1
+        .trim()
+        .split_once(':')
+        .expect("scheme:addr")
+        .1
+        .to_string();
+    (addr, reader)
+}
+
+fn terminate(child: &Child) {
+    let status = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(status.success(), "kill -TERM failed");
+}
+
+/// Polls the child for exit within `deadline`, returning its status.
+fn wait_with_deadline(child: &mut Child, deadline: Duration) -> std::process::ExitStatus {
+    let start = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        if start.elapsed() > deadline {
+            child.kill().ok();
+            panic!("server did not exit within {deadline:?}");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn sigterm_drains_within_deadline_and_exits_clean() {
+    let mut child = server_binary()
+        .args(["--tcp", "127.0.0.1:0", "--drain-ms", "2000"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn cme-serve");
+    let (addr, mut stdout) = wait_for_listening(&mut child);
+
+    // One served request proves the server is live; one idle connection
+    // with half a request on the wire is exactly the peer that used to
+    // stall the drain forever.
+    let mut live = TcpStream::connect(&addr).expect("connect");
+    live.write_all(b"{\"op\":\"ping\",\"id\":\"pre\"}\n")
+        .expect("ping");
+    let mut pong = String::new();
+    BufReader::new(live.try_clone().expect("clone"))
+        .read_line(&mut pong)
+        .expect("pong");
+    assert!(pong.contains("pong"));
+    let mut idle = TcpStream::connect(&addr).expect("idle connect");
+    idle.write_all(b"{\"op\":\"pi").expect("half request");
+    idle.flush().expect("flush");
+
+    let signaled = Instant::now();
+    terminate(&child);
+    let status = wait_with_deadline(&mut child, Duration::from_secs(5));
+    let drained_in = signaled.elapsed();
+    assert!(status.success(), "exit status {status:?}");
+    assert!(
+        drained_in < Duration::from_millis(3500),
+        "drain took {drained_in:?} against a 2000 ms deadline"
+    );
+    let mut tail = String::new();
+    std::io::Read::read_to_string(&mut stdout, &mut tail).expect("stdout tail");
+    assert!(
+        tail.contains("drained and shut down"),
+        "missing drain epilogue in: {tail}"
+    );
+    drop((live, idle));
+}
+
+#[test]
+fn wire_shutdown_through_the_resilient_client_exits_clean() {
+    let dir = temp_dir("wire-shutdown");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let sock = dir.join("serve.sock");
+    let mut child = server_binary()
+        .args([
+            "--unix",
+            sock.to_str().expect("utf8 path"),
+            "--drain-ms",
+            "2000",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn cme-serve");
+    // Keep the pipe open: dropping the reader would turn the server's
+    // shutdown epilogue print into a broken pipe.
+    let (_addr, _stdout) = wait_for_listening(&mut child);
+
+    let mut client = Client::new(ClientConfig::new(Endpoint::Unix(sock.clone())));
+    let response = client
+        .exchange(r#"{"op":"ping","id":"p"}"#, Idempotency::Idempotent)
+        .expect("ping");
+    assert!(response.contains("pong"));
+    let response = client
+        .exchange(r#"{"op":"shutdown","id":"s"}"#, Idempotency::NonIdempotent)
+        .expect("shutdown");
+    assert!(response.contains("shutdown"));
+
+    let status = wait_with_deadline(&mut child, Duration::from_secs(5));
+    assert!(status.success(), "exit status {status:?}");
+    assert!(!sock.exists(), "socket file must be removed on exit");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn live_socket_is_never_stolen_and_stale_socket_is_reclaimed() {
+    let dir = temp_dir("socket-claim");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let sock = dir.join("serve.sock");
+
+    // A live server owns the socket: a second instance must refuse.
+    let mut first = server_binary()
+        .args(["--unix", sock.to_str().expect("utf8 path")])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn first");
+    let (_addr1, _stdout1) = wait_for_listening(&mut first);
+    let second = server_binary()
+        .args(["--unix", sock.to_str().expect("utf8 path")])
+        .output()
+        .expect("run second");
+    assert_eq!(
+        second.status.code(),
+        Some(31),
+        "second instance must refuse"
+    );
+    assert!(
+        String::from_utf8_lossy(&second.stderr).contains("refusing to start"),
+        "stderr: {}",
+        String::from_utf8_lossy(&second.stderr)
+    );
+    // Refusing did not disturb the live server.
+    let mut client = Client::new(ClientConfig::new(Endpoint::Unix(sock.clone())));
+    assert!(client
+        .exchange(r#"{"op":"ping","id":"alive"}"#, Idempotency::Idempotent)
+        .expect("live server still answers")
+        .contains("pong"));
+    terminate(&first);
+    assert!(wait_with_deadline(&mut first, Duration::from_secs(5)).success());
+
+    // A dead server's leftover socket file is stale: reclaimed silently.
+    drop(std::os::unix::net::UnixListener::bind(&sock).expect("plant stale socket"));
+    assert!(sock.exists(), "stale socket file present");
+    let mut third = server_binary()
+        .args(["--unix", sock.to_str().expect("utf8 path")])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn third");
+    let (_addr3, _stdout3) = wait_for_listening(&mut third);
+    terminate(&third);
+    assert!(wait_with_deadline(&mut third, Duration::from_secs(5)).success());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -81,6 +81,7 @@ fn error_codes_and_exit_codes_are_frozen() {
         ("overflow", 21),
         ("store", 30),
         ("io", 31),
+        ("overloaded", 32),
         ("mismatch", 40),
         ("internal", 50),
     ];
