@@ -10,6 +10,7 @@
 //! cmetool equations <kernel> [...]        print the symbolic CME system
 //! cmetool export    <kernel> [...]        dineroIII-format trace to stdout
 //! cmetool client    <kernel> [...]        send the query to a cme-serve instance
+//! cmetool sweep     [kernels] [...]       miss-rate tables over a geometry grid
 //! cmetool kernels                         list known kernels
 //! ```
 //!
@@ -25,6 +26,16 @@
 //! times, memo hit/miss counters) after the result. `--store DIR` attaches
 //! the persistent artifact store, so repeated invocations answer from disk.
 //!
+//! `sweep` replaces the old `assoc_sweep` bin: it evaluates the grid
+//! size × ways × line × policy (comma-separated `--sizes/--ways/--lines/
+//! --policies` lists; ways accepts `full`, policies are `lru|fifo|plru`)
+//! over the named kernels (default: the Table-1 suite at `--n`, default
+//! 48), running every kernel of a cell through `analyze_batch` on one
+//! shared session and the model simulator for exact counts. `--format
+//! table|json|csv` picks the rendering (default `table`, matching the
+//! old bin's columns); JSON is one key-sorted object per line, the same
+//! framing the wire API uses.
+//!
 //! `client` speaks the `cme-serve` line protocol (`docs/SERVE.md`) over
 //! `--connect HOST:PORT` or `--unix PATH`. It sends one request built from
 //! the same kernel/cache/budget flags as `analyze` (or a control op via
@@ -37,8 +48,11 @@
 //! N`, `--connect-timeout-ms MS`, `--read-timeout-ms MS`. `--op shutdown`
 //! is never resent once delivered.
 
-use cme_bench::{resolve_kernel, BenchArgs};
-use cme_cache::{export_din, simulate_nest};
+use cme_bench::{
+    render_csv, render_json, render_table, resolve_kernel, run_sweep, BenchArgs, SweepGrid,
+    WaysPoint,
+};
+use cme_cache::{export_din, simulate_nest, PolicyKind};
 use cme_core::api::{AnalyzeRequest, AnalyzeResponse, CacheSpec, ErrorCode};
 use cme_core::{
     compare_with_simulation, AnalysisOptions, Analyzer, ArtifactStore, Budget, CmeSystem,
@@ -53,7 +67,7 @@ use std::time::Duration;
 fn main() {
     let args = BenchArgs::from_env();
     let Some(command) = args.positional(0) else {
-        eprintln!("usage: cmetool <analyze|simulate|compare|diagnose|pad|equations|export|kernels> [kernel] [--n N] [--size B] [--assoc K] [--line B] [--stats]");
+        eprintln!("usage: cmetool <analyze|simulate|compare|diagnose|pad|equations|export|sweep|kernels> [kernel] [--n N] [--size B] [--assoc K] [--line B] [--stats]");
         std::process::exit(2);
     };
     if command == "kernels" {
@@ -64,6 +78,10 @@ fn main() {
     }
     if command == "client" {
         run_client(&args);
+        return;
+    }
+    if command == "sweep" {
+        run_sweep_cmd(&args);
         return;
     }
     let kernel = args.positional(1).unwrap_or("mmult");
@@ -184,6 +202,67 @@ fn main() {
             std::process::exit(2);
         }
     }
+}
+
+/// The `sweep` subcommand: parse the grid axes, run every kernel of
+/// each cell through one shared batch session, and render the miss-rate
+/// table in the requested format.
+fn run_sweep_cmd(args: &BenchArgs) {
+    fn axis<T>(
+        args: &BenchArgs,
+        key: &str,
+        parse: impl Fn(&str) -> Option<T>,
+        default: Vec<T>,
+    ) -> Vec<T> {
+        let Some(raw) = args.value_str(key) else {
+            return default;
+        };
+        let points: Vec<T> = raw.split(',').filter_map(|t| parse(t.trim())).collect();
+        if points.is_empty() || points.len() != raw.split(',').count() {
+            eprintln!("bad {key} list `{raw}`");
+            std::process::exit(2);
+        }
+        points
+    }
+
+    let n = args.n(48);
+    let nests: Vec<_> = match args.positional(1) {
+        Some(list) if !list.starts_with("--") => list
+            .split(',')
+            .map(|name| resolve_kernel(name.trim(), n))
+            .collect(),
+        _ => cme_kernels::table1_suite(n),
+    };
+    let defaults = SweepGrid::default_grid();
+    let grid = SweepGrid {
+        sizes: axis(args, "--sizes", |t| t.parse().ok(), defaults.sizes),
+        ways: axis(args, "--ways", WaysPoint::parse, defaults.ways),
+        lines: axis(args, "--lines", |t| t.parse().ok(), defaults.lines),
+        policies: axis(args, "--policies", PolicyKind::parse, defaults.policies),
+        elem: args.value_or("--elem", defaults.elem),
+    };
+    let rows = run_sweep(&nests, &grid).unwrap_or_else(|e| {
+        eprintln!("sweep failed: {e}");
+        std::process::exit(1);
+    });
+    let format = args.value_str("--format").unwrap_or("table");
+    let rendered = match format {
+        "table" => {
+            let header = format!(
+                "# Geometry sweep: {} kernels × {} cells, N = {n}\n",
+                nests.len(),
+                grid.cells()
+            );
+            format!("{header}{}", render_table(&rows))
+        }
+        "json" => render_json(&rows),
+        "csv" => render_csv(&rows),
+        other => {
+            eprintln!("unknown --format `{other}` (table|json|csv)");
+            std::process::exit(2);
+        }
+    };
+    print!("{rendered}");
 }
 
 /// The `client` subcommand: build the request line, ship it to a

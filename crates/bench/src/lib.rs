@@ -6,4 +6,6 @@
 #![deny(missing_docs)]
 
 pub mod harness;
+pub mod sweep;
 pub use harness::*;
+pub use sweep::{render_csv, render_json, render_table, run_sweep, SweepGrid, SweepRow, WaysPoint};

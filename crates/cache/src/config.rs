@@ -226,6 +226,13 @@ impl CacheConfig {
         modulo(self.memory_line(addr_elems), self.num_sets)
     }
 
+    /// The cache set a memory *line* maps to — `line mod Ns`, the second
+    /// half of Equation 1 when the line is already known (inclusion
+    /// back-invalidation works in line units).
+    pub fn set_of_line(&self, line: i64) -> i64 {
+        modulo(line, self.num_sets)
+    }
+
     /// The offset of an address within its memory line —
     /// `L_off = Mem mod Ls`, which bounds the `b` range of Equation 4.
     pub fn line_offset(&self, addr_elems: i64) -> i64 {

@@ -1,11 +1,14 @@
-//! Trace-driven set-associative LRU simulation.
+//! Trace-driven set-associative cache simulation.
 //!
-//! This is the DineroIII stand-in used as ground truth: a write-allocate,
-//! fetch-on-write cache with true LRU replacement per set (Section 2.3 of
-//! the paper). Reads and writes are modelled identically, so the simulator
-//! takes bare element addresses.
+//! This is the DineroIII stand-in used as ground truth. By default it is
+//! the paper's Section 2.3 machine — a write-allocate, fetch-on-write cache
+//! with true LRU replacement per set — but the replacement policy
+//! ([`PolicyKind`]) and store handling ([`WritePolicy`]) are pluggable via
+//! [`Simulator::with_policy`]. Reads and writes hit and miss identically
+//! under the default model, so the simulator takes bare element addresses.
 
 use crate::config::CacheConfig;
+use crate::policy::{PolicyKind, ReplacementPolicy, WritePolicy};
 use std::collections::HashSet;
 
 /// The result of one memory access.
@@ -15,8 +18,8 @@ pub enum AccessOutcome {
     Hit,
     /// First-ever touch of the memory line (compulsory miss).
     ColdMiss,
-    /// The line had been resident but was evicted (conflict or capacity
-    /// miss — the paper's replacement misses).
+    /// The line had been touched before but was not resident (conflict or
+    /// capacity miss — the paper's replacement misses).
     ReplacementMiss,
 }
 
@@ -27,7 +30,17 @@ impl AccessOutcome {
     }
 }
 
-/// A set-associative LRU cache simulator.
+/// A line displaced by an access — reported so an outer cache level can
+/// absorb the write-back and maintain inclusion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// The evicted memory line.
+    pub line: i64,
+    /// Whether the evicted copy was dirty (write-back policy only).
+    pub dirty: bool,
+}
+
+/// A set-associative cache simulator.
 ///
 /// # Examples
 ///
@@ -45,10 +58,14 @@ impl AccessOutcome {
 #[derive(Debug, Clone)]
 pub struct Simulator {
     config: CacheConfig,
-    /// Per-set resident memory lines, most recently used first, with a
-    /// dirty bit per line (for write-back accounting).
-    sets: Vec<Vec<(i64, bool)>>,
-    /// Every memory line ever brought in (for cold-miss classification).
+    policy_kind: PolicyKind,
+    write_policy: WritePolicy,
+    /// Per-set way slots: the resident memory line and its dirty bit.
+    /// `None` marks an empty (or back-invalidated) way.
+    slots: Vec<Vec<Option<(i64, bool)>>>,
+    /// The victim-selection state machine (recency metadata only).
+    policy: Box<dyn ReplacementPolicy>,
+    /// Every memory line ever touched (for cold-miss classification).
     seen: HashSet<i64>,
     accesses: u64,
     hits: u64,
@@ -58,11 +75,22 @@ pub struct Simulator {
 }
 
 impl Simulator {
-    /// Creates an empty (fully cold) cache.
+    /// Creates an empty (fully cold) cache with the paper's default model:
+    /// true-LRU replacement, write-back/write-allocate stores.
     pub fn new(config: CacheConfig) -> Self {
+        Simulator::with_policy(config, PolicyKind::Lru, WritePolicy::WriteBack)
+    }
+
+    /// Creates an empty cache with explicit replacement and write policies.
+    pub fn with_policy(config: CacheConfig, policy: PolicyKind, write: WritePolicy) -> Self {
+        let num_sets = config.num_sets() as usize;
+        let ways = config.assoc() as usize;
         Simulator {
             config,
-            sets: vec![Vec::with_capacity(config.assoc() as usize); config.num_sets() as usize],
+            policy_kind: policy,
+            write_policy: write,
+            slots: vec![vec![None; ways]; num_sets],
+            policy: policy.build(num_sets, ways),
             seen: HashSet::new(),
             accesses: 0,
             hits: 0,
@@ -77,47 +105,137 @@ impl Simulator {
         &self.config
     }
 
+    /// The replacement policy in effect.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.policy_kind
+    }
+
+    /// The write policy in effect.
+    pub fn write_policy(&self) -> WritePolicy {
+        self.write_policy
+    }
+
     /// Performs one read access to an element address.
     pub fn access(&mut self, addr_elems: i64) -> AccessOutcome {
         self.access_kind(addr_elems, false)
     }
 
-    /// Performs one write access (identical hit/miss behavior under the
-    /// paper's write-allocate fetch-on-write model; additionally marks the
-    /// line dirty so write-back traffic can be reported).
+    /// Performs one write access. Under the default write-back /
+    /// write-allocate model, hit/miss behavior is identical to a read and
+    /// the line is additionally marked dirty; under write-through /
+    /// no-allocate, the store is counted as memory write traffic and a
+    /// store miss does not install the line.
     pub fn write(&mut self, addr_elems: i64) -> AccessOutcome {
         self.access_kind(addr_elems, true)
     }
 
     fn access_kind(&mut self, addr_elems: i64, is_write: bool) -> AccessOutcome {
+        self.access_traced(addr_elems, is_write).0
+    }
+
+    /// Performs one access and additionally reports the line it displaced,
+    /// if any — the hook a multi-level [`Hierarchy`](crate::Hierarchy)
+    /// uses to absorb write-backs and maintain inclusion.
+    pub fn access_traced(
+        &mut self,
+        addr_elems: i64,
+        is_write: bool,
+    ) -> (AccessOutcome, Option<Eviction>) {
         self.accesses += 1;
         let line = self.config.memory_line(addr_elems);
         let set = self.config.cache_set(addr_elems) as usize;
-        let ways = &mut self.sets[set];
-        if let Some(pos) = ways.iter().position(|&(l, _)| l == line) {
-            // Hit: move to MRU position.
-            ways[..=pos].rotate_right(1);
-            ways[0].1 |= is_write;
-            self.hits += 1;
-            return AccessOutcome::Hit;
-        }
-        // Miss: allocate (write-allocate / fetch-on-write treat all accesses
-        // alike), evicting LRU if the set is full.
-        if ways.len() == self.config.assoc() as usize {
-            if let Some((_, dirty)) = ways.pop() {
-                if dirty {
-                    self.writebacks += 1;
+        if let Some(way) = self.slots[set]
+            .iter()
+            .position(|s| s.map(|(l, _)| l) == Some(line))
+        {
+            self.policy.touch(set, way);
+            if is_write {
+                match self.write_policy {
+                    WritePolicy::WriteBack => {
+                        if let Some(slot) = self.slots[set][way].as_mut() {
+                            slot.1 = true;
+                        }
+                    }
+                    WritePolicy::WriteThrough => self.writebacks += 1,
                 }
             }
+            self.hits += 1;
+            return (AccessOutcome::Hit, None);
         }
-        ways.insert(0, (line, is_write));
-        if self.seen.insert(line) {
+        // Miss. Cold vs replacement is a property of the reference stream
+        // (first-ever touch of the line), not of the allocation decision,
+        // so a non-allocating store miss still consumes the line's cold
+        // classification.
+        let outcome = if self.seen.insert(line) {
             self.cold += 1;
             AccessOutcome::ColdMiss
         } else {
             self.replacement += 1;
             AccessOutcome::ReplacementMiss
+        };
+        if is_write && self.write_policy == WritePolicy::WriteThrough {
+            self.writebacks += 1;
+            // No-allocate: the store goes straight through to memory.
+            return (outcome, None);
         }
+        let mut evicted = None;
+        let way = match self.slots[set].iter().position(|s| s.is_none()) {
+            Some(empty) => empty,
+            None => {
+                let victim = self.policy.victim(set);
+                if let Some((old, dirty)) = self.slots[set][victim].take() {
+                    if dirty {
+                        self.writebacks += 1;
+                    }
+                    evicted = Some(Eviction { line: old, dirty });
+                }
+                victim
+            }
+        };
+        let dirty = is_write && self.write_policy == WritePolicy::WriteBack;
+        self.slots[set][way] = Some((line, dirty));
+        self.policy.fill(set, way);
+        (outcome, evicted)
+    }
+
+    /// Removes `line` from the cache if resident — the inclusion
+    /// back-invalidation an outer level issues when it evicts the line.
+    /// Returns the dropped copy's dirty bit, or `None` if the line was not
+    /// resident. No statistics are touched; the caller owns the accounting
+    /// for the displaced data.
+    pub fn invalidate_line(&mut self, line: i64) -> Option<bool> {
+        let set = self.config.set_of_line(line) as usize;
+        let slot = self.slots[set]
+            .iter_mut()
+            .find(|s| s.map(|(l, _)| l) == Some(line))?;
+        slot.take().map(|(_, dirty)| dirty)
+    }
+
+    /// Marks `line` dirty if resident (a dirty eviction arriving from an
+    /// inner cache level). Returns whether the line was resident.
+    pub fn mark_dirty_line(&mut self, line: i64) -> bool {
+        let set = self.config.set_of_line(line) as usize;
+        match self.slots[set]
+            .iter_mut()
+            .find(|s| s.map(|(l, _)| l) == Some(line))
+        {
+            Some(slot) => {
+                if let Some(s) = slot.as_mut() {
+                    s.1 = true;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The memory lines currently resident, in no particular order.
+    pub fn resident_lines(&self) -> Vec<i64> {
+        self.slots
+            .iter()
+            .flatten()
+            .filter_map(|s| s.map(|(l, _)| l))
+            .collect()
     }
 
     /// Empties the cache (and the cold-line history).
@@ -125,9 +243,12 @@ impl Simulator {
     /// The paper analyzes each nest in isolation assuming a cold cache
     /// (Section 3.1); call this between nests to match.
     pub fn flush(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
+        for set in &mut self.slots {
+            for slot in set.iter_mut() {
+                *slot = None;
+            }
         }
+        self.policy.reset();
         self.seen.clear();
     }
 
@@ -156,9 +277,10 @@ impl Simulator {
         self.cold + self.replacement
     }
 
-    /// Number of dirty lines written back to memory on eviction (lines
-    /// still dirty in the cache at the end are not counted; call
-    /// [`Simulator::drain_dirty`] to flush them).
+    /// Write traffic to the next memory level: dirty lines written back on
+    /// eviction under write-back (lines still dirty in the cache at the
+    /// end are not counted; call [`Simulator::drain_dirty`] to flush
+    /// them), or every store under write-through.
     pub fn writebacks(&self) -> u64 {
         self.writebacks
     }
@@ -166,13 +288,28 @@ impl Simulator {
     /// Flushes every resident dirty line, counting the final write-backs;
     /// the cache contents stay resident (clean).
     pub fn drain_dirty(&mut self) {
-        for set in &mut self.sets {
-            for (_, dirty) in set.iter_mut() {
-                if std::mem::take(dirty) {
+        for set in &mut self.slots {
+            for slot in set.iter_mut().flatten() {
+                if std::mem::take(&mut slot.1) {
                     self.writebacks += 1;
                 }
             }
         }
+    }
+
+    /// Clears every dirty bit *without* counting write-backs and returns
+    /// the lines that were dirty — a hierarchy folds them into the next
+    /// level instead of sending them to memory.
+    pub fn take_dirty_lines(&mut self) -> Vec<i64> {
+        let mut lines = Vec::new();
+        for set in &mut self.slots {
+            for slot in set.iter_mut().flatten() {
+                if std::mem::take(&mut slot.1) {
+                    lines.push(slot.0);
+                }
+            }
+        }
+        lines
     }
 }
 
@@ -238,6 +375,85 @@ mod tests {
     }
 
     #[test]
+    fn fifo_ignores_recency() {
+        // Same trace as `lru_order_is_true_lru`, FIFO policy: re-touching
+        // line A does not refresh it, so C evicts A (the oldest), not B.
+        let cfg = CacheConfig::new(128, 2, 16, 4).unwrap();
+        let mut sim = Simulator::with_policy(cfg, PolicyKind::Fifo, WritePolicy::WriteBack);
+        sim.access(0); // A
+        sim.access(16); // B
+        sim.access(0); // A hit — no-op for FIFO order
+        sim.access(32); // C evicts A
+        assert_eq!(sim.access(16), AccessOutcome::Hit);
+        assert_eq!(sim.access(0), AccessOutcome::ReplacementMiss);
+    }
+
+    #[test]
+    fn plru_matches_lru_at_two_ways() {
+        // Tree-PLRU over two ways is exactly LRU: replay a pseudo-random
+        // conflict trace under both policies and compare counters.
+        let cfg = CacheConfig::new(128, 2, 16, 4).unwrap();
+        let mut lru = Simulator::new(cfg);
+        let mut plru = Simulator::with_policy(cfg, PolicyKind::Plru, WritePolicy::WriteBack);
+        let mut x = 12345u64;
+        for _ in 0..500 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let addr = ((x >> 33) % 6) as i64 * 16; // 6 lines over 4 sets
+            assert_eq!(lru.access(addr), plru.access(addr));
+        }
+        assert_eq!(lru.misses(), plru.misses());
+    }
+
+    #[test]
+    fn write_through_stores_count_traffic_and_do_not_allocate() {
+        let cfg = CacheConfig::new(64, 1, 16, 4).unwrap();
+        let mut sim = Simulator::with_policy(cfg, PolicyKind::Lru, WritePolicy::WriteThrough);
+        // Store miss: goes to memory, does not install the line.
+        assert_eq!(sim.write(0), AccessOutcome::ColdMiss);
+        assert_eq!(sim.writebacks(), 1);
+        assert!(sim.resident_lines().is_empty());
+        // A second store miss to the same never-resident line is a
+        // replacement miss by the first-touch classification.
+        assert_eq!(sim.write(0), AccessOutcome::ReplacementMiss);
+        // Read installs it; a store hit writes through without dirtying.
+        assert_eq!(sim.access(0), AccessOutcome::ReplacementMiss);
+        assert_eq!(sim.write(0), AccessOutcome::Hit);
+        assert_eq!(sim.writebacks(), 3);
+        sim.drain_dirty();
+        assert_eq!(sim.writebacks(), 3, "write-through lines are never dirty");
+    }
+
+    #[test]
+    fn eviction_reporting_and_back_invalidation() {
+        let cfg = CacheConfig::new(64, 1, 16, 4).unwrap(); // 4 sets
+        let mut sim = Simulator::new(cfg);
+        assert_eq!(sim.write(0), AccessOutcome::ColdMiss);
+        let (outcome, evicted) = sim.access_traced(16, false); // conflicts with line 0
+        assert_eq!(outcome, AccessOutcome::ColdMiss);
+        assert_eq!(
+            evicted,
+            Some(Eviction {
+                line: 0,
+                dirty: true
+            })
+        );
+        assert_eq!(sim.writebacks(), 1);
+        // Back-invalidate the resident line; it must be gone afterwards.
+        assert_eq!(sim.invalidate_line(4), Some(false));
+        assert_eq!(sim.invalidate_line(4), None);
+        assert!(sim.resident_lines().is_empty());
+        // mark_dirty_line on a resident line makes drain count it.
+        sim.access(0);
+        assert!(sim.mark_dirty_line(0));
+        assert!(!sim.mark_dirty_line(99));
+        assert_eq!(sim.take_dirty_lines(), vec![0]);
+        sim.drain_dirty();
+        assert_eq!(sim.writebacks(), 1, "taken lines are not double counted");
+    }
+
+    #[test]
     fn negative_addresses_are_legal() {
         let mut sim = Simulator::new(cfg(64, 1, 16));
         assert_eq!(sim.access(-1), AccessOutcome::ColdMiss);
@@ -279,14 +495,17 @@ mod tests {
 
     proptest! {
         /// Invariant: cold misses equal the number of distinct lines touched,
-        /// and outcome counts always sum to accesses.
+        /// and outcome counts always sum to accesses — under every policy.
         #[test]
         fn prop_cold_misses_equal_distinct_lines(
             addrs in proptest::collection::vec(0i64..512, 1..200),
             assoc in prop_oneof![Just(1i64), Just(2), Just(4)],
+            policy in prop_oneof![
+                Just(PolicyKind::Lru), Just(PolicyKind::Fifo), Just(PolicyKind::Plru)
+            ],
         ) {
             let cfg = CacheConfig::new(256, assoc, 16, 4).unwrap();
-            let mut sim = Simulator::new(cfg);
+            let mut sim = Simulator::with_policy(cfg, policy, WritePolicy::WriteBack);
             let mut distinct = std::collections::HashSet::new();
             for &a in &addrs {
                 sim.access(a);
@@ -319,6 +538,33 @@ mod tests {
             }
             prop_assert!(s2.misses() <= s1.misses());
             prop_assert!(s4.misses() <= s2.misses());
+        }
+
+        /// Every policy behaves identically on a direct-mapped cache (there
+        /// is only one victim to pick), including write-back accounting.
+        #[test]
+        fn prop_direct_mapped_is_policy_independent(
+            addrs in proptest::collection::vec((0i64..256, proptest::bool::ANY), 1..120),
+        ) {
+            let cfg = CacheConfig::new(128, 1, 16, 4).unwrap();
+            let mut sims: Vec<Simulator> = PolicyKind::ALL
+                .iter()
+                .map(|&p| Simulator::with_policy(cfg, p, WritePolicy::WriteBack))
+                .collect();
+            for &(a, w) in &addrs {
+                let outcomes: Vec<AccessOutcome> = sims
+                    .iter_mut()
+                    .map(|s| if w { s.write(a) } else { s.access(a) })
+                    .collect();
+                prop_assert!(outcomes.windows(2).all(|o| o[0] == o[1]));
+            }
+            for s in &mut sims {
+                s.drain_dirty();
+            }
+            let agree = sims.windows(2).all(|s| {
+                s[0].writebacks() == s[1].writebacks() && s[0].misses() == s[1].misses()
+            });
+            prop_assert!(agree);
         }
     }
 }

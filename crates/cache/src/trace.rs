@@ -6,6 +6,7 @@
 //! assumes.
 
 use crate::config::CacheConfig;
+use crate::model::{CacheModel, ModelSimulator};
 use crate::sim::Simulator;
 use crate::stats::MissStats;
 use cme_ir::{LoopNest, RefId};
@@ -117,6 +118,105 @@ fn run_nest(sim: &mut Simulator, nest: &LoopNest) -> NestSimResult {
         per_ref,
         writebacks: sim.writebacks() - wb_before,
     }
+}
+
+/// Per-reference simulation results for one nest under an arbitrary
+/// [`CacheModel`]. Outcomes are classified at L1 (the level the analytic
+/// equations describe); `writebacks` is the write traffic that reached
+/// memory, and `l2_misses` is present for two-level models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSimResult {
+    /// Nest name (copied for reporting).
+    pub nest_name: String,
+    /// One entry per reference, in statement order, classified at L1.
+    pub per_ref: Vec<MissStats>,
+    /// Write traffic that reached memory (dirty evictions + end-of-run
+    /// drain under write-back; every store under write-through).
+    pub writebacks: u64,
+    /// Total L2 misses for two-level models; `None` for single-level.
+    pub l2_misses: Option<u64>,
+}
+
+impl ModelSimResult {
+    /// Aggregate statistics over all references.
+    pub fn total(&self) -> MissStats {
+        self.per_ref.iter().copied().sum()
+    }
+}
+
+/// Replays every access of `nest` (from a cold state) through the
+/// simulator a [`CacheModel`] describes — any replacement/write policy,
+/// one or two levels — and returns per-reference L1 statistics plus the
+/// model's memory write traffic.
+///
+/// For the baseline model this agrees exactly with [`simulate_nest`]
+/// (same counts, same write-backs); it is the ground-truth driver for the
+/// engine's simulator-backed classify path and diffcheck's bound-semantics
+/// verdicts.
+pub fn simulate_nest_model(nest: &LoopNest, model: &CacheModel) -> ModelSimResult {
+    match simulate_nest_model_governed(nest, model, |_| true) {
+        Some(result) => result,
+        None => unreachable!("an always-live check never aborts the replay"),
+    }
+}
+
+/// How many accesses [`simulate_nest_model_governed`] replays between two
+/// `keep_going` checks. Coarse enough that the check (typically a governor
+/// checkpoint sampling a clock) stays off the per-access path.
+pub const GOVERNED_SIM_CHECK_INTERVAL: u64 = 4096;
+
+/// [`simulate_nest_model`] with a cooperative abort hook: `keep_going` is
+/// called with the running access count every
+/// [`GOVERNED_SIM_CHECK_INTERVAL`] accesses, and a `false` return abandons
+/// the replay (returning `None` — a partial trace classifies nothing
+/// soundly, so no partial counts are exposed). This is what lets the
+/// engine's simulator-backed classify path charge simulation steps against
+/// a query budget and degrade to the analytic bound instead of blowing the
+/// deadline on a huge iteration space.
+pub fn simulate_nest_model_governed(
+    nest: &LoopNest,
+    model: &CacheModel,
+    mut keep_going: impl FnMut(u64) -> bool,
+) -> Option<ModelSimResult> {
+    let mut sim = ModelSimulator::new(model);
+    let nrefs = nest.references().len();
+    let mut per_ref = vec![MissStats::default(); nrefs];
+    let addr_fns: Vec<_> = nest
+        .references()
+        .iter()
+        .map(|r| (nest.address_affine(r.id()), r.kind()))
+        .collect();
+    let mut space = nest.space();
+    let mut done: u64 = 0;
+    let mut next_check = GOVERNED_SIM_CHECK_INTERVAL;
+    while let Some(p) = space.next_point() {
+        for (rid, (af, kind)) in addr_fns.iter().enumerate() {
+            let addr = af.eval(&p);
+            let is_write = matches!(kind, cme_ir::AccessKind::Write);
+            let outcome = sim.access_kind(addr, is_write);
+            let s = &mut per_ref[rid];
+            s.accesses += 1;
+            match outcome {
+                crate::sim::AccessOutcome::Hit => s.hits += 1,
+                crate::sim::AccessOutcome::ColdMiss => s.cold += 1,
+                crate::sim::AccessOutcome::ReplacementMiss => s.replacement += 1,
+            }
+        }
+        done += nrefs as u64;
+        if done >= next_check {
+            if !keep_going(done) {
+                return None;
+            }
+            next_check = done + GOVERNED_SIM_CHECK_INTERVAL;
+        }
+    }
+    sim.drain_dirty();
+    Some(ModelSimResult {
+        nest_name: nest.name().to_string(),
+        per_ref,
+        writebacks: sim.writebacks(),
+        l2_misses: sim.l2_misses(),
+    })
 }
 
 /// Replays every access of `nest` (from a cold cache) and calls
@@ -447,6 +547,46 @@ mod tests {
         assert_eq!(replayed, plain);
         assert_eq!(visited, plain.total().accesses);
         assert_eq!(misses, plain.total().misses());
+    }
+
+    #[test]
+    fn model_simulation_matches_baseline_and_diverges_for_fifo() {
+        use crate::model::CacheModel;
+        use crate::policy::PolicyKind;
+        // A conflict-heavy nest on a tiny 2-way cache.
+        let cfg = CacheConfig::new(128, 2, 16, 4).unwrap();
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 1, 8).ct_loop("j", 1, 16);
+        let a = b.array("A", &[16], 0);
+        let c = b.array("C", &[16], 32);
+        b.reference(a, AccessKind::Read, &[("j", 0)]);
+        b.reference(c, AccessKind::Write, &[("j", 0)]);
+        let nest = b.build().unwrap();
+        let plain = simulate_nest(&nest, cfg);
+        let baseline = simulate_nest_model(&nest, &CacheModel::new(cfg));
+        assert_eq!(baseline.per_ref, plain.per_ref);
+        assert_eq!(baseline.writebacks, plain.writebacks);
+        assert_eq!(baseline.l2_misses, None);
+        // FIFO on the same nest must still sum consistently, and total
+        // misses may differ from LRU (that is the point of the model).
+        let fifo = simulate_nest_model(&nest, &CacheModel::new(cfg).policy(PolicyKind::Fifo));
+        let t = fifo.total();
+        assert_eq!(t.accesses, plain.total().accesses);
+        assert_eq!(t.hits + t.cold + t.replacement, t.accesses);
+    }
+
+    #[test]
+    fn two_level_model_simulation_reports_both_levels() {
+        use crate::model::CacheModel;
+        let l1 = CacheConfig::new(128, 1, 16, 4).unwrap();
+        let l2 = CacheConfig::new(2048, 2, 16, 4).unwrap();
+        let model = CacheModel::new(l1).with_l2(l2).unwrap();
+        let nest = unit_stride_nest(256, 0);
+        let res = simulate_nest_model(&nest, &model);
+        // Sequential sweep: every L1 miss is cold, and L2 sees the same
+        // cold stream.
+        assert_eq!(res.total().cold, 64);
+        assert_eq!(res.l2_misses, Some(64));
     }
 
     #[test]

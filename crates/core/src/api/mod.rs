@@ -21,7 +21,7 @@ pub mod json;
 use crate::engine::Analyzer;
 use crate::governor::{AnalysisError, Budget, GovernedAnalysis, Outcome};
 use crate::solve::{AnalysisOptions, InvalidOptions, NestAnalysis};
-use cme_cache::{CacheConfig, CacheConfigError};
+use cme_cache::{CacheConfig, CacheConfigError, CacheModel, PolicyKind, WritePolicy};
 use cme_ir::parse::{parse_nest, to_source, ParseNestError};
 use cme_ir::LoopNest;
 use json::{obj, Json, JsonError};
@@ -208,8 +208,25 @@ impl From<crate::store::StoreError> for Error {
     }
 }
 
-/// Cache geometry as it travels on the wire: the four byte-denominated
-/// hardware parameters of [`CacheConfig::new`].
+/// The second level of a two-level hierarchy as it travels on the wire.
+/// Line and element size are shared with (and taken from) the L1 spec;
+/// only capacity and associativity vary per level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L2Spec {
+    /// L2 capacity in bytes.
+    pub size_bytes: i64,
+    /// L2 associativity.
+    pub assoc: i64,
+}
+
+/// Cache model as it travels on the wire: the four byte-denominated
+/// hardware parameters of [`CacheConfig::new`] plus the optional
+/// [`CacheModel`] extensions — replacement policy, write policy, and an
+/// inclusive L2. The extensions default to the paper's Section 2.3
+/// machine (single-level true-LRU write-back) and are **omitted from the
+/// JSON encoding at those defaults**, so pre-model clients, stored
+/// request corpora, and byte-for-byte response comparisons are all
+/// untouched by their existence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheSpec {
     /// Total capacity in bytes (`Cs`).
@@ -220,20 +237,54 @@ pub struct CacheSpec {
     pub line_bytes: i64,
     /// Data element size in bytes.
     pub elem_bytes: i64,
+    /// Replacement policy (default [`PolicyKind::Lru`]).
+    pub policy: PolicyKind,
+    /// Write policy (default [`WritePolicy::WriteBack`]).
+    pub write: WritePolicy,
+    /// Optional inclusive second level (default `None`).
+    pub l2: Option<L2Spec>,
 }
 
 impl CacheSpec {
-    /// The spec of an already-validated geometry.
-    pub fn of(cfg: &CacheConfig) -> Self {
+    /// A baseline (single-level LRU write-back) spec from the four
+    /// geometry parameters.
+    pub fn new(size_bytes: i64, assoc: i64, line_bytes: i64, elem_bytes: i64) -> Self {
         CacheSpec {
-            size_bytes: cfg.size_bytes(),
-            assoc: cfg.assoc(),
-            line_bytes: cfg.line_bytes(),
-            elem_bytes: cfg.elem_bytes(),
+            size_bytes,
+            assoc,
+            line_bytes,
+            elem_bytes,
+            policy: PolicyKind::Lru,
+            write: WritePolicy::WriteBack,
+            l2: None,
         }
     }
 
-    /// Validates into a [`CacheConfig`].
+    /// The baseline spec of an already-validated geometry.
+    pub fn of(cfg: &CacheConfig) -> Self {
+        CacheSpec::new(
+            cfg.size_bytes(),
+            cfg.assoc(),
+            cfg.line_bytes(),
+            cfg.elem_bytes(),
+        )
+    }
+
+    /// The spec of an already-validated model.
+    pub fn of_model(model: &CacheModel) -> Self {
+        let mut spec = CacheSpec::of(&model.l1());
+        spec.policy = model.policy_kind();
+        spec.write = model.write_policy();
+        spec.l2 = model.l2().map(|l2| L2Spec {
+            size_bytes: l2.size_bytes(),
+            assoc: l2.assoc(),
+        });
+        spec
+    }
+
+    /// Validates the L1 geometry into a [`CacheConfig`] (policy and L2
+    /// fields are not consulted — see [`CacheSpec::model`] for the full
+    /// model).
     ///
     /// # Errors
     ///
@@ -247,22 +298,106 @@ impl CacheSpec {
         )?)
     }
 
+    /// Validates the full [`CacheModel`] — L1 geometry, policies, and the
+    /// optional L2 (which shares L1's line and element size).
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::InvalidCache`] on infeasible geometry at either level
+    /// or an inconsistent hierarchy (L2 smaller than L1).
+    pub fn model(&self) -> Result<CacheModel, Error> {
+        let l1 = self.build()?;
+        let mut model = CacheModel::new(l1).policy(self.policy).write(self.write);
+        if let Some(l2) = self.l2 {
+            let l2 = CacheConfig::new(l2.size_bytes, l2.assoc, self.line_bytes, self.elem_bytes)?;
+            model = model
+                .with_l2(l2)
+                .map_err(|e| Error::new(ErrorCode::InvalidCache, e.to_string()))?;
+        }
+        Ok(model)
+    }
+
+    /// `true` when the spec asks for the paper's baseline machine —
+    /// single-level, true-LRU, write-back — which the analytic path
+    /// answers exactly.
+    pub fn is_baseline(&self) -> bool {
+        self.policy == PolicyKind::Lru && self.write == WritePolicy::WriteBack && self.l2.is_none()
+    }
+
     fn to_json(self) -> Json {
-        obj([
+        let mut pairs = vec![
             ("size", Json::Int(self.size_bytes)),
             ("assoc", Json::Int(self.assoc)),
             ("line", Json::Int(self.line_bytes)),
             ("elem", Json::Int(self.elem_bytes)),
-        ])
+        ];
+        // Model fields ride only when non-default: the baseline encoding
+        // stays byte-identical to the pre-model wire format.
+        if self.policy != PolicyKind::Lru {
+            pairs.push(("policy", Json::Str(self.policy.as_str().into())));
+        }
+        if self.write != WritePolicy::WriteBack {
+            pairs.push(("write", Json::Str(self.write.as_str().into())));
+        }
+        if let Some(l2) = self.l2 {
+            pairs.push((
+                "l2",
+                obj([
+                    ("size", Json::Int(l2.size_bytes)),
+                    ("assoc", Json::Int(l2.assoc)),
+                ]),
+            ));
+        }
+        obj(pairs)
     }
 
     fn from_json(v: &Json) -> Result<Self, Error> {
-        Ok(CacheSpec {
-            size_bytes: req_i64(v, "size")?,
-            assoc: req_i64(v, "assoc")?,
-            line_bytes: req_i64(v, "line")?,
-            elem_bytes: req_i64(v, "elem")?,
-        })
+        let mut spec = CacheSpec::new(
+            req_i64(v, "size")?,
+            req_i64(v, "assoc")?,
+            req_i64(v, "line")?,
+            req_i64(v, "elem")?,
+        );
+        match v.get("policy") {
+            None | Some(Json::Null) => {}
+            Some(p) => {
+                let s = p
+                    .as_str()
+                    .ok_or_else(|| bad("field `policy` must be a string"))?;
+                spec.policy = PolicyKind::parse(s).ok_or_else(|| {
+                    Error::new(
+                        ErrorCode::InvalidCache,
+                        format!("unknown replacement policy `{s}` (expected lru, fifo, or plru)"),
+                    )
+                })?;
+            }
+        }
+        match v.get("write") {
+            None | Some(Json::Null) => {}
+            Some(w) => {
+                let s = w
+                    .as_str()
+                    .ok_or_else(|| bad("field `write` must be a string"))?;
+                spec.write = WritePolicy::parse(s).ok_or_else(|| {
+                    Error::new(
+                        ErrorCode::InvalidCache,
+                        format!(
+                            "unknown write policy `{s}` (expected write-back or write-through)"
+                        ),
+                    )
+                })?;
+            }
+        }
+        match v.get("l2") {
+            None | Some(Json::Null) => {}
+            Some(l2) => {
+                spec.l2 = Some(L2Spec {
+                    size_bytes: req_i64(l2, "size")?,
+                    assoc: req_i64(l2, "assoc")?,
+                });
+            }
+        }
+        Ok(spec)
     }
 }
 
@@ -302,7 +437,7 @@ fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, Error> {
 /// let req = AnalyzeRequest::new(
 ///     "q1",
 ///     "REAL A(64) AT 0\nDO i = 1, 64\n  s = s + A(i)\nENDDO\n",
-///     CacheSpec { size_bytes: 8192, assoc: 1, line_bytes: 32, elem_bytes: 4 },
+///     CacheSpec::new(8192, 1, 32, 4),
 /// );
 /// let round = AnalyzeRequest::decode(&req.encode()).unwrap();
 /// assert_eq!(round, req);
@@ -363,6 +498,15 @@ impl AnalyzeRequest {
     /// [`ErrorCode::InvalidCache`].
     pub fn cache_config(&self) -> Result<CacheConfig, Error> {
         self.cache.build()
+    }
+
+    /// Validates the full cache model (geometry, policies, optional L2).
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::InvalidCache`].
+    pub fn cache_model(&self) -> Result<CacheModel, Error> {
+        self.cache.model()
     }
 
     /// The analysis options this request asks for.
@@ -506,8 +650,55 @@ impl OutcomeSummary {
     }
 }
 
+/// Where a model-aware result's counts came from.
+///
+/// Absent (`None` on [`AnalyzeResult::provenance`]) for baseline
+/// requests, whose counts are the analytic CME evaluation and carry the
+/// usual exact/sound-overcount semantics of [`OutcomeSummary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Counts are an exact trace replay through the requested model's
+    /// simulator; `lru_bound` carries the analytic LRU result alongside.
+    Simulator,
+    /// The governed replay exhausted its budget, so the counts *are* the
+    /// analytic LRU evaluation — exact only for LRU, a documented bound
+    /// under the requested non-LRU/multi-level model.
+    Analytic,
+}
+
+impl Provenance {
+    /// The stable wire spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Provenance::Simulator => "simulator",
+            Provenance::Analytic => "analytic",
+        }
+    }
+
+    /// Parses the wire spelling (`None` for unknown values — lenient, so
+    /// future provenances decode as "unspecified" rather than failing).
+    pub fn from_wire(s: &str) -> Option<Provenance> {
+        match s {
+            "simulator" => Some(Provenance::Simulator),
+            "analytic" => Some(Provenance::Analytic),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// The successful payload of a response: the counts of a
 /// [`crate::NestAnalysis`] plus the governor and store provenance.
+///
+/// The model-aware fields (`writebacks`, `l2_misses`, `lru_bound`,
+/// `provenance`) are `None` on the baseline path and **omitted from the
+/// JSON encoding when `None`**, keeping baseline responses byte-identical
+/// to the pre-model format.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AnalyzeResult {
     /// Name of the analyzed nest.
@@ -526,6 +717,19 @@ pub struct AnalyzeResult {
     /// True when the counts were served from the persistent artifact
     /// store instead of recomputed.
     pub store_hit: bool,
+    /// Memory write traffic observed by the model simulator (simulator
+    /// provenance only).
+    pub writebacks: Option<u64>,
+    /// Total L2 misses (two-level models with simulator provenance only).
+    pub l2_misses: Option<u64>,
+    /// The analytic LRU total-miss count attached to a model-aware
+    /// result: for non-LRU policies the LRU stack-distance criterion is
+    /// not exact, so this travels as a *documented bound* next to the
+    /// simulator-exact counts.
+    pub lru_bound: Option<u64>,
+    /// Which engine answered a model-aware request; `None` on the
+    /// baseline path.
+    pub provenance: Option<Provenance>,
 }
 
 impl AnalyzeResult {
@@ -553,11 +757,15 @@ impl AnalyzeResult {
                 .collect(),
             outcome: OutcomeSummary::of(outcome),
             store_hit,
+            writebacks: None,
+            l2_misses: None,
+            lru_bound: None,
+            provenance: None,
         }
     }
 
     fn to_json(&self) -> Json {
-        obj([
+        let mut pairs = vec![
             ("nest", Json::Str(self.nest_name.clone())),
             ("total_misses", Json::UInt(self.total_misses)),
             ("total_cold", Json::UInt(self.total_cold)),
@@ -594,7 +802,20 @@ impl AnalyzeResult {
                 ]),
             ),
             ("store_hit", Json::Bool(self.store_hit)),
-        ])
+        ];
+        if let Some(w) = self.writebacks {
+            pairs.push(("writebacks", Json::UInt(w)));
+        }
+        if let Some(m) = self.l2_misses {
+            pairs.push(("l2_misses", Json::UInt(m)));
+        }
+        if let Some(b) = self.lru_bound {
+            pairs.push(("lru_bound", Json::UInt(b)));
+        }
+        if let Some(p) = self.provenance {
+            pairs.push(("provenance", Json::Str(p.as_str().into())));
+        }
+        obj(pairs)
     }
 
     fn from_json(v: &Json) -> Result<Self, Error> {
@@ -635,6 +856,13 @@ impl AnalyzeResult {
                 truncated_points: opt_u64(o, "truncated_points")?.unwrap_or(0),
             },
             store_hit: v.get("store_hit").and_then(Json::as_bool).unwrap_or(false),
+            writebacks: opt_u64(v, "writebacks")?,
+            l2_misses: opt_u64(v, "l2_misses")?,
+            lru_bound: opt_u64(v, "lru_bound")?,
+            provenance: v
+                .get("provenance")
+                .and_then(Json::as_str)
+                .and_then(Provenance::from_wire),
         })
     }
 }
@@ -755,6 +983,16 @@ impl Analyzer {
                 ),
             ));
         }
+        let model = request.cache_model()?;
+        if &model != self.model() {
+            return Err(Error::new(
+                ErrorCode::InvalidCache,
+                format!(
+                    "request cache model ({model}) does not match the session ({})",
+                    self.model()
+                ),
+            ));
+        }
         let nest = request.parse_program()?;
         let options = request.options()?;
         let budget = request.budget();
@@ -765,7 +1003,54 @@ impl Analyzer {
             .engine_mut()
             .try_analyze_id(id, &options, threads, budget, None)?;
         let store_hit = self.stats().store_hits > hits_before;
-        Ok(AnalyzeResult::of(&governed, store_hit))
+        if model.is_baseline() {
+            return Ok(AnalyzeResult::of(&governed, store_hit));
+        }
+        // Non-baseline model: the analytic counts above are the LRU
+        // *bound* (and performed the address-overflow validation); the
+        // exact answer comes from the governed trace replay.
+        let lru_bound = governed.analysis.total_misses();
+        let classification = self.engine().classify_model(&nest, &model, budget, None);
+        Ok(match classification.sim {
+            Some(sim) => {
+                let per_ref = governed
+                    .analysis
+                    .per_ref
+                    .iter()
+                    .zip(&sim.per_ref)
+                    .map(|(r, s)| RefSummary {
+                        label: r.label.clone(),
+                        cold_misses: s.cold,
+                        replacement_misses: s.replacement,
+                        vectors_used: r.vectors_used() as u64,
+                    })
+                    .collect();
+                let total = sim.total();
+                AnalyzeResult {
+                    nest_name: sim.nest_name.clone(),
+                    total_misses: total.misses(),
+                    total_cold: total.cold,
+                    total_replacement: total.replacement,
+                    per_ref,
+                    outcome: OutcomeSummary::of(&classification.outcome),
+                    store_hit,
+                    writebacks: Some(sim.writebacks),
+                    l2_misses: sim.l2_misses,
+                    lru_bound: Some(lru_bound),
+                    provenance: Some(Provenance::Simulator),
+                }
+            }
+            None => {
+                // Replay exhausted: degrade to the analytic LRU bound,
+                // tagged with the replay's exhaustion outcome so the
+                // client sees why the counts are not model-exact.
+                let mut result =
+                    AnalyzeResult::of_parts(&governed.analysis, &classification.outcome, store_hit);
+                result.lru_bound = Some(lru_bound);
+                result.provenance = Some(Provenance::Analytic);
+                result
+            }
+        })
     }
 
     /// [`Analyzer::serve`] over a batch: requests that share options and
@@ -779,6 +1064,9 @@ impl Analyzer {
             nest_id: cme_ir::NestId,
             options: AnalysisOptions,
             budget: Budget,
+            /// Only baseline-model requests join the uniform batch;
+            /// non-baseline ones need the per-request simulator path.
+            baseline: bool,
         }
         let mut items: Vec<Result<Item, Error>> = Vec::with_capacity(requests.len());
         for request in requests {
@@ -793,16 +1081,29 @@ impl Analyzer {
                         ),
                     ));
                 }
+                let model = request.cache_model()?;
+                if &model != self.model() {
+                    return Err(Error::new(
+                        ErrorCode::InvalidCache,
+                        format!(
+                            "request cache model ({model}) does not match the session ({})",
+                            self.model()
+                        ),
+                    ));
+                }
                 let nest = request.parse_program()?;
                 Ok(Item {
                     nest_id: self.intern(&nest),
                     options: request.options()?,
                     budget: request.budget(),
+                    baseline: model.is_baseline(),
                 })
             })());
         }
         let uniform = {
-            let mut ok = items.iter().filter_map(|i| i.as_ref().ok());
+            let mut ok = items
+                .iter()
+                .filter_map(|i| i.as_ref().ok().filter(|i| i.baseline));
             match ok.next() {
                 Some(first) => ok.all(|i| i.options == first.options && i.budget == first.budget),
                 None => true,
@@ -814,7 +1115,12 @@ impl Analyzer {
             let batch: Vec<(usize, &Item)> = items
                 .iter()
                 .enumerate()
-                .filter_map(|(i, r)| r.as_ref().ok().map(|item| (i, item)))
+                .filter_map(|(i, r)| {
+                    r.as_ref()
+                        .ok()
+                        .filter(|item| item.baseline)
+                        .map(|item| (i, item))
+                })
                 .collect();
             if let Some((_, first)) = batch.first() {
                 let ids: Vec<cme_ir::NestId> = batch.iter().map(|(_, it)| it.nest_id).collect();
@@ -872,12 +1178,7 @@ mod tests {
     use cme_ir::{AccessKind, NestBuilder};
 
     fn spec() -> CacheSpec {
-        CacheSpec {
-            size_bytes: 8192,
-            assoc: 1,
-            line_bytes: 32,
-            elem_bytes: 4,
-        }
+        CacheSpec::new(8192, 1, 32, 4)
     }
 
     fn sweep_source() -> &'static str {
@@ -920,6 +1221,86 @@ mod tests {
         let req = AnalyzeRequest::from_nest("n", &nest, spec()).unwrap();
         let parsed = req.parse_program().unwrap();
         assert_eq!(parsed.references().len(), nest.references().len());
+    }
+
+    #[test]
+    fn baseline_wire_bytes_carry_no_model_fields() {
+        // Old clients must see byte-identical lines for baseline requests
+        // and responses: the model fields only appear when non-default.
+        let req = AnalyzeRequest::new("b", sweep_source(), spec());
+        let line = req.encode();
+        for f in ["policy", "write", "l2"] {
+            assert!(!line.contains(f), "`{f}` leaked into {line}");
+        }
+        let cfg = spec().build().unwrap();
+        let ok = Analyzer::new(cfg).serve(&req).encode();
+        for f in ["writebacks", "l2_misses", "lru_bound", "provenance"] {
+            assert!(!ok.contains(f), "`{f}` leaked into {ok}");
+        }
+    }
+
+    #[test]
+    fn model_spec_round_trips_and_defaults() {
+        let mut s = spec();
+        s.policy = PolicyKind::Fifo;
+        s.write = WritePolicy::WriteThrough;
+        s.l2 = Some(L2Spec {
+            size_bytes: 65536,
+            assoc: 8,
+        });
+        let req = AnalyzeRequest::new("m", sweep_source(), s);
+        let line = req.encode();
+        assert!(line.contains("\"policy\":\"fifo\""), "{line}");
+        let back = AnalyzeRequest::decode(&line).unwrap();
+        assert_eq!(back, req);
+        let model = back.cache.model().unwrap();
+        assert_eq!(model.policy_kind(), PolicyKind::Fifo);
+        assert!(!model.is_baseline());
+        // Absent fields decode to the baseline model (old clients).
+        let old = AnalyzeRequest::new("o", sweep_source(), spec());
+        let decoded = AnalyzeRequest::decode(&old.encode()).unwrap();
+        assert!(decoded.cache.model().unwrap().is_baseline());
+    }
+
+    #[test]
+    fn unknown_policy_is_a_typed_invalid_cache_error() {
+        let mut s = spec();
+        s.policy = PolicyKind::Fifo;
+        let line = AnalyzeRequest::new("q", sweep_source(), s)
+            .encode()
+            .replace("fifo", "random");
+        let e = AnalyzeRequest::decode(&line).unwrap_err();
+        assert_eq!(e.code, ErrorCode::InvalidCache);
+        assert!(e.message.contains("random"), "{}", e.message);
+    }
+
+    #[test]
+    fn serving_a_fifo_model_attaches_bound_and_provenance() {
+        let mut s = spec();
+        s.policy = PolicyKind::Fifo;
+        let mut analyzer = Analyzer::with_model(s.model().unwrap());
+        let resp = analyzer.serve(&AnalyzeRequest::new("f", sweep_source(), s));
+        let result = resp.result.as_ref().unwrap();
+        assert_eq!(result.provenance, Some(Provenance::Simulator));
+        assert_eq!(result.lru_bound, Some(8));
+        assert!(result.outcome.complete);
+        // Direct-mapped FIFO equals LRU on this streaming kernel, so the
+        // exact counts meet the bound; a read-only kernel writes nothing.
+        assert_eq!(result.total_misses, 8);
+        assert_eq!(result.writebacks, Some(0));
+        assert_eq!(result.l2_misses, None);
+        // The model-aware fields survive the wire.
+        assert_eq!(AnalyzeResponse::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn model_mismatch_against_the_session_is_invalid_cache() {
+        let cfg = spec().build().unwrap();
+        let mut analyzer = Analyzer::new(cfg); // baseline session
+        let mut s = spec();
+        s.policy = PolicyKind::Plru;
+        let resp = analyzer.serve(&AnalyzeRequest::new("p", sweep_source(), s));
+        assert_eq!(resp.result.unwrap_err().code, ErrorCode::InvalidCache);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use super::{Engine, EngineStats};
 use crate::equations::CmeSystem;
 use crate::governor::{AnalysisError, Budget, CancelToken, GovernedAnalysis};
 use crate::solve::{AnalysisOptions, NestAnalysis, RefAnalysis};
-use cme_cache::CacheConfig;
+use cme_cache::{CacheConfig, CacheModel};
 use cme_ir::{LoopNest, NestId, RefId};
 use cme_reuse::ReuseVector;
 use std::collections::HashMap;
@@ -65,6 +65,22 @@ impl Analyzer {
             cancel: None,
             sweep_memo: HashMap::new(),
         }
+    }
+
+    /// A session for an arbitrary [`CacheModel`]: analytic equations run
+    /// against the model's L1 geometry; non-baseline models additionally
+    /// route served requests through the simulator-backed classify path
+    /// and key persistent artifacts under the model. For the baseline
+    /// model this is exactly [`Analyzer::new`].
+    pub fn with_model(model: CacheModel) -> Self {
+        let mut analyzer = Analyzer::new(model.l1());
+        analyzer.engine.set_model(model);
+        analyzer
+    }
+
+    /// The full cache model this session answers for.
+    pub fn model(&self) -> &CacheModel {
+        self.engine.model()
     }
 
     /// Sets the session's per-query resource [`Budget`]. Exhausted

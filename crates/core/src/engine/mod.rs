@@ -48,6 +48,7 @@ mod analyzer;
 mod batch;
 mod keys;
 mod memo;
+mod model;
 mod persist;
 mod pool;
 mod stages;
@@ -57,13 +58,14 @@ pub mod sweep;
 mod tests;
 
 pub use analyzer::Analyzer;
+pub use model::ModelClassification;
 pub use stats::EngineStats;
 pub use sweep::{SweepMetric, SweepParameter, SweepRequest, SweepResult};
 
 use crate::governor::{AnalysisError, Budget, CancelToken, GovernedAnalysis, QueryGovernor};
 use crate::solve::{AnalysisOptions, NestAnalysis, RefAnalysis};
 use crate::store::ArtifactStore;
-use cme_cache::CacheConfig;
+use cme_cache::{CacheConfig, CacheModel};
 use cme_ir::{LoopNest, NestId, ProgramDb, RefId};
 use cme_math::SolveMemo;
 use cme_reuse::ReuseVector;
@@ -88,6 +90,7 @@ use std::time::Instant;
 #[derive(Debug)]
 pub struct Engine {
     cache: CacheConfig,
+    model: CacheModel, // L1 = `cache`; accessors in `engine/model.rs`
     caching: bool,
     max_cached_points: u64,
     db: ProgramDb,
@@ -133,6 +136,7 @@ impl Engine {
     pub fn new(cache: CacheConfig) -> Self {
         Engine {
             cache,
+            model: CacheModel::new(cache),
             caching: true,
             max_cached_points: 1 << 22,
             db: ProgramDb::new(),

@@ -1,0 +1,196 @@
+//! The simulator-backed classify path for non-baseline cache models.
+//!
+//! The analytic pipeline evaluates *LRU* miss equations: the stack-depth
+//! criterion behind the replacement equations (Section 3.2) counts
+//! distinct interfering lines, which is exactly the LRU replacement
+//! condition and only an approximation of FIFO or pseudo-LRU behavior.
+//! For a non-baseline [`CacheModel`] the engine therefore answers with an
+//! **exact trace replay** through the model simulator
+//! ([`cme_cache::simulate_nest_model`]) and attaches the analytic LRU
+//! result as a documented *bound* — under non-LRU policies the LRU count
+//! plus `ε`/budget truncation is the sound reference the optimizers keep
+//! steering by, while the simulator provides ground truth for the model
+//! actually requested.
+//!
+//! Simulation is governed like solving: every simulated access charges
+//! the query budget one step (the same unit as an equation evaluation),
+//! the deadline/cancel checkpoints fire every
+//! [`cme_cache::GOVERNED_SIM_CHECK_INTERVAL`] accesses, and an exhausted
+//! replay yields **no counts at all** — a partial trace classifies
+//! nothing soundly — so the caller degrades to the analytic bound,
+//! tagged with the exhaustion outcome.
+
+use super::Engine;
+use crate::governor::{Budget, CancelToken, Outcome, QueryGovernor};
+use cme_cache::{simulate_nest_model_governed, CacheModel, ModelSimResult};
+use cme_ir::LoopNest;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+/// The outcome of one governed model-simulation query: either the exact
+/// per-reference replay, or the exhaustion tag telling the caller to fall
+/// back to the analytic LRU bound.
+#[derive(Debug, Clone)]
+pub struct ModelClassification {
+    /// Exact per-reference counts from the trace replay; `None` when the
+    /// budget exhausted mid-replay (partial traces are never exposed).
+    pub sim: Option<ModelSimResult>,
+    /// How the governed replay ended. [`Outcome::Complete`] iff `sim` is
+    /// `Some`.
+    pub outcome: Outcome,
+    /// Wall time spent replaying.
+    pub elapsed: std::time::Duration,
+}
+
+impl Engine {
+    /// The full cache model this session answers for (baseline unless
+    /// [`Engine::set_model`] was called).
+    pub fn model(&self) -> &CacheModel {
+        &self.model
+    }
+
+    /// Installs a richer cache model for this session. The model's L1
+    /// geometry must equal the engine's cache — the analytic pipeline
+    /// keeps computing the (LRU) miss equations against that geometry,
+    /// while non-baseline requests additionally go through the
+    /// simulator-backed classify path ([`Engine::classify_model`]) and
+    /// persistent artifacts are keyed under the model
+    /// ([`crate::store::model_fingerprint`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `model.l1()` is not this engine's geometry; the serve
+    /// layers construct the engine *from* the model, so a mismatch is a
+    /// caller bug, never data-dependent.
+    pub fn set_model(&mut self, model: CacheModel) {
+        assert_eq!(
+            model.l1(),
+            *self.cache(),
+            "cache model L1 must match the engine geometry"
+        );
+        self.model = model;
+    }
+
+    /// Classifies `nest` under an arbitrary [`CacheModel`] by exact trace
+    /// replay, governed by `budget`/`cancel`: each simulated access
+    /// charges one budget step, and exhaustion abandons the replay
+    /// (returning no counts) instead of blowing the deadline on a huge
+    /// iteration space. Counters land in [`crate::EngineStats`]
+    /// (`sim_classifications`, `sim_accesses`, `sim_writebacks`,
+    /// `sim_exhausted`).
+    ///
+    /// The caller is responsible for address-overflow validation — in the
+    /// serve path the analytic bound runs first and performs it.
+    pub fn classify_model(
+        &self,
+        nest: &LoopNest,
+        model: &CacheModel,
+        budget: Budget,
+        cancel: Option<&CancelToken>,
+    ) -> ModelClassification {
+        let t = Instant::now();
+        self.counters
+            .sim_classifications
+            .fetch_add(1, Ordering::Relaxed);
+        let gov = QueryGovernor::new(budget, cancel.cloned());
+        let total_accesses = nest
+            .space()
+            .count()
+            .saturating_mul(nest.references().len() as u64);
+        let mut charged: u64 = 0;
+        let sim = simulate_nest_model_governed(nest, model, |done| {
+            gov.charge(done - charged);
+            charged = done;
+            gov.live()
+        });
+        match &sim {
+            Some(result) => {
+                let total = result.per_ref.iter().fold(0u64, |acc, s| acc + s.accesses);
+                self.counters
+                    .sim_accesses
+                    .fetch_add(total, Ordering::Relaxed);
+                self.counters
+                    .sim_writebacks
+                    .fetch_add(result.writebacks, Ordering::Relaxed);
+            }
+            None => {
+                self.counters
+                    .sim_accesses
+                    .fetch_add(charged, Ordering::Relaxed);
+                self.counters.sim_exhausted.fetch_add(1, Ordering::Relaxed);
+                // Everything not replayed is indeterminate — the caller's
+                // fallback (the analytic LRU bound) treats those points
+                // under the paper's `ε > 0` semantics.
+                gov.note_truncated(total_accesses.saturating_sub(charged));
+            }
+        }
+        ModelClassification {
+            sim,
+            outcome: gov.outcome(),
+            elapsed: t.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cme_cache::{simulate_nest_model, CacheConfig, PolicyKind};
+    use cme_ir::{AccessKind, NestBuilder};
+
+    fn conflict_nest(n: i64) -> LoopNest {
+        let mut b = NestBuilder::new();
+        b.ct_loop("i", 1, 8).ct_loop("j", 1, n);
+        let a = b.array("A", &[n], 0);
+        let c = b.array("C", &[n], 32);
+        b.reference(a, AccessKind::Read, &[("j", 0)]);
+        b.reference(c, AccessKind::Write, &[("j", 0)]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn unlimited_budget_matches_the_plain_replay() {
+        let cfg = CacheConfig::new(128, 2, 16, 4).unwrap();
+        let model = CacheModel::new(cfg).policy(PolicyKind::Fifo);
+        let nest = conflict_nest(16);
+        let engine = Engine::new(cfg);
+        let got = engine.classify_model(&nest, &model, Budget::unlimited(), None);
+        assert!(got.outcome.is_complete());
+        assert_eq!(got.sim.unwrap(), simulate_nest_model(&nest, &model));
+        let stats = engine.stats();
+        assert_eq!(stats.sim_classifications, 1);
+        assert_eq!(stats.sim_accesses, 8 * 16 * 2);
+        assert_eq!(stats.sim_exhausted, 0);
+    }
+
+    #[test]
+    fn solve_budget_exhausts_the_replay() {
+        let cfg = CacheConfig::new(128, 2, 16, 4).unwrap();
+        let model = CacheModel::new(cfg).policy(PolicyKind::Plru);
+        // Large enough that several governor checkpoints fire.
+        let nest = conflict_nest(8192);
+        let engine = Engine::new(cfg);
+        let got = engine.classify_model(
+            &nest,
+            &model,
+            Budget::unlimited().with_max_solves(5000),
+            None,
+        );
+        assert!(got.sim.is_none());
+        assert!(got.outcome.is_exhausted(), "{:?}", got.outcome);
+        assert_eq!(engine.stats().sim_exhausted, 1);
+    }
+
+    #[test]
+    fn cancellation_aborts_like_exhaustion() {
+        let cfg = CacheConfig::new(128, 2, 16, 4).unwrap();
+        let model = CacheModel::new(cfg).policy(PolicyKind::Fifo);
+        let nest = conflict_nest(8192);
+        let engine = Engine::new(cfg);
+        let token = CancelToken::new();
+        token.cancel();
+        let got = engine.classify_model(&nest, &model, Budget::unlimited(), Some(&token));
+        assert!(got.sim.is_none());
+        assert!(got.outcome.is_exhausted());
+    }
+}

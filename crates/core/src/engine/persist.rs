@@ -31,7 +31,11 @@ impl Engine {
     /// The store key of every nest in the batch, or `None` per slot when
     /// no store is attached. The store mirrors the memo tables' on/off
     /// switch: with caching disabled this is a true recompute and every
-    /// slot is `None`.
+    /// slot is `None`. Keys carry the session's full [`cme_cache::CacheModel`]
+    /// through the options fingerprint, so a session serving a non-LRU or
+    /// two-level model can never read (or shadow) a baseline artifact;
+    /// for the baseline model the keys are bit-identical to the
+    /// pre-model format.
     pub(super) fn artifact_keys(
         &self,
         ids: &[NestId],
@@ -41,10 +45,10 @@ impl Engine {
             Some(_) if self.caching => ids
                 .iter()
                 .map(|&id| {
-                    Some(ArtifactKey::new(
+                    Some(ArtifactKey::for_model(
                         self.db.structural_hash(id),
                         self.db.layout_hash(id),
-                        &self.cache,
+                        &self.model,
                         options,
                     ))
                 })

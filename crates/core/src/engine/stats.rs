@@ -62,6 +62,10 @@ pub(crate) struct Counters {
     pub(crate) store_hits: AtomicU64,
     pub(crate) store_misses: AtomicU64,
     pub(crate) store_writes: AtomicU64,
+    pub(crate) sim_classifications: AtomicU64,
+    pub(crate) sim_accesses: AtomicU64,
+    pub(crate) sim_writebacks: AtomicU64,
+    pub(crate) sim_exhausted: AtomicU64,
     pub(crate) sweeps_fitted: AtomicU64,
     pub(crate) sweeps_fallback: AtomicU64,
     pub(crate) sweep_memo_hits: AtomicU64,
@@ -188,6 +192,17 @@ pub struct EngineStats {
     pub store_misses: u64,
     /// Complete analyses written through to the persistent store.
     pub store_writes: u64,
+    /// Model-simulation classify queries run for non-baseline
+    /// [`cme_cache::CacheModel`]s ([`Engine::classify_model`]).
+    pub sim_classifications: u64,
+    /// Accesses replayed through the model simulator (including aborted
+    /// replays' partial progress).
+    pub sim_accesses: u64,
+    /// Memory write traffic observed by completed model replays.
+    pub sim_writebacks: u64,
+    /// Model replays abandoned by budget exhaustion or cancellation (the
+    /// query degraded to the analytic LRU bound).
+    pub sim_exhausted: u64,
     /// Parametric sweeps answered by a certified closed form (fresh fits
     /// plus store rehydrations; see [`crate::SweepResult`]).
     pub sweeps_fitted: u64,
@@ -313,6 +328,11 @@ impl fmt::Display for EngineStats {
         )?;
         writeln!(
             f,
+            "  model sim:     {} classifications ({} accesses, {} writebacks), {} exhausted",
+            self.sim_classifications, self.sim_accesses, self.sim_writebacks, self.sim_exhausted
+        )?;
+        writeln!(
+            f,
             "  sweeps:        {} fitted, {} fallback, {} memo hits, {} samples",
             self.sweeps_fitted, self.sweeps_fallback, self.sweep_memo_hits, self.sweep_samples
         )?;
@@ -371,6 +391,10 @@ impl Engine {
             store_hits: c.store_hits.load(Ordering::Relaxed),
             store_misses: c.store_misses.load(Ordering::Relaxed),
             store_writes: c.store_writes.load(Ordering::Relaxed),
+            sim_classifications: c.sim_classifications.load(Ordering::Relaxed),
+            sim_accesses: c.sim_accesses.load(Ordering::Relaxed),
+            sim_writebacks: c.sim_writebacks.load(Ordering::Relaxed),
+            sim_exhausted: c.sim_exhausted.load(Ordering::Relaxed),
             sweeps_fitted: c.sweeps_fitted.load(Ordering::Relaxed),
             sweeps_fallback: c.sweeps_fallback.load(Ordering::Relaxed),
             sweep_memo_hits: c.sweep_memo_hits.load(Ordering::Relaxed),

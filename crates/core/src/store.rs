@@ -37,7 +37,7 @@
 
 use crate::faults::{FaultPlan, ReadFault, WriteFault};
 use crate::solve::{AnalysisOptions, NestAnalysis, RefAnalysis, VectorReport};
-use cme_cache::CacheConfig;
+use cme_cache::{CacheConfig, CacheModel};
 use cme_ir::codec::{fnv1a64, CodecError, Decoder, Encoder};
 use cme_ir::{KeyHasher, RefId};
 use cme_math::quasipoly::{FitCertificate, QuasiPolynomial};
@@ -107,6 +107,24 @@ impl ArtifactKey {
         }
     }
 
+    /// [`ArtifactKey::new`] for a query against an arbitrary
+    /// [`CacheModel`]: the replacement/write policy and the optional L2
+    /// are folded into the options fingerprint
+    /// ([`model_fingerprint`]), so artifacts produced under different
+    /// models can never alias — while the baseline model (single-level
+    /// LRU write-back) produces keys bit-identical to
+    /// [`ArtifactKey::new`], keeping every pre-model store entry valid.
+    pub fn for_model(
+        structural: u128,
+        layout: u128,
+        model: &CacheModel,
+        options: &AnalysisOptions,
+    ) -> Self {
+        let mut key = ArtifactKey::new(structural, layout, &model.l1(), options);
+        key.options_fp = model_fingerprint(options, model);
+        key
+    }
+
     /// The entry's file name: a 128-bit composite hash in hex. The full
     /// key is echoed inside the file, so a (vanishingly unlikely) name
     /// collision reads as a miss, never as a wrong result.
@@ -155,6 +173,23 @@ pub fn options_fingerprint(options: &AnalysisOptions) -> u128 {
         .feed(&options.reuse.extended)
         .feed(&options.reuse.max_vectors)
         .feed(&options.reuse.candidate_budget);
+    h.finish()
+}
+
+/// [`options_fingerprint`] extended with the [`CacheModel`]: for the
+/// baseline model (single-level LRU write-back — the geometry already in
+/// [`ArtifactKey::cache`]) this returns *exactly*
+/// `options_fingerprint(options)`, so every store key minted before the
+/// model existed stays valid; any other policy, write handling, or L2
+/// perturbs the fingerprint and can never alias a baseline artifact (or
+/// another model's).
+pub fn model_fingerprint(options: &AnalysisOptions, model: &CacheModel) -> u128 {
+    let base = options_fingerprint(options);
+    if model.is_baseline() {
+        return base;
+    }
+    let mut h = KeyHasher::new(0x5b1d);
+    h.feed(&base).feed(model);
     h.finish()
 }
 

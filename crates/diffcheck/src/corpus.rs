@@ -19,9 +19,9 @@
 //! ```
 
 use crate::closedform::{check_sweep_case, request_of, SweepCheckReport};
-use crate::verdict::{check_case, check_case_governed, CaseReport, Verdict};
+use crate::verdict::{check_case, check_case_governed, check_model_case, CaseReport, Verdict};
 use crate::Oracle;
-use cme_cache::CacheConfig;
+use cme_cache::{CacheConfig, CacheModel, PolicyKind, WritePolicy};
 use cme_core::Budget;
 use cme_ir::parse::{parse_nest, to_source};
 use cme_ir::LoopNest;
@@ -80,6 +80,13 @@ pub struct CorpusCase {
     /// must fit a certified function and the fit must survive
     /// adversarial replay (see [`crate::closedform`]).
     pub sweep: Option<SweepSpec>,
+    /// An optional non-baseline cache model (`! model:` directive) whose
+    /// L1 is [`CorpusCase::cache`]. When present, verification runs
+    /// against the *model* simulator under bound semantics (see
+    /// [`check_model_case`]): the analytic LRU result may overcount the
+    /// model freely, but an undercount is still a violation. `None`
+    /// replays the classic LRU differential check.
+    pub model: Option<CacheModel>,
 }
 
 impl CorpusCase {
@@ -95,7 +102,18 @@ impl CorpusCase {
         oracle: &mut O,
         shard_threads: usize,
     ) -> Result<CaseReport, String> {
-        let report = check_case(oracle, &self.nest, self.cache, self.epsilon, shard_threads);
+        let report = match &self.model {
+            Some(model) => check_model_case(
+                oracle,
+                &self.nest,
+                model,
+                self.epsilon,
+                shard_threads,
+                Budget::unlimited(),
+                None,
+            ),
+            None => check_case(oracle, &self.nest, self.cache, self.epsilon, shard_threads),
+        };
         let report = self.judge(report)?;
         self.verify_sweep()?;
         Ok(report)
@@ -146,15 +164,26 @@ impl CorpusCase {
         shard_threads: usize,
         budget: Budget,
     ) -> Result<CaseReport, String> {
-        let report = check_case_governed(
-            oracle,
-            &self.nest,
-            self.cache,
-            self.epsilon,
-            shard_threads,
-            budget,
-            None,
-        );
+        let report = match &self.model {
+            Some(model) => check_model_case(
+                oracle,
+                &self.nest,
+                model,
+                self.epsilon,
+                shard_threads,
+                budget,
+                None,
+            ),
+            None => check_case_governed(
+                oracle,
+                &self.nest,
+                self.cache,
+                self.epsilon,
+                shard_threads,
+                budget,
+                None,
+            ),
+        };
         if report.exhausted && !report.verdict.is_violation() {
             return Ok(report);
         }
@@ -168,11 +197,11 @@ impl CorpusCase {
     /// against [`CorpusCase::verify`]. Returns `None` for nests the
     /// textual wire format cannot express (non-1 array origins).
     pub fn to_request(&self) -> Option<cme_core::api::AnalyzeRequest> {
-        let mut request = cme_core::api::AnalyzeRequest::from_nest(
-            &self.name,
-            &self.nest,
-            cme_core::api::CacheSpec::of(&self.cache),
-        )?;
+        let spec = match &self.model {
+            Some(model) => cme_core::api::CacheSpec::of_model(model),
+            None => cme_core::api::CacheSpec::of(&self.cache),
+        };
+        let mut request = cme_core::api::AnalyzeRequest::from_nest(&self.name, &self.nest, spec)?;
         request.epsilon = self.epsilon;
         Some(request)
     }
@@ -208,6 +237,22 @@ pub fn write_case(case: &CorpusCase) -> Option<String> {
         case.cache.elem_bytes()
     ));
     out.push_str(&format!("! epsilon: {}\n", case.epsilon));
+    if let Some(model) = &case.model {
+        let mut directive = format!(
+            "! model: policy={} write={}",
+            model.policy_kind().as_str(),
+            model.write_policy().as_str()
+        );
+        if let Some(l2) = model.l2() {
+            directive.push_str(&format!(
+                " l2size={} l2assoc={}",
+                l2.size_bytes(),
+                l2.assoc()
+            ));
+        }
+        out.push_str(&directive);
+        out.push('\n');
+    }
     out.push_str(&format!("! expect: {}\n", case.expect));
     if let Some(seed) = case.seed {
         out.push_str(&format!("! seed: {seed}\n"));
@@ -240,6 +285,7 @@ pub fn parse_case(fallback_name: &str, text: &str) -> Result<CorpusCase, String>
     let mut expect = Expectation::Any;
     let mut seed = None;
     let mut sweep = None;
+    let mut model_spec: Option<String> = None;
 
     for line in text.lines() {
         let Some(rest) = line.trim().strip_prefix('!') else {
@@ -273,11 +319,15 @@ pub fn parse_case(fallback_name: &str, text: &str) -> Result<CorpusCase, String>
                 )
             }
             "sweep" => sweep = Some(parse_sweep(value)?),
+            "model" => model_spec = Some(value.to_string()),
             _ => {} // free-form comment
         }
     }
 
     let cache = cache.ok_or("missing `! cache:` directive")?;
+    let model = model_spec
+        .map(|spec| parse_model(&spec, cache))
+        .transpose()?;
     let nest = parse_nest(text).map_err(|e| format!("nest parse error: {e}"))?;
     Ok(CorpusCase {
         name,
@@ -287,7 +337,55 @@ pub fn parse_case(fallback_name: &str, text: &str) -> Result<CorpusCase, String>
         expect,
         seed,
         sweep,
+        model,
     })
+}
+
+/// Parses a `! model:` directive against the case's (already parsed) L1
+/// geometry: `policy=<lru|fifo|plru> write=<write-back|write-through>
+/// [l2size=<bytes> l2assoc=<k>]`. All keys are optional; line and element
+/// size of the L2 are inherited from L1.
+fn parse_model(spec: &str, cache: CacheConfig) -> Result<CacheModel, String> {
+    let mut model = CacheModel::new(cache);
+    let mut l2size = None;
+    let mut l2assoc = None;
+    for token in spec.split_whitespace() {
+        let Some((key, value)) = token.split_once('=') else {
+            return Err(format!("bad model token `{token}`"));
+        };
+        let num = |v: &str| -> Result<i64, String> {
+            v.parse().map_err(|e| format!("bad model value `{v}`: {e}"))
+        };
+        match key {
+            "policy" => {
+                model = model.policy(
+                    PolicyKind::parse(value)
+                        .ok_or_else(|| format!("unknown replacement policy `{value}`"))?,
+                )
+            }
+            "write" => {
+                model = model.write(
+                    WritePolicy::parse(value)
+                        .ok_or_else(|| format!("unknown write policy `{value}`"))?,
+                )
+            }
+            "l2size" => l2size = Some(num(value)?),
+            "l2assoc" => l2assoc = Some(num(value)?),
+            other => return Err(format!("unknown model key `{other}`")),
+        }
+    }
+    match (l2size, l2assoc) {
+        (None, None) => {}
+        (Some(size), Some(assoc)) => {
+            let l2 = CacheConfig::new(size, assoc, cache.line_bytes(), cache.elem_bytes())
+                .map_err(|e| format!("invalid L2 geometry: {e}"))?;
+            model = model
+                .with_l2(l2)
+                .map_err(|e| format!("invalid hierarchy: {e}"))?;
+        }
+        _ => return Err("model spec needs both l2size and l2assoc (or neither)".into()),
+    }
+    Ok(model)
 }
 
 fn parse_sweep(spec: &str) -> Result<SweepSpec, String> {
@@ -383,6 +481,7 @@ mod tests {
             expect: Expectation::Exact,
             seed: Some(7),
             sweep: None,
+            model: None,
         }
     }
 
@@ -431,6 +530,7 @@ mod tests {
                 count: 128,
                 step: 8,
             }),
+            model: None,
         };
         let text = write_case(&case).unwrap();
         assert!(
@@ -457,6 +557,74 @@ mod tests {
             "! sweep: param=pad-bytes count=8",
             "! sweep: param=pad-bytes target=0",
             "! sweep: param=pad-bytes target=0 count=8 extra=1",
+        ] {
+            let text = format!("{base}{bad}\nREAL A(4) AT 0\nDO i = 1, 4\n  s = s + A(i)\nENDDO");
+            assert!(parse_case("x", &text).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn model_directive_round_trips_and_verifies_under_bound_semantics() {
+        // Direct-mapped FIFO coincides with LRU, so the analytic result is
+        // not merely a bound here: the replay classifies Exact.
+        let mut b = NestBuilder::new();
+        b.name("model-sample").ct_loop("i", 1, 16);
+        let a = b.array("A", &[16], 0);
+        b.reference(a, AccessKind::Read, &[("i", 0)]);
+        let cache = CacheConfig::new(256, 1, 16, 4).unwrap();
+        let case = CorpusCase {
+            name: "model-sample".into(),
+            nest: b.build().unwrap(),
+            cache,
+            epsilon: 0,
+            expect: Expectation::Exact,
+            seed: None,
+            sweep: None,
+            model: Some(
+                CacheModel::new(cache)
+                    .policy(PolicyKind::Fifo)
+                    .write(WritePolicy::WriteThrough),
+            ),
+        };
+        let text = write_case(&case).unwrap();
+        assert!(
+            text.contains("! model: policy=fifo write=write-through"),
+            "{text}"
+        );
+        let back = parse_case("fallback", &text).unwrap();
+        assert_eq!(back.model, case.model);
+        let report = back.verify(&mut crate::CmeOracle, 2).unwrap();
+        assert_eq!(report.verdict, Verdict::Exact);
+        // The wire request carries the model, so replays hit the
+        // simulator-backed path server-side too.
+        let request = back.to_request().unwrap();
+        assert!(!request.cache_model().unwrap().is_baseline());
+    }
+
+    #[test]
+    fn model_directives_with_l2_round_trip() {
+        let mut case = sample_case(false);
+        let l2 = CacheConfig::new(4096, 4, 16, 4).unwrap();
+        case.model = Some(CacheModel::new(case.cache).with_l2(l2).unwrap());
+        let text = write_case(&case).unwrap();
+        assert!(
+            text.contains("! model: policy=lru write=write-back l2size=4096 l2assoc=4"),
+            "{text}"
+        );
+        assert_eq!(parse_case("x", &text).unwrap().model, case.model);
+    }
+
+    #[test]
+    fn malformed_model_directives_are_rejected() {
+        let base = "! cache: size=512 assoc=2 line=16 elem=4\n";
+        for bad in [
+            "! model: policy=random",
+            "! model: write=copy-back",
+            "! model: policy",
+            "! model: flavor=mint",
+            "! model: l2size=4096",          // missing l2assoc
+            "! model: l2size=128 l2assoc=2", // L2 smaller than L1
+            "! model: policy=fifo l2size=x l2assoc=2",
         ] {
             let text = format!("{base}{bad}\nREAL A(4) AT 0\nDO i = 1, 4\n  s = s + A(i)\nENDDO");
             assert!(parse_case("x", &text).is_err(), "`{bad}` must be rejected");

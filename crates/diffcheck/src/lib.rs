@@ -51,7 +51,8 @@ pub use closedform::{
 pub use corpus::{parse_case, write_case, CorpusCase, Expectation};
 pub use minimize::{minimize_violation, shrink_case};
 pub use verdict::{
-    check_case, check_case_governed, CaseReport, GroundTruth, Verdict, ViolationKind,
+    check_case, check_case_governed, check_model_case, CaseReport, GroundTruth, Verdict,
+    ViolationKind,
 };
 
 use cme_cache::CacheConfig;
@@ -252,6 +253,7 @@ impl TimedOutCase {
             expect: Expectation::Any,
             seed: Some(self.case_seed),
             sweep: None,
+            model: None,
         }
     }
 }
@@ -288,6 +290,7 @@ impl FoundViolation {
             expect: Expectation::Any,
             seed: Some(self.case_seed),
             sweep: None,
+            model: None,
         }
     }
 }

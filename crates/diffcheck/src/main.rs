@@ -207,6 +207,7 @@ fn emit_corpus(dir: &Path, threads: usize) -> std::io::Result<()> {
             expect,
             seed: None,
             sweep: None,
+            model: None,
         };
         write_file(dir, &case)?;
         println!("emitted {name}: {} ({})", report.verdict, expect);
@@ -248,6 +249,7 @@ fn emit_corpus(dir: &Path, threads: usize) -> std::io::Result<()> {
                 },
                 seed: Some(seed),
                 sweep: None,
+                model: None,
             };
             write_file(dir, &case)?;
             println!("emitted {}: {}", case.name, verdict);
@@ -329,6 +331,7 @@ fn emit_sweep_corpus(dir: &Path, threads: usize) -> std::io::Result<()> {
             },
             seed: Some(seed),
             sweep: Some(spec),
+            model: None,
         };
         write_file(dir, &case)?;
         println!(

@@ -42,6 +42,7 @@
 
 pub mod client;
 
+use cme_cache::CacheModel;
 use cme_core::api::json::{self, obj, Json};
 use cme_core::api::{AnalyzeRequest, AnalyzeResponse, Error, ErrorCode};
 use cme_core::{Analyzer, ArtifactStore};
@@ -171,7 +172,7 @@ struct SessionSlot {
 pub struct Server {
     config: ServerConfig,
     store: Option<Arc<ArtifactStore>>,
-    sessions: Mutex<HashMap<[i64; 4], SessionSlot>>,
+    sessions: Mutex<HashMap<CacheModel, SessionSlot>>,
     session_clock: AtomicU64,
     shutdown: AtomicBool,
     requests: AtomicU64,
@@ -309,20 +310,16 @@ impl Server {
         }
     }
 
-    /// The session for a cache geometry, created on first use. Sessions
+    /// The session for a cache model, created on first use. Sessions
     /// share the server's store and thread setting; the map is LRU-capped
-    /// at [`ServerConfig::max_sessions`], so a cold geometry evicts the
+    /// at [`ServerConfig::max_sessions`], so a cold model evicts the
     /// least-recently-used one. In-flight requests keep their own handle
     /// to an evicted session — eviction only forgets memo state for
-    /// *future* requests, it never breaks a running one.
+    /// *future* requests, it never breaks a running one. Two requests that
+    /// share a geometry but differ in policy, write semantics, or L2 get
+    /// distinct sessions — their artifacts are keyed differently too.
     fn session(&self, request: &AnalyzeRequest) -> Result<Arc<Mutex<Analyzer>>, Error> {
-        let cfg = request.cache_config()?;
-        let key = [
-            request.cache.size_bytes,
-            request.cache.assoc,
-            request.cache.line_bytes,
-            request.cache.elem_bytes,
-        ];
+        let key = request.cache_model()?;
         let stamp = self.session_clock.fetch_add(1, Ordering::Relaxed);
         let mut sessions = lock(&self.sessions);
         if let Some(slot) = sessions.get_mut(&key) {
@@ -340,7 +337,7 @@ impl Server {
                 self.sessions_evicted.fetch_add(1, Ordering::Relaxed);
             }
         }
-        let mut analyzer = Analyzer::new(cfg).threads(self.config.threads);
+        let mut analyzer = Analyzer::with_model(key).threads(self.config.threads);
         if let Some(store) = &self.store {
             analyzer = analyzer.store(Arc::clone(store));
         }
@@ -451,6 +448,9 @@ impl Server {
             let mut store_misses = 0u64;
             let mut store_writes = 0u64;
             let mut exhausted = 0u64;
+            let mut sim_classifications = 0u64;
+            let mut sim_writebacks = 0u64;
+            let mut sim_exhausted = 0u64;
             for slot in sessions.values() {
                 let s = lock(&slot.analyzer).stats();
                 analyses += s.analyses;
@@ -458,6 +458,9 @@ impl Server {
                 store_misses += s.store_misses;
                 store_writes += s.store_writes;
                 exhausted += s.exhausted_analyses;
+                sim_classifications += s.sim_classifications;
+                sim_writebacks += s.sim_writebacks;
+                sim_exhausted += s.sim_exhausted;
             }
             obj([
                 ("analyses", Json::UInt(analyses)),
@@ -465,6 +468,9 @@ impl Server {
                 ("store_misses", Json::UInt(store_misses)),
                 ("store_writes", Json::UInt(store_writes)),
                 ("exhausted", Json::UInt(exhausted)),
+                ("sim_classifications", Json::UInt(sim_classifications)),
+                ("writebacks", Json::UInt(sim_writebacks)),
+                ("sim_exhausted", Json::UInt(sim_exhausted)),
             ])
         };
         let store = self.store.as_ref().map(|store| {
@@ -700,12 +706,7 @@ mod tests {
     use std::net::SocketAddr;
 
     fn spec() -> CacheSpec {
-        CacheSpec {
-            size_bytes: 1024,
-            assoc: 2,
-            line_bytes: 32,
-            elem_bytes: 4,
-        }
+        CacheSpec::new(1024, 2, 32, 4)
     }
 
     fn mmult(n: i64) -> String {

@@ -13,12 +13,7 @@ use std::thread;
 
 /// A small geometry every suite shares: 1 KiB, 2-way, 32 B lines.
 pub fn spec() -> CacheSpec {
-    CacheSpec {
-        size_bytes: 1024,
-        assoc: 2,
-        line_bytes: 32,
-        elem_bytes: 4,
-    }
+    CacheSpec::new(1024, 2, 32, 4)
 }
 
 /// `n×n` matrix multiply in the textual nest format — small enough to

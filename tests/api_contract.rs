@@ -8,18 +8,14 @@
 //! to `internal` instead of failing the decode.
 
 use cme::api::json::{self, Json};
-use cme::api::{AnalyzeRequest, AnalyzeResponse, CacheSpec, Error, ErrorCode};
+use cme::api::{AnalyzeRequest, AnalyzeResponse, CacheSpec, Error, ErrorCode, L2Spec, Provenance};
 use cme::Analyzer;
+use cme_cache::{PolicyKind, WritePolicy};
 use cme_testgen::{arb_cache, arb_nest, NestDistribution};
 use proptest::prelude::*;
 
 fn spec() -> CacheSpec {
-    CacheSpec {
-        size_bytes: 8192,
-        assoc: 1,
-        line_bytes: 32,
-        elem_bytes: 4,
-    }
+    CacheSpec::new(8192, 1, 32, 4)
 }
 
 fn sweep() -> &'static str {
@@ -129,6 +125,116 @@ fn malformed_requests_fail_with_named_fields() {
             err.message
         );
     }
+}
+
+#[test]
+fn model_fields_are_absent_at_baseline_and_round_trip_otherwise() {
+    // Old-client pinning: a baseline request encodes without any model
+    // field, so pre-model servers, stored corpora, and byte-for-byte
+    // comparisons are untouched by the model extension.
+    let line = AnalyzeRequest::new("b", sweep(), spec()).encode();
+    for f in ["\"policy\"", "\"write\"", "\"l2\""] {
+        assert!(!line.contains(f), "`{f}` must not appear in {line}");
+    }
+    // Full model round-trip, deterministic encoding included.
+    let mut s = spec();
+    s.policy = PolicyKind::Plru;
+    s.write = WritePolicy::WriteThrough;
+    s.l2 = Some(L2Spec {
+        size_bytes: 65536,
+        assoc: 8,
+    });
+    let req = AnalyzeRequest::new("m", sweep(), s);
+    let decoded = AnalyzeRequest::decode(&req.encode()).unwrap();
+    assert_eq!(decoded, req);
+    assert_eq!(decoded.encode(), req.encode());
+    assert!(!decoded.cache.model().unwrap().is_baseline());
+}
+
+#[test]
+fn model_wire_validation_yields_typed_errors() {
+    // Decode-time shape errors are `bad-request`; semantic cache-model
+    // errors are `invalid-cache` — both frozen codes.
+    let cases: &[(&str, ErrorCode, &str)] = &[
+        (
+            r#"{"id":"a","program":"x","cache":{"size":8192,"assoc":1,"line":32,"elem":4,"policy":"random"}}"#,
+            ErrorCode::InvalidCache,
+            "random",
+        ),
+        (
+            r#"{"id":"a","program":"x","cache":{"size":8192,"assoc":1,"line":32,"elem":4,"policy":42}}"#,
+            ErrorCode::BadRequest,
+            "policy",
+        ),
+        (
+            r#"{"id":"a","program":"x","cache":{"size":8192,"assoc":1,"line":32,"elem":4,"write":"copy-back"}}"#,
+            ErrorCode::InvalidCache,
+            "copy-back",
+        ),
+        (
+            r#"{"id":"a","program":"x","cache":{"size":8192,"assoc":1,"line":32,"elem":4,"l2":{"assoc":8}}}"#,
+            ErrorCode::BadRequest,
+            "size",
+        ),
+    ];
+    for (line, code, needle) in cases {
+        let err = AnalyzeRequest::decode(line).unwrap_err();
+        assert_eq!(&err.code, code, "{line}");
+        assert!(err.message.contains(needle), "`{}`", err.message);
+    }
+    // Geometry-level L2 problems surface when the model is built.
+    for l2 in [
+        L2Spec {
+            size_bytes: -65536,
+            assoc: 8,
+        },
+        L2Spec {
+            size_bytes: 12345, // not a power-of-two multiple of the line
+            assoc: 8,
+        },
+        L2Spec {
+            size_bytes: 1024, // smaller than the 8 KiB L1
+            assoc: 8,
+        },
+    ] {
+        let mut s = spec();
+        s.l2 = Some(l2);
+        let req = AnalyzeRequest::decode(&AnalyzeRequest::new("a", sweep(), s).encode()).unwrap();
+        let err = req.cache_model().unwrap_err();
+        assert_eq!(err.code, ErrorCode::InvalidCache, "{l2:?}");
+    }
+}
+
+#[test]
+fn model_result_fields_decode_leniently() {
+    let line = r#"{"id":"q","ok":{"nest":"n","outcome":{"complete":true,"completed_fraction":1.0,"reason":"","truncated_points":0},"per_ref":[],"store_hit":false,"total_cold":3,"total_misses":5,"total_replacement":2,"writebacks":7,"l2_misses":1,"lru_bound":6,"provenance":"simulator"}}"#;
+    let resp = AnalyzeResponse::decode(line).unwrap();
+    let r = resp.result.unwrap();
+    assert_eq!(r.writebacks, Some(7));
+    assert_eq!(r.l2_misses, Some(1));
+    assert_eq!(r.lru_bound, Some(6));
+    assert_eq!(r.provenance, Some(Provenance::Simulator));
+    // A provenance from the future decodes as unspecified, not an error —
+    // same forward-compatibility stance as unknown error codes.
+    let future = line.replace("\"simulator\"", "\"quantum\"");
+    let r = AnalyzeResponse::decode(&future).unwrap().result.unwrap();
+    assert_eq!(r.provenance, None);
+}
+
+#[test]
+fn non_lru_serves_carry_exact_counts_and_the_lru_bound() {
+    let mut s = spec();
+    s.policy = PolicyKind::Fifo;
+    let mut analyzer = Analyzer::with_model(s.model().unwrap());
+    let resp = analyzer.serve(&AnalyzeRequest::new("f", sweep(), s));
+    let result = resp.result.as_ref().unwrap();
+    assert_eq!(result.provenance, Some(Provenance::Simulator));
+    assert_eq!(result.lru_bound, Some(8));
+    // Direct-mapped FIFO and LRU coincide, so the replay meets the bound.
+    assert_eq!(result.total_misses, 8);
+    assert!(result.outcome.complete);
+    // The extended result survives the wire bit-for-bit.
+    assert_eq!(AnalyzeResponse::decode(&resp.encode()).unwrap(), resp);
 }
 
 #[test]
